@@ -1,0 +1,411 @@
+package dpstore
+
+// Benchmarks: one per reproduction experiment (E1–E13; see DESIGN.md §4).
+// Each benchmark exercises the primitive that experiment measures and
+// reports the domain metric (blocks moved per operation) alongside ns/op,
+// so `go test -bench=. -benchmem` regenerates the cost side of every table.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"dpstore/internal/analysis"
+	"dpstore/internal/baseline/linearpir"
+	"dpstore/internal/baseline/pathoram"
+	"dpstore/internal/baseline/strawman"
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpir"
+	"dpstore/internal/core/dpkvs"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/core/twochoice"
+	"dpstore/internal/crypto"
+	"dpstore/internal/exp"
+	"dpstore/internal/privacy"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+const benchN = 1 << 12
+
+func benchServer(b *testing.B, n int) *store.Counting {
+	b.Helper()
+	db, err := block.PatternDatabase(n, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := store.NewMemFrom(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return store.NewCounting(m)
+}
+
+func reportBlocks(b *testing.B, c *store.Counting) {
+	b.Helper()
+	st := c.Stats()
+	b.ReportMetric(float64(st.Ops())/float64(b.N), "blocks/op")
+}
+
+// BenchmarkE1ErrorlessDPIR measures the full-scan cost Theorem 3.3 proves
+// unavoidable for errorless DP-IR.
+func BenchmarkE1ErrorlessDPIR(b *testing.B) {
+	srv := benchServer(b, benchN)
+	c := dpir.NewErrorless(srv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(i % benchN); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportBlocks(b, srv)
+}
+
+// BenchmarkE2DPIRBound measures Algorithm 1 in the low-ε regime where the
+// Theorem 3.4 bound keeps cost near-linear.
+func BenchmarkE2DPIRBound(b *testing.B) {
+	srv := benchServer(b, benchN)
+	c, err := dpir.New(srv, dpir.Options{Epsilon: 2, Alpha: 0.1, Rand: rng.New(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(i % benchN); err != nil && !errors.Is(err, dpir.ErrBottom) {
+			b.Fatal(err)
+		}
+	}
+	reportBlocks(b, srv)
+}
+
+// BenchmarkE3DPIRQuery measures Algorithm 1 at ε = ln n — the paper's
+// constant-overhead operating point.
+func BenchmarkE3DPIRQuery(b *testing.B) {
+	srv := benchServer(b, benchN)
+	c, err := dpir.New(srv, dpir.Options{
+		Epsilon: math.Log(float64(benchN)), Alpha: 0.1, Rand: rng.New(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(i % benchN); err != nil && !errors.Is(err, dpir.ErrBottom) {
+			b.Fatal(err)
+		}
+	}
+	reportBlocks(b, srv)
+}
+
+// BenchmarkE4Strawman measures the broken Section 4 construction (cheap,
+// and worth exactly nothing).
+func BenchmarkE4Strawman(b *testing.B) {
+	srv := benchServer(b, benchN)
+	c, err := strawman.New(srv, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(i % benchN); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportBlocks(b, srv)
+}
+
+// BenchmarkE5DPRAMQuery measures the errorless DP-RAM query (Algorithms
+// 2–3): exactly 3 blocks/op at any n.
+func BenchmarkE5DPRAMQuery(b *testing.B) {
+	db, err := block.PatternDatabase(benchN, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dpram.Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)}
+	srv, err := store.NewMem(benchN, dpram.ServerBlockSize(block.DefaultSize, opts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	counting := store.NewCounting(srv)
+	c, err := dpram.Setup(db, counting, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counting.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(i % benchN); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportBlocks(b, counting)
+}
+
+// BenchmarkE6DPRAMEpsilon measures the unit of experiment E6: sampling one
+// full DP-RAM transcript for the empirical ε estimator.
+func BenchmarkE6DPRAMEpsilon(b *testing.B) {
+	const n = 4
+	db, err := block.PatternDatabase(n, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := store.NewMem(n, block.DefaultSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := dpram.Setup(db, srv, dpram.Options{
+			Rand: src.Split(), StashParam: 2, DisableEncryption: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7RAMBound measures the analytic Theorem 3.7 landscape
+// evaluation (pure computation; here for one-bench-per-experiment parity).
+func BenchmarkE7RAMBound(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += privacy.DPRAMLowerBound(1<<20, 2+i%1024, float64(i%28), 0)
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkE8TwoChoice measures the two-choice allocation process itself
+// (per ball).
+func BenchmarkE8TwoChoice(b *testing.B) {
+	src := rng.New(1)
+	n := benchN
+	load := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := src.Intn(n), src.Intn(n)
+		if load[y] < load[x] {
+			x = y
+		}
+		load[x]++
+	}
+}
+
+// BenchmarkE9TreeMapping measures one insertion into the oblivious tree
+// mapping scheme (Theorem 7.2's process).
+func BenchmarkE9TreeMapping(b *testing.B) {
+	geo, err := twochoice.NewGeometry(benchN, twochoice.DefaultLeavesPerTree(benchN), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := twochoice.NewMapping(geo, crypto.KeyFromSeed(1), benchN) // huge Φ: never fail
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%benchN == 0 && i > 0 {
+			b.StopTimer() // reset a full structure rather than overflow it
+			m = twochoice.NewMapping(geo, crypto.KeyFromSeed(uint64(i)), benchN)
+			b.StartTimer()
+		}
+		if _, err := m.Insert(fmt.Sprintf("key-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10DPKVSQuery measures a DP-KVS Get — O(log log n) blocks.
+func BenchmarkE10DPKVSQuery(b *testing.B) {
+	opts := dpkvs.Options{
+		Capacity:  benchN,
+		ValueSize: 16,
+		Rand:      rng.New(1),
+		Key:       crypto.KeyFromSeed(1),
+	}
+	slots, bs, err := dpkvs.RequiredServer(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := store.NewMem(slots, bs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counting := store.NewCounting(srv)
+	s, err := dpkvs.Setup(counting, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if err := s.Put(fmt.Sprintf("key-%04d", i), block.Pattern(uint64(i), 16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	counting.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get(fmt.Sprintf("key-%04d", i%256)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportBlocks(b, counting)
+}
+
+// BenchmarkE11Comparison measures the ORAM side of the head-to-head table:
+// a Path ORAM read at the same n as BenchmarkE5DPRAMQuery.
+func BenchmarkE11Comparison(b *testing.B) {
+	db, err := block.PatternDatabase(benchN, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := pathoram.Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)}
+	slots, bs := pathoram.TreeShape(benchN, block.DefaultSize, opts)
+	srv, err := store.NewMem(slots, bs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counting := store.NewCounting(srv)
+	o, err := pathoram.Setup(db, counting, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counting.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Read(i % benchN); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportBlocks(b, counting)
+}
+
+// BenchmarkE12MultiServer measures the D-server uniform-decoy DP-IR query.
+func BenchmarkE12MultiServer(b *testing.B) {
+	const d = 3
+	db, err := block.PatternDatabase(benchN, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counters := make([]*store.Counting, d)
+	servers := make([]store.Server, d)
+	for i := range servers {
+		m, err := store.NewMemFrom(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		counters[i] = store.NewCounting(m)
+		servers[i] = counters[i]
+	}
+	c, err := dpir.NewMulti(servers, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(i % benchN); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var total int64
+	for _, ct := range counters {
+		total += ct.Stats().Ops()
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "blocks/op")
+}
+
+// BenchmarkE13Roundtrips measures a recursive Path ORAM access — the
+// Θ(log n)-roundtrip comparison point for DP-RAM's 2.
+func BenchmarkE13Roundtrips(b *testing.B) {
+	db, err := block.PatternDatabase(benchN, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := pathoram.SetupRecursive(db, pathoram.MemFactory, pathoram.RecursiveOptions{
+		Pack:   4,
+		Cutoff: 8,
+		Inner:  pathoram.Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Read(i % benchN); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.RoundTrips())/float64(r.Accesses()), "roundtrips/op")
+	b.ReportMetric(float64(r.BlocksPerAccess()), "blocks/op")
+}
+
+// BenchmarkBaselineTrivialPIR and BenchmarkBaselineXORPIR give the PIR cost
+// floor rows of E11 their own measurable targets.
+func BenchmarkBaselineTrivialPIR(b *testing.B) {
+	srv := benchServer(b, benchN)
+	p := linearpir.NewTrivial(srv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Query(i % benchN); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportBlocks(b, srv)
+}
+
+func BenchmarkBaselineXORPIR(b *testing.B) {
+	s0 := benchServer(b, benchN)
+	s1 := benchServer(b, benchN)
+	p, err := linearpir.NewTwoServerXOR(s0, s1, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Query(i % benchN); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s0.Stats().Ops()+s1.Stats().Ops())/float64(b.N), "blocks/op")
+}
+
+// BenchmarkEmpiricalEpsEstimator measures the adversary itself (transcript
+// histogramming throughput).
+func BenchmarkEmpiricalEpsEstimator(b *testing.B) {
+	src := rng.New(1)
+	p, q := src.Split(), src.Split()
+	b.ResetTimer()
+	pe := analysis.SamplePair(
+		func() string {
+			if p.Bernoulli(0.7) {
+				return "a"
+			}
+			return "b"
+		},
+		func() string {
+			if q.Bernoulli(0.3) {
+				return "a"
+			}
+			return "b"
+		},
+		b.N,
+	)
+	_ = pe.MaxRatioEps(1)
+}
+
+// BenchmarkExperimentSuiteQuick runs the entire E1–E13 pipeline once per
+// iteration in quick mode — the end-to-end reproduction cost.
+func BenchmarkExperimentSuiteQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range exp.All() {
+			if _, err := e.Run(exp.Config{Seed: int64(i + 1), Quick: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

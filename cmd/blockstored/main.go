@@ -1,0 +1,78 @@
+// Command blockstored runs a passive block-storage server — the untrusted
+// server_m of the paper's model (Definition 3.1) — speaking the wire
+// protocol of internal/wire over TCP.
+//
+// It stores fixed-size slots and answers exactly two requests, download and
+// upload, plus a shape handshake. All privacy machinery lives client-side
+// (dpkv, the examples, or any program built on the library); the server
+// only ever sees the access pattern the DP constructions are designed to
+// protect.
+//
+// Usage:
+//
+//	blockstored -addr :9045 -slots 65536 -blocksize 112
+//	blockstored -addr :9045 -slots 65536 -blocksize 112 -file /var/lib/blocks.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"dpstore/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9045", "listen address")
+		slots     = flag.Int("slots", 1<<16, "number of block slots")
+		blockSize = flag.Int("blocksize", 112, "slot size in bytes")
+		file      = flag.String("file", "", "optional path for a disk-backed store (created if missing)")
+	)
+	flag.Parse()
+
+	var backing store.Server
+	switch {
+	case *file != "":
+		f, err := openOrCreate(*file, *slots, *blockSize)
+		if err != nil {
+			log.Fatalf("blockstored: %v", err)
+		}
+		defer f.Close()
+		backing = f
+		log.Printf("blockstored: %d slots × %d B on disk at %s", *slots, *blockSize, *file)
+	default:
+		m, err := store.NewMem(*slots, *blockSize)
+		if err != nil {
+			log.Fatalf("blockstored: %v", err)
+		}
+		backing = m
+		log.Printf("blockstored: %d slots × %d B in memory", *slots, *blockSize)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("blockstored: listen: %v", err)
+	}
+	log.Printf("blockstored: serving on %s", ln.Addr())
+	if err := store.Serve(ln, backing); err != nil {
+		log.Fatalf("blockstored: %v", err)
+	}
+}
+
+func openOrCreate(path string, slots, blockSize int) (*store.File, error) {
+	if _, err := os.Stat(path); err == nil {
+		f, err := store.OpenFile(path, slots, blockSize)
+		if err != nil {
+			return nil, fmt.Errorf("opening existing store: %w", err)
+		}
+		return f, nil
+	}
+	f, err := store.CreateFile(path, slots, blockSize)
+	if err != nil {
+		return nil, fmt.Errorf("creating store: %w", err)
+	}
+	return f, nil
+}

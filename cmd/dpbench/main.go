@@ -1,0 +1,75 @@
+// Command dpbench regenerates the paper-reproduction tables (experiments
+// E1–E13; see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	dpbench                 # run every experiment at full scale
+//	dpbench -run E5,E10     # run a subset
+//	dpbench -quick          # small sizes / trial counts (seconds)
+//	dpbench -seed 7         # change the reproduction seed
+//	dpbench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dpstore/internal/exp"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick   = flag.Bool("quick", false, "shrink sizes and trial counts")
+		seed    = flag.Int64("seed", 1, "reproduction seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		format  = flag.String("format", "text", "table format: text or md")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %-70s [%s]\n", e.ID, e.Title, e.Reproduces)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *runList == "" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := exp.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dpbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := exp.Config{Seed: *seed, Quick: *quick}
+	fmt.Printf("dpbench: seed=%d quick=%v — reproducing Patel–Persiano–Yeo, PODS'19\n\n", *seed, *quick)
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s: %s  (reproduces %s)\n", e.ID, e.Title, e.Reproduces)
+		for _, t := range tables {
+			fmt.Println()
+			if *format == "md" {
+				t.RenderMarkdown(os.Stdout)
+			} else {
+				t.Render(os.Stdout)
+			}
+		}
+		fmt.Printf("\n    [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

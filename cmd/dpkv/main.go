@@ -1,0 +1,157 @@
+// Command dpkv is an interactive client for the differentially private
+// key-value store (Section 7 of the paper). It holds the client state —
+// PRF keys, bucket stash, super root — for the session and runs every
+// operation through the full DP-KVS machinery, against either an in-memory
+// store or a remote blockstored server.
+//
+// Usage:
+//
+//	dpkv -capacity 4096                      # in-memory backing store
+//	dpkv -capacity 4096 -server 127.0.0.1:9045
+//
+// Commands on stdin:
+//
+//	put <key> <value>     store/overwrite a value (padded to the value size)
+//	get <key>             retrieve a value or ⊥
+//	del <key>             delete a key
+//	stats                 client/server cost counters
+//	help                  this list
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpkvs"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func main() {
+	var (
+		capacity  = flag.Int("capacity", 4096, "design capacity (max live keys)")
+		valueSize = flag.Int("valuesize", 64, "fixed value size in bytes")
+		server    = flag.String("server", "", "optional blockstored address; empty = in-memory")
+		seed      = flag.Int64("seed", 1, "client randomness seed")
+	)
+	flag.Parse()
+
+	opts := dpkvs.Options{
+		Capacity:  *capacity,
+		ValueSize: *valueSize,
+		Rand:      rng.New(*seed),
+	}
+	slots, blockSize, err := dpkvs.RequiredServer(opts)
+	if err != nil {
+		log.Fatalf("dpkv: %v", err)
+	}
+
+	var backing store.Server
+	if *server != "" {
+		r, err := store.Dial(*server)
+		if err != nil {
+			log.Fatalf("dpkv: %v", err)
+		}
+		defer r.Close()
+		if r.Size() != slots || r.BlockSize() != blockSize {
+			log.Fatalf("dpkv: server shape (%d,%d) but this capacity needs (%d,%d); start blockstored with -slots %d -blocksize %d",
+				r.Size(), r.BlockSize(), slots, blockSize, slots, blockSize)
+		}
+		backing = r
+	} else {
+		m, err := store.NewMem(slots, blockSize)
+		if err != nil {
+			log.Fatalf("dpkv: %v", err)
+		}
+		backing = m
+	}
+	counting := store.NewCounting(backing)
+
+	kv, err := dpkvs.Setup(counting, opts)
+	if err != nil {
+		log.Fatalf("dpkv: %v", err)
+	}
+	counting.Reset()
+	fmt.Printf("dpkv: capacity %d, value size %d B, %d server slots × %d B, path depth %d (ε = O(log n))\n",
+		*capacity, *valueSize, slots, blockSize, kv.Depth())
+	fmt.Println("dpkv: type 'help' for commands")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("dpkv> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "put":
+			if len(fields) < 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			val := strings.Join(fields[2:], " ")
+			if len(val) > *valueSize {
+				fmt.Printf("value longer than %d bytes\n", *valueSize)
+				continue
+			}
+			padded := block.New(*valueSize)
+			copy(padded, val)
+			if err := kv.Put(fields[1], padded); err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Println("ok")
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			v, ok, err := kv.Get(fields[1])
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			if !ok {
+				fmt.Println("⊥ (not found)")
+				continue
+			}
+			fmt.Printf("%q\n", strings.TrimRight(string(v), "\x00"))
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			found, err := kv.Delete(fields[1])
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Printf("deleted=%v\n", found)
+		case "stats":
+			st := counting.Stats()
+			fmt.Printf("live keys:        %d\n", kv.Len())
+			fmt.Printf("server ops:       %d down, %d up (%d B / %d B)\n",
+				st.Downloads, st.Uploads, st.BytesDown, st.BytesUp)
+			fmt.Printf("blocks per op:    %d (4 bucket queries × 3 transfers × depth %d)\n",
+				kv.BlocksPerOp(), kv.Depth())
+			fmt.Printf("client blocks:    %d now, %d max\n", kv.ClientBlocks(), kv.MaxClientBlocks())
+			fmt.Printf("super root:       %d / %d\n", kv.SuperRootLoad(), kv.SuperCap())
+		case "help":
+			fmt.Println("put <key> <value> | get <key> | del <key> | stats | quit")
+		case "quit", "exit":
+			return
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
+		}
+	}
+}

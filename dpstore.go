@@ -1,0 +1,175 @@
+// Package dpstore is a from-scratch Go implementation of the
+// differentially private storage primitives of Patel, Persiano and Yeo,
+// "What Storage Access Privacy is Achievable with Small Overhead?"
+// (PODS 2019) — DP-IR, DP-RAM and DP-KVS — together with every substrate
+// and baseline the paper builds on or compares against (balls-and-bins
+// storage servers, IND-CPA encryption, oblivious two-choice hashing,
+// Path ORAM, linear PIR, and the insecure Section 4 strawman).
+//
+// This file is the public facade: it re-exports the stable surface of the
+// internal packages as type aliases and thin constructors, so downstream
+// users import only "dpstore". The internal packages remain importable
+// within this module (the examples use them directly) but are not part of
+// the public API contract.
+//
+// The three primitives at a glance:
+//
+//	scheme  privacy            blocks/query     client state   correctness
+//	------  -----------------  ---------------  -------------  -----------
+//	DP-IR   ε = Θ(log n)       O(1)             none           1 − α
+//	DP-RAM  ε = Θ(log n)       3 (exactly)      O(Φ(n)) w.h.p  perfect
+//	DP-KVS  ε = Θ(log n)       O(log log n)     O(Φ·lg lg n)   perfect
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced result.
+package dpstore
+
+import (
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpir"
+	"dpstore/internal/core/dpkvs"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/core/twochoice"
+	"dpstore/internal/crypto"
+	"dpstore/internal/privacy"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// --- blocks and databases ----------------------------------------------------
+
+// Block is one fixed-size database record (an opaque "ball" in the paper's
+// balls-and-bins model).
+type Block = block.Block
+
+// Database is an ordered collection of equally sized blocks.
+type Database = block.Database
+
+// NewDatabase creates a database of n zeroed records.
+func NewDatabase(n, blockSize int) (*Database, error) { return block.NewDatabase(n, blockSize) }
+
+// NewBlock returns a zeroed block.
+func NewBlock(size int) Block { return block.New(size) }
+
+// --- servers -----------------------------------------------------------------
+
+// Server is the passive storage party: download a block, upload a block.
+type Server = store.Server
+
+// ServerStats is a traffic snapshot from a counting server.
+type ServerStats = store.Stats
+
+// CountingServer meters downloads/uploads/bytes on any Server.
+type CountingServer = store.Counting
+
+// NewMemServer returns an in-memory Server with n slots of blockSize bytes.
+func NewMemServer(n, blockSize int) (Server, error) { return store.NewMem(n, blockSize) }
+
+// NewCountingServer wraps a Server with an operation meter.
+func NewCountingServer(inner Server) *CountingServer { return store.NewCounting(inner) }
+
+// DialServer connects to a remote block server (cmd/blockstored).
+func DialServer(addr string) (*store.Remote, error) { return store.Dial(addr) }
+
+// --- randomness and keys -------------------------------------------------------
+
+// Rand is a deterministic seeded randomness source; all constructions take
+// one so runs are reproducible.
+type Rand = rng.Source
+
+// NewRand returns a seeded source.
+func NewRand(seed int64) *Rand { return rng.New(seed) }
+
+// Key is a client-held master secret.
+type Key = crypto.Key
+
+// NewKey samples a fresh random key.
+func NewKey() (Key, error) { return crypto.NewKey() }
+
+// --- privacy accounting --------------------------------------------------------
+
+// PrivacyParams is an (ε, δ) differential-privacy budget.
+type PrivacyParams = privacy.Params
+
+// DPIRLowerBound, DPRAMLowerBound and friends expose the paper's analytic
+// bounds for cost planning; see internal/privacy for the full set.
+var (
+	DPIRLowerBound      = privacy.DPIRLowerBound
+	DPRAMLowerBound     = privacy.DPRAMLowerBound
+	DPIRDownloadCount   = privacy.DPIRDownloadCount
+	DPIRAchievedEps     = privacy.DPIRAchievedEps
+	MinEpsConstantOverh = privacy.MinEpsForConstantOverhead
+)
+
+// --- DP-IR ---------------------------------------------------------------------
+
+// DPIR is the differentially private information-retrieval client of
+// Section 5 (Algorithm 1).
+type DPIR = dpir.Client
+
+// DPIROptions configures a DPIR client.
+type DPIROptions = dpir.Options
+
+// ErrBottom is DP-IR's ⊥ answer (probability α per query).
+var ErrBottom = dpir.ErrBottom
+
+// NewDPIR creates a DP-IR client over a server holding the database.
+func NewDPIR(server Server, opts DPIROptions) (*DPIR, error) { return dpir.New(server, opts) }
+
+// MultiDPIR is the multi-server variant of Appendix C.
+type MultiDPIR = dpir.Multi
+
+// NewMultiDPIR creates a multi-server DP-IR client over D ≥ 2 replicas.
+func NewMultiDPIR(servers []Server, src *Rand) (*MultiDPIR, error) {
+	return dpir.NewMulti(servers, src)
+}
+
+// --- DP-RAM --------------------------------------------------------------------
+
+// DPRAM is the differentially private RAM of Section 6 (Algorithms 2–3).
+type DPRAM = dpram.Client
+
+// DPRAMOptions configures a DPRAM client.
+type DPRAMOptions = dpram.Options
+
+// DPRAMServerBlockSize returns the server slot size DP-RAM needs for
+// records of plainSize bytes under the given options.
+func DPRAMServerBlockSize(plainSize int, opts DPRAMOptions) int {
+	return dpram.ServerBlockSize(plainSize, opts)
+}
+
+// SetupDPRAM encrypts db onto the server and returns the client.
+func SetupDPRAM(db *Database, server Server, opts DPRAMOptions) (*DPRAM, error) {
+	return dpram.Setup(db, server, opts)
+}
+
+// --- DP-KVS --------------------------------------------------------------------
+
+// DPKVS is the differentially private key-value store of Section 7.
+type DPKVS = dpkvs.Store
+
+// DPKVSOptions configures a DPKVS.
+type DPKVSOptions = dpkvs.Options
+
+// ErrKVSFull reports a (negligible-probability) insertion overflow.
+var ErrKVSFull = dpkvs.ErrFull
+
+// DPKVSRequiredServer returns the backing-server shape for the options.
+func DPKVSRequiredServer(opts DPKVSOptions) (slots, blockSize int, err error) {
+	return dpkvs.RequiredServer(opts)
+}
+
+// SetupDPKVS initializes an empty DP-KVS over the server.
+func SetupDPKVS(server Server, opts DPKVSOptions) (*DPKVS, error) {
+	return dpkvs.Setup(server, opts)
+}
+
+// --- oblivious two-choice hashing ------------------------------------------------
+
+// TreeGeometry is the bucket forest of Section 7.2.
+type TreeGeometry = twochoice.Geometry
+
+// NewTreeGeometry builds a forest for n buckets.
+func NewTreeGeometry(n, leavesPerTree, nodeCap int) (*TreeGeometry, error) {
+	return twochoice.NewGeometry(n, leavesPerTree, nodeCap)
+}

@@ -1,0 +1,200 @@
+package dpstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestFacadeDPIR drives the whole DP-IR lifecycle through the public API
+// only.
+func TestFacadeDPIR(t *testing.T) {
+	const n = 256
+	db, err := NewDatabase(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		b := NewBlock(64)
+		b.SetUint64(uint64(i))
+		if err := db.Set(i, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewMemServer(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := srv.Upload(i, db.Get(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counting := NewCountingServer(srv)
+	client, err := NewDPIR(counting, DPIROptions{
+		Epsilon: math.Log(float64(n)), Alpha: 0.1, Rand: NewRand(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < 200; i++ {
+		b, err := client.Query(i % n)
+		if errors.Is(err, ErrBottom) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Uint64() != uint64(i%n) {
+			t.Fatal("wrong record")
+		}
+		hits++
+	}
+	if hits < 150 {
+		t.Fatalf("only %d/200 hits at α = 0.1", hits)
+	}
+	if got := counting.Stats().Downloads; got != int64(200*client.K()) {
+		t.Fatalf("downloads = %d, want %d", got, 200*client.K())
+	}
+}
+
+// TestFacadeDPRAM drives DP-RAM through the public API.
+func TestFacadeDPRAM(t *testing.T) {
+	const n = 128
+	db, err := NewDatabase(n, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DPRAMOptions{Rand: NewRand(2)}
+	srv, err := NewMemServer(n, DPRAMServerBlockSize(32, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram, err := SetupDPRAM(db, srv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewBlock(32)
+	want.SetUint64(777)
+	if _, err := ram.Write(5, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ram.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("read-after-write failed through the facade")
+	}
+}
+
+// TestFacadeDPKVS drives DP-KVS through the public API.
+func TestFacadeDPKVS(t *testing.T) {
+	opts := DPKVSOptions{Capacity: 128, ValueSize: 16, Rand: NewRand(3)}
+	slots, bs, err := DPKVSRequiredServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewMemServer(slots, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := SetupDPKVS(srv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := NewBlock(16)
+	val.SetUint64(42)
+	if err := kv.Put("answer", val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := kv.Get("answer")
+	if err != nil || !ok {
+		t.Fatalf("get: %v ok=%v", err, ok)
+	}
+	if got.Uint64() != 42 {
+		t.Fatal("wrong value")
+	}
+	if _, ok, _ := kv.Get("missing"); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+// TestFacadeBounds spot-checks the re-exported analytic bounds.
+func TestFacadeBounds(t *testing.T) {
+	n := 1 << 16
+	if DPIRLowerBound(n, 1, 0.1, 0) < float64(n)/10 {
+		t.Fatal("DPIRLowerBound too weak")
+	}
+	if DPRAMLowerBound(n, 2, 0, 0) < 10 {
+		t.Fatal("DPRAMLowerBound too weak")
+	}
+	if DPIRDownloadCount(n, math.Log(float64(n)), 0.1) > 2 {
+		t.Fatal("K at ε = ln n should be tiny")
+	}
+	if MinEpsConstantOverh(n, 4, 0.1) < 5 {
+		t.Fatal("min ε for constant overhead should be Θ(log n)")
+	}
+	if math.IsInf(DPIRAchievedEps(n, 1, 0.1), 1) {
+		t.Fatal("achieved ε should be finite for α > 0")
+	}
+}
+
+// TestFacadeMultiDPIR drives the multi-server scheme.
+func TestFacadeMultiDPIR(t *testing.T) {
+	const n, d = 64, 3
+	servers := make([]Server, d)
+	for i := range servers {
+		srv, err := NewMemServer(n, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			b := NewBlock(16)
+			b.SetUint64(uint64(j))
+			if err := srv.Upload(j, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		servers[i] = srv
+	}
+	m, err := NewMultiDPIR(servers, NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < n; q++ {
+		b, err := m.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Uint64() != uint64(q) {
+			t.Fatalf("query %d wrong", q)
+		}
+	}
+	if m.Eps() <= 0 {
+		t.Fatal("eps not positive")
+	}
+}
+
+// TestFacadeGeometry sanity-checks the tree geometry re-export.
+func TestFacadeGeometry(t *testing.T) {
+	g, err := NewTreeGeometry(1024, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() >= 3*1024 {
+		t.Fatal("storage not linear")
+	}
+	if len(g.Path(0)) != g.Depth() {
+		t.Fatal("path length mismatch")
+	}
+}
+
+func ExampleNewDPIR() {
+	srv, _ := NewMemServer(1024, 64)
+	client, _ := NewDPIR(srv, DPIROptions{Epsilon: math.Log(1024), Alpha: 0.1, Rand: NewRand(1)})
+	fmt.Println("blocks per query:", client.K())
+	// Output: blocks per query: 1
+}

@@ -1,0 +1,79 @@
+// Private ad retrieval with DP-IR (Section 5).
+//
+// The paper's introduction cites private advertisement systems [30]: a
+// client fetches an ad matching an interest category without the server
+// learning the category. Full PIR costs Θ(n) server work per request —
+// untenable at ad-serving rates. DP-IR with a small error probability α
+// fetches K = ⌈(1−α)n/(e^ε−1)⌉ blocks; at ε = Θ(log n), K is a small
+// constant and a failed fetch (probability α) just means showing a house
+// ad.
+//
+// This example sweeps the privacy/efficiency frontier to show the paper's
+// headline: bandwidth collapses from Θ(n) to O(1) exactly as ε crosses
+// Θ(log n), and the lower bound of Theorem 3.4 says nothing better exists.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpir"
+	"dpstore/internal/privacy"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func main() {
+	const nAds = 8192 // ad inventory, one block per interest category
+	const alpha = 0.05
+
+	db, err := block.PatternDatabase(nAds, block.DefaultSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := store.NewMemFrom(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := rng.New(3)
+
+	fmt.Printf("ad inventory: %d categories, error budget α = %.2f (fallback: house ad)\n\n", nAds, alpha)
+	fmt.Printf("%-10s %-10s %-14s %-14s %-12s\n", "ε", "ε/ln n", "blocks/query", "Thm 3.4 bound", "served OK")
+	lgn := math.Log(float64(nAds))
+	for _, eps := range []float64{2, lgn / 2, lgn, 1.5 * lgn} {
+		counting := store.NewCounting(base)
+		client, err := dpir.New(counting, dpir.Options{Epsilon: eps, Alpha: alpha, Rand: src.Split()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		const requests = 400
+		served := 0
+		w := src.Split()
+		for i := 0; i < requests; i++ {
+			category := w.Intn(nAds)
+			ad, err := client.Query(category)
+			switch {
+			case errors.Is(err, dpir.ErrBottom):
+				// α branch: show a house ad instead.
+			case err != nil:
+				log.Fatal(err)
+			case block.CheckPattern(ad, uint64(category)):
+				served++
+			default:
+				log.Fatalf("wrong ad served for category %d", category)
+			}
+		}
+		bound := privacy.DPIRLowerBound(nAds, eps, alpha, 0)
+		fmt.Printf("%-10.2f %-10.2f %-14.1f %-14.1f %3d/%d\n",
+			eps, eps/lgn,
+			float64(counting.Stats().Downloads)/requests,
+			bound, served, requests)
+	}
+
+	fmt.Printf("\nreading the table: below ε = ln n = %.1f the lower bound forces near-linear\n", lgn)
+	fmt.Println("bandwidth; at ε = Θ(log n) a handful of blocks suffice — the best achievable")
+	fmt.Println("privacy with small overhead (Theorems 3.4 + 5.1).")
+}

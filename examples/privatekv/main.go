@@ -1,0 +1,81 @@
+// Private contact discovery with DP-KVS (Section 7).
+//
+// The paper's introduction motivates private storage with "discovery of
+// identities" [8]: a messaging service stores a directory mapping user
+// handles to public keys; clients look up contacts without the server
+// learning who is talking to whom. Obliviousness via ORAM would cost
+// Θ(log n) blocks per lookup; the DP-KVS does it in O(log log n) blocks at
+// ε = Θ(log n) — per the paper's thesis, the best privacy available at
+// that price point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpkvs"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func main() {
+	const directorySize = 4096
+	const keySize = 32 // public-key fingerprints
+
+	opts := dpkvs.Options{
+		Capacity:  directorySize,
+		ValueSize: keySize,
+		Rand:      rng.New(7),
+	}
+	slots, blockSize, err := dpkvs.RequiredServer(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := store.NewMem(slots, blockSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counting := store.NewCounting(srv)
+	directory, err := dpkvs.Setup(counting, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register users: handle → key fingerprint.
+	users := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	for i, u := range users {
+		fingerprint := block.Pattern(uint64(1000+i), keySize)
+		if err := directory.Put(u, fingerprint); err != nil {
+			log.Fatal(err)
+		}
+	}
+	counting.Reset()
+
+	// Look up a contact that exists...
+	fp, ok, err := directory.Get("carol")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("carol registered: %v (fingerprint %x…)\n", ok, fp[:8])
+
+	// ...and one that does not. KVS must answer ⊥ for never-inserted keys —
+	// and the server-side access pattern is identical either way.
+	_, ok, err = directory.Get("mallory")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mallory registered: %v (⊥)\n", ok)
+
+	st := counting.Stats()
+	fmt.Printf("2 lookups cost %d block ops (%d per op = 12·s(n), s(n) = %d = Θ(log log n))\n",
+		st.Ops(), directory.BlocksPerOp(), directory.Depth())
+	fmt.Printf("an ORAM-based directory would pay Θ(log n) ≈ %d blocks per lookup instead\n",
+		2*4*13) // 2·Z·(lg 4096 + 1)
+
+	// Privacy: what the server learned is a DP-protected access pattern;
+	// swapping any single lookup for any other changes the transcript
+	// distribution by at most e^ε with ε = O(log n) (Theorem 7.5).
+	fmt.Printf("client-side state: %d blocks, super root %d/%d\n",
+		directory.ClientBlocks(), directory.SuperRootLoad(), directory.SuperCap())
+}

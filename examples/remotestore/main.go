@@ -1,0 +1,79 @@
+// DP-RAM over a real network socket.
+//
+// This example spins up the passive block server (the same code as
+// cmd/blockstored) on a loopback TCP port, then runs the full encrypted
+// DP-RAM client against it — demonstrating that the constructions are
+// deployment-shaped, not simulation-only: the server is a separate party
+// reachable only through download/upload messages.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func main() {
+	const n = 512
+	const blockSize = 64
+
+	opts := dpram.Options{Rand: rng.New(11)}
+	serverBlockSize := dpram.ServerBlockSize(blockSize, opts)
+
+	// Server side: a dumb block store behind a TCP listener.
+	backing, err := store.NewMem(n, serverBlockSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go store.Serve(ln, backing) //nolint:errcheck // returns when ln closes
+	fmt.Printf("block server listening on %s (%d slots × %d B)\n", ln.Addr(), n, serverBlockSize)
+
+	// Client side: dial the server and run DP-RAM over the wire.
+	remote, err := store.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
+	counting := store.NewCounting(remote)
+
+	db, err := block.PatternDatabase(n, blockSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ram, err := dpram.Setup(db, counting, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counting.Reset()
+
+	// A burst of reads and writes across the socket.
+	src := rng.New(12)
+	const queries = 200
+	for i := 0; i < queries; i++ {
+		idx := src.Intn(n)
+		if i%4 == 0 {
+			if _, err := ram.Write(idx, block.Pattern(uint64(5000+i), blockSize)); err != nil {
+				log.Fatal(err)
+			}
+		} else if _, err := ram.Read(idx); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := counting.Stats()
+	fmt.Printf("%d queries over TCP: %.2f downloads + %.2f uploads per query\n",
+		queries, float64(st.Downloads)/queries, float64(st.Uploads)/queries)
+	fmt.Printf("wire traffic: %d B down, %d B up (ciphertexts only — the server never sees plaintext)\n",
+		st.BytesDown, st.BytesUp)
+	fmt.Printf("what the server learned: a DP-protected address sequence, ε = O(log n) (Theorem 6.1)\n")
+}

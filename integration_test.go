@@ -1,0 +1,214 @@
+package dpstore
+
+// End-to-end integration tests tying the layers together: constructions
+// over real TCP sockets, transcript-structure checks through the trace
+// recorder, and multi-client concurrency against one server process.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpkvs"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+	"dpstore/internal/trace"
+)
+
+// startServer spins up a TCP block server and returns its address.
+func startServer(t *testing.T, slots, blockSize int) string {
+	t.Helper()
+	backing, err := store.NewMem(slots, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go store.Serve(ln, backing) //nolint:errcheck
+	return ln.Addr().String()
+}
+
+// TestDPKVSOverTCP runs the full DP-KVS stack against a networked server:
+// the complete deployment path of cmd/blockstored + cmd/dpkv.
+func TestDPKVSOverTCP(t *testing.T) {
+	opts := dpkvs.Options{
+		Capacity:  256,
+		ValueSize: 32,
+		Rand:      rng.New(1),
+		Key:       crypto.KeyFromSeed(1),
+	}
+	slots, bs, err := dpkvs.RequiredServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, slots, bs)
+	remote, err := store.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	kv, err := dpkvs.Setup(remote, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := kv.Put(fmt.Sprintf("user-%03d", i), block.Pattern(uint64(i), 32)); err != nil {
+			t.Fatalf("put %d over TCP: %v", i, err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		v, ok, err := kv.Get(fmt.Sprintf("user-%03d", i))
+		if err != nil || !ok {
+			t.Fatalf("get %d over TCP: err=%v ok=%v", i, err, ok)
+		}
+		if !block.CheckPattern(v, uint64(i)) {
+			t.Fatalf("value %d corrupted in transit", i)
+		}
+	}
+	if _, ok, _ := kv.Get("user-999"); ok {
+		t.Fatal("phantom key over TCP")
+	}
+	if found, err := kv.Delete("user-000"); err != nil || !found {
+		t.Fatalf("delete over TCP: %v %v", err, found)
+	}
+}
+
+// TestDPRAMTranscriptStructure verifies the exact adversary-view shape of
+// Algorithm 3 through the trace recorder: every query is download,
+// download, upload, with the second download and the upload at the same
+// address (the overwrite pair (o_j, o_j)).
+func TestDPRAMTranscriptStructure(t *testing.T) {
+	const n = 64
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := store.NewMem(n, crypto.CiphertextSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(srv)
+	c, err := dpram.Setup(db, rec, dpram.Options{Rand: rng.New(2), Key: crypto.KeyFromSeed(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Reset()
+	src := rng.New(3)
+	const queries = 200
+	for i := 0; i < queries; i++ {
+		rec.Mark()
+		idx := src.Intn(n)
+		if i%3 == 0 {
+			if _, err := c.Write(idx, block.Pattern(uint64(i), 16)); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := c.Read(idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := rec.Queries()
+	if len(qs) != queries {
+		t.Fatalf("recorded %d queries, want %d", len(qs), queries)
+	}
+	for i, q := range qs {
+		if len(q) != 3 {
+			t.Fatalf("query %d has %d operations, want 3: %s", i, len(q), q.Key())
+		}
+		if q[0].Op != trace.OpDownload || q[1].Op != trace.OpDownload || q[2].Op != trace.OpUpload {
+			t.Fatalf("query %d has wrong op pattern: %s", i, q.Key())
+		}
+		if q[1].Addr != q[2].Addr {
+			t.Fatalf("query %d: overwrite pair mismatched: %s", i, q.Key())
+		}
+	}
+}
+
+// TestManyClientsOneServer runs several independent DP-RAM clients, each
+// with its own region-free database, against one shared TCP server split
+// into disjoint address ranges via an offset shim — exercising server
+// concurrency under real construction traffic.
+func TestManyClientsOneServer(t *testing.T) {
+	const clients = 4
+	const n = 64
+	opts := dpram.Options{Rand: rng.New(4)}
+	bs := dpram.ServerBlockSize(16, opts)
+	addr := startServer(t, clients*n, bs)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			remote, err := store.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer remote.Close()
+			region := &offsetServer{inner: remote, offset: cl * n, size: n}
+			db, err := block.PatternDatabase(n, 16)
+			if err != nil {
+				errs <- err
+				return
+			}
+			c, err := dpram.Setup(db, region, dpram.Options{
+				Rand: rng.New(int64(100 + cl)),
+				Key:  crypto.KeyFromSeed(uint64(cl)),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 100; i++ {
+				got, err := c.Read(i % n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !block.CheckPattern(got, uint64(i%n)) {
+					errs <- fmt.Errorf("client %d: record %d corrupted", cl, i%n)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// offsetServer exposes a window [offset, offset+size) of a larger server —
+// the standard multi-tenant slicing of one physical store.
+type offsetServer struct {
+	inner  store.Server
+	offset int
+	size   int
+}
+
+func (o *offsetServer) Download(addr int) (block.Block, error) {
+	if addr < 0 || addr >= o.size {
+		return nil, store.ErrAddr
+	}
+	return o.inner.Download(o.offset + addr)
+}
+
+func (o *offsetServer) Upload(addr int, b block.Block) error {
+	if addr < 0 || addr >= o.size {
+		return store.ErrAddr
+	}
+	return o.inner.Upload(o.offset+addr, b)
+}
+
+func (o *offsetServer) Size() int      { return o.size }
+func (o *offsetServer) BlockSize() int { return o.inner.BlockSize() }

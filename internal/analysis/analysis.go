@@ -1,0 +1,156 @@
+// Package analysis implements the empirical adversary: it estimates the
+// differential-privacy parameters a storage scheme actually provides by
+// sampling adversary views under two adjacent query sequences and comparing
+// the resulting transcript distributions (Definition 2.1 made operational).
+//
+// Two estimators are provided:
+//
+//   - PairEstimate histograms full transcript classes under both sequences
+//     and reports (ε̂, δ̂): ε̂ is the max log-likelihood ratio over classes
+//     with adequate support, and δ̂(ε) = Σ_s max(0, p_s − e^ε·q_s) maximized
+//     over direction, the exact pointwise form of approximate DP.
+//   - Distinguisher measures the advantage of a boolean test (an event set
+//     S), which lower-bounds δ at a given ε via Pr[S(Q1)∈S] − e^ε·Pr[S(Q2)∈S].
+//     Experiment E4 uses it to break the Section 4 strawman.
+package analysis
+
+import (
+	"math"
+
+	"dpstore/internal/stats"
+)
+
+// Sampler produces one independent adversary view, rendered as a canonical
+// class key (see trace.Transcript.Key).
+type Sampler func() string
+
+// PairEstimate holds transcript histograms for two adjacent worlds.
+type PairEstimate struct {
+	P, Q *stats.Counter
+}
+
+// SamplePair draws trials views from each world.
+func SamplePair(sampleP, sampleQ Sampler, trials int) *PairEstimate {
+	pe := &PairEstimate{P: stats.NewCounter(), Q: stats.NewCounter()}
+	for i := 0; i < trials; i++ {
+		pe.P.Add(sampleP())
+		pe.Q.Add(sampleQ())
+	}
+	return pe
+}
+
+// classes returns the union of observed class keys.
+func (pe *PairEstimate) classes() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, k := range pe.P.Classes() {
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			out = append(out, k)
+		}
+	}
+	for _, k := range pe.Q.Classes() {
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// MaxRatioEps returns the empirical pure-DP estimate: the maximum absolute
+// log-ratio |ln(p_s/q_s)| over classes observed at least minCount times in
+// both worlds. Classes below the support threshold are skipped because a
+// ratio estimated from a handful of samples is noise; callers report δ̂
+// separately for mass on one-sided classes. Returns 0 when no class
+// qualifies.
+func (pe *PairEstimate) MaxRatioEps(minCount int) float64 {
+	var maxAbs float64
+	for _, s := range pe.classes() {
+		cp, cq := pe.P.Count(s), pe.Q.Count(s)
+		if cp < minCount || cq < minCount {
+			continue
+		}
+		r := math.Abs(math.Log(pe.P.Prob(s) / pe.Q.Prob(s)))
+		if r > maxAbs {
+			maxAbs = r
+		}
+	}
+	return maxAbs
+}
+
+// DeltaAt returns the empirical δ̂ at budget ε, symmetrized over direction:
+//
+//	δ̂(ε) = max( Σ_s max(0, p_s − e^ε·q_s), Σ_s max(0, q_s − e^ε·p_s) ).
+//
+// This is the exact optimal-adversary δ for the empirical distributions.
+func (pe *PairEstimate) DeltaAt(eps float64) float64 {
+	e := math.Exp(eps)
+	var dPQ, dQP float64
+	for _, s := range pe.classes() {
+		p, q := pe.P.Prob(s), pe.Q.Prob(s)
+		if v := p - e*q; v > 0 {
+			dPQ += v
+		}
+		if v := q - e*p; v > 0 {
+			dQP += v
+		}
+	}
+	return math.Max(dPQ, dQP)
+}
+
+// OneSidedMass returns the total probability mass (max over the two
+// directions) on classes observed in one world but never in the other — an
+// empirical floor on δ at every finite ε.
+func (pe *PairEstimate) OneSidedMass() float64 {
+	var pOnly, qOnly float64
+	for _, s := range pe.classes() {
+		cp, cq := pe.P.Count(s), pe.Q.Count(s)
+		if cp > 0 && cq == 0 {
+			pOnly += pe.P.Prob(s)
+		}
+		if cq > 0 && cp == 0 {
+			qOnly += pe.Q.Prob(s)
+		}
+	}
+	return math.Max(pOnly, qOnly)
+}
+
+// Distinguisher measures a boolean adversary test over both worlds.
+type Distinguisher struct {
+	TrueP float64 // Pr[test | world P]
+	TrueQ float64 // Pr[test | world Q]
+	N     int
+}
+
+// RunDistinguisher samples the test trials times in each world.
+func RunDistinguisher(testP, testQ func() bool, trials int) Distinguisher {
+	var cp, cq int
+	for i := 0; i < trials; i++ {
+		if testP() {
+			cp++
+		}
+		if testQ() {
+			cq++
+		}
+	}
+	return Distinguisher{
+		TrueP: float64(cp) / float64(trials),
+		TrueQ: float64(cq) / float64(trials),
+		N:     trials,
+	}
+}
+
+// Advantage is |Pr[test|P] − Pr[test|Q]|, the statistical advantage.
+func (d Distinguisher) Advantage() float64 { return math.Abs(d.TrueP - d.TrueQ) }
+
+// DeltaLowerBound returns the δ any (ε, δ)-DP claim must admit given the
+// observed test probabilities: max over direction of Pr_P − e^ε·Pr_Q.
+func (d Distinguisher) DeltaLowerBound(eps float64) float64 {
+	e := math.Exp(eps)
+	v := math.Max(d.TrueP-e*d.TrueQ, d.TrueQ-e*d.TrueP)
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dpstore/internal/rng"
+)
+
+// biasedSampler emits "a" with probability p, else "b".
+func biasedSampler(src *rng.Source, p float64) Sampler {
+	return func() string {
+		if src.Bernoulli(p) {
+			return "a"
+		}
+		return "b"
+	}
+}
+
+func TestSamplePairCounts(t *testing.T) {
+	src := rng.New(1)
+	pe := SamplePair(biasedSampler(src.Split(), 1), biasedSampler(src.Split(), 0), 100)
+	if pe.P.Total() != 100 || pe.Q.Total() != 100 {
+		t.Fatalf("totals = %d,%d", pe.P.Total(), pe.Q.Total())
+	}
+	if pe.P.Count("a") != 100 || pe.Q.Count("b") != 100 {
+		t.Fatal("degenerate samplers miscounted")
+	}
+}
+
+func TestMaxRatioEpsRecoversKnownRatio(t *testing.T) {
+	// P: a w.p. 0.8; Q: a w.p. 0.2. ln(0.8/0.2) = ln 4 ≈ 1.386 and
+	// ln(0.8/0.2) on class b gives the same by symmetry.
+	src := rng.New(2)
+	pe := SamplePair(biasedSampler(src.Split(), 0.8), biasedSampler(src.Split(), 0.2), 200000)
+	eps := pe.MaxRatioEps(100)
+	want := math.Log(4)
+	if math.Abs(eps-want) > 0.05 {
+		t.Fatalf("ε̂ = %v, want ≈%v", eps, want)
+	}
+}
+
+func TestMaxRatioEpsIdenticalWorlds(t *testing.T) {
+	src := rng.New(3)
+	pe := SamplePair(biasedSampler(src.Split(), 0.5), biasedSampler(src.Split(), 0.5), 200000)
+	if eps := pe.MaxRatioEps(100); eps > 0.05 {
+		t.Fatalf("ε̂ = %v for identical distributions, want ≈0", eps)
+	}
+}
+
+func TestMaxRatioEpsRespectsSupportThreshold(t *testing.T) {
+	src := rng.New(4)
+	// Q never emits "a": the a-class must be excluded by the threshold,
+	// leaving the b-class ratio.
+	pe := SamplePair(biasedSampler(src.Split(), 0.5), biasedSampler(src.Split(), 0), 10000)
+	eps := pe.MaxRatioEps(10)
+	want := math.Log(2) // ln(1/0.5) on class b
+	if math.Abs(eps-want) > 0.1 {
+		t.Fatalf("ε̂ = %v, want ≈%v", eps, want)
+	}
+}
+
+func TestDeltaAt(t *testing.T) {
+	// P: always "a"; Q: always "b". δ(ε) = 1 for every ε.
+	src := rng.New(5)
+	pe := SamplePair(biasedSampler(src.Split(), 1), biasedSampler(src.Split(), 0), 1000)
+	if d := pe.DeltaAt(10); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("δ̂ = %v, want 1", d)
+	}
+	// Identical worlds: δ(0) ≈ 0.
+	pe2 := SamplePair(biasedSampler(src.Split(), 0.5), biasedSampler(src.Split(), 0.5), 200000)
+	if d := pe2.DeltaAt(0); d > 0.01 {
+		t.Fatalf("δ̂ = %v for identical distributions, want ≈0", d)
+	}
+}
+
+func TestDeltaAtKnownValue(t *testing.T) {
+	// P: a w.p. 0.9; Q: a w.p. 0.5. At ε=0: δ = 0.4.
+	src := rng.New(6)
+	pe := SamplePair(biasedSampler(src.Split(), 0.9), biasedSampler(src.Split(), 0.5), 400000)
+	if d := pe.DeltaAt(0); math.Abs(d-0.4) > 0.01 {
+		t.Fatalf("δ̂(0) = %v, want ≈0.4", d)
+	}
+	// At ε = ln(0.9/0.5), δ ≈ (1-0.9) side: max(0.9-1.8·0.5, 0.5-1.8·0.1)=0.32
+	eps := math.Log(0.9 / 0.5)
+	wantD := 0.5 - math.Exp(eps)*0.1
+	if d := pe.DeltaAt(eps); math.Abs(d-wantD) > 0.01 {
+		t.Fatalf("δ̂(%v) = %v, want ≈%v", eps, d, wantD)
+	}
+}
+
+func TestOneSidedMass(t *testing.T) {
+	src := rng.New(7)
+	i := 0
+	// P emits unique classes half the time; Q emits only "x".
+	sampleP := func() string {
+		i++
+		if i%2 == 0 {
+			return "x"
+		}
+		return fmt.Sprintf("unique-%d", i)
+	}
+	sampleQ := func() string { return "x" }
+	pe := SamplePair(sampleP, sampleQ, 10000)
+	m := pe.OneSidedMass()
+	if math.Abs(m-0.5) > 0.05 {
+		t.Fatalf("one-sided mass = %v, want ≈0.5", m)
+	}
+	_ = src
+}
+
+func TestDistinguisher(t *testing.T) {
+	src := rng.New(8)
+	p, q := src.Split(), src.Split()
+	d := RunDistinguisher(
+		func() bool { return p.Bernoulli(0.9) },
+		func() bool { return q.Bernoulli(0.1) },
+		100000,
+	)
+	if math.Abs(d.Advantage()-0.8) > 0.01 {
+		t.Fatalf("advantage = %v, want ≈0.8", d.Advantage())
+	}
+	// δ floor at ε=0 equals the advantage.
+	if math.Abs(d.DeltaLowerBound(0)-d.Advantage()) > 1e-12 {
+		t.Fatal("δ(0) should equal advantage")
+	}
+	// Large ε kills the bound.
+	if d.DeltaLowerBound(10) != 0 {
+		t.Fatal("δ at huge ε should floor to 0")
+	}
+}

@@ -1,0 +1,121 @@
+// Package linearpir provides the two PIR baselines the paper positions its
+// results against.
+//
+// Trivial single-server PIR downloads the whole database per query — the
+// cost floor Theorem 3.3 proves unavoidable for errorless schemes, DP or
+// not. The two-server XOR scheme of Chor–Goldreich–Kushilevitz–Sudan [19]
+// achieves perfect (information-theoretic) privacy against one corrupted
+// server with one block of reply per server, but each server still touches
+// about half the database per query, so server computation remains Θ(n).
+package linearpir
+
+import (
+	"errors"
+	"fmt"
+
+	"dpstore/internal/block"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// Trivial is single-server linear-scan PIR: perfect privacy, perfect
+// correctness, n operations per query.
+type Trivial struct {
+	server store.Server
+	n      int
+}
+
+// NewTrivial creates a trivial PIR client.
+func NewTrivial(server store.Server) *Trivial {
+	return &Trivial{server: server, n: server.Size()}
+}
+
+// Query downloads every record and keeps record q. The access pattern is
+// identical for every query, giving obliviousness (ε = 0, δ = 0).
+func (t *Trivial) Query(q int) (block.Block, error) {
+	if q < 0 || q >= t.n {
+		return nil, fmt.Errorf("linearpir: query %d out of range [0,%d)", q, t.n)
+	}
+	var want block.Block
+	for j := 0; j < t.n; j++ {
+		b, err := t.server.Download(j)
+		if err != nil {
+			return nil, fmt.Errorf("linearpir: scanning: %w", err)
+		}
+		if j == q {
+			want = b
+		}
+	}
+	return want, nil
+}
+
+// TwoServerXOR is the classic 2-server information-theoretic PIR: the
+// client sends a uniform subset S ⊆ [n] to server 0 and S △ {q} to server
+// 1; each server replies with the XOR of the requested blocks; the client
+// XORs the two replies to recover B_q. Each server individually sees a
+// uniform subset, independent of q: perfect privacy against one corrupted
+// server.
+type TwoServerXOR struct {
+	servers [2]store.Server
+	n       int
+	src     *rng.Source
+}
+
+// NewTwoServerXOR builds the client over two replicas of the database.
+func NewTwoServerXOR(s0, s1 store.Server, src *rng.Source) (*TwoServerXOR, error) {
+	if src == nil {
+		return nil, errors.New("linearpir: rand source is required")
+	}
+	if s0.Size() != s1.Size() || s0.BlockSize() != s1.BlockSize() {
+		return nil, fmt.Errorf("linearpir: replica shape mismatch: (%d,%d) vs (%d,%d)",
+			s0.Size(), s0.BlockSize(), s1.Size(), s1.BlockSize())
+	}
+	return &TwoServerXOR{servers: [2]store.Server{s0, s1}, n: s0.Size(), src: src}, nil
+}
+
+// xorAnswer computes the server-side XOR over the selected blocks. The
+// download counter of a Counting wrapper therefore meters true server work.
+func xorAnswer(s store.Server, sel []bool, blockSize int) (block.Block, error) {
+	acc := block.New(blockSize)
+	for j, in := range sel {
+		if !in {
+			continue
+		}
+		b, err := s.Download(j)
+		if err != nil {
+			return nil, fmt.Errorf("linearpir: xor scan: %w", err)
+		}
+		for i := range acc {
+			acc[i] ^= b[i]
+		}
+	}
+	return acc, nil
+}
+
+// Query retrieves record q with information-theoretic privacy.
+func (t *TwoServerXOR) Query(q int) (block.Block, error) {
+	if q < 0 || q >= t.n {
+		return nil, fmt.Errorf("linearpir: query %d out of range [0,%d)", q, t.n)
+	}
+	sel0 := make([]bool, t.n)
+	sel1 := make([]bool, t.n)
+	for j := range sel0 {
+		sel0[j] = t.src.Bernoulli(0.5)
+		sel1[j] = sel0[j]
+	}
+	sel1[q] = !sel1[q]
+	bs := t.servers[0].BlockSize()
+	a0, err := xorAnswer(t.servers[0], sel0, bs)
+	if err != nil {
+		return nil, err
+	}
+	a1, err := xorAnswer(t.servers[1], sel1, bs)
+	if err != nil {
+		return nil, err
+	}
+	out := block.New(bs)
+	for i := range out {
+		out[i] = a0[i] ^ a1[i]
+	}
+	return out, nil
+}

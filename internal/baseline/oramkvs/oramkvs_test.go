@@ -1,0 +1,175 @@
+package oramkvs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func newStore(t *testing.T, capacity int) (*Store, *store.Counting) {
+	t.Helper()
+	opts := Options{
+		Capacity:  capacity,
+		ValueSize: 16,
+		Rand:      rng.New(1),
+		Key:       crypto.KeyFromSeed(1),
+	}
+	slots, bs, err := RequiredServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := store.NewMem(slots, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := store.NewCounting(srv)
+	s, err := Setup(counting, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting.Reset()
+	return s, counting
+}
+
+func TestValidation(t *testing.T) {
+	if _, _, err := RequiredServer(Options{Capacity: 1, ValueSize: 16, Rand: rng.New(1)}); err == nil {
+		t.Fatal("capacity 1 accepted")
+	}
+	srv, _ := store.NewMem(16, 16)
+	if _, err := Setup(srv, Options{Capacity: 16, ValueSize: 16}); err == nil {
+		t.Fatal("nil Rand accepted")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := newStore(t, 64)
+	if err := s.Put("alpha", block.Pattern(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("alpha")
+	if err != nil || !ok || !block.CheckPattern(v, 1) {
+		t.Fatalf("get: %v %v", err, ok)
+	}
+	if _, ok, _ := s.Get("missing"); ok {
+		t.Fatal("phantom key")
+	}
+	found, err := s.Delete("alpha")
+	if err != nil || !found {
+		t.Fatalf("delete: %v %v", err, found)
+	}
+	if _, ok, _ := s.Get("alpha"); ok {
+		t.Fatal("key survived delete")
+	}
+}
+
+func TestWorkloadAgainstReference(t *testing.T) {
+	s, _ := newStore(t, 128)
+	ref := make(map[string]block.Block)
+	src := rng.New(2)
+	keys := make([]string, 128)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	for step := 0; step < 1500; step++ {
+		k := keys[src.Intn(len(keys))]
+		switch src.Intn(3) {
+		case 0:
+			v := block.Pattern(uint64(step), 16)
+			if err := s.Put(k, v); err != nil {
+				t.Fatalf("step %d put: %v", step, err)
+			}
+			ref[k] = v
+		case 1:
+			got, ok, err := s.Get(k)
+			if err != nil {
+				t.Fatalf("step %d get: %v", step, err)
+			}
+			want, refOK := ref[k]
+			if ok != refOK || (ok && !got.Equal(want)) {
+				t.Fatalf("step %d: mismatch on %q", step, k)
+			}
+		default:
+			found, err := s.Delete(k)
+			if err != nil {
+				t.Fatalf("step %d del: %v", step, err)
+			}
+			if _, refOK := ref[k]; found != refOK {
+				t.Fatalf("step %d: delete presence mismatch", step)
+			}
+			delete(ref, k)
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len %d vs ref %d", step, s.Len(), len(ref))
+		}
+	}
+}
+
+func TestUniformCost(t *testing.T) {
+	// Every operation costs exactly 4 ORAM accesses — obliviousness at the
+	// schedule level.
+	s, counting := newStore(t, 64)
+	perOp := int64(s.BlocksPerOp())
+	ops := []func() error{
+		func() error { return s.Put("k", block.Pattern(1, 16)) },
+		func() error { _, _, err := s.Get("k"); return err },
+		func() error { _, _, err := s.Get("absent"); return err },
+		func() error { _, err := s.Delete("nope"); return err },
+	}
+	for i, op := range ops {
+		counting.Reset()
+		if err := op(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got := counting.Stats().Ops(); got != perOp {
+			t.Fatalf("op %d moved %d blocks, want %d", i, got, perOp)
+		}
+	}
+}
+
+func TestCostIsLogN(t *testing.T) {
+	// The contrast with DP-KVS: blocks/op grows with lg n.
+	small, _ := newStore(t, 1<<6)
+	large, _ := newStore(t, 1<<12)
+	if large.BlocksPerOp() <= small.BlocksPerOp() {
+		t.Fatal("ORAM KVS cost did not grow with n")
+	}
+}
+
+func TestFillCapacityHalf(t *testing.T) {
+	// Fill to half capacity (a comfortable two-choice load) and read back.
+	s, _ := newStore(t, 256)
+	for i := 0; i < 128; i++ {
+		if err := s.Put(fmt.Sprintf("key-%03d", i), block.Pattern(uint64(i), 16)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 128; i++ {
+		v, ok, err := s.Get(fmt.Sprintf("key-%03d", i))
+		if err != nil || !ok || !block.CheckPattern(v, uint64(i)) {
+			t.Fatalf("readback %d failed", i)
+		}
+	}
+	if s.StashLoad() > 16 {
+		t.Fatalf("overflow stash %d too large at half load", s.StashLoad())
+	}
+}
+
+func TestKeyTooLong(t *testing.T) {
+	s, _ := newStore(t, 64)
+	long := make([]byte, 300)
+	if err := s.Put(string(long), block.Pattern(1, 16)); !errors.Is(err, ErrKeyTooLong) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValueSizeEnforced(t *testing.T) {
+	s, _ := newStore(t, 64)
+	if err := s.Put("k", block.New(4)); err == nil {
+		t.Fatal("wrong-size value accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package pathoram
+
+import (
+	"fmt"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func benchORAM(b *testing.B, n int, opts Options) *ORAM {
+	b.Helper()
+	db, err := block.PatternDatabase(n, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slots, bs := TreeShape(n, block.DefaultSize, opts)
+	srv, err := store.NewMem(slots, bs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := Setup(db, srv, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+func BenchmarkReadFlat(b *testing.B) {
+	o := benchORAM(b, 1<<12, Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)})
+	b.ReportMetric(float64(o.BlocksPerAccess()), "blocks/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Read(i % (1 << 12)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadByZ is the bucket-size ablation.
+func BenchmarkReadByZ(b *testing.B) {
+	for _, z := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("Z=%d", z), func(b *testing.B) {
+			o := benchORAM(b, 1<<10, Options{Z: z, Rand: rng.New(1), Key: crypto.KeyFromSeed(1)})
+			b.ReportMetric(float64(o.BlocksPerAccess()), "blocks/op")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.Read(i % (1 << 10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadRecursive(b *testing.B) {
+	db, err := block.PatternDatabase(1<<12, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := SetupRecursive(db, MemFactory, RecursiveOptions{
+		Pack:   4,
+		Cutoff: 8,
+		Inner:  Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(r.BlocksPerAccess()), "blocks/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Read(i % (1 << 12)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

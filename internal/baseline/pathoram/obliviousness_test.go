@@ -1,0 +1,134 @@
+package pathoram
+
+import (
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+	"dpstore/internal/trace"
+)
+
+// TestTranscriptIsAlwaysOnePath checks the structural obliviousness
+// property: every access touches exactly the 2·Z·(height+1) slots of one
+// root-to-leaf path — downloads first, then uploads of the same slots.
+func TestTranscriptIsAlwaysOnePath(t *testing.T) {
+	const n = 64
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)}
+	slots, bs := TreeShape(n, 16, opts)
+	srv, err := store.NewMem(slots, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(srv)
+	o, err := Setup(db, rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Reset()
+	src := rng.New(2)
+	for i := 0; i < 100; i++ {
+		rec.Mark()
+		if _, err := o.Read(src.Intn(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for qi, q := range rec.Queries() {
+		perPath := o.Z() * (o.Height() + 1)
+		if len(q) != 2*perPath {
+			t.Fatalf("access %d touched %d slots, want %d", qi, len(q), 2*perPath)
+		}
+		// First half downloads, second half uploads, same slot sets.
+		down := map[int]int{}
+		up := map[int]int{}
+		for i, a := range q {
+			if i < perPath {
+				if a.Op != trace.OpDownload {
+					t.Fatalf("access %d op %d: expected download phase", qi, i)
+				}
+				down[a.Addr]++
+			} else {
+				if a.Op != trace.OpUpload {
+					t.Fatalf("access %d op %d: expected upload phase", qi, i)
+				}
+				up[a.Addr]++
+			}
+		}
+		if len(down) != perPath || len(up) != perPath {
+			t.Fatalf("access %d revisited slots: %d down, %d up distinct", qi, len(down), len(up))
+		}
+		for addr := range down {
+			if up[addr] != 1 {
+				t.Fatalf("access %d: slot %d downloaded but not re-uploaded", qi, addr)
+			}
+		}
+		// All slots belong to buckets of a single root-to-leaf path: the
+		// bucket set must contain exactly height+1 nodes including root 0.
+		buckets := map[int]bool{}
+		for addr := range down {
+			buckets[addr/o.Z()] = true
+		}
+		if len(buckets) != o.Height()+1 {
+			t.Fatalf("access %d touched %d buckets, want %d", qi, len(buckets), o.Height()+1)
+		}
+		if !buckets[0] {
+			t.Fatalf("access %d did not touch the root bucket", qi)
+		}
+		// Each non-root bucket's parent is also in the set (path property).
+		for bkt := range buckets {
+			if bkt == 0 {
+				continue
+			}
+			if !buckets[(bkt-1)/2] {
+				t.Fatalf("access %d: bucket %d present without its parent", qi, bkt)
+			}
+		}
+	}
+}
+
+// TestPositionRemapFreshness checks that repeated accesses to one block
+// touch different leaves over time (the remap that obliviousness rests on).
+func TestPositionRemapFreshness(t *testing.T) {
+	const n = 64
+	db, _ := block.PatternDatabase(n, 16)
+	opts := Options{Rand: rng.New(3), Key: crypto.KeyFromSeed(2)}
+	slots, bs := TreeShape(n, 16, opts)
+	srv, _ := store.NewMem(slots, bs)
+	rec := trace.NewRecorder(srv)
+	o, err := Setup(db, rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Reset()
+	leafOf := func(q trace.Transcript) int {
+		// The deepest bucket touched identifies the leaf.
+		maxBkt := 0
+		for _, a := range q {
+			if b := a.Addr / o.Z(); b > maxBkt {
+				maxBkt = b
+			}
+		}
+		return maxBkt
+	}
+	seen := map[int]bool{}
+	const accesses = 40
+	for i := 0; i < accesses; i++ {
+		rec.Mark()
+		if _, err := o.Read(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range rec.Queries() {
+		seen[leafOf(q)] = true
+	}
+	// 40 accesses over 64 leaves: expect many distinct paths; a static
+	// path would mean the remap is broken.
+	if len(seen) < 10 {
+		t.Fatalf("only %d distinct leaves over %d accesses to one block; remap broken", len(seen), accesses)
+	}
+}

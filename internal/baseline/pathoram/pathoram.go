@@ -1,0 +1,419 @@
+// Package pathoram implements Path ORAM (Stefanov et al. [48]), the
+// oblivious-RAM baseline the paper positions DP-RAM against.
+//
+// Path ORAM provides full obliviousness (ε = 0, δ = negl(n)) at the
+// Ω(log n) overhead the ORAM lower bounds [27, 37] make unavoidable: every
+// access reads and rewrites one root-to-leaf path of a binary tree with
+// Z-slot buckets, moving 2·Z·(height+1) = Θ(log n) blocks. The recursive
+// variant (see recursive.go) outsources the position map the way Root
+// ORAM [50] does, paying Θ(log n) round trips per access — the comparison
+// point for the paper's claim that DP-RAM needs only O(1) round trips and
+// O(1) overhead at ε = Θ(log n).
+package pathoram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/mathx"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+	"dpstore/internal/workload"
+)
+
+// dummyID marks an empty slot.
+const dummyID = ^uint64(0)
+
+// slotHeader is the slot metadata: 8-byte id plus 4-byte position tag. Real
+// blocks carry their current leaf assignment with them (the standard
+// denormalization that lets eviction run without position-map lookups,
+// which is what makes the recursive variant workable).
+const slotHeader = 12
+
+// Options configures a Path ORAM client.
+type Options struct {
+	// Z is the bucket size; zero selects the standard Z = 4.
+	Z int
+	// Key is the client master key (zero means sample fresh).
+	Key crypto.Key
+	// Rand is the coin source. Required.
+	Rand *rng.Source
+	// DisableEncryption stores plaintext slots while preserving the access
+	// pattern; for measurement only.
+	DisableEncryption bool
+}
+
+// positionMap abstracts where the client keeps pos[i]: a local slice for
+// flat Path ORAM, or the next recursion level's ORAM.
+type positionMap interface {
+	// Swap sets pos[i] = newLeaf and returns the previous value.
+	Swap(i, newLeaf int) (old int, err error)
+}
+
+type localPosMap []int
+
+func (m localPosMap) Swap(i, newLeaf int) (int, error) {
+	old := m[i]
+	m[i] = newLeaf
+	return old, nil
+}
+
+// stashEntry is a block waiting in the client stash, tagged with its
+// current leaf assignment.
+type stashEntry struct {
+	pos  int
+	data block.Block
+}
+
+// ORAM is a Path ORAM client. Not safe for concurrent use.
+type ORAM struct {
+	n         int
+	z         int
+	height    int // tree levels are 0 (root) .. height (leaves)
+	numLeaves int
+	server    store.Server
+	cipher    *crypto.Cipher
+	pos       positionMap
+	stash     map[int]stashEntry
+	src       *rng.Source
+
+	plainSize int
+	slotPlain int
+	plaintext bool
+
+	maxStash   int
+	roundTrips int64
+	accesses   int64
+}
+
+// TreeShape returns (slots, serverBlockSize) for a Path ORAM over n records
+// of plainSize bytes: a binary tree with 2^⌈lg n⌉ leaves, Z slots per
+// bucket, each slot an (id ‖ posTag ‖ payload) record, encrypted unless
+// disabled.
+func TreeShape(n, plainSize int, opts Options) (slots, blockSize int) {
+	z := opts.Z
+	if z == 0 {
+		z = 4
+	}
+	leaves := mathx.NextPow2(n)
+	nodes := 2*leaves - 1
+	slotPlain := slotHeader + plainSize
+	bs := slotPlain
+	if !opts.DisableEncryption {
+		bs = crypto.CiphertextSize(slotPlain)
+	}
+	return nodes * z, bs
+}
+
+// Setup builds a Path ORAM holding db on the given server, which must match
+// TreeShape. Every block is assigned a uniform leaf and placed greedily
+// into the deepest non-full bucket on its path; overflow starts in the
+// stash (rare at Z = 4).
+func Setup(db *block.Database, server store.Server, opts Options) (*ORAM, error) {
+	if opts.Rand == nil {
+		return nil, errors.New("pathoram: Options.Rand is required")
+	}
+	n := db.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("pathoram: database must hold ≥ 2 records, got %d", n)
+	}
+	z := opts.Z
+	if z == 0 {
+		z = 4
+	}
+	wantSlots, wantBS := TreeShape(n, db.BlockSize(), opts)
+	if server.Size() != wantSlots || server.BlockSize() != wantBS {
+		return nil, fmt.Errorf("pathoram: server shape (%d,%d), want (%d,%d)",
+			server.Size(), server.BlockSize(), wantSlots, wantBS)
+	}
+	leaves := mathx.NextPow2(n)
+	o := &ORAM{
+		n:         n,
+		z:         z,
+		height:    mathx.FloorLog2(leaves),
+		numLeaves: leaves,
+		server:    server,
+		stash:     make(map[int]stashEntry),
+		src:       opts.Rand,
+		plainSize: db.BlockSize(),
+		slotPlain: slotHeader + db.BlockSize(),
+		plaintext: opts.DisableEncryption,
+	}
+	pm := make(localPosMap, n)
+	for i := range pm {
+		pm[i] = o.src.Intn(leaves)
+	}
+	o.pos = pm
+	if !o.plaintext {
+		key := opts.Key
+		if key == (crypto.Key{}) {
+			k, err := crypto.NewKey()
+			if err != nil {
+				return nil, err
+			}
+			key = k
+		}
+		o.cipher = crypto.NewCipher(key)
+	}
+
+	// Initial placement, all client-side, then one bulk upload.
+	occupancy := make([][]int, 2*leaves-1) // node → block ids
+	for i := 0; i < n; i++ {
+		placed := false
+		for _, node := range o.pathNodes(pm[i]) { // deepest first
+			if len(occupancy[node]) < z {
+				occupancy[node] = append(occupancy[node], i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			o.stash[i] = stashEntry{pos: pm[i], data: db.Get(i).Copy()}
+		}
+	}
+	for node, ids := range occupancy {
+		for zi := 0; zi < z; zi++ {
+			var sl block.Block
+			var err error
+			if zi < len(ids) {
+				id := ids[zi]
+				sl, err = o.sealSlot(uint64(id), pm[id], db.Get(id))
+			} else {
+				sl, err = o.sealSlot(dummyID, 0, nil)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := server.Upload(node*z+zi, sl); err != nil {
+				return nil, fmt.Errorf("pathoram: setup upload: %w", err)
+			}
+		}
+	}
+	o.trackStash()
+	return o, nil
+}
+
+// positions snapshots the local position map; only meaningful before an
+// external map replaces it (recursion construction time).
+func (o *ORAM) positions() []int {
+	pm, ok := o.pos.(localPosMap)
+	if !ok {
+		panic("pathoram: positions() after position map replacement")
+	}
+	return append([]int(nil), pm...)
+}
+
+// setPositionMap replaces the position map. The new map must already hold
+// the same assignments as the old one; the recursion constructor guarantees
+// this by building the next level from positions().
+func (o *ORAM) setPositionMap(pm positionMap) { o.pos = pm }
+
+// pathNodes returns the tree node indices on the path of leaf, ordered
+// deepest (leaf bucket) to root. Node 0 is the root; node i has children
+// 2i+1 and 2i+2; leaf ℓ is node numLeaves−1+ℓ.
+func (o *ORAM) pathNodes(leaf int) []int {
+	nodes := make([]int, 0, o.height+1)
+	node := o.numLeaves - 1 + leaf
+	for {
+		nodes = append(nodes, node)
+		if node == 0 {
+			return nodes
+		}
+		node = (node - 1) / 2
+	}
+}
+
+func (o *ORAM) sealSlot(id uint64, pos int, payload block.Block) (block.Block, error) {
+	pt := block.New(o.slotPlain)
+	pt.SetUint64(id)
+	binary.BigEndian.PutUint32(pt[8:12], uint32(pos))
+	if payload != nil {
+		copy(pt[slotHeader:], payload)
+	}
+	if o.plaintext {
+		return pt, nil
+	}
+	ct, err := o.cipher.Encrypt(pt)
+	if err != nil {
+		return nil, fmt.Errorf("pathoram: encrypting slot: %w", err)
+	}
+	return block.Block(ct), nil
+}
+
+func (o *ORAM) openSlot(ct block.Block) (id uint64, pos int, payload block.Block, err error) {
+	pt := ct
+	if !o.plaintext {
+		d, derr := o.cipher.Decrypt(ct)
+		if derr != nil {
+			return 0, 0, nil, fmt.Errorf("pathoram: decrypting slot: %w", derr)
+		}
+		pt = block.Block(d)
+	}
+	id = block.Block(pt).Uint64()
+	pos = int(binary.BigEndian.Uint32(pt[8:12]))
+	return id, pos, block.Block(pt[slotHeader:]).Copy(), nil
+}
+
+func (o *ORAM) trackStash() {
+	if len(o.stash) > o.maxStash {
+		o.maxStash = len(o.stash)
+	}
+}
+
+// N returns the number of logical records.
+func (o *ORAM) N() int { return o.n }
+
+// Z returns the bucket size.
+func (o *ORAM) Z() int { return o.z }
+
+// Height returns the tree height (levels − 1).
+func (o *ORAM) Height() int { return o.height }
+
+// BlocksPerAccess returns the exact blocks moved per access:
+// 2·Z·(height+1).
+func (o *ORAM) BlocksPerAccess() int { return 2 * o.z * (o.height + 1) }
+
+// StashSize returns the current stash occupancy.
+func (o *ORAM) StashSize() int { return len(o.stash) }
+
+// MaxStashSize returns the stash high-water mark.
+func (o *ORAM) MaxStashSize() int { return o.maxStash }
+
+// RoundTrips returns the cumulative client–server round trips (one read
+// batch plus one write batch per access, plus whatever the position map
+// costs in the recursive variant).
+func (o *ORAM) RoundTrips() int64 { return o.roundTrips }
+
+// Accesses returns the number of completed accesses.
+func (o *ORAM) Accesses() int64 { return o.accesses }
+
+// Read retrieves record i.
+func (o *ORAM) Read(i int) (block.Block, error) {
+	return o.Access(workload.Query{Index: i, Op: workload.Read})
+}
+
+// Write overwrites record i and returns the previous value.
+func (o *ORAM) Write(i int, b block.Block) (block.Block, error) {
+	if len(b) != o.plainSize {
+		return nil, fmt.Errorf("%w: got %d want %d", block.ErrSize, len(b), o.plainSize)
+	}
+	return o.Access(workload.Query{Index: i, Op: workload.Write, Data: b})
+}
+
+// Access performs one Path ORAM access: remap, read the old path into the
+// stash, serve the request, evict the stash back onto the path.
+func (o *ORAM) Access(q workload.Query) (block.Block, error) {
+	var prev block.Block
+	err := o.access(q.Index, func(cur block.Block) block.Block {
+		prev = cur.Copy()
+		if q.Op == workload.Write {
+			return q.Data.Copy()
+		}
+		return cur
+	})
+	if err != nil {
+		return nil, err
+	}
+	return prev, nil
+}
+
+// access is the generalized read-modify-write underlying Access; the
+// recursive position map uses it to update packed position blocks in one
+// physical access.
+func (o *ORAM) access(i int, mutate func(cur block.Block) block.Block) error {
+	if i < 0 || i >= o.n {
+		return fmt.Errorf("pathoram: index %d out of range [0,%d)", i, o.n)
+	}
+	newLeaf := o.src.Intn(o.numLeaves)
+	oldLeaf, err := o.pos.Swap(i, newLeaf)
+	if err != nil {
+		return err
+	}
+	path := o.pathNodes(oldLeaf)
+
+	// Read phase: one batched round trip.
+	for _, node := range path {
+		for zi := 0; zi < o.z; zi++ {
+			ct, err := o.server.Download(node*o.z + zi)
+			if err != nil {
+				return fmt.Errorf("pathoram: path read: %w", err)
+			}
+			id, pos, payload, err := o.openSlot(ct)
+			if err != nil {
+				return err
+			}
+			if id == dummyID {
+				continue
+			}
+			if _, ok := o.stash[int(id)]; !ok {
+				o.stash[int(id)] = stashEntry{pos: pos, data: payload}
+			}
+		}
+	}
+	o.roundTrips++
+
+	entry, ok := o.stash[i]
+	if !ok {
+		// The invariant places block i on path(oldLeaf) or in the stash, so
+		// this indicates corruption.
+		return fmt.Errorf("pathoram: block %d missing from path and stash", i)
+	}
+	entry.pos = newLeaf
+	entry.data = mutate(entry.data)
+	o.stash[i] = entry
+
+	// Write phase (eviction): deepest bucket first, greedy.
+	if err := o.evict(oldLeaf, path); err != nil {
+		return err
+	}
+	o.roundTrips++
+	o.accesses++
+	o.trackStash()
+	return nil
+}
+
+// evict writes the path back, placing each stash block into the deepest
+// bucket its current position tag allows.
+func (o *ORAM) evict(leaf int, path []int) error {
+	for li, node := range path {
+		level := o.height - li // depth of this bucket
+		placed := make([]int, 0, o.z)
+		for id, e := range o.stash {
+			if len(placed) == o.z {
+				break
+			}
+			if sameAncestor(e.pos, leaf, level, o.height) {
+				placed = append(placed, id)
+			}
+		}
+		for zi := 0; zi < o.z; zi++ {
+			var sl block.Block
+			var err error
+			if zi < len(placed) {
+				id := placed[zi]
+				e := o.stash[id]
+				sl, err = o.sealSlot(uint64(id), e.pos, e.data)
+				delete(o.stash, id)
+			} else {
+				sl, err = o.sealSlot(dummyID, 0, nil)
+			}
+			if err != nil {
+				return err
+			}
+			if err := o.server.Upload(node*o.z+zi, sl); err != nil {
+				return fmt.Errorf("pathoram: path write: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// sameAncestor reports whether leaves a and b share the ancestor at the
+// given level (root = level 0) of a tree with the given height.
+func sameAncestor(a, b, level, height int) bool {
+	shift := uint(height - level)
+	return a>>shift == b>>shift
+}

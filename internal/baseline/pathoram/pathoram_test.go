@@ -1,0 +1,299 @@
+package pathoram
+
+import (
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func newORAM(t *testing.T, n int, opts Options) (*ORAM, *store.Counting) {
+	t.Helper()
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Rand == nil {
+		opts.Rand = rng.New(1)
+	}
+	if opts.Key == (crypto.Key{}) && !opts.DisableEncryption {
+		opts.Key = crypto.KeyFromSeed(1)
+	}
+	slots, bs := TreeShape(n, 16, opts)
+	srv, err := store.NewMem(slots, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := store.NewCounting(srv)
+	o, err := Setup(db, counting, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting.Reset()
+	return o, counting
+}
+
+func TestSetupValidation(t *testing.T) {
+	db, _ := block.PatternDatabase(8, 16)
+	slots, bs := TreeShape(8, 16, Options{})
+	srv, _ := store.NewMem(slots, bs)
+	if _, err := Setup(db, srv, Options{}); err == nil {
+		t.Fatal("nil Rand accepted")
+	}
+	bad, _ := store.NewMem(slots-1, bs)
+	if _, err := Setup(db, bad, Options{Rand: rng.New(1)}); err == nil {
+		t.Fatal("wrong server shape accepted")
+	}
+}
+
+func TestReadAfterSetup(t *testing.T) {
+	n := 64
+	o, _ := newORAM(t, n, Options{})
+	for i := 0; i < n; i++ {
+		b, err := o.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !block.CheckPattern(b, uint64(i)) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+}
+
+func TestReadWriteAgainstReference(t *testing.T) {
+	n := 64
+	o, _ := newORAM(t, n, Options{})
+	ref := make([]block.Block, n)
+	for i := range ref {
+		ref[i] = block.Pattern(uint64(i), 16)
+	}
+	src := rng.New(2)
+	for step := 0; step < 3000; step++ {
+		i := src.Intn(n)
+		if src.Bernoulli(0.4) {
+			v := block.Pattern(uint64(5000+step), 16)
+			prev, err := o.Write(i, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prev.Equal(ref[i]) {
+				t.Fatalf("step %d: stale previous value", step)
+			}
+			ref[i] = v
+		} else {
+			got, err := o.Read(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(ref[i]) {
+				t.Fatalf("step %d: Read(%d) diverged", step, i)
+			}
+		}
+	}
+}
+
+func TestExactPathCost(t *testing.T) {
+	for _, n := range []int{16, 256, 1024} {
+		o, counting := newORAM(t, n, Options{})
+		const queries = 100
+		src := rng.New(3)
+		for i := 0; i < queries; i++ {
+			if _, err := o.Read(src.Intn(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := counting.Stats()
+		perPath := int64(o.Z() * (o.Height() + 1))
+		if st.Downloads != queries*perPath || st.Uploads != queries*perPath {
+			t.Fatalf("n=%d: ops = (%d,%d), want (%d,%d)",
+				n, st.Downloads, st.Uploads, queries*perPath, queries*perPath)
+		}
+		if o.BlocksPerAccess() != int(2*perPath) {
+			t.Fatalf("BlocksPerAccess = %d, want %d", o.BlocksPerAccess(), 2*perPath)
+		}
+	}
+}
+
+func TestOverheadIsLogarithmic(t *testing.T) {
+	// Path ORAM blocks/access must grow linearly in lg n — the separation
+	// from DP-RAM's constant 3.
+	small, _ := newORAM(t, 1<<6, Options{})
+	large, _ := newORAM(t, 1<<12, Options{})
+	if large.BlocksPerAccess() <= small.BlocksPerAccess() {
+		t.Fatal("ORAM cost did not grow with n")
+	}
+	// 2·Z·(lg n + 1): ratio should be ≈ 13/7.
+	ratio := float64(large.BlocksPerAccess()) / float64(small.BlocksPerAccess())
+	if ratio < 1.5 || ratio > 2.2 {
+		t.Fatalf("cost ratio %v, want ≈ 13/7", ratio)
+	}
+}
+
+func TestStashStaysSmall(t *testing.T) {
+	n := 1 << 10
+	o, _ := newORAM(t, n, Options{})
+	src := rng.New(4)
+	for i := 0; i < 5000; i++ {
+		if _, err := o.Read(src.Intn(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Path ORAM stash is O(log n)·ω(1) w.h.p.; 60 is a generous ceiling
+	// for n = 1024, Z = 4.
+	if o.MaxStashSize() > 60 {
+		t.Fatalf("max stash %d; eviction is broken", o.MaxStashSize())
+	}
+}
+
+func TestRoundTripsTwoPerAccess(t *testing.T) {
+	o, _ := newORAM(t, 64, Options{})
+	src := rng.New(5)
+	const queries = 50
+	for i := 0; i < queries; i++ {
+		if _, err := o.Read(src.Intn(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.RoundTrips() != 2*queries {
+		t.Fatalf("round trips = %d, want %d", o.RoundTrips(), 2*queries)
+	}
+	if o.Accesses() != queries {
+		t.Fatalf("accesses = %d", o.Accesses())
+	}
+}
+
+func TestPlaintextModeWorks(t *testing.T) {
+	n := 32
+	o, _ := newORAM(t, n, Options{DisableEncryption: true})
+	for i := 0; i < n; i++ {
+		b, err := o.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !block.CheckPattern(b, uint64(i)) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+}
+
+func TestWriteSizeValidation(t *testing.T) {
+	o, _ := newORAM(t, 16, Options{})
+	if _, err := o.Write(0, block.New(8)); err == nil {
+		t.Fatal("wrong-size write accepted")
+	}
+	if _, err := o.Read(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := o.Read(16); err == nil {
+		t.Fatal("overflow index accepted")
+	}
+}
+
+// --- Recursive variant -------------------------------------------------------
+
+func newRecursive(t *testing.T, n int, opts RecursiveOptions) *Recursive {
+	t.Helper()
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Inner.Rand == nil {
+		opts.Inner.Rand = rng.New(6)
+	}
+	if opts.Inner.Key == (crypto.Key{}) && !opts.Inner.DisableEncryption {
+		opts.Inner.Key = crypto.KeyFromSeed(2)
+	}
+	r, err := SetupRecursive(db, MemFactory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRecursiveCorrectness(t *testing.T) {
+	n := 128
+	r := newRecursive(t, n, RecursiveOptions{})
+	ref := make([]block.Block, n)
+	for i := range ref {
+		ref[i] = block.Pattern(uint64(i), 16)
+	}
+	src := rng.New(7)
+	for step := 0; step < 1500; step++ {
+		i := src.Intn(n)
+		if src.Bernoulli(0.3) {
+			v := block.Pattern(uint64(9000+step), 16)
+			if _, err := r.Write(i, v); err != nil {
+				t.Fatal(err)
+			}
+			ref[i] = v
+		} else {
+			got, err := r.Read(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(ref[i]) {
+				t.Fatalf("step %d: Read(%d) diverged", step, i)
+			}
+		}
+	}
+}
+
+func TestRecursiveDepthGrows(t *testing.T) {
+	small := newRecursive(t, 64, RecursiveOptions{Pack: 4, Cutoff: 8})
+	large := newRecursive(t, 4096, RecursiveOptions{Pack: 4, Cutoff: 8})
+	if large.Levels() <= small.Levels() {
+		t.Fatalf("levels did not grow: %d vs %d", small.Levels(), large.Levels())
+	}
+	if small.topLevelSize() > 8 || large.topLevelSize() > 8 {
+		t.Fatal("top level exceeds cutoff")
+	}
+}
+
+func TestRecursiveRoundTripsScaleWithLevels(t *testing.T) {
+	n := 1024
+	r := newRecursive(t, n, RecursiveOptions{Pack: 4, Cutoff: 8})
+	src := rng.New(8)
+	const queries = 50
+	for i := 0; i < queries; i++ {
+		if _, err := r.Read(src.Intn(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every access touches each level exactly once: 2 round trips each.
+	want := int64(2 * r.Levels() * queries)
+	if r.RoundTrips() != want {
+		t.Fatalf("round trips = %d, want %d (levels = %d)", r.RoundTrips(), want, r.Levels())
+	}
+	// This is the Root-ORAM comparison: round trips per access must exceed
+	// the flat ORAM's 2 and DP-RAM's 2.
+	if r.Levels() < 3 {
+		t.Fatalf("recursion too shallow (%d levels) for n = %d", r.Levels(), n)
+	}
+}
+
+func TestRecursiveClientStateSmall(t *testing.T) {
+	n := 4096
+	r := newRecursive(t, n, RecursiveOptions{Pack: 4, Cutoff: 8})
+	src := rng.New(9)
+	for i := 0; i < 500; i++ {
+		if _, err := r.Read(src.Intn(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Client state = top table + stashes ≪ n.
+	if st := r.ClientState(); st > n/8 {
+		t.Fatalf("client state %d not sublinear in n = %d", st, n)
+	}
+}
+
+func TestRecursiveValidation(t *testing.T) {
+	db, _ := block.PatternDatabase(16, 16)
+	if _, err := SetupRecursive(db, MemFactory, RecursiveOptions{}); err == nil {
+		t.Fatal("nil Rand accepted")
+	}
+	if _, err := SetupRecursive(db, MemFactory, RecursiveOptions{Pack: 1, Inner: Options{Rand: rng.New(1)}}); err == nil {
+		t.Fatal("pack=1 accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package pathoram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dpstore/internal/block"
+	"dpstore/internal/store"
+	"dpstore/internal/workload"
+)
+
+// Recursive is Path ORAM with recursively outsourced position maps: the
+// data ORAM's position map is packed into blocks of a smaller ORAM, whose
+// own map is packed into a yet smaller one, down to a client-held table of
+// at most Cutoff entries. This is the configuration the paper's Section 1
+// discussion of Root ORAM [50] refers to: small client storage is bought
+// with Θ(log n) additional round trips per access, because every level of
+// the recursion performs its own read-path/write-path pair.
+type Recursive struct {
+	data *ORAM
+	maps []*ORAM // maps[0] backs data's positions; maps[j+1] backs maps[j]'s
+	top  localPosMap
+	pack int
+}
+
+// RecursiveOptions configures a Recursive ORAM.
+type RecursiveOptions struct {
+	// Pack is the number of positions packed per map block; zero selects 4.
+	// Constant Pack gives Θ(log n) recursion depth.
+	Pack int
+	// Cutoff is the largest client-held top-level table; zero selects 16.
+	Cutoff int
+	// Inner configures every level's Path ORAM. Inner.Rand is required.
+	Inner Options
+}
+
+// ServerFactory allocates a backing server of the given shape for one
+// recursion level. Experiments pass factories that wrap each level in its
+// own counting server.
+type ServerFactory func(level, slots, blockSize int) (store.Server, error)
+
+// MemFactory is a ServerFactory backed by in-memory servers.
+func MemFactory(level, slots, blockSize int) (store.Server, error) {
+	return store.NewMem(slots, blockSize)
+}
+
+// SetupRecursive builds the full recursion for db.
+func SetupRecursive(db *block.Database, factory ServerFactory, opts RecursiveOptions) (*Recursive, error) {
+	if opts.Inner.Rand == nil {
+		return nil, errors.New("pathoram: RecursiveOptions.Inner.Rand is required")
+	}
+	pack := opts.Pack
+	if pack == 0 {
+		pack = 4
+	}
+	if pack < 2 {
+		return nil, fmt.Errorf("pathoram: pack %d must be ≥ 2", pack)
+	}
+	cutoff := opts.Cutoff
+	if cutoff == 0 {
+		cutoff = 16
+	}
+
+	r := &Recursive{pack: pack}
+
+	makeORAM := func(level int, d *block.Database) (*ORAM, error) {
+		o := opts.Inner
+		o.Rand = opts.Inner.Rand.Split()
+		slots, bs := TreeShape(d.Len(), d.BlockSize(), o)
+		srv, err := factory(level, slots, bs)
+		if err != nil {
+			return nil, fmt.Errorf("pathoram: allocating level-%d server: %w", level, err)
+		}
+		return Setup(d, srv, o)
+	}
+
+	data, err := makeORAM(0, db)
+	if err != nil {
+		return nil, err
+	}
+	r.data = data
+
+	// Build map levels until the table fits the client.
+	cur := data
+	level := 1
+	for {
+		positions := cur.positions()
+		if len(positions) <= cutoff {
+			// cur keeps its local map; record its size for accounting.
+			r.top = append(localPosMap(nil), positions...)
+			break
+		}
+		mapDB, err := packPositions(positions, pack)
+		if err != nil {
+			return nil, err
+		}
+		m, err := makeORAM(level, mapDB)
+		if err != nil {
+			return nil, err
+		}
+		cur.setPositionMap(&oramPosMap{oram: m, pack: pack})
+		r.maps = append(r.maps, m)
+		cur = m
+		level++
+	}
+	return r, nil
+}
+
+// packPositions builds the database of a map level: block g packs the
+// positions of entries g·pack … g·pack+pack−1 as big-endian uint32s.
+func packPositions(positions []int, pack int) (*block.Database, error) {
+	nBlocks := (len(positions) + pack - 1) / pack
+	if nBlocks < 2 {
+		nBlocks = 2 // ORAM minimum; the tail block is unused padding
+	}
+	db, err := block.NewDatabase(nBlocks, 4*pack)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range positions {
+		b := db.Get(i / pack)
+		binary.BigEndian.PutUint32(b[4*(i%pack):], uint32(p))
+	}
+	return db, nil
+}
+
+// oramPosMap serves Swap(i, new) by a single read-modify-write access on
+// the packed map ORAM.
+type oramPosMap struct {
+	oram *ORAM
+	pack int
+}
+
+func (m *oramPosMap) Swap(i, newLeaf int) (int, error) {
+	g, off := i/m.pack, i%m.pack
+	var old int
+	err := m.oram.access(g, func(cur block.Block) block.Block {
+		old = int(binary.BigEndian.Uint32(cur[4*off:]))
+		out := cur.Copy()
+		binary.BigEndian.PutUint32(out[4*off:], uint32(newLeaf))
+		return out
+	})
+	if err != nil {
+		return 0, fmt.Errorf("pathoram: recursive position swap: %w", err)
+	}
+	return old, nil
+}
+
+// Read retrieves record i.
+func (r *Recursive) Read(i int) (block.Block, error) {
+	return r.data.Access(workload.Query{Index: i, Op: workload.Read})
+}
+
+// Write overwrites record i and returns the previous value.
+func (r *Recursive) Write(i int, b block.Block) (block.Block, error) {
+	return r.data.Write(i, b)
+}
+
+// Access performs one logical access, recursing through every map level.
+func (r *Recursive) Access(q workload.Query) (block.Block, error) {
+	return r.data.Access(q)
+}
+
+// Levels returns the number of ORAMs in the recursion (data + maps).
+func (r *Recursive) Levels() int { return 1 + len(r.maps) }
+
+// RoundTrips sums round trips across all levels.
+func (r *Recursive) RoundTrips() int64 {
+	total := r.data.RoundTrips()
+	for _, m := range r.maps {
+		total += m.RoundTrips()
+	}
+	return total
+}
+
+// Accesses returns logical (data-level) accesses.
+func (r *Recursive) Accesses() int64 { return r.data.Accesses() }
+
+// BlocksPerAccess sums the per-level path costs — the total blocks moved
+// per logical access.
+func (r *Recursive) BlocksPerAccess() int {
+	total := r.data.BlocksPerAccess()
+	for _, m := range r.maps {
+		total += m.BlocksPerAccess()
+	}
+	return total
+}
+
+// ClientState returns the client-held entries: top-level table size plus
+// current stash occupancy of every level.
+func (r *Recursive) ClientState() int {
+	total := len(r.top) + r.data.StashSize()
+	for _, m := range r.maps {
+		total += m.StashSize()
+	}
+	return total
+}
+
+// topLevelSize is exposed for tests.
+func (r *Recursive) topLevelSize() int { return len(r.top) }

@@ -1,0 +1,79 @@
+// Package strawman implements the tempting-but-insecure DP-IR construction
+// of Section 4 of the paper, together with the distinguisher that breaks it.
+//
+// The strawman queries the wanted block with probability 1 and every other
+// block independently with probability 1/n. It has O(1) expected bandwidth,
+// perfect correctness, and no client state — and it is only (ε, δ)-DP with
+// δ ≥ (n−1)/n, i.e. effectively no privacy: the event "block B_q was NOT
+// downloaded" has probability 0 under query q and probability
+// (1 − 1/n)·…≈ (n−1)/n-ish mass under any other query, so an adversary
+// watching for the absence of B_q wins almost always. Experiment E4
+// reproduces the attack numerically.
+package strawman
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dpstore/internal/block"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// Client is the strawman DP-IR client.
+type Client struct {
+	server store.Server
+	n      int
+	src    *rng.Source
+}
+
+// New creates a strawman client for the database held by server.
+func New(server store.Server, src *rng.Source) (*Client, error) {
+	if src == nil {
+		return nil, errors.New("strawman: rand source is required")
+	}
+	n := server.Size()
+	if n < 2 {
+		return nil, fmt.Errorf("strawman: database must hold ≥ 2 records, got %d", n)
+	}
+	return &Client{server: server, n: n, src: src}, nil
+}
+
+// SampleSet returns the download set for query q without touching the
+// server: q itself plus each other index independently with probability
+// 1/n. The set is sorted.
+func (c *Client) SampleSet(q int) []int {
+	set := []int{q}
+	p := 1 / float64(c.n)
+	for j := 0; j < c.n; j++ {
+		if j != q && c.src.Bernoulli(p) {
+			set = append(set, j)
+		}
+	}
+	sort.Ints(set)
+	return set
+}
+
+// Query retrieves record q with perfect correctness and O(1) expected
+// bandwidth — and broken privacy.
+func (c *Client) Query(q int) (block.Block, error) {
+	if q < 0 || q >= c.n {
+		return nil, fmt.Errorf("strawman: query %d out of range [0,%d)", q, c.n)
+	}
+	var want block.Block
+	for _, j := range c.SampleSet(q) {
+		b, err := c.server.Download(j)
+		if err != nil {
+			return nil, fmt.Errorf("strawman: downloading: %w", err)
+		}
+		if j == q {
+			want = b
+		}
+	}
+	return want, nil
+}
+
+// DeltaFloor returns the analytic δ lower bound of Section 4 for database
+// size n: any (ε, δ)-DP claim for the strawman must have δ ≥ (n−1)/n.
+func DeltaFloor(n int) float64 { return float64(n-1) / float64(n) }

@@ -1,0 +1,137 @@
+package strawman
+
+import (
+	"math"
+	"testing"
+
+	"dpstore/internal/analysis"
+	"dpstore/internal/block"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func newClient(t *testing.T, n int) (*Client, *store.Counting) {
+	t.Helper()
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.NewMemFrom(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := store.NewCounting(m)
+	c, err := New(counting, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, counting
+}
+
+func TestValidation(t *testing.T) {
+	m, _ := store.NewMem(8, 16)
+	if _, err := New(m, nil); err == nil {
+		t.Fatal("nil rand accepted")
+	}
+	one, _ := store.NewMem(1, 16)
+	if _, err := New(one, rng.New(1)); err == nil {
+		t.Fatal("single-record database accepted")
+	}
+}
+
+func TestPerfectCorrectness(t *testing.T) {
+	n := 64
+	c, _ := newClient(t, n)
+	for q := 0; q < n; q++ {
+		b, err := c.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !block.CheckPattern(b, uint64(q)) {
+			t.Fatalf("query %d wrong", q)
+		}
+	}
+	if _, err := c.Query(n); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestConstantExpectedBandwidth(t *testing.T) {
+	n := 512
+	c, counting := newClient(t, n)
+	const queries = 500
+	for i := 0; i < queries; i++ {
+		if _, err := c.Query(i % n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := float64(counting.Stats().Downloads) / queries
+	// Expected set size = 1 + (n−1)/n ≈ 2.
+	if avg < 1.5 || avg > 2.5 {
+		t.Fatalf("avg downloads %.2f, want ≈2", avg)
+	}
+}
+
+func TestSampleSetAlwaysContainsQuery(t *testing.T) {
+	c, _ := newClient(t, 32)
+	for i := 0; i < 1000; i++ {
+		set := c.SampleSet(7)
+		found := false
+		for _, v := range set {
+			if v == 7 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("set missing the real query — that is the whole attack surface")
+		}
+	}
+}
+
+// TestAttack reproduces the Section 4 analysis: the distinguisher "was the
+// target block downloaded?" has advantage ≈ (n−1)/n, so any (ε, δ)-DP claim
+// needs δ ≥ (n−1)/n · (1 − o(1)) — no privacy at all.
+func TestAttack(t *testing.T) {
+	n := 128
+	c, _ := newClient(t, n)
+	const q, qPrime = 3, 77
+	test := func(query int) func() bool {
+		return func() bool {
+			set := c.SampleSet(query)
+			for _, v := range set {
+				if v == q {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	d := analysis.RunDistinguisher(test(q), test(qPrime), 50000)
+	floor := DeltaFloor(n)
+	if d.TrueP != 1 {
+		t.Fatalf("Pr[B_q ∈ T | q] = %v, want exactly 1", d.TrueP)
+	}
+	if math.Abs(d.Advantage()-floor) > 0.02 {
+		t.Fatalf("advantage %.4f, want ≈ (n−1)/n = %.4f", d.Advantage(), floor)
+	}
+	// Even granting a generous ε = ln n, δ must stay ≈ (n−1)/n because
+	// Pr[B_q ∉ T | q] = 0 exactly: δ ≥ Pr[B_q ∉ T | q'] − e^ε·0.
+	notIn := func(query int) func() bool {
+		inner := test(query)
+		return func() bool { return !inner() }
+	}
+	d2 := analysis.RunDistinguisher(notIn(qPrime), notIn(q), 50000)
+	deltaAtLogN := d2.DeltaLowerBound(math.Log(float64(n)))
+	if deltaAtLogN < floor-0.02 {
+		t.Fatalf("δ lower bound %.4f at ε = ln n, want ≈ %.4f", deltaAtLogN, floor)
+	}
+}
+
+func TestDeltaFloorFormula(t *testing.T) {
+	if DeltaFloor(2) != 0.5 {
+		t.Fatal("DeltaFloor(2) wrong")
+	}
+	if v := DeltaFloor(1000); math.Abs(v-0.999) > 1e-12 {
+		t.Fatalf("DeltaFloor(1000) = %v", v)
+	}
+}

@@ -1,0 +1,148 @@
+package block
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZeroed(t *testing.T) {
+	b := New(32)
+	if len(b) != 32 {
+		t.Fatalf("len = %d, want 32", len(b))
+	}
+	if !b.IsZero() {
+		t.Fatal("new block is not zero")
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	b := Pattern(7, 16)
+	c := b.Copy()
+	if !b.Equal(c) {
+		t.Fatal("copy differs from original")
+	}
+	c[0] ^= 0xff
+	if b.Equal(c) {
+		t.Fatal("mutating copy changed original")
+	}
+}
+
+func TestCopyNil(t *testing.T) {
+	var b Block
+	if b.Copy() != nil {
+		t.Fatal("copy of nil should be nil")
+	}
+}
+
+func TestEqualNilSemantics(t *testing.T) {
+	var nilBlk Block
+	empty := Block{}
+	if nilBlk.Equal(empty) {
+		t.Fatal("nil block must not equal empty non-nil block")
+	}
+	if !nilBlk.Equal(nil) {
+		t.Fatal("nil must equal nil")
+	}
+	if !empty.Equal(Block{}) {
+		t.Fatal("empty must equal empty")
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := New(16)
+		b.SetUint64(v)
+		return b.Uint64() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternDeterministic(t *testing.T) {
+	a := Pattern(42, 64)
+	b := Pattern(42, 64)
+	if !a.Equal(b) {
+		t.Fatal("Pattern is not deterministic")
+	}
+	c := Pattern(43, 64)
+	if a.Equal(c) {
+		t.Fatal("different ids produced identical patterns")
+	}
+}
+
+func TestCheckPattern(t *testing.T) {
+	b := Pattern(9, 32)
+	if !CheckPattern(b, 9) {
+		t.Fatal("CheckPattern rejected valid pattern")
+	}
+	if CheckPattern(b, 10) {
+		t.Fatal("CheckPattern accepted wrong id")
+	}
+	b[20] ^= 1
+	if CheckPattern(b, 9) {
+		t.Fatal("CheckPattern accepted corrupted block")
+	}
+	if CheckPattern(Block{1, 2}, 0) {
+		t.Fatal("CheckPattern accepted short block")
+	}
+}
+
+func TestPatternPanicsOnTinySize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size < MinSize")
+		}
+	}()
+	Pattern(1, 4)
+}
+
+func TestDatabaseShape(t *testing.T) {
+	if _, err := NewDatabase(0, 16); err == nil {
+		t.Fatal("accepted empty database")
+	}
+	if _, err := NewDatabase(4, 2); err == nil {
+		t.Fatal("accepted block size below MinSize")
+	}
+	db, err := NewDatabase(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 5 || db.BlockSize() != 16 {
+		t.Fatalf("shape = (%d,%d), want (5,16)", db.Len(), db.BlockSize())
+	}
+}
+
+func TestDatabaseSetRejectsWrongSize(t *testing.T) {
+	db, _ := NewDatabase(2, 16)
+	if err := db.Set(0, New(8)); err == nil {
+		t.Fatal("Set accepted wrong-size block")
+	}
+	if err := db.Set(1, Pattern(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if !CheckPattern(db.Get(1), 1) {
+		t.Fatal("Set did not store the block")
+	}
+}
+
+func TestPatternDatabase(t *testing.T) {
+	db, err := PatternDatabase(8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.Len(); i++ {
+		if !CheckPattern(db.Get(i), uint64(i)) {
+			t.Fatalf("block %d is not Pattern(%d)", i, i)
+		}
+	}
+}
+
+func TestDatabaseCloneIsDeep(t *testing.T) {
+	db, _ := PatternDatabase(3, 16)
+	c := db.Clone()
+	c.Get(0)[0] ^= 0xff
+	if !CheckPattern(db.Get(0), 0) {
+		t.Fatal("mutating clone changed original")
+	}
+}

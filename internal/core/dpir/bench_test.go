@@ -1,0 +1,88 @@
+package dpir
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func benchServerB(b *testing.B, n int) store.Server {
+	b.Helper()
+	db, err := block.PatternDatabase(n, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := store.NewMemFrom(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkQueryByEps sweeps the privacy/cost frontier: ns/op tracks K.
+func BenchmarkQueryByEps(b *testing.B) {
+	const n = 1 << 12
+	lgn := math.Log(float64(n))
+	for _, tc := range []struct {
+		name string
+		eps  float64
+	}{
+		{"eps=2", 2},
+		{"eps=half-ln-n", lgn / 2},
+		{"eps=ln-n", lgn},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			srv := benchServerB(b, n)
+			c, err := New(srv, Options{Epsilon: tc.eps, Alpha: 0.1, Rand: rng.New(1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(c.K()), "blocks/op")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Query(i % n); err != nil && !errors.Is(err, ErrBottom) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSampleSet(b *testing.B) {
+	srv := benchServerB(b, 1<<12)
+	c, err := New(srv, Options{Epsilon: 4, Alpha: 0.1, Rand: rng.New(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.SampleSet(i % (1 << 12))
+	}
+}
+
+func BenchmarkMultiByD(b *testing.B) {
+	const n = 1 << 12
+	for _, d := range []int{2, 3, 5} {
+		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
+			servers := make([]store.Server, d)
+			for i := range servers {
+				servers[i] = benchServerB(b, n)
+			}
+			m, err := NewMulti(servers, rng.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Query(i % n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package dpir
+
+import (
+	"errors"
+	"fmt"
+
+	"dpstore/internal/block"
+	"dpstore/internal/privacy"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// Multi is the multiple non-colluding server DP-IR of Appendix C, in the
+// style of Toledo–Danezis–Goldberg [49]: the database is replicated on D
+// servers; the client sends the real index to one uniformly chosen server
+// and an independent uniform decoy index to each of the others. Every
+// server performs exactly one operation per query.
+//
+// Against an adversary corrupting a single server, the view of the
+// corrupted server is the single index it received, and
+//
+//	Pr[view = q | real = q]  = 1/D + (1 − 1/D)/n
+//	Pr[view = q | real = q'] = (1 − 1/D)/n
+//
+// so the scheme is pure ε-DP with e^ε = 1 + n/(D−1) — ε = Θ(log n) for
+// constant D, which Theorem C.1 shows is optimal (up to constants) for any
+// scheme whose servers perform O(1) operations.
+type Multi struct {
+	servers []store.Server
+	n       int
+	src     *rng.Source
+}
+
+// NewMulti builds a multi-server client over D ≥ 2 replicas. All servers
+// must report the same size.
+func NewMulti(servers []store.Server, src *rng.Source) (*Multi, error) {
+	if len(servers) < 2 {
+		return nil, fmt.Errorf("dpir: multi-server scheme needs ≥ 2 servers, got %d", len(servers))
+	}
+	if src == nil {
+		return nil, errors.New("dpir: rand source is required")
+	}
+	n := servers[0].Size()
+	for i, s := range servers {
+		if s.Size() != n {
+			return nil, fmt.Errorf("dpir: server %d size %d differs from server 0 size %d", i, s.Size(), n)
+		}
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("dpir: database must hold ≥ 2 records, got %d", n)
+	}
+	return &Multi{servers: servers, n: n, src: src}, nil
+}
+
+// D returns the number of servers.
+func (m *Multi) D() int { return len(m.servers) }
+
+// Eps returns the exact pure-DP budget against a single corrupted server.
+func (m *Multi) Eps() float64 { return privacy.MultiServerDPIREps(m.n, len(m.servers)) }
+
+// SampleViews runs the client's coins without network traffic: it returns
+// the index each server would receive for real query q. Analysis code uses
+// it to estimate the per-server view distribution.
+func (m *Multi) SampleViews(q int) []int {
+	views := make([]int, len(m.servers))
+	real := m.src.Intn(len(m.servers))
+	for i := range views {
+		if i == real {
+			views[i] = q
+		} else {
+			views[i] = m.src.Intn(m.n)
+		}
+	}
+	return views
+}
+
+// Query retrieves record q. Every server receives exactly one download
+// request; the reply from the server holding the real request is returned.
+// The scheme is errorless (α = 0).
+func (m *Multi) Query(q int) (block.Block, error) {
+	if q < 0 || q >= m.n {
+		return nil, fmt.Errorf("dpir: query %d out of range [0,%d)", q, m.n)
+	}
+	real := m.src.Intn(len(m.servers))
+	var want block.Block
+	for i, s := range m.servers {
+		idx := q
+		if i != real {
+			idx = m.src.Intn(m.n)
+		}
+		b, err := s.Download(idx)
+		if err != nil {
+			return nil, fmt.Errorf("dpir: server %d: %w", i, err)
+		}
+		if i == real {
+			want = b
+		}
+	}
+	return want, nil
+}

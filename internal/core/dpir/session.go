@@ -1,0 +1,109 @@
+package dpir
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dpstore/internal/block"
+	"dpstore/internal/privacy"
+)
+
+// ErrBudgetExhausted reports that a Session has spent its cumulative
+// privacy budget and refuses further queries.
+var ErrBudgetExhausted = errors.New("dpir: session privacy budget exhausted")
+
+// Session wraps a DP-IR client with cumulative privacy accounting.
+//
+// Definition 2.1 protects a *single* differing query between adjacent
+// sequences; when an application issues many queries about the same
+// underlying secret (say, repeatedly looking up one record), the budgets
+// add by sequential composition. A Session makes that bookkeeping explicit:
+// it is configured with a total budget and charges the scheme's achieved ε
+// per query, refusing queries that would overspend. This is the same
+// discipline differential-privacy data-analysis systems apply to repeated
+// releases, transplanted to storage access.
+//
+// A Session is safe for concurrent use.
+type Session struct {
+	client *Client
+
+	mu     sync.Mutex
+	budget float64
+	spent  float64
+	asked  int64
+}
+
+// NewSession wraps client with a total budget. The budget must be at least
+// one query's achieved ε, otherwise no query could ever run.
+func NewSession(client *Client, budget float64) (*Session, error) {
+	per := client.AchievedEps()
+	if budget < per {
+		return nil, fmt.Errorf("dpir: budget %.3f below the per-query cost %.3f", budget, per)
+	}
+	return &Session{client: client, budget: budget}, nil
+}
+
+// PerQueryEps returns the ε charged per query (the client's achieved ε).
+func (s *Session) PerQueryEps() float64 { return s.client.AchievedEps() }
+
+// Spent returns the ε consumed so far.
+func (s *Session) Spent() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spent
+}
+
+// Remaining returns the unspent budget.
+func (s *Session) Remaining() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget - s.spent
+}
+
+// RemainingQueries returns how many more queries the budget allows.
+func (s *Session) RemainingQueries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	per := s.client.AchievedEps()
+	if per <= 0 {
+		return 0
+	}
+	return int((s.budget - s.spent) / per)
+}
+
+// Params returns the cumulative (ε, δ) guarantee of everything the session
+// has released so far, by basic composition (δ stays 0: Algorithm 1 is
+// pure DP).
+func (s *Session) Params() privacy.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return privacy.Params{Eps: s.spent}
+}
+
+// Query charges the budget and runs the underlying DP-IR query. The charge
+// is applied even when the α branch returns ErrBottom — the transcript was
+// still released. When the budget cannot cover another query the call
+// fails with ErrBudgetExhausted and no server traffic occurs.
+//
+// The whole query runs under the session lock: the Client's coin source is
+// single-threaded, so the Session serializes access to it.
+func (s *Session) Query(q int) (block.Block, error) {
+	per := s.client.AchievedEps()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spent+per > s.budget+1e-12 {
+		return nil, fmt.Errorf("%w: spent %.3f of %.3f, next query costs %.3f",
+			ErrBudgetExhausted, s.spent, s.budget, per)
+	}
+	s.spent += per
+	s.asked++
+	return s.client.Query(q)
+}
+
+// Queries returns the number of queries charged.
+func (s *Session) Queries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.asked
+}

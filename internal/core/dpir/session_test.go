@@ -1,0 +1,114 @@
+package dpir
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"dpstore/internal/rng"
+)
+
+func newSessionClient(t *testing.T, n int, alpha float64) *Client {
+	t.Helper()
+	srv := newServer(t, n)
+	c, err := New(srv, Options{Epsilon: math.Log(float64(n)), Alpha: alpha, Rand: rng.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSessionBudgetArithmetic(t *testing.T) {
+	c := newSessionClient(t, 64, 0.2)
+	per := c.AchievedEps()
+	s, err := NewSession(c, 3*per+per/2) // room for exactly 3 queries
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RemainingQueries() != 3 {
+		t.Fatalf("remaining queries = %d, want 3", s.RemainingQueries())
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Query(i); err != nil && !errors.Is(err, ErrBottom) {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if _, err := s.Query(0); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("4th query: err = %v, want ErrBudgetExhausted", err)
+	}
+	if s.Queries() != 3 {
+		t.Fatalf("charged queries = %d, want 3", s.Queries())
+	}
+	if math.Abs(s.Spent()-3*per) > 1e-9 {
+		t.Fatalf("spent = %v, want %v", s.Spent(), 3*per)
+	}
+	if p := s.Params(); math.Abs(p.Eps-3*per) > 1e-9 || p.Delta != 0 {
+		t.Fatalf("params = %+v", p)
+	}
+}
+
+func TestSessionBottomStillCharges(t *testing.T) {
+	// A ⊥ outcome still releases a transcript, so it must charge the same
+	// ε as a successful query. (At α = 1 the achieved ε is genuinely 0 —
+	// the transcript is query-independent — so use a mid-range α and
+	// compare spent budget to charged queries regardless of outcomes.)
+	c := newSessionClient(t, 64, 0.5)
+	per := c.AchievedEps()
+	s, err := NewSession(c, 100*per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottoms := 0
+	for i := 0; i < 40; i++ {
+		if _, err := s.Query(i % 64); errors.Is(err, ErrBottom) {
+			bottoms++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bottoms == 0 {
+		t.Fatal("no ⊥ outcomes at α = 0.5; test is vacuous")
+	}
+	if math.Abs(s.Spent()-40*per) > 1e-9 {
+		t.Fatalf("spent = %v after 40 queries (%d ⊥), want %v — ⊥ must charge", s.Spent(), bottoms, 40*per)
+	}
+}
+
+func TestSessionRejectsTinyBudget(t *testing.T) {
+	c := newSessionClient(t, 64, 0.2)
+	if _, err := NewSession(c, c.AchievedEps()/2); err == nil {
+		t.Fatal("budget below one query accepted")
+	}
+}
+
+func TestSessionConcurrentCharging(t *testing.T) {
+	c := newSessionClient(t, 64, 0.2)
+	per := c.AchievedEps()
+	const allowed = 20
+	s, err := NewSession(c, float64(allowed)*per+per/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	succeeded := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, err := s.Query(i % 64)
+				if err == nil || errors.Is(err, ErrBottom) {
+					mu.Lock()
+					succeeded++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if succeeded != allowed {
+		t.Fatalf("%d queries charged under concurrency, want exactly %d", succeeded, allowed)
+	}
+}

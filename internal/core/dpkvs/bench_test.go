@@ -1,0 +1,96 @@
+package dpkvs
+
+import (
+	"fmt"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func benchStore(b *testing.B, capacity int) *Store {
+	b.Helper()
+	opts := Options{
+		Capacity:  capacity,
+		ValueSize: 16,
+		Rand:      rng.New(1),
+		Key:       crypto.KeyFromSeed(1),
+	}
+	slots, bs, err := RequiredServer(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := store.NewMem(slots, bs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := Setup(srv, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < capacity/4; i++ {
+		if err := s.Put(fmt.Sprintf("key-%06d", i), block.Pattern(uint64(i), 16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	s := benchStore(b, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get(fmt.Sprintf("key-%06d", i%(1<<10))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetMiss(b *testing.B) {
+	s := benchStore(b, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get(fmt.Sprintf("absent-%06d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutUpdate(b *testing.B) {
+	s := benchStore(b, 1<<12)
+	val := block.Pattern(42, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("key-%06d", i%(1<<10)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeleteAbsent(b *testing.B) {
+	s := benchStore(b, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Delete(fmt.Sprintf("absent-%06d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetByCapacity shows the Θ(log log n) scaling directly.
+func BenchmarkGetByCapacity(b *testing.B) {
+	for _, capacity := range []int{1 << 8, 1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", capacity), func(b *testing.B) {
+			s := benchStore(b, capacity)
+			b.ReportMetric(float64(s.BlocksPerOp()), "blocks/op")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Get(fmt.Sprintf("key-%06d", i%(capacity/4))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

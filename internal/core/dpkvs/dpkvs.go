@@ -1,0 +1,469 @@
+// Package dpkvs implements the differentially private key-value store of
+// Section 7 of the paper (Theorems 7.1 and 7.5).
+//
+// The construction composes two pieces built elsewhere in this module:
+//
+//   - the oblivious two-choice mapping scheme of Section 7.2
+//     (twochoice.Geometry): n buckets realized as leaf-to-root paths in a
+//     forest of small binary trees, all of identical size
+//     s(n) = Θ(log log n) nodes, sharing upper-level nodes so total server
+//     storage is Θ(n); plus a client-side super root of capacity
+//     Φ(n) = ω(log n) (Theorem 7.2: overflow beyond Φ(n) is negl(n));
+//
+//   - the bucket-generalized DP-RAM of Appendix E (dpram.BucketRAM), which
+//     provides ε = O(log n) differentially private access to buckets.
+//
+// Every KVS operation — Get, Put, Delete, hit or miss, key present or
+// absent from the universe — performs exactly 2·k(n) = 4 bucket queries
+// (k(n) = 2 reads then k(n) = 2 updates, per Section 7.1), each costing 3
+// bucket transfers of s(n) node blocks. Total: O(log log n) blocks moved
+// per operation, ε = O(k(n)·log n) = O(log n) by composition — an
+// exponential improvement over ORAM-based oblivious KVS.
+package dpkvs
+
+import (
+	"errors"
+	"fmt"
+
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/core/twochoice"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// ErrFull reports that an insertion found both bucket paths and the super
+// root full; by Theorem 7.2 this is a negligible-probability event at or
+// below the design capacity.
+var ErrFull = errors.New("dpkvs: insertion overflow (both paths and super root full)")
+
+// ErrKeyTooLong reports a key exceeding Options.MaxKeyLen.
+var ErrKeyTooLong = errors.New("dpkvs: key exceeds MaxKeyLen")
+
+// Options configures a DP-KVS.
+type Options struct {
+	// Capacity is the design capacity n (maximum number of live keys).
+	Capacity int
+	// ValueSize is the fixed value length in bytes.
+	ValueSize int
+	// MaxKeyLen caps key length in bytes (keys live inside node slots).
+	// Zero selects 32.
+	MaxKeyLen int
+	// NodeCap is t, the key slots per tree node. Zero selects 4.
+	NodeCap int
+	// LeavesPerTree is L (power of two). Zero selects
+	// twochoice.DefaultLeavesPerTree(Capacity), giving Θ(log log n) depth.
+	LeavesPerTree int
+	// StashParam is the bucket-stash C of the underlying DP-RAM; zero
+	// selects dpram.DefaultStashParam over the bucket count.
+	StashParam int
+	// SuperCap is the super-root capacity Φ(n); zero selects
+	// twochoice.DefaultSuperCap(Capacity).
+	SuperCap int
+	// Key is the client master key (zero means sample fresh). It keys both
+	// the mapping PRFs and the node encryption.
+	Key crypto.Key
+	// Rand is the coin source. Required.
+	Rand *rng.Source
+	// DisableEncryption stores plaintext nodes while preserving the access
+	// pattern; for measurement only.
+	DisableEncryption bool
+}
+
+func (o *Options) fill() error {
+	if o.Capacity < 2 {
+		return fmt.Errorf("dpkvs: capacity %d must be ≥ 2", o.Capacity)
+	}
+	if o.ValueSize < 1 {
+		return fmt.Errorf("dpkvs: value size %d must be ≥ 1", o.ValueSize)
+	}
+	if o.MaxKeyLen == 0 {
+		o.MaxKeyLen = 32
+	}
+	if o.MaxKeyLen < 1 || o.MaxKeyLen > 255 {
+		return fmt.Errorf("dpkvs: MaxKeyLen %d must be in [1,255]", o.MaxKeyLen)
+	}
+	if o.NodeCap == 0 {
+		o.NodeCap = 4
+	}
+	if o.LeavesPerTree == 0 {
+		o.LeavesPerTree = twochoice.DefaultLeavesPerTree(o.Capacity)
+	}
+	if o.Rand == nil {
+		return errors.New("dpkvs: Options.Rand is required")
+	}
+	return nil
+}
+
+// slotSize returns the byte length of one key slot: used flag, key length,
+// key bytes, value bytes.
+func slotSize(maxKeyLen, valueSize int) int { return 2 + maxKeyLen + valueSize }
+
+// NodePlainSize returns the plaintext node block size for the options.
+func NodePlainSize(opts Options) (int, error) {
+	if err := (&opts).fill(); err != nil {
+		return 0, err
+	}
+	return opts.NodeCap * slotSize(opts.MaxKeyLen, opts.ValueSize), nil
+}
+
+// RequiredServer returns the (slots, blockSize) shape the backing server
+// must have for the options.
+func RequiredServer(opts Options) (slots, blockSize int, err error) {
+	if err := (&opts).fill(); err != nil {
+		return 0, 0, err
+	}
+	geo, err := twochoice.NewGeometry(opts.Capacity, opts.LeavesPerTree, opts.NodeCap)
+	if err != nil {
+		return 0, 0, err
+	}
+	plain := opts.NodeCap * slotSize(opts.MaxKeyLen, opts.ValueSize)
+	bs := plain
+	if !opts.DisableEncryption {
+		bs = crypto.CiphertextSize(plain)
+	}
+	return geo.Nodes(), bs, nil
+}
+
+// Store is a DP-KVS client. Not safe for concurrent use.
+type Store struct {
+	geo  *twochoice.Geometry
+	ram  *dpram.BucketRAM
+	prf1 *crypto.PRF
+	prf2 *crypto.PRF
+	src  *rng.Source
+
+	maxKeyLen int
+	valueSize int
+	nodeCap   int
+
+	super    map[string]block.Block // the client-side super root / mapping stash
+	superCap int
+	live     int // number of keys currently stored
+}
+
+// Setup initializes an empty DP-KVS over the server, which must match
+// RequiredServer(opts).
+func Setup(server store.Server, opts Options) (*Store, error) {
+	if err := (&opts).fill(); err != nil {
+		return nil, err
+	}
+	geo, err := twochoice.NewGeometry(opts.Capacity, opts.LeavesPerTree, opts.NodeCap)
+	if err != nil {
+		return nil, err
+	}
+	key := opts.Key
+	if key == (crypto.Key{}) {
+		k, err := crypto.NewKey()
+		if err != nil {
+			return nil, err
+		}
+		key = k
+	}
+	superCap := opts.SuperCap
+	if superCap == 0 {
+		superCap = twochoice.DefaultSuperCap(opts.Capacity)
+	}
+
+	buckets := make([][]int, geo.Buckets())
+	for l := range buckets {
+		buckets[l] = geo.Path(l)
+	}
+	plain := opts.NodeCap * slotSize(opts.MaxKeyLen, opts.ValueSize)
+	ram, err := dpram.NewBucketRAM(server, buckets, nil, plain, dpram.BucketOptions{
+		StashParam:        opts.StashParam,
+		Key:               key,
+		Rand:              opts.Rand.Split(),
+		DisableEncryption: opts.DisableEncryption,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		geo:       geo,
+		ram:       ram,
+		prf1:      crypto.NewPRF(key, "pi-1"),
+		prf2:      crypto.NewPRF(key, "pi-2"),
+		src:       opts.Rand,
+		maxKeyLen: opts.MaxKeyLen,
+		valueSize: opts.ValueSize,
+		nodeCap:   opts.NodeCap,
+		super:     make(map[string]block.Block),
+		superCap:  superCap,
+	}, nil
+}
+
+// pi returns the query buckets for key u: the two PRF choices, padded with
+// a uniformly random distinct bucket when they collide (Section 7.1's
+// "pick random buckets to pad Π(u) to size k(n)"). real2 reports whether
+// the second bucket is part of the true Π(u) (and hence usable for
+// storage) or only a decoy.
+func (s *Store) pi(u string) (b1, b2 int, real2 bool) {
+	b := uint64(s.geo.Buckets())
+	b1 = int(s.prf1.EvalMod([]byte(u), b))
+	b2 = int(s.prf2.EvalMod([]byte(u), b))
+	if b1 != b2 {
+		return b1, b2, true
+	}
+	pad := s.src.IntnExcept(s.geo.Buckets(), b1)
+	return b1, pad, false
+}
+
+// --- slot codec --------------------------------------------------------------
+
+func (s *Store) slotBytes(node block.Block, i int) []byte {
+	ss := slotSize(s.maxKeyLen, s.valueSize)
+	return node[i*ss : (i+1)*ss]
+}
+
+func slotUsed(sl []byte) bool { return sl[0] != 0 }
+
+func slotKey(sl []byte, maxKeyLen int) string {
+	kl := int(sl[1])
+	if kl > maxKeyLen {
+		kl = maxKeyLen
+	}
+	return string(sl[2 : 2+kl])
+}
+
+func slotValue(sl []byte, maxKeyLen, valueSize int) block.Block {
+	return block.Block(sl[2+maxKeyLen : 2+maxKeyLen+valueSize]).Copy()
+}
+
+func setSlot(sl []byte, key string, val block.Block, maxKeyLen int) {
+	sl[0] = 1
+	sl[1] = byte(len(key))
+	copy(sl[2:2+maxKeyLen], make([]byte, maxKeyLen))
+	copy(sl[2:], key)
+	copy(sl[2+maxKeyLen:], val)
+}
+
+func clearSlot(sl []byte) {
+	for i := range sl {
+		sl[i] = 0
+	}
+}
+
+// findInNodes scans a fetched bucket path for key u. It returns the node
+// position within the path, the slot index, and the value.
+func (s *Store) findInNodes(nodes []block.Block, u string) (nodeIdx, slotIdx int, val block.Block, found bool) {
+	for ni, node := range nodes {
+		for si := 0; si < s.nodeCap; si++ {
+			sl := s.slotBytes(node, si)
+			if slotUsed(sl) && slotKey(sl, s.maxKeyLen) == u {
+				return ni, si, slotValue(sl, s.maxKeyLen, s.valueSize), true
+			}
+		}
+	}
+	return 0, 0, nil, false
+}
+
+// freeSlot locates the lowest-height free slot along a fetched path. Paths
+// are ordered leaf (height 0) to root, so the scan is in path order.
+func (s *Store) freeSlot(nodes []block.Block) (nodeIdx, slotIdx int, ok bool) {
+	for ni, node := range nodes {
+		for si := 0; si < s.nodeCap; si++ {
+			if !slotUsed(s.slotBytes(node, si)) {
+				return ni, si, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// --- operations --------------------------------------------------------------
+
+// action describes the mutation a write-phase bucket query must apply.
+type action struct {
+	kind    byte // 'n' none, 'u' update slot, 'i' insert, 'd' delete slot
+	nodeIdx int
+	slotIdx int
+	key     string
+	val     block.Block
+}
+
+func (s *Store) applyAction(a action) func(nodes []block.Block) {
+	if a.kind == 'n' {
+		return func([]block.Block) {} // fake update: contents unchanged
+	}
+	return func(nodes []block.Block) {
+		sl := s.slotBytes(nodes[a.nodeIdx], a.slotIdx)
+		switch a.kind {
+		case 'u', 'i':
+			setSlot(sl, a.key, a.val, s.maxKeyLen)
+		case 'd':
+			clearSlot(sl)
+		}
+	}
+}
+
+// access runs the uniform 2·k(n)-query schedule for key u: read both
+// buckets, let decide compute per-bucket mutations from the fetched
+// contents, then update both buckets. Every operation, of every kind, takes
+// exactly this path, so operation types are indistinguishable beyond the
+// DP-RAM budget.
+func (s *Store) access(u string, decide func(n1, n2 []block.Block, real2 bool) (a1, a2 action, err error)) error {
+	if len(u) > s.maxKeyLen {
+		return fmt.Errorf("%w: %d > %d", ErrKeyTooLong, len(u), s.maxKeyLen)
+	}
+	b1, b2, real2 := s.pi(u)
+	n1, err := s.ram.Access(b1, nil)
+	if err != nil {
+		return err
+	}
+	n2, err := s.ram.Access(b2, nil)
+	if err != nil {
+		return err
+	}
+	a1, a2, err := decide(n1, n2, real2)
+	if err != nil {
+		// The decide error (e.g. ErrFull) aborts the logical operation, but
+		// the update queries still run as fake updates so the transcript
+		// shape never depends on data: an adversary cannot tell an overflow
+		// from a success.
+		a1, a2 = action{kind: 'n'}, action{kind: 'n'}
+		if _, uerr := s.ram.Access(b1, s.applyAction(a1)); uerr != nil {
+			return uerr
+		}
+		if _, uerr := s.ram.Access(b2, s.applyAction(a2)); uerr != nil {
+			return uerr
+		}
+		return err
+	}
+	if _, err := s.ram.Access(b1, s.applyAction(a1)); err != nil {
+		return err
+	}
+	if _, err := s.ram.Access(b2, s.applyAction(a2)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Get retrieves the value for key u. ok is false when the key is absent
+// (the ⊥ answer KVS must support for never-inserted keys).
+func (s *Store) Get(u string) (val block.Block, ok bool, err error) {
+	err = s.access(u, func(n1, n2 []block.Block, real2 bool) (action, action, error) {
+		if v, hit := s.super[u]; hit {
+			val, ok = v.Copy(), true
+			return action{kind: 'n'}, action{kind: 'n'}, nil
+		}
+		if _, _, v, found := s.findInNodes(n1, u); found {
+			val, ok = v, true
+		} else if real2 {
+			if _, _, v, found := s.findInNodes(n2, u); found {
+				val, ok = v, true
+			}
+		}
+		return action{kind: 'n'}, action{kind: 'n'}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return val, ok, nil
+}
+
+// Put inserts or updates key u with value val (which must be ValueSize
+// bytes). New keys go to the lowest-height free slot along either true
+// bucket path (the storing algorithm S), falling back to the client-side
+// super root, and fail with ErrFull only if everything is full.
+func (s *Store) Put(u string, val block.Block) error {
+	if len(val) != s.valueSize {
+		return fmt.Errorf("%w: got %d want %d", block.ErrSize, len(val), s.valueSize)
+	}
+	return s.access(u, func(n1, n2 []block.Block, real2 bool) (action, action, error) {
+		// Existing key: update wherever it lives.
+		if _, hit := s.super[u]; hit {
+			s.super[u] = val.Copy()
+			return action{kind: 'n'}, action{kind: 'n'}, nil
+		}
+		if ni, si, _, found := s.findInNodes(n1, u); found {
+			return action{kind: 'u', nodeIdx: ni, slotIdx: si, key: u, val: val}, action{kind: 'n'}, nil
+		}
+		if real2 {
+			if ni, si, _, found := s.findInNodes(n2, u); found {
+				return action{kind: 'n'}, action{kind: 'u', nodeIdx: ni, slotIdx: si, key: u, val: val}, nil
+			}
+		}
+		// New key: storing algorithm S over the true paths, lowest height
+		// first, ties to the first bucket.
+		ni1, si1, ok1 := s.freeSlot(n1)
+		ni2, si2, ok2 := 0, 0, false
+		if real2 {
+			ni2, si2, ok2 = s.freeSlot(n2)
+		}
+		switch {
+		case ok1 && (!ok2 || ni1 <= ni2):
+			s.live++
+			return action{kind: 'i', nodeIdx: ni1, slotIdx: si1, key: u, val: val}, action{kind: 'n'}, nil
+		case ok2:
+			s.live++
+			return action{kind: 'n'}, action{kind: 'i', nodeIdx: ni2, slotIdx: si2, key: u, val: val}, nil
+		case len(s.super) < s.superCap:
+			s.super[u] = val.Copy()
+			s.live++
+			return action{kind: 'n'}, action{kind: 'n'}, nil
+		default:
+			return action{}, action{}, fmt.Errorf("%w: key %q", ErrFull, u)
+		}
+	})
+}
+
+// Delete removes key u, reporting whether it was present. (An extension
+// beyond the paper's read/overwrite interface; its transcript is identical
+// to Get/Put by construction.)
+func (s *Store) Delete(u string) (found bool, err error) {
+	err = s.access(u, func(n1, n2 []block.Block, real2 bool) (action, action, error) {
+		if _, hit := s.super[u]; hit {
+			delete(s.super, u)
+			s.live--
+			found = true
+			return action{kind: 'n'}, action{kind: 'n'}, nil
+		}
+		if ni, si, _, ok := s.findInNodes(n1, u); ok {
+			s.live--
+			found = true
+			return action{kind: 'd', nodeIdx: ni, slotIdx: si}, action{kind: 'n'}, nil
+		}
+		if real2 {
+			if ni, si, _, ok := s.findInNodes(n2, u); ok {
+				s.live--
+				found = true
+				return action{kind: 'n'}, action{kind: 'd', nodeIdx: ni, slotIdx: si}, nil
+			}
+		}
+		return action{kind: 'n'}, action{kind: 'n'}, nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return s.live }
+
+// SuperRootLoad returns the number of keys in the client-side super root.
+func (s *Store) SuperRootLoad() int { return len(s.super) }
+
+// SuperCap returns the configured super-root capacity Φ(n).
+func (s *Store) SuperCap() int { return s.superCap }
+
+// Depth returns the bucket path length s(n) in nodes, Θ(log log n).
+func (s *Store) Depth() int { return s.geo.Depth() }
+
+// Geometry exposes the underlying tree forest (read-only use).
+func (s *Store) Geometry() *twochoice.Geometry { return s.geo }
+
+// ClientBlocks returns current client storage in node blocks: the bucket
+// DP-RAM's dirty map plus the super root (counting each super-root entry as
+// one value-sized block rounded up to a node share is pessimistic; we count
+// entries). Theorem 7.5 predicts O(Φ(n)·log log n) except with negl(n).
+func (s *Store) ClientBlocks() int { return s.ram.ClientBlocks() + len(s.super) }
+
+// MaxClientBlocks returns the high-water mark of bucket-RAM client blocks.
+func (s *Store) MaxClientBlocks() int { return s.ram.MaxClientBlocks() + s.superCap }
+
+// BlocksPerOp returns the worst-case node blocks transferred per operation:
+// 2·k(n) bucket queries × 3 bucket transfers × Depth() nodes.
+func (s *Store) BlocksPerOp() int { return 4 * 3 * s.geo.Depth() }

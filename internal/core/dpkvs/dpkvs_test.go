@@ -1,0 +1,335 @@
+package dpkvs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func newKVS(t *testing.T, capacity int, opts Options) (*Store, *store.Counting) {
+	t.Helper()
+	opts.Capacity = capacity
+	if opts.ValueSize == 0 {
+		opts.ValueSize = 16
+	}
+	if opts.Rand == nil {
+		opts.Rand = rng.New(1)
+	}
+	if opts.Key == (crypto.Key{}) {
+		opts.Key = crypto.KeyFromSeed(1)
+	}
+	slots, bs, err := RequiredServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := store.NewMem(slots, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := store.NewCounting(srv)
+	s, err := Setup(counting, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting.Reset()
+	return s, counting
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, _, err := RequiredServer(Options{Capacity: 1, ValueSize: 16, Rand: rng.New(1)}); err == nil {
+		t.Fatal("capacity 1 accepted")
+	}
+	if _, _, err := RequiredServer(Options{Capacity: 16, ValueSize: 0, Rand: rng.New(1)}); err == nil {
+		t.Fatal("zero value size accepted")
+	}
+	if _, _, err := RequiredServer(Options{Capacity: 16, ValueSize: 16, MaxKeyLen: 300, Rand: rng.New(1)}); err == nil {
+		t.Fatal("oversized MaxKeyLen accepted")
+	}
+	srv, _ := store.NewMem(4, 16)
+	if _, err := Setup(srv, Options{Capacity: 16, ValueSize: 16}); err == nil {
+		t.Fatal("nil Rand accepted")
+	}
+}
+
+func TestGetMissingReturnsBottom(t *testing.T) {
+	s, _ := newKVS(t, 64, Options{})
+	v, ok, err := s.Get("never-inserted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || v != nil {
+		t.Fatal("missing key did not return ⊥")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := newKVS(t, 64, Options{})
+	want := block.Pattern(7, 16)
+	if err := s.Put("hello", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !got.Equal(want) {
+		t.Fatal("round trip failed")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestPutUpdatesInPlace(t *testing.T) {
+	s, _ := newKVS(t, 64, Options{})
+	if err := s.Put("k", block.Pattern(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", block.Pattern(2, 16)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k")
+	if err != nil || !ok {
+		t.Fatalf("get failed: %v ok=%v", err, ok)
+	}
+	if !block.CheckPattern(got, 2) {
+		t.Fatal("update did not take")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after update, want 1", s.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := newKVS(t, 64, Options{})
+	if err := s.Put("k", block.Pattern(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	found, err := s.Delete("k")
+	if err != nil || !found {
+		t.Fatalf("delete: %v found=%v", err, found)
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("key still present after delete")
+	}
+	found, err = s.Delete("k")
+	if err != nil || found {
+		t.Fatal("second delete should report not-found")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestKeyLengthEnforced(t *testing.T) {
+	s, _ := newKVS(t, 64, Options{MaxKeyLen: 8})
+	if err := s.Put("way-too-long-key", block.Pattern(1, 16)); !errors.Is(err, ErrKeyTooLong) {
+		t.Fatalf("err = %v, want ErrKeyTooLong", err)
+	}
+	if _, _, err := s.Get("way-too-long-key"); !errors.Is(err, ErrKeyTooLong) {
+		t.Fatalf("err = %v, want ErrKeyTooLong", err)
+	}
+}
+
+func TestValueSizeEnforced(t *testing.T) {
+	s, _ := newKVS(t, 64, Options{})
+	if err := s.Put("k", block.New(8)); err == nil {
+		t.Fatal("wrong-size value accepted")
+	}
+}
+
+// TestFullWorkloadAgainstReference drives a long random Get/Put/Delete
+// trace at full capacity against a reference map.
+func TestFullWorkloadAgainstReference(t *testing.T) {
+	capacity := 256
+	s, _ := newKVS(t, capacity, Options{})
+	ref := make(map[string]block.Block)
+	src := rng.New(2)
+	keys := make([]string, capacity)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	for step := 0; step < 4000; step++ {
+		k := keys[src.Intn(len(keys))]
+		switch src.Intn(3) {
+		case 0: // put
+			v := block.Pattern(uint64(step), 16)
+			if err := s.Put(k, v); err != nil {
+				t.Fatalf("step %d: put: %v", step, err)
+			}
+			ref[k] = v
+		case 1: // get
+			got, ok, err := s.Get(k)
+			if err != nil {
+				t.Fatalf("step %d: get: %v", step, err)
+			}
+			want, refOK := ref[k]
+			if ok != refOK {
+				t.Fatalf("step %d: presence mismatch for %q: got %v want %v", step, k, ok, refOK)
+			}
+			if ok && !got.Equal(want) {
+				t.Fatalf("step %d: value mismatch for %q", step, k)
+			}
+		default: // delete
+			found, err := s.Delete(k)
+			if err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+			if _, refOK := ref[k]; found != refOK {
+				t.Fatalf("step %d: delete presence mismatch for %q", step, k)
+			}
+			delete(ref, k)
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, reference %d", step, s.Len(), len(ref))
+		}
+	}
+}
+
+// TestFillToCapacity inserts n distinct keys; Theorem 7.2 says this must
+// succeed with the super root far below Φ(n).
+func TestFillToCapacity(t *testing.T) {
+	capacity := 512
+	s, _ := newKVS(t, capacity, Options{})
+	for i := 0; i < capacity; i++ {
+		if err := s.Put(fmt.Sprintf("key-%04d", i), block.Pattern(uint64(i), 16)); err != nil {
+			t.Fatalf("insert %d: %v (super root %d/%d)", i, err, s.SuperRootLoad(), s.SuperCap())
+		}
+	}
+	if s.SuperRootLoad() > s.SuperCap() {
+		t.Fatalf("super root %d above Φ = %d", s.SuperRootLoad(), s.SuperCap())
+	}
+	// Everything must be readable back.
+	for i := 0; i < capacity; i++ {
+		got, ok, err := s.Get(fmt.Sprintf("key-%04d", i))
+		if err != nil || !ok {
+			t.Fatalf("readback %d: err=%v ok=%v", i, err, ok)
+		}
+		if !block.CheckPattern(got, uint64(i)) {
+			t.Fatalf("readback %d: wrong value", i)
+		}
+	}
+}
+
+// TestUniformCost checks Theorem 7.5's cost shape: every operation — hit,
+// miss, put, delete — moves exactly 4 bucket queries × 3 transfers ×
+// Depth() node blocks.
+func TestUniformCost(t *testing.T) {
+	s, counting := newKVS(t, 256, Options{})
+	// Per bucket query: 2 bucket downloads + 1 bucket upload, each of
+	// Depth() nodes; 4 bucket queries per op.
+	perOpDown := int64(4 * 2 * s.Depth())
+	perOpUp := int64(4 * s.Depth())
+
+	ops := []func() error{
+		func() error { return s.Put("present", block.Pattern(1, 16)) },
+		func() error { _, _, err := s.Get("present"); return err },
+		func() error { _, _, err := s.Get("absent-key"); return err },
+		func() error { _, err := s.Delete("nothing-here"); return err },
+	}
+	for i, op := range ops {
+		counting.Reset()
+		if err := op(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		st := counting.Stats()
+		if st.Downloads != perOpDown || st.Uploads != perOpUp {
+			t.Fatalf("op %d: ops = (%d,%d), want (%d,%d) — transcript shape must not depend on the operation",
+				i, st.Downloads, st.Uploads, perOpDown, perOpUp)
+		}
+	}
+}
+
+// TestCostIsLogLog verifies the headline: blocks per op grows like
+// log log n, not log n.
+func TestCostIsLogLog(t *testing.T) {
+	depths := map[int]int{}
+	for _, n := range []int{1 << 8, 1 << 12, 1 << 16} {
+		opts := Options{Capacity: n, ValueSize: 16, Rand: rng.New(3), Key: crypto.KeyFromSeed(2)}
+		slots, bs, err := RequiredServer(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, _ := store.NewMem(slots, bs)
+		s, err := Setup(srv, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depths[n] = s.Depth()
+	}
+	if depths[1<<16] > depths[1<<8]+2 {
+		t.Fatalf("depth grew too fast: %v — should be Θ(log log n)", depths)
+	}
+	if depths[1<<16] < depths[1<<8] {
+		t.Fatalf("depth not monotone: %v", depths)
+	}
+}
+
+func TestOverflowIsGracefulAndHidden(t *testing.T) {
+	// Tiny geometry forced to overflow: the error must be ErrFull and the
+	// store must remain usable afterwards.
+	opts := Options{
+		Capacity:      4,
+		ValueSize:     16,
+		NodeCap:       1,
+		LeavesPerTree: 2,
+		SuperCap:      2,
+		Rand:          rng.New(4),
+		Key:           crypto.KeyFromSeed(3),
+	}
+	slots, bs, err := RequiredServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := store.NewMem(slots, bs)
+	s, err := Setup(srv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overflowed bool
+	inserted := []string{}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if err := s.Put(k, block.Pattern(uint64(i), 16)); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			overflowed = true
+			break
+		}
+		inserted = append(inserted, k)
+	}
+	if !overflowed {
+		t.Fatal("capacity-8 store accepted 50 keys")
+	}
+	// Previously inserted keys must still be intact.
+	for i, k := range inserted {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("key %q lost after overflow: err=%v ok=%v", k, err, ok)
+		}
+		if !block.CheckPattern(got, uint64(i)) {
+			t.Fatalf("key %q corrupted after overflow", k)
+		}
+	}
+}
+
+func TestClientStorageAccounting(t *testing.T) {
+	s, _ := newKVS(t, 256, Options{})
+	for i := 0; i < 200; i++ {
+		if err := s.Put(fmt.Sprintf("key-%03d", i), block.Pattern(uint64(i), 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.ClientBlocks() > s.MaxClientBlocks() {
+		t.Fatal("current client blocks above reported max")
+	}
+	if s.BlocksPerOp() != 12*s.Depth() {
+		t.Fatalf("BlocksPerOp = %d, want %d", s.BlocksPerOp(), 12*s.Depth())
+	}
+}

@@ -1,0 +1,89 @@
+package dpram
+
+import (
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func benchClient(b *testing.B, n int, opts Options) *Client {
+	b.Helper()
+	db, err := block.PatternDatabase(n, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := store.NewMem(n, ServerBlockSize(block.DefaultSize, opts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Setup(db, srv, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkRead(b *testing.B) {
+	c := benchClient(b, 1<<12, Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(i % (1 << 12)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	c := benchClient(b, 1<<12, Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)})
+	blk := block.Pattern(9, block.DefaultSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(i%(1<<12), blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadRetrievalOnly(b *testing.B) {
+	c := benchClient(b, 1<<12, Options{Rand: rng.New(1), RetrievalOnly: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(i % (1 << 12)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadNoEncryption(b *testing.B) {
+	// Ablation: how much of the query cost is AES+HMAC.
+	c := benchClient(b, 1<<12, Options{Rand: rng.New(1), DisableEncryption: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(i % (1 << 12)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBucketAccess(b *testing.B) {
+	const plain = 16
+	srv, err := store.NewMem(6, crypto.CiphertextSize(plain))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewBucketRAM(srv, overlappingBuckets(), nil, plain, BucketOptions{
+		Rand: rng.New(1), Key: crypto.KeyFromSeed(1), StashParam: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Access(i%4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

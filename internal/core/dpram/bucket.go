@@ -1,0 +1,346 @@
+package dpram
+
+import (
+	"errors"
+	"fmt"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// BucketRAM is the Appendix E generalization of DP-RAM: queries range over
+// a repertoire Σ of b buckets, each a fixed-length list of server addresses,
+// and buckets may overlap (two buckets may contain the same block). The
+// server stores only the underlying node blocks once; a bucket request
+// fetches the member blocks individually, so server storage does not grow
+// by the bucket-size factor.
+//
+// The access-pattern distribution is Algorithm 3 verbatim at bucket
+// granularity: per query, one bucket-download (the queried bucket or a
+// stashed-hit decoy) followed by one bucket-download-and-upload (a random
+// refresh with probability p, else the queried bucket written home).
+//
+// Overlap needs client-side coherence, which Appendix E sketches and this
+// type implements precisely: while a bucket sits in the client stash, its
+// blocks' authoritative values live in a dirty map keyed by server address
+// with a reference count (several stashed buckets may share a block).
+// Downloads merge server data with dirty overrides; real updates write
+// through to the dirty copies of any overlapping stashed bucket.
+type BucketRAM struct {
+	server  store.Server
+	buckets [][]int // bucket index → member server addresses
+	size    int     // common bucket length s
+	c       int     // stash parameter C over buckets: p = C/b
+	cipher  *crypto.Cipher
+	src     *rng.Source
+
+	stashed map[int]bool        // bucket index → in stash
+	dirty   map[int]block.Block // addr → authoritative plaintext
+	refcnt  map[int]int         // addr → number of stashed buckets holding it
+
+	plainSize int
+	plaintext bool
+	maxDirty  int
+}
+
+// BucketOptions configures a BucketRAM.
+type BucketOptions struct {
+	// StashParam is C: each queried bucket is stashed with probability
+	// C/len(buckets). Zero selects DefaultStashParam(len(buckets)).
+	StashParam int
+	// Key is the master key (zero means sample fresh).
+	Key crypto.Key
+	// Rand is the coin source. Required.
+	Rand *rng.Source
+	// DisableEncryption keeps plaintext on the server while preserving the
+	// access pattern; see Options.DisableEncryption.
+	DisableEncryption bool
+}
+
+// NewBucketRAM initializes the server with encryptions of the given initial
+// node contents and returns the client. buckets defines Σ: every bucket
+// must have the same length (pad with repeated addresses if necessary —
+// Appendix E pads Π(u) the same way), and every address must be a valid
+// index into nodes. initial may be nil for an all-zero store.
+func NewBucketRAM(server store.Server, buckets [][]int, initial []block.Block, plainSize int, opts BucketOptions) (*BucketRAM, error) {
+	if opts.Rand == nil {
+		return nil, errors.New("dpram: BucketOptions.Rand is required")
+	}
+	b := len(buckets)
+	if b < 2 {
+		return nil, fmt.Errorf("dpram: repertoire must hold ≥ 2 buckets, got %d", b)
+	}
+	size := len(buckets[0])
+	if size == 0 {
+		return nil, errors.New("dpram: empty bucket in repertoire")
+	}
+	m := server.Size()
+	for bi, addrs := range buckets {
+		if len(addrs) != size {
+			return nil, fmt.Errorf("dpram: bucket %d has %d members, want %d (uniform s)", bi, len(addrs), size)
+		}
+		for _, a := range addrs {
+			if a < 0 || a >= m {
+				return nil, fmt.Errorf("dpram: bucket %d references address %d outside [0,%d)", bi, a, m)
+			}
+		}
+	}
+	c := opts.StashParam
+	if c == 0 {
+		c = DefaultStashParam(b)
+	}
+	if c < 0 || c > b {
+		return nil, fmt.Errorf("dpram: stash parameter %d outside [0,%d]", c, b)
+	}
+	wantBS := plainSize
+	if !opts.DisableEncryption {
+		wantBS = crypto.CiphertextSize(plainSize)
+	}
+	if server.BlockSize() != wantBS {
+		return nil, fmt.Errorf("dpram: server block size %d, want %d", server.BlockSize(), wantBS)
+	}
+
+	r := &BucketRAM{
+		server:    server,
+		buckets:   buckets,
+		size:      size,
+		c:         c,
+		src:       opts.Rand,
+		stashed:   make(map[int]bool),
+		dirty:     make(map[int]block.Block),
+		refcnt:    make(map[int]int),
+		plainSize: plainSize,
+		plaintext: opts.DisableEncryption,
+	}
+	if !r.plaintext {
+		key := opts.Key
+		if key == (crypto.Key{}) {
+			k, err := crypto.NewKey()
+			if err != nil {
+				return nil, err
+			}
+			key = k
+		}
+		r.cipher = crypto.NewCipher(key)
+	}
+
+	zero := block.New(plainSize)
+	for a := 0; a < m; a++ {
+		pt := zero
+		if initial != nil && a < len(initial) && initial[a] != nil {
+			if len(initial[a]) != plainSize {
+				return nil, fmt.Errorf("dpram: initial node %d has %d bytes, want %d", a, len(initial[a]), plainSize)
+			}
+			pt = initial[a]
+		}
+		ct, err := r.seal(pt)
+		if err != nil {
+			return nil, err
+		}
+		if err := server.Upload(a, ct); err != nil {
+			return nil, fmt.Errorf("dpram: setup upload %d: %w", a, err)
+		}
+	}
+	return r, nil
+}
+
+func (r *BucketRAM) seal(b block.Block) (block.Block, error) {
+	if r.plaintext {
+		return b.Copy(), nil
+	}
+	ct, err := r.cipher.Encrypt(b)
+	if err != nil {
+		return nil, fmt.Errorf("dpram: encrypting node: %w", err)
+	}
+	return block.Block(ct), nil
+}
+
+func (r *BucketRAM) open(ct block.Block) (block.Block, error) {
+	if r.plaintext {
+		return ct.Copy(), nil
+	}
+	pt, err := r.cipher.Decrypt(ct)
+	if err != nil {
+		return nil, fmt.Errorf("dpram: decrypting node: %w", err)
+	}
+	return block.Block(pt), nil
+}
+
+// Buckets returns the repertoire size b.
+func (r *BucketRAM) Buckets() int { return len(r.buckets) }
+
+// BucketSize returns the common bucket length s.
+func (r *BucketRAM) BucketSize() int { return r.size }
+
+// StashProb returns p = C/b.
+func (r *BucketRAM) StashProb() float64 { return float64(r.c) / float64(len(r.buckets)) }
+
+// ClientBlocks returns the current client storage in node blocks (the dirty
+// map), i.e. the DP-RAM block stash of Theorem 7.1's accounting.
+func (r *BucketRAM) ClientBlocks() int { return len(r.dirty) }
+
+// MaxClientBlocks returns the high-water mark of client storage.
+func (r *BucketRAM) MaxClientBlocks() int { return r.maxDirty }
+
+// downloadBucket fetches every member block of bucket bi from the server
+// and returns plaintexts with dirty overrides applied. When discard is
+// true the data is fetched for pattern only and not decoded.
+func (r *BucketRAM) downloadBucket(bi int, discard bool) ([]block.Block, error) {
+	addrs := r.buckets[bi]
+	out := make([]block.Block, len(addrs))
+	for k, a := range addrs {
+		ct, err := r.server.Download(a)
+		if err != nil {
+			return nil, fmt.Errorf("dpram: bucket %d download addr %d: %w", bi, a, err)
+		}
+		if discard {
+			continue
+		}
+		if d, ok := r.dirty[a]; ok {
+			out[k] = d.Copy()
+			continue
+		}
+		pt, err := r.open(ct)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = pt
+	}
+	return out, nil
+}
+
+// takeFromStash removes bucket bi from the stash, returning its
+// authoritative contents and releasing its dirty-map claims.
+func (r *BucketRAM) takeFromStash(bi int) []block.Block {
+	addrs := r.buckets[bi]
+	out := make([]block.Block, len(addrs))
+	for k, a := range addrs {
+		out[k] = r.dirty[a].Copy()
+	}
+	delete(r.stashed, bi)
+	for _, a := range addrs {
+		r.refcnt[a]--
+		if r.refcnt[a] <= 0 {
+			delete(r.refcnt, a)
+			delete(r.dirty, a)
+		}
+	}
+	return out
+}
+
+// putInStash inserts bucket bi with the given contents, claiming its
+// addresses in the dirty map.
+func (r *BucketRAM) putInStash(bi int, contents []block.Block) {
+	addrs := r.buckets[bi]
+	r.stashed[bi] = true
+	for k, a := range addrs {
+		r.refcnt[a]++
+		r.dirty[a] = contents[k].Copy()
+	}
+	if len(r.dirty) > r.maxDirty {
+		r.maxDirty = len(r.dirty)
+	}
+}
+
+// writeThrough updates the authoritative dirty copies (if any) for the
+// addresses of bucket bi with the new contents, keeping overlapping stashed
+// buckets coherent after a real update.
+func (r *BucketRAM) writeThrough(bi int, contents []block.Block) {
+	for k, a := range r.buckets[bi] {
+		if _, ok := r.dirty[a]; ok {
+			r.dirty[a] = contents[k].Copy()
+		}
+	}
+}
+
+// refreshBucket re-encrypts bucket bi in place on the server (download,
+// decrypt, re-encrypt with fresh randomness, upload), the masking move of
+// Algorithm 3's stash branch.
+func (r *BucketRAM) refreshBucket(bi int) error {
+	for _, a := range r.buckets[bi] {
+		ct, err := r.server.Download(a)
+		if err != nil {
+			return fmt.Errorf("dpram: refresh download addr %d: %w", a, err)
+		}
+		pt, err := r.open(ct)
+		if err != nil {
+			return err
+		}
+		fresh, err := r.seal(pt)
+		if err != nil {
+			return err
+		}
+		if err := r.server.Upload(a, fresh); err != nil {
+			return fmt.Errorf("dpram: refresh upload addr %d: %w", a, err)
+		}
+	}
+	return nil
+}
+
+// uploadBucket downloads-and-discards then uploads fresh encryptions of
+// contents to bucket bi (the non-stash branch of the overwrite phase).
+func (r *BucketRAM) uploadBucket(bi int, contents []block.Block) error {
+	addrs := r.buckets[bi]
+	for k, a := range addrs {
+		if _, err := r.server.Download(a); err != nil {
+			return fmt.Errorf("dpram: overwrite download addr %d: %w", a, err)
+		}
+		ct, err := r.seal(contents[k])
+		if err != nil {
+			return err
+		}
+		if err := r.server.Upload(a, ct); err != nil {
+			return fmt.Errorf("dpram: overwrite upload addr %d: %w", a, err)
+		}
+	}
+	return nil
+}
+
+// Access performs one bucket query, Algorithm 3 at bucket granularity. The
+// update callback receives the bucket's current plaintext node blocks (one
+// per member address, in bucket order) and may mutate them in place; pass
+// nil for a read. Access returns the bucket contents as seen by the query
+// (after the update, if any).
+func (r *BucketRAM) Access(bi int, update func(nodes []block.Block)) ([]block.Block, error) {
+	if bi < 0 || bi >= len(r.buckets) {
+		return nil, fmt.Errorf("dpram: bucket %d out of range [0,%d)", bi, len(r.buckets))
+	}
+
+	// --- Download phase ---
+	var contents []block.Block
+	if r.stashed[bi] {
+		d := r.src.Intn(len(r.buckets))
+		if _, err := r.downloadBucket(d, true); err != nil { // decoy
+			return nil, err
+		}
+		contents = r.takeFromStash(bi)
+	} else {
+		got, err := r.downloadBucket(bi, false)
+		if err != nil {
+			return nil, err
+		}
+		contents = got
+	}
+
+	if update != nil {
+		update(contents)
+		// Coherence: overlapping stashed buckets must observe the update.
+		r.writeThrough(bi, contents)
+	}
+
+	// --- Overwrite phase ---
+	if r.src.Intn(len(r.buckets)) < r.c {
+		r.putInStash(bi, contents)
+		o := r.src.Intn(len(r.buckets))
+		if err := r.refreshBucket(o); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := r.uploadBucket(bi, contents); err != nil {
+			return nil, err
+		}
+	}
+	return contents, nil
+}

@@ -1,0 +1,206 @@
+package dpram
+
+import (
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// overlappingBuckets builds a tiny repertoire with deliberate overlap:
+// 6 node blocks, 4 buckets of size 3 sharing the "upper" nodes 4 and 5.
+func overlappingBuckets() [][]int {
+	return [][]int{
+		{0, 4, 5},
+		{1, 4, 5},
+		{2, 4, 5},
+		{3, 4, 5},
+	}
+}
+
+func newBucketRAM(t *testing.T, stashParam int) (*BucketRAM, *store.Counting) {
+	t.Helper()
+	const plain = 16
+	srv, err := store.NewMem(6, crypto.CiphertextSize(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := store.NewCounting(srv)
+	initial := make([]block.Block, 6)
+	for i := range initial {
+		initial[i] = block.Pattern(uint64(i), plain)
+	}
+	r, err := NewBucketRAM(counting, overlappingBuckets(), initial, plain, BucketOptions{
+		StashParam: stashParam,
+		Rand:       rng.New(1),
+		Key:        crypto.KeyFromSeed(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting.Reset()
+	return r, counting
+}
+
+func TestBucketRAMValidation(t *testing.T) {
+	srv, _ := store.NewMem(6, crypto.CiphertextSize(16))
+	if _, err := NewBucketRAM(srv, overlappingBuckets(), nil, 16, BucketOptions{}); err == nil {
+		t.Fatal("nil Rand accepted")
+	}
+	if _, err := NewBucketRAM(srv, [][]int{{0}}, nil, 16, BucketOptions{Rand: rng.New(1)}); err == nil {
+		t.Fatal("single bucket accepted")
+	}
+	ragged := [][]int{{0, 1}, {2}}
+	if _, err := NewBucketRAM(srv, ragged, nil, 16, BucketOptions{Rand: rng.New(1)}); err == nil {
+		t.Fatal("ragged buckets accepted")
+	}
+	oob := [][]int{{0, 1}, {2, 9}}
+	if _, err := NewBucketRAM(srv, oob, nil, 16, BucketOptions{Rand: rng.New(1)}); err == nil {
+		t.Fatal("out-of-range address accepted")
+	}
+	wrongBS, _ := store.NewMem(6, 16)
+	if _, err := NewBucketRAM(wrongBS, overlappingBuckets(), nil, 16, BucketOptions{Rand: rng.New(1)}); err == nil {
+		t.Fatal("missing ciphertext expansion accepted")
+	}
+}
+
+func TestBucketRAMReadsInitialContents(t *testing.T) {
+	r, _ := newBucketRAM(t, 1)
+	for bi := 0; bi < 4; bi++ {
+		nodes, err := r.Access(bi, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := overlappingBuckets()[bi]
+		for k, addr := range want {
+			if !block.CheckPattern(nodes[k], uint64(addr)) {
+				t.Fatalf("bucket %d node %d corrupted", bi, k)
+			}
+		}
+	}
+}
+
+// TestBucketRAMOverlapCoherence is the crux of Appendix E: an update to a
+// shared node through one bucket must be visible when reading an
+// overlapping bucket, across all stash configurations.
+func TestBucketRAMOverlapCoherence(t *testing.T) {
+	// Run with an aggressive stash (p = 1/2) to force many stash
+	// transitions, and a long random trace against a reference model.
+	r, _ := newBucketRAM(t, 2)
+	buckets := overlappingBuckets()
+	ref := make([]block.Block, 6)
+	for i := range ref {
+		ref[i] = block.Pattern(uint64(i), 16)
+	}
+	src := rng.New(2)
+	for step := 0; step < 4000; step++ {
+		bi := src.Intn(4)
+		if src.Bernoulli(0.5) {
+			// Update: rewrite the bucket's nodes with fresh patterns.
+			stamp := uint64(1000 + step)
+			nodes, err := r.Access(bi, func(nodes []block.Block) {
+				for k := range nodes {
+					copy(nodes[k], block.Pattern(stamp+uint64(k), 16))
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, addr := range buckets[bi] {
+				ref[addr] = block.Pattern(stamp+uint64(k), 16)
+				if !nodes[k].Equal(ref[addr]) {
+					t.Fatalf("step %d: update result stale at node %d", step, k)
+				}
+			}
+		} else {
+			nodes, err := r.Access(bi, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, addr := range buckets[bi] {
+				if !nodes[k].Equal(ref[addr]) {
+					t.Fatalf("step %d: bucket %d node %d (addr %d) diverged from reference",
+						step, bi, k, addr)
+				}
+			}
+		}
+	}
+}
+
+// TestBucketRAMCost checks the Appendix E cost shape: exactly 2 bucket
+// downloads + 1 bucket upload per query, i.e. 3·s block operations.
+func TestBucketRAMCost(t *testing.T) {
+	r, counting := newBucketRAM(t, 1)
+	const queries = 200
+	src := rng.New(3)
+	for i := 0; i < queries; i++ {
+		if _, err := r.Access(src.Intn(4), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := counting.Stats()
+	s := int64(r.BucketSize())
+	if st.Downloads != 2*queries*s || st.Uploads != queries*s {
+		t.Fatalf("ops = (%d,%d), want (%d,%d)", st.Downloads, st.Uploads, 2*queries*s, queries*s)
+	}
+}
+
+func TestBucketRAMClientStorageBounded(t *testing.T) {
+	r, _ := newBucketRAM(t, 1) // p = 1/4
+	src := rng.New(4)
+	for i := 0; i < 5000; i++ {
+		if _, err := r.Access(src.Intn(4), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At most all 4 buckets can be stashed: ≤ 6 distinct dirty blocks.
+	if r.MaxClientBlocks() > 6 {
+		t.Fatalf("client blocks %d exceeded repertoire footprint", r.MaxClientBlocks())
+	}
+	if r.MaxClientBlocks() == 0 {
+		t.Fatal("stash never engaged")
+	}
+}
+
+func TestBucketRAMOutOfRange(t *testing.T) {
+	r, _ := newBucketRAM(t, 1)
+	if _, err := r.Access(-1, nil); err == nil {
+		t.Fatal("negative bucket accepted")
+	}
+	if _, err := r.Access(4, nil); err == nil {
+		t.Fatal("overflow bucket accepted")
+	}
+}
+
+func TestBucketRAMDisjointBuckets(t *testing.T) {
+	// Degenerate case without overlap must also work.
+	const plain = 16
+	srv, _ := store.NewMem(4, crypto.CiphertextSize(plain))
+	buckets := [][]int{{0, 1}, {2, 3}}
+	r, err := NewBucketRAM(srv, buckets, nil, plain, BucketOptions{Rand: rng.New(5), StashParam: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamp := block.Pattern(42, plain)
+	if _, err := r.Access(0, func(nodes []block.Block) { copy(nodes[1], stamp) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		nodes, err := r.Access(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nodes[1].Equal(stamp) {
+			t.Fatalf("iteration %d: write lost", i)
+		}
+		other, err := r.Access(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !other[0].IsZero() || !other[1].IsZero() {
+			t.Fatal("disjoint bucket was affected by the write")
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package dpram implements the errorless differentially private RAM of
+// Section 6 of the paper (Algorithms 2 and 3 in Appendix H), plus the
+// bucket-generalized variant of Appendix E that DP-KVS builds on.
+//
+// The construction: the server holds an array A of n independently
+// encrypted records. The client keeps a stash in which each record lives
+// independently with probability p = C/n. A query for record i runs two
+// phases, each touching exactly one server address:
+//
+//	Download phase — if i is stashed, download a uniformly random address
+//	(a decoy) and serve i from the stash; otherwise download A[i].
+//
+//	Overwrite phase — with probability p, put the (possibly updated) record
+//	into the stash and refresh a uniformly random address (download,
+//	re-encrypt, upload); otherwise download A[i] again and upload a fresh
+//	encryption of the current record to A[i].
+//
+// Every query therefore costs exactly 2 downloads + 1 upload and 2
+// round trips, independent of n. Theorem 6.1 proves the transcript
+// distribution is ε-DP with ε = O(log n) when p ≤ Φ(n)/n for any
+// Φ(n) = ω(log n), and Lemma D.1 bounds the stash by O(Φ(n)) except with
+// negligible probability.
+package dpram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/privacy"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+	"dpstore/internal/workload"
+)
+
+// DefaultStashParam returns the paper-recommended stash parameter
+// C = Φ(n) = ⌈lg n · lg lg n⌉, which is ω(log n) as Theorem 6.1 requires
+// while keeping expected client storage tiny. Floored at 4 for small n.
+func DefaultStashParam(n int) int {
+	if n < 4 {
+		return 4
+	}
+	lg := math.Log2(float64(n))
+	c := int(math.Ceil(lg * math.Log2(lg)))
+	if c < 4 {
+		c = 4
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// Options configures a DP-RAM client.
+type Options struct {
+	// StashParam is the integer C of Algorithms 2–3: each record enters the
+	// stash with probability p = C/n. Zero selects DefaultStashParam(n).
+	StashParam int
+	// Key is the client's master key. The zero key means "sample a fresh
+	// random key at setup".
+	Key crypto.Key
+	// Rand is the client's coin source. Required.
+	Rand *rng.Source
+	// RetrievalOnly enables the unencrypted read-only mode discussed at the
+	// end of Section 6: the server stores public plaintext, the overwrite
+	// phase is skipped entirely (1 download per query, no uploads), and
+	// privacy holds against computationally unbounded adversaries. Write
+	// calls are rejected.
+	RetrievalOnly bool
+	// DisableEncryption stores plaintext while keeping the exact access
+	// pattern of the encrypted scheme. It exists for the empirical privacy
+	// estimator, which needs millions of queries and only ever inspects
+	// addresses (Definition 2.1's view excludes ciphertext contents under
+	// the IND-CPA reduction). Never use it to store private data with
+	// overwrites.
+	DisableEncryption bool
+}
+
+// Client is a DP-RAM client. It is not safe for concurrent use: like the
+// paper's client, it is a single stateful party.
+type Client struct {
+	server    store.Server
+	n         int
+	plainSize int
+	c         int // stash parameter C; p = C/n
+	cipher    *crypto.Cipher
+	stash     map[int]block.Block
+	src       *rng.Source
+
+	retrievalOnly bool
+	plaintext     bool
+
+	maxStash int
+}
+
+// ServerBlockSize returns the server slot size a DP-RAM over records of
+// plainSize bytes requires under the given options (ciphertext expansion
+// unless encryption is off).
+func ServerBlockSize(plainSize int, opts Options) int {
+	if opts.RetrievalOnly || opts.DisableEncryption {
+		return plainSize
+	}
+	return crypto.CiphertextSize(plainSize)
+}
+
+// Setup runs DP-RAM.Setup (Algorithm 2): it encrypts the database record by
+// record into the server and populates the stash by independent p-coins.
+// The server must be empty with Size() == db.Len() and
+// BlockSize() == ServerBlockSize(db.BlockSize(), opts).
+func Setup(db *block.Database, server store.Server, opts Options) (*Client, error) {
+	if opts.Rand == nil {
+		return nil, errors.New("dpram: Options.Rand is required")
+	}
+	n := db.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("dpram: database must hold ≥ 2 records, got %d", n)
+	}
+	c := opts.StashParam
+	if c == 0 {
+		c = DefaultStashParam(n)
+	}
+	if c < 0 || c > n {
+		return nil, fmt.Errorf("dpram: stash parameter %d outside [0,%d]", c, n)
+	}
+	if server.Size() != n {
+		return nil, fmt.Errorf("dpram: server size %d != database size %d", server.Size(), n)
+	}
+	wantBS := ServerBlockSize(db.BlockSize(), opts)
+	if server.BlockSize() != wantBS {
+		return nil, fmt.Errorf("dpram: server block size %d, want %d", server.BlockSize(), wantBS)
+	}
+
+	cl := &Client{
+		server:        server,
+		n:             n,
+		plainSize:     db.BlockSize(),
+		c:             c,
+		stash:         make(map[int]block.Block),
+		src:           opts.Rand,
+		retrievalOnly: opts.RetrievalOnly,
+		plaintext:     opts.RetrievalOnly || opts.DisableEncryption,
+	}
+	if !cl.plaintext {
+		key := opts.Key
+		if key == (crypto.Key{}) {
+			k, err := crypto.NewKey()
+			if err != nil {
+				return nil, err
+			}
+			key = k
+		}
+		cl.cipher = crypto.NewCipher(key)
+	}
+
+	for i := 0; i < n; i++ {
+		ct, err := cl.seal(db.Get(i))
+		if err != nil {
+			return nil, err
+		}
+		if err := server.Upload(i, ct); err != nil {
+			return nil, fmt.Errorf("dpram: setup upload %d: %w", i, err)
+		}
+		// Algorithm 2: pick r uniform from [N]; if r ≤ C, stash B_i.
+		if cl.src.Intn(n) < c {
+			cl.stash[i] = db.Get(i).Copy()
+		}
+	}
+	cl.trackStash()
+	return cl, nil
+}
+
+func (c *Client) seal(b block.Block) (block.Block, error) {
+	if c.plaintext {
+		return b.Copy(), nil
+	}
+	ct, err := c.cipher.Encrypt(b)
+	if err != nil {
+		return nil, fmt.Errorf("dpram: encrypting: %w", err)
+	}
+	return block.Block(ct), nil
+}
+
+func (c *Client) open(ct block.Block) (block.Block, error) {
+	if c.plaintext {
+		return ct.Copy(), nil
+	}
+	pt, err := c.cipher.Decrypt(ct)
+	if err != nil {
+		return nil, fmt.Errorf("dpram: decrypting: %w", err)
+	}
+	return block.Block(pt), nil
+}
+
+func (c *Client) trackStash() {
+	if len(c.stash) > c.maxStash {
+		c.maxStash = len(c.stash)
+	}
+}
+
+// N returns the number of records.
+func (c *Client) N() int { return c.n }
+
+// StashParam returns the configured C.
+func (c *Client) StashParam() int { return c.c }
+
+// StashProb returns p = C/n.
+func (c *Client) StashProb() float64 { return float64(c.c) / float64(c.n) }
+
+// StashSize returns the current number of stashed records (client storage
+// in blocks, excluding the constant-size working set of one query).
+func (c *Client) StashSize() int { return len(c.stash) }
+
+// MaxStashSize returns the high-water mark of the stash since setup.
+func (c *Client) MaxStashSize() int { return c.maxStash }
+
+// EpsUpperBound returns the ε certified by the Theorem 6.1 proof for this
+// configuration.
+func (c *Client) EpsUpperBound() float64 {
+	return privacy.DPRAMEpsUpperBound(c.n, c.StashProb())
+}
+
+// Read retrieves the current value of record i.
+func (c *Client) Read(i int) (block.Block, error) {
+	return c.Access(workload.Query{Index: i, Op: workload.Read})
+}
+
+// Write overwrites record i with b and returns the previous value.
+func (c *Client) Write(i int, b block.Block) (block.Block, error) {
+	if len(b) != c.plainSize {
+		return nil, fmt.Errorf("%w: got %d want %d", block.ErrSize, len(b), c.plainSize)
+	}
+	return c.Access(workload.Query{Index: i, Op: workload.Write, Data: b})
+}
+
+// Access runs DP-RAM.Query (Algorithm 3) for q and returns the record value
+// after applying the operation for reads, or the previous value for writes.
+func (c *Client) Access(q workload.Query) (block.Block, error) {
+	i := q.Index
+	if i < 0 || i >= c.n {
+		return nil, fmt.Errorf("dpram: index %d out of range [0,%d)", i, c.n)
+	}
+	if q.Op == workload.Write && c.retrievalOnly {
+		return nil, errors.New("dpram: write rejected in retrieval-only mode")
+	}
+
+	// --- Download phase ---
+	var cur block.Block
+	if stashed, ok := c.stash[i]; ok {
+		d := c.src.Intn(c.n)
+		if _, err := c.server.Download(d); err != nil { // decoy; discarded
+			return nil, fmt.Errorf("dpram: decoy download: %w", err)
+		}
+		cur = stashed
+		delete(c.stash, i)
+	} else {
+		ct, err := c.server.Download(i)
+		if err != nil {
+			return nil, fmt.Errorf("dpram: download: %w", err)
+		}
+		pt, err := c.open(ct)
+		if err != nil {
+			return nil, err
+		}
+		cur = pt
+	}
+	prev := cur.Copy()
+	if q.Op == workload.Write {
+		cur = q.Data.Copy()
+	}
+
+	if c.retrievalOnly {
+		// Section 6, "Discussion about encryption": with retrievals only,
+		// the overwrite phase is skipped wholesale. The stash coin is still
+		// flipped client-side so the per-record stash law stays Bernoulli(p),
+		// preserving the download-phase distribution across queries.
+		if c.src.Intn(c.n) < c.c {
+			c.stash[i] = cur
+			c.trackStash()
+		}
+		return prev, nil
+	}
+
+	// --- Overwrite phase ---
+	if c.src.Intn(c.n) < c.c {
+		// Stash the record; refresh a random address to mask the choice.
+		c.stash[i] = cur
+		c.trackStash()
+		o := c.src.Intn(c.n)
+		ct, err := c.server.Download(o)
+		if err != nil {
+			return nil, fmt.Errorf("dpram: refresh download: %w", err)
+		}
+		pt, err := c.open(ct)
+		if err != nil {
+			return nil, err
+		}
+		fresh, err := c.seal(pt)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.server.Upload(o, fresh); err != nil {
+			return nil, fmt.Errorf("dpram: refresh upload: %w", err)
+		}
+	} else {
+		// Write the record home. Algorithm 3 downloads A[i] (and discards
+		// it) before uploading, keeping the overwrite-phase transcript shape
+		// identical across both branches.
+		if _, err := c.server.Download(i); err != nil {
+			return nil, fmt.Errorf("dpram: overwrite download: %w", err)
+		}
+		ct, err := c.seal(cur)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.server.Upload(i, ct); err != nil {
+			return nil, fmt.Errorf("dpram: overwrite upload: %w", err)
+		}
+	}
+	return prev, nil
+}

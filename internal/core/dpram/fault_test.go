@@ -1,0 +1,90 @@
+package dpram
+
+import (
+	"errors"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// TestFaultPropagationEveryOffset injects a failure at every operation
+// offset of a query window and checks the client surfaces an error (never
+// panics) and that queries before the fault are unaffected.
+func TestFaultPropagationEveryOffset(t *testing.T) {
+	const n = 32
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setup costs n uploads; queries cost 3 ops each. Probe offsets across
+	// the first handful of queries.
+	for offset := int64(1); offset <= 12; offset++ {
+		srv, err := store.NewMem(n, crypto.CiphertextSize(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty := store.NewFaulty(srv, int64(n)+offset, nil)
+		c, err := Setup(db, faulty, Options{Rand: rng.New(int64(offset)), Key: crypto.KeyFromSeed(1)})
+		if err != nil {
+			t.Fatalf("offset %d: setup must precede the fault: %v", offset, err)
+		}
+		var sawErr bool
+		for i := 0; i < 8; i++ {
+			_, err := c.Read(i % n)
+			if err != nil {
+				if !errors.Is(err, store.ErrInjected) {
+					t.Fatalf("offset %d: error lost its cause: %v", offset, err)
+				}
+				sawErr = true
+				break
+			}
+		}
+		if !sawErr {
+			t.Fatalf("offset %d: fault never surfaced", offset)
+		}
+	}
+}
+
+// TestFaultDuringSetup checks setup fails cleanly when the server dies
+// mid-initialization.
+func TestFaultDuringSetup(t *testing.T) {
+	db, _ := block.PatternDatabase(32, 16)
+	srv, _ := store.NewMem(32, crypto.CiphertextSize(16))
+	faulty := store.NewFaulty(srv, 10, nil)
+	if _, err := Setup(db, faulty, Options{Rand: rng.New(1)}); !errors.Is(err, store.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+// TestBucketRAMFaultPropagation does the same for the Appendix E variant.
+func TestBucketRAMFaultPropagation(t *testing.T) {
+	const plain = 16
+	buckets := overlappingBuckets()
+	setupOps := int64(6) // six node uploads at initialization
+	for offset := int64(1); offset <= 9; offset++ {
+		srv, _ := store.NewMem(6, crypto.CiphertextSize(plain))
+		faulty := store.NewFaulty(srv, setupOps+offset, nil)
+		r, err := NewBucketRAM(faulty, buckets, nil, plain, BucketOptions{
+			Rand: rng.New(int64(offset)), Key: crypto.KeyFromSeed(2), StashParam: 2,
+		})
+		if err != nil {
+			t.Fatalf("offset %d: setup failed early: %v", offset, err)
+		}
+		var sawErr bool
+		for i := 0; i < 6; i++ {
+			if _, err := r.Access(i%4, nil); err != nil {
+				if !errors.Is(err, store.ErrInjected) {
+					t.Fatalf("offset %d: error lost its cause: %v", offset, err)
+				}
+				sawErr = true
+				break
+			}
+		}
+		if !sawErr {
+			t.Fatalf("offset %d: fault never surfaced", offset)
+		}
+	}
+}

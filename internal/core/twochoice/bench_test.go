@@ -1,0 +1,77 @@
+package twochoice
+
+import (
+	"fmt"
+	"testing"
+
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+)
+
+func BenchmarkPathComputation(b *testing.B) {
+	g, err := NewGeometry(1<<16, DefaultLeavesPerTree(1<<16), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Path(i % g.Buckets())
+	}
+}
+
+func BenchmarkMappingInsert(b *testing.B) {
+	g, err := NewGeometry(1<<16, DefaultLeavesPerTree(1<<16), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewMapping(g, crypto.KeyFromSeed(1), 1<<16) // oversized Φ: no overflow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%(1<<16) == 0 {
+			b.StopTimer()
+			m = NewMapping(g, crypto.KeyFromSeed(uint64(i)), 1<<16)
+			b.StartTimer()
+		}
+		if _, err := m.Insert(fmt.Sprintf("key-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMappingInsertByNodeCap is the node-capacity ablation.
+func BenchmarkMappingInsertByNodeCap(b *testing.B) {
+	for _, t := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			g, err := NewGeometry(1<<14, DefaultLeavesPerTree(1<<14), t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := NewMapping(g, crypto.KeyFromSeed(1), 1<<14)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%(1<<14) == 0 {
+					b.StopTimer()
+					m = NewMapping(g, crypto.KeyFromSeed(uint64(i)), 1<<14)
+					b.StartTimer()
+				}
+				if _, err := m.Insert(fmt.Sprintf("key-%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTwoChoiceProcess(b *testing.B) {
+	src := rng.New(1)
+	const bins = 1 << 16
+	load := make([]int, bins)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := src.Intn(bins), src.Intn(bins)
+		if load[y] < load[x] {
+			x = y
+		}
+		load[x]++
+	}
+}

@@ -1,0 +1,101 @@
+package twochoice
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"dpstore/internal/crypto"
+)
+
+// TestInsertPlacementOnOwnPaths is the core mapping-scheme invariant: every
+// inserted key lands either on one of its two Π(u) bucket paths or in the
+// super root — otherwise lookups would miss it.
+func TestInsertPlacementOnOwnPaths(t *testing.T) {
+	g, err := NewGeometry(512, DefaultLeavesPerTree(512), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapping(g, crypto.KeyFromSeed(3), 0)
+	for i := 0; i < 512; i++ {
+		u := fmt.Sprintf("key-%d", i)
+		addr, err := m.Insert(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr == -1 {
+			continue // super root: always reachable
+		}
+		l1, l2 := m.Pi(u)
+		onPath := false
+		for _, leaf := range []int{l1, l2} {
+			for _, a := range g.Path(leaf) {
+				if a == addr {
+					onPath = true
+				}
+			}
+		}
+		if !onPath {
+			t.Fatalf("key %q placed at node %d, not on either of its paths (leaves %d, %d)",
+				u, addr, l1, l2)
+		}
+	}
+}
+
+// TestNodeOccupancyNeverExceedsCap checks via LevelLoads that the storing
+// algorithm respects node capacity at every level (a full node count can
+// never exceed the node count of its level).
+func TestNodeOccupancyNeverExceedsCap(t *testing.T) {
+	g, err := NewGeometry(2048, DefaultLeavesPerTree(2048), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapping(g, crypto.KeyFromSeed(4), 0)
+	for i := 0; i < 2048; i++ {
+		if _, err := m.Insert(fmt.Sprintf("key-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads := m.LevelLoads()
+	// Height h has Buckets()/2^h nodes in total across the forest.
+	for h, full := range loads {
+		nodesAtLevel := g.Buckets() >> uint(h) // leaves halve per height within trees
+		if full > nodesAtLevel {
+			t.Fatalf("height %d reports %d full nodes but only %d exist", h, full, nodesAtLevel)
+		}
+	}
+}
+
+// TestPathPropertyQuick is a property test over random geometries: path
+// lengths, height ordering, and leaf uniqueness hold for every (n, L, t).
+func TestPathPropertyQuick(t *testing.T) {
+	f := func(nRaw, lRaw uint16, leafRaw uint32) bool {
+		n := int(nRaw)%4000 + 2
+		lExp := int(lRaw)%4 + 1 // L in {2,4,8,16}
+		l := 1 << lExp
+		g, err := NewGeometry(n, l, 2)
+		if err != nil {
+			return false
+		}
+		leaf := int(leafRaw) % g.Buckets()
+		path := g.Path(leaf)
+		if len(path) != g.Depth() {
+			return false
+		}
+		for i, addr := range path {
+			if g.NodeHeight(addr) != i {
+				return false
+			}
+		}
+		// Two distinct leaves in the same tree share everything above the
+		// level where their ancestors merge; their leaf nodes differ.
+		other := (leaf + 1) % g.Buckets()
+		if other != leaf && g.Path(other)[0] == path[0] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package twochoice
+
+import (
+	"errors"
+	"fmt"
+
+	"dpstore/internal/crypto"
+	"dpstore/internal/mathx"
+)
+
+// ErrFull reports that an insertion failed: both bucket paths and the super
+// root are full. Theorem 7.2 shows this happens with probability negl(n)
+// when the super root holds Φ(n) = ω(log n) keys.
+var ErrFull = errors.New("twochoice: mapping scheme overflow (both paths and super root full)")
+
+// Mapping is the standalone mapping scheme (Π, S) of Section 7.2 operating
+// on plaintext, used to study the allocation process itself (experiment E9
+// / Theorem 7.2) and as the reference model for the DP-KVS node layout.
+// The DP-KVS of package dpkvs reimplements S on top of the encrypted
+// BucketRAM; this type keeps node occupancy in client memory.
+type Mapping struct {
+	geo      *Geometry
+	prf1     *crypto.PRF
+	prf2     *crypto.PRF
+	nodeUsed []int // per-node occupied slot count
+	superCap int
+	superN   int
+	inserted int
+}
+
+// DefaultSuperCap returns Φ(n) = ⌈lg n⌉ · ⌈lg lg n⌉ (ω(log n)), floored at 8.
+func DefaultSuperCap(n int) int {
+	lg := mathx.CeilLog2(n)
+	lglg := mathx.CeilLog2(lg)
+	if lglg < 1 {
+		lglg = 1
+	}
+	if phi := lg * lglg; phi > 8 {
+		return phi
+	}
+	return 8
+}
+
+// NewMapping builds a mapping scheme over the geometry with PRF-derived
+// bucket choices keyed by key (labels "pi-1", "pi-2" per the paper's
+// two-key Π representation) and a super root of capacity superCap (0
+// selects DefaultSuperCap).
+func NewMapping(geo *Geometry, key crypto.Key, superCap int) *Mapping {
+	if superCap == 0 {
+		superCap = DefaultSuperCap(geo.Requested())
+	}
+	return &Mapping{
+		geo:      geo,
+		prf1:     crypto.NewPRF(key, "pi-1"),
+		prf2:     crypto.NewPRF(key, "pi-2"),
+		nodeUsed: make([]int, geo.Nodes()),
+		superCap: superCap,
+	}
+}
+
+// Pi evaluates the mapping function Π(u): the two PRF-chosen buckets
+// (leaves) for key u. The two choices may coincide; the DP-KVS layer pads
+// with a random bucket in that case, as Section 7.1 prescribes.
+func (m *Mapping) Pi(u string) (int, int) {
+	b := uint64(m.geo.Buckets())
+	return int(m.prf1.EvalMod([]byte(u), b)), int(m.prf2.EvalMod([]byte(u), b))
+}
+
+// Insert runs the storing algorithm S for key u: the key goes to the
+// lowest-height node with a free slot along either of its two bucket
+// paths, then to the super root, and fails with ErrFull only if all are
+// full. It returns the node address the key landed in, or -1 for the super
+// root.
+func (m *Mapping) Insert(u string) (int, error) {
+	l1, l2 := m.Pi(u)
+	p1, p2 := m.geo.Path(l1), m.geo.Path(l2)
+	// Scan heights from leaves upward; at equal height prefer the first
+	// path (the tie-break does not affect the analysis).
+	for h := 0; h < m.geo.Depth(); h++ {
+		for _, path := range [][]int{p1, p2} {
+			a := path[h]
+			if m.nodeUsed[a] < m.geo.NodeCap() {
+				m.nodeUsed[a]++
+				m.inserted++
+				return a, nil
+			}
+		}
+	}
+	if m.superN < m.superCap {
+		m.superN++
+		m.inserted++
+		return -1, nil
+	}
+	return 0, fmt.Errorf("%w: key %q after %d insertions", ErrFull, u, m.inserted)
+}
+
+// SuperRootLoad returns the number of keys the super root currently holds.
+func (m *Mapping) SuperRootLoad() int { return m.superN }
+
+// SuperCap returns the configured Φ(n).
+func (m *Mapping) SuperCap() int { return m.superCap }
+
+// Inserted returns the number of successful insertions.
+func (m *Mapping) Inserted() int { return m.inserted }
+
+// LevelLoads returns, per height (0 = leaf), the number of nodes that are
+// completely full — the H_i of the Theorem 7.2 proof.
+func (m *Mapping) LevelLoads() []int {
+	full := make([]int, m.geo.Depth())
+	for a, used := range m.nodeUsed {
+		if used >= m.geo.NodeCap() {
+			full[m.geo.NodeHeight(a)]++
+		}
+	}
+	return full
+}
+
+// Utilization returns the fraction of server node slots in use.
+func (m *Mapping) Utilization() float64 {
+	var used int
+	for _, u := range m.nodeUsed {
+		used += u
+	}
+	return float64(used) / float64(m.geo.Nodes()*m.geo.NodeCap())
+}

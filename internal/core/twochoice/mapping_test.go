@@ -1,0 +1,140 @@
+package twochoice
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dpstore/internal/crypto"
+)
+
+func newMapping(t *testing.T, n int) *Mapping {
+	t.Helper()
+	g, err := NewGeometry(n, DefaultLeavesPerTree(n), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewMapping(g, crypto.KeyFromSeed(1), 0)
+}
+
+func TestPiDeterministic(t *testing.T) {
+	m := newMapping(t, 1024)
+	a1, b1 := m.Pi("alpha")
+	a2, b2 := m.Pi("alpha")
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("Π not deterministic")
+	}
+	c1, c2 := m.Pi("beta")
+	if a1 == c1 && b1 == c2 {
+		t.Fatal("distinct keys map identically; PRF suspicious")
+	}
+}
+
+func TestInsertFullCapacity(t *testing.T) {
+	// Theorem 7.2 in action: inserting n keys must succeed with the super
+	// root well under Φ(n).
+	n := 1 << 12
+	m := newMapping(t, n)
+	for i := 0; i < n; i++ {
+		if _, err := m.Insert(fmt.Sprintf("key-%d", i)); err != nil {
+			t.Fatalf("insert %d failed: %v (super root %d/%d)", i, err, m.SuperRootLoad(), m.SuperCap())
+		}
+	}
+	if m.Inserted() != n {
+		t.Fatalf("inserted = %d, want %d", m.Inserted(), n)
+	}
+	if m.SuperRootLoad() > m.SuperCap()/2 {
+		t.Fatalf("super root load %d above Φ/2 = %d; Theorem 7.2 violated in spirit",
+			m.SuperRootLoad(), m.SuperCap()/2)
+	}
+	if u := m.Utilization(); u < 0.25 || u > 1 {
+		t.Fatalf("utilization %v out of sane range", u)
+	}
+}
+
+func TestInsertPlacementIsLowestHeight(t *testing.T) {
+	n := 256
+	m := newMapping(t, n)
+	// The very first insert must land in a leaf (height 0).
+	addr, err := m.Insert("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == -1 {
+		t.Fatal("first insert went to super root")
+	}
+	if h := m.geo.NodeHeight(addr); h != 0 {
+		t.Fatalf("first insert at height %d, want 0", h)
+	}
+}
+
+func TestLevelLoadsDecayWithHeight(t *testing.T) {
+	// The H_i of the Theorem 7.2 proof: the number of full nodes per level
+	// must decay sharply with height (β_i is doubly exponential).
+	n := 1 << 14
+	m := newMapping(t, n)
+	for i := 0; i < n; i++ {
+		if _, err := m.Insert(fmt.Sprintf("key-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads := m.LevelLoads()
+	if len(loads) != m.geo.Depth() {
+		t.Fatalf("levels = %d, want %d", len(loads), m.geo.Depth())
+	}
+	// Level 1 full-node count must be well below level 0's.
+	if loads[0] == 0 {
+		t.Fatal("no full leaves after n inserts; implausible")
+	}
+	if loads[1] >= loads[0] {
+		t.Fatalf("full nodes did not decay: level0=%d level1=%d", loads[0], loads[1])
+	}
+	top := loads[len(loads)-1]
+	if top > loads[0]/4 {
+		t.Fatalf("top level has %d full nodes vs %d at leaves; decay too slow", top, loads[0])
+	}
+}
+
+func TestOverflowReturnsErrFull(t *testing.T) {
+	// A deliberately undersized geometry must overflow with ErrFull once
+	// every slot and the super root are exhausted — and not before the
+	// capacity n' = slots + superCap is reached.
+	g, err := NewGeometry(4, 2, 1) // 2 trees × 3 nodes × 1 slot = 6 slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapping(g, crypto.KeyFromSeed(2), 3) // capacity 6 + 3 = 9
+	inserted := 0
+	var last error
+	for i := 0; i < 100; i++ {
+		if _, err := m.Insert(fmt.Sprintf("key-%d", i)); err != nil {
+			last = err
+			break
+		}
+		inserted++
+	}
+	if last == nil {
+		t.Fatal("no overflow after 100 inserts into capacity-9 mapping")
+	}
+	if !errors.Is(last, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", last)
+	}
+	if inserted > 9 {
+		t.Fatalf("inserted %d keys into capacity-9 mapping", inserted)
+	}
+	if inserted < 6 {
+		t.Fatalf("only %d inserts before overflow; placement too weak", inserted)
+	}
+}
+
+func TestSuperCapDefault(t *testing.T) {
+	// Φ(n) must grow and be ω(log n)-ish.
+	small := DefaultSuperCap(1 << 10)
+	large := DefaultSuperCap(1 << 20)
+	if large <= small {
+		t.Fatalf("Φ not growing: %d → %d", small, large)
+	}
+	if small < 8 {
+		t.Fatal("floor broken")
+	}
+}

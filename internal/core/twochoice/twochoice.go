@@ -1,0 +1,170 @@
+// Package twochoice implements the hashing machinery of Section 7 of the
+// paper: the classic one-choice and power-of-two-choices processes
+// (Appendix A.1, used as baselines for Theorem A.1), and the paper's new
+// oblivious two-choice mapping scheme — a forest of small binary trees
+// whose buckets are leaf-to-root paths sharing upper-level storage, with a
+// client-side "super root" overflow node (Theorem 7.2).
+//
+// The geometry delivers the property the DP-KVS construction needs: all n
+// buckets have identical size s(n) = Θ(log log n), total server storage is
+// Θ(n) node slots (instead of the Θ(n log log n) naive padding), and the
+// probability that more than Φ(n) = ω(log n) keys overflow to the super
+// root is negligible.
+package twochoice
+
+import (
+	"fmt"
+
+	"dpstore/internal/mathx"
+	"dpstore/internal/rng"
+)
+
+// MaxLoadOneChoice simulates throwing balls into bins with a single uniform
+// choice each and returns the maximum bin load. The classical bound is
+// Θ(log n / log log n) w.h.p. for balls = bins = n.
+func MaxLoadOneChoice(src *rng.Source, balls, bins int) int {
+	load := make([]int, bins)
+	maxLoad := 0
+	for i := 0; i < balls; i++ {
+		b := src.Intn(bins)
+		load[b]++
+		if load[b] > maxLoad {
+			maxLoad = load[b]
+		}
+	}
+	return maxLoad
+}
+
+// MaxLoadTwoChoice simulates the power-of-d-choices process (d ≥ 2): each
+// ball inspects d uniform bins and joins the least loaded. For d = 2 the
+// maximum load is Θ(log log n) w.h.p. (Theorem A.1 / [41]); d ≥ 3 improves
+// only the constant.
+func MaxLoadTwoChoice(src *rng.Source, balls, bins, d int) int {
+	if d < 2 {
+		panic("twochoice: d must be ≥ 2")
+	}
+	load := make([]int, bins)
+	maxLoad := 0
+	for i := 0; i < balls; i++ {
+		best := src.Intn(bins)
+		for j := 1; j < d; j++ {
+			c := src.Intn(bins)
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		load[best]++
+		if load[best] > maxLoad {
+			maxLoad = load[best]
+		}
+	}
+	return maxLoad
+}
+
+// Geometry describes the tree forest of Section 7.2. The n buckets are the
+// leaves; bucket ℓ's storage is the node path from leaf ℓ up to its tree
+// root. All paths have the same length (Depth() nodes), satisfying the
+// uniform-bucket-size requirement of the DP-KVS reduction, while nodes near
+// the roots are shared among many buckets, keeping total storage linear.
+type Geometry struct {
+	leaves        int // total leaves = number of buckets (padded)
+	requested     int // the n the caller asked for
+	leavesPerTree int // L, a power of two
+	trees         int // number of binary trees
+	nodesPerTree  int // 2L − 1
+	levels        int // path length: lg L + 1 node levels (leaf..tree root)
+	nodeCap       int // t = Θ(1) key slots per node
+}
+
+// DefaultLeavesPerTree returns the paper's Θ(log n) leaves-per-tree choice,
+// rounded to a power of two: trees have Θ(log log n) depth.
+func DefaultLeavesPerTree(n int) int {
+	if n < 4 {
+		return 2
+	}
+	return mathx.NextPow2(mathx.CeilLog2(n))
+}
+
+// NewGeometry builds a forest for n buckets with L leaves per tree (L must
+// be a power of two ≥ 2) and nodeCap slots per node.
+func NewGeometry(n, leavesPerTree, nodeCap int) (*Geometry, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("twochoice: need ≥ 2 buckets, got %d", n)
+	}
+	if !mathx.IsPow2(leavesPerTree) || leavesPerTree < 2 {
+		return nil, fmt.Errorf("twochoice: leavesPerTree %d must be a power of two ≥ 2", leavesPerTree)
+	}
+	if nodeCap < 1 {
+		return nil, fmt.Errorf("twochoice: nodeCap %d must be ≥ 1", nodeCap)
+	}
+	trees := (n + leavesPerTree - 1) / leavesPerTree
+	g := &Geometry{
+		leaves:        trees * leavesPerTree,
+		requested:     n,
+		leavesPerTree: leavesPerTree,
+		trees:         trees,
+		nodesPerTree:  2*leavesPerTree - 1,
+		levels:        mathx.FloorLog2(leavesPerTree) + 1,
+		nodeCap:       nodeCap,
+	}
+	return g, nil
+}
+
+// Buckets returns the total number of buckets (padded leaf count ≥ n).
+func (g *Geometry) Buckets() int { return g.leaves }
+
+// Requested returns the caller's n.
+func (g *Geometry) Requested() int { return g.requested }
+
+// Trees returns the number of binary trees.
+func (g *Geometry) Trees() int { return g.trees }
+
+// Nodes returns total server node count, Θ(n).
+func (g *Geometry) Nodes() int { return g.trees * g.nodesPerTree }
+
+// Depth returns the per-bucket path length in nodes, Θ(log log n).
+func (g *Geometry) Depth() int { return g.levels }
+
+// NodeCap returns the per-node slot count t.
+func (g *Geometry) NodeCap() int { return g.nodeCap }
+
+// SlotsPerBucket returns the number of key slots along one bucket path
+// (excluding the client super root).
+func (g *Geometry) SlotsPerBucket() int { return g.levels * g.nodeCap }
+
+// Path returns the server node addresses of bucket (leaf) ℓ ordered from
+// the leaf (height 0) to the tree root (height Depth()−1). Heap layout:
+// within a tree, node 1 is the root and node L+j is leaf j; the global
+// address of in-tree node h of tree τ is τ·(2L−1) + h − 1.
+func (g *Geometry) Path(leaf int) []int {
+	if leaf < 0 || leaf >= g.leaves {
+		panic(fmt.Sprintf("twochoice: leaf %d out of range [0,%d)", leaf, g.leaves))
+	}
+	tree := leaf / g.leavesPerTree
+	pos := leaf % g.leavesPerTree
+	base := tree * g.nodesPerTree
+	path := make([]int, 0, g.levels)
+	for h := g.leavesPerTree + pos; h >= 1; h /= 2 {
+		path = append(path, base+h-1)
+	}
+	return path
+}
+
+// NodeHeight returns the height (0 = leaf) of the global node address.
+func (g *Geometry) NodeHeight(addr int) int {
+	h := addr%g.nodesPerTree + 1 // in-tree heap index
+	height := g.levels - 1
+	for h >= 2 {
+		h /= 2
+		height--
+	}
+	return height
+}
+
+// PaddedStorage returns the node count a naive padded two-choice layout
+// would need: n bins padded to the w.h.p. max load of Θ(log log n), the
+// comparison of Section 7.2 ("this technique requires ... O(n log log n)
+// storage").
+func (g *Geometry) PaddedStorage() int {
+	return g.requested * g.levels
+}

@@ -1,0 +1,181 @@
+package twochoice
+
+import (
+	"math"
+	"testing"
+
+	"dpstore/internal/rng"
+)
+
+func TestMaxLoadSeparation(t *testing.T) {
+	// Theorem A.1 territory: with n balls into n bins, one choice gives
+	// Θ(log n / log log n) max load while two choices give Θ(log log n).
+	// At n = 2^16 the separation is unmistakable.
+	src := rng.New(1)
+	n := 1 << 16
+	one := MaxLoadOneChoice(src.Split(), n, n)
+	two := MaxLoadTwoChoice(src.Split(), n, n, 2)
+	if two >= one {
+		t.Fatalf("two-choice max load %d not below one-choice %d", two, one)
+	}
+	// lg lg 2^16 = 4: two-choice max load should be tiny.
+	if two > 8 {
+		t.Fatalf("two-choice max load %d, expected ≤ 8 ≈ 2·lg lg n", two)
+	}
+	if one < 6 {
+		t.Fatalf("one-choice max load %d suspiciously small", one)
+	}
+}
+
+func TestMoreChoicesNeverWorse(t *testing.T) {
+	src := rng.New(2)
+	n := 1 << 14
+	two := MaxLoadTwoChoice(src.Split(), n, n, 2)
+	four := MaxLoadTwoChoice(src.Split(), n, n, 4)
+	if four > two+1 {
+		t.Fatalf("d=4 load %d much worse than d=2 load %d", four, two)
+	}
+}
+
+func TestMaxLoadTwoChoicePanicsOnBadD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MaxLoadTwoChoice(rng.New(3), 10, 10, 1)
+}
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := NewGeometry(1, 8, 2); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := NewGeometry(100, 6, 2); err == nil {
+		t.Fatal("non-power-of-two L accepted")
+	}
+	if _, err := NewGeometry(100, 8, 0); err == nil {
+		t.Fatal("zero node capacity accepted")
+	}
+}
+
+func TestGeometryShape(t *testing.T) {
+	g, err := NewGeometry(100, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Trees() != 13 { // ⌈100/8⌉
+		t.Fatalf("trees = %d, want 13", g.Trees())
+	}
+	if g.Buckets() != 13*8 {
+		t.Fatalf("buckets = %d, want 104", g.Buckets())
+	}
+	if g.Nodes() != 13*15 { // 2L−1 nodes per tree
+		t.Fatalf("nodes = %d, want 195", g.Nodes())
+	}
+	if g.Depth() != 4 { // lg 8 + 1
+		t.Fatalf("depth = %d, want 4", g.Depth())
+	}
+	if g.SlotsPerBucket() != 8 {
+		t.Fatalf("slots per bucket = %d, want 8", g.SlotsPerBucket())
+	}
+	if g.NodeCap() != 2 || g.Requested() != 100 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestGeometryLinearStorage(t *testing.T) {
+	// Server nodes must stay Θ(n) while the naive padded layout grows as
+	// n·depth. Node count is < 2·buckets because a tree with L leaves has
+	// 2L−1 nodes.
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 18} {
+		g, err := NewGeometry(n, DefaultLeavesPerTree(n), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Nodes() >= 3*n {
+			t.Fatalf("n=%d: %d nodes is not linear", n, g.Nodes())
+		}
+		if g.PaddedStorage() <= g.Nodes() {
+			t.Fatalf("n=%d: padded storage %d not above tree storage %d",
+				n, g.PaddedStorage(), g.Nodes())
+		}
+	}
+}
+
+func TestDefaultLeavesPerTreeGrowth(t *testing.T) {
+	// L = Θ(log n), so depth = Θ(log log n).
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 22} {
+		l := DefaultLeavesPerTree(n)
+		lg := math.Log2(float64(n))
+		if float64(l) < lg/2 || float64(l) > 4*lg {
+			t.Fatalf("L(%d) = %d, want Θ(lg n = %.0f)", n, l, lg)
+		}
+	}
+	if DefaultLeavesPerTree(2) != 2 {
+		t.Fatal("tiny n default broken")
+	}
+}
+
+func TestPathStructure(t *testing.T) {
+	g, err := NewGeometry(64, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenLeaf := make(map[int]bool)
+	for leaf := 0; leaf < g.Buckets(); leaf++ {
+		p := g.Path(leaf)
+		if len(p) != g.Depth() {
+			t.Fatalf("path length %d, want %d", len(p), g.Depth())
+		}
+		// First node is the leaf: height 0 and unique per bucket.
+		if h := g.NodeHeight(p[0]); h != 0 {
+			t.Fatalf("path[0] height %d, want 0", h)
+		}
+		if seenLeaf[p[0]] {
+			t.Fatalf("leaf node %d shared between buckets", p[0])
+		}
+		seenLeaf[p[0]] = true
+		// Heights increase toward the root.
+		for i, addr := range p {
+			if g.NodeHeight(addr) != i {
+				t.Fatalf("path[%d] height %d, want %d", i, g.NodeHeight(addr), i)
+			}
+			if addr < 0 || addr >= g.Nodes() {
+				t.Fatalf("path address %d out of range", addr)
+			}
+		}
+	}
+}
+
+func TestPathSharingWithinTree(t *testing.T) {
+	g, _ := NewGeometry(16, 8, 2)
+	// Leaves 0 and 1 are siblings: they share all nodes above height 0.
+	p0, p1 := g.Path(0), g.Path(1)
+	if p0[0] == p1[0] {
+		t.Fatal("distinct leaves share leaf node")
+	}
+	for i := 1; i < len(p0); i++ {
+		if p0[i] != p1[i] {
+			t.Fatalf("sibling leaves diverge at height %d", i)
+		}
+	}
+	// Leaves in different trees share nothing.
+	p8 := g.Path(8)
+	for _, a := range p0 {
+		for _, b := range p8 {
+			if a == b {
+				t.Fatalf("cross-tree paths share node %d", a)
+			}
+		}
+	}
+}
+
+func TestPathPanicsOutOfRange(t *testing.T) {
+	g, _ := NewGeometry(16, 8, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Path(g.Buckets())
+}

@@ -1,0 +1,99 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	for _, d := range []Deployment{LAN, WAN, Mobile} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", d.Name, err)
+		}
+	}
+	bad := []Deployment{
+		{RTT: -time.Second, BandwidthBps: 1},
+		{BandwidthBps: 0},
+		{BandwidthBps: 1, ServerNsPerBlock: -1},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad deployment %d accepted", i)
+		}
+	}
+}
+
+func TestLatencyComposition(t *testing.T) {
+	d := Deployment{RTT: 10 * time.Millisecond, BandwidthBps: 1e6, ServerNsPerBlock: 1000}
+	c := SchemeCost{BlocksMoved: 100, RoundTrips: 2, ServerBlocksTouched: 100, BlockBytes: 1000}
+	// 2 RTTs = 20ms; wire = 100·1000/1e6 s = 100ms; server = 100·1µs = 0.1ms.
+	got := d.Latency(c)
+	want := 20*time.Millisecond + 100*time.Millisecond + 100*time.Microsecond
+	if got != want {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyMonotonicity(t *testing.T) {
+	base := SchemeCost{BlocksMoved: 3, RoundTrips: 2, ServerBlocksTouched: 3, BlockBytes: 64}
+	for _, d := range []Deployment{LAN, WAN, Mobile} {
+		l0 := d.Latency(base)
+		more := base
+		more.BlocksMoved *= 10
+		more.ServerBlocksTouched *= 10
+		if d.Latency(more) <= l0 {
+			t.Fatalf("%s: latency not monotone in blocks", d.Name)
+		}
+		rt := base
+		rt.RoundTrips = 10
+		if d.Latency(rt) <= l0 {
+			t.Fatalf("%s: latency not monotone in round trips", d.Name)
+		}
+	}
+}
+
+func TestThroughputBounds(t *testing.T) {
+	// PIR-shaped cost (touch everything, ship one block) must be CPU
+	// bound; ORAM-shaped cost (ship many blocks) must be wire bound on a
+	// slow link.
+	slow := Deployment{RTT: time.Millisecond, BandwidthBps: 1e6, ServerNsPerBlock: 100}
+	pir := SchemeCost{BlocksMoved: 1, RoundTrips: 1, ServerBlocksTouched: 1e6, BlockBytes: 64}
+	oram := SchemeCost{BlocksMoved: 100, RoundTrips: 2, ServerBlocksTouched: 100, BlockBytes: 64}
+	tpPIR := slow.ServerThroughput(pir)
+	tpORAM := slow.ServerThroughput(oram)
+	if tpPIR >= tpORAM {
+		t.Fatalf("PIR throughput %v should be far below ORAM %v on this deployment", tpPIR, tpORAM)
+	}
+	// CPU bound check: 1e6 blocks × 100ns = 0.1s per query → 10 qps.
+	if tpPIR < 9 || tpPIR > 11 {
+		t.Fatalf("PIR throughput = %v, want ≈10", tpPIR)
+	}
+}
+
+func TestSlowdownPlainIsOne(t *testing.T) {
+	c := SchemeCost{BlocksMoved: 1, RoundTrips: 1, ServerBlocksTouched: 1, BlockBytes: 64}
+	for _, d := range []Deployment{LAN, WAN} {
+		if s := d.Slowdown(c); s < 0.999 || s > 1.001 {
+			t.Fatalf("%s: plaintext slowdown = %v, want 1", d.Name, s)
+		}
+	}
+}
+
+func TestSlowdownOrdersSchemes(t *testing.T) {
+	// The paper's narrative must come out of the model: DP-RAM ≪ ORAM ≪ PIR
+	// in slowdown on every preset, with DP-RAM within a small factor of 1.
+	const n = 1 << 20
+	const bs = 64
+	dpram := SchemeCost{Name: "dpram", BlocksMoved: 3, RoundTrips: 2, ServerBlocksTouched: 3, BlockBytes: bs}
+	oram := SchemeCost{Name: "oram", BlocksMoved: 168, RoundTrips: 2, ServerBlocksTouched: 168, BlockBytes: bs}
+	pir := SchemeCost{Name: "pir", BlocksMoved: float64(n), RoundTrips: 1, ServerBlocksTouched: float64(n), BlockBytes: bs}
+	for _, d := range []Deployment{LAN, WAN, Mobile} {
+		sd, so, sp := d.Slowdown(dpram), d.Slowdown(oram), d.Slowdown(pir)
+		if !(sd < so && so < sp) {
+			t.Fatalf("%s: slowdowns not ordered: dpram %v, oram %v, pir %v", d.Name, sd, so, sp)
+		}
+		if sd > 2.5 {
+			t.Fatalf("%s: DP-RAM slowdown %v; should be within ~2.5× of plaintext", d.Name, sd)
+		}
+	}
+}

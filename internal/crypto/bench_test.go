@@ -1,0 +1,41 @@
+package crypto
+
+import "testing"
+
+func benchCipher(b *testing.B, size int) {
+	c := NewCipher(KeyFromSeed(1))
+	pt := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct, err := c.Encrypt(pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptDecrypt64(b *testing.B)  { benchCipher(b, 64) }
+func BenchmarkEncryptDecrypt1K(b *testing.B)  { benchCipher(b, 1024) }
+func BenchmarkEncryptDecrypt16K(b *testing.B) { benchCipher(b, 16*1024) }
+
+func BenchmarkPRFEval(b *testing.B) {
+	p := NewPRF(KeyFromSeed(1), "bench")
+	in := []byte("key-00001234")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Eval(in)
+	}
+}
+
+func BenchmarkPRFEvalMod(b *testing.B) {
+	p := NewPRF(KeyFromSeed(1), "bench")
+	in := []byte("key-00001234")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.EvalMod(in, 65536)
+	}
+}

@@ -1,0 +1,176 @@
+// Package crypto provides the two cryptographic tools the paper's
+// constructions assume: an IND-CPA symmetric encryption scheme (Enc, Dec)
+// for DP-RAM's block array (Section 6), and a pseudorandom function F for
+// the mapping function Π(u) = {F(key1, u), F(key2, u)} of the oblivious
+// two-choice hashing scheme (Section 7.2).
+//
+// The concrete instantiations are stdlib-only:
+//
+//   - Enc/Dec: AES-256-CTR with a fresh random IV per encryption, followed
+//     by HMAC-SHA256 over iv‖ciphertext (encrypt-then-MAC). CTR mode with
+//     random IVs is IND-CPA; the MAC additionally gives ciphertext
+//     integrity, which the paper does not need but any deployment would.
+//   - PRF: HMAC-SHA256 truncated to 64 bits.
+//
+// The privacy proofs only use that re-encryptions of the same plaintext are
+// indistinguishable from encryptions of zeros; both hold here.
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// KeySize is the master key length in bytes. The master key is split
+	// into an AES-256 encryption key and a MAC key via domain-separated
+	// HMAC, so 32 bytes of entropy suffice.
+	KeySize = 32
+	ivSize  = aes.BlockSize
+	macSize = sha256.Size
+	// Overhead is the ciphertext expansion in bytes: IV plus MAC tag.
+	Overhead = ivSize + macSize
+)
+
+// ErrAuth reports a ciphertext whose MAC did not verify.
+var ErrAuth = errors.New("crypto: message authentication failed")
+
+// Key is a client-held master secret.
+type Key [KeySize]byte
+
+// NewKey samples a fresh key from crypto/rand.
+func NewKey() (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return Key{}, fmt.Errorf("crypto: sampling key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromSeed derives a key deterministically from a seed. Experiments use
+// it for reproducibility; production callers should use NewKey.
+func KeyFromSeed(seed uint64) Key {
+	var k Key
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], seed)
+	mac := hmac.New(sha256.New, []byte("dpstore/key-from-seed"))
+	mac.Write(s[:])
+	copy(k[:], mac.Sum(nil))
+	return k
+}
+
+// derive produces a 32-byte subkey of k for the given domain label.
+func derive(k Key, label string) []byte {
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write([]byte(label))
+	return mac.Sum(nil)
+}
+
+// Cipher is the (Enc, Dec) pair of Section 6. It is stateless apart from the
+// derived keys and is safe for concurrent use.
+type Cipher struct {
+	encKey []byte
+	macKey []byte
+	// ivRand is the IV source; tests may replace it for determinism.
+	ivRand io.Reader
+}
+
+// NewCipher builds a Cipher from a master key.
+func NewCipher(k Key) *Cipher {
+	return &Cipher{
+		encKey: derive(k, "dpstore/enc"),
+		macKey: derive(k, "dpstore/mac"),
+		ivRand: rand.Reader,
+	}
+}
+
+// SetIVReader replaces the IV randomness source. Only tests should call it.
+func (c *Cipher) SetIVReader(r io.Reader) { c.ivRand = r }
+
+// CiphertextSize returns the ciphertext length for a plaintext of the given
+// length.
+func CiphertextSize(plaintextLen int) int { return plaintextLen + Overhead }
+
+// Encrypt returns iv ‖ CTR(plaintext) ‖ HMAC(iv‖ct). Each call draws a fresh
+// IV, so re-encrypting the same block yields an independent-looking
+// ciphertext — the property DP-RAM's overwrite phase relies on.
+func (c *Cipher) Encrypt(plaintext []byte) ([]byte, error) {
+	blk, err := aes.NewCipher(c.encKey)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: %w", err)
+	}
+	out := make([]byte, ivSize+len(plaintext)+macSize)
+	iv := out[:ivSize]
+	if _, err := io.ReadFull(c.ivRand, iv); err != nil {
+		return nil, fmt.Errorf("crypto: sampling IV: %w", err)
+	}
+	cipher.NewCTR(blk, iv).XORKeyStream(out[ivSize:ivSize+len(plaintext)], plaintext)
+	mac := hmac.New(sha256.New, c.macKey)
+	mac.Write(out[:ivSize+len(plaintext)])
+	mac.Sum(out[:ivSize+len(plaintext)])
+	return out, nil
+}
+
+// Decrypt verifies and opens a ciphertext produced by Encrypt.
+func (c *Cipher) Decrypt(ct []byte) ([]byte, error) {
+	if len(ct) < Overhead {
+		return nil, fmt.Errorf("crypto: ciphertext too short (%d bytes)", len(ct))
+	}
+	body := ct[:len(ct)-macSize]
+	tag := ct[len(ct)-macSize:]
+	mac := hmac.New(sha256.New, c.macKey)
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), tag) {
+		return nil, ErrAuth
+	}
+	blk, err := aes.NewCipher(c.encKey)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: %w", err)
+	}
+	pt := make([]byte, len(body)-ivSize)
+	cipher.NewCTR(blk, body[:ivSize]).XORKeyStream(pt, body[ivSize:])
+	return pt, nil
+}
+
+// PRF is the keyed function F of Section 7.2. Two independently keyed PRFs
+// define the two bucket choices of the mapping function Π.
+type PRF struct {
+	key []byte
+}
+
+// NewPRF derives a PRF from the master key under a caller-chosen label, so
+// one master key can back many independent PRFs (Π uses labels "pi-1" and
+// "pi-2").
+func NewPRF(k Key, label string) *PRF {
+	return &PRF{key: derive(k, "dpstore/prf/"+label)}
+}
+
+// Eval returns the 64-bit PRF output on input.
+func (p *PRF) Eval(input []byte) uint64 {
+	mac := hmac.New(sha256.New, p.key)
+	mac.Write(input)
+	return binary.BigEndian.Uint64(mac.Sum(nil)[:8])
+}
+
+// EvalMod returns Eval(input) reduced modulo m (m > 0). The modulo bias for
+// m ≪ 2^64 is cryptographically negligible.
+func (p *PRF) EvalMod(input []byte, m uint64) uint64 {
+	if m == 0 {
+		panic("crypto: EvalMod modulus zero")
+	}
+	return p.Eval(input) % m
+}
+
+// EvalString is Eval on a string key, avoiding a copy at call sites.
+func (p *PRF) EvalString(s string) uint64 {
+	mac := hmac.New(sha256.New, p.key)
+	io.WriteString(mac, s)
+	return binary.BigEndian.Uint64(mac.Sum(nil)[:8])
+}

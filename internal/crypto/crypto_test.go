@@ -1,0 +1,160 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	c := NewCipher(KeyFromSeed(1))
+	f := func(pt []byte) bool {
+		ct, err := c.Encrypt(pt)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decrypt(ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCiphertextSize(t *testing.T) {
+	c := NewCipher(KeyFromSeed(2))
+	for _, n := range []int{0, 1, 16, 64, 1000} {
+		ct, err := c.Encrypt(make([]byte, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct) != CiphertextSize(n) {
+			t.Fatalf("ciphertext of %d-byte plaintext is %d bytes, want %d", n, len(ct), CiphertextSize(n))
+		}
+	}
+}
+
+func TestFreshRandomnessPerEncryption(t *testing.T) {
+	// Re-encryptions of the same plaintext must differ — the property
+	// DP-RAM's overwrite phase depends on.
+	c := NewCipher(KeyFromSeed(3))
+	pt := []byte("same plaintext every time......")
+	ct1, _ := c.Encrypt(pt)
+	ct2, _ := c.Encrypt(pt)
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("two encryptions of the same plaintext are identical")
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	c := NewCipher(KeyFromSeed(4))
+	ct, _ := c.Encrypt([]byte("hello world, this is a record"))
+	for _, pos := range []int{0, ivSize, len(ct) - 1} {
+		bad := append([]byte(nil), ct...)
+		bad[pos] ^= 1
+		if _, err := c.Decrypt(bad); err == nil {
+			t.Fatalf("tampering at byte %d went undetected", pos)
+		}
+	}
+}
+
+func TestDecryptTooShort(t *testing.T) {
+	c := NewCipher(KeyFromSeed(5))
+	if _, err := c.Decrypt(make([]byte, Overhead-1)); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	a := NewCipher(KeyFromSeed(6))
+	b := NewCipher(KeyFromSeed(7))
+	ct, _ := a.Encrypt([]byte("secret record"))
+	if _, err := b.Decrypt(ct); err == nil {
+		t.Fatal("decryption under wrong key succeeded")
+	}
+}
+
+func TestKeyFromSeedDeterministic(t *testing.T) {
+	if KeyFromSeed(9) != KeyFromSeed(9) {
+		t.Fatal("KeyFromSeed not deterministic")
+	}
+	if KeyFromSeed(9) == KeyFromSeed(10) {
+		t.Fatal("different seeds gave equal keys")
+	}
+}
+
+func TestNewKeyIsRandom(t *testing.T) {
+	k1, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("two fresh keys are identical")
+	}
+}
+
+func TestPRFDeterministicAndKeyed(t *testing.T) {
+	p1 := NewPRF(KeyFromSeed(11), "lbl")
+	p1b := NewPRF(KeyFromSeed(11), "lbl")
+	p2 := NewPRF(KeyFromSeed(11), "other")
+	p3 := NewPRF(KeyFromSeed(12), "lbl")
+	in := []byte("input")
+	if p1.Eval(in) != p1b.Eval(in) {
+		t.Fatal("PRF not deterministic")
+	}
+	if p1.Eval(in) == p2.Eval(in) {
+		t.Fatal("different labels collide")
+	}
+	if p1.Eval(in) == p3.Eval(in) {
+		t.Fatal("different keys collide")
+	}
+}
+
+func TestPRFEvalStringMatchesEval(t *testing.T) {
+	p := NewPRF(KeyFromSeed(13), "s")
+	f := func(s string) bool {
+		return p.EvalString(s) == p.Eval([]byte(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRFEvalModRange(t *testing.T) {
+	p := NewPRF(KeyFromSeed(14), "m")
+	for i := 0; i < 1000; i++ {
+		v := p.EvalMod([]byte{byte(i), byte(i >> 8)}, 17)
+		if v >= 17 {
+			t.Fatalf("EvalMod returned %d ≥ 17", v)
+		}
+	}
+}
+
+func TestPRFEvalModSpreads(t *testing.T) {
+	p := NewPRF(KeyFromSeed(15), "spread")
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		counts[p.EvalMod([]byte{byte(i), byte(i >> 8)}, 8)]++
+	}
+	for b, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("bucket %d got %d/8000 draws; PRF output looks biased", b, c)
+		}
+	}
+}
+
+func TestPRFEvalModPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPRF(KeyFromSeed(16), "z").EvalMod([]byte("x"), 0)
+}

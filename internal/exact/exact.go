@@ -1,0 +1,269 @@
+// Package exact computes exact transcript distributions for the paper's
+// constructions at small parameter sizes, by closed form (DP-IR, Appendix
+// B) and by exhaustive Markov enumeration over client states (DP-RAM,
+// Section 6). Where the sampling estimator of internal/analysis gives
+// ε̂ ± noise, this package gives the true ε of the mechanism — so the test
+// suite can check the privacy theorems with equalities instead of
+// tolerances, and experiment E6 can print an exact column.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpstore/internal/workload"
+)
+
+// --- DP-IR (Appendix B closed form) -------------------------------------------
+
+// DPIRTranscriptProb returns the exact probability that Algorithm 1 with
+// parameters (n, K, α) produces a download set containing the queried
+// block (inReal = true) or any one fixed K-set not containing it. The two
+// cases of Appendix B:
+//
+//	B_q ∈ T: (1−α)/C(n−1,K−1) + α/C(n,K)
+//	B_q ∉ T: α/C(n,K)
+func DPIRTranscriptProb(n, k int, alpha float64, inReal bool) float64 {
+	lnCnk := lnBinom(n, k)
+	if inReal {
+		return (1-alpha)*math.Exp(-lnBinom(n-1, k-1)) + alpha*math.Exp(-lnCnk)
+	}
+	return alpha * math.Exp(-lnCnk)
+}
+
+// DPIRExactEps returns the exact pure-DP budget of Algorithm 1: the
+// maximum log-ratio over transcript sets between two adjacent queries,
+// which Appendix B shows equals ln(1 + (1−α)·n/(α·K)). Computed from the
+// per-transcript probabilities rather than the simplified formula, so the
+// tests can confirm the Appendix B algebra.
+func DPIRExactEps(n, k int, alpha float64) float64 {
+	if alpha <= 0 {
+		return math.Inf(1)
+	}
+	pIn := DPIRTranscriptProb(n, k, alpha, true)
+	pOut := DPIRTranscriptProb(n, k, alpha, false)
+	return math.Log(pIn / pOut)
+}
+
+func lnBinom(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(1)
+	}
+	a, _ := math.Lgamma(float64(n) + 1)
+	b, _ := math.Lgamma(float64(k) + 1)
+	c, _ := math.Lgamma(float64(n-k) + 1)
+	return a - b - c
+}
+
+// --- DP-RAM (exhaustive enumeration) --------------------------------------------
+
+// DPRAM enumerates the exact transcript distribution of Algorithms 2–3
+// for a database of n ≤ MaxN records with stash probability p = C/n. The
+// client state is the stash membership set, represented as an n-bit mask;
+// the per-query transcript is the (download address, overwrite address)
+// pair, which by the Section 6.1 reduction is the entire adversary view.
+type DPRAM struct {
+	n int
+	c int // stash parameter C; p = C/n exactly, matching Intn(n) < C
+}
+
+// MaxN bounds the enumeration (2^n states × (n²)^l transcripts).
+const MaxN = 10
+
+// NewDPRAM builds an exact model. It panics if n is out of enumeration
+// range or C outside [0, n] — model construction is programmer-controlled.
+func NewDPRAM(n, c int) *DPRAM {
+	if n < 2 || n > MaxN {
+		panic(fmt.Sprintf("exact: n = %d outside [2,%d]", n, MaxN))
+	}
+	if c < 0 || c > n {
+		panic(fmt.Sprintf("exact: C = %d outside [0,%d]", c, n))
+	}
+	return &DPRAM{n: n, c: c}
+}
+
+// P returns the stash probability p = C/n.
+func (m *DPRAM) P() float64 { return float64(m.c) / float64(m.n) }
+
+// initialStates returns the setup-time distribution over stash masks:
+// each record independently stashed with probability p (Algorithm 2).
+func (m *DPRAM) initialStates() map[uint]float64 {
+	p := m.P()
+	states := make(map[uint]float64, 1<<m.n)
+	for mask := uint(0); mask < 1<<m.n; mask++ {
+		prob := 1.0
+		for i := 0; i < m.n; i++ {
+			if mask&(1<<i) != 0 {
+				prob *= p
+			} else {
+				prob *= 1 - p
+			}
+		}
+		if prob > 0 {
+			states[mask] = prob
+		}
+	}
+	return states
+}
+
+// step advances one query: given a state distribution it returns, for each
+// (d, o) transcript symbol, the resulting sub-distribution over states.
+// Probabilities across all symbols and states sum to the input mass.
+func (m *DPRAM) step(states map[uint]float64, q workload.Query) map[[2]int]map[uint]float64 {
+	n := m.n
+	p := m.P()
+	i := q.Index
+	out := make(map[[2]int]map[uint]float64)
+	add := func(d, o int, mask uint, prob float64) {
+		if prob <= 0 {
+			return
+		}
+		key := [2]int{d, o}
+		inner, ok := out[key]
+		if !ok {
+			inner = make(map[uint]float64)
+			out[key] = inner
+		}
+		inner[mask] += prob
+	}
+	uni := 1 / float64(n)
+	for mask, prob := range states {
+		// Download phase.
+		type branch struct {
+			d    int
+			mask uint
+			prob float64
+		}
+		var downloads []branch
+		if mask&(1<<i) != 0 {
+			// Stash hit: decoy d uniform; i leaves the stash.
+			after := mask &^ (1 << i)
+			for d := 0; d < n; d++ {
+				downloads = append(downloads, branch{d: d, mask: after, prob: prob * uni})
+			}
+		} else {
+			downloads = append(downloads, branch{d: i, mask: mask, prob: prob})
+		}
+		// Overwrite phase (identical for reads and writes — Lemma 6.2's
+		// observation, confirmed by this enumeration).
+		for _, b := range downloads {
+			// Re-stash branch: probability p, o uniform.
+			restashed := b.mask | (1 << i)
+			for o := 0; o < n; o++ {
+				add(b.d, o, restashed, b.prob*p*uni)
+			}
+			// Write-home branch: probability 1−p, o = i.
+			add(b.d, i, b.mask, b.prob*(1-p))
+		}
+	}
+	return out
+}
+
+// TranscriptDist returns the exact distribution over full transcripts
+// ((d_1,o_1),…,(d_l,o_l)) for query sequence Q. Keys are canonical strings
+// "d0,o0|d1,o1|…".
+func (m *DPRAM) TranscriptDist(q workload.Sequence) map[string]float64 {
+	type node struct {
+		prefix string
+		states map[uint]float64
+	}
+	frontier := []node{{prefix: "", states: m.initialStates()}}
+	for _, query := range q {
+		var next []node
+		for _, nd := range frontier {
+			for sym, states := range m.step(nd.states, query) {
+				prefix := nd.prefix
+				if prefix != "" {
+					prefix += "|"
+				}
+				prefix += fmt.Sprintf("%d,%d", sym[0], sym[1])
+				next = append(next, node{prefix: prefix, states: states})
+			}
+		}
+		frontier = next
+	}
+	dist := make(map[string]float64, len(frontier))
+	for _, nd := range frontier {
+		var mass float64
+		for _, p := range nd.states {
+			mass += p
+		}
+		dist[nd.prefix] += mass
+	}
+	return dist
+}
+
+// PairResult is the exact privacy comparison of two query sequences.
+type PairResult struct {
+	// Eps is the maximum |ln(P(t)/Q(t))| over transcripts with positive
+	// mass in both worlds.
+	Eps float64
+	// OneSided is the total mass (max over direction) on transcripts
+	// possible in one world but not the other; pure DP requires 0.
+	OneSided float64
+	// WorstTranscript attains Eps.
+	WorstTranscript string
+	// EqualClasses counts transcripts with ratio exactly 1 (within 1e-12),
+	// the "good cases" of Lemma 6.6.
+	EqualClasses int
+	// Classes is the number of distinct transcripts across both worlds.
+	Classes int
+}
+
+// ComparePair computes the exact (ε, one-sided mass) separating two query
+// sequences of equal length.
+func (m *DPRAM) ComparePair(q1, q2 workload.Sequence) PairResult {
+	if len(q1) != len(q2) {
+		panic("exact: sequences must have equal length")
+	}
+	d1 := m.TranscriptDist(q1)
+	d2 := m.TranscriptDist(q2)
+	keys := make(map[string]struct{}, len(d1)+len(d2))
+	for k := range d1 {
+		keys[k] = struct{}{}
+	}
+	for k := range d2 {
+		keys[k] = struct{}{}
+	}
+	var res PairResult
+	res.Classes = len(keys)
+	var oneP, oneQ float64
+	const tiny = 1e-15
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		p, q := d1[k], d2[k]
+		switch {
+		case p > tiny && q > tiny:
+			r := math.Abs(math.Log(p / q))
+			if r > res.Eps {
+				res.Eps = r
+				res.WorstTranscript = k
+			}
+			if r < 1e-12 {
+				res.EqualClasses++
+			}
+		case p > tiny:
+			oneP += p
+		case q > tiny:
+			oneQ += q
+		}
+	}
+	res.OneSided = math.Max(oneP, oneQ)
+	return res
+}
+
+// StashLaw returns the exact stationary stash-size distribution after
+// setup: Binomial(n, p), the law Lemma D.1's Chernoff argument bounds.
+func (m *DPRAM) StashLaw() []float64 {
+	p := m.P()
+	out := make([]float64, m.n+1)
+	for k := 0; k <= m.n; k++ {
+		out[k] = math.Exp(lnBinom(m.n, k)) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(m.n-k))
+	}
+	return out
+}

@@ -1,0 +1,332 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"dpstore/internal/analysis"
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/privacy"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+	"dpstore/internal/workload"
+)
+
+func TestDPIRExactEpsMatchesAppendixB(t *testing.T) {
+	// The per-transcript computation must reproduce the simplified formula
+	// e^ε = 1 + (1−α)n/(αK) exactly.
+	for _, tc := range []struct {
+		n, k  int
+		alpha float64
+	}{
+		{32, 1, 0.1}, {32, 4, 0.25}, {1024, 16, 0.05}, {4096, 1, 0.5},
+	} {
+		got := DPIRExactEps(tc.n, tc.k, tc.alpha)
+		want := privacy.DPIRAchievedEps(tc.n, tc.k, tc.alpha)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d K=%d α=%v: exact ε %v, formula %v", tc.n, tc.k, tc.alpha, got, want)
+		}
+	}
+	if !math.IsInf(DPIRExactEps(32, 1, 0), 1) {
+		t.Fatal("α=0 must be +Inf")
+	}
+}
+
+func TestDPIRTranscriptProbsNormalize(t *testing.T) {
+	// Total mass: C(n−1,K−1) transcripts contain q, C(n−1,K) do not.
+	n, k, alpha := 12, 4, 0.3
+	pIn := DPIRTranscriptProb(n, k, alpha, true)
+	pOut := DPIRTranscriptProb(n, k, alpha, false)
+	total := pIn*math.Exp(lnBinom(n-1, k-1)) + pOut*math.Exp(lnBinom(n-1, k))
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("transcript probabilities sum to %v, want 1", total)
+	}
+}
+
+func TestDPRAMDistNormalizes(t *testing.T) {
+	m := NewDPRAM(4, 2)
+	for _, seq := range []workload.Sequence{
+		{{Index: 0, Op: workload.Read}},
+		{{Index: 0, Op: workload.Read}, {Index: 1, Op: workload.Write}},
+		{{Index: 2, Op: workload.Read}, {Index: 2, Op: workload.Read}, {Index: 1, Op: workload.Read}},
+	} {
+		dist := m.TranscriptDist(seq)
+		var total float64
+		for _, p := range dist {
+			total += p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("length-%d distribution sums to %v", len(seq), total)
+		}
+	}
+}
+
+func TestDPRAMPureDP(t *testing.T) {
+	// Theorem 6.1 gives pure DP: the exact one-sided mass must be zero for
+	// every adjacent pair, and ε finite.
+	m := NewDPRAM(4, 2)
+	pairs := [][2]workload.Sequence{
+		{{{Index: 0, Op: workload.Read}}, {{Index: 1, Op: workload.Read}}},
+		{
+			{{Index: 0, Op: workload.Read}, {Index: 1, Op: workload.Read}},
+			{{Index: 0, Op: workload.Read}, {Index: 2, Op: workload.Read}},
+		},
+		{
+			{{Index: 3, Op: workload.Read}, {Index: 3, Op: workload.Read}, {Index: 0, Op: workload.Read}},
+			{{Index: 3, Op: workload.Read}, {Index: 1, Op: workload.Read}, {Index: 0, Op: workload.Read}},
+		},
+	}
+	bound := privacy.DPRAMEpsUpperBound(4, 0.5)
+	for i, pair := range pairs {
+		res := m.ComparePair(pair[0], pair[1])
+		if res.OneSided != 0 {
+			t.Errorf("pair %d: one-sided mass %v, want exactly 0 (pure DP)", i, res.OneSided)
+		}
+		if res.Eps <= 0 || math.IsInf(res.Eps, 1) {
+			t.Errorf("pair %d: exact ε = %v not in (0,∞)", i, res.Eps)
+		}
+		if res.Eps > bound {
+			t.Errorf("pair %d: exact ε %v exceeds Theorem 6.1 bound %v", i, res.Eps, bound)
+		}
+	}
+}
+
+func TestDPRAMOpChangeIsFree(t *testing.T) {
+	// Lemma 6.2 in exact form: the transcript law does not depend on
+	// whether a query reads or writes, so sequences differing only in op
+	// have ε exactly 0.
+	m := NewDPRAM(4, 2)
+	a := workload.Sequence{{Index: 0, Op: workload.Read}, {Index: 1, Op: workload.Read}}
+	b := workload.Sequence{{Index: 0, Op: workload.Read}, {Index: 1, Op: workload.Write, Data: block.Pattern(1, 16)}}
+	res := m.ComparePair(a, b)
+	if res.Eps > 1e-12 || res.OneSided != 0 {
+		t.Fatalf("op-only change has ε = %v, one-sided %v; want exactly 0", res.Eps, res.OneSided)
+	}
+}
+
+func TestDPRAMEqualClassesDominate(t *testing.T) {
+	// Lemma 6.6/6.7: for adjacent sequences, most transcript classes have
+	// ratio exactly 1 — only the positions {k, nx(Q,k), nx(Q',k)} differ.
+	m := NewDPRAM(4, 2)
+	a := workload.Sequence{{Index: 0, Op: workload.Read}, {Index: 1, Op: workload.Read}, {Index: 3, Op: workload.Read}}
+	b := workload.Sequence{{Index: 0, Op: workload.Read}, {Index: 2, Op: workload.Read}, {Index: 3, Op: workload.Read}}
+	res := m.ComparePair(a, b)
+	if res.EqualClasses == 0 {
+		t.Fatal("no ratio-1 transcript classes; Lemma 6.6 structure missing")
+	}
+	if res.EqualClasses*3 < res.Classes {
+		t.Fatalf("only %d/%d classes have ratio 1; expected a large majority", res.EqualClasses, res.Classes)
+	}
+}
+
+func TestDPRAMFirstQueryPositionLaw(t *testing.T) {
+	// For a single query on a fresh store, the download address law is:
+	// d = i w.p. (1−p) + p/n, every other d w.p. p/n. Check the marginal.
+	n, c := 4, 2
+	m := NewDPRAM(n, c)
+	p := m.P()
+	dist := m.TranscriptDist(workload.Sequence{{Index: 1, Op: workload.Read}})
+	marginal := make([]float64, n)
+	for key, prob := range dist {
+		var d, o int
+		if _, err := fmt.Sscanf(key, "%d,%d", &d, &o); err != nil {
+			t.Fatal(err)
+		}
+		marginal[d] += prob
+	}
+	wantSelf := (1 - p) + p/float64(n)
+	wantOther := p / float64(n)
+	for d, got := range marginal {
+		want := wantOther
+		if d == 1 {
+			want = wantSelf
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Pr[d=%d] = %v, want %v", d, got, want)
+		}
+	}
+}
+
+// TestDPRAMExactVsSampled cross-validates the exact distribution against
+// the real dpram implementation: the sampled transcript frequencies of
+// the production code must converge to the enumerated probabilities.
+func TestDPRAMExactVsSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const n, c = 4, 2
+	seq := workload.Sequence{{Index: 0, Op: workload.Read}, {Index: 1, Op: workload.Read}}
+	m := NewDPRAM(n, c)
+	want := m.TranscriptDist(seq)
+
+	src := rng.New(11)
+	db, _ := block.PatternDatabase(n, 16)
+	counts := stats{}
+	const trials = 120000
+	for i := 0; i < trials; i++ {
+		srv, _ := store.NewMem(n, 16)
+		rec := &recorder{inner: srv}
+		cl, err := dpram.Setup(db, rec, dpram.Options{
+			Rand: src.Split(), StashParam: c, DisableEncryption: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.reset()
+		for _, q := range seq {
+			if _, err := cl.Access(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts.add(rec.key())
+	}
+	// Every enumerated transcript with non-trivial mass must appear at
+	// close to its exact frequency.
+	for key, p := range want {
+		if p < 0.001 {
+			continue
+		}
+		got := counts.freq(key, trials)
+		if math.Abs(got-p) > 0.01+0.2*p {
+			t.Fatalf("transcript %q: sampled %v vs exact %v", key, got, p)
+		}
+	}
+	// And nothing outside the support may appear.
+	for key := range counts.m {
+		if _, ok := want[key]; !ok {
+			t.Fatalf("sampled transcript %q not in exact support", key)
+		}
+	}
+}
+
+// TestDPRAMExactVsSampledEps compares the exact ε with the sampling
+// estimator's ε̂ on the same pair — the calibration check for E6.
+func TestDPRAMExactVsSampledEps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const n, c = 4, 2
+	a := workload.Sequence{{Index: 0, Op: workload.Read}, {Index: 1, Op: workload.Read}}
+	b := workload.Sequence{{Index: 0, Op: workload.Read}, {Index: 2, Op: workload.Read}}
+	m := NewDPRAM(n, c)
+	exactRes := m.ComparePair(a, b)
+
+	src := rng.New(13)
+	db, _ := block.PatternDatabase(n, 16)
+	sample := func(s *rng.Source, seq workload.Sequence) func() string {
+		return func() string {
+			srv, _ := store.NewMem(n, 16)
+			rec := &recorder{inner: srv}
+			cl, err := dpram.Setup(db, rec, dpram.Options{
+				Rand: s.Split(), StashParam: c, DisableEncryption: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec.reset()
+			for _, q := range seq {
+				if _, err := cl.Access(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return rec.key()
+		}
+	}
+	pe := analysis.SamplePair(sample(src.Split(), a), sample(src.Split(), b), 150000)
+	epsHat := pe.MaxRatioEps(50)
+	if math.Abs(epsHat-exactRes.Eps) > 0.4 {
+		t.Fatalf("sampled ε̂ = %v vs exact ε = %v", epsHat, exactRes.Eps)
+	}
+}
+
+func TestStashLaw(t *testing.T) {
+	m := NewDPRAM(6, 3)
+	law := m.StashLaw()
+	var total, mean float64
+	for k, p := range law {
+		total += p
+		mean += float64(k) * p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("stash law sums to %v", total)
+	}
+	if math.Abs(mean-3) > 1e-9 { // Binomial(6, 1/2) mean
+		t.Fatalf("stash law mean %v, want 3", mean)
+	}
+}
+
+func TestNewDPRAMPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewDPRAM(1, 0) },
+		func() { NewDPRAM(MaxN+1, 0) },
+		func() { NewDPRAM(4, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// --- helpers -------------------------------------------------------------------
+
+// recorder captures the (d_j, o_j) structure of DP-RAM queries. The
+// implementation emits exactly three server operations per query —
+// download d, download o, upload o (Algorithm 3 re-downloads the
+// overwrite address before uploading) — so the canonical per-query symbol
+// is (ops[0].addr, ops[2].addr), matching the exact model's "d,o" keys.
+type recorder struct {
+	inner store.Server
+	addrs []int
+}
+
+func (r *recorder) Download(addr int) (block.Block, error) {
+	b, err := r.inner.Download(addr)
+	if err == nil {
+		r.addrs = append(r.addrs, addr)
+	}
+	return b, err
+}
+
+func (r *recorder) Upload(addr int, b block.Block) error {
+	err := r.inner.Upload(addr, b)
+	if err == nil {
+		r.addrs = append(r.addrs, addr)
+	}
+	return err
+}
+
+func (r *recorder) Size() int      { return r.inner.Size() }
+func (r *recorder) BlockSize() int { return r.inner.BlockSize() }
+func (r *recorder) reset()         { r.addrs = nil }
+
+func (r *recorder) key() string {
+	var sb strings.Builder
+	for i := 0; i+2 < len(r.addrs)+1 && i+2 <= len(r.addrs); i += 3 {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		fmt.Fprintf(&sb, "%d,%d", r.addrs[i], r.addrs[i+2])
+	}
+	return sb.String()
+}
+
+type stats struct{ m map[string]int }
+
+func (s *stats) add(k string) {
+	if s.m == nil {
+		s.m = make(map[string]int)
+	}
+	s.m[k]++
+}
+
+func (s *stats) freq(k string, total int) float64 {
+	return float64(s.m[k]) / float64(total)
+}

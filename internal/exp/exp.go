@@ -1,0 +1,180 @@
+// Package exp defines the reproduction experiments E1–E13 and the table
+// renderer behind cmd/dpbench and EXPERIMENTS.md.
+//
+// The paper is a theory paper with no numbered tables or figures, so each
+// experiment regenerates the quantity one of its theorems bounds and prints
+// the measurement next to the analytic value (see DESIGN.md §4 for the
+// index). Every experiment is deterministic given Config.Seed.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce tables exactly.
+	Seed int64
+	// Quick shrinks database sizes and trial counts so the full suite runs
+	// in seconds (used by benchmarks and smoke tests).
+	Quick bool
+}
+
+// Table is one rendered result table.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	fmt.Fprintf(w, "  %s\n", line(t.Header))
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "  %s\n", line(row))
+	}
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table,
+// used by dpbench -format=md to regenerate EXPERIMENTS.md sections.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "_%s_\n\n", t.Note)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+}
+
+// Experiment is one reproduction unit.
+type Experiment struct {
+	ID         string
+	Title      string
+	Reproduces string
+	Run        func(cfg Config) ([]*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware sort: E2 < E10.
+		return idKey(out[i].ID) < idKey(out[j].ID)
+	})
+	return out
+}
+
+func idKey(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// --- formatting helpers ------------------------------------------------------
+
+func fi(v int) string      { return fmt.Sprintf("%d", v) }
+func f64(v int64) string   { return fmt.Sprintf("%d", v) }
+func ff(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func ff4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func fg(v float64) string  { return fmt.Sprintf("%.3g", v) }
+
+// sizes returns the experiment database sizes for the config.
+func sizes(cfg Config, full ...int) []int {
+	if !cfg.Quick {
+		return full
+	}
+	out := make([]int, 0, len(full))
+	for _, n := range full {
+		if n > 1<<10 {
+			n = 1 << 10
+		}
+		out = append(out, n)
+	}
+	// Deduplicate after clamping.
+	seen := map[int]bool{}
+	uniq := out[:0]
+	for _, n := range out {
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	return uniq
+}
+
+// trials scales a trial count down in quick mode.
+func trials(cfg Config, full int) int {
+	if cfg.Quick {
+		q := full / 20
+		if q < 200 {
+			q = 200
+		}
+		return q
+	}
+	return full
+}

@@ -1,0 +1,339 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dpstore/internal/baseline/linearpir"
+	"dpstore/internal/baseline/pathoram"
+	"dpstore/internal/baseline/strawman"
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpir"
+	"dpstore/internal/core/dpkvs"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/crypto"
+	"dpstore/internal/privacy"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+func init() {
+	register(Experiment{
+		ID:         "E11",
+		Title:      "Head-to-head: every scheme at one database size",
+		Reproduces: "Section 1 comparison narrative",
+		Run:        runE11,
+	})
+	register(Experiment{
+		ID:         "E13",
+		Title:      "Round trips: recursive Path ORAM vs DP-RAM",
+		Reproduces: "Section 1 discussion of Root ORAM [50]",
+		Run:        runE13,
+	})
+}
+
+func runE11(cfg Config) ([]*Table, error) {
+	src := rng.New(cfg.Seed)
+	n := 1 << 12
+	if cfg.Quick {
+		n = 1 << 10
+	}
+	nOps := trials(cfg, 500)
+	lgn := math.Log(float64(n))
+	t := &Table{
+		Title: fmt.Sprintf("E11 — all schemes at n = %d records (measured over %d ops)", n, nOps),
+		Note: "The paper's thesis in one table: constant-overhead access costs ε = Θ(log n); " +
+			"stronger privacy costs Θ(log n) overhead (ORAM) or Θ(n) server work (PIR).",
+		Header: []string{"scheme", "ops/query", "roundtrips", "client blocks", "ε", "δ", "errors"},
+	}
+
+	db, err := block.PatternDatabase(n, block.DefaultSize)
+	if err != nil {
+		return nil, err
+	}
+
+	// Plaintext access.
+	{
+		srv, err := store.NewMemFrom(db)
+		if err != nil {
+			return nil, err
+		}
+		counting := store.NewCounting(srv)
+		w := src.Split()
+		for i := 0; i < nOps; i++ {
+			if _, err := counting.Download(w.Intn(n)); err != nil {
+				return nil, err
+			}
+		}
+		t.AddRow("plaintext", ff(float64(counting.Stats().Ops())/float64(nOps)),
+			"1", "0", "∞ (none)", "-", "0")
+	}
+
+	// DP-IR (Algorithm 1) at ε = ln n, α = 0.1.
+	{
+		srv, err := store.NewMemFrom(db)
+		if err != nil {
+			return nil, err
+		}
+		counting := store.NewCounting(srv)
+		c, err := dpir.New(counting, dpir.Options{Epsilon: lgn, Alpha: 0.1, Rand: src.Split()})
+		if err != nil {
+			return nil, err
+		}
+		bottoms := 0
+		w := src.Split()
+		for i := 0; i < nOps; i++ {
+			if _, err := c.Query(w.Intn(n)); errors.Is(err, dpir.ErrBottom) {
+				bottoms++
+			} else if err != nil {
+				return nil, err
+			}
+		}
+		t.AddRow("DP-IR (α=0.1)", ff(float64(counting.Stats().Ops())/float64(nOps)),
+			"1", "0", ff(c.AchievedEps()), "0", fmt.Sprintf("%.1f%%", 100*float64(bottoms)/float64(nOps)))
+	}
+
+	// Strawman (insecure!).
+	{
+		srv, err := store.NewMemFrom(db)
+		if err != nil {
+			return nil, err
+		}
+		counting := store.NewCounting(srv)
+		c, err := strawman.New(counting, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		w := src.Split()
+		for i := 0; i < nOps; i++ {
+			if _, err := c.Query(w.Intn(n)); err != nil {
+				return nil, err
+			}
+		}
+		t.AddRow("strawman (§4, broken)", ff(float64(counting.Stats().Ops())/float64(nOps)),
+			"1", "0", ff(lgn), ff4(strawman.DeltaFloor(n)), "0")
+	}
+
+	// DP-RAM.
+	{
+		opts := dpram.Options{Rand: src.Split(), Key: crypto.KeyFromSeed(11)}
+		srv, err := store.NewMem(n, dpram.ServerBlockSize(block.DefaultSize, opts))
+		if err != nil {
+			return nil, err
+		}
+		counting := store.NewCounting(srv)
+		c, err := dpram.Setup(db, counting, opts)
+		if err != nil {
+			return nil, err
+		}
+		counting.Reset()
+		w := src.Split()
+		for i := 0; i < nOps; i++ {
+			if _, err := c.Read(w.Intn(n)); err != nil {
+				return nil, err
+			}
+		}
+		t.AddRow("DP-RAM", ff(float64(counting.Stats().Ops())/float64(nOps)),
+			"2", fi(c.MaxStashSize()), "Θ(log n) [Thm 6.1]", "0", "0")
+	}
+
+	// DP-KVS.
+	{
+		opts := dpkvs.Options{Capacity: n, ValueSize: block.DefaultSize, Rand: src.Split(), Key: crypto.KeyFromSeed(12)}
+		slots, bs, err := dpkvs.RequiredServer(opts)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := store.NewMem(slots, bs)
+		if err != nil {
+			return nil, err
+		}
+		counting := store.NewCounting(srv)
+		s, err := dpkvs.Setup(counting, opts)
+		if err != nil {
+			return nil, err
+		}
+		counting.Reset()
+		w := src.Split()
+		for i := 0; i < nOps; i++ {
+			k := fmt.Sprintf("key-%05d", w.Intn(n))
+			if i%2 == 0 {
+				if err := s.Put(k, block.Pattern(uint64(i), block.DefaultSize)); err != nil {
+					return nil, err
+				}
+			} else if _, _, err := s.Get(k); err != nil {
+				return nil, err
+			}
+		}
+		t.AddRow("DP-KVS", ff(float64(counting.Stats().Ops())/float64(nOps)),
+			"8", fi(s.MaxClientBlocks()), "Θ(log n) [Thm 7.5]", "negl(n)", "0")
+	}
+
+	// Path ORAM.
+	{
+		opts := pathoram.Options{Rand: src.Split(), Key: crypto.KeyFromSeed(13)}
+		slots, bs := pathoram.TreeShape(n, block.DefaultSize, opts)
+		srv, err := store.NewMem(slots, bs)
+		if err != nil {
+			return nil, err
+		}
+		counting := store.NewCounting(srv)
+		o, err := pathoram.Setup(db, counting, opts)
+		if err != nil {
+			return nil, err
+		}
+		counting.Reset()
+		w := src.Split()
+		for i := 0; i < nOps; i++ {
+			if _, err := o.Read(w.Intn(n)); err != nil {
+				return nil, err
+			}
+		}
+		t.AddRow("Path ORAM", ff(float64(counting.Stats().Ops())/float64(nOps)),
+			"2", fi(o.MaxStashSize()+n), "0", "negl(n)", "0")
+	}
+
+	// Recursive Path ORAM.
+	{
+		var counters []*store.Counting
+		factory := func(level, slots, bs int) (store.Server, error) {
+			m, err := store.NewMem(slots, bs)
+			if err != nil {
+				return nil, err
+			}
+			c := store.NewCounting(m)
+			counters = append(counters, c)
+			return c, nil
+		}
+		r, err := pathoram.SetupRecursive(db, factory, pathoram.RecursiveOptions{
+			Inner: pathoram.Options{Rand: src.Split(), Key: crypto.KeyFromSeed(14)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range counters {
+			c.Reset()
+		}
+		w := src.Split()
+		for i := 0; i < nOps; i++ {
+			if _, err := r.Read(w.Intn(n)); err != nil {
+				return nil, err
+			}
+		}
+		var totalOps int64
+		for _, c := range counters {
+			totalOps += c.Stats().Ops()
+		}
+		t.AddRow("Path ORAM (recursive)", ff(float64(totalOps)/float64(nOps)),
+			ff(float64(r.RoundTrips())/float64(nOps)), fi(r.ClientState()), "0", "negl(n)", "0")
+	}
+
+	// Trivial PIR.
+	{
+		srv, err := store.NewMemFrom(db)
+		if err != nil {
+			return nil, err
+		}
+		counting := store.NewCounting(srv)
+		p := linearpir.NewTrivial(counting)
+		w := src.Split()
+		q := nOps / 10
+		if q == 0 {
+			q = 1
+		}
+		for i := 0; i < q; i++ {
+			if _, err := p.Query(w.Intn(n)); err != nil {
+				return nil, err
+			}
+		}
+		t.AddRow("trivial PIR", ff(float64(counting.Stats().Ops())/float64(q)),
+			"1", "0", "0", "0", "0")
+	}
+
+	// 2-server XOR PIR.
+	{
+		s0, err := store.NewMemFrom(db)
+		if err != nil {
+			return nil, err
+		}
+		s1, err := store.NewMemFrom(db)
+		if err != nil {
+			return nil, err
+		}
+		c0, c1 := store.NewCounting(s0), store.NewCounting(s1)
+		p, err := linearpir.NewTwoServerXOR(c0, c1, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		w := src.Split()
+		q := nOps / 10
+		if q == 0 {
+			q = 1
+		}
+		for i := 0; i < q; i++ {
+			if _, err := p.Query(w.Intn(n)); err != nil {
+				return nil, err
+			}
+		}
+		perServer := float64(c0.Stats().Ops()+c1.Stats().Ops()) / (2 * float64(q))
+		t.AddRow("2-server XOR PIR", ff(perServer)+"/server", "1", "0", "0 (1 corrupt)", "0", "0")
+	}
+
+	return []*Table{t}, nil
+}
+
+func runE13(cfg Config) ([]*Table, error) {
+	src := rng.New(cfg.Seed)
+	t := &Table{
+		Title: "E13 — round trips per access: recursive Path ORAM vs DP-RAM",
+		Note: "The Section 1 claim against Root ORAM [50]: outsourcing the position map costs " +
+			"Θ(log n) round trips; DP-RAM needs 2 with O(Φ(n)) client blocks.",
+		Header: []string{"n", "ORAM levels", "ORAM roundtrips/access", "ORAM client blocks", "DP-RAM roundtrips", "DP-RAM client blocks", "bound log_c((1-α)n/e^ε), ε=ln n"},
+	}
+	for _, n := range sizes(cfg, 1<<8, 1<<10, 1<<12, 1<<14) {
+		db, err := block.PatternDatabase(n, 16)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pathoram.SetupRecursive(db, pathoram.MemFactory, pathoram.RecursiveOptions{
+			Pack:   4,
+			Cutoff: 8,
+			Inner:  pathoram.Options{Rand: src.Split(), Key: crypto.KeyFromSeed(uint64(n))},
+		})
+		if err != nil {
+			return nil, err
+		}
+		nOps := trials(cfg, 200)
+		w := src.Split()
+		for i := 0; i < nOps; i++ {
+			if _, err := r.Read(w.Intn(n)); err != nil {
+				return nil, err
+			}
+		}
+		rtPerAccess := float64(r.RoundTrips()) / float64(nOps)
+
+		opts := dpram.Options{Rand: src.Split(), Key: crypto.KeyFromSeed(uint64(n) + 1)}
+		db2, err := block.PatternDatabase(n, 16)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := store.NewMem(n, dpram.ServerBlockSize(16, opts))
+		if err != nil {
+			return nil, err
+		}
+		c, err := dpram.Setup(db2, srv, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nOps; i++ {
+			if _, err := c.Read(w.Intn(n)); err != nil {
+				return nil, err
+			}
+		}
+		t.AddRow(fi(n), fi(r.Levels()), ff(rtPerAccess), fi(r.ClientState()),
+			"2", fi(c.MaxStashSize()),
+			ff(privacy.DPRAMLowerBound(n, c.MaxStashSize()+1, math.Log(float64(n)), 0)))
+	}
+	return []*Table{t}, nil
+}

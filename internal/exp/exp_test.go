@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("registry holds %d experiments, want 15 (E1–E13 core + E14–E15 extensions)", len(all))
+	}
+	// IDs must be E1..E13 in numeric order.
+	for i, e := range all {
+		want := i + 1
+		if idKey(e.ID) != want {
+			t.Fatalf("position %d holds %s, want E%d", i, e.ID, want)
+		}
+		if e.Title == "" || e.Reproduces == "" || e.Run == nil {
+			t.Fatalf("%s is underspecified", e.ID)
+		}
+	}
+	if _, ok := ByID("E5"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID invented an experiment")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode; this
+// is the end-to-end smoke test for the whole reproduction pipeline.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := Config{Seed: 1, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s returned no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if tb.Title == "" || len(tb.Header) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("%s produced an empty table", e.ID)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Fatalf("%s: row width %d != header width %d", e.ID, len(row), len(tb.Header))
+					}
+				}
+				var sb strings.Builder
+				tb.Render(&sb)
+				if !strings.Contains(sb.String(), tb.Header[0]) {
+					t.Fatalf("%s: render lost the header", e.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicAcrossRuns re-runs one statistical experiment with the
+// same seed and demands identical tables.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	render := func() string {
+		e, _ := ByID("E5")
+		tables, err := e.Run(Config{Seed: 42, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tb := range tables {
+			tb.Render(&sb)
+		}
+		return sb.String()
+	}
+	if render() != render() {
+		t.Fatal("E5 is not reproducible under a fixed seed")
+	}
+}
+
+func TestSizesQuickClamp(t *testing.T) {
+	got := sizes(Config{Quick: true}, 1<<8, 1<<12, 1<<16)
+	if len(got) != 2 || got[0] != 1<<8 || got[1] != 1<<10 {
+		t.Fatalf("quick sizes = %v", got)
+	}
+	full := sizes(Config{}, 1<<8, 1<<12)
+	if len(full) != 2 || full[1] != 1<<12 {
+		t.Fatalf("full sizes = %v", full)
+	}
+}
+
+func TestTrialsScaling(t *testing.T) {
+	if trials(Config{}, 1000) != 1000 {
+		t.Fatal("full trials altered")
+	}
+	if v := trials(Config{Quick: true}, 100000); v != 5000 {
+		t.Fatalf("quick trials = %d, want 5000", v)
+	}
+	if v := trials(Config{Quick: true}, 1000); v != 200 {
+		t.Fatalf("quick floor = %d, want 200", v)
+	}
+}

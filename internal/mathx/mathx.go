@@ -1,0 +1,169 @@
+// Package mathx holds the small amount of analytic machinery the paper's
+// theorems are stated in: logarithm helpers, the Chernoff tail of Theorem
+// A.2, and the β_i recurrence of Lemma 7.3 that drives the super-root
+// analysis of the oblivious two-choice mapping.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Log2 returns log base 2 of x.
+func Log2(x float64) float64 { return math.Log2(x) }
+
+// CeilLog2 returns ⌈log2 n⌉ for n ≥ 1, and 0 for n ≤ 1.
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// FloorLog2 returns ⌊log2 n⌋ for n ≥ 1. It panics for n < 1.
+func FloorLog2(n int) int {
+	if n < 1 {
+		panic("mathx: FloorLog2 of non-positive value")
+	}
+	k := -1
+	for v := n; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// NextPow2 returns the least power of two ≥ n (n ≥ 1).
+func NextPow2(n int) int {
+	if n < 1 {
+		panic("mathx: NextPow2 of non-positive value")
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// LogLog2 returns log2(log2(n)) for n > 2, and a floor of 1 otherwise. It is
+// the s(n) = Θ(log log n) scale of Section 7.
+func LogLog2(n int) float64 {
+	if n <= 2 {
+		return 1
+	}
+	return math.Log2(math.Log2(float64(n)))
+}
+
+// LnFact returns ln(n!) via math.Lgamma.
+func LnFact(n int) float64 {
+	v, _ := math.Lgamma(float64(n) + 1)
+	return v
+}
+
+// LnBinom returns ln(C(n, k)). It returns -Inf when the coefficient is zero
+// (k < 0 or k > n).
+func LnBinom(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LnFact(n) - LnFact(k) - LnFact(n-k)
+}
+
+// ChernoffUpperTail bounds Pr[Σ X_i ≥ t] for the sum of n independent
+// Bernoulli(p) variables with mean µ = np, using the form of Theorem A.2:
+//
+//	Pr[Σ X_i ≥ t] ≤ (µ/t)^t · e^(t−µ)   for t ≥ µ.
+//
+// For t < µ the bound is vacuous and 1 is returned.
+func ChernoffUpperTail(mu, t float64) float64 {
+	if t <= mu {
+		return 1
+	}
+	// Compute in log space for stability.
+	ln := t*math.Log(mu/t) + (t - mu)
+	return math.Exp(ln)
+}
+
+// ChernoffEMu is the specialization Pr[Σ X_i ≥ e·µ] ≤ e^(−µ) of Theorem A.2.
+func ChernoffEMu(mu float64) float64 { return math.Exp(-mu) }
+
+// ChernoffRelative bounds Pr[X > (1+δ)µ] ≤ exp(−µδ²/(2+δ)) for δ > 0, the
+// form used in Lemma D.1's stash-size analysis.
+func ChernoffRelative(mu, delta float64) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	return math.Exp(-mu * delta * delta / (2 + delta))
+}
+
+// Beta returns the β_i value of Lemma 7.3,
+//
+//	β_i = (n/e) · (2/3)^(2^(i+2)) · (1/2)^(2(i+2))   — via the closed form,
+//
+// which satisfies β_0 = n/(e·3^4)·(16/16)… and β_{i+1} = (e/n)·β_i²·2^(2(i+1)).
+// The closed form printed in Lemma 7.3 is
+//
+//	β_i = (n/e) · (2/3)^(2^(i+2)) · (1/2)^(2(i+2)).
+func Beta(n float64, i int) float64 {
+	if i < 0 {
+		panic("mathx: Beta with negative level")
+	}
+	exp2 := math.Pow(2, float64(i+2)) // 2^(i+2)
+	return n / math.E * math.Pow(2.0/3.0, exp2) * math.Pow(0.5, 2*float64(i+2))
+}
+
+// BetaRecurrence computes β_{i+1} from β_i via the recurrence
+// β_{i+1} = (e/n)·β_i²·2^(2(i+1)) used in the proof of Theorem 7.2. It is
+// exported so tests can confirm the closed form of Lemma 7.3 satisfies it.
+func BetaRecurrence(n float64, i int, betaI float64) float64 {
+	return math.E / n * betaI * betaI * math.Pow(2, 2*float64(i+1))
+}
+
+// BetaCutoff returns the largest level i⋆ with Beta(n, i⋆) ≥ phi, i.e. the
+// i⋆ = Θ(log log n) threshold from the proof of Theorem 7.2. It returns -1
+// when even β_0 < phi.
+func BetaCutoff(n, phi float64) int {
+	if Beta(n, 0) < phi {
+		return -1
+	}
+	i := 0
+	for Beta(n, i+1) >= phi {
+		i++
+		if i > 64 { // β decays doubly exponentially; this is unreachable
+			break
+		}
+	}
+	return i
+}
+
+// HarmonicApprox returns H_n ≈ ln n + γ, used by Zipf workload diagnostics.
+func HarmonicApprox(n int) float64 {
+	const gamma = 0.5772156649015329
+	return math.Log(float64(n)) + gamma
+}
+
+// Clamp returns x clamped into [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// CheckProb panics unless p ∈ [0, 1]; used to validate construction
+// parameters at setup time.
+func CheckProb(name string, p float64) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("mathx: %s = %v outside [0,1]", name, p)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFloorLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1024: 10, 1025: 10}
+	for n, want := range cases {
+		if got := FloorLog2(n); got != want {
+			t.Errorf("FloorLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLogIdentities(t *testing.T) {
+	f := func(x uint16) bool {
+		n := int(x)%100000 + 1
+		c, fl := CeilLog2(n), FloorLog2(n)
+		if c < fl || c > fl+1 {
+			return false
+		}
+		if IsPow2(n) && c != fl {
+			return false
+		}
+		return 1<<uint(c) >= n && 1<<uint(fl) <= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 1000: 1024}
+	for n, want := range cases {
+		if got := NextPow2(n); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1 << 20} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 12, 1<<20 + 1} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestLnBinom(t *testing.T) {
+	// C(10,3) = 120
+	got := math.Exp(LnBinom(10, 3))
+	if math.Abs(got-120) > 1e-6 {
+		t.Fatalf("exp(LnBinom(10,3)) = %v, want 120", got)
+	}
+	if !math.IsInf(LnBinom(5, 7), -1) {
+		t.Fatal("LnBinom out of range should be -Inf")
+	}
+	if !math.IsInf(LnBinom(5, -1), -1) {
+		t.Fatal("LnBinom negative k should be -Inf")
+	}
+}
+
+func TestChernoffMonotone(t *testing.T) {
+	mu := 10.0
+	prev := 1.0
+	for _, tt := range []float64{10, 12, 15, 20, 30, 50} {
+		b := ChernoffUpperTail(mu, tt)
+		if b > prev+1e-12 {
+			t.Fatalf("Chernoff bound not monotone at t=%v: %v > %v", tt, b, prev)
+		}
+		if b < 0 || b > 1 {
+			t.Fatalf("Chernoff bound %v outside [0,1]", b)
+		}
+		prev = b
+	}
+	if ChernoffUpperTail(10, 5) != 1 {
+		t.Fatal("vacuous region should return 1")
+	}
+}
+
+func TestChernoffEMuMatchesGeneral(t *testing.T) {
+	// At t = e·µ the general form reduces to e^{-µ}.
+	mu := 7.0
+	general := ChernoffUpperTail(mu, math.E*mu)
+	if math.Abs(general-ChernoffEMu(mu))/ChernoffEMu(mu) > 1e-9 {
+		t.Fatalf("general %v vs specialized %v", general, ChernoffEMu(mu))
+	}
+}
+
+func TestChernoffRelative(t *testing.T) {
+	if ChernoffRelative(100, 0) != 1 {
+		t.Fatal("δ=0 should be vacuous")
+	}
+	b := ChernoffRelative(100, 1)
+	want := math.Exp(-100.0 / 3)
+	if math.Abs(b-want)/want > 1e-9 {
+		t.Fatalf("ChernoffRelative(100,1) = %v, want %v", b, want)
+	}
+}
+
+func TestBetaClosedFormSatisfiesRecurrence(t *testing.T) {
+	// Lemma 7.3: the closed form must satisfy β_{i+1} = (e/n)·β_i²·2^{2(i+1)}.
+	n := float64(1 << 20)
+	for i := 0; i < 5; i++ {
+		direct := Beta(n, i+1)
+		rec := BetaRecurrence(n, i, Beta(n, i))
+		if direct <= 0 {
+			break
+		}
+		if math.Abs(direct-rec)/direct > 1e-9 {
+			t.Fatalf("level %d: closed form %v vs recurrence %v", i+1, direct, rec)
+		}
+	}
+}
+
+func TestBetaBaseCase(t *testing.T) {
+	// β_0 = (n/e)·(2/3)^4·(1/2)^4 = n/(e·3^4·...)? Verify against the
+	// formula directly: (2/3)^(2^2)·(1/2)^(2·2) = (2/3)^4/16.
+	n := 1000.0
+	want := n / math.E * math.Pow(2.0/3.0, 4) / 16
+	if math.Abs(Beta(n, 0)-want)/want > 1e-12 {
+		t.Fatalf("Beta(n,0) = %v, want %v", Beta(n, 0), want)
+	}
+}
+
+func TestBetaDecreasesDoublyExponentially(t *testing.T) {
+	n := float64(1 << 30)
+	prev := Beta(n, 0)
+	for i := 1; i < 6; i++ {
+		cur := Beta(n, i)
+		if cur >= prev {
+			t.Fatalf("β not decreasing at level %d: %v >= %v", i, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBetaCutoffIsLogLog(t *testing.T) {
+	// i⋆ = Θ(log log n): it should grow very slowly with n.
+	phi := 64.0
+	small := BetaCutoff(1<<16, phi)
+	large := BetaCutoff(1<<30, phi)
+	if small < 0 || large < 0 {
+		t.Fatalf("cutoffs negative: %d %d", small, large)
+	}
+	if large < small {
+		t.Fatalf("cutoff not monotone in n: %d < %d", large, small)
+	}
+	if large > small+3 {
+		t.Fatalf("cutoff grew too fast (%d → %d); should be Θ(log log n)", small, large)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestCheckProb(t *testing.T) {
+	if err := CheckProb("p", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := CheckProb("p", bad); err == nil {
+			t.Fatalf("CheckProb accepted %v", bad)
+		}
+	}
+}
+
+func TestLogLog2(t *testing.T) {
+	if LogLog2(2) != 1 {
+		t.Fatal("LogLog2 floor broken")
+	}
+	if v := LogLog2(1 << 16); math.Abs(v-4) > 1e-12 {
+		t.Fatalf("LogLog2(2^16) = %v, want 4", v)
+	}
+}
+
+func TestHarmonicApprox(t *testing.T) {
+	// H_1000 ≈ 7.485
+	if v := HarmonicApprox(1000); math.Abs(v-7.485) > 0.01 {
+		t.Fatalf("HarmonicApprox(1000) = %v", v)
+	}
+}

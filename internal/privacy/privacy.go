@@ -1,0 +1,179 @@
+// Package privacy encodes the paper's differential-privacy definitions and
+// every analytic bound its theorems state, so experiment tables can print a
+// "paper bound" column next to each measurement.
+//
+// Definition 2.1 ((ε, δ)-differentially private access): for all adjacent
+// query sequences Q1, Q2 (Hamming distance exactly 1) and all view sets S,
+//
+//	Pr[S(Q1) ∈ S] ≤ e^ε · Pr[S(Q2) ∈ S] + δ.
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params is a differential-privacy budget (ε, δ). δ = 0 is pure DP.
+type Params struct {
+	Eps   float64
+	Delta float64
+}
+
+// Pure reports whether the budget is pure differential privacy (δ = 0).
+func (p Params) Pure() bool { return p.Delta == 0 }
+
+// Validate checks parameter sanity: ε ≥ 0 and δ ∈ [0, 1].
+func (p Params) Validate() error {
+	if math.IsNaN(p.Eps) || p.Eps < 0 {
+		return fmt.Errorf("privacy: ε = %v must be ≥ 0", p.Eps)
+	}
+	if math.IsNaN(p.Delta) || p.Delta < 0 || p.Delta > 1 {
+		return fmt.Errorf("privacy: δ = %v must be in [0,1]", p.Delta)
+	}
+	return nil
+}
+
+// String renders the budget.
+func (p Params) String() string {
+	if p.Pure() {
+		return fmt.Sprintf("ε=%.3f", p.Eps)
+	}
+	return fmt.Sprintf("ε=%.3f δ=%.3g", p.Eps, p.Delta)
+}
+
+// Compose applies basic sequential composition over k mechanisms: budgets
+// add. The DP-KVS proof (Theorem 7.1) composes 2·k(n) bucket queries this
+// way.
+func Compose(p Params, k int) Params {
+	return Params{Eps: p.Eps * float64(k), Delta: p.Delta * float64(k)}
+}
+
+// Satisfies reports whether a pointwise likelihood pair (pA, pB) respects
+// the (ε, δ) inequality in both directions.
+func Satisfies(p Params, pA, pB float64) bool {
+	return pA <= math.Exp(p.Eps)*pB+p.Delta && pB <= math.Exp(p.Eps)*pA+p.Delta
+}
+
+// --- Lower bounds -----------------------------------------------------------
+
+// DPIRErrorlessLowerBound is Theorem 3.3: an errorless (ε, δ)-DP-IR in the
+// balls-and-bins model performs at least (1−δ)·n expected operations per
+// query, for every ε ≥ 0.
+func DPIRErrorlessLowerBound(n int, delta float64) float64 {
+	return (1 - delta) * float64(n)
+}
+
+// DPIRLowerBound is Theorem 3.4: an (ε, δ)-DP-IR with error probability
+// α > 0 performs at least (n−1)·(1−α−δ)/e^ε expected operations per query
+// (the exact constant from the theorem's proof).
+func DPIRLowerBound(n int, eps, alpha, delta float64) float64 {
+	v := float64(n-1) * (1 - alpha - delta) / math.Exp(eps)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// DPRAMLowerBound is Theorem 3.7: an ε-DP-RAM with error α and client
+// storage for c ≥ 2 balls performs Ω(log_c((1−α)·n/e^ε)) expected amortized
+// operations per query. The returned value is the log_c expression itself
+// (the bound up to the hidden constant), floored at 0.
+func DPRAMLowerBound(n, c int, eps, alpha float64) float64 {
+	if c < 2 {
+		c = 2
+	}
+	arg := (1 - alpha) * float64(n) / math.Exp(eps)
+	if arg <= 1 {
+		return 0
+	}
+	return math.Log(arg) / math.Log(float64(c))
+}
+
+// MultiServerDPIRLowerBound is Theorem C.1: a D-server (ε, δ)-DP-IR with a
+// fraction t of servers corrupted and error α < 1 − δ/t performs at least
+// ((1−α)·t − δ)·n/e^ε expected operations. Floored at 0.
+func MultiServerDPIRLowerBound(n int, eps, alpha, delta, t float64) float64 {
+	v := ((1-alpha)*t - delta) * float64(n) / math.Exp(eps)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// MinEpsForConstantOverhead inverts Theorem 3.4: for a DP-IR to touch at
+// most k blocks with error α and δ = 0, the privacy budget must satisfy
+// ε ≥ ln((n−1)(1−α)/k). This is the "constant overhead forces ε = Ω(log n)"
+// headline. Returns 0 when the constraint is vacuous.
+func MinEpsForConstantOverhead(n, k int, alpha float64) float64 {
+	if k <= 0 {
+		k = 1
+	}
+	arg := float64(n-1) * (1 - alpha) / float64(k)
+	if arg <= 1 {
+		return 0
+	}
+	return math.Log(arg)
+}
+
+// --- Upper-bound parameterizations ------------------------------------------
+
+// DPIRDownloadCount is the K of Algorithm 1: K = ⌈(1−α)·n/(e^ε − 1)⌉,
+// clamped into [1, n]. K is the number of blocks downloaded per query.
+func DPIRDownloadCount(n int, eps, alpha float64) int {
+	den := math.Exp(eps) - 1
+	if den <= 0 {
+		return n
+	}
+	k := int(math.Ceil((1 - alpha) * float64(n) / den))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// DPIRAchievedEps is the privacy budget Algorithm 1 actually attains with a
+// given K, from the proof of Theorem 5.1 (Appendix B):
+//
+//	e^ε = (1−α)·n/(α·K) + 1.
+//
+// α must be positive: with α = 0 the scheme is not differentially private
+// for K < n (that is exactly the Section 4 strawman failure).
+func DPIRAchievedEps(n, k int, alpha float64) float64 {
+	if alpha <= 0 {
+		return math.Inf(1)
+	}
+	return math.Log(1 + (1-alpha)*float64(n)/(alpha*float64(k)))
+}
+
+// DPRAMEpsUpperBound is the ε certified by the proof of Theorem 6.1: the
+// transcript-probability ratio of two adjacent sequences is bounded by the
+// per-position factors of Lemmas 6.4 (n²/p) and 6.5 (n/p) at the three
+// positions identified by Lemma 6.7, giving
+//
+//	e^ε ≤ (n²/p)³ · (n/p)³  ⇒  ε ≤ 3·ln(n²/p) + 3·ln(n/p).
+//
+// With p = Φ/n this is Θ(log n). The bound is loose but explicit; the
+// empirical estimate of experiment E6 sits far below it.
+func DPRAMEpsUpperBound(n int, p float64) float64 {
+	if p <= 0 || p > 1 {
+		return math.Inf(1)
+	}
+	nf := float64(n)
+	return 3*math.Log(nf*nf/p) + 3*math.Log(nf/p)
+}
+
+// MultiServerDPIREps is the exact pure-DP budget of the uniform-decoy
+// D-server scheme of Appendix C's setting (one corrupted server): the
+// corrupted server sees the real index with probability 1/D + (1−1/D)/n and
+// any fixed other index with probability (1−1/D)/n, so
+//
+//	e^ε = 1 + n/(D−1).
+func MultiServerDPIREps(n, d int) float64 {
+	if d < 2 {
+		return math.Inf(1)
+	}
+	return math.Log(1 + float64(n)/float64(d-1))
+}

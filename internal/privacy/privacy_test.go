@@ -1,0 +1,208 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := []Params{{0, 0}, {1.5, 0}, {10, 0.5}, {0, 1}}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", p, err)
+		}
+	}
+	bad := []Params{{-1, 0}, {0, -0.1}, {0, 1.1}, {math.NaN(), 0}, {0, math.NaN()}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", p)
+		}
+	}
+}
+
+func TestPureAndString(t *testing.T) {
+	if !(Params{Eps: 1}).Pure() {
+		t.Fatal("δ=0 should be pure")
+	}
+	if (Params{Eps: 1, Delta: 0.1}).Pure() {
+		t.Fatal("δ>0 should not be pure")
+	}
+	if s := (Params{Eps: 1}).String(); s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	p := Compose(Params{Eps: 0.5, Delta: 0.01}, 4)
+	if p.Eps != 2 || math.Abs(p.Delta-0.04) > 1e-12 {
+		t.Fatalf("Compose = %+v", p)
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	// ratio e: satisfied iff ε ≥ 1.
+	if !Satisfies(Params{Eps: 1}, math.E*0.1, 0.1) {
+		t.Fatal("should satisfy at ε=1")
+	}
+	if Satisfies(Params{Eps: 0.5}, math.E*0.1, 0.1) {
+		t.Fatal("should fail at ε=0.5")
+	}
+	// δ slack rescues it.
+	if !Satisfies(Params{Eps: 0.5, Delta: 0.2}, math.E*0.1, 0.1) {
+		t.Fatal("δ slack should rescue")
+	}
+}
+
+func TestDPIRErrorlessLowerBound(t *testing.T) {
+	if got := DPIRErrorlessLowerBound(1000, 0); got != 1000 {
+		t.Fatalf("errorless bound = %v, want 1000", got)
+	}
+	if got := DPIRErrorlessLowerBound(1000, 0.25); got != 750 {
+		t.Fatalf("errorless bound with δ = %v, want 750", got)
+	}
+}
+
+func TestDPIRLowerBoundShape(t *testing.T) {
+	n := 1 << 16
+	// Constant ε: bound is Θ(n).
+	atConst := DPIRLowerBound(n, 1, 0.1, 0)
+	if atConst < float64(n)/10 {
+		t.Fatalf("bound at ε=1 is %v; should be Θ(n)", atConst)
+	}
+	// ε = ln n: bound collapses to O(1).
+	atLogN := DPIRLowerBound(n, math.Log(float64(n)), 0.1, 0)
+	if atLogN > 1 {
+		t.Fatalf("bound at ε=ln n is %v; should be ≤ 1", atLogN)
+	}
+	// Monotone decreasing in ε.
+	if atLogN >= atConst {
+		t.Fatal("bound not decreasing in ε")
+	}
+	// Never negative.
+	if DPIRLowerBound(n, 0, 0.9, 0.9) != 0 {
+		t.Fatal("bound should floor at 0")
+	}
+}
+
+func TestDPRAMLowerBoundShape(t *testing.T) {
+	n := 1 << 20
+	// ε=0, c=2: the classic Ω(log n) ORAM bound.
+	base := DPRAMLowerBound(n, 2, 0, 0)
+	if math.Abs(base-20) > 0.01 {
+		t.Fatalf("bound at ε=0, c=2 = %v, want ≈20", base)
+	}
+	// ε = ln n kills the bound: constant overhead becomes possible.
+	if DPRAMLowerBound(n, 2, math.Log(float64(n)), 0) > 0.01 {
+		t.Fatal("bound at ε=ln n should vanish")
+	}
+	// Bigger client storage weakens the bound.
+	if DPRAMLowerBound(n, 1024, 0, 0) >= base {
+		t.Fatal("bound should shrink with client storage")
+	}
+	// c < 2 clamps.
+	if DPRAMLowerBound(n, 0, 0, 0) != base {
+		t.Fatal("c clamp broken")
+	}
+}
+
+func TestMultiServerLowerBound(t *testing.T) {
+	n := 1024
+	v := MultiServerDPIRLowerBound(n, 0, 0, 0, 0.5)
+	if v != 512 {
+		t.Fatalf("bound = %v, want 512", v)
+	}
+	if MultiServerDPIRLowerBound(n, 0, 1, 0, 0.5) != 0 {
+		t.Fatal("α=1 should floor bound at 0")
+	}
+}
+
+func TestMinEpsForConstantOverhead(t *testing.T) {
+	n := 1 << 20
+	eps := MinEpsForConstantOverhead(n, 4, 0.1)
+	// Must be Θ(log n): between 0.5·ln n and 1.5·ln n here.
+	ln := math.Log(float64(n))
+	if eps < 0.5*ln || eps > 1.5*ln {
+		t.Fatalf("min ε = %v, want Θ(ln n = %v)", eps, ln)
+	}
+	// Vacuous when k ≥ n.
+	if MinEpsForConstantOverhead(10, 100, 0) != 0 {
+		t.Fatal("vacuous case should be 0")
+	}
+	if MinEpsForConstantOverhead(100, 0, 0) <= 0 {
+		t.Fatal("k=0 should clamp to 1 and give a positive bound")
+	}
+}
+
+func TestDPIRDownloadCount(t *testing.T) {
+	n := 1 << 14
+	// ε = ln n ⇒ K = ⌈(1−α)·n/(n−1)⌉ = small constant.
+	k := DPIRDownloadCount(n, math.Log(float64(n)), 0.1)
+	if k < 1 || k > 2 {
+		t.Fatalf("K at ε=ln n is %d, want 1 or 2", k)
+	}
+	// ε = 0 ⇒ denominator 0 ⇒ full scan.
+	if DPIRDownloadCount(n, 0, 0.1) != n {
+		t.Fatal("ε=0 should force full scan")
+	}
+	// Monotone: larger ε never increases K.
+	prev := n + 1
+	for _, eps := range []float64{0.5, 1, 2, 4, 8, 12} {
+		k := DPIRDownloadCount(n, eps, 0.1)
+		if k > prev {
+			t.Fatalf("K not monotone at ε=%v", eps)
+		}
+		if k < 1 || k > n {
+			t.Fatalf("K=%d outside [1,n]", k)
+		}
+		prev = k
+	}
+}
+
+func TestDPIRAchievedEps(t *testing.T) {
+	n := 1 << 14
+	k := DPIRDownloadCount(n, math.Log(float64(n)), 0.25)
+	eps := DPIRAchievedEps(n, k, 0.25)
+	// Achieved ε should be Θ(log n): requested + ln(1/α) slack.
+	ln := math.Log(float64(n))
+	if eps < 0.5*ln || eps > 2.5*ln {
+		t.Fatalf("achieved ε = %v, want Θ(ln n = %v)", eps, ln)
+	}
+	// α = 0 is undefined (the strawman failure): +Inf.
+	if !math.IsInf(DPIRAchievedEps(n, k, 0), 1) {
+		t.Fatal("α=0 must yield +Inf")
+	}
+	// More downloads ⇒ better (smaller) ε.
+	if DPIRAchievedEps(n, 2*k, 0.25) >= eps {
+		t.Fatal("achieved ε should shrink with K")
+	}
+}
+
+func TestDPRAMEpsUpperBound(t *testing.T) {
+	n := 1 << 16
+	p := 64.0 / float64(n)
+	eps := DPRAMEpsUpperBound(n, p)
+	ln := math.Log(float64(n))
+	// 3·ln(n²/p) + 3·ln(n/p) with p = Φ/n is ≈ 15·ln n; just check Θ(log n).
+	if eps < 3*ln || eps > 30*ln {
+		t.Fatalf("ε upper bound = %v, want Θ(ln n = %v)", eps, ln)
+	}
+	if !math.IsInf(DPRAMEpsUpperBound(n, 0), 1) {
+		t.Fatal("p=0 must yield +Inf")
+	}
+}
+
+func TestMultiServerDPIREps(t *testing.T) {
+	n := 1024
+	e2 := MultiServerDPIREps(n, 2)
+	e5 := MultiServerDPIREps(n, 5)
+	if e5 >= e2 {
+		t.Fatal("more servers should give better ε")
+	}
+	want := math.Log(1 + float64(n))
+	if math.Abs(e2-want) > 1e-12 {
+		t.Fatalf("ε(D=2) = %v, want %v", e2, want)
+	}
+	if !math.IsInf(MultiServerDPIREps(n, 1), 1) {
+		t.Fatal("single server must be +Inf")
+	}
+}

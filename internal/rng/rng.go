@@ -1,0 +1,143 @@
+// Package rng provides the seeded randomness used by every construction and
+// experiment in this repository.
+//
+// All of the paper's algorithms are randomized (Algorithm 1 samples decoy
+// sets, Algorithms 2–3 flip stash coins, the mapping scheme of Section 7.2
+// derives bucket choices from a PRF). To make experiments exactly
+// reproducible, no package in this module ever reaches for global
+// randomness: a *rng.Source is always injected, and independent components
+// receive independent streams derived from one master seed via Split.
+package rng
+
+import (
+	"math/rand"
+)
+
+// Source is a deterministic pseudorandom source. It wraps math/rand with the
+// handful of sampling primitives the constructions need. A Source is not
+// safe for concurrent use; derive per-goroutine sources with Split.
+type Source struct {
+	r *rand.Rand
+	// seed remembers the construction seed so that Split can derive
+	// decorrelated children deterministically.
+	seed uint64
+	kids uint64
+}
+
+// New returns a Source seeded with seed. Equal seeds yield identical
+// streams.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed)), seed: uint64(seed)}
+}
+
+// mix64 is the SplitMix64 finalizer; it decorrelates related seeds.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Split returns a new Source whose stream is decorrelated from s and from
+// every other Split child. Successive calls return different sources.
+func (s *Source) Split() *Source {
+	s.kids++
+	child := mix64(s.seed ^ mix64(s.kids))
+	return &Source{r: rand.New(rand.NewSource(int64(child))), seed: child}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0, matching
+// math/rand.
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
+// Uint64 returns a uniform uint64.
+func (s *Source) Uint64() uint64 { return s.r.Uint64() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Bernoulli returns true with probability p. Probabilities outside [0,1]
+// are clamped.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.r.Float64() < p
+}
+
+// Perm returns a uniform permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle permutes xs uniformly in place.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// IntnExcept returns a uniform integer in [0, n) \ {except}. It panics if
+// n < 2. Used by Algorithm 3's "another record is randomly selected" step in
+// tests that need the excluded variant.
+func (s *Source) IntnExcept(n, except int) int {
+	v := s.r.Intn(n - 1)
+	if v >= except {
+		v++
+	}
+	return v
+}
+
+// Subset returns a uniform k-subset of [0, n) as an unsorted slice. It uses
+// a partial Fisher–Yates walk, O(k) expected extra space. It panics if
+// k > n or k < 0.
+func (s *Source) Subset(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Subset k out of range")
+	}
+	// Sparse Fisher–Yates: swap map holds only displaced entries.
+	moved := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + s.r.Intn(n-i)
+		vj, ok := moved[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := moved[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		moved[j] = vi
+	}
+	return out
+}
+
+// SubsetExcluding returns a uniform k-subset of [0, n) \ {excluded}. The
+// loop in Algorithm 1 ("pick j uniformly at random from [N] \ T") builds the
+// decoy set this way.
+func (s *Source) SubsetExcluding(n, k, excluded int) []int {
+	if excluded < 0 || excluded >= n {
+		return s.Subset(n, k)
+	}
+	idx := s.Subset(n-1, k)
+	for i, v := range idx {
+		if v >= excluded {
+			idx[i] = v + 1
+		}
+	}
+	return idx
+}
+
+// Zipf returns a Zipf-distributed generator over [0, n) with exponent
+// skew > 1 is not required; math/rand's Zipf wants s > 1, so callers pass
+// skew in (1, ∞). Values near 1 give heavy skew typical of storage traces.
+func (s *Source) Zipf(skew float64, n int) *rand.Zipf {
+	return rand.NewZipf(s.r, skew, 1, uint64(n-1))
+}
+
+// Bytes fills p with pseudorandom bytes.
+func (s *Source) Bytes(p []byte) {
+	s.r.Read(p) // never returns an error
+}

@@ -1,0 +1,196 @@
+package rng
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	s := New(1)
+	c1, c2 := s.Split(), s.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Intn(1000) == c2.Intn(1000) {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("split children agree on %d/100 draws; streams look correlated", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(7).Split()
+	b := New(7).Split()
+	for i := 0; i < 50; i++ {
+		if a.Intn(100) != b.Intn(100) {
+			t.Fatal("Split is not deterministic across equal parents")
+		}
+	}
+}
+
+func TestBernoulliEdge(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(4)
+	const trials = 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.29 || rate > 0.31 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %.4f outside [0.29, 0.31]", rate)
+	}
+}
+
+func TestIntnExcept(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		v := s.IntnExcept(10, 4)
+		if v == 4 {
+			t.Fatal("IntnExcept returned excluded value")
+		}
+		if v < 0 || v >= 10 {
+			t.Fatalf("IntnExcept returned %d outside [0,10)", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 9 {
+		t.Fatalf("IntnExcept covered %d values, want all 9", len(seen))
+	}
+}
+
+func TestSubsetShape(t *testing.T) {
+	s := New(6)
+	for trial := 0; trial < 200; trial++ {
+		k := trial % 11
+		sub := s.Subset(10, k)
+		if len(sub) != k {
+			t.Fatalf("Subset(10,%d) returned %d elements", k, len(sub))
+		}
+		seen := make(map[int]bool)
+		for _, v := range sub {
+			if v < 0 || v >= 10 {
+				t.Fatalf("Subset element %d outside range", v)
+			}
+			if seen[v] {
+				t.Fatalf("Subset returned duplicate %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSubsetUniform(t *testing.T) {
+	// Every element of [0,6) should appear in a 3-subset with rate 1/2.
+	s := New(7)
+	const trials = 60000
+	counts := make([]int, 6)
+	for i := 0; i < trials; i++ {
+		for _, v := range s.Subset(6, 3) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		rate := float64(c) / trials
+		if rate < 0.48 || rate > 0.52 {
+			t.Fatalf("element %d appears with rate %.4f, want ~0.5", v, rate)
+		}
+	}
+}
+
+func TestSubsetExcluding(t *testing.T) {
+	s := New(8)
+	for trial := 0; trial < 500; trial++ {
+		sub := s.SubsetExcluding(10, 5, 3)
+		if len(sub) != 5 {
+			t.Fatalf("wrong size %d", len(sub))
+		}
+		for _, v := range sub {
+			if v == 3 {
+				t.Fatal("SubsetExcluding returned the excluded element")
+			}
+			if v < 0 || v >= 10 {
+				t.Fatalf("element %d outside range", v)
+			}
+		}
+		sorted := append([]int(nil), sub...)
+		sort.Ints(sorted)
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i] == sorted[i-1] {
+				t.Fatal("duplicate element")
+			}
+		}
+	}
+}
+
+func TestSubsetExcludingOutOfRange(t *testing.T) {
+	s := New(9)
+	// excluded outside [0,n) degrades to a plain subset
+	sub := s.SubsetExcluding(5, 5, -1)
+	if len(sub) != 5 {
+		t.Fatalf("wrong size %d", len(sub))
+	}
+}
+
+func TestSubsetPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	New(1).Subset(3, 4)
+}
+
+func TestZipfSkewsLow(t *testing.T) {
+	s := New(10)
+	z := s.Zipf(1.2, 1000)
+	lowHits := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if z.Uint64() < 10 {
+			lowHits++
+		}
+	}
+	if lowHits < trials/3 {
+		t.Fatalf("Zipf(1.2) put only %d/%d mass on the 10 hottest keys; not skewed", lowHits, trials)
+	}
+}
+
+func TestBytesFills(t *testing.T) {
+	s := New(11)
+	p := make([]byte, 64)
+	s.Bytes(p)
+	allZero := true
+	for _, b := range p {
+		if b != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("Bytes left buffer all zero")
+	}
+}

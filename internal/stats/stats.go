@@ -1,0 +1,181 @@
+// Package stats provides the summary statistics and histogramming used to
+// turn raw experiment measurements into the tables of EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P95 = Quantile(sorted, 0.95)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already sorted sample
+// using linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanInts is a convenience mean over integer samples.
+func MeanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum int
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// MaxInts returns the maximum of an integer sample (0 for empty).
+func MaxInts(xs []int) int {
+	m := 0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// String renders a compact one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.3g min=%.4g med=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Counter is a frequency table over arbitrary string-keyed outcome classes.
+// The empirical differential-privacy estimator histograms transcripts with
+// it: each distinct adversary view is a class.
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int)} }
+
+// Add increments class key.
+func (c *Counter) Add(key string) {
+	c.counts[key]++
+	c.total++
+}
+
+// AddN increments class key by n.
+func (c *Counter) AddN(key string, n int) {
+	c.counts[key] += n
+	c.total += n
+}
+
+// Count returns the count of class key.
+func (c *Counter) Count(key string) int { return c.counts[key] }
+
+// Total returns the number of observations.
+func (c *Counter) Total() int { return c.total }
+
+// Classes returns the class keys in deterministic (sorted) order.
+func (c *Counter) Classes() []string {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Prob returns the empirical probability of class key.
+func (c *Counter) Prob(key string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[key]) / float64(c.total)
+}
+
+// Histogram bins float64 observations into fixed-width buckets, for
+// rendering distribution sketches (stash occupancy, bin loads).
+type Histogram struct {
+	Lo, Width float64
+	Bins      []int
+	N         int
+}
+
+// NewHistogram creates a histogram of nbins buckets covering [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Width: (hi - lo) / float64(nbins), Bins: make([]int, nbins)}
+}
+
+// Add records an observation; out-of-range values clamp into the end bins.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / h.Width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+	h.N++
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	want := math.Sqrt(2.5) // sample std of 1..5
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Quantile(sorted, 0) != 10 || Quantile(sorted, 1) != 40 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if q := Quantile(sorted, 0.5); q != 25 {
+		t.Fatalf("median of 10..40 = %v, want 25", q)
+	}
+	if q := Quantile(sorted, 1.0/3.0); math.Abs(q-20) > 1e-9 {
+		t.Fatalf("q(1/3) = %v, want 20", q)
+	}
+}
+
+func TestQuantilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestMeanMaxInts(t *testing.T) {
+	if MeanInts([]int{1, 2, 3}) != 2 {
+		t.Fatal("MeanInts wrong")
+	}
+	if MeanInts(nil) != 0 {
+		t.Fatal("MeanInts empty should be 0")
+	}
+	if MaxInts([]int{3, 9, 2}) != 9 {
+		t.Fatal("MaxInts wrong")
+	}
+	if MaxInts([]int{-3, -9}) != -3 {
+		t.Fatal("MaxInts with negatives wrong")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("a")
+	c.Add("a")
+	c.Add("b")
+	c.AddN("c", 7)
+	if c.Total() != 10 {
+		t.Fatalf("total = %d, want 10", c.Total())
+	}
+	if c.Count("a") != 2 || c.Count("missing") != 0 {
+		t.Fatal("counts wrong")
+	}
+	if p := c.Prob("c"); p != 0.7 {
+		t.Fatalf("Prob(c) = %v, want 0.7", p)
+	}
+	cls := c.Classes()
+	if len(cls) != 3 || cls[0] != "a" || cls[1] != "b" || cls[2] != "c" {
+		t.Fatalf("classes = %v", cls)
+	}
+}
+
+func TestCounterEmptyProb(t *testing.T) {
+	if NewCounter().Prob("x") != 0 {
+		t.Fatal("empty counter prob should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1.5, 9.9, -3, 15} {
+		h.Add(x)
+	}
+	if h.N != 5 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if h.Bins[0] != 3 { // 0.5, 1.5 (width 2) and clamped -3
+		t.Fatalf("bin 0 = %d, want 3", h.Bins[0])
+	}
+	if h.Bins[4] != 2 { // 9.9 and clamped 15
+		t.Fatalf("bin 4 = %d, want 2", h.Bins[4])
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}

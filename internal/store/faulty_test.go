@@ -1,0 +1,71 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"dpstore/internal/block"
+)
+
+func TestFaultyFailsExactlyOnce(t *testing.T) {
+	m, _ := NewMem(4, 16)
+	f := NewFaulty(m, 3, nil)
+	for i := 1; i <= 6; i++ {
+		_, err := f.Download(0)
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: err = %v, want ErrInjected", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("op %d unexpectedly failed: %v", i, err)
+		}
+	}
+	if f.Ops() != 6 {
+		t.Fatalf("ops = %d, want 6", f.Ops())
+	}
+}
+
+func TestFaultyCountsUploads(t *testing.T) {
+	m, _ := NewMem(4, 16)
+	f := NewFaulty(m, 2, nil)
+	if _, err := f.Download(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Upload(0, block.New(16)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second op (upload) should fail, got %v", err)
+	}
+}
+
+func TestFaultyFailFrom(t *testing.T) {
+	m, _ := NewMem(4, 16)
+	f := NewFaulty(m, 2, nil).FailFrom()
+	if _, err := f.Download(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := f.Download(0); err == nil {
+			t.Fatal("crashed server recovered")
+		}
+	}
+}
+
+func TestFaultyCustomError(t *testing.T) {
+	custom := errors.New("boom")
+	m, _ := NewMem(4, 16)
+	f := NewFaulty(m, 1, custom)
+	if _, err := f.Download(0); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom error", err)
+	}
+}
+
+func TestFaultyZeroNeverFails(t *testing.T) {
+	m, _ := NewMem(4, 16)
+	f := NewFaulty(m, 0, nil)
+	for i := 0; i < 100; i++ {
+		if _, err := f.Download(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

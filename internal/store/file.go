@@ -1,0 +1,96 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"dpstore/internal/block"
+)
+
+// File is a disk-backed Server storing n fixed-size slots contiguously in a
+// single file. Slot i lives at byte offset i·blockSize. It models the
+// realistic deployment where the untrusted server persists the outsourced
+// database; the access-pattern leakage the paper protects against is
+// identical whether slots live in RAM or on disk.
+type File struct {
+	mu        sync.Mutex
+	f         *os.File
+	n         int
+	blockSize int
+}
+
+// CreateFile creates (or truncates) path as a file server with n zeroed
+// slots of blockSize bytes.
+func CreateFile(path string, n, blockSize int) (*File, error) {
+	if n <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("store: invalid file store shape n=%d blockSize=%d", n, blockSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(n) * int64(blockSize)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: sizing %s: %w", path, err)
+	}
+	return &File{f: f, n: n, blockSize: blockSize}, nil
+}
+
+// OpenFile opens an existing file server created by CreateFile. The caller
+// must supply the same shape it was created with; the size is validated.
+func OpenFile(path string, n, blockSize int) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat %s: %w", path, err)
+	}
+	if st.Size() != int64(n)*int64(blockSize) {
+		f.Close()
+		return nil, fmt.Errorf("store: %s has size %d, want %d", path, st.Size(), int64(n)*int64(blockSize))
+	}
+	return &File{f: f, n: n, blockSize: blockSize}, nil
+}
+
+// Download implements Server.
+func (s *File) Download(addr int) (block.Block, error) {
+	if addr < 0 || addr >= s.n {
+		return nil, fmt.Errorf("%w: %d (size %d)", ErrAddr, addr, s.n)
+	}
+	b := block.New(s.blockSize)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.ReadAt(b, int64(addr)*int64(s.blockSize)); err != nil {
+		return nil, fmt.Errorf("store: reading slot %d: %w", addr, err)
+	}
+	return b, nil
+}
+
+// Upload implements Server.
+func (s *File) Upload(addr int, b block.Block) error {
+	if addr < 0 || addr >= s.n {
+		return fmt.Errorf("%w: %d (size %d)", ErrAddr, addr, s.n)
+	}
+	if len(b) != s.blockSize {
+		return fmt.Errorf("%w: got %d want %d", block.ErrSize, len(b), s.blockSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.WriteAt(b, int64(addr)*int64(s.blockSize)); err != nil {
+		return fmt.Errorf("store: writing slot %d: %w", addr, err)
+	}
+	return nil
+}
+
+// Size implements Server.
+func (s *File) Size() int { return s.n }
+
+// BlockSize implements Server.
+func (s *File) BlockSize() int { return s.blockSize }
+
+// Close releases the underlying file.
+func (s *File) Close() error { return s.f.Close() }

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"dpstore/internal/block"
+	"dpstore/internal/wire"
+)
+
+// Remote is a Server backed by a networked block server speaking the wire
+// protocol. It lets every construction in this repository run unmodified
+// against a real remote store (see cmd/blockstored and examples/remotestore).
+// Requests on one Remote are serialized; open several connections for
+// parallelism.
+type Remote struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	info wire.Info
+}
+
+// Dial connects to a block server at addr ("host:port") and performs the
+// info handshake.
+func Dial(addr string) (*Remote, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("store: dialing %s: %w", addr, err)
+	}
+	rs := &Remote{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	resp, err := rs.roundTrip(wire.Frame{Type: wire.MsgInfoReq}, wire.MsgInfoResp)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	info, err := wire.DecodeInfo(resp.Payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	rs.info = info
+	return rs, nil
+}
+
+func (rs *Remote) roundTrip(req wire.Frame, want byte) (wire.Frame, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err := wire.WriteFrame(rs.w, req); err != nil {
+		return wire.Frame{}, err
+	}
+	if err := rs.w.Flush(); err != nil {
+		return wire.Frame{}, fmt.Errorf("store: flushing request: %w", err)
+	}
+	resp, err := wire.ReadFrame(rs.r)
+	if err != nil {
+		return wire.Frame{}, fmt.Errorf("store: reading response: %w", err)
+	}
+	if err := wire.AsError(resp, want); err != nil {
+		return wire.Frame{}, err
+	}
+	return resp, nil
+}
+
+// Download implements Server.
+func (rs *Remote) Download(addr int) (block.Block, error) {
+	resp, err := rs.roundTrip(wire.EncodeDownloadReq(uint64(addr)), wire.MsgDownloadResp)
+	if err != nil {
+		return nil, err
+	}
+	return block.Block(resp.Payload).Copy(), nil
+}
+
+// Upload implements Server.
+func (rs *Remote) Upload(addr int, b block.Block) error {
+	_, err := rs.roundTrip(wire.EncodeUploadReq(uint64(addr), b), wire.MsgUploadResp)
+	return err
+}
+
+// Size implements Server.
+func (rs *Remote) Size() int { return int(rs.info.Size) }
+
+// BlockSize implements Server.
+func (rs *Remote) BlockSize() int { return int(rs.info.BlockSize) }
+
+// Close closes the connection.
+func (rs *Remote) Close() error { return rs.conn.Close() }
+
+// Serve accepts connections on ln and serves the wire protocol against
+// backing until ln is closed. Each connection is handled on its own
+// goroutine; backing must be safe for concurrent use (all Servers in this
+// package are). Serve returns the listener's accept error, which is
+// net.ErrClosed after a clean shutdown.
+func Serve(ln net.Listener, backing Server) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, backing)
+	}
+}
+
+func serveConn(conn net.Conn, backing Server) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		req, err := wire.ReadFrame(r)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		resp := handle(req, backing)
+		if err := wire.WriteFrame(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func handle(req wire.Frame, backing Server) wire.Frame {
+	switch req.Type {
+	case wire.MsgInfoReq:
+		return wire.EncodeInfo(wire.Info{
+			Size:      uint64(backing.Size()),
+			BlockSize: uint32(backing.BlockSize()),
+		})
+	case wire.MsgDownloadReq:
+		addr, err := wire.DecodeDownloadReq(req.Payload)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		b, err := backing.Download(int(addr))
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.Frame{Type: wire.MsgDownloadResp, Payload: b}
+	case wire.MsgUploadReq:
+		addr, data, err := wire.DecodeUploadReq(req.Payload)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		if err := backing.Upload(int(addr), block.Block(data)); err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.Frame{Type: wire.MsgUploadResp}
+	default:
+		return wire.EncodeError(fmt.Sprintf("unknown message type %d", req.Type))
+	}
+}

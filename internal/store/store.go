@@ -1,0 +1,190 @@
+// Package store implements the passive storage server of the paper's model.
+//
+// Definition 3.1 restricts client–server interaction to two moves: download
+// the ball at a server address, and upload a ball to a server address. The
+// Server interface is exactly that. The package ships four implementations:
+//
+//   - Mem: an in-memory array, the workhorse for experiments;
+//   - File: a disk-backed array (one fixed-size slot per record);
+//   - Counting: a wrapper that meters operations and bytes, giving the
+//     "overhead" columns of every experiment table;
+//   - Remote: a TCP client speaking the wire protocol of package wire,
+//     paired with Serve, so the constructions run unchanged against a real
+//     networked server (cmd/blockstored).
+//
+// Because the server is passive, any Server implementation is automatically
+// consistent with the balls-and-bins lower bounds: the transcript of an
+// execution is precisely the sequence of Download/Upload calls.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dpstore/internal/block"
+)
+
+// ErrAddr reports an out-of-range server address.
+var ErrAddr = errors.New("store: address out of range")
+
+// Server is the passive storage party server_m of Definition 3.1. Addresses
+// are zero-based. Implementations must be safe for concurrent use.
+type Server interface {
+	// Download returns a copy of the block at addr.
+	Download(addr int) (block.Block, error)
+	// Upload stores a copy of b at addr.
+	Upload(addr int, b block.Block) error
+	// Size returns the number of addressable slots m.
+	Size() int
+	// BlockSize returns the fixed slot size in bytes.
+	BlockSize() int
+}
+
+// Mem is an in-memory Server.
+type Mem struct {
+	mu        sync.RWMutex
+	blockSize int
+	slots     []block.Block
+}
+
+// NewMem creates an in-memory server with n zeroed slots of blockSize bytes.
+func NewMem(n, blockSize int) (*Mem, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("store: slot count %d must be positive", n)
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("store: block size %d must be positive", blockSize)
+	}
+	m := &Mem{blockSize: blockSize, slots: make([]block.Block, n)}
+	for i := range m.slots {
+		m.slots[i] = block.New(blockSize)
+	}
+	return m, nil
+}
+
+// NewMemFrom creates an in-memory server initialized with the blocks of db.
+// The server copies the database, so later mutation of db is invisible.
+func NewMemFrom(db *block.Database) (*Mem, error) {
+	m, err := NewMem(db.Len(), db.BlockSize())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < db.Len(); i++ {
+		copy(m.slots[i], db.Get(i))
+	}
+	return m, nil
+}
+
+// Download implements Server.
+func (m *Mem) Download(addr int) (block.Block, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if addr < 0 || addr >= len(m.slots) {
+		return nil, fmt.Errorf("%w: %d (size %d)", ErrAddr, addr, len(m.slots))
+	}
+	return m.slots[addr].Copy(), nil
+}
+
+// Upload implements Server.
+func (m *Mem) Upload(addr int, b block.Block) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr < 0 || addr >= len(m.slots) {
+		return fmt.Errorf("%w: %d (size %d)", ErrAddr, addr, len(m.slots))
+	}
+	if len(b) != m.blockSize {
+		return fmt.Errorf("%w: got %d want %d", block.ErrSize, len(b), m.blockSize)
+	}
+	copy(m.slots[addr], b)
+	return nil
+}
+
+// Size implements Server.
+func (m *Mem) Size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.slots)
+}
+
+// BlockSize implements Server.
+func (m *Mem) BlockSize() int { return m.blockSize }
+
+// Stats is a snapshot of the traffic a Counting server has seen.
+type Stats struct {
+	Downloads     int64
+	Uploads       int64
+	BytesDown     int64
+	BytesUp       int64
+	TouchedUnique int // distinct addresses operated on since the last Reset
+}
+
+// Ops returns total operations (downloads + uploads), the paper's unit of
+// overhead.
+func (s Stats) Ops() int64 { return s.Downloads + s.Uploads }
+
+// Counting wraps a Server and meters its traffic. All experiment tables are
+// produced by sandwiching a Counting server between a construction and its
+// backing store.
+type Counting struct {
+	inner Server
+
+	mu      sync.Mutex
+	stats   Stats
+	touched map[int]struct{}
+}
+
+// NewCounting wraps inner with a fresh meter.
+func NewCounting(inner Server) *Counting {
+	return &Counting{inner: inner, touched: make(map[int]struct{})}
+}
+
+// Download implements Server.
+func (c *Counting) Download(addr int) (block.Block, error) {
+	b, err := c.inner.Download(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.Downloads++
+	c.stats.BytesDown += int64(len(b))
+	c.touched[addr] = struct{}{}
+	c.mu.Unlock()
+	return b, nil
+}
+
+// Upload implements Server.
+func (c *Counting) Upload(addr int, b block.Block) error {
+	if err := c.inner.Upload(addr, b); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Uploads++
+	c.stats.BytesUp += int64(len(b))
+	c.touched[addr] = struct{}{}
+	c.mu.Unlock()
+	return nil
+}
+
+// Size implements Server.
+func (c *Counting) Size() int { return c.inner.Size() }
+
+// BlockSize implements Server.
+func (c *Counting) BlockSize() int { return c.inner.BlockSize() }
+
+// Stats returns a snapshot of the meter.
+func (c *Counting) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.TouchedUnique = len(c.touched)
+	return s
+}
+
+// Reset zeroes the meter.
+func (c *Counting) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+	c.touched = make(map[int]struct{})
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/store"
+)
+
+func newRecorder(t *testing.T) (*Recorder, *store.Mem) {
+	t.Helper()
+	m, err := store.NewMem(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRecorder(m), m
+}
+
+func TestRecorderForwards(t *testing.T) {
+	r, m := newRecorder(t)
+	want := block.Pattern(3, 16)
+	if err := r.Upload(2, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Download(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("upload did not reach inner store")
+	}
+	got2, err := r.Download(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(want) {
+		t.Fatal("download through recorder mismatched")
+	}
+	if r.Size() != 8 || r.BlockSize() != 16 {
+		t.Fatal("shape not forwarded")
+	}
+}
+
+func TestRecorderCaptures(t *testing.T) {
+	r, _ := newRecorder(t)
+	r.Upload(1, block.New(16)) //nolint:errcheck
+	r.Download(5)              //nolint:errcheck
+	r.Download(1)              //nolint:errcheck
+	tr := r.Transcript()
+	want := Transcript{{OpUpload, 1}, {OpDownload, 5}, {OpDownload, 1}}
+	if len(tr) != len(want) {
+		t.Fatalf("transcript length %d, want %d", len(tr), len(want))
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, tr[i], want[i])
+		}
+	}
+}
+
+func TestRecorderIgnoresFailedOps(t *testing.T) {
+	r, _ := newRecorder(t)
+	if _, err := r.Download(99); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := r.Upload(99, block.New(16)); err == nil {
+		t.Fatal("expected error")
+	}
+	if len(r.Transcript()) != 0 {
+		t.Fatal("failed operations were recorded")
+	}
+}
+
+func TestTranscriptKey(t *testing.T) {
+	tr := Transcript{{OpDownload, 3}, {OpUpload, 3}, {OpDownload, 7}}
+	if k := tr.Key(); k != "D3 U3 D7" {
+		t.Fatalf("Key() = %q", k)
+	}
+	if k := (Transcript{}).Key(); k != "" {
+		t.Fatalf("empty Key() = %q", k)
+	}
+}
+
+func TestTranscriptAddrsContains(t *testing.T) {
+	tr := Transcript{{OpDownload, 3}, {OpUpload, 3}, {OpDownload, 7}}
+	addrs := tr.Addrs()
+	if len(addrs) != 2 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	if !tr.Contains(7) || tr.Contains(5) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestQueriesSplitting(t *testing.T) {
+	r, _ := newRecorder(t)
+	r.Upload(0, block.New(16)) //nolint:errcheck // pre-Mark setup op
+	r.Mark()
+	r.Download(1) //nolint:errcheck
+	r.Download(2) //nolint:errcheck
+	r.Mark()
+	r.Download(3) //nolint:errcheck
+	qs := r.Queries()
+	if len(qs) != 2 {
+		t.Fatalf("queries = %d, want 2", len(qs))
+	}
+	if qs[0].Key() != "D1 D2" || qs[1].Key() != "D3" {
+		t.Fatalf("splits = %q, %q", qs[0].Key(), qs[1].Key())
+	}
+}
+
+func TestQueriesWithoutMarks(t *testing.T) {
+	r, _ := newRecorder(t)
+	r.Download(1) //nolint:errcheck
+	if qs := r.Queries(); qs != nil {
+		t.Fatalf("expected nil, got %v", qs)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r, _ := newRecorder(t)
+	r.Mark()
+	r.Download(1) //nolint:errcheck
+	r.Reset()
+	if len(r.Transcript()) != 0 || r.Queries() != nil {
+		t.Fatal("Reset did not clear state")
+	}
+}

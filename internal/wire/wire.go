@@ -1,0 +1,167 @@
+// Package wire defines the binary protocol between a storage client and the
+// passive block server (cmd/blockstored).
+//
+// The protocol is deliberately minimal because Definition 3.1 permits only
+// two moves — download a ball, upload a ball — plus a handshake so the
+// client can learn the store shape. Every message is a frame:
+//
+//	+--------+----------------+------------------+
+//	| type   | payload length | payload          |
+//	| 1 byte | 4 bytes BE     | length bytes     |
+//	+--------+----------------+------------------+
+//
+// Payloads:
+//
+//	MsgInfoReq      (empty)
+//	MsgInfoResp     size uint64 ‖ blockSize uint32
+//	MsgDownloadReq  addr uint64
+//	MsgDownloadResp block bytes
+//	MsgUploadReq    addr uint64 ‖ block bytes
+//	MsgUploadResp   (empty)
+//	MsgError        UTF-8 message
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message type tags.
+const (
+	MsgInfoReq byte = iota + 1
+	MsgInfoResp
+	MsgDownloadReq
+	MsgDownloadResp
+	MsgUploadReq
+	MsgUploadResp
+	MsgError
+)
+
+// MaxFrame bounds accepted payload sizes to keep a malicious peer from
+// forcing huge allocations. 16 MiB is far above any realistic block size.
+const MaxFrame = 16 << 20
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrShortPayload  = errors.New("wire: payload too short")
+	ErrUnexpected    = errors.New("wire: unexpected message type")
+)
+
+// Frame is one decoded protocol message.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	hdr := make([]byte, 5, 5+len(f.Payload))
+	hdr[0] = f.Type
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(f.Payload)))
+	if _, err := w.Write(append(hdr, f.Payload...)); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads and decodes one frame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > MaxFrame {
+		return Frame{}, ErrFrameTooLarge
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return Frame{}, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	return Frame{Type: hdr[0], Payload: p}, nil
+}
+
+// Info is the decoded MsgInfoResp payload.
+type Info struct {
+	Size      uint64
+	BlockSize uint32
+}
+
+// EncodeInfo builds a MsgInfoResp frame.
+func EncodeInfo(info Info) Frame {
+	p := make([]byte, 12)
+	binary.BigEndian.PutUint64(p[:8], info.Size)
+	binary.BigEndian.PutUint32(p[8:12], info.BlockSize)
+	return Frame{Type: MsgInfoResp, Payload: p}
+}
+
+// DecodeInfo parses a MsgInfoResp payload.
+func DecodeInfo(p []byte) (Info, error) {
+	if len(p) != 12 {
+		return Info{}, fmt.Errorf("%w: info payload %d bytes", ErrShortPayload, len(p))
+	}
+	return Info{
+		Size:      binary.BigEndian.Uint64(p[:8]),
+		BlockSize: binary.BigEndian.Uint32(p[8:12]),
+	}, nil
+}
+
+// EncodeDownloadReq builds a MsgDownloadReq frame for addr.
+func EncodeDownloadReq(addr uint64) Frame {
+	p := make([]byte, 8)
+	binary.BigEndian.PutUint64(p, addr)
+	return Frame{Type: MsgDownloadReq, Payload: p}
+}
+
+// DecodeDownloadReq parses a MsgDownloadReq payload.
+func DecodeDownloadReq(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: download request %d bytes", ErrShortPayload, len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// EncodeUploadReq builds a MsgUploadReq frame for addr and block data.
+func EncodeUploadReq(addr uint64, data []byte) Frame {
+	p := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(p[:8], addr)
+	copy(p[8:], data)
+	return Frame{Type: MsgUploadReq, Payload: p}
+}
+
+// DecodeUploadReq parses a MsgUploadReq payload into (addr, block data).
+// The returned slice aliases p.
+func DecodeUploadReq(p []byte) (uint64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("%w: upload request %d bytes", ErrShortPayload, len(p))
+	}
+	return binary.BigEndian.Uint64(p[:8]), p[8:], nil
+}
+
+// EncodeError builds a MsgError frame.
+func EncodeError(msg string) Frame {
+	return Frame{Type: MsgError, Payload: []byte(msg)}
+}
+
+// RemoteError is an error reported by the server over the wire.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "wire: server error: " + e.Msg }
+
+// AsError converts a frame into an error if it is a MsgError, or reports an
+// unexpected type mismatch against want.
+func AsError(f Frame, want byte) error {
+	if f.Type == want {
+		return nil
+	}
+	if f.Type == MsgError {
+		return &RemoteError{Msg: string(f.Payload)}
+	}
+	return fmt.Errorf("%w: got %d want %d", ErrUnexpected, f.Type, want)
+}

@@ -1,0 +1,164 @@
+// Package workload generates the query sequences that drive experiments:
+// uniform and Zipf-skewed retrievals, read/write mixes for RAM, key-universe
+// traces for KVS, and the adjacent-pair construction underlying every
+// differential-privacy measurement (Definition 2.1 quantifies over pairs of
+// sequences at Hamming distance exactly 1).
+package workload
+
+import (
+	"fmt"
+
+	"dpstore/internal/block"
+	"dpstore/internal/rng"
+)
+
+// OpKind is a query operation: retrieval or overwrite (Section 2.1).
+type OpKind byte
+
+// Operation kinds.
+const (
+	Read OpKind = iota
+	Write
+)
+
+// String renders the op kind.
+func (k OpKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Query is one RAM query q = (i, op). Data carries the new contents for
+// writes and is nil for reads.
+type Query struct {
+	Index int
+	Op    OpKind
+	Data  block.Block
+}
+
+// Equal reports whether two queries are identical as queries (Hamming
+// metric of Section 2: index and op; write payloads are not part of the
+// adjacency metric).
+func (q Query) Equal(o Query) bool { return q.Index == o.Index && q.Op == o.Op }
+
+// Sequence is an ordered query sequence Q ∈ Q^l.
+type Sequence []Query
+
+// HammingDistance counts positions where the two sequences differ. It
+// panics if lengths differ, since adjacency is only defined for equal
+// lengths.
+func HammingDistance(a, b Sequence) int {
+	if len(a) != len(b) {
+		panic("workload: HammingDistance over different lengths")
+	}
+	d := 0
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			d++
+		}
+	}
+	return d
+}
+
+// Adjacent returns a copy of q with position k replaced by repl, the
+// canonical neighbor construction. It errors if the result would not be
+// adjacent (i.e., repl equals the existing query).
+func Adjacent(q Sequence, k int, repl Query) (Sequence, error) {
+	if k < 0 || k >= len(q) {
+		return nil, fmt.Errorf("workload: adjacent position %d out of range [0,%d)", k, len(q))
+	}
+	if q[k].Equal(repl) {
+		return nil, fmt.Errorf("workload: replacement at %d equals original; Hamming distance would be 0", k)
+	}
+	out := append(Sequence(nil), q...)
+	out[k] = repl
+	return out, nil
+}
+
+// UniformReads returns l uniform retrieval queries over [0, n).
+func UniformReads(src *rng.Source, n, l int) Sequence {
+	s := make(Sequence, l)
+	for i := range s {
+		s[i] = Query{Index: src.Intn(n), Op: Read}
+	}
+	return s
+}
+
+// UniformMix returns l queries over [0, n) where each is independently a
+// write with probability writeFrac; write payloads are deterministic
+// pattern blocks tagged by the query position so correctness is checkable.
+func UniformMix(src *rng.Source, n, l int, writeFrac float64, blockSize int) Sequence {
+	s := make(Sequence, l)
+	for i := range s {
+		idx := src.Intn(n)
+		if src.Bernoulli(writeFrac) {
+			s[i] = Query{Index: idx, Op: Write, Data: block.Pattern(uint64(n+i), blockSize)}
+		} else {
+			s[i] = Query{Index: idx, Op: Read}
+		}
+	}
+	return s
+}
+
+// ZipfReads returns l Zipf-skewed retrievals over [0, n). skew must be > 1;
+// 1.1 is a typical heavy-skew storage trace.
+func ZipfReads(src *rng.Source, n, l int, skew float64) Sequence {
+	z := src.Zipf(skew, n)
+	s := make(Sequence, l)
+	for i := range s {
+		s[i] = Query{Index: int(z.Uint64()), Op: Read}
+	}
+	return s
+}
+
+// SequentialReads returns reads 0, 1, 2, … wrapping mod n — the best case
+// for plaintext locality, the adversary's easiest trace, and therefore a
+// good stress-case for privacy measurements.
+func SequentialReads(n, l int) Sequence {
+	s := make(Sequence, l)
+	for i := range s {
+		s[i] = Query{Index: i % n, Op: Read}
+	}
+	return s
+}
+
+// KVOp is one key-value storage query q = (k, op) over a large key universe
+// (Section 2.1). A Read for an absent key must return ⊥.
+type KVOp struct {
+	Key   string
+	Op    OpKind
+	Value block.Block
+}
+
+// KVSequence is an ordered KVS query sequence.
+type KVSequence []KVOp
+
+// Universe generates the large key universe U: key i is a deterministic
+// string, so universes regenerate identically across runs.
+func Universe(size int) []string {
+	u := make([]string, size)
+	for i := range u {
+		u[i] = fmt.Sprintf("key-%08x", i)
+	}
+	return u
+}
+
+// KVUniformMix returns l KVS queries drawn uniformly from universe; each is
+// a write with probability writeFrac. missFrac of the reads target keys
+// outside the universe (testing the ⊥ path).
+func KVUniformMix(src *rng.Source, universe []string, l int, writeFrac, missFrac float64, blockSize int) KVSequence {
+	s := make(KVSequence, l)
+	for i := range s {
+		switch {
+		case src.Bernoulli(writeFrac):
+			k := universe[src.Intn(len(universe))]
+			s[i] = KVOp{Key: k, Op: Write, Value: block.Pattern(uint64(i), blockSize)}
+		case src.Bernoulli(missFrac):
+			s[i] = KVOp{Key: fmt.Sprintf("miss-%08x", src.Intn(1<<30)), Op: Read}
+		default:
+			s[i] = KVOp{Key: universe[src.Intn(len(universe))], Op: Read}
+		}
+	}
+	return s
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"dpstore/internal/rng"
+)
+
+func TestHammingDistance(t *testing.T) {
+	a := Sequence{{Index: 1, Op: Read}, {Index: 2, Op: Read}, {Index: 3, Op: Write}}
+	b := Sequence{{Index: 1, Op: Read}, {Index: 5, Op: Read}, {Index: 3, Op: Read}}
+	if d := HammingDistance(a, b); d != 2 {
+		t.Fatalf("distance = %d, want 2", d)
+	}
+	if d := HammingDistance(a, a); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func TestHammingDistancePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HammingDistance(Sequence{{Index: 1}}, Sequence{})
+}
+
+func TestQueryEqualIgnoresPayload(t *testing.T) {
+	a := Query{Index: 1, Op: Write, Data: []byte{1}}
+	b := Query{Index: 1, Op: Write, Data: []byte{2}}
+	if !a.Equal(b) {
+		t.Fatal("payload must not affect adjacency metric")
+	}
+	if a.Equal(Query{Index: 1, Op: Read}) {
+		t.Fatal("op change must affect adjacency metric")
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	q := Sequence{{Index: 1, Op: Read}, {Index: 2, Op: Read}}
+	q2, err := Adjacent(q, 1, Query{Index: 7, Op: Read})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HammingDistance(q, q2) != 1 {
+		t.Fatal("result is not adjacent")
+	}
+	if q[1].Index != 2 {
+		t.Fatal("Adjacent mutated the original")
+	}
+	if _, err := Adjacent(q, 5, Query{Index: 7}); err == nil {
+		t.Fatal("out-of-range position accepted")
+	}
+	if _, err := Adjacent(q, 1, Query{Index: 2, Op: Read}); err == nil {
+		t.Fatal("identical replacement accepted (distance would be 0)")
+	}
+}
+
+func TestUniformReads(t *testing.T) {
+	src := rng.New(1)
+	s := UniformReads(src, 100, 1000)
+	if len(s) != 1000 {
+		t.Fatalf("length %d", len(s))
+	}
+	seen := make(map[int]bool)
+	for _, q := range s {
+		if q.Op != Read || q.Data != nil {
+			t.Fatal("non-read query in UniformReads")
+		}
+		if q.Index < 0 || q.Index >= 100 {
+			t.Fatalf("index %d out of range", q.Index)
+		}
+		seen[q.Index] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("only %d distinct indices over 1000 draws; not uniform", len(seen))
+	}
+}
+
+func TestUniformMix(t *testing.T) {
+	src := rng.New(2)
+	s := UniformMix(src, 50, 2000, 0.3, 16)
+	writes := 0
+	for _, q := range s {
+		if q.Op == Write {
+			writes++
+			if len(q.Data) != 16 {
+				t.Fatal("write payload has wrong size")
+			}
+		} else if q.Data != nil {
+			t.Fatal("read carries payload")
+		}
+	}
+	frac := float64(writes) / float64(len(s))
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("write fraction %.3f, want ≈0.3", frac)
+	}
+}
+
+func TestZipfReadsSkew(t *testing.T) {
+	src := rng.New(3)
+	s := ZipfReads(src, 1000, 5000, 1.2)
+	hot := 0
+	for _, q := range s {
+		if q.Index < 0 || q.Index >= 1000 {
+			t.Fatalf("index %d out of range", q.Index)
+		}
+		if q.Index < 10 {
+			hot++
+		}
+	}
+	if hot < len(s)/3 {
+		t.Fatalf("only %d/%d queries hit hot keys; not Zipf-skewed", hot, len(s))
+	}
+}
+
+func TestSequentialReads(t *testing.T) {
+	s := SequentialReads(4, 10)
+	for i, q := range s {
+		if q.Index != i%4 {
+			t.Fatalf("position %d reads %d, want %d", i, q.Index, i%4)
+		}
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	u := Universe(10)
+	if len(u) != 10 {
+		t.Fatalf("universe size %d", len(u))
+	}
+	seen := make(map[string]bool)
+	for _, k := range u {
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+	// Regenerates identically.
+	u2 := Universe(10)
+	for i := range u {
+		if u[i] != u2[i] {
+			t.Fatal("universe not deterministic")
+		}
+	}
+}
+
+func TestKVUniformMix(t *testing.T) {
+	src := rng.New(4)
+	u := Universe(100)
+	s := KVUniformMix(src, u, 3000, 0.25, 0.2, 16)
+	writes, misses := 0, 0
+	for _, q := range s {
+		switch {
+		case q.Op == Write:
+			writes++
+			if len(q.Value) != 16 {
+				t.Fatal("bad write value size")
+			}
+			if strings.HasPrefix(q.Key, "miss-") {
+				t.Fatal("write targeted a miss key")
+			}
+		case strings.HasPrefix(q.Key, "miss-"):
+			misses++
+		}
+	}
+	wf := float64(writes) / float64(len(s))
+	if wf < 0.2 || wf > 0.3 {
+		t.Fatalf("write fraction %.3f, want ≈0.25", wf)
+	}
+	if misses == 0 {
+		t.Fatal("no miss reads generated")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("OpKind.String wrong")
+	}
+}
