@@ -1,0 +1,142 @@
+package dpstore
+
+// Transport benchmarks: the same construction hot paths driven batched and
+// per-block against an in-memory server and a real TCP loopback server.
+// The roundtrips/op metric is the headline: batching collapses a query's
+// fixed, privacy-independent address set into one frame per direction.
+// Numbers are recorded in EXPERIMENTS.md §Transport.
+
+import (
+	"net"
+	"testing"
+
+	"dpstore/internal/baseline/pathoram"
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+const transportN = 1 << 10
+
+func benchRemote(b *testing.B, slots, blockSize int) *store.Remote {
+	b.Helper()
+	backing, err := store.NewMem(slots, blockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	go store.Serve(ln, backing) //nolint:errcheck
+	r, err := store.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { r.Close() })
+	return r
+}
+
+// rawReadBench measures a fixed 64-address read through srv's batch view.
+func rawReadBench(b *testing.B, srv store.Server) {
+	b.Helper()
+	batch := store.AsBatch(srv)
+	addrs := make([]int, 64)
+	for i := range addrs {
+		addrs[i] = (i * 17) % transportN
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := batch.ReadBatch(addrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransportMemRead64Batched(b *testing.B) {
+	m, err := store.NewMem(transportN, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rawReadBench(b, m)
+}
+
+func BenchmarkTransportMemRead64PerBlock(b *testing.B) {
+	m, err := store.NewMem(transportN, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rawReadBench(b, store.PerBlock(m))
+}
+
+func BenchmarkTransportRemoteRead64Batched(b *testing.B) {
+	rawReadBench(b, benchRemote(b, transportN, block.DefaultSize))
+}
+
+func BenchmarkTransportRemoteRead64PerBlock(b *testing.B) {
+	rawReadBench(b, store.PerBlock(benchRemote(b, transportN, block.DefaultSize)))
+}
+
+// dpramRemoteBench measures a full DP-RAM access over loopback, reporting
+// real wire round trips per access.
+func dpramRemoteBench(b *testing.B, perBlock bool) {
+	db, err := block.PatternDatabase(transportN, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dpram.Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)}
+	remote := benchRemote(b, transportN, dpram.ServerBlockSize(block.DefaultSize, opts))
+	var srv store.Server = remote
+	if perBlock {
+		srv = store.PerBlock(remote)
+	}
+	c, err := dpram.Setup(db, srv, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := remote.RoundTrips()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(i % transportN); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(remote.RoundTrips()-base)/float64(b.N), "roundtrips/op")
+}
+
+func BenchmarkTransportDPRAMRemoteBatched(b *testing.B)  { dpramRemoteBench(b, false) }
+func BenchmarkTransportDPRAMRemotePerBlock(b *testing.B) { dpramRemoteBench(b, true) }
+
+// pathoramRemoteBench does the same for Path ORAM, whose per-access block
+// count is Θ(log n) rather than O(1).
+func pathoramRemoteBench(b *testing.B, perBlock bool) {
+	db, err := block.PatternDatabase(transportN, block.DefaultSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := pathoram.Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)}
+	slots, bs := pathoram.TreeShape(transportN, block.DefaultSize, opts)
+	remote := benchRemote(b, slots, bs)
+	var srv store.Server = remote
+	if perBlock {
+		srv = store.PerBlock(remote)
+	}
+	o, err := pathoram.Setup(db, srv, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := remote.RoundTrips()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Read(i % transportN); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(remote.RoundTrips()-base)/float64(b.N), "roundtrips/op")
+}
+
+func BenchmarkTransportPathORAMRemoteBatched(b *testing.B)  { pathoramRemoteBench(b, false) }
+func BenchmarkTransportPathORAMRemotePerBlock(b *testing.B) { pathoramRemoteBench(b, true) }

@@ -2,11 +2,15 @@
 // server_m of the paper's model (Definition 3.1) — speaking the wire
 // protocol of internal/wire over TCP.
 //
-// It stores fixed-size slots and answers exactly two requests, download and
-// upload, plus a shape handshake. All privacy machinery lives client-side
-// (dpkv, the examples, or any program built on the library); the server
-// only ever sees the access pattern the DP constructions are designed to
-// protect.
+// It stores fixed-size slots and answers exactly two kinds of request,
+// download and upload — individually or in batch frames that carry a whole
+// per-query address set in one round trip — plus a shape handshake. All
+// privacy machinery lives client-side (dpkv, the examples, or any program
+// built on the library); the server only ever sees the access pattern the
+// DP constructions are designed to protect, and a batch frame reveals
+// exactly the same (op, address) multiset as the per-block exchange it
+// replaces. Batch requests hit the backing store's native fast path: a
+// single lock acquisition in memory, sorted and coalesced I/O on disk.
 //
 // Usage:
 //

@@ -25,6 +25,8 @@
 package dpstore
 
 import (
+	"net"
+
 	"dpstore/internal/block"
 	"dpstore/internal/core/dpir"
 	"dpstore/internal/core/dpkvs"
@@ -56,11 +58,30 @@ func NewBlock(size int) Block { return block.New(size) }
 // Server is the passive storage party: download a block, upload a block.
 type Server = store.Server
 
+// BatchServer extends Server with multi-block ReadBatch/WriteBatch
+// operations — transcript-equivalent to the per-block calls but one
+// client–server crossing per batch. All servers in this module implement
+// it natively; use AsBatchServer to adapt any third-party Server.
+type BatchServer = store.BatchServer
+
+// WriteOp is one element of a WriteBatch: store Block at Addr.
+type WriteOp = store.WriteOp
+
+// AsBatchServer returns s's native batch implementation, or a per-op loop
+// adapter for Servers that predate the batch interface.
+func AsBatchServer(s Server) BatchServer { return store.AsBatch(s) }
+
 // ServerStats is a traffic snapshot from a counting server.
 type ServerStats = store.Stats
 
-// CountingServer meters downloads/uploads/bytes on any Server.
+// CountingServer meters downloads/uploads/bytes on any Server. Batched
+// operations are metered per block, so overhead tables are identical
+// whichever transport a construction uses.
 type CountingServer = store.Counting
+
+// RemoteServer is a TCP client for a networked block server
+// (cmd/blockstored); its batch calls collapse N round trips into one.
+type RemoteServer = store.Remote
 
 // NewMemServer returns an in-memory Server with n slots of blockSize bytes.
 func NewMemServer(n, blockSize int) (Server, error) { return store.NewMem(n, blockSize) }
@@ -69,7 +90,11 @@ func NewMemServer(n, blockSize int) (Server, error) { return store.NewMem(n, blo
 func NewCountingServer(inner Server) *CountingServer { return store.NewCounting(inner) }
 
 // DialServer connects to a remote block server (cmd/blockstored).
-func DialServer(addr string) (*store.Remote, error) { return store.Dial(addr) }
+func DialServer(addr string) (*RemoteServer, error) { return store.Dial(addr) }
+
+// ServeBlocks serves the wire protocol (including the batch frames)
+// against backing until ln closes — the embeddable form of cmd/blockstored.
+func ServeBlocks(ln net.Listener, backing Server) error { return store.Serve(ln, backing) }
 
 // --- randomness and keys -------------------------------------------------------
 

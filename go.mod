@@ -1,0 +1,3 @@
+module dpstore
+
+go 1.24

@@ -21,30 +21,32 @@ import (
 // Trivial is single-server linear-scan PIR: perfect privacy, perfect
 // correctness, n operations per query.
 type Trivial struct {
-	server store.Server
+	server store.BatchServer
 	n      int
 }
 
 // NewTrivial creates a trivial PIR client.
 func NewTrivial(server store.Server) *Trivial {
-	return &Trivial{server: server, n: server.Size()}
+	return &Trivial{server: store.AsBatch(server), n: server.Size()}
 }
 
-// Query downloads every record and keeps record q. The access pattern is
-// identical for every query, giving obliviousness (ε = 0, δ = 0).
+// Query downloads every record in batched scan windows and keeps record q.
+// The access pattern is identical for every query, giving obliviousness
+// (ε = 0, δ = 0); on a File-backed server each window becomes one
+// sequential read, and client memory stays O(ScanWindow) at any n.
 func (t *Trivial) Query(q int) (block.Block, error) {
 	if q < 0 || q >= t.n {
 		return nil, fmt.Errorf("linearpir: query %d out of range [0,%d)", q, t.n)
 	}
 	var want block.Block
-	for j := 0; j < t.n; j++ {
-		b, err := t.server.Download(j)
-		if err != nil {
-			return nil, fmt.Errorf("linearpir: scanning: %w", err)
+	err := store.ScanRange(t.server, t.n, func(base int, blocks []block.Block) error {
+		if q >= base && q < base+len(blocks) {
+			want = blocks[q-base]
 		}
-		if j == q {
-			want = b
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("linearpir: scanning: %w", err)
 	}
 	return want, nil
 }
@@ -56,7 +58,7 @@ func (t *Trivial) Query(q int) (block.Block, error) {
 // uniform subset, independent of q: perfect privacy against one corrupted
 // server.
 type TwoServerXOR struct {
-	servers [2]store.Server
+	servers [2]store.BatchServer
 	n       int
 	src     *rng.Source
 }
@@ -70,24 +72,30 @@ func NewTwoServerXOR(s0, s1 store.Server, src *rng.Source) (*TwoServerXOR, error
 		return nil, fmt.Errorf("linearpir: replica shape mismatch: (%d,%d) vs (%d,%d)",
 			s0.Size(), s0.BlockSize(), s1.Size(), s1.BlockSize())
 	}
-	return &TwoServerXOR{servers: [2]store.Server{s0, s1}, n: s0.Size(), src: src}, nil
+	return &TwoServerXOR{servers: [2]store.BatchServer{store.AsBatch(s0), store.AsBatch(s1)}, n: s0.Size(), src: src}, nil
 }
 
-// xorAnswer computes the server-side XOR over the selected blocks. The
-// download counter of a Counting wrapper therefore meters true server work.
-func xorAnswer(s store.Server, sel []bool, blockSize int) (block.Block, error) {
-	acc := block.New(blockSize)
+// xorAnswer computes the server-side XOR over the selected blocks, fetching
+// the subset in one batch. The download counter of a Counting wrapper
+// therefore meters true server work.
+func xorAnswer(s store.BatchServer, sel []bool, blockSize int) (block.Block, error) {
+	addrs := make([]int, 0, len(sel)/2)
 	for j, in := range sel {
-		if !in {
-			continue
+		if in {
+			addrs = append(addrs, j)
 		}
-		b, err := s.Download(j)
-		if err != nil {
-			return nil, fmt.Errorf("linearpir: xor scan: %w", err)
+	}
+	acc := block.New(blockSize)
+	err := store.ReadWindows(s, addrs, func(_ int, blocks []block.Block) error {
+		for _, b := range blocks {
+			for i := range acc {
+				acc[i] ^= b[i]
+			}
 		}
-		for i := range acc {
-			acc[i] ^= b[i]
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("linearpir: xor scan: %w", err)
 	}
 	return acc, nil
 }
@@ -105,17 +113,25 @@ func (t *TwoServerXOR) Query(q int) (block.Block, error) {
 	}
 	sel1[q] = !sel1[q]
 	bs := t.servers[0].BlockSize()
-	a0, err := xorAnswer(t.servers[0], sel0, bs)
-	if err != nil {
-		return nil, err
-	}
-	a1, err := xorAnswer(t.servers[1], sel1, bs)
+	// Both subsets are fixed before any traffic, and the two servers are
+	// independent parties (the non-collusion model), so the scans run
+	// concurrently: latency is one server's scan, not the sum of both.
+	sels := [2][]bool{sel0, sel1}
+	var answers [2]block.Block
+	err := store.Concurrently(2, func(i int) error {
+		a, err := xorAnswer(t.servers[i], sels[i], bs)
+		if err != nil {
+			return err
+		}
+		answers[i] = a
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	out := block.New(bs)
 	for i := range out {
-		out[i] = a0[i] ^ a1[i]
+		out[i] = answers[0][i] ^ answers[1][i]
 	}
 	return out, nil
 }

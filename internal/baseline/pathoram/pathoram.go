@@ -74,7 +74,7 @@ type ORAM struct {
 	z         int
 	height    int // tree levels are 0 (root) .. height (leaves)
 	numLeaves int
-	server    store.Server
+	server    store.BatchServer
 	cipher    *crypto.Cipher
 	pos       positionMap
 	stash     map[int]stashEntry
@@ -83,6 +83,15 @@ type ORAM struct {
 	plainSize int
 	slotPlain int
 	plaintext bool
+
+	// A path write that fails leaves the tree holding stale copies of the
+	// blocks that were being evicted (the stash keeps the current ones).
+	// The sealed rewrite is buffered here and replayed before the next
+	// access, restoring the one-live-copy-per-block invariant as soon as
+	// the transport heals; the stash entries in pendingEvict are released
+	// only when the replay lands.
+	pendingWrite []store.WriteOp
+	pendingEvict []int
 
 	maxStash   int
 	roundTrips int64
@@ -135,7 +144,7 @@ func Setup(db *block.Database, server store.Server, opts Options) (*ORAM, error)
 		z:         z,
 		height:    mathx.FloorLog2(leaves),
 		numLeaves: leaves,
-		server:    server,
+		server:    store.AsBatch(server),
 		stash:     make(map[int]stashEntry),
 		src:       opts.Rand,
 		plainSize: db.BlockSize(),
@@ -174,6 +183,7 @@ func Setup(db *block.Database, server store.Server, opts Options) (*ORAM, error)
 			o.stash[i] = stashEntry{pos: pm[i], data: db.Get(i).Copy()}
 		}
 	}
+	w := store.NewBatchWriter(o.server)
 	for node, ids := range occupancy {
 		for zi := 0; zi < z; zi++ {
 			var sl block.Block
@@ -187,10 +197,13 @@ func Setup(db *block.Database, server store.Server, opts Options) (*ORAM, error)
 			if err != nil {
 				return nil, err
 			}
-			if err := server.Upload(node*z+zi, sl); err != nil {
+			if err := w.Add(node*z+zi, sl); err != nil {
 				return nil, fmt.Errorf("pathoram: setup upload: %w", err)
 			}
 		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, fmt.Errorf("pathoram: setup upload: %w", err)
 	}
 	o.trackStash()
 	return o, nil
@@ -327,6 +340,9 @@ func (o *ORAM) access(i int, mutate func(cur block.Block) block.Block) error {
 	if i < 0 || i >= o.n {
 		return fmt.Errorf("pathoram: index %d out of range [0,%d)", i, o.n)
 	}
+	if err := o.flushPending(); err != nil {
+		return err
+	}
 	newLeaf := o.src.Intn(o.numLeaves)
 	oldLeaf, err := o.pos.Swap(i, newLeaf)
 	if err != nil {
@@ -334,23 +350,35 @@ func (o *ORAM) access(i int, mutate func(cur block.Block) block.Block) error {
 	}
 	path := o.pathNodes(oldLeaf)
 
-	// Read phase: one batched round trip.
+	// Read phase: the whole path in one ReadBatch — now genuinely one
+	// round trip on a batch-capable transport, not just one in accounting.
+	addrs := make([]int, 0, len(path)*o.z)
 	for _, node := range path {
 		for zi := 0; zi < o.z; zi++ {
-			ct, err := o.server.Download(node*o.z + zi)
-			if err != nil {
-				return fmt.Errorf("pathoram: path read: %w", err)
-			}
-			id, pos, payload, err := o.openSlot(ct)
-			if err != nil {
-				return err
-			}
-			if id == dummyID {
-				continue
-			}
-			if _, ok := o.stash[int(id)]; !ok {
-				o.stash[int(id)] = stashEntry{pos: pos, data: payload}
-			}
+			addrs = append(addrs, node*o.z+zi)
+		}
+	}
+	cts, err := o.server.ReadBatch(addrs)
+	if err != nil {
+		// The remap already happened but the block never left its old
+		// path: roll the position back so a retry reads the right path.
+		// (For the recursive variant this costs one extra map access, on
+		// the failure path only.)
+		if _, rerr := o.pos.Swap(i, oldLeaf); rerr != nil {
+			return fmt.Errorf("pathoram: path read: %v; position rollback failed: %w", err, rerr)
+		}
+		return fmt.Errorf("pathoram: path read: %w", err)
+	}
+	for _, ct := range cts {
+		id, pos, payload, err := o.openSlot(ct)
+		if err != nil {
+			return err
+		}
+		if id == dummyID {
+			continue
+		}
+		if _, ok := o.stash[int(id)]; !ok {
+			o.stash[int(id)] = stashEntry{pos: pos, data: payload}
 		}
 	}
 	o.roundTrips++
@@ -376,8 +404,12 @@ func (o *ORAM) access(i int, mutate func(cur block.Block) block.Block) error {
 }
 
 // evict writes the path back, placing each stash block into the deepest
-// bucket its current position tag allows.
+// bucket its current position tag allows. The Z·(height+1) slot writes go
+// out as a single WriteBatch: one round trip for the whole write phase.
 func (o *ORAM) evict(leaf int, path []int) error {
+	ops := make([]store.WriteOp, 0, len(path)*o.z)
+	evicted := make([]int, 0, len(path)*o.z)
+	taken := make(map[int]bool, len(path)*o.z)
 	for li, node := range path {
 		level := o.height - li // depth of this bucket
 		placed := make([]int, 0, o.z)
@@ -385,8 +417,9 @@ func (o *ORAM) evict(leaf int, path []int) error {
 			if len(placed) == o.z {
 				break
 			}
-			if sameAncestor(e.pos, leaf, level, o.height) {
+			if !taken[id] && sameAncestor(e.pos, leaf, level, o.height) {
 				placed = append(placed, id)
+				taken[id] = true
 			}
 		}
 		for zi := 0; zi < o.z; zi++ {
@@ -396,18 +429,45 @@ func (o *ORAM) evict(leaf int, path []int) error {
 				id := placed[zi]
 				e := o.stash[id]
 				sl, err = o.sealSlot(uint64(id), e.pos, e.data)
-				delete(o.stash, id)
+				evicted = append(evicted, id)
 			} else {
 				sl, err = o.sealSlot(dummyID, 0, nil)
 			}
 			if err != nil {
 				return err
 			}
-			if err := o.server.Upload(node*o.z+zi, sl); err != nil {
-				return fmt.Errorf("pathoram: path write: %w", err)
-			}
+			ops = append(ops, store.WriteOp{Addr: node*o.z + zi, Block: sl})
 		}
 	}
+	if err := o.server.WriteBatch(ops); err != nil {
+		// The stash still holds every placed block, and the rewrite is
+		// parked for replay: a failed path write must neither orphan data
+		// that never reached the server nor leave stale tree copies behind
+		// for a later read to resurrect.
+		o.pendingWrite, o.pendingEvict = ops, evicted
+		return fmt.Errorf("pathoram: path write: %w", err)
+	}
+	for _, id := range evicted {
+		delete(o.stash, id)
+	}
+	return nil
+}
+
+// flushPending replays an interrupted path write. Replaying the full batch
+// is idempotent: a partial first attempt applied a prefix of the same
+// ciphertexts to the same slots.
+func (o *ORAM) flushPending() error {
+	if o.pendingWrite == nil {
+		return nil
+	}
+	if err := o.server.WriteBatch(o.pendingWrite); err != nil {
+		return fmt.Errorf("pathoram: replaying interrupted path write: %w", err)
+	}
+	o.roundTrips++
+	for _, id := range o.pendingEvict {
+		delete(o.stash, id)
+	}
+	o.pendingWrite, o.pendingEvict = nil, nil
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package pathoram
 
 import (
+	"errors"
 	"testing"
 
 	"dpstore/internal/block"
@@ -295,5 +296,113 @@ func TestRecursiveValidation(t *testing.T) {
 	}
 	if _, err := SetupRecursive(db, MemFactory, RecursiveOptions{Pack: 1, Inner: Options{Rand: rng.New(1)}}); err == nil {
 		t.Fatal("pack=1 accepted")
+	}
+}
+
+// TestFaultedEvictionPreservesStash: a failed path write must leave every
+// placed block in the stash — the server path was not rewritten, so the
+// stash holds the only current copies. A retry after the transient fault
+// must still return the written value.
+func TestFaultedEvictionPreservesStash(t *testing.T) {
+	const n = 8
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Rand: rng.New(4), Key: crypto.KeyFromSeed(4)}
+	slots, bs := TreeShape(n, 16, opts)
+	srv, err := store.NewMem(slots, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Op schedule: setup = slots uploads; each access = perPath reads then
+	// perPath writes. Fault the first write of the second access (the one
+	// evicting the freshly written block).
+	perPath := int64(4 * 4) // Z=4, height+1=4 at n=8
+	failAt := int64(slots) + 2*perPath + perPath + 1
+	faulty := store.NewFaulty(srv, failAt, nil)
+	o, err := Setup(db, faulty, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(o.Z()*(o.Height()+1)) != perPath {
+		t.Fatalf("perPath = %d, want %d", o.Z()*(o.Height()+1), perPath)
+	}
+	want := block.Pattern(4242, 16)
+	if _, err := o.Write(3, want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Read(3); !errors.Is(err, store.ErrInjected) {
+		t.Fatalf("faulted read: err = %v, want ErrInjected", err)
+	}
+	got, err := o.Read(3)
+	if err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("retry returned stale data: eviction failure dropped the stash copy")
+	}
+}
+
+// TestTransientFaultConsistency fuzzes the failure-recovery invariant: one
+// transient fault is injected at each of a range of operation offsets, the
+// faulted access is retried once, and every subsequent read must match a
+// reference map — catching both lost updates and stale-copy resurrection
+// from partially written paths.
+func TestTransientFaultConsistency(t *testing.T) {
+	const n, rounds = 16, 120
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for offset := int64(1); offset <= 40; offset += 3 {
+		opts := Options{Rand: rng.New(9), Key: crypto.KeyFromSeed(9)}
+		slots, bs := TreeShape(n, 16, opts)
+		srv, err := store.NewMem(slots, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty := store.NewFaulty(srv, int64(slots)+offset, nil)
+		o, err := Setup(db, faulty, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := make(map[int]block.Block)
+		for i := 0; i < n; i++ {
+			ref[i] = block.Pattern(uint64(i), 16)
+		}
+		w := rng.New(offset)
+		sawFault := false
+		for r := 0; r < rounds; r++ {
+			idx := w.Intn(n)
+			if w.Bernoulli(0.4) {
+				val := block.Pattern(uint64(1000+r), 16)
+				_, err := o.Write(idx, val)
+				if errors.Is(err, store.ErrInjected) {
+					sawFault = true
+					if _, err := o.Write(idx, val); err != nil {
+						t.Fatalf("offset %d round %d: write retry failed: %v", offset, r, err)
+					}
+				} else if err != nil {
+					t.Fatalf("offset %d round %d: write: %v", offset, r, err)
+				}
+				ref[idx] = val
+			} else {
+				got, err := o.Read(idx)
+				if errors.Is(err, store.ErrInjected) {
+					sawFault = true
+					got, err = o.Read(idx)
+				}
+				if err != nil {
+					t.Fatalf("offset %d round %d: read: %v", offset, r, err)
+				}
+				if !got.Equal(ref[idx]) {
+					t.Fatalf("offset %d round %d: stale read of %d after transient fault", offset, r, idx)
+				}
+			}
+		}
+		if !sawFault {
+			t.Fatalf("offset %d: fault never fired", offset)
+		}
 	}
 }

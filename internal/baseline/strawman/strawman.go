@@ -23,7 +23,7 @@ import (
 
 // Client is the strawman DP-IR client.
 type Client struct {
-	server store.Server
+	server store.BatchServer
 	n      int
 	src    *rng.Source
 }
@@ -37,7 +37,7 @@ func New(server store.Server, src *rng.Source) (*Client, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("strawman: database must hold ≥ 2 records, got %d", n)
 	}
-	return &Client{server: server, n: n, src: src}, nil
+	return &Client{server: store.AsBatch(server), n: n, src: src}, nil
 }
 
 // SampleSet returns the download set for query q without touching the
@@ -56,22 +56,24 @@ func (c *Client) SampleSet(q int) []int {
 }
 
 // Query retrieves record q with perfect correctness and O(1) expected
-// bandwidth — and broken privacy.
+// bandwidth — and broken privacy. The sampled set goes out as one batch;
+// batching cannot rescue the construction (the distinguisher watches which
+// addresses appear, not how they are framed).
 func (c *Client) Query(q int) (block.Block, error) {
 	if q < 0 || q >= c.n {
 		return nil, fmt.Errorf("strawman: query %d out of range [0,%d)", q, c.n)
 	}
-	var want block.Block
-	for _, j := range c.SampleSet(q) {
-		b, err := c.server.Download(j)
-		if err != nil {
-			return nil, fmt.Errorf("strawman: downloading: %w", err)
-		}
+	set := c.SampleSet(q)
+	blocks, err := c.server.ReadBatch(set)
+	if err != nil {
+		return nil, fmt.Errorf("strawman: downloading: %w", err)
+	}
+	for i, j := range set {
 		if j == q {
-			want = b
+			return blocks[i], nil
 		}
 	}
-	return want, nil
+	return nil, fmt.Errorf("strawman: query %d missing from its own sample set", q)
 }
 
 // DeltaFloor returns the analytic δ lower bound of Section 4 for database

@@ -63,7 +63,7 @@ func (o Options) validate() error {
 // paper's sense: nothing is carried between queries; the struct only holds
 // immutable parameters and the coin source.)
 type Client struct {
-	server store.Server
+	server store.BatchServer
 	n      int
 	k      int
 	alpha  float64
@@ -81,7 +81,7 @@ func New(server store.Server, opts Options) (*Client, error) {
 		return nil, fmt.Errorf("dpir: database must hold ≥ 2 records, got %d", n)
 	}
 	return &Client{
-		server: server,
+		server: store.AsBatch(server),
 		n:      n,
 		k:      privacy.DPIRDownloadCount(n, opts.Epsilon, opts.Alpha),
 		alpha:  opts.Alpha,
@@ -122,22 +122,30 @@ func (c *Client) SampleSet(q int) (set []int, real bool) {
 }
 
 // Query retrieves record q (zero-based). It downloads the K-block set of
-// Algorithm 1 and returns the record, or ErrBottom on the α branch. Any
-// server failure is returned verbatim.
+// Algorithm 1 batched — the set is fully determined by the coins before
+// the server is touched, so ⌈K/store.ScanWindow⌉ round trips suffice (one,
+// at the K = O(1) operating point of ε = Θ(log n)) — and returns the
+// record, or ErrBottom on the α branch. Any server failure is returned
+// verbatim.
 func (c *Client) Query(q int) (block.Block, error) {
 	if q < 0 || q >= c.n {
 		return nil, fmt.Errorf("dpir: query %d out of range [0,%d)", q, c.n)
 	}
 	set, real := c.SampleSet(q)
 	var want block.Block
-	for _, j := range set {
-		b, err := c.server.Download(j)
-		if err != nil {
-			return nil, fmt.Errorf("dpir: downloading decoy set: %w", err)
+	// K is O(1) at the ε = Θ(log n) operating point, but near-linear in the
+	// low-ε regime, so the set is fetched in bounded windows like the full
+	// scans.
+	err := store.ReadWindows(c.server, set, func(start int, blocks []block.Block) error {
+		for i, j := range set[start : start+len(blocks)] {
+			if j == q {
+				want = blocks[i]
+			}
 		}
-		if j == q {
-			want = b
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dpir: downloading decoy set: %w", err)
 	}
 	if !real {
 		// Algorithm 1 returns ⊥ on the α branch even if q happened to be
@@ -153,29 +161,30 @@ func (c *Client) Query(q int) (block.Block, error) {
 // scheme is simply a full scan (equivalently, trivial PIR). It is included
 // as the E1 baseline.
 type Errorless struct {
-	server store.Server
+	server store.BatchServer
 	n      int
 }
 
 // NewErrorless creates the full-scan errorless DP-IR.
 func NewErrorless(server store.Server) *Errorless {
-	return &Errorless{server: server, n: server.Size()}
+	return &Errorless{server: store.AsBatch(server), n: server.Size()}
 }
 
-// Query downloads every record and returns record q.
+// Query downloads every record in batched scan windows and returns
+// record q.
 func (e *Errorless) Query(q int) (block.Block, error) {
 	if q < 0 || q >= e.n {
 		return nil, fmt.Errorf("dpir: query %d out of range [0,%d)", q, e.n)
 	}
 	var want block.Block
-	for j := 0; j < e.n; j++ {
-		b, err := e.server.Download(j)
-		if err != nil {
-			return nil, fmt.Errorf("dpir: scanning: %w", err)
+	err := store.ScanRange(e.server, e.n, func(base int, blocks []block.Block) error {
+		if q >= base && q < base+len(blocks) {
+			want = blocks[q-base]
 		}
-		if j == q {
-			want = b
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dpir: scanning: %w", err)
 	}
 	return want, nil
 }

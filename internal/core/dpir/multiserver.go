@@ -77,24 +77,36 @@ func (m *Multi) SampleViews(q int) []int {
 // Query retrieves record q. Every server receives exactly one download
 // request; the reply from the server holding the real request is returned.
 // The scheme is errorless (α = 0).
+//
+// All coins are flipped before any traffic, then the D single-block
+// requests go out concurrently: the servers are independent parties (the
+// whole point of the non-collusion model), so the query's latency is one
+// round trip to the slowest server rather than the sum of D sequential
+// trips.
 func (m *Multi) Query(q int) (block.Block, error) {
 	if q < 0 || q >= m.n {
 		return nil, fmt.Errorf("dpir: query %d out of range [0,%d)", q, m.n)
 	}
 	real := m.src.Intn(len(m.servers))
-	var want block.Block
-	for i, s := range m.servers {
-		idx := q
-		if i != real {
-			idx = m.src.Intn(m.n)
-		}
-		b, err := s.Download(idx)
-		if err != nil {
-			return nil, fmt.Errorf("dpir: server %d: %w", i, err)
-		}
+	idxs := make([]int, len(m.servers))
+	for i := range m.servers {
 		if i == real {
-			want = b
+			idxs[i] = q
+		} else {
+			idxs[i] = m.src.Intn(m.n)
 		}
 	}
-	return want, nil
+	blocks := make([]block.Block, len(m.servers))
+	err := store.Concurrently(len(m.servers), func(i int) error {
+		b, err := m.servers[i].Download(idxs[i])
+		if err != nil {
+			return fmt.Errorf("dpir: server %d: %w", i, err)
+		}
+		blocks[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return blocks[real], nil
 }

@@ -29,7 +29,7 @@ import (
 // Downloads merge server data with dirty overrides; real updates write
 // through to the dirty copies of any overlapping stashed bucket.
 type BucketRAM struct {
-	server  store.Server
+	server  store.BatchServer
 	buckets [][]int // bucket index → member server addresses
 	size    int     // common bucket length s
 	c       int     // stash parameter C over buckets: p = C/b
@@ -103,7 +103,7 @@ func NewBucketRAM(server store.Server, buckets [][]int, initial []block.Block, p
 	}
 
 	r := &BucketRAM{
-		server:    server,
+		server:    store.AsBatch(server),
 		buckets:   buckets,
 		size:      size,
 		c:         c,
@@ -127,6 +127,7 @@ func NewBucketRAM(server store.Server, buckets [][]int, initial []block.Block, p
 	}
 
 	zero := block.New(plainSize)
+	w := store.NewBatchWriter(r.server)
 	for a := 0; a < m; a++ {
 		pt := zero
 		if initial != nil && a < len(initial) && initial[a] != nil {
@@ -139,9 +140,12 @@ func NewBucketRAM(server store.Server, buckets [][]int, initial []block.Block, p
 		if err != nil {
 			return nil, err
 		}
-		if err := server.Upload(a, ct); err != nil {
-			return nil, fmt.Errorf("dpram: setup upload %d: %w", a, err)
+		if err := w.Add(a, ct); err != nil {
+			return nil, fmt.Errorf("dpram: setup upload: %w", err)
 		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, fmt.Errorf("dpram: setup upload: %w", err)
 	}
 	return r, nil
 }
@@ -184,25 +188,18 @@ func (r *BucketRAM) ClientBlocks() int { return len(r.dirty) }
 // MaxClientBlocks returns the high-water mark of client storage.
 func (r *BucketRAM) MaxClientBlocks() int { return r.maxDirty }
 
-// downloadBucket fetches every member block of bucket bi from the server
-// and returns plaintexts with dirty overrides applied. When discard is
-// true the data is fetched for pattern only and not decoded.
-func (r *BucketRAM) downloadBucket(bi int, discard bool) ([]block.Block, error) {
+// decodeBucket turns the raw ciphertexts of bucket bi (as fetched by a
+// ReadBatch over its member addresses) into plaintexts with dirty
+// overrides applied.
+func (r *BucketRAM) decodeBucket(bi int, raw []block.Block) ([]block.Block, error) {
 	addrs := r.buckets[bi]
 	out := make([]block.Block, len(addrs))
 	for k, a := range addrs {
-		ct, err := r.server.Download(a)
-		if err != nil {
-			return nil, fmt.Errorf("dpram: bucket %d download addr %d: %w", bi, a, err)
-		}
-		if discard {
-			continue
-		}
 		if d, ok := r.dirty[a]; ok {
 			out[k] = d.Copy()
 			continue
 		}
-		pt, err := r.open(ct)
+		pt, err := r.open(raw[k])
 		if err != nil {
 			return nil, err
 		}
@@ -211,23 +208,29 @@ func (r *BucketRAM) downloadBucket(bi int, discard bool) ([]block.Block, error) 
 	return out, nil
 }
 
-// takeFromStash removes bucket bi from the stash, returning its
-// authoritative contents and releasing its dirty-map claims.
-func (r *BucketRAM) takeFromStash(bi int) []block.Block {
+// readFromStash returns copies of bucket bi's authoritative stash
+// contents without releasing its dirty-map claims.
+func (r *BucketRAM) readFromStash(bi int) []block.Block {
 	addrs := r.buckets[bi]
 	out := make([]block.Block, len(addrs))
 	for k, a := range addrs {
 		out[k] = r.dirty[a].Copy()
 	}
+	return out
+}
+
+// takeFromStash removes bucket bi from the stash, releasing its dirty-map
+// claims. Called only after the bucket's contents are safely back on the
+// server.
+func (r *BucketRAM) takeFromStash(bi int) {
 	delete(r.stashed, bi)
-	for _, a := range addrs {
+	for _, a := range r.buckets[bi] {
 		r.refcnt[a]--
 		if r.refcnt[a] <= 0 {
 			delete(r.refcnt, a)
 			delete(r.dirty, a)
 		}
 	}
-	return out
 }
 
 // putInStash inserts bucket bi with the given contents, claiming its
@@ -255,69 +258,50 @@ func (r *BucketRAM) writeThrough(bi int, contents []block.Block) {
 	}
 }
 
-// refreshBucket re-encrypts bucket bi in place on the server (download,
-// decrypt, re-encrypt with fresh randomness, upload), the masking move of
-// Algorithm 3's stash branch.
-func (r *BucketRAM) refreshBucket(bi int) error {
-	for _, a := range r.buckets[bi] {
-		ct, err := r.server.Download(a)
-		if err != nil {
-			return fmt.Errorf("dpram: refresh download addr %d: %w", a, err)
-		}
-		pt, err := r.open(ct)
-		if err != nil {
-			return err
-		}
-		fresh, err := r.seal(pt)
-		if err != nil {
-			return err
-		}
-		if err := r.server.Upload(a, fresh); err != nil {
-			return fmt.Errorf("dpram: refresh upload addr %d: %w", a, err)
-		}
-	}
-	return nil
-}
-
-// uploadBucket downloads-and-discards then uploads fresh encryptions of
-// contents to bucket bi (the non-stash branch of the overwrite phase).
-func (r *BucketRAM) uploadBucket(bi int, contents []block.Block) error {
-	addrs := r.buckets[bi]
-	for k, a := range addrs {
-		if _, err := r.server.Download(a); err != nil {
-			return fmt.Errorf("dpram: overwrite download addr %d: %w", a, err)
-		}
-		ct, err := r.seal(contents[k])
-		if err != nil {
-			return err
-		}
-		if err := r.server.Upload(a, ct); err != nil {
-			return fmt.Errorf("dpram: overwrite upload addr %d: %w", a, err)
-		}
-	}
-	return nil
-}
-
 // Access performs one bucket query, Algorithm 3 at bucket granularity. The
 // update callback receives the bucket's current plaintext node blocks (one
 // per member address, in bucket order) and may mutate them in place; pass
 // nil for a read. Access returns the bucket contents as seen by the query
 // (after the update, if any).
+//
+// Like Client.Access, the query's address sets depend only on client coins,
+// so they are sampled first (in Algorithm 3's draw order) and the whole
+// query becomes one 2s-address ReadBatch plus one s-op WriteBatch — 2
+// round trips per bucket query instead of 3s, with the identical 3s-block
+// transcript.
 func (r *BucketRAM) Access(bi int, update func(nodes []block.Block)) ([]block.Block, error) {
 	if bi < 0 || bi >= len(r.buckets) {
 		return nil, fmt.Errorf("dpram: bucket %d out of range [0,%d)", bi, len(r.buckets))
 	}
+	b := len(r.buckets)
 
-	// --- Download phase ---
+	// --- Coins ---
+	stashedHit := r.stashed[bi]
+	d1 := bi
+	if stashedHit {
+		d1 = r.src.Intn(b) // decoy bucket; its blocks are discarded
+	}
+	toStash := r.src.Intn(b) < r.c
+	d2 := bi // non-stash branch: re-read the queried bucket before writing it home
+	if toStash {
+		d2 = r.src.Intn(b) // stash branch: refresh a random bucket
+	}
+
+	// --- Download phase (both buckets, one round trip) ---
+	s := r.size
+	addrs := make([]int, 0, 2*s)
+	addrs = append(addrs, r.buckets[d1]...)
+	addrs = append(addrs, r.buckets[d2]...)
+	raw, err := r.server.ReadBatch(addrs)
+	if err != nil {
+		return nil, fmt.Errorf("dpram: bucket download: %w", err)
+	}
+
 	var contents []block.Block
-	if r.stashed[bi] {
-		d := r.src.Intn(len(r.buckets))
-		if _, err := r.downloadBucket(d, true); err != nil { // decoy
-			return nil, err
-		}
-		contents = r.takeFromStash(bi)
+	if stashedHit {
+		contents = r.readFromStash(bi) // claims released only after the write lands
 	} else {
-		got, err := r.downloadBucket(bi, false)
+		got, err := r.decodeBucket(bi, raw[:s])
 		if err != nil {
 			return nil, err
 		}
@@ -326,21 +310,50 @@ func (r *BucketRAM) Access(bi int, update func(nodes []block.Block)) ([]block.Bl
 
 	if update != nil {
 		update(contents)
-		// Coherence: overlapping stashed buckets must observe the update.
+		// Coherence: overlapping stashed buckets (and, on a stash hit, this
+		// bucket's own stashed copy) must observe the update.
 		r.writeThrough(bi, contents)
 	}
 
-	// --- Overwrite phase ---
-	if r.src.Intn(len(r.buckets)) < r.c {
-		r.putInStash(bi, contents)
-		o := r.src.Intn(len(r.buckets))
-		if err := r.refreshBucket(o); err != nil {
-			return nil, err
+	// --- Overwrite phase (one round trip) ---
+	ops := make([]store.WriteOp, 0, s)
+	if toStash {
+		if !stashedHit {
+			r.putInStash(bi, contents)
+		}
+		// Refresh bucket d2: re-encrypt the server's own blocks with fresh
+		// randomness, the masking move of Algorithm 3's stash branch.
+		for k, a := range r.buckets[d2] {
+			pt, err := r.open(raw[s+k])
+			if err != nil {
+				return nil, err
+			}
+			fresh, err := r.seal(pt)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, store.WriteOp{Addr: a, Block: fresh})
 		}
 	} else {
-		if err := r.uploadBucket(bi, contents); err != nil {
-			return nil, err
+		// Write the queried bucket home; the second read of it above was the
+		// transcript-shaping re-read and is discarded.
+		for k, a := range r.buckets[bi] {
+			ct, err := r.seal(contents[k])
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, store.WriteOp{Addr: a, Block: ct})
 		}
+	}
+	if err := r.server.WriteBatch(ops); err != nil {
+		// On a stash hit the bucket is still stashed with current contents:
+		// a failed overwrite must not orphan the authoritative copy.
+		return nil, fmt.Errorf("dpram: bucket upload: %w", err)
+	}
+	if !toStash && stashedHit {
+		// The bucket is now safely home on the server; release its stash
+		// claims only after the write landed.
+		r.takeFromStash(bi)
 	}
 	return contents, nil
 }

@@ -81,7 +81,7 @@ type Options struct {
 // Client is a DP-RAM client. It is not safe for concurrent use: like the
 // paper's client, it is a single stateful party.
 type Client struct {
-	server    store.Server
+	server    store.BatchServer
 	n         int
 	plainSize int
 	c         int // stash parameter C; p = C/n
@@ -133,7 +133,7 @@ func Setup(db *block.Database, server store.Server, opts Options) (*Client, erro
 	}
 
 	cl := &Client{
-		server:        server,
+		server:        store.AsBatch(server),
 		n:             n,
 		plainSize:     db.BlockSize(),
 		c:             c,
@@ -154,18 +154,24 @@ func Setup(db *block.Database, server store.Server, opts Options) (*Client, erro
 		cl.cipher = crypto.NewCipher(key)
 	}
 
+	// Encrypt and upload in bounded windows: one round trip per
+	// store.ScanWindow records, O(window) client memory at any n.
+	w := store.NewBatchWriter(cl.server)
 	for i := 0; i < n; i++ {
 		ct, err := cl.seal(db.Get(i))
 		if err != nil {
 			return nil, err
 		}
-		if err := server.Upload(i, ct); err != nil {
-			return nil, fmt.Errorf("dpram: setup upload %d: %w", i, err)
+		if err := w.Add(i, ct); err != nil {
+			return nil, fmt.Errorf("dpram: setup upload: %w", err)
 		}
 		// Algorithm 2: pick r uniform from [N]; if r ≤ C, stash B_i.
 		if cl.src.Intn(n) < c {
 			cl.stash[i] = db.Get(i).Copy()
 		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, fmt.Errorf("dpram: setup upload: %w", err)
 	}
 	cl.trackStash()
 	return cl, nil
@@ -236,6 +242,13 @@ func (c *Client) Write(i int, b block.Block) (block.Block, error) {
 
 // Access runs DP-RAM.Query (Algorithm 3) for q and returns the record value
 // after applying the operation for reads, or the previous value for writes.
+//
+// Both phases' addresses are functions of the client's coins alone (never
+// of server data), so the coins are flipped up front — in exactly the draw
+// order Algorithm 3 specifies, keeping seeded transcripts bit-identical to
+// the per-block execution — and the whole query runs as one two-address
+// ReadBatch followed by one single-op WriteBatch: 2 server round trips
+// instead of 3, still exactly 2 downloads + 1 upload of accounting.
 func (c *Client) Access(q workload.Query) (block.Block, error) {
 	i := q.Index
 	if i < 0 || i >= c.n {
@@ -245,21 +258,37 @@ func (c *Client) Access(q workload.Query) (block.Block, error) {
 		return nil, errors.New("dpram: write rejected in retrieval-only mode")
 	}
 
-	// --- Download phase ---
-	var cur block.Block
-	if stashed, ok := c.stash[i]; ok {
-		d := c.src.Intn(c.n)
-		if _, err := c.server.Download(d); err != nil { // decoy; discarded
-			return nil, fmt.Errorf("dpram: decoy download: %w", err)
+	// --- Coins of the download phase ---
+	stashed, hit := c.stash[i]
+	d1 := i
+	if hit {
+		d1 = c.src.Intn(c.n) // decoy; the downloaded block is discarded
+	}
+	// --- Coins of the overwrite phase ---
+	// Retrieval-only mode (Section 6, "Discussion about encryption") skips
+	// the overwrite phase wholesale; its stash coin is flipped after the
+	// download, below, preserving Algorithm 3's draw order.
+	var toStash bool
+	d2 := i // non-stash branch: re-download A[i] (discarded) before writing home
+	addrs := []int{d1}
+	if !c.retrievalOnly {
+		toStash = c.src.Intn(c.n) < c.c
+		if toStash {
+			d2 = c.src.Intn(c.n) // stash branch: refresh a random address
 		}
-		cur = stashed
-		delete(c.stash, i)
-	} else {
-		ct, err := c.server.Download(i)
-		if err != nil {
-			return nil, fmt.Errorf("dpram: download: %w", err)
-		}
-		pt, err := c.open(ct)
+		addrs = append(addrs, d2)
+	}
+
+	// --- Download phase: one round trip ---
+	blocks, err := c.server.ReadBatch(addrs)
+	if err != nil {
+		// The stash entry (if any) is still intact: a failed access must
+		// not destroy the only authoritative copy of a stashed record.
+		return nil, fmt.Errorf("dpram: download: %w", err)
+	}
+	cur := stashed
+	if !hit {
+		pt, err := c.open(blocks[0])
 		if err != nil {
 			return nil, err
 		}
@@ -271,10 +300,12 @@ func (c *Client) Access(q workload.Query) (block.Block, error) {
 	}
 
 	if c.retrievalOnly {
-		// Section 6, "Discussion about encryption": with retrievals only,
-		// the overwrite phase is skipped wholesale. The stash coin is still
-		// flipped client-side so the per-record stash law stays Bernoulli(p),
-		// preserving the download-phase distribution across queries.
+		// The stash coin is still flipped client-side so the per-record
+		// stash law stays Bernoulli(p), preserving the download-phase
+		// distribution across queries.
+		if hit {
+			delete(c.stash, i)
+		}
 		if c.src.Intn(c.n) < c.c {
 			c.stash[i] = cur
 			c.trackStash()
@@ -282,17 +313,14 @@ func (c *Client) Access(q workload.Query) (block.Block, error) {
 		return prev, nil
 	}
 
-	// --- Overwrite phase ---
-	if c.src.Intn(c.n) < c.c {
-		// Stash the record; refresh a random address to mask the choice.
+	// --- Overwrite phase: one upload in one round trip ---
+	var op store.WriteOp
+	if toStash {
+		// Stash the record (overwriting the old entry on a stash hit);
+		// refresh the random address to mask the choice.
 		c.stash[i] = cur
 		c.trackStash()
-		o := c.src.Intn(c.n)
-		ct, err := c.server.Download(o)
-		if err != nil {
-			return nil, fmt.Errorf("dpram: refresh download: %w", err)
-		}
-		pt, err := c.open(ct)
+		pt, err := c.open(blocks[1])
 		if err != nil {
 			return nil, err
 		}
@@ -300,23 +328,26 @@ func (c *Client) Access(q workload.Query) (block.Block, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := c.server.Upload(o, fresh); err != nil {
-			return nil, fmt.Errorf("dpram: refresh upload: %w", err)
-		}
+		op = store.WriteOp{Addr: d2, Block: fresh}
 	} else {
-		// Write the record home. Algorithm 3 downloads A[i] (and discards
-		// it) before uploading, keeping the overwrite-phase transcript shape
-		// identical across both branches.
-		if _, err := c.server.Download(i); err != nil {
-			return nil, fmt.Errorf("dpram: overwrite download: %w", err)
-		}
+		// Write the record home; the second downloaded block was the
+		// transcript-shaping re-read of A[i] and is discarded.
 		ct, err := c.seal(cur)
 		if err != nil {
 			return nil, err
 		}
-		if err := c.server.Upload(i, ct); err != nil {
-			return nil, fmt.Errorf("dpram: overwrite upload: %w", err)
-		}
+		op = store.WriteOp{Addr: i, Block: ct}
+	}
+	if err := c.server.WriteBatch([]store.WriteOp{op}); err != nil {
+		// On a stash hit the entry is still present (old value, or the new
+		// one if the stash branch already replaced it): a failed overwrite
+		// must not orphan the only authoritative copy.
+		return nil, fmt.Errorf("dpram: overwrite upload: %w", err)
+	}
+	if !toStash && hit {
+		// The record is now safely home on the server; release the stash
+		// entry only after the write landed.
+		delete(c.stash, i)
 	}
 	return prev, nil
 }

@@ -59,6 +59,118 @@ func TestFaultDuringSetup(t *testing.T) {
 	}
 }
 
+// TestFaultedAccessPreservesStash: a failed download phase must not
+// destroy the stash entry it was about to serve — the stash holds the only
+// up-to-date copy of a stashed record (the server ciphertext is stale by
+// design), so a transient fault followed by a retry must still return the
+// current value.
+func TestFaultedAccessPreservesStash(t *testing.T) {
+	const n = 8
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := store.NewMem(n, crypto.CiphertextSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// StashParam = n gives p = 1: every record is stashed, every access
+	// re-stashes, so the server copy of record 0 stays permanently stale.
+	// Ops: setup = n uploads; the write = ops n+1..n+3; fault the first op
+	// of the next access (its decoy download).
+	faulty := store.NewFaulty(srv, int64(n)+4, nil)
+	c, err := Setup(db, faulty, Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1), StashParam: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := block.Pattern(999, 16)
+	if _, err := c.Write(0, want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(0); !errors.Is(err, store.ErrInjected) {
+		t.Fatalf("faulted read: err = %v, want ErrInjected", err)
+	}
+	got, err := c.Read(0)
+	if err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("retry returned stale data: got pattern ok=%v, want the written value", block.CheckPattern(got, 999))
+	}
+}
+
+// TestFaultedOverwritePreservesStash covers the write phase: with the
+// record stashed and the non-stash branch chosen, the overwrite upload is
+// the only place the current value can reach the server — if it fails, the
+// stash entry must survive so a retry still serves the current value.
+func TestFaultedOverwritePreservesStash(t *testing.T) {
+	const n = 8
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := store.NewMem(n, crypto.CiphertextSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// StashParam 0 ⇒ p = 0: nothing stashes and the overwrite coin always
+	// takes the non-stash branch. Fault the access's upload (op n+3).
+	faulty := store.NewFaulty(srv, int64(n)+3, nil)
+	c, err := Setup(db, faulty, Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1), StashParam: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a stash entry by hand: its value differs from the (stale)
+	// server ciphertext, so only the stash can serve it.
+	want := block.Pattern(31337, 16)
+	c.stash[0] = want.Copy()
+	if _, err := c.Read(0); !errors.Is(err, store.ErrInjected) {
+		t.Fatalf("faulted overwrite: err = %v, want ErrInjected", err)
+	}
+	got, err := c.Read(0)
+	if err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("retry returned stale data: failed overwrite dropped the stash entry")
+	}
+}
+
+// TestBucketRAMFaultedOverwritePreservesStash is the same invariant at
+// bucket granularity: a stashed bucket whose write-home upload fails must
+// keep its dirty-map claims until the write lands.
+func TestBucketRAMFaultedOverwritePreservesStash(t *testing.T) {
+	const plain = 16
+	buckets := [][]int{{0, 1}, {2, 3}, {4, 5}, {0, 2}}
+	srv, err := store.NewMem(6, crypto.CiphertextSize(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setup = 6 uploads; access = 2s reads then s uploads (s = 2). Fault
+	// the first upload of the first access (op 6+4+1).
+	faulty := store.NewFaulty(srv, 6+4+1, nil)
+	r, err := NewBucketRAM(faulty, buckets, nil, plain, BucketOptions{
+		Rand: rng.New(3), Key: crypto.KeyFromSeed(3), StashParam: 0, // p = 0: never stash, never refresh
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []block.Block{block.Pattern(71, plain), block.Pattern(72, plain)}
+	r.putInStash(0, want) // plant: bucket 0's current contents live client-side only
+	if _, err := r.Access(0, nil); !errors.Is(err, store.ErrInjected) {
+		t.Fatalf("faulted bucket overwrite: err = %v, want ErrInjected", err)
+	}
+	got, err := r.Access(0, nil)
+	if err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	for k := range want {
+		if !got[k].Equal(want[k]) {
+			t.Fatalf("node %d stale after retried access: failed overwrite dropped the stash claims", k)
+		}
+	}
+}
+
 // TestBucketRAMFaultPropagation does the same for the Appendix E variant.
 func TestBucketRAMFaultPropagation(t *testing.T) {
 	const plain = 16

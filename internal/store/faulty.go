@@ -16,6 +16,7 @@ var ErrInjected = errors.New("store: injected fault")
 // at every operation offset.
 type Faulty struct {
 	inner Server
+	batch BatchServer // inner's batch view; the loop adapter when not native
 
 	mu        sync.Mutex
 	count     int64
@@ -31,7 +32,7 @@ func NewFaulty(inner Server, failAt int64, err error) *Faulty {
 	if err == nil {
 		err = ErrInjected
 	}
-	return &Faulty{inner: inner, failAt: failAt, err: err}
+	return &Faulty{inner: inner, batch: AsBatch(inner), failAt: failAt, err: err}
 }
 
 // FailFrom makes every operation at or after failAt fail (a crashed
@@ -77,6 +78,37 @@ func (f *Faulty) Upload(addr int, b block.Block) error {
 		return err
 	}
 	return f.inner.Upload(addr, b)
+}
+
+// ReadBatch implements BatchServer. Each address in the batch counts as
+// one operation against the fault schedule, so a test tuned to "fail the
+// k-th block operation" trips at the same point whether the construction
+// runs batched or per-block.
+func (f *Faulty) ReadBatch(addrs []int) ([]block.Block, error) {
+	for range addrs {
+		if err := f.tick(); err != nil {
+			return nil, err
+		}
+	}
+	return f.batch.ReadBatch(addrs)
+}
+
+// WriteBatch implements BatchServer, ticking once per op. When the fault
+// fires at op k, the preceding k ops are still applied — matching the
+// per-block equivalent, where uploads before the failure have already
+// landed.
+func (f *Faulty) WriteBatch(ops []WriteOp) error {
+	for k := range ops {
+		if err := f.tick(); err != nil {
+			if k > 0 {
+				if werr := f.batch.WriteBatch(ops[:k]); werr != nil {
+					return werr
+				}
+			}
+			return err
+		}
+	}
+	return f.batch.WriteBatch(ops)
 }
 
 // Size implements Server.

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"dpstore/internal/block"
@@ -82,6 +83,115 @@ func (s *File) Upload(addr int, b block.Block) error {
 	defer s.mu.Unlock()
 	if _, err := s.f.WriteAt(b, int64(addr)*int64(s.blockSize)); err != nil {
 		return fmt.Errorf("store: writing slot %d: %w", addr, err)
+	}
+	return nil
+}
+
+// fileMaxRunBytes caps the I/O buffer a coalesced run may use: a
+// full-database batch still runs as a handful of large sequential
+// transfers, but memory stays bounded no matter the store size. A var so
+// tests can shrink it to exercise the splitting.
+var fileMaxRunBytes = 1 << 20
+
+// maxRunBlocks returns the run-split granularity in blocks.
+func (s *File) maxRunBlocks() int {
+	m := fileMaxRunBytes / s.blockSize
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// ReadBatch implements BatchServer. Requested addresses are processed in
+// sorted order and coalesced into runs of consecutive (or duplicate)
+// slots, each served by one large sequential ReadAt bounded by
+// fileMaxRunBytes — a full-database scan (linear PIR) becomes a few
+// sequential reads instead of n seeks. Returned blocks are independent
+// copies, like Download's, written straight into request order.
+func (s *File) ReadBatch(addrs []int) ([]block.Block, error) {
+	for _, a := range addrs {
+		if a < 0 || a >= s.n {
+			return nil, fmt.Errorf("%w: %d (size %d)", ErrAddr, a, s.n)
+		}
+	}
+	order := make([]int, len(addrs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return addrs[order[a]] < addrs[order[b]] })
+	out := make([]block.Block, len(addrs))
+	maxRun := s.maxRunBlocks()
+	var scratch []byte
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for start := 0; start < len(order); {
+		end := start + 1
+		for end < len(order) && addrs[order[end]]-addrs[order[end-1]] <= 1 &&
+			addrs[order[end]]-addrs[order[start]] < maxRun {
+			end++
+		}
+		base := addrs[order[start]]
+		last := addrs[order[end-1]]
+		need := (last - base + 1) * s.blockSize
+		if cap(scratch) < need {
+			scratch = make([]byte, need)
+		}
+		buf := scratch[:need]
+		if _, err := s.f.ReadAt(buf, int64(base)*int64(s.blockSize)); err != nil {
+			return nil, fmt.Errorf("store: reading slots [%d,%d]: %w", base, last, err)
+		}
+		for _, oi := range order[start:end] {
+			off := (addrs[oi] - base) * s.blockSize
+			out[oi] = block.Block(buf[off : off+s.blockSize]).Copy()
+		}
+		start = end
+	}
+	return out, nil
+}
+
+// WriteBatch implements BatchServer with the same coalescing: ops are
+// stably sorted by address (preserving batch order among duplicates, so
+// the last write to an address wins) and consecutive slots are flushed in
+// one WriteAt each.
+func (s *File) WriteBatch(ops []WriteOp) error {
+	for _, op := range ops {
+		if op.Addr < 0 || op.Addr >= s.n {
+			return fmt.Errorf("%w: %d (size %d)", ErrAddr, op.Addr, s.n)
+		}
+		if len(op.Block) != s.blockSize {
+			return fmt.Errorf("%w: got %d want %d", block.ErrSize, len(op.Block), s.blockSize)
+		}
+	}
+	sorted := append([]WriteOp(nil), ops...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	maxRun := s.maxRunBlocks()
+	var scratch []byte
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for start := 0; start < len(sorted); {
+		end := start + 1
+		// Consecutive or duplicate addresses extend the run, capped so the
+		// buffer stays bounded; any slice of a run still covers its address
+		// span gaplessly, so splitting is safe, and in-order application
+		// keeps last-write-wins for duplicates across the split.
+		for end < len(sorted) && sorted[end].Addr-sorted[end-1].Addr <= 1 &&
+			sorted[end].Addr-sorted[start].Addr < maxRun {
+			end++
+		}
+		base := sorted[start].Addr
+		last := sorted[end-1].Addr
+		need := (last - base + 1) * s.blockSize
+		if cap(scratch) < need {
+			scratch = make([]byte, need)
+		}
+		buf := scratch[:need]
+		for _, op := range sorted[start:end] {
+			copy(buf[(op.Addr-base)*s.blockSize:], op.Block)
+		}
+		if _, err := s.f.WriteAt(buf, int64(base)*int64(s.blockSize)); err != nil {
+			return fmt.Errorf("store: writing slots [%d,%d]: %w", base, last, err)
+		}
+		start = end
 	}
 	return nil
 }

@@ -10,17 +10,22 @@ import (
 	"dpstore/internal/wire"
 )
 
-// Remote is a Server backed by a networked block server speaking the wire
-// protocol. It lets every construction in this repository run unmodified
-// against a real remote store (see cmd/blockstored and examples/remotestore).
-// Requests on one Remote are serialized; open several connections for
-// parallelism.
+// Remote is a BatchServer backed by a networked block server speaking the
+// wire protocol. It lets every construction in this repository run
+// unmodified against a real remote store (see cmd/blockstored and
+// examples/remotestore). A ReadBatch or WriteBatch crosses the network
+// once regardless of batch size (up to the MaxFrame ceiling, beyond which
+// it transparently splits), which is where the constructions' batched hot
+// paths turn into real latency wins. Requests on one Remote are
+// serialized; open several connections for parallelism.
 type Remote struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	info wire.Info
+	mu         sync.Mutex
+	conn       net.Conn
+	r          *bufio.Reader
+	w          *bufio.Writer
+	info       wire.Info
+	roundTrips int64
+	maxFrame   int // frame budget for batch splitting; wire.MaxFrame outside tests
 }
 
 // Dial connects to a block server at addr ("host:port") and performs the
@@ -30,7 +35,7 @@ func Dial(addr string) (*Remote, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: dialing %s: %w", addr, err)
 	}
-	rs := &Remote{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	rs := &Remote{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), maxFrame: wire.MaxFrame}
 	resp, err := rs.roundTrip(wire.Frame{Type: wire.MsgInfoReq}, wire.MsgInfoResp)
 	if err != nil {
 		conn.Close()
@@ -40,6 +45,12 @@ func Dial(addr string) (*Remote, error) {
 	if err != nil {
 		conn.Close()
 		return nil, err
+	}
+	// A hostile or broken server must not be able to poison later
+	// arithmetic (batch chunk sizing divides by the block size).
+	if info.BlockSize == 0 || info.Size == 0 {
+		conn.Close()
+		return nil, fmt.Errorf("store: server reported invalid shape (%d slots × %d B)", info.Size, info.BlockSize)
 	}
 	rs.info = info
 	return rs, nil
@@ -54,6 +65,7 @@ func (rs *Remote) roundTrip(req wire.Frame, want byte) (wire.Frame, error) {
 	if err := rs.w.Flush(); err != nil {
 		return wire.Frame{}, fmt.Errorf("store: flushing request: %w", err)
 	}
+	rs.roundTrips++
 	resp, err := wire.ReadFrame(rs.r)
 	if err != nil {
 		return wire.Frame{}, fmt.Errorf("store: reading response: %w", err)
@@ -62,6 +74,15 @@ func (rs *Remote) roundTrip(req wire.Frame, want byte) (wire.Frame, error) {
 		return wire.Frame{}, err
 	}
 	return resp, nil
+}
+
+// RoundTrips returns the number of request/response exchanges performed on
+// this connection (including the handshake). Benchmarks use it to show the
+// batch transport collapsing per-block chatter.
+func (rs *Remote) RoundTrips() int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.roundTrips
 }
 
 // Download implements Server.
@@ -79,6 +100,108 @@ func (rs *Remote) Upload(addr int, b block.Block) error {
 	return err
 }
 
+// readChunk returns the largest address count whose MsgReadBatchReq and
+// MsgReadBatchResp both still fit one frame (for tiny blocks the 8-byte
+// request addresses, not the response blocks, are the binding constraint).
+func (rs *Remote) readChunk() int {
+	n := (rs.maxFrame - 4) / int(rs.info.BlockSize)
+	if req := (rs.maxFrame - 4) / 8; req < n {
+		n = req
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// writeChunk returns the largest op count whose MsgWriteBatchReq still fits
+// one frame.
+func (rs *Remote) writeChunk() int {
+	n := (rs.maxFrame - 4) / (8 + int(rs.info.BlockSize))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ReadBatch implements BatchServer in one round trip (or ⌈N/chunk⌉ trips
+// when the reply would overflow MaxFrame).
+func (rs *Remote) ReadBatch(addrs []int) ([]block.Block, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
+	out := make([]block.Block, 0, len(addrs))
+	chunk := rs.readChunk()
+	for start := 0; start < len(addrs); start += chunk {
+		end := start + chunk
+		if end > len(addrs) {
+			end = len(addrs)
+		}
+		resp, err := rs.roundTrip(wire.EncodeReadBatchReq(addrs[start:end]), wire.MsgReadBatchResp)
+		if err != nil {
+			return nil, err
+		}
+		blocks, err := wire.DecodeReadBatchResp(resp.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(blocks) != end-start {
+			return nil, fmt.Errorf("store: read batch returned %d blocks, want %d", len(blocks), end-start)
+		}
+		// The decoder guarantees uniform sizes, so checking one block pins
+		// them all: a hostile server must not be able to hand short blocks
+		// to callers that index to BlockSize().
+		if len(blocks[0]) != int(rs.info.BlockSize) {
+			return nil, fmt.Errorf("store: read batch returned %d B blocks, want %d", len(blocks[0]), rs.info.BlockSize)
+		}
+		// Copy out of the frame payload: the decoded slices all alias one
+		// chunk-sized buffer, and handing them out directly would let a
+		// caller retaining a single block pin up to MaxFrame of memory.
+		for _, b := range blocks {
+			out = append(out, block.Block(b).Copy())
+		}
+	}
+	return out, nil
+}
+
+// WriteBatch implements BatchServer in one round trip (split as needed to
+// respect MaxFrame).
+func (rs *Remote) WriteBatch(ops []WriteOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	// The batch frame layout relies on uniform block sizes; a ragged op
+	// would silently mis-frame on the wire, so fail it here exactly as the
+	// server would fail the per-block upload.
+	for _, op := range ops {
+		if len(op.Block) != int(rs.info.BlockSize) {
+			return fmt.Errorf("%w: got %d want %d", block.ErrSize, len(op.Block), rs.info.BlockSize)
+		}
+	}
+	chunk := rs.writeChunk()
+	prealloc := chunk
+	if prealloc > len(ops) {
+		prealloc = len(ops)
+	}
+	addrs := make([]int, 0, prealloc)
+	blocks := make([][]byte, 0, prealloc)
+	for start := 0; start < len(ops); start += chunk {
+		end := start + chunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		addrs, blocks = addrs[:0], blocks[:0]
+		for _, op := range ops[start:end] {
+			addrs = append(addrs, op.Addr)
+			blocks = append(blocks, op.Block)
+		}
+		if _, err := rs.roundTrip(wire.EncodeWriteBatchReq(addrs, blocks), wire.MsgWriteBatchResp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Size implements Server.
 func (rs *Remote) Size() int { return int(rs.info.Size) }
 
@@ -91,19 +214,23 @@ func (rs *Remote) Close() error { return rs.conn.Close() }
 // Serve accepts connections on ln and serves the wire protocol against
 // backing until ln is closed. Each connection is handled on its own
 // goroutine; backing must be safe for concurrent use (all Servers in this
-// package are). Serve returns the listener's accept error, which is
-// net.ErrClosed after a clean shutdown.
+// package are). Batch requests execute through backing's native
+// BatchServer implementation when it has one, so a Mem- or File-backed
+// daemon keeps its single-lock / coalesced-I/O fast path end to end. Serve
+// returns the listener's accept error, which is net.ErrClosed after a
+// clean shutdown.
 func Serve(ln net.Listener, backing Server) error {
+	batch := AsBatch(backing)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		go serveConn(conn, backing)
+		go serveConn(conn, batch)
 	}
 }
 
-func serveConn(conn net.Conn, backing Server) {
+func serveConn(conn net.Conn, backing BatchServer) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
@@ -122,7 +249,7 @@ func serveConn(conn net.Conn, backing Server) {
 	}
 }
 
-func handle(req wire.Frame, backing Server) wire.Frame {
+func handle(req wire.Frame, backing BatchServer) wire.Frame {
 	switch req.Type {
 	case wire.MsgInfoReq:
 		return wire.EncodeInfo(wire.Info{
@@ -148,6 +275,38 @@ func handle(req wire.Frame, backing Server) wire.Frame {
 			return wire.EncodeError(err.Error())
 		}
 		return wire.Frame{Type: wire.MsgUploadResp}
+	case wire.MsgReadBatchReq:
+		addrs, err := wire.DecodeReadBatchReq(req.Payload)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		if 4+int64(len(addrs))*int64(backing.BlockSize()) > wire.MaxFrame {
+			return wire.EncodeError(fmt.Sprintf(
+				"read batch of %d × %d B blocks exceeds the %d B frame limit",
+				len(addrs), backing.BlockSize(), wire.MaxFrame))
+		}
+		blocks, err := backing.ReadBatch(addrs)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		raw := make([][]byte, len(blocks))
+		for i, b := range blocks {
+			raw[i] = b
+		}
+		return wire.EncodeReadBatchResp(raw)
+	case wire.MsgWriteBatchReq:
+		addrs, blocks, err := wire.DecodeWriteBatchReq(req.Payload)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		ops := make([]WriteOp, len(addrs))
+		for i := range addrs {
+			ops[i] = WriteOp{Addr: addrs[i], Block: block.Block(blocks[i])}
+		}
+		if err := backing.WriteBatch(ops); err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.Frame{Type: wire.MsgWriteBatchResp}
 	default:
 		return wire.EncodeError(fmt.Sprintf("unknown message type %d", req.Type))
 	}

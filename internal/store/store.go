@@ -100,6 +100,40 @@ func (m *Mem) Upload(addr int, b block.Block) error {
 	return nil
 }
 
+// ReadBatch implements BatchServer under a single lock acquisition.
+func (m *Mem) ReadBatch(addrs []int) ([]block.Block, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]block.Block, len(addrs))
+	for i, a := range addrs {
+		if a < 0 || a >= len(m.slots) {
+			return nil, fmt.Errorf("%w: %d (size %d)", ErrAddr, a, len(m.slots))
+		}
+		out[i] = m.slots[a].Copy()
+	}
+	return out, nil
+}
+
+// WriteBatch implements BatchServer under a single lock acquisition. All
+// ops are validated before any slot is written, so a failed batch leaves
+// the store untouched.
+func (m *Mem) WriteBatch(ops []WriteOp) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, op := range ops {
+		if op.Addr < 0 || op.Addr >= len(m.slots) {
+			return fmt.Errorf("%w: %d (size %d)", ErrAddr, op.Addr, len(m.slots))
+		}
+		if len(op.Block) != m.blockSize {
+			return fmt.Errorf("%w: got %d want %d", block.ErrSize, len(op.Block), m.blockSize)
+		}
+	}
+	for _, op := range ops {
+		copy(m.slots[op.Addr], op.Block)
+	}
+	return nil
+}
+
 // Size implements Server.
 func (m *Mem) Size() int {
 	m.mu.RLock()
@@ -128,6 +162,7 @@ func (s Stats) Ops() int64 { return s.Downloads + s.Uploads }
 // backing store.
 type Counting struct {
 	inner Server
+	batch BatchServer // inner's batch view; the loop adapter when not native
 
 	mu      sync.Mutex
 	stats   Stats
@@ -136,7 +171,7 @@ type Counting struct {
 
 // NewCounting wraps inner with a fresh meter.
 func NewCounting(inner Server) *Counting {
-	return &Counting{inner: inner, touched: make(map[int]struct{})}
+	return &Counting{inner: inner, batch: AsBatch(inner), touched: make(map[int]struct{})}
 }
 
 // Download implements Server.
@@ -162,6 +197,46 @@ func (c *Counting) Upload(addr int, b block.Block) error {
 	c.stats.Uploads++
 	c.stats.BytesUp += int64(len(b))
 	c.touched[addr] = struct{}{}
+	c.mu.Unlock()
+	return nil
+}
+
+// ReadBatch implements BatchServer, metering the batch as len(addrs)
+// downloads — one block operation per address, the paper's unit of
+// overhead — so batched and per-block executions of the same access
+// pattern report identical Stats.
+//
+// A batch that fails is metered as zero operations, like a failed
+// Download. (A per-block caller meters the successful prefix before the
+// failing op; the batch layer cannot see how far the inner server got, so
+// Stats diverge from the per-block equivalent only on failed batches —
+// never on any completed access.)
+func (c *Counting) ReadBatch(addrs []int) ([]block.Block, error) {
+	blocks, err := c.batch.ReadBatch(addrs)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	for i, a := range addrs {
+		c.stats.Downloads++
+		c.stats.BytesDown += int64(len(blocks[i]))
+		c.touched[a] = struct{}{}
+	}
+	c.mu.Unlock()
+	return blocks, nil
+}
+
+// WriteBatch implements BatchServer, metered as len(ops) uploads.
+func (c *Counting) WriteBatch(ops []WriteOp) error {
+	if err := c.batch.WriteBatch(ops); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for _, op := range ops {
+		c.stats.Uploads++
+		c.stats.BytesUp += int64(len(op.Block))
+		c.touched[op.Addr] = struct{}{}
+	}
 	c.mu.Unlock()
 	return nil
 }

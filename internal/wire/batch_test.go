@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestReadBatchReqRoundTrip(t *testing.T) {
+	for _, addrs := range [][]int{nil, {0}, {7, 7, 3, 1 << 40}, make([]int, 1000)} {
+		fr := EncodeReadBatchReq(addrs)
+		if fr.Type != MsgReadBatchReq {
+			t.Fatalf("frame type %d", fr.Type)
+		}
+		got, err := DecodeReadBatchReq(fr.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(addrs) {
+			t.Fatalf("decoded %d addrs, want %d", len(got), len(addrs))
+		}
+		for i := range addrs {
+			if got[i] != addrs[i] {
+				t.Fatalf("addr %d = %d, want %d", i, got[i], addrs[i])
+			}
+		}
+	}
+}
+
+func TestReadBatchRespRoundTrip(t *testing.T) {
+	blocks := [][]byte{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}}
+	fr := EncodeReadBatchResp(blocks)
+	if fr.Type != MsgReadBatchResp {
+		t.Fatalf("frame type %d", fr.Type)
+	}
+	got, err := DecodeReadBatchResp(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("decoded %d blocks, want %d", len(got), len(blocks))
+	}
+	for i := range blocks {
+		if !bytes.Equal(got[i], blocks[i]) {
+			t.Fatalf("block %d = %v, want %v", i, got[i], blocks[i])
+		}
+	}
+	// Empty batch.
+	empty, err := DecodeReadBatchResp(EncodeReadBatchResp(nil).Payload)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: blocks=%v err=%v", empty, err)
+	}
+}
+
+func TestWriteBatchReqRoundTrip(t *testing.T) {
+	addrs := []int{3, 0, 3, 1 << 33}
+	blocks := [][]byte{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	fr := EncodeWriteBatchReq(addrs, blocks)
+	if fr.Type != MsgWriteBatchReq {
+		t.Fatalf("frame type %d", fr.Type)
+	}
+	gotAddrs, gotBlocks, err := DecodeWriteBatchReq(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotAddrs) != len(addrs) || len(gotBlocks) != len(blocks) {
+		t.Fatalf("decoded (%d,%d) entries, want (%d,%d)", len(gotAddrs), len(gotBlocks), len(addrs), len(blocks))
+	}
+	for i := range addrs {
+		if gotAddrs[i] != addrs[i] || !bytes.Equal(gotBlocks[i], blocks[i]) {
+			t.Fatalf("entry %d = (%d,%v), want (%d,%v)", i, gotAddrs[i], gotBlocks[i], addrs[i], blocks[i])
+		}
+	}
+	if _, b, err := DecodeWriteBatchReq(EncodeWriteBatchReq(nil, nil).Payload); err != nil || len(b) != 0 {
+		t.Fatalf("empty write batch: blocks=%v err=%v", b, err)
+	}
+}
+
+func TestBatchDecodeRejectsMalformed(t *testing.T) {
+	// Truncated count prefix.
+	if _, err := DecodeReadBatchReq([]byte{1, 2}); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("short read req: %v", err)
+	}
+	if _, err := DecodeReadBatchResp([]byte{1}); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("short read resp: %v", err)
+	}
+	if _, _, err := DecodeWriteBatchReq([]byte{1}); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("short write req: %v", err)
+	}
+	// Count inconsistent with the body.
+	bad := make([]byte, 4+7)
+	binary.BigEndian.PutUint32(bad, 2)
+	if _, err := DecodeReadBatchReq(bad); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("ragged read req: %v", err)
+	}
+	if _, err := DecodeReadBatchResp(bad); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("ragged read resp: %v", err)
+	}
+	if _, _, err := DecodeWriteBatchReq(bad); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("ragged write req: %v", err)
+	}
+	// Write entries too small to hold an address.
+	tiny := make([]byte, 4+2*4)
+	binary.BigEndian.PutUint32(tiny, 2)
+	if _, _, err := DecodeWriteBatchReq(tiny); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("tiny write entries: %v", err)
+	}
+	// A count crafted so 4+8*count wraps 32-bit int must still be caught
+	// (the shape check divides instead of multiplying).
+	wrap := make([]byte, 4+32)
+	binary.BigEndian.PutUint32(wrap, 0x20000004)
+	if _, err := DecodeReadBatchReq(wrap); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("overflowing count read req: %v", err)
+	}
+	// A forged huge count over an empty body must not drive a huge
+	// allocation (the MaxFrame threat model at the codec layer).
+	forged := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := DecodeReadBatchResp(forged); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("forged count read resp: %v", err)
+	}
+	if _, _, err := DecodeWriteBatchReq(forged); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("forged count write req: %v", err)
+	}
+	// Declared-empty batches must not smuggle trailing bytes.
+	trailing := make([]byte, 4+3)
+	if _, err := DecodeReadBatchResp(trailing); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("trailing read resp: %v", err)
+	}
+	if _, _, err := DecodeWriteBatchReq(trailing); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("trailing write req: %v", err)
+	}
+}
+
+// TestBatchFrameMaxFrameEnforced checks both directions of the MaxFrame
+// guard on oversized batches: the writer refuses to emit one, and the
+// reader refuses to allocate for one.
+func TestBatchFrameMaxFrameEnforced(t *testing.T) {
+	blockSize := 1 << 10
+	count := MaxFrame/blockSize + 2 // payload just over the limit
+	blocks := make([][]byte, count)
+	shared := make([]byte, blockSize)
+	for i := range blocks {
+		blocks[i] = shared
+	}
+	fr := EncodeReadBatchResp(blocks)
+	if len(fr.Payload) <= MaxFrame {
+		t.Fatalf("test frame only %d bytes; want > MaxFrame", len(fr.Payload))
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, fr); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("WriteFrame = %v, want ErrFrameTooLarge", err)
+	}
+	// A forged header declaring an oversized payload is rejected before any
+	// payload allocation.
+	var hdr [5]byte
+	hdr[0] = MsgReadBatchResp
+	binary.BigEndian.PutUint32(hdr[1:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ReadFrame = %v, want ErrFrameTooLarge", err)
+	}
+	// At the limit the frame still round-trips.
+	ok := Frame{Type: MsgReadBatchResp, Payload: make([]byte, MaxFrame)}
+	buf.Reset()
+	if err := WriteFrame(&buf, ok); err != nil {
+		t.Fatalf("frame at MaxFrame rejected: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != MaxFrame {
+		t.Fatalf("payload %d bytes, want %d", len(got.Payload), MaxFrame)
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}

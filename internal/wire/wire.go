@@ -12,13 +12,26 @@
 //
 // Payloads:
 //
-//	MsgInfoReq      (empty)
-//	MsgInfoResp     size uint64 ‖ blockSize uint32
-//	MsgDownloadReq  addr uint64
-//	MsgDownloadResp block bytes
-//	MsgUploadReq    addr uint64 ‖ block bytes
-//	MsgUploadResp   (empty)
-//	MsgError        UTF-8 message
+//	MsgInfoReq        (empty)
+//	MsgInfoResp       size uint64 ‖ blockSize uint32
+//	MsgDownloadReq    addr uint64
+//	MsgDownloadResp   block bytes
+//	MsgUploadReq      addr uint64 ‖ block bytes
+//	MsgUploadResp     (empty)
+//	MsgError          UTF-8 message
+//	MsgReadBatchReq   count uint32 ‖ count × addr uint64
+//	MsgReadBatchResp  count uint32 ‖ count × block bytes (uniform size)
+//	MsgWriteBatchReq  count uint32 ‖ count × (addr uint64 ‖ block bytes)
+//	MsgWriteBatchResp (empty)
+//
+// The batch frames carry the multi-block operations of store.BatchServer:
+// one frame per direction replaces count individual round trips. Because a
+// batch is by definition a fixed, privacy-independent set of addresses
+// (every construction in this module derives its per-query address set
+// before touching the server), batching changes only the framing of the
+// transcript, not its content. Block sizes within a batch are uniform (the
+// store is an array of equal slots), so counts fully determine the layout
+// and no per-entry length prefixes are needed.
 package wire
 
 import (
@@ -37,6 +50,10 @@ const (
 	MsgUploadReq
 	MsgUploadResp
 	MsgError
+	MsgReadBatchReq
+	MsgReadBatchResp
+	MsgWriteBatchReq
+	MsgWriteBatchResp
 )
 
 // MaxFrame bounds accepted payload sizes to keep a malicious peer from
@@ -142,6 +159,136 @@ func DecodeUploadReq(p []byte) (uint64, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: upload request %d bytes", ErrShortPayload, len(p))
 	}
 	return binary.BigEndian.Uint64(p[:8]), p[8:], nil
+}
+
+// --- batch frames ------------------------------------------------------------
+
+// ErrBatchShape reports a batch payload whose length is inconsistent with
+// its declared count.
+var ErrBatchShape = errors.New("wire: batch payload shape mismatch")
+
+// EncodeReadBatchReq builds a MsgReadBatchReq frame for the given addresses.
+func EncodeReadBatchReq(addrs []int) Frame {
+	p := make([]byte, 4+8*len(addrs))
+	binary.BigEndian.PutUint32(p[:4], uint32(len(addrs)))
+	for i, a := range addrs {
+		binary.BigEndian.PutUint64(p[4+8*i:], uint64(a))
+	}
+	return Frame{Type: MsgReadBatchReq, Payload: p}
+}
+
+// DecodeReadBatchReq parses a MsgReadBatchReq payload.
+func DecodeReadBatchReq(p []byte) ([]int, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: read batch request %d bytes", ErrShortPayload, len(p))
+	}
+	count := int(binary.BigEndian.Uint32(p[:4]))
+	// Compare by division: the naive len(p) != 4+8*count check overflows
+	// 32-bit int for forged counts near 2³¹/8, letting a tiny frame drive
+	// a huge allocation below.
+	if (len(p)-4)%8 != 0 || (len(p)-4)/8 != count {
+		return nil, fmt.Errorf("%w: %d addresses in %d payload bytes", ErrBatchShape, count, len(p))
+	}
+	addrs := make([]int, count)
+	for i := range addrs {
+		addrs[i] = int(binary.BigEndian.Uint64(p[4+8*i:]))
+	}
+	return addrs, nil
+}
+
+// EncodeReadBatchResp builds a MsgReadBatchResp frame. All blocks must have
+// the same length (the store's slot size).
+func EncodeReadBatchResp(blocks [][]byte) Frame {
+	size := 0
+	if len(blocks) > 0 {
+		size = len(blocks[0])
+	}
+	p := make([]byte, 4, 4+len(blocks)*size)
+	binary.BigEndian.PutUint32(p[:4], uint32(len(blocks)))
+	for _, b := range blocks {
+		p = append(p, b...)
+	}
+	return Frame{Type: MsgReadBatchResp, Payload: p}
+}
+
+// DecodeReadBatchResp parses a MsgReadBatchResp payload into per-block
+// slices. The returned slices alias p.
+func DecodeReadBatchResp(p []byte) ([][]byte, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: read batch response %d bytes", ErrShortPayload, len(p))
+	}
+	count := int(binary.BigEndian.Uint32(p[:4]))
+	body := p[4:]
+	if count == 0 {
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: empty batch with %d trailing bytes", ErrBatchShape, len(body))
+		}
+		return nil, nil
+	}
+	// Blocks are at least one byte, so count can never exceed the body; a
+	// forged huge count with an empty body must not drive the allocation
+	// below (the same threat MaxFrame guards against).
+	if len(body) == 0 || len(body)%count != 0 {
+		return nil, fmt.Errorf("%w: %d body bytes not divisible by %d blocks", ErrBatchShape, len(body), count)
+	}
+	size := len(body) / count
+	blocks := make([][]byte, count)
+	for i := range blocks {
+		// Capacity-capped so an append through one block can never bleed
+		// into its neighbor; callers may therefore keep the slices without
+		// re-copying.
+		blocks[i] = body[i*size : (i+1)*size : (i+1)*size]
+	}
+	return blocks, nil
+}
+
+// EncodeWriteBatchReq builds a MsgWriteBatchReq frame from parallel address
+// and block slices. All blocks must have the same length.
+func EncodeWriteBatchReq(addrs []int, blocks [][]byte) Frame {
+	size := 0
+	if len(blocks) > 0 {
+		size = len(blocks[0])
+	}
+	p := make([]byte, 4, 4+len(addrs)*(8+size))
+	binary.BigEndian.PutUint32(p[:4], uint32(len(addrs)))
+	var a8 [8]byte
+	for i, a := range addrs {
+		binary.BigEndian.PutUint64(a8[:], uint64(a))
+		p = append(p, a8[:]...)
+		p = append(p, blocks[i]...)
+	}
+	return Frame{Type: MsgWriteBatchReq, Payload: p}
+}
+
+// DecodeWriteBatchReq parses a MsgWriteBatchReq payload into parallel
+// address and block slices. The block slices alias p.
+func DecodeWriteBatchReq(p []byte) ([]int, [][]byte, error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("%w: write batch request %d bytes", ErrShortPayload, len(p))
+	}
+	count := int(binary.BigEndian.Uint32(p[:4]))
+	body := p[4:]
+	if count == 0 {
+		if len(body) != 0 {
+			return nil, nil, fmt.Errorf("%w: empty batch with %d trailing bytes", ErrBatchShape, len(body))
+		}
+		return nil, nil, nil
+	}
+	if len(body)%count != 0 {
+		return nil, nil, fmt.Errorf("%w: %d body bytes not divisible by %d entries", ErrBatchShape, len(body), count)
+	}
+	entry := len(body) / count
+	if entry < 8 {
+		return nil, nil, fmt.Errorf("%w: %d-byte entries too small for an address", ErrBatchShape, entry)
+	}
+	addrs := make([]int, count)
+	blocks := make([][]byte, count)
+	for i := range addrs {
+		e := body[i*entry : (i+1)*entry]
+		addrs[i] = int(binary.BigEndian.Uint64(e[:8]))
+		blocks[i] = e[8:]
+	}
+	return addrs, blocks, nil
 }
 
 // EncodeError builds a MsgError frame.

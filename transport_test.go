@@ -1,0 +1,204 @@
+package dpstore
+
+// Transport-level integration tests: the batched hot paths of the
+// constructions, measured in real request/response exchanges against a TCP
+// loopback server. These pin the round-trip contract of the batch
+// transport — the whole point of threading BatchServer through the stack.
+
+import (
+	"testing"
+
+	"dpstore/internal/baseline/pathoram"
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// dialRemote connects a fresh Remote to a loopback server of the given
+// shape.
+func dialRemote(t *testing.T, slots, blockSize int) *store.Remote {
+	t.Helper()
+	r, err := store.Dial(startServer(t, slots, blockSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestDPRAMRoundTripsOverTCP: a batched DP-RAM access is 2 round trips
+// (one two-address read batch, one upload batch) where the per-block
+// execution pays 3; retrieval-only mode is a single round trip. Setup
+// collapses from n round trips to 1.
+func TestDPRAMRoundTripsOverTCP(t *testing.T) {
+	const n, queries = 64, 50
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dpram.Options{Rand: rng.New(7), Key: crypto.KeyFromSeed(7)}
+
+	remote := dialRemote(t, n, dpram.ServerBlockSize(16, opts))
+	base := remote.RoundTrips()
+	c, err := dpram.Setup(db, remote, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := remote.RoundTrips() - base; got != 1 {
+		t.Fatalf("batched setup took %d round trips, want 1", got)
+	}
+	base = remote.RoundTrips()
+	for i := 0; i < queries; i++ {
+		if _, err := c.Read(i % n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := remote.RoundTrips() - base; got != 2*queries {
+		t.Fatalf("%d batched accesses took %d round trips, want %d", queries, got, 2*queries)
+	}
+
+	// The per-block equivalent of the same access sequence pays 3 per
+	// query (2 downloads + 1 upload, one trip each).
+	remotePB := dialRemote(t, n, dpram.ServerBlockSize(16, opts))
+	pbOpts := opts
+	pbOpts.Rand = rng.New(7)
+	cPB, err := dpram.Setup(db, store.PerBlock(remotePB), pbOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = remotePB.RoundTrips()
+	for i := 0; i < queries; i++ {
+		if _, err := cPB.Read(i % n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := remotePB.RoundTrips() - base; got != 3*queries {
+		t.Fatalf("%d per-block accesses took %d round trips, want %d", queries, got, 3*queries)
+	}
+
+	// Retrieval-only mode: one download, hence one round trip, per query.
+	roOpts := dpram.Options{Rand: rng.New(9), RetrievalOnly: true}
+	remoteRO := dialRemote(t, n, dpram.ServerBlockSize(16, roOpts))
+	cRO, err := dpram.Setup(db, remoteRO, roOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = remoteRO.RoundTrips()
+	for i := 0; i < queries; i++ {
+		if _, err := cRO.Read(i % n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := remoteRO.RoundTrips() - base; got != queries {
+		t.Fatalf("%d retrieval-only accesses took %d round trips, want %d", queries, got, queries)
+	}
+}
+
+// TestPathORAMRoundTripsOverTCP: a batched Path ORAM access is 2 round
+// trips (read path, evict path) instead of the 2·Z·(height+1) the
+// per-block execution pays.
+func TestPathORAMRoundTripsOverTCP(t *testing.T) {
+	const n, queries = 64, 25
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := pathoram.Options{Rand: rng.New(3), Key: crypto.KeyFromSeed(3)}
+	slots, bs := pathoram.TreeShape(n, 16, opts)
+
+	remote := dialRemote(t, slots, bs)
+	o, err := pathoram.Setup(db, remote, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := remote.RoundTrips()
+	for i := 0; i < queries; i++ {
+		if _, err := o.Read(i % n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := remote.RoundTrips() - base; got != 2*queries {
+		t.Fatalf("%d batched accesses took %d round trips, want %d", queries, got, 2*queries)
+	}
+
+	remotePB := dialRemote(t, slots, bs)
+	pbOpts := opts
+	pbOpts.Rand = rng.New(3)
+	oPB, err := pathoram.Setup(db, store.PerBlock(remotePB), pbOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = remotePB.RoundTrips()
+	for i := 0; i < queries; i++ {
+		if _, err := oPB.Read(i % n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perAccess := int64(oPB.BlocksPerAccess()) // 2·Z·(height+1), one trip per block
+	if got := remotePB.RoundTrips() - base; got != perAccess*queries {
+		t.Fatalf("%d per-block accesses took %d round trips, want %d", queries, got, perAccess*queries)
+	}
+}
+
+// TestBatchedAndPerBlockAgree runs the same seeded DP-RAM workload batched
+// and per-block and checks the answers and the metered overhead are
+// identical: batching changes the framing of the transcript, never its
+// content.
+func TestBatchedAndPerBlockAgree(t *testing.T) {
+	const n, queries = 32, 200
+	db, err := block.PatternDatabase(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(perBlock bool) ([]block.Block, store.Stats) {
+		opts := dpram.Options{Rand: rng.New(42), Key: crypto.KeyFromSeed(5)}
+		mem, err := store.NewMem(n, dpram.ServerBlockSize(16, opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counting := store.NewCounting(mem)
+		var srv store.Server = counting
+		if perBlock {
+			srv = store.PerBlock(counting)
+		}
+		c, err := dpram.Setup(db, srv, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counting.Reset()
+		w := rng.New(77)
+		out := make([]block.Block, 0, queries)
+		for i := 0; i < queries; i++ {
+			q := w.Intn(n)
+			if w.Bernoulli(0.3) {
+				prev, err := c.Write(q, block.Pattern(uint64(i), 16))
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, prev)
+			} else {
+				got, err := c.Read(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, got)
+			}
+		}
+		return out, counting.Stats()
+	}
+	gotB, statsB := run(false)
+	gotP, statsP := run(true)
+	if statsB != statsP {
+		t.Fatalf("batched stats %+v != per-block stats %+v", statsB, statsP)
+	}
+	if statsB.Ops() != 3*queries {
+		t.Fatalf("ops = %d, want %d (exactly 3 per query)", statsB.Ops(), 3*queries)
+	}
+	for i := range gotB {
+		if !gotB[i].Equal(gotP[i]) {
+			t.Fatalf("query %d: batched and per-block answers differ", i)
+		}
+	}
+}
