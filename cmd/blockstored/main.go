@@ -4,18 +4,29 @@
 //
 // It stores fixed-size slots and answers exactly two kinds of request,
 // download and upload — individually or in batch frames that carry a whole
-// per-query address set in one round trip — plus a shape handshake. All
-// privacy machinery lives client-side (dpkv, the examples, or any program
-// built on the library); the server only ever sees the access pattern the
-// DP constructions are designed to protect, and a batch frame reveals
-// exactly the same (op, address) multiset as the per-block exchange it
-// replaces. Batch requests hit the backing store's native fast path: a
-// single lock acquisition in memory, sorted and coalesced I/O on disk.
+// per-query address set in one round trip — plus a shape handshake and an
+// optional namespace handshake. All privacy machinery lives client-side
+// (dpkv, the examples, or any program built on the library); the server
+// only ever sees the access pattern the DP constructions are designed to
+// protect, and a batch frame reveals exactly the same (op, address)
+// multiset as the per-block exchange it replaces.
+//
+// Scale knobs:
+//
+//   - -shards K stripes every hosted store over K independently locked
+//     sub-stores, so concurrent tenants stop serializing on one mutex and
+//     batches execute K-way parallel (memory) or across K files (disk).
+//   - -namespaces N lets clients create up to N additional in-memory
+//     tenant namespaces on demand via the open handshake, each an
+//     independent address space with its own locks. The flag-configured
+//     store remains the default namespace, so pre-namespace clients work
+//     unchanged.
 //
 // Usage:
 //
 //	blockstored -addr :9045 -slots 65536 -blocksize 112
 //	blockstored -addr :9045 -slots 65536 -blocksize 112 -file /var/lib/blocks.dat
+//	blockstored -addr :9045 -slots 65536 -blocksize 112 -shards 16 -namespaces 64
 package main
 
 import (
@@ -30,30 +41,30 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:9045", "listen address")
-		slots     = flag.Int("slots", 1<<16, "number of block slots")
-		blockSize = flag.Int("blocksize", 112, "slot size in bytes")
-		file      = flag.String("file", "", "optional path for a disk-backed store (created if missing)")
+		addr       = flag.String("addr", "127.0.0.1:9045", "listen address")
+		slots      = flag.Int("slots", 1<<16, "number of block slots (default namespace, and default for created namespaces)")
+		blockSize  = flag.Int("blocksize", 112, "slot size in bytes (default namespace, and default for created namespaces)")
+		file       = flag.String("file", "", "optional path for a disk-backed store (created if missing; with -shards K, K files path.shard0 … are used)")
+		shards     = flag.Int("shards", 1, "stripe each store over this many independently locked sub-stores")
+		namespaces = flag.Int("namespaces", 0, "max client-created in-memory namespaces (0 disables the open-to-create path)")
+		maxBytes   = flag.Int64("maxbytes", 1<<30, "per-namespace byte budget for client-requested shapes")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		log.Fatalf("blockstored: -shards %d must be ≥ 1", *shards)
+	}
 
-	var backing store.Server
-	switch {
-	case *file != "":
-		f, err := openOrCreate(*file, *slots, *blockSize)
-		if err != nil {
-			log.Fatalf("blockstored: %v", err)
-		}
-		defer f.Close()
-		backing = f
-		log.Printf("blockstored: %d slots × %d B on disk at %s", *slots, *blockSize, *file)
-	default:
-		m, err := store.NewMem(*slots, *blockSize)
-		if err != nil {
-			log.Fatalf("blockstored: %v", err)
-		}
-		backing = m
-		log.Printf("blockstored: %d slots × %d B in memory", *slots, *blockSize)
+	backing, desc, err := openBacking(*file, *slots, *blockSize, *shards)
+	if err != nil {
+		log.Fatalf("blockstored: %v", err)
+	}
+	log.Printf("blockstored: default namespace: %s", desc)
+
+	ns := store.NewNamespaces()
+	ns.Attach(store.DefaultNamespace, backing)
+	if *namespaces > 0 {
+		ns.SetFactory(*namespaces, namespaceFactory(*slots, *blockSize, *shards, *maxBytes))
+		log.Printf("blockstored: up to %d client-created namespaces (≤ %d B each)", *namespaces, *maxBytes)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -61,9 +72,89 @@ func main() {
 		log.Fatalf("blockstored: listen: %v", err)
 	}
 	log.Printf("blockstored: serving on %s", ln.Addr())
-	if err := store.Serve(ln, backing); err != nil {
+	if err := store.ServeNamespaces(ln, ns); err != nil {
 		log.Fatalf("blockstored: %v", err)
 	}
+}
+
+// namespaceFactory returns the on-demand tenant builder: requested zeros
+// fall back to the daemon defaults, and the resulting shape must fit the
+// byte budget.
+func namespaceFactory(defSlots, defBlockSize, shards int, budget int64) func(string, int, int) (store.Server, error) {
+	return func(name string, nsSlots, nsBlockSize int) (store.Server, error) {
+		if nsSlots == 0 {
+			nsSlots = defSlots
+		}
+		if nsBlockSize == 0 {
+			nsBlockSize = defBlockSize
+		}
+		// Budget check by division, not multiplication: a hostile open can
+		// request slot counts near max-int, and an overflowed product
+		// would sail past the budget into a huge allocation. The per-slot
+		// overhead term charges for slice headers and allocator
+		// bookkeeping so tiny blocks cannot buy absurd slot counts within
+		// a byte budget meant for payload.
+		const perSlotOverhead = 48
+		if nsSlots < 0 || nsBlockSize <= 0 || int64(nsSlots) > budget/(int64(nsBlockSize)+perSlotOverhead) {
+			return nil, fmt.Errorf("requested %d × %d B exceeds the %d B namespace budget", nsSlots, nsBlockSize, budget)
+		}
+		log.Printf("blockstored: creating namespace %q: %d slots × %d B in memory", name, nsSlots, nsBlockSize)
+		return newMemBacking(nsSlots, nsBlockSize, shards)
+	}
+}
+
+// newMemBacking builds an in-memory store, striped when shards > 1. A
+// store too small for the configured stripe width is striped as far as it
+// goes (one slot per shard) — for factory-created tenant namespaces the
+// layout is the server's choice.
+func newMemBacking(slots, blockSize, shards int) (store.Server, error) {
+	if shards > slots {
+		shards = slots
+	}
+	if shards > 1 {
+		return store.NewShardedMem(slots, blockSize, shards)
+	}
+	return store.NewMem(slots, blockSize)
+}
+
+// openBacking builds the default namespace's store from the flags.
+func openBacking(file string, slots, blockSize, shards int) (store.Server, string, error) {
+	if file == "" {
+		// The operator asked for this exact stripe width; refuse rather
+		// than silently downgrade (mirrors the disk path below).
+		if slots < shards {
+			return nil, "", fmt.Errorf("%d slots cannot stripe over %d shards", slots, shards)
+		}
+		s, err := newMemBacking(slots, blockSize, shards)
+		if err != nil {
+			return nil, "", err
+		}
+		return s, fmt.Sprintf("%d slots × %d B in memory (%d shard(s))", slots, blockSize, shards), nil
+	}
+	if shards == 1 {
+		f, err := openOrCreate(file, slots, blockSize)
+		if err != nil {
+			return nil, "", err
+		}
+		return f, fmt.Sprintf("%d slots × %d B on disk at %s", slots, blockSize, file), nil
+	}
+	if slots < shards {
+		return nil, "", fmt.Errorf("%d slots cannot stripe over %d shards", slots, shards)
+	}
+	subs := make([]store.Server, shards)
+	for i := range subs {
+		path := fmt.Sprintf("%s.shard%d", file, i)
+		f, err := openOrCreate(path, store.ShardSlots(slots, shards, i), blockSize)
+		if err != nil {
+			return nil, "", err
+		}
+		subs[i] = f
+	}
+	s, err := store.NewSharded(subs)
+	if err != nil {
+		return nil, "", err
+	}
+	return s, fmt.Sprintf("%d slots × %d B on disk striped over %d files at %s.shard*", slots, blockSize, shards, file), nil
 }
 
 func openOrCreate(path string, slots, blockSize int) (*store.File, error) {

@@ -83,8 +83,30 @@ type CountingServer = store.Counting
 // (cmd/blockstored); its batch calls collapse N round trips into one.
 type RemoteServer = store.Remote
 
+// ShardedServer stripes a logical address space over K independently
+// locked sub-stores, so concurrent clients stop serializing on one mutex;
+// its batches execute K-way parallel.
+type ShardedServer = store.Sharded
+
+// ServerPool multiplexes operations over N connections to one daemon, so
+// many goroutine clients share it without head-of-line blocking.
+type ServerPool = store.Pool
+
+// Namespaces is a registry of named block stores hosted by one daemon —
+// the multi-tenant serving surface of ServeBlockNamespaces.
+type Namespaces = store.Namespaces
+
+// DefaultNamespace is the namespace pre-namespace clients speak to.
+const DefaultNamespace = store.DefaultNamespace
+
 // NewMemServer returns an in-memory Server with n slots of blockSize bytes.
 func NewMemServer(n, blockSize int) (Server, error) { return store.NewMem(n, blockSize) }
+
+// NewShardedMemServer returns an in-memory Server with n slots of
+// blockSize bytes striped over k independently locked shards.
+func NewShardedMemServer(n, blockSize, k int) (*ShardedServer, error) {
+	return store.NewShardedMem(n, blockSize, k)
+}
 
 // NewCountingServer wraps a Server with an operation meter.
 func NewCountingServer(inner Server) *CountingServer { return store.NewCounting(inner) }
@@ -92,9 +114,32 @@ func NewCountingServer(inner Server) *CountingServer { return store.NewCounting(
 // DialServer connects to a remote block server (cmd/blockstored).
 func DialServer(addr string) (*RemoteServer, error) { return store.Dial(addr) }
 
+// DialServerNamespace connects to a multi-tenant block server and opens
+// the named namespace (creating it, when the daemon permits, with the
+// given shape; zeros defer the shape to the server).
+func DialServerNamespace(addr, name string, slots, blockSize int) (*RemoteServer, error) {
+	return store.DialNamespace(addr, name, slots, blockSize)
+}
+
+// DialServerPool connects a pool of conns connections to the default
+// namespace of the block server at addr.
+func DialServerPool(addr string, conns int) (*ServerPool, error) {
+	return store.DialPool(addr, conns)
+}
+
+// NewNamespaces returns an empty namespace registry; Attach stores and/or
+// install a creation factory, then serve it with ServeBlockNamespaces.
+func NewNamespaces() *Namespaces { return store.NewNamespaces() }
+
 // ServeBlocks serves the wire protocol (including the batch frames)
 // against backing until ln closes — the embeddable form of cmd/blockstored.
 func ServeBlocks(ln net.Listener, backing Server) error { return store.Serve(ln, backing) }
+
+// ServeBlockNamespaces serves the wire protocol against a whole namespace
+// registry — the embeddable form of a multi-tenant blockstored.
+func ServeBlockNamespaces(ln net.Listener, ns *Namespaces) error {
+	return store.ServeNamespaces(ln, ns)
+}
 
 // --- randomness and keys -------------------------------------------------------
 

@@ -411,15 +411,13 @@ func TestDialRejectsInvalidShape(t *testing.T) {
 // the binding constraint, not the response.
 func TestRemoteChunkSizing(t *testing.T) {
 	r := &Remote{maxFrame: 4 + 800}
-	r.info.BlockSize = 100
-	if got := r.readChunk(); got != 8 { // response-bound: 800/100
+	if got := r.readChunk(100); got != 8 { // response-bound: 800/100
 		t.Fatalf("readChunk = %d, want 8", got)
 	}
-	r.info.BlockSize = 4
-	if got := r.readChunk(); got != 100 { // request-bound: 800/8, not 800/4
+	if got := r.readChunk(4); got != 100 { // request-bound: 800/8, not 800/4
 		t.Fatalf("readChunk = %d, want 100", got)
 	}
-	if got := r.writeChunk(); got != 66 { // 800/(8+4)
+	if got := r.writeChunk(4); got != 66 { // 800/(8+4)
 		t.Fatalf("writeChunk = %d, want 66", got)
 	}
 }

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// DefaultNamespace is the namespace a connection speaks to before (or
+// without ever) sending an open request — the implicit tenant of every
+// pre-namespace client.
+const DefaultNamespace = ""
+
+// ErrNamespace reports a namespace open that the registry refused.
+var ErrNamespace = errors.New("store: namespace rejected")
+
+// Namespaces is a concurrent registry of named block stores hosted by one
+// daemon. Each namespace is an independent Server — its own address space,
+// its own locks — so tenants sharing a daemon contend only on the registry
+// map (one mutex acquisition per open, none per block operation).
+//
+// Namespaces are either attached up front (Attach) or created on demand at
+// the first open naming them, when a factory is installed (SetFactory).
+// The zero value is unusable; construct with NewNamespaces.
+type Namespaces struct {
+	mu      sync.Mutex
+	m       map[string]BatchServer
+	factory func(name string, slots, blockSize int) (Server, error)
+	created int
+	max     int
+}
+
+// NewNamespaces returns an empty registry.
+func NewNamespaces() *Namespaces {
+	return &Namespaces{m: make(map[string]BatchServer)}
+}
+
+// Attach registers s under name, replacing any previous registration.
+// Attached namespaces do not count against the factory's creation cap.
+func (ns *Namespaces) Attach(name string, s Server) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.m[name] = AsBatch(s)
+}
+
+// SetFactory installs the on-demand creation path: an open naming an
+// unregistered namespace calls factory with the client's requested shape
+// (zeros mean "factory's choice"). At most max namespaces are created this
+// way; further misses are rejected, bounding how many stores a hostile
+// client can make the daemon build. The requested shape itself is
+// client-controlled input: the factory must bound it (see the -maxbytes
+// budget in cmd/blockstored) before allocating.
+func (ns *Namespaces) SetFactory(max int, factory func(name string, slots, blockSize int) (Server, error)) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.factory = factory
+	ns.max = max
+}
+
+// Get returns the namespace registered under name, if any.
+func (ns *Namespaces) Get(name string) (BatchServer, bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	s, ok := ns.m[name]
+	return s, ok
+}
+
+// Names returns the registered namespace names, in no particular order.
+func (ns *Namespaces) Names() []string {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	names := make([]string, 0, len(ns.m))
+	for name := range ns.m {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Open resolves name for a client that requested the given shape (zeros
+// mean "no preference"). An existing namespace is returned as long as the
+// requested shape does not contradict its actual one; a missing namespace
+// is created through the factory when one is installed and the creation
+// cap has room. The factory runs outside the registry lock — it may
+// allocate gigabytes or create files — and concurrent first-opens of the
+// same name are collapsed to one winner.
+func (ns *Namespaces) Open(name string, slots, blockSize int) (BatchServer, error) {
+	ns.mu.Lock()
+	if s, ok := ns.m[name]; ok {
+		ns.mu.Unlock()
+		if err := checkShape(name, s, slots, blockSize); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	factory := ns.factory
+	if factory == nil {
+		ns.mu.Unlock()
+		return nil, fmt.Errorf("%w: unknown namespace %q", ErrNamespace, name)
+	}
+	if ns.created >= ns.max {
+		ns.mu.Unlock()
+		return nil, fmt.Errorf("%w: namespace cap %d reached, cannot create %q", ErrNamespace, ns.max, name)
+	}
+	// Reserve the slot before building the backend so a burst of opens
+	// cannot overshoot the cap, then release the lock for the (possibly
+	// slow) factory call.
+	ns.created++
+	ns.mu.Unlock()
+
+	backend, err := factory(name, slots, blockSize)
+	if err != nil {
+		ns.mu.Lock()
+		ns.created--
+		ns.mu.Unlock()
+		return nil, fmt.Errorf("%w: creating %q: %v", ErrNamespace, name, err)
+	}
+
+	ns.mu.Lock()
+	if s, ok := ns.m[name]; ok {
+		// A concurrent open of the same name won the race; keep its
+		// backend, refund our reservation, and discard ours (closing it
+		// if the factory built something closable, e.g. file shards).
+		// The winner's shape still has to satisfy *this* caller's
+		// request, exactly as the existing-namespace path checks.
+		ns.created--
+		ns.mu.Unlock()
+		if c, ok := backend.(io.Closer); ok {
+			c.Close() //nolint:errcheck
+		}
+		if err := checkShape(name, s, slots, blockSize); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	defer ns.mu.Unlock()
+	s := AsBatch(backend)
+	ns.m[name] = s
+	return s, nil
+}
+
+// checkShape verifies a client's requested shape (zeros = no preference)
+// against a namespace's actual one. A nil error means s satisfies the
+// request.
+func checkShape(name string, s Server, slots, blockSize int) error {
+	if slots != 0 && slots != s.Size() {
+		return fmt.Errorf("%w: %q holds %d slots, client wants %d", ErrNamespace, name, s.Size(), slots)
+	}
+	if blockSize != 0 && blockSize != s.BlockSize() {
+		return fmt.Errorf("%w: %q has %d B blocks, client wants %d", ErrNamespace, name, s.BlockSize(), blockSize)
+	}
+	return nil
+}
+
+// ServeNamespaces accepts connections on ln and serves the wire protocol
+// against the registry until ln is closed. A connection starts in
+// DefaultNamespace (requests fail until an open succeeds if no default is
+// registered) and may switch namespaces with open requests at any point.
+// Returns the listener's accept error, net.ErrClosed after a clean
+// shutdown.
+func ServeNamespaces(ln net.Listener, ns *Namespaces) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, ns)
+	}
+}

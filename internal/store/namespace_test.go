@@ -1,0 +1,309 @@
+package store
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"dpstore/internal/block"
+)
+
+// serveRegistry starts a ServeNamespaces daemon on a loopback listener and
+// returns its address.
+func serveRegistry(t *testing.T, ns *Namespaces) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go ServeNamespaces(ln, ns) //nolint:errcheck
+	return ln.Addr().String()
+}
+
+// TestServeBackwardCompatible pins the acceptance criterion that a
+// pre-namespace client (plain Dial, MsgInfoReq handshake only) works
+// unchanged against the namespace-aware serve loop.
+func TestServeBackwardCompatible(t *testing.T) {
+	backing, err := NewMem(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go Serve(ln, backing) //nolint:errcheck
+
+	r, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != 16 || r.BlockSize() != 8 {
+		t.Fatalf("shape = %d × %d, want 16 × 8", r.Size(), r.BlockSize())
+	}
+	if r.Namespace() != DefaultNamespace {
+		t.Fatalf("namespace = %q, want default", r.Namespace())
+	}
+	want := block.Pattern(3, 8)
+	if err := r.Upload(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Download(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("read-back mismatch through default namespace")
+	}
+	// A single-tenant daemon has no factory: opening another namespace
+	// must fail without killing the session.
+	if err := r.Open("other", 0, 0); err == nil {
+		t.Fatal("single-tenant daemon created a namespace")
+	}
+	if got, err := r.Download(3); err != nil || !got.Equal(want) {
+		t.Fatalf("session degraded after rejected open: %v", err)
+	}
+}
+
+func TestNamespaceOpenFlow(t *testing.T) {
+	ns := NewNamespaces()
+	pre, err := NewMem(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.Attach("alpha", pre)
+	ns.SetFactory(2, func(name string, slots, blockSize int) (Server, error) {
+		if slots == 0 {
+			slots = 8
+		}
+		if blockSize == 0 {
+			blockSize = 8
+		}
+		return NewMem(slots, blockSize)
+	})
+	addr := serveRegistry(t, ns)
+
+	// No default namespace: operations before an open must fail cleanly.
+	bare, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("Dial succeeded against a daemon with no default namespace")
+	}
+
+	// Attached namespace, shape deferred to the server.
+	a, err := DialNamespace(addr, "alpha", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Size() != 32 || a.BlockSize() != 16 || a.Namespace() != "alpha" {
+		t.Fatalf("alpha shape = %d × %d (%q)", a.Size(), a.BlockSize(), a.Namespace())
+	}
+
+	// Shape contradiction on an existing namespace is rejected.
+	if _, err := DialNamespace(addr, "alpha", 32, 99); err == nil {
+		t.Fatal("mismatched block size accepted for existing namespace")
+	}
+	// Matching explicit shape is fine.
+	a2, err := DialNamespace(addr, "alpha", 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2.Close()
+
+	// On-demand creation with a client-requested shape.
+	b, err := DialNamespace(addr, "beta", 64, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Size() != 64 || b.BlockSize() != 24 {
+		t.Fatalf("beta shape = %d × %d, want 64 × 24", b.Size(), b.BlockSize())
+	}
+
+	// Tenants are isolated: the same address holds different data.
+	if err := a.Upload(5, block.Pattern(111, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Upload(5, block.Pattern(222, 24)); err != nil {
+		t.Fatal(err)
+	}
+	ga, err := a.Download(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := b.Download(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !block.CheckPattern(ga, 111) || !block.CheckPattern(gb, 222) {
+		t.Fatal("cross-namespace bleed at shared address")
+	}
+
+	// Factory defaults apply when the client requests zeros.
+	c, err := DialNamespace(addr, "gamma", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Size() != 8 || c.BlockSize() != 8 {
+		t.Fatalf("gamma shape = %d × %d, want factory default 8 × 8", c.Size(), c.BlockSize())
+	}
+
+	// The creation cap (2) is now exhausted; a third dynamic namespace is
+	// refused, but re-opening existing ones still works.
+	if _, err := DialNamespace(addr, "delta", 0, 0); err == nil {
+		t.Fatal("namespace cap not enforced")
+	}
+	c2, err := DialNamespace(addr, "gamma", 0, 0)
+	if err != nil {
+		t.Fatalf("re-open of created namespace failed: %v", err)
+	}
+	c2.Close()
+
+	// One connection can hop namespaces mid-session.
+	if err := a.Open("beta", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.BlockSize() != 24 {
+		t.Fatalf("after hop, block size = %d, want 24", a.BlockSize())
+	}
+	got, err := a.Download(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !block.CheckPattern(got, 222) {
+		t.Fatal("hopped connection did not see beta's data")
+	}
+}
+
+func TestNamespaceOpenRejectsOversizedName(t *testing.T) {
+	ns := NewNamespaces()
+	def, _ := NewMem(4, 8)
+	ns.Attach(DefaultNamespace, def)
+	addr := serveRegistry(t, ns)
+	r, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Open(strings.Repeat("x", 300), 0, 0); err == nil {
+		t.Fatal("oversized namespace name accepted")
+	}
+}
+
+func TestNamespacesRegistry(t *testing.T) {
+	ns := NewNamespaces()
+	if _, err := ns.Open("missing", 0, 0); !errors.Is(err, ErrNamespace) {
+		t.Fatalf("open without factory: err = %v, want ErrNamespace", err)
+	}
+	m, _ := NewMem(4, 8)
+	ns.Attach("a", m)
+	if s, ok := ns.Get("a"); !ok || s.Size() != 4 {
+		t.Fatal("Get after Attach failed")
+	}
+	if got := ns.Names(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Names = %v, want [a]", got)
+	}
+	// Factory errors are surfaced and refund the creation cap.
+	calls := 0
+	ns.SetFactory(1, func(name string, slots, blockSize int) (Server, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("boom")
+		}
+		return NewMem(2, 8)
+	})
+	if _, err := ns.Open("b", 0, 0); err == nil {
+		t.Fatal("factory error swallowed")
+	}
+	if _, err := ns.Open("b", 0, 0); err != nil {
+		t.Fatalf("cap slot not refunded after factory failure: %v", err)
+	}
+}
+
+// TestNamespacesConcurrentFirstOpen races many first-opens of one name and
+// requires that exactly one backend wins — every opener must observe the
+// same store.
+func TestNamespacesConcurrentFirstOpen(t *testing.T) {
+	ns := NewNamespaces()
+	ns.SetFactory(1, func(name string, slots, blockSize int) (Server, error) {
+		return NewMem(8, 8)
+	})
+	const racers = 16
+	got := make([]BatchServer, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := ns.Open("shared", 0, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < racers; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent first-opens returned distinct backends")
+		}
+	}
+	// The cap was 1 and the race must have consumed exactly one slot:
+	// a different name is now refused.
+	if _, err := ns.Open("other", 0, 0); err == nil {
+		t.Fatal("cap overshot by racing first-opens")
+	}
+}
+
+// TestShardedOverWire runs a sharded backend behind the daemon: the serve
+// loop must dispatch batches to the native sharded fast path and behave
+// exactly like an unsharded store at the wire.
+func TestShardedOverWire(t *testing.T) {
+	sh, err := NewShardedMem(50, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go Serve(ln, sh) //nolint:errcheck
+	r, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ops := make([]WriteOp, 50)
+	addrs := make([]int, 50)
+	for i := range ops {
+		ops[i] = WriteOp{Addr: i, Block: block.Pattern(uint64(i), 8)}
+		addrs[i] = i
+	}
+	if err := r.WriteBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := r.ReadBatch(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blocks {
+		if !block.CheckPattern(b, uint64(i)) {
+			t.Fatalf("slot %d mismatch through sharded daemon", i)
+		}
+	}
+	if _, err := r.ReadBatch([]int{51}); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package store
+
+import (
+	"fmt"
+
+	"dpstore/internal/block"
+)
+
+// Pool is a BatchServer that multiplexes operations over N independent
+// connections to one block server, so many goroutine clients — for
+// example, the DP-RAM or DP-IR instances of distinct users sharing a
+// daemon — issue requests concurrently instead of serializing on a single
+// Remote's request/response lock. An idle connection is claimed per call
+// and returned when the call completes; with C concurrent callers and N
+// connections, min(C, N) requests are in flight at once and the rest queue
+// fairly on the pool instead of head-of-line blocking behind one socket.
+//
+// All connections speak to the same namespace, so a Pool is shape-stable:
+// Size and BlockSize are pinned at construction. A Pool is safe for
+// concurrent use; Close it only after all operations have returned.
+type Pool struct {
+	idle      chan *Remote
+	all       []*Remote
+	size      int
+	blockSize int
+}
+
+// NewPool builds a pool of conns connections, each produced by dial. Use
+// it to pool namespace-opened connections:
+//
+//	NewPool(8, func() (*Remote, error) {
+//		return DialNamespace(addr, "tenant-42", slots, blockSize)
+//	})
+//
+// All dialed connections must report one shape (they are expected to
+// target the same store). On any dial error the already-opened connections
+// are closed and the error returned.
+func NewPool(conns int, dial func() (*Remote, error)) (*Pool, error) {
+	if conns <= 0 {
+		return nil, fmt.Errorf("store: pool needs at least one connection, got %d", conns)
+	}
+	p := &Pool{idle: make(chan *Remote, conns), all: make([]*Remote, 0, conns)}
+	for i := 0; i < conns; i++ {
+		r, err := dial()
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("store: dialing pool connection %d: %w", i, err)
+		}
+		if i == 0 {
+			p.size, p.blockSize = r.Size(), r.BlockSize()
+		} else if r.Size() != p.size || r.BlockSize() != p.blockSize {
+			r.Close()
+			p.Close()
+			return nil, fmt.Errorf("store: pool connection %d has shape %d × %d, want %d × %d",
+				i, r.Size(), r.BlockSize(), p.size, p.blockSize)
+		}
+		p.all = append(p.all, r)
+		p.idle <- r
+	}
+	return p, nil
+}
+
+// DialPool connects a pool of conns connections to the default namespace
+// of the block server at addr.
+func DialPool(addr string, conns int) (*Pool, error) {
+	return NewPool(conns, func() (*Remote, error) { return Dial(addr) })
+}
+
+// DialNamespacePool connects a pool of conns connections, all opened onto
+// the named namespace (see DialNamespace for the slots/blockSize
+// semantics).
+func DialNamespacePool(addr, name string, slots, blockSize, conns int) (*Pool, error) {
+	return NewPool(conns, func() (*Remote, error) {
+		return DialNamespace(addr, name, slots, blockSize)
+	})
+}
+
+// get claims an idle connection, blocking until one frees up.
+func (p *Pool) get() *Remote { return <-p.idle }
+
+// put returns a connection to the idle set.
+func (p *Pool) put(r *Remote) { p.idle <- r }
+
+// Download implements Server.
+func (p *Pool) Download(addr int) (block.Block, error) {
+	r := p.get()
+	defer p.put(r)
+	return r.Download(addr)
+}
+
+// Upload implements Server.
+func (p *Pool) Upload(addr int, b block.Block) error {
+	r := p.get()
+	defer p.put(r)
+	return r.Upload(addr, b)
+}
+
+// ReadBatch implements BatchServer; the whole batch rides one connection
+// (one round trip up to the frame ceiling, like Remote).
+func (p *Pool) ReadBatch(addrs []int) ([]block.Block, error) {
+	r := p.get()
+	defer p.put(r)
+	return r.ReadBatch(addrs)
+}
+
+// WriteBatch implements BatchServer.
+func (p *Pool) WriteBatch(ops []WriteOp) error {
+	r := p.get()
+	defer p.put(r)
+	return r.WriteBatch(ops)
+}
+
+// Size implements Server.
+func (p *Pool) Size() int { return p.size }
+
+// BlockSize implements Server.
+func (p *Pool) BlockSize() int { return p.blockSize }
+
+// Conns returns the pool width N.
+func (p *Pool) Conns() int { return len(p.all) }
+
+// RoundTrips sums the round trips of every pooled connection (including
+// handshakes).
+func (p *Pool) RoundTrips() int64 {
+	var total int64
+	for _, r := range p.all {
+		total += r.RoundTrips()
+	}
+	return total
+}
+
+// Close closes every pooled connection. In-flight operations on other
+// goroutines will fail; callers should quiesce first.
+func (p *Pool) Close() error {
+	var first error
+	for _, r := range p.all {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

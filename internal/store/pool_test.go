@@ -1,0 +1,170 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"dpstore/internal/block"
+)
+
+func poolServer(t *testing.T, slots, blockSize int) string {
+	t.Helper()
+	backing, err := NewShardedMem(slots, blockSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go Serve(ln, backing) //nolint:errcheck
+	return ln.Addr().String()
+}
+
+func TestPoolBasics(t *testing.T) {
+	addr := poolServer(t, 64, 16)
+	p, err := DialPool(addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Conns() != 4 || p.Size() != 64 || p.BlockSize() != 16 {
+		t.Fatalf("pool shape = %d conns, %d × %d", p.Conns(), p.Size(), p.BlockSize())
+	}
+	if err := p.Upload(9, block.Pattern(9, 16)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Download(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !block.CheckPattern(got, 9) {
+		t.Fatal("pool read-back mismatch")
+	}
+	ops := []WriteOp{{Addr: 1, Block: block.Pattern(1, 16)}, {Addr: 2, Block: block.Pattern(2, 16)}}
+	if err := p.WriteBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := p.ReadBatch([]int{1, 2, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []uint64{1, 2, 9} {
+		if !block.CheckPattern(blocks[i], id) {
+			t.Fatalf("batch pos %d mismatch", i)
+		}
+	}
+	if p.RoundTrips() == 0 {
+		t.Fatal("round trips not counted")
+	}
+}
+
+func TestPoolRejectsBadConfig(t *testing.T) {
+	if _, err := DialPool("127.0.0.1:1", 0); err == nil {
+		t.Fatal("zero-width pool accepted")
+	}
+	if _, err := NewPool(2, func() (*Remote, error) { return nil, errors.New("nope") }); err == nil {
+		t.Fatal("dial failure swallowed")
+	}
+}
+
+// TestPoolConcurrentClients runs many goroutine clients through one Pool
+// against a live daemon: requests must interleave correctly (each client
+// sees exactly its own writes at its own addresses).
+func TestPoolConcurrentClients(t *testing.T) {
+	const slots, bs, clients, iters = 96, 16, 12, 25
+	addr := poolServer(t, slots, bs)
+	p, err := DialPool(addr, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mine := make([]int, 0, slots/clients)
+			for a := c; a < slots; a += clients {
+				mine = append(mine, a)
+			}
+			for i := 0; i < iters; i++ {
+				ops := make([]WriteOp, len(mine))
+				for j, a := range mine {
+					ops[j] = WriteOp{Addr: a, Block: block.Pattern(uint64(c)<<20|uint64(i)<<10|uint64(a), bs)}
+				}
+				if err := p.WriteBatch(ops); err != nil {
+					errs[c] = err
+					return
+				}
+				blocks, err := p.ReadBatch(mine)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				for j, a := range mine {
+					if !block.CheckPattern(blocks[j], uint64(c)<<20|uint64(i)<<10|uint64(a)) {
+						errs[c] = fmt.Errorf("client %d iter %d: slot %d corrupted", c, i, a)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPoolNamespace pins DialNamespacePool: every pooled connection lands
+// in the same tenant namespace.
+func TestPoolNamespace(t *testing.T) {
+	ns := NewNamespaces()
+	ns.SetFactory(4, func(name string, slots, blockSize int) (Server, error) {
+		return NewShardedMem(slots, blockSize, 2)
+	})
+	addr := serveRegistry(t, ns)
+	p, err := DialNamespacePool(addr, "tenant", 32, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Size() != 32 || p.BlockSize() != 16 {
+		t.Fatalf("namespace pool shape = %d × %d, want 32 × 16", p.Size(), p.BlockSize())
+	}
+	// The pool's connections share one backend: a write through one conn
+	// is visible through the others (exercised by cycling > Conns() ops).
+	for i := 0; i < 3*p.Conns(); i++ {
+		if err := p.Upload(5, block.Pattern(uint64(i), 16)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Download(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !block.CheckPattern(got, uint64(i)) {
+			t.Fatalf("iteration %d: pooled namespace connections disagree", i)
+		}
+	}
+	// Only one namespace was created for the whole pool.
+	if _, err := DialNamespacePool(addr, "t2", 8, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialNamespacePool(addr, "t3", 8, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialNamespacePool(addr, "t4", 8, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialNamespacePool(addr, "t5", 8, 8, 1); err == nil {
+		t.Fatal("cap should be exhausted: pool must not create one namespace per connection")
+	}
+}

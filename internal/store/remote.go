@@ -17,43 +17,120 @@ import (
 // once regardless of batch size (up to the MaxFrame ceiling, beyond which
 // it transparently splits), which is where the constructions' batched hot
 // paths turn into real latency wins. Requests on one Remote are
-// serialized; open several connections for parallelism.
+// serialized; open several connections — or a Pool — for parallelism. On a
+// multi-tenant daemon, Open (or DialNamespace) points the connection at a
+// named namespace; a Remote that never opens one speaks to the daemon's
+// default namespace, exactly as before namespaces existed.
 type Remote struct {
 	mu         sync.Mutex
 	conn       net.Conn
 	r          *bufio.Reader
 	w          *bufio.Writer
 	info       wire.Info
+	name       string // current namespace (DefaultNamespace until Open)
 	roundTrips int64
 	maxFrame   int // frame budget for batch splitting; wire.MaxFrame outside tests
 }
 
-// Dial connects to a block server at addr ("host:port") and performs the
-// info handshake.
-func Dial(addr string) (*Remote, error) {
+// dialRaw opens the TCP connection without any handshake.
+func dialRaw(addr string) (*Remote, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("store: dialing %s: %w", addr, err)
 	}
-	rs := &Remote{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), maxFrame: wire.MaxFrame}
+	return &Remote{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), maxFrame: wire.MaxFrame}, nil
+}
+
+// Dial connects to a block server at addr ("host:port") and performs the
+// info handshake against the daemon's default namespace.
+func Dial(addr string) (*Remote, error) {
+	rs, err := dialRaw(addr)
+	if err != nil {
+		return nil, err
+	}
 	resp, err := rs.roundTrip(wire.Frame{Type: wire.MsgInfoReq}, wire.MsgInfoResp)
 	if err != nil {
-		conn.Close()
+		rs.conn.Close()
 		return nil, err
 	}
 	info, err := wire.DecodeInfo(resp.Payload)
 	if err != nil {
-		conn.Close()
+		rs.conn.Close()
 		return nil, err
 	}
 	// A hostile or broken server must not be able to poison later
 	// arithmetic (batch chunk sizing divides by the block size).
 	if info.BlockSize == 0 || info.Size == 0 {
-		conn.Close()
+		rs.conn.Close()
 		return nil, fmt.Errorf("store: server reported invalid shape (%d slots × %d B)", info.Size, info.BlockSize)
 	}
 	rs.info = info
 	return rs, nil
+}
+
+// DialNamespace connects to a block server and opens the named namespace —
+// the multi-tenant handshake. The open request is the handshake (no
+// MsgInfoReq is sent), so it works against daemons that host no default
+// namespace at all. Slots and blockSize are the shape a freshly created
+// namespace should have; pass zeros to accept whatever shape the server
+// already holds (or defaults to) for that name.
+func DialNamespace(addr, name string, slots, blockSize int) (*Remote, error) {
+	rs, err := dialRaw(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := rs.Open(name, slots, blockSize); err != nil {
+		rs.conn.Close()
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Open switches this connection to the named namespace, creating it
+// server-side when the daemon permits. Zero slots/blockSize defer the
+// shape to the server. Concurrent operations issued while an Open is in
+// flight may land in either namespace; callers that share a Remote across
+// goroutines should open before fanning out (Pool does).
+func (rs *Remote) Open(name string, slots, blockSize int) error {
+	if slots < 0 || blockSize < 0 {
+		return fmt.Errorf("store: invalid namespace shape %d × %d", slots, blockSize)
+	}
+	req, err := wire.EncodeOpenReq(wire.OpenReq{Name: name, Slots: uint64(slots), BlockSize: uint32(blockSize)})
+	if err != nil {
+		return err
+	}
+	resp, err := rs.roundTrip(req, wire.MsgOpenResp)
+	if err != nil {
+		return err
+	}
+	info, err := wire.DecodeOpenResp(resp.Payload)
+	if err != nil {
+		return err
+	}
+	// Same hostile-shape guard as Dial: later batch chunk sizing divides
+	// by the block size.
+	if info.BlockSize == 0 || info.Size == 0 {
+		return fmt.Errorf("store: server reported invalid shape for %q (%d slots × %d B)", name, info.Size, info.BlockSize)
+	}
+	rs.mu.Lock()
+	rs.info = info
+	rs.name = name
+	rs.mu.Unlock()
+	return nil
+}
+
+// Namespace returns the namespace this connection currently speaks to.
+func (rs *Remote) Namespace() string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.name
+}
+
+// shape returns the current namespace's store shape.
+func (rs *Remote) shape() wire.Info {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.info
 }
 
 func (rs *Remote) roundTrip(req wire.Frame, want byte) (wire.Frame, error) {
@@ -103,8 +180,8 @@ func (rs *Remote) Upload(addr int, b block.Block) error {
 // readChunk returns the largest address count whose MsgReadBatchReq and
 // MsgReadBatchResp both still fit one frame (for tiny blocks the 8-byte
 // request addresses, not the response blocks, are the binding constraint).
-func (rs *Remote) readChunk() int {
-	n := (rs.maxFrame - 4) / int(rs.info.BlockSize)
+func (rs *Remote) readChunk(blockSize int) int {
+	n := (rs.maxFrame - 4) / blockSize
 	if req := (rs.maxFrame - 4) / 8; req < n {
 		n = req
 	}
@@ -116,8 +193,8 @@ func (rs *Remote) readChunk() int {
 
 // writeChunk returns the largest op count whose MsgWriteBatchReq still fits
 // one frame.
-func (rs *Remote) writeChunk() int {
-	n := (rs.maxFrame - 4) / (8 + int(rs.info.BlockSize))
+func (rs *Remote) writeChunk(blockSize int) int {
+	n := (rs.maxFrame - 4) / (8 + blockSize)
 	if n < 1 {
 		n = 1
 	}
@@ -131,7 +208,8 @@ func (rs *Remote) ReadBatch(addrs []int) ([]block.Block, error) {
 		return nil, nil
 	}
 	out := make([]block.Block, 0, len(addrs))
-	chunk := rs.readChunk()
+	blockSize := int(rs.shape().BlockSize)
+	chunk := rs.readChunk(blockSize)
 	for start := 0; start < len(addrs); start += chunk {
 		end := start + chunk
 		if end > len(addrs) {
@@ -151,8 +229,8 @@ func (rs *Remote) ReadBatch(addrs []int) ([]block.Block, error) {
 		// The decoder guarantees uniform sizes, so checking one block pins
 		// them all: a hostile server must not be able to hand short blocks
 		// to callers that index to BlockSize().
-		if len(blocks[0]) != int(rs.info.BlockSize) {
-			return nil, fmt.Errorf("store: read batch returned %d B blocks, want %d", len(blocks[0]), rs.info.BlockSize)
+		if len(blocks[0]) != blockSize {
+			return nil, fmt.Errorf("store: read batch returned %d B blocks, want %d", len(blocks[0]), blockSize)
 		}
 		// Copy out of the frame payload: the decoded slices all alias one
 		// chunk-sized buffer, and handing them out directly would let a
@@ -173,12 +251,13 @@ func (rs *Remote) WriteBatch(ops []WriteOp) error {
 	// The batch frame layout relies on uniform block sizes; a ragged op
 	// would silently mis-frame on the wire, so fail it here exactly as the
 	// server would fail the per-block upload.
+	blockSize := int(rs.shape().BlockSize)
 	for _, op := range ops {
-		if len(op.Block) != int(rs.info.BlockSize) {
-			return fmt.Errorf("%w: got %d want %d", block.ErrSize, len(op.Block), rs.info.BlockSize)
+		if len(op.Block) != blockSize {
+			return fmt.Errorf("%w: got %d want %d", block.ErrSize, len(op.Block), blockSize)
 		}
 	}
-	chunk := rs.writeChunk()
+	chunk := rs.writeChunk(blockSize)
 	prealloc := chunk
 	if prealloc > len(ops) {
 		prealloc = len(ops)
@@ -203,10 +282,10 @@ func (rs *Remote) WriteBatch(ops []WriteOp) error {
 }
 
 // Size implements Server.
-func (rs *Remote) Size() int { return int(rs.info.Size) }
+func (rs *Remote) Size() int { return int(rs.shape().Size) }
 
 // BlockSize implements Server.
-func (rs *Remote) BlockSize() int { return int(rs.info.BlockSize) }
+func (rs *Remote) BlockSize() int { return int(rs.shape().BlockSize) }
 
 // Close closes the connection.
 func (rs *Remote) Close() error { return rs.conn.Close() }
@@ -215,31 +294,40 @@ func (rs *Remote) Close() error { return rs.conn.Close() }
 // backing until ln is closed. Each connection is handled on its own
 // goroutine; backing must be safe for concurrent use (all Servers in this
 // package are). Batch requests execute through backing's native
-// BatchServer implementation when it has one, so a Mem- or File-backed
-// daemon keeps its single-lock / coalesced-I/O fast path end to end. Serve
-// returns the listener's accept error, which is net.ErrClosed after a
-// clean shutdown.
+// BatchServer implementation when it has one, so a Mem-, File- or
+// Sharded-backed daemon keeps its single-lock / coalesced-I/O /
+// parallel-shard fast path end to end. Serve is the single-tenant form of
+// ServeNamespaces: backing becomes the default namespace, so pre-namespace
+// clients are served unchanged, and open requests for other names are
+// rejected (no factory is installed). Serve returns the listener's accept
+// error, which is net.ErrClosed after a clean shutdown.
 func Serve(ln net.Listener, backing Server) error {
-	batch := AsBatch(backing)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		go serveConn(conn, batch)
-	}
+	ns := NewNamespaces()
+	ns.Attach(DefaultNamespace, backing)
+	return ServeNamespaces(ln, ns)
 }
 
-func serveConn(conn net.Conn, backing BatchServer) {
+func serveConn(conn net.Conn, ns *Namespaces) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// The connection's current namespace; nil until an open succeeds when
+	// the daemon has no default.
+	cur, _ := ns.Get(DefaultNamespace)
 	for {
 		req, err := wire.ReadFrame(r)
 		if err != nil {
 			return // EOF or broken peer: drop the connection
 		}
-		resp := handle(req, backing)
+		var resp wire.Frame
+		switch {
+		case req.Type == wire.MsgOpenReq:
+			resp, cur = handleOpen(req, ns, cur)
+		case cur == nil:
+			resp = wire.EncodeError("no namespace selected (send an open request first)")
+		default:
+			resp = handle(req, cur)
+		}
 		if err := wire.WriteFrame(w, resp); err != nil {
 			return
 		}
@@ -247,6 +335,29 @@ func serveConn(conn net.Conn, backing BatchServer) {
 			return
 		}
 	}
+}
+
+// handleOpen resolves an open request against the registry. On success the
+// connection's current namespace switches to the opened one; on failure it
+// stays where it was (the client's session is not torn down by a rejected
+// open).
+func handleOpen(req wire.Frame, ns *Namespaces, cur BatchServer) (wire.Frame, BatchServer) {
+	open, err := wire.DecodeOpenReq(req.Payload)
+	if err != nil {
+		return wire.EncodeError(err.Error()), cur
+	}
+	if open.Slots > uint64(int(^uint(0)>>1)) {
+		return wire.EncodeError("requested slot count overflows the server"), cur
+	}
+	backend, err := ns.Open(open.Name, int(open.Slots), int(open.BlockSize))
+	if err != nil {
+		return wire.EncodeError(err.Error()), cur
+	}
+	resp := wire.EncodeOpenResp(wire.Info{
+		Size:      uint64(backend.Size()),
+		BlockSize: uint32(backend.BlockSize()),
+	})
+	return resp, backend
 }
 
 func handle(req wire.Frame, backing BatchServer) wire.Frame {

@@ -1,0 +1,248 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dpstore/internal/block"
+)
+
+func TestShardSlotsPartition(t *testing.T) {
+	for _, n := range []int{1, 7, 16, 1000} {
+		for k := 1; k <= n && k <= 20; k++ {
+			sum := 0
+			for i := 0; i < k; i++ {
+				sum += ShardSlots(n, k, i)
+			}
+			if sum != n {
+				t.Fatalf("ShardSlots(%d, %d, ·) sums to %d, want %d", n, k, sum, n)
+			}
+		}
+	}
+}
+
+func TestShardedMatchesMem(t *testing.T) {
+	const n, bs = 103, 16 // odd size: shards differ in length
+	for _, k := range []int{1, 2, 4, 7, 16} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			ref, err := NewMem(n, bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := NewShardedMem(n, bs, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sh.Size() != n || sh.BlockSize() != bs || sh.Shards() != k {
+				t.Fatalf("shape = (%d, %d, %d), want (%d, %d, %d)",
+					sh.Size(), sh.BlockSize(), sh.Shards(), n, bs, k)
+			}
+			rng := rand.New(rand.NewSource(int64(k)))
+			// Interleave per-op and batched traffic on both servers and
+			// demand bit-identical behavior throughout.
+			for iter := 0; iter < 200; iter++ {
+				switch rng.Intn(4) {
+				case 0:
+					a := rng.Intn(n)
+					b := block.Pattern(uint64(rng.Int63()), bs)
+					if err := ref.Upload(a, b); err != nil {
+						t.Fatal(err)
+					}
+					if err := sh.Upload(a, b); err != nil {
+						t.Fatal(err)
+					}
+				case 1:
+					a := rng.Intn(n)
+					want, err := ref.Download(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sh.Download(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("Download(%d) mismatch", a)
+					}
+				case 2:
+					ops := make([]WriteOp, rng.Intn(32))
+					for i := range ops {
+						// Duplicates included: last-write-wins must hold.
+						ops[i] = WriteOp{Addr: rng.Intn(n), Block: block.Pattern(uint64(rng.Int63()), bs)}
+					}
+					if err := ref.WriteBatch(ops); err != nil {
+						t.Fatal(err)
+					}
+					if err := sh.WriteBatch(ops); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					addrs := make([]int, rng.Intn(40))
+					for i := range addrs {
+						addrs[i] = rng.Intn(n)
+					}
+					want, err := ref.ReadBatch(addrs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sh.ReadBatch(addrs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range addrs {
+						if !got[i].Equal(want[i]) {
+							t.Fatalf("ReadBatch pos %d (addr %d) mismatch", i, addrs[i])
+						}
+					}
+				}
+			}
+			// Full sweep: every logical slot identical.
+			for a := 0; a < n; a++ {
+				want, _ := ref.Download(a)
+				got, err := sh.Download(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("final sweep: slot %d mismatch", a)
+				}
+			}
+		})
+	}
+}
+
+func TestShardedRejectsBadShapes(t *testing.T) {
+	if _, err := NewShardedMem(8, 16, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewShardedMem(3, 16, 4); err == nil {
+		t.Error("n<k accepted")
+	}
+	if _, err := NewSharded(nil); err == nil {
+		t.Error("no shards accepted")
+	}
+	a, _ := NewMem(4, 16)
+	b, _ := NewMem(4, 32)
+	if _, err := NewSharded([]Server{a, b}); err == nil {
+		t.Error("mismatched block sizes accepted")
+	}
+	// 4+4 slots striped over 2 shards is fine; 5+3 is not a round-robin
+	// layout.
+	c, _ := NewMem(5, 16)
+	d, _ := NewMem(3, 16)
+	if _, err := NewSharded([]Server{c, d}); err == nil {
+		t.Error("non-striped shard sizes accepted")
+	}
+}
+
+func TestShardedErrorPaths(t *testing.T) {
+	s, err := NewShardedMem(10, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Download(10); !errors.Is(err, ErrAddr) {
+		t.Errorf("Download(10) err = %v, want ErrAddr", err)
+	}
+	if err := s.Upload(-1, block.New(8)); !errors.Is(err, ErrAddr) {
+		t.Errorf("Upload(-1) err = %v, want ErrAddr", err)
+	}
+	if _, err := s.ReadBatch([]int{0, 3, 11}); !errors.Is(err, ErrAddr) {
+		t.Errorf("ReadBatch err = %v, want ErrAddr", err)
+	}
+	if err := s.WriteBatch([]WriteOp{{Addr: 1, Block: block.New(4)}}); !errors.Is(err, block.ErrSize) {
+		t.Errorf("WriteBatch short block err = %v, want ErrSize", err)
+	}
+	// A rejected batch must leave the store untouched (validated before any
+	// shard is written).
+	if err := s.Upload(2, block.Pattern(7, 8)); err != nil {
+		t.Fatal(err)
+	}
+	err = s.WriteBatch([]WriteOp{
+		{Addr: 2, Block: block.New(8)},
+		{Addr: 99, Block: block.New(8)},
+	})
+	if !errors.Is(err, ErrAddr) {
+		t.Fatalf("mixed batch err = %v, want ErrAddr", err)
+	}
+	got, err := s.Download(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !block.CheckPattern(got, 7) {
+		t.Error("rejected WriteBatch modified the store")
+	}
+	// Empty batches are no-ops.
+	if out, err := s.ReadBatch(nil); err != nil || out != nil {
+		t.Errorf("empty ReadBatch = (%v, %v), want (nil, nil)", out, err)
+	}
+	if err := s.WriteBatch(nil); err != nil {
+		t.Errorf("empty WriteBatch err = %v", err)
+	}
+}
+
+// TestShardedConcurrentClients hammers one sharded store from many
+// goroutines with disjoint per-client address sets and checks bit-exact
+// read-your-writes under -race.
+func TestShardedConcurrentClients(t *testing.T) {
+	const n, bs, clients, iters = 257, 16, 8, 60
+	s, err := NewShardedMem(n, bs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			mine := make([]int, 0, n/clients+1)
+			for a := c; a < n; a += clients {
+				mine = append(mine, a)
+			}
+			last := make(map[int]uint64)
+			for i := 0; i < iters; i++ {
+				ops := make([]WriteOp, 0, len(mine))
+				for _, a := range mine {
+					id := uint64(c)<<32 | uint64(i)<<16 | uint64(a)
+					ops = append(ops, WriteOp{Addr: a, Block: block.Pattern(id, bs)})
+					last[a] = id
+				}
+				if err := s.WriteBatch(ops); err != nil {
+					errs[c] = err
+					return
+				}
+				probe := mine[rng.Intn(len(mine))]
+				got, err := s.Download(probe)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if !block.CheckPattern(got, last[probe]) {
+					errs[c] = fmt.Errorf("client %d: slot %d lost its write", c, probe)
+					return
+				}
+				blocks, err := s.ReadBatch(mine)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				for j, a := range mine {
+					if !block.CheckPattern(blocks[j], last[a]) {
+						errs[c] = fmt.Errorf("client %d: batch read of slot %d stale", c, a)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

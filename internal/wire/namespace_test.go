@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestOpenReqRoundTrip(t *testing.T) {
+	cases := []OpenReq{
+		{},
+		{Name: "tenant-7", Slots: 1 << 20, BlockSize: 112},
+		{Name: strings.Repeat("n", MaxNamespaceName), Slots: 1, BlockSize: 1},
+	}
+	for _, want := range cases {
+		f, err := EncodeOpenReq(want)
+		if err != nil {
+			t.Fatalf("EncodeOpenReq(%+v): %v", want, err)
+		}
+		if f.Type != MsgOpenReq {
+			t.Fatalf("frame type = %d, want MsgOpenReq", f.Type)
+		}
+		got, err := DecodeOpenReq(f.Payload)
+		if err != nil {
+			t.Fatalf("DecodeOpenReq: %v", err)
+		}
+		if got != want {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestOpenReqNameTooLong(t *testing.T) {
+	_, err := EncodeOpenReq(OpenReq{Name: strings.Repeat("x", MaxNamespaceName+1)})
+	if !errors.Is(err, ErrName) {
+		t.Fatalf("err = %v, want ErrName", err)
+	}
+}
+
+func TestOpenReqDecodeRejectsMalformed(t *testing.T) {
+	good, err := EncodeOpenReq(OpenReq{Name: "abc", Slots: 9, BlockSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short header":   {0, 1},
+		"truncated tail": good.Payload[:len(good.Payload)-1],
+		"trailing bytes": append(append([]byte{}, good.Payload...), 0),
+		// A forged name length must not let the name swallow the shape
+		// fields (or vice versa).
+		"forged nameLen larger":  forgeNameLen(good.Payload, 4),
+		"forged nameLen smaller": forgeNameLen(good.Payload, 2),
+		"forged nameLen huge":    forgeNameLen(good.Payload, 0xffff),
+	}
+	for name, p := range cases {
+		if _, err := DecodeOpenReq(p); err == nil {
+			t.Errorf("%s: decoded malformed payload without error", name)
+		}
+	}
+}
+
+func forgeNameLen(p []byte, n uint16) []byte {
+	q := append([]byte{}, p...)
+	binary.BigEndian.PutUint16(q[:2], n)
+	return q
+}
+
+func TestOpenRespRoundTrip(t *testing.T) {
+	want := Info{Size: 4096, BlockSize: 64}
+	f := EncodeOpenResp(want)
+	if f.Type != MsgOpenResp {
+		t.Fatalf("frame type = %d, want MsgOpenResp", f.Type)
+	}
+	got, err := DecodeOpenResp(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+	if _, err := DecodeOpenResp([]byte{1, 2, 3}); err == nil {
+		t.Fatal("decoded short open response without error")
+	}
+}

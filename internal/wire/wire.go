@@ -23,6 +23,8 @@
 //	MsgReadBatchResp  count uint32 ‖ count × block bytes (uniform size)
 //	MsgWriteBatchReq  count uint32 ‖ count × (addr uint64 ‖ block bytes)
 //	MsgWriteBatchResp (empty)
+//	MsgOpenReq        nameLen uint16 ‖ name bytes ‖ slots uint64 ‖ blockSize uint32
+//	MsgOpenResp       slots uint64 ‖ blockSize uint32
 //
 // The batch frames carry the multi-block operations of store.BatchServer:
 // one frame per direction replaces count individual round trips. Because a
@@ -32,6 +34,16 @@
 // transcript, not its content. Block sizes within a batch are uniform (the
 // store is an array of equal slots), so counts fully determine the layout
 // and no per-entry length prefixes are needed.
+//
+// MsgOpenReq/MsgOpenResp select a named namespace (an independent block
+// store hosted by the same daemon) for all subsequent frames on the
+// connection. A client that never sends MsgOpenReq speaks to the daemon's
+// default namespace, so the pre-namespace handshake (MsgInfoReq alone)
+// remains a valid complete session: the protocol is backward compatible
+// with single-store clients. The requested slots/blockSize pair is the
+// shape the client wants a freshly created namespace to have; zero means
+// "whatever the server already has (or defaults to)". The response carries
+// the namespace's actual shape, exactly like MsgInfoResp.
 package wire
 
 import (
@@ -54,7 +66,14 @@ const (
 	MsgReadBatchResp
 	MsgWriteBatchReq
 	MsgWriteBatchResp
+	MsgOpenReq
+	MsgOpenResp
 )
+
+// MaxNamespaceName bounds the length of a namespace name on the wire. Names
+// are identifiers, not payloads; the cap keeps a hostile peer from smuggling
+// megabytes into what servers may log or key maps by.
+const MaxNamespaceName = 255
 
 // MaxFrame bounds accepted payload sizes to keep a malicious peer from
 // forcing huge allocations. 16 MiB is far above any realistic block size.
@@ -289,6 +308,77 @@ func DecodeWriteBatchReq(p []byte) ([]int, [][]byte, error) {
 		blocks[i] = e[8:]
 	}
 	return addrs, blocks, nil
+}
+
+// --- namespace frames --------------------------------------------------------
+
+// ErrName reports an invalid namespace name on the wire.
+var ErrName = errors.New("wire: invalid namespace name")
+
+// OpenReq is the decoded MsgOpenReq payload: select (and, where the server
+// permits, create) the named namespace. Slots and BlockSize are the shape
+// the client wants a new namespace to have; zero means "use the server's
+// existing shape or defaults".
+type OpenReq struct {
+	Name      string
+	Slots     uint64
+	BlockSize uint32
+}
+
+// EncodeOpenReq builds a MsgOpenReq frame. The name must be at most
+// MaxNamespaceName bytes.
+func EncodeOpenReq(req OpenReq) (Frame, error) {
+	if len(req.Name) > MaxNamespaceName {
+		return Frame{}, fmt.Errorf("%w: %d bytes exceeds the %d-byte cap", ErrName, len(req.Name), MaxNamespaceName)
+	}
+	p := make([]byte, 2+len(req.Name)+12)
+	binary.BigEndian.PutUint16(p[:2], uint16(len(req.Name)))
+	copy(p[2:], req.Name)
+	tail := p[2+len(req.Name):]
+	binary.BigEndian.PutUint64(tail[:8], req.Slots)
+	binary.BigEndian.PutUint32(tail[8:12], req.BlockSize)
+	return Frame{Type: MsgOpenReq, Payload: p}, nil
+}
+
+// DecodeOpenReq parses a MsgOpenReq payload. The declared name length must
+// account for the payload exactly — trailing or missing bytes are rejected,
+// so a forged length can neither truncate the shape fields nor alias them
+// into the name.
+func DecodeOpenReq(p []byte) (OpenReq, error) {
+	if len(p) < 2+12 {
+		return OpenReq{}, fmt.Errorf("%w: open request %d bytes", ErrShortPayload, len(p))
+	}
+	nameLen := int(binary.BigEndian.Uint16(p[:2]))
+	if nameLen > MaxNamespaceName {
+		return OpenReq{}, fmt.Errorf("%w: %d bytes exceeds the %d-byte cap", ErrName, nameLen, MaxNamespaceName)
+	}
+	if len(p) != 2+nameLen+12 {
+		return OpenReq{}, fmt.Errorf("%w: name length %d in %d payload bytes", ErrBatchShape, nameLen, len(p))
+	}
+	tail := p[2+nameLen:]
+	return OpenReq{
+		Name:      string(p[2 : 2+nameLen]),
+		Slots:     binary.BigEndian.Uint64(tail[:8]),
+		BlockSize: binary.BigEndian.Uint32(tail[8:12]),
+	}, nil
+}
+
+// EncodeOpenResp builds a MsgOpenResp frame carrying the opened namespace's
+// actual shape (the MsgInfoResp layout under a distinct type tag, so a
+// pipelined client can never confuse the two handshakes).
+func EncodeOpenResp(info Info) Frame {
+	f := EncodeInfo(info)
+	f.Type = MsgOpenResp
+	return f
+}
+
+// DecodeOpenResp parses a MsgOpenResp payload.
+func DecodeOpenResp(p []byte) (Info, error) {
+	info, err := DecodeInfo(p)
+	if err != nil {
+		return Info{}, fmt.Errorf("open response: %w", err)
+	}
+	return info, nil
 }
 
 // EncodeError builds a MsgError frame.
