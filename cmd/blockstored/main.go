@@ -21,12 +21,21 @@
 //     independent address space with its own locks. The flag-configured
 //     store remains the default namespace, so pre-namespace clients work
 //     unchanged.
+//   - -proxy dpram|pathoram turns the daemon into a privacy *proxy*: it
+//     hosts the named scheme over the flag-configured backing store and
+//     serves logical record accesses (MsgAccessReq) to any number of
+//     concurrent clients, scheduled obliviously by internal/proxy. In
+//     this mode -slots and -blocksize describe the LOGICAL database
+//     (records × record bytes); the physical store shape is derived from
+//     the scheme, and block frames are rejected — clients never see
+//     physical addresses at all, the CAOS deployment shape.
 //
 // Usage:
 //
 //	blockstored -addr :9045 -slots 65536 -blocksize 112
 //	blockstored -addr :9045 -slots 65536 -blocksize 112 -file /var/lib/blocks.dat
 //	blockstored -addr :9045 -slots 65536 -blocksize 112 -shards 16 -namespaces 64
+//	blockstored -addr :9045 -slots 4096 -blocksize 64 -proxy dpram
 package main
 
 import (
@@ -36,6 +45,11 @@ import (
 	"net"
 	"os"
 
+	"dpstore/internal/baseline/pathoram"
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/proxy"
+	"dpstore/internal/rng"
 	"dpstore/internal/store"
 )
 
@@ -48,10 +62,29 @@ func main() {
 		shards     = flag.Int("shards", 1, "stripe each store over this many independently locked sub-stores")
 		namespaces = flag.Int("namespaces", 0, "max client-created in-memory namespaces (0 disables the open-to-create path)")
 		maxBytes   = flag.Int64("maxbytes", 1<<30, "per-namespace byte budget for client-requested shapes")
+		proxyMode  = flag.String("proxy", "", "serve a privacy proxy over the backing store: dpram or pathoram (empty = plain block server; -slots/-blocksize then describe the logical database)")
+		seed       = flag.Int64("seed", 1, "scheme coin seed in -proxy mode (deterministic for reproducible experiments)")
 	)
 	flag.Parse()
 	if *shards < 1 {
 		log.Fatalf("blockstored: -shards %d must be ≥ 1", *shards)
+	}
+
+	if *proxyMode != "" {
+		p, desc, err := openProxy(*proxyMode, *file, *slots, *blockSize, *shards, *seed)
+		if err != nil {
+			log.Fatalf("blockstored: %v", err)
+		}
+		log.Printf("blockstored: proxy namespace: %s", desc)
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatalf("blockstored: listen: %v", err)
+		}
+		log.Printf("blockstored: serving logical accesses on %s", ln.Addr())
+		if err := proxy.Serve(ln, p); err != nil {
+			log.Fatalf("blockstored: %v", err)
+		}
+		return
 	}
 
 	backing, desc, err := openBacking(*file, *slots, *blockSize, *shards)
@@ -155,6 +188,48 @@ func openBacking(file string, slots, blockSize, shards int) (store.Server, strin
 		return nil, "", err
 	}
 	return s, fmt.Sprintf("%d slots × %d B on disk striped over %d files at %s.shard*", slots, blockSize, shards, file), nil
+}
+
+// openProxy builds the -proxy deployment: a zeroed logical database of
+// `records` × `recordSize`, the scheme's physical store derived from it
+// (in memory, on disk, sharded — same flags as block mode), a write-behind
+// pipeline underneath, and the proxy scheduler on top.
+func openProxy(mode, file string, records, recordSize, shards int, seed int64) (*proxy.Proxy, string, error) {
+	db, err := block.NewDatabase(records, recordSize)
+	if err != nil {
+		return nil, "", fmt.Errorf("proxy database: %w", err)
+	}
+	var slots, physBS int
+	oramOpts := pathoram.Options{Rand: rng.New(seed)}
+	ramOpts := dpram.Options{Rand: rng.New(seed)}
+	switch mode {
+	case "dpram":
+		slots, physBS = records, dpram.ServerBlockSize(recordSize, ramOpts)
+	case "pathoram":
+		slots, physBS = pathoram.TreeShape(records, recordSize, oramOpts)
+	default:
+		return nil, "", fmt.Errorf("unknown -proxy scheme %q (want dpram or pathoram)", mode)
+	}
+	backing, desc, err := openBacking(file, slots, physBS, shards)
+	if err != nil {
+		return nil, "", err
+	}
+	pipe := proxy.NewPipeline(store.AsBatch(backing))
+	var scheme proxy.Scheme
+	switch mode {
+	case "dpram":
+		scheme, err = dpram.Setup(db, pipe, ramOpts)
+	case "pathoram":
+		scheme, err = pathoram.Setup(db, pipe, oramOpts)
+	}
+	if err != nil {
+		return nil, "", fmt.Errorf("%s setup: %w", mode, err)
+	}
+	p := proxy.New(scheme, proxy.Options{Pipeline: pipe})
+	if err := p.Flush(); err != nil {
+		return nil, "", fmt.Errorf("%s setup flush: %w", mode, err)
+	}
+	return p, fmt.Sprintf("%s over %d records × %d B (backing: %s)", mode, records, recordSize, desc), nil
 }
 
 func openOrCreate(path string, slots, blockSize int) (*store.File, error) {

@@ -34,6 +34,7 @@ import (
 	"dpstore/internal/core/twochoice"
 	"dpstore/internal/crypto"
 	"dpstore/internal/privacy"
+	"dpstore/internal/proxy"
 	"dpstore/internal/rng"
 	"dpstore/internal/store"
 )
@@ -93,8 +94,14 @@ type ShardedServer = store.Sharded
 type ServerPool = store.Pool
 
 // Namespaces is a registry of named block stores hosted by one daemon —
-// the multi-tenant serving surface of ServeBlockNamespaces.
+// the multi-tenant serving surface of ServeBlockNamespaces. A namespace
+// may instead be proxy-backed (AttachAccessor): clients then speak only
+// logical record accesses and never see the physical store.
 type Namespaces = store.Namespaces
+
+// Accessor is a logical record-access endpoint — the serving surface of a
+// privacy Proxy hosted as a namespace.
+type Accessor = store.Accessor
 
 // DefaultNamespace is the namespace pre-namespace clients speak to.
 const DefaultNamespace = store.DefaultNamespace
@@ -139,6 +146,58 @@ func ServeBlocks(ln net.Listener, backing Server) error { return store.Serve(ln,
 // registry — the embeddable form of a multi-tenant blockstored.
 func ServeBlockNamespaces(ln net.Listener, ns *Namespaces) error {
 	return store.ServeNamespaces(ln, ns)
+}
+
+// --- privacy proxy -------------------------------------------------------------
+
+// Proxy is the concurrent multi-client serving layer: N clients share one
+// privacy-scheme instance (DP-RAM, Path ORAM, …) through a scheduler that
+// serializes scheme-state mutations, pipelines storage round trips, and —
+// critically — issues one real access per request with no same-address
+// dedup, so the backing-store trace never leaks which logical requests
+// collide.
+type Proxy = proxy.Proxy
+
+// ProxyOptions configures a Proxy.
+type ProxyOptions = proxy.Options
+
+// ProxyScheme is the single-client construction a Proxy serves; *DPRAM
+// and the Path ORAM baseline satisfy it unmodified.
+type ProxyScheme = proxy.Scheme
+
+// ProxySession is one client's metered handle on a shared Proxy.
+type ProxySession = proxy.Session
+
+// ProxyPipeline is the write-behind storage stage that overlaps one
+// access's writes with the next access's reads (real wall-clock overlap
+// over a ServerPool).
+type ProxyPipeline = proxy.Pipeline
+
+// ProxyClient is the wire client for a proxy-backed namespace: logical
+// record reads/writes in one round trip each, physical addresses never
+// visible.
+type ProxyClient = proxy.Client
+
+// NewProxy starts a proxy serving scheme; the scheme must not be used
+// directly afterwards.
+func NewProxy(scheme ProxyScheme, opts ProxyOptions) *Proxy { return proxy.New(scheme, opts) }
+
+// NewProxyPipeline wraps a backing store with the write-behind stage; set
+// up the scheme over the returned pipeline and pass it to NewProxy via
+// ProxyOptions.Pipeline.
+func NewProxyPipeline(inner BatchServer) *ProxyPipeline { return proxy.NewPipeline(inner) }
+
+// ServeProxy serves p as the default namespace of a wire daemon on ln —
+// the embeddable form of `blockstored -proxy`.
+func ServeProxy(ln net.Listener, p *Proxy) error { return proxy.Serve(ln, p) }
+
+// DialProxy connects to a proxy daemon's default namespace.
+func DialProxy(addr string) (*ProxyClient, error) { return proxy.Dial(addr) }
+
+// DialProxyNamespace connects to a multi-tenant daemon and opens the
+// named proxy-backed namespace.
+func DialProxyNamespace(addr, name string) (*ProxyClient, error) {
+	return proxy.DialNamespace(addr, name)
 }
 
 // --- randomness and keys -------------------------------------------------------

@@ -1,0 +1,106 @@
+// Command proxy demonstrates the concurrent multi-client privacy proxy:
+// one DP-RAM instance, hosted behind a daemon, serving many wire clients
+// at once.
+//
+// The deployment shape (CAOS-style): the daemon is the *trusted* proxy —
+// it holds the scheme's stash and keys — while the backing block store
+// underneath it is the untrusted party of the paper's model. Clients
+// speak logical record accesses over TCP; the proxy's scheduler turns
+// them into one scheme access each, in arrival order, with no
+// same-address deduplication (deduping would leak which clients are
+// after the same record), and its write-behind pipeline overlaps each
+// access's overwrite round trip with the next access's read.
+//
+// Run it: go run ./examples/proxy
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"dpstore"
+)
+
+const (
+	records    = 1 << 10
+	recordSize = 64
+	clients    = 8
+	perClient  = 32
+)
+
+func main() {
+	// --- daemon side: scheme over a pipelined backing store ------------
+	db, err := dpstore.NewDatabase(records, recordSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := dpstore.DPRAMOptions{Rand: dpstore.NewRand(42)}
+	backing, err := dpstore.NewShardedMemServer(records, dpstore.DPRAMServerBlockSize(recordSize, opts), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe := dpstore.NewProxyPipeline(backing)
+	scheme, err := dpstore.SetupDPRAM(db, pipe, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := dpstore.NewProxy(scheme, dpstore.ProxyOptions{Pipeline: pipe})
+	defer p.Close() //nolint:errcheck
+	if err := p.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go dpstore.ServeProxy(ln, p) //nolint:errcheck
+	addr := ln.Addr().String()
+	fmt.Printf("proxy daemon: DP-RAM over %d records × %d B at %s\n", records, recordSize, addr)
+
+	// --- client side: concurrent wire sessions -------------------------
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := dpstore.DialProxy(addr)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer conn.Close()
+			base := c * (records / clients)
+			for i := 0; i < perClient; i++ {
+				rec := dpstore.NewBlock(recordSize)
+				copy(rec, fmt.Sprintf("client %d note %d", c, i))
+				if _, err := conn.Write(base+i, rec); err != nil {
+					errs[c] = err
+					return
+				}
+				got, err := conn.Read(base + i)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if string(got[:len(rec)]) != string(rec) {
+					errs[c] = fmt.Errorf("client %d: record %d came back wrong", c, base+i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%d clients × %d accesses served through one scheme instance (%d total)\n",
+		clients, 2*perClient, p.Accesses())
+	fmt.Println("every write read back correctly; physical addresses never crossed the wire")
+}

@@ -279,6 +279,9 @@ func (o *ORAM) trackStash() {
 // N returns the number of logical records.
 func (o *ORAM) N() int { return o.n }
 
+// RecordSize returns the plaintext record size in bytes.
+func (o *ORAM) RecordSize() int { return o.plainSize }
+
 // Z returns the bucket size.
 func (o *ORAM) Z() int { return o.z }
 

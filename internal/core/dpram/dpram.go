@@ -208,6 +208,9 @@ func (c *Client) trackStash() {
 // N returns the number of records.
 func (c *Client) N() int { return c.n }
 
+// RecordSize returns the plaintext record size in bytes.
+func (c *Client) RecordSize() int { return c.plainSize }
+
 // StashParam returns the configured C.
 func (c *Client) StashParam() int { return c.c }
 

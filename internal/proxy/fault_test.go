@@ -1,0 +1,230 @@
+package proxy
+
+// Fault injection for the concurrency stack: 16 proxy sessions over a
+// store.Pool to a daemon whose backing store is a store.Faulty — the
+// layering a production deployment degrades through (scheme → pipeline →
+// pool → TCP → injected storage faults). The invariants, extending the
+// fault_test.go patterns of dpram/pathoram up through the proxy:
+//
+//   - a fault surfaces to exactly the session whose request tripped it,
+//     as an error (never a panic, never a foreign session's data);
+//   - scheme state survives transient faults: once the storage heals,
+//     every session's reads return its own last written value;
+//   - transient write faults are absorbed by the pipeline's replay and
+//     never disturb any session at all;
+//   - a permanently dead store poisons the proxy cleanly (errors
+//     everywhere, Close returns).
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+const (
+	faultSessions   = 16
+	faultPerSession = 4
+	faultRecords    = faultSessions * faultPerSession
+	faultRS         = 16
+)
+
+// faultStack builds the full stack over an injected-fault store behind a
+// real daemon: Faulty(Mem) ← TCP ← Pool(4) ← Pipeline ← DP-RAM ← Proxy.
+// Setup costs exactly faultRecords upload ops, so failAt offsets above
+// that land in the access phase.
+func faultStack(t *testing.T, failAt int64, failFrom bool) (*Proxy, *store.Faulty) {
+	t.Helper()
+	mem, err := store.NewMem(faultRecords, crypto.CiphertextSize(faultRS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := store.NewFaulty(mem, failAt, nil)
+	if failFrom {
+		faulty.FailFrom()
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go store.Serve(ln, faulty) //nolint:errcheck
+
+	pool, err := store.DialPool(ln.Addr().String(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+
+	db, err := block.PatternDatabase(faultRecords, faultRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := NewPipeline(pool)
+	scheme, err := dpram.Setup(db, pipe, dpram.Options{Rand: rng.New(11), Key: crypto.KeyFromSeed(11)})
+	if err != nil {
+		t.Fatalf("setup must precede the fault: %v", err)
+	}
+	p := New(scheme, Options{Pipeline: pipe})
+	t.Cleanup(func() { p.Close() }) //nolint:errcheck
+	if err := p.Flush(); err != nil {
+		t.Fatalf("setup flush: %v", err)
+	}
+	return p, faulty
+}
+
+// TestProxyFaultTransient drives the 16 sessions through a transient
+// fault injected at several offsets of the concurrent access phase. A
+// session absorbs errors by retrying (the transport healed by then);
+// afterwards every session must read back exactly its own final values.
+func TestProxyFaultTransient(t *testing.T) {
+	// Setup = faultRecords ops; accesses cost 3 ops each. Offsets probe
+	// the start, middle and end of the storm.
+	for _, offset := range []int64{1, 3, 40, 97, 150} {
+		t.Run(fmt.Sprintf("offset=%d", offset), func(t *testing.T) {
+			p, _ := faultStack(t, int64(faultRecords)+offset, false)
+			var wg sync.WaitGroup
+			errs := make([]error, faultSessions)
+			for s := 0; s < faultSessions; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					sess := p.NewSession()
+					base := s * faultPerSession
+					for i := 0; i < faultPerSession; i++ {
+						want := block.Pattern(uint64(7000+100*s+i), faultRS)
+						if err := retry(func() error {
+							_, err := sess.Write(base+i, want)
+							return err
+						}); err != nil {
+							errs[s] = fmt.Errorf("session %d write %d: %w", s, i, err)
+							return
+						}
+						var got block.Block
+						if err := retry(func() error {
+							var err error
+							got, err = sess.Read(base + i)
+							return err
+						}); err != nil {
+							errs[s] = fmt.Errorf("session %d read %d: %w", s, i, err)
+							return
+						}
+						if !got.Equal(want) {
+							errs[s] = fmt.Errorf("session %d observed foreign or stale data at record %d", s, base+i)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Quiesced: the scheme state must have survived the fault — a
+			// final serial sweep sees every session's last value.
+			if err := p.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < faultSessions; s++ {
+				for i := 0; i < faultPerSession; i++ {
+					got, err := p.Read(s*faultPerSession + i)
+					if err != nil {
+						t.Fatalf("post-fault sweep: %v", err)
+					}
+					if !got.Equal(block.Pattern(uint64(7000+100*s+i), faultRS)) {
+						t.Fatalf("record %d stale after transient fault", s*faultPerSession+i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// retry absorbs a handful of transient errors; the fault schedule in
+// these tests injects a single blip, so a bounded retry always clears.
+func retry(f func() error) error {
+	var err error
+	for attempt := 0; attempt < 8; attempt++ {
+		if err = f(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// TestPipelineAbsorbsTransientWriteFault pins the pipeline's replay
+// semantics in isolation: a write op that fails once is retried until it
+// lands, the scheme never sees the error, and the inner store ends up
+// current.
+func TestPipelineAbsorbsTransientWriteFault(t *testing.T) {
+	mem, err := store.NewMem(8, faultRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := store.NewFaulty(mem, 2, nil) // fail the second op ever
+	pipe := NewPipeline(store.AsBatch(faulty))
+	defer pipe.Close() //nolint:errcheck
+	want := block.Pattern(42, faultRS)
+	if err := pipe.WriteBatch([]store.WriteOp{
+		{Addr: 1, Block: block.Pattern(41, faultRS)},
+		{Addr: 2, Block: want}, // this op trips the fault on the first attempt
+	}); err != nil {
+		t.Fatalf("write-behind surfaced a transient fault: %v", err)
+	}
+	if err := pipe.Flush(); err != nil {
+		t.Fatalf("flush after transient fault: %v", err)
+	}
+	got, err := mem.Download(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("replayed write never landed")
+	}
+}
+
+// TestProxyFaultPermanent kills the store mid-run for good: sessions get
+// errors (not panics, not stale "successes" that vanish), the pipeline
+// poisons itself after its retries, and Close still returns.
+func TestProxyFaultPermanent(t *testing.T) {
+	p, _ := faultStack(t, int64(faultRecords)+20, true)
+	var wg sync.WaitGroup
+	var failures int64
+	var mu sync.Mutex
+	for s := 0; s < faultSessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess := p.NewSession()
+			for i := 0; i < faultPerSession; i++ {
+				if _, err := sess.Read(s % faultRecords); err != nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if failures == 0 {
+		t.Fatal("permanent fault never surfaced to any session")
+	}
+	// Close must drain cleanly even with the store dead; the sticky
+	// pipeline error (if the writer hit the fault) is an acceptable
+	// return, a hang or panic is not.
+	if err := p.Close(); err != nil && !errors.Is(err, ErrPipelineClosed) {
+		t.Logf("close after permanent fault returned (expected) error: %v", err)
+	}
+	if _, err := p.Read(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: err = %v, want ErrClosed", err)
+	}
+}

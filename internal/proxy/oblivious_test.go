@@ -1,0 +1,249 @@
+package proxy
+
+// Obliviousness regression tests: the proxy must not let concurrency
+// change what the backing store sees. Three invariants are pinned, each
+// the one a tempting "optimization" would break:
+//
+//  1. Client-identity independence: permuting WHICH session issues each
+//     request (holding the global arrival order fixed) leaves the
+//     physical trace bit-identical. Per-session caching or affinity would
+//     break this.
+//  2. Workload-shape independence: a maximally colliding (hot-spot)
+//     workload and an all-distinct (uniform) one produce per-request
+//     traces of exactly the same shape and total length. Same-address
+//     deduplication — merging two in-flight requests for one record —
+//     would shorten the hot-spot trace and leak request equality; this
+//     is the test that would have caught it.
+//  3. No dedup under real concurrency: with 16 goroutine sessions racing,
+//     the metered op count is exactly (accesses × ops-per-access),
+//     collisions or not.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dpstore/internal/baseline/pathoram"
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+	"dpstore/internal/trace"
+	"dpstore/internal/workload"
+)
+
+// markingScheme marks a query boundary on the recorder before every
+// access, so the recorded view splits per request.
+type markingScheme struct {
+	Scheme
+	rec *trace.Recorder
+}
+
+func (m markingScheme) Access(q workload.Query) (block.Block, error) {
+	m.rec.Mark()
+	return m.Scheme.Access(q)
+}
+
+// tracedProxy builds the named scheme over a trace-recorded in-memory
+// store and serves it from a strictly serialized proxy (exact trace
+// comparison needs a deterministic operation order, which write-behind
+// deliberately gives up).
+func tracedProxy(t *testing.T, kind string, n, rs int, seed int64) (*Proxy, *trace.Recorder) {
+	t.Helper()
+	db, err := block.PatternDatabase(n, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scheme Scheme
+	var rec *trace.Recorder
+	switch kind {
+	case "dpram":
+		srv, err := store.NewMem(n, crypto.CiphertextSize(rs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec = trace.NewRecorder(srv)
+		scheme, err = dpram.Setup(db, rec, dpram.Options{Rand: rng.New(seed), Key: crypto.KeyFromSeed(uint64(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	case "pathoram":
+		opts := pathoram.Options{Rand: rng.New(seed), Key: crypto.KeyFromSeed(uint64(seed))}
+		slots, bs := pathoram.TreeShape(n, rs, opts)
+		srv, err := store.NewMem(slots, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec = trace.NewRecorder(srv)
+		scheme, err = pathoram.Setup(db, rec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown scheme kind %q", kind)
+	}
+	p := New(markingScheme{Scheme: scheme, rec: rec}, Options{})
+	t.Cleanup(func() { p.Close() }) //nolint:errcheck
+	return p, rec
+}
+
+// fixedRequests derives a deterministic request sequence: indices from the
+// seeded source, ops alternating read/write.
+func fixedRequests(seed int64, n, rs, count int) []workload.Query {
+	src := rng.New(seed + 1000)
+	reqs := make([]workload.Query, count)
+	for t := range reqs {
+		reqs[t] = workload.Query{Index: src.Intn(n), Op: workload.Read}
+		if t%2 == 1 {
+			reqs[t].Op = workload.Write
+			reqs[t].Data = block.Pattern(uint64(t), rs)
+		}
+	}
+	return reqs
+}
+
+// TestProxyTraceInvariantUnderClientPermutation: same requests, same
+// global arrival order, different session attribution — the adversary
+// view must be byte-identical (invariant 1).
+func TestProxyTraceInvariantUnderClientPermutation(t *testing.T) {
+	const n, rs, count, clients = 64, 16, 48, 4
+	assignments := map[string]func(int) int{
+		"round-robin": func(t int) int { return t % clients },
+		"blocked":     func(t int) int { return t / (count / clients) },
+		"reversed":    func(t int) int { return clients - 1 - t%clients },
+	}
+	for _, kind := range []string{"dpram", "pathoram"} {
+		for _, seed := range []int64{1, 2} {
+			reqs := fixedRequests(seed, n, rs, count)
+			var baseline, baselineName string
+			for name, assign := range assignments {
+				p, rec := tracedProxy(t, kind, n, rs, seed)
+				sessions := make([]*Session, clients)
+				for i := range sessions {
+					sessions[i] = p.NewSession()
+				}
+				for i, q := range reqs {
+					if _, err := sessions[assign(i)].Access(q); err != nil {
+						t.Fatalf("%s seed %d %s: request %d: %v", kind, seed, name, i, err)
+					}
+				}
+				key := rec.Transcript().Key()
+				if baseline == "" {
+					baseline, baselineName = key, name
+				} else if key != baseline {
+					t.Fatalf("%s seed %d: trace under %q differs from %q — client identity leaked into the adversary view",
+						kind, seed, name, baselineName)
+				}
+			}
+		}
+	}
+}
+
+// TestProxyTraceShapeHotspotVsUniform: a workload where every request
+// collides on one record and a workload where none do must produce
+// per-request traces of identical shape and identical total length
+// (invariant 2 — the dedup catcher), at two fixed seeds.
+func TestProxyTraceShapeHotspotVsUniform(t *testing.T) {
+	const n, rs, count = 64, 16, 40
+	for _, kind := range []string{"dpram", "pathoram"} {
+		for _, seed := range []int64{3, 4} {
+			run := func(index func(int) int) []trace.Transcript {
+				p, rec := tracedProxy(t, kind, n, rs, seed)
+				sess := p.NewSession()
+				for i := 0; i < count; i++ {
+					q := workload.Query{Index: index(i), Op: workload.Read}
+					if i%2 == 1 {
+						q.Op = workload.Write
+						q.Data = block.Pattern(uint64(i), rs)
+					}
+					if _, err := sess.Access(q); err != nil {
+						t.Fatalf("%s seed %d: request %d: %v", kind, seed, i, err)
+					}
+				}
+				return rec.Queries()
+			}
+			hot := run(func(int) int { return 0 })       // all 40 requests collide
+			uni := run(func(i int) int { return i % n }) // none collide
+			if len(hot) != count || len(uni) != count {
+				t.Fatalf("%s seed %d: recorded %d/%d request traces, want %d", kind, seed, len(hot), len(uni), count)
+			}
+			var hotOps, uniOps int
+			for i := range hot {
+				if hs, us := hot[i].Shape(), uni[i].Shape(); hs != us {
+					t.Fatalf("%s seed %d: request %d shape %q (hot-spot) vs %q (uniform) — the trace shape depends on logical collisions",
+						kind, seed, i, hs, us)
+				}
+				hotOps += len(hot[i])
+				uniOps += len(uni[i])
+			}
+			if hotOps != uniOps {
+				t.Fatalf("%s seed %d: %d total ops under hot-spot vs %d under uniform — dedup-style leak",
+					kind, seed, hotOps, uniOps)
+			}
+		}
+	}
+}
+
+// TestProxyNoDedupUnderConcurrency: 16 racing sessions all hammering the
+// same record must cost exactly as many physical ops as 16 sessions on
+// distinct records (invariant 3, under the pipelined scheduler and -race).
+func TestProxyNoDedupUnderConcurrency(t *testing.T) {
+	const sessions, perSession, n, rs = 16, 6, 64, 16
+	run := func(index func(s int) int) int64 {
+		db, err := block.PatternDatabase(n, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := store.NewMem(n, crypto.CiphertextSize(rs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counting := store.NewCounting(mem)
+		pipe := NewPipeline(counting)
+		scheme, err := dpram.Setup(db, pipe, dpram.Options{Rand: rng.New(9), Key: crypto.KeyFromSeed(9)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := New(scheme, Options{Pipeline: pipe})
+		defer p.Close() //nolint:errcheck
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		counting.Reset()
+
+		var wg sync.WaitGroup
+		errs := make([]error, sessions)
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sess := p.NewSession()
+				for i := 0; i < perSession; i++ {
+					if _, err := sess.Read(index(s)); err != nil {
+						errs[s] = fmt.Errorf("session %d: %w", s, err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return counting.Stats().Ops()
+	}
+	hot := run(func(int) int { return 0 })   // every in-flight request collides
+	uni := run(func(s int) int { return s }) // none collide
+	// DP-RAM moves exactly 3 blocks per access (2 downloads + 1 upload).
+	want := int64(sessions * perSession * 3)
+	if hot != want || uni != want {
+		t.Fatalf("ops: hot-spot %d, uniform %d, want exactly %d each — op count must not depend on collisions",
+			hot, uni, want)
+	}
+}

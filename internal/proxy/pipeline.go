@@ -1,0 +1,291 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dpstore/internal/block"
+	"dpstore/internal/store"
+)
+
+// pipelineDepth bounds how many write jobs may be queued behind the writer
+// goroutine before WriteBatch applies backpressure.
+const pipelineDepth = 64
+
+// coalesceCap bounds how many ops one flush may merge into a single inner
+// WriteBatch (the Remote transport re-chunks at MaxFrame anyway; this cap
+// keeps a burst from building one enormous in-memory batch).
+const coalesceCap = 1024
+
+// writeRetries is how many times a failed flush is retried before the
+// pipeline declares the store unreachable and poisons itself. Replaying a
+// write batch is idempotent — the same ciphertexts go to the same slots —
+// so retrying after a partially applied attempt is safe, the same argument
+// Path ORAM's interrupted-path-write replay rests on.
+const writeRetries = 8
+
+// ErrPipelineClosed reports an operation on a closed Pipeline.
+var ErrPipelineClosed = errors.New("proxy: pipeline closed")
+
+// Pipeline is a write-behind store.BatchServer wrapper: WriteBatch
+// enqueues the ops to a background writer goroutine and returns
+// immediately, so the caller's next ReadBatch overlaps the write's round
+// trip — over a store.Pool the two ride separate connections and the
+// overlap is real wall-clock time. This is what lets the proxy scheduler
+// pipeline scheme accesses: while access k's eviction/overwrite lands,
+// access k+1's read phase is already on the wire, halving the round trips
+// on the critical path without touching any scheme's code.
+//
+// Consistency: a read of an address with a write still in flight is served
+// the pending data (the physical read is still issued — the access pattern
+// a construction emits must reach the store unchanged, collisions
+// included; only the returned bytes are overlaid). The overlay snapshot is
+// taken before the physical read is issued, so a missing pending entry
+// proves the write was fully acknowledged before the read went out.
+//
+// Failure: a flush that keeps failing after retries poisons the pipeline —
+// every later operation returns the sticky error. Transient faults are
+// absorbed by the retry loop and never reach the scheme, preserving the
+// schemes' fault-atomicity invariants (they released state on the strength
+// of our nil return; the pending buffer holds the only fresh copy until
+// the write truly lands).
+//
+// A Pipeline is safe for concurrent use. Close only after the callers have
+// quiesced (the Proxy does this: its scheduler is the sole caller and has
+// exited before Close).
+type Pipeline struct {
+	inner store.BatchServer
+
+	// sendMu serializes seq assignment with the channel send, so the
+	// writer receives jobs in seq order even when WriteBatch callers
+	// race. (It cannot be p.mu: a sender blocked on a full jobs channel
+	// must not hold the lock the writer's flush needs to drain it.)
+	sendMu sync.Mutex
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  map[int]pendingBlock // addr → freshest not-yet-landed write
+	seq      uint64
+	inFlight int // enqueued-but-not-flushed ops
+	sticky   error
+	closed   bool
+
+	jobs chan job
+	done chan struct{}
+}
+
+// pendingBlock is one not-yet-landed write; seq orders multiple in-flight
+// writes to the same address so only the final landing clears the entry.
+type pendingBlock struct {
+	seq  uint64
+	data block.Block
+}
+
+// job is one enqueued WriteBatch, with per-op sequence numbers.
+type job struct {
+	ops  []store.WriteOp
+	seqs []uint64
+}
+
+// NewPipeline wraps inner with a write-behind stage and starts its writer
+// goroutine. inner must be safe for concurrent use (every Server in this
+// module is); to overlap round trips over TCP, hand it a store.Pool of at
+// least two connections.
+func NewPipeline(inner store.BatchServer) *Pipeline {
+	p := &Pipeline{
+		inner:   inner,
+		pending: make(map[int]pendingBlock),
+		jobs:    make(chan job, pipelineDepth),
+		done:    make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	go p.writer()
+	return p
+}
+
+// writer drains the job queue, coalescing whatever is already queued into
+// one inner WriteBatch — consecutive accesses' evictions merge into a
+// single round trip, which keeps the write path off the critical path even
+// when writes are slower than reads (the disk-with-sync case).
+func (p *Pipeline) writer() {
+	defer close(p.done)
+	for {
+		j, ok := <-p.jobs
+		if !ok {
+			return
+		}
+		ops, seqs := j.ops, j.seqs
+	coalesce:
+		for len(ops) < coalesceCap {
+			select {
+			case more, ok := <-p.jobs:
+				if !ok {
+					p.flush(ops, seqs)
+					return
+				}
+				ops = append(ops, more.ops...)
+				seqs = append(seqs, more.seqs...)
+			default:
+				break coalesce
+			}
+		}
+		p.flush(ops, seqs)
+	}
+}
+
+// flush lands one coalesced batch, retrying transient failures, then
+// clears the pending entries it proved durable.
+func (p *Pipeline) flush(ops []store.WriteOp, seqs []uint64) {
+	var err error
+	for attempt := 0; attempt <= writeRetries; attempt++ {
+		if err = p.inner.WriteBatch(ops); err == nil {
+			break
+		}
+	}
+	p.mu.Lock()
+	if err != nil {
+		if p.sticky == nil {
+			p.sticky = fmt.Errorf("proxy: write-behind flush failed after %d attempts: %w", writeRetries+1, err)
+		}
+	} else {
+		for i, op := range ops {
+			if pb, ok := p.pending[op.Addr]; ok && pb.seq == seqs[i] {
+				delete(p.pending, op.Addr)
+			}
+		}
+	}
+	p.inFlight -= len(ops)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// ReadBatch implements store.BatchServer: the physical read always goes to
+// the inner store (same addresses, same order — the access pattern is the
+// privacy object and must not change), and any address with an in-flight
+// write has its returned bytes overlaid with the pending data.
+func (p *Pipeline) ReadBatch(addrs []int) ([]block.Block, error) {
+	p.mu.Lock()
+	if err := p.gate(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	var overlay map[int]block.Block
+	for _, a := range addrs {
+		if pb, ok := p.pending[a]; ok {
+			if overlay == nil {
+				overlay = make(map[int]block.Block)
+			}
+			overlay[a] = pb.data
+		}
+	}
+	p.mu.Unlock()
+
+	blocks, err := p.inner.ReadBatch(addrs)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range addrs {
+		if b, ok := overlay[a]; ok {
+			blocks[i] = b.Copy()
+		}
+	}
+	return blocks, nil
+}
+
+// WriteBatch implements store.BatchServer: record the ops as pending and
+// hand them to the writer. The blocks are copied — callers may reuse their
+// buffers the moment this returns, exactly as with a synchronous store.
+func (p *Pipeline) WriteBatch(ops []store.WriteOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	cp := make([]store.WriteOp, len(ops))
+	seqs := make([]uint64, len(ops))
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	p.mu.Lock()
+	if err := p.gate(); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	for i, op := range ops {
+		p.seq++
+		cp[i] = store.WriteOp{Addr: op.Addr, Block: op.Block.Copy()}
+		seqs[i] = p.seq
+		p.pending[op.Addr] = pendingBlock{seq: p.seq, data: cp[i].Block}
+	}
+	p.inFlight += len(ops)
+	p.mu.Unlock()
+	p.jobs <- job{ops: cp, seqs: seqs}
+	return nil
+}
+
+// gate is the common closed/poisoned check; callers hold p.mu.
+func (p *Pipeline) gate() error {
+	if p.sticky != nil {
+		return p.sticky
+	}
+	if p.closed {
+		return ErrPipelineClosed
+	}
+	return nil
+}
+
+// Download implements store.Server via ReadBatch, so the overlay holds for
+// per-block callers too.
+func (p *Pipeline) Download(addr int) (block.Block, error) {
+	blocks, err := p.ReadBatch([]int{addr})
+	if err != nil {
+		return nil, err
+	}
+	return blocks[0], nil
+}
+
+// Upload implements store.Server via WriteBatch.
+func (p *Pipeline) Upload(addr int, b block.Block) error {
+	return p.WriteBatch([]store.WriteOp{{Addr: addr, Block: b}})
+}
+
+// Size implements store.Server.
+func (p *Pipeline) Size() int { return p.inner.Size() }
+
+// BlockSize implements store.Server.
+func (p *Pipeline) BlockSize() int { return p.inner.BlockSize() }
+
+// Flush blocks until every enqueued write has landed (or the pipeline is
+// poisoned) and returns the sticky error, if any. Call it after bulk
+// setup, and before trusting the inner store's contents.
+func (p *Pipeline) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.inFlight > 0 && p.sticky == nil {
+		p.cond.Wait()
+	}
+	return p.sticky
+}
+
+// PendingWrites returns the number of enqueued-but-not-landed ops.
+func (p *Pipeline) PendingWrites() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inFlight
+}
+
+// Close drains the writer and shuts the pipeline down, returning the
+// sticky error if the drain (or any earlier flush) failed. Callers must
+// have quiesced first: a WriteBatch racing Close panics on the closed
+// channel by design rather than losing data silently.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if !already {
+		close(p.jobs)
+	}
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sticky
+}

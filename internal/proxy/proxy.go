@@ -1,0 +1,245 @@
+// Package proxy is the concurrent multi-client serving layer for the
+// privacy schemes: N clients share one scheme instance (DP-RAM, BucketRAM,
+// Path ORAM) through a trusted proxy that serializes scheme-state
+// mutations while pipelining the storage round trips underneath.
+//
+// This is the deployment shape of CAOS (Ordean–Ryan–Galindo) and of every
+// "oblivious cloud storage" system built on a stateful client: the
+// scheme's stash and position map are one logical party, so a scheduler
+// goroutine owns the scheme and drains a request queue; concurrency lives
+// below (the Pipeline overlapping round trips over a store.Pool) and above
+// (any number of sessions enqueueing requests), never inside the scheme.
+//
+// Obliviousness under concurrency is the design constraint everything here
+// bends around: the proxy issues exactly one real scheme access per queued
+// request, in arrival order, with NO same-address deduplication and no
+// request reordering. Deduplicating two in-flight requests for the same
+// logical record — the classic "optimization" — would make the physical
+// trace length a function of logical-address collisions, leaking equality
+// of concurrent requests to the storage server. The regression tests in
+// oblivious_test.go pin this: the trace the backing store sees depends
+// only on the number and arrival order of requests, never on which
+// sessions issued them or whether their addresses collide.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dpstore/internal/block"
+	"dpstore/internal/workload"
+)
+
+// Scheme is the stateful single-client privacy construction the proxy
+// multiplexes: one logical access per call, not safe for concurrent use —
+// exactly the contract of dpram.Client and pathoram.ORAM, both of which
+// satisfy this interface unmodified.
+type Scheme interface {
+	// N returns the number of logical records.
+	N() int
+	// RecordSize returns the plaintext record size in bytes.
+	RecordSize() int
+	// Access performs one logical access and returns the record value
+	// (previous value for writes).
+	Access(q workload.Query) (block.Block, error)
+}
+
+// ErrClosed reports an access against a closed proxy.
+var ErrClosed = errors.New("proxy: closed")
+
+// Options configures a Proxy.
+type Options struct {
+	// Queue is the request queue capacity: how many client requests may
+	// wait behind the scheduler before Access applies backpressure. Zero
+	// selects 64.
+	Queue int
+	// Pipeline ties the write-behind stage's lifecycle to the proxy:
+	// Close drains and closes it, Flush waits on it. If the scheme was
+	// set up over a Pipeline, it MUST be passed here — otherwise Flush
+	// is a silent no-op and Close leaks the writer goroutine with writes
+	// possibly still in flight. Leave nil only when the scheme writes
+	// synchronously to its store; the proxy is then strictly serialized
+	// (each access's write lands before the next access's read is
+	// issued), which is what the exact-trace obliviousness tests use.
+	Pipeline *Pipeline
+}
+
+// request is one queued client access.
+type request struct {
+	q    workload.Query
+	resp chan result
+}
+
+type result struct {
+	b   block.Block
+	err error
+}
+
+// Proxy serves one Scheme to any number of concurrent callers. It
+// implements store.Accessor, so a daemon can host it as a proxy-backed
+// namespace (see Serve / store.Namespaces.AttachAccessor).
+type Proxy struct {
+	scheme     Scheme
+	pipe       *Pipeline
+	records    int
+	recordSize int
+
+	reqs      chan request
+	schedDone chan struct{}
+
+	closeMu sync.RWMutex
+	closed  bool
+	senders sync.WaitGroup
+
+	accesses atomic.Int64
+}
+
+// New starts a proxy serving scheme. The scheme must not be used directly
+// once the proxy owns it — the scheduler goroutine is its only caller.
+func New(scheme Scheme, opts Options) *Proxy {
+	queue := opts.Queue
+	if queue <= 0 {
+		queue = 64
+	}
+	p := &Proxy{
+		scheme:     scheme,
+		pipe:       opts.Pipeline,
+		records:    scheme.N(),
+		recordSize: scheme.RecordSize(),
+		reqs:       make(chan request, queue),
+		schedDone:  make(chan struct{}),
+	}
+	go p.scheduler()
+	return p
+}
+
+// scheduler owns the scheme: requests execute one at a time in arrival
+// order. One queued request is exactly one scheme access — no dedup, no
+// reordering, no batching of "equal" requests (see the package comment for
+// why that would be a privacy bug, not an optimization).
+func (p *Proxy) scheduler() {
+	defer close(p.schedDone)
+	for req := range p.reqs {
+		b, err := p.scheme.Access(req.q)
+		p.accesses.Add(1)
+		req.resp <- result{b: b, err: err}
+	}
+}
+
+// Access enqueues one logical access and blocks until the scheduler has
+// executed it. Safe for any number of concurrent callers; requests are
+// served in arrival order.
+func (p *Proxy) Access(q workload.Query) (block.Block, error) {
+	if q.Index < 0 || q.Index >= p.records {
+		return nil, fmt.Errorf("proxy: index %d out of range [0,%d)", q.Index, p.records)
+	}
+	if q.Op == workload.Write && len(q.Data) != p.recordSize {
+		return nil, fmt.Errorf("%w: got %d want %d", block.ErrSize, len(q.Data), p.recordSize)
+	}
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	p.senders.Add(1)
+	p.closeMu.RUnlock()
+	defer p.senders.Done()
+
+	req := request{q: q, resp: make(chan result, 1)}
+	p.reqs <- req
+	res := <-req.resp
+	return res.b, res.err
+}
+
+// Read retrieves record i.
+func (p *Proxy) Read(i int) (block.Block, error) {
+	return p.Access(workload.Query{Index: i, Op: workload.Read})
+}
+
+// Write overwrites record i and returns the previous value.
+func (p *Proxy) Write(i int, b block.Block) (block.Block, error) {
+	return p.Access(workload.Query{Index: i, Op: workload.Write, Data: b})
+}
+
+// Records implements store.Accessor.
+func (p *Proxy) Records() int { return p.records }
+
+// RecordSize implements store.Accessor.
+func (p *Proxy) RecordSize() int { return p.recordSize }
+
+// AccessRecord implements store.Accessor — the serve loop's entry point.
+func (p *Proxy) AccessRecord(index int, write bool, data block.Block) (block.Block, error) {
+	q := workload.Query{Index: index, Op: workload.Read}
+	if write {
+		q.Op = workload.Write
+		q.Data = data
+	}
+	return p.Access(q)
+}
+
+// Accesses returns the number of scheme accesses executed so far.
+func (p *Proxy) Accesses() int64 { return p.accesses.Load() }
+
+// Flush waits until every write the scheme has issued so far has landed on
+// the backing store (a no-op without a Pipeline: writes were synchronous).
+// It makes no claim about requests still queued or in flight — quiesce
+// your own senders first, as after bulk setup or at the end of a test.
+func (p *Proxy) Flush() error {
+	if p.pipe != nil {
+		return p.pipe.Flush()
+	}
+	return nil
+}
+
+// Close stops accepting requests, waits for the queued ones to finish, and
+// drains the attached pipeline. Concurrent Access calls either complete or
+// return ErrClosed.
+func (p *Proxy) Close() error {
+	p.closeMu.Lock()
+	already := p.closed
+	p.closed = true
+	p.closeMu.Unlock()
+	if !already {
+		p.senders.Wait() // every admitted request has been answered
+		close(p.reqs)
+	}
+	<-p.schedDone
+	if p.pipe != nil {
+		return p.pipe.Close()
+	}
+	return nil
+}
+
+// Session is one client's handle on a shared proxy. Sessions add no
+// privacy state — that is the point: the trace must not depend on which
+// session issued a request — but they meter per-client traffic and give
+// each wire connection or goroutine an owned endpoint.
+type Session struct {
+	p        *Proxy
+	accesses atomic.Int64
+}
+
+// NewSession returns a new client handle.
+func (p *Proxy) NewSession() *Session { return &Session{p: p} }
+
+// Access enqueues one access on behalf of this session.
+func (s *Session) Access(q workload.Query) (block.Block, error) {
+	b, err := s.p.Access(q)
+	s.accesses.Add(1)
+	return b, err
+}
+
+// Read retrieves record i.
+func (s *Session) Read(i int) (block.Block, error) {
+	return s.Access(workload.Query{Index: i, Op: workload.Read})
+}
+
+// Write overwrites record i and returns the previous value.
+func (s *Session) Write(i int, b block.Block) (block.Block, error) {
+	return s.Access(workload.Query{Index: i, Op: workload.Write, Data: b})
+}
+
+// Accesses returns how many accesses this session has issued.
+func (s *Session) Accesses() int64 { return s.accesses.Load() }

@@ -1,0 +1,24 @@
+package proxy
+
+import (
+	"net"
+
+	"dpstore/internal/store"
+)
+
+// Serve accepts connections on ln and serves the proxy as the default
+// namespace of a wire-protocol daemon until ln closes. Clients speak the
+// info handshake plus logical access frames (MsgAccessReq/Resp); every
+// block frame is rejected — the physical store behind the scheme is not
+// reachable over this listener, which is the proxy deployment's trust
+// boundary. Each connection is one client session served concurrently;
+// the proxy's scheduler provides the serialization.
+//
+// To host a proxy alongside block namespaces (or several proxies), build
+// a store.Namespaces registry, AttachAccessor the proxies, and call
+// store.ServeNamespaces directly; Serve is the single-tenant form.
+func Serve(ln net.Listener, p *Proxy) error {
+	ns := store.NewNamespaces()
+	ns.AttachAccessor(store.DefaultNamespace, p)
+	return store.ServeNamespaces(ln, ns)
+}

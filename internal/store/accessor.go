@@ -1,0 +1,26 @@
+package store
+
+import "dpstore/internal/block"
+
+// Accessor is a logical record-access endpoint: the serving surface of a
+// privacy proxy (internal/proxy) hosting a scheme instance — DP-RAM,
+// BucketRAM, Path ORAM — on behalf of many concurrent clients. Where a
+// Server exposes the raw physical address space of Definition 3.1, an
+// Accessor exposes only the scheme's logical one: Records() records of
+// RecordSize() bytes each, read and written by index. The physical store
+// behind the scheme stays entirely server-side, which is the point of the
+// proxy deployment shape — clients never see (and so can never leak or
+// correlate) physical addresses.
+//
+// Implementations must be safe for concurrent use: the serve loop invokes
+// AccessRecord from one goroutine per connection.
+type Accessor interface {
+	// Records returns the number of logical records n.
+	Records() int
+	// RecordSize returns the fixed logical record size in bytes.
+	RecordSize() int
+	// AccessRecord performs one logical access. For reads (write == false,
+	// data nil) it returns the current record value; for writes it stores
+	// data and returns the previous value.
+	AccessRecord(index int, write bool, data block.Block) (block.Block, error)
+}

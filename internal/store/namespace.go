@@ -21,20 +21,36 @@ var ErrNamespace = errors.New("store: namespace rejected")
 // its own locks — so tenants sharing a daemon contend only on the registry
 // map (one mutex acquisition per open, none per block operation).
 //
-// Namespaces are either attached up front (Attach) or created on demand at
-// the first open naming them, when a factory is installed (SetFactory).
-// The zero value is unusable; construct with NewNamespaces.
+// Namespaces are either attached up front (Attach, AttachAccessor) or
+// created on demand at the first open naming them, when a factory is
+// installed (SetFactory). The zero value is unusable; construct with
+// NewNamespaces.
+//
+// A namespace is backed either by a block store (Attach) — clients speak
+// download/upload/batch frames against raw addresses — or by an Accessor
+// (AttachAccessor) — clients speak only logical record accesses and the
+// physical store stays hidden behind the proxy. The two are mutually
+// exclusive per name.
 type Namespaces struct {
 	mu      sync.Mutex
-	m       map[string]BatchServer
+	m       map[string]tenant
 	factory func(name string, slots, blockSize int) (Server, error)
 	created int
 	max     int
 }
 
+// tenant is one hosted namespace: exactly one of the two backends is set.
+type tenant struct {
+	batch BatchServer // block-backed namespace
+	acc   Accessor    // proxy-backed namespace
+}
+
+// none reports an unregistered (zero) tenant.
+func (t tenant) none() bool { return t.batch == nil && t.acc == nil }
+
 // NewNamespaces returns an empty registry.
 func NewNamespaces() *Namespaces {
-	return &Namespaces{m: make(map[string]BatchServer)}
+	return &Namespaces{m: make(map[string]tenant)}
 }
 
 // Attach registers s under name, replacing any previous registration.
@@ -42,7 +58,17 @@ func NewNamespaces() *Namespaces {
 func (ns *Namespaces) Attach(name string, s Server) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	ns.m[name] = AsBatch(s)
+	ns.m[name] = tenant{batch: AsBatch(s)}
+}
+
+// AttachAccessor registers a proxy-backed namespace under name, replacing
+// any previous registration. Connections that open it can issue only
+// logical access frames; block frames are rejected, keeping the physical
+// store invisible to clients.
+func (ns *Namespaces) AttachAccessor(name string, a Accessor) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.m[name] = tenant{acc: a}
 }
 
 // SetFactory installs the on-demand creation path: an open naming an
@@ -59,12 +85,28 @@ func (ns *Namespaces) SetFactory(max int, factory func(name string, slots, block
 	ns.max = max
 }
 
-// Get returns the namespace registered under name, if any.
+// Get returns the block store registered under name, if any. Proxy-backed
+// namespaces report false: they have no client-visible block store.
 func (ns *Namespaces) Get(name string) (BatchServer, bool) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	s, ok := ns.m[name]
-	return s, ok
+	t := ns.m[name]
+	return t.batch, t.batch != nil
+}
+
+// GetAccessor returns the accessor registered under name, if any.
+func (ns *Namespaces) GetAccessor(name string) (Accessor, bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	t := ns.m[name]
+	return t.acc, t.acc != nil
+}
+
+// lookup returns the tenant registered under name (zero tenant if none).
+func (ns *Namespaces) lookup(name string) tenant {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.m[name]
 }
 
 // Names returns the registered namespace names, in no particular order.
@@ -79,29 +121,46 @@ func (ns *Namespaces) Names() []string {
 }
 
 // Open resolves name for a client that requested the given shape (zeros
-// mean "no preference"). An existing namespace is returned as long as the
-// requested shape does not contradict its actual one; a missing namespace
-// is created through the factory when one is installed and the creation
-// cap has room. The factory runs outside the registry lock — it may
-// allocate gigabytes or create files — and concurrent first-opens of the
-// same name are collapsed to one winner.
+// mean "no preference"), returning the namespace's block store. Opening a
+// proxy-backed namespace through this method is an error — use openTenant
+// (the serve loop's path), which hands back the accessor. See openTenant
+// for the creation semantics.
 func (ns *Namespaces) Open(name string, slots, blockSize int) (BatchServer, error) {
+	t, err := ns.openTenant(name, slots, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	if t.batch == nil {
+		return nil, fmt.Errorf("%w: namespace %q is proxy-backed, not a block store", ErrNamespace, name)
+	}
+	return t.batch, nil
+}
+
+// openTenant resolves name for a client that requested the given shape
+// (zeros mean "no preference"). An existing namespace is returned as long
+// as the requested shape does not contradict its actual one — for a
+// proxy-backed namespace the shape compared against is the logical one. A
+// missing namespace is created through the factory when one is installed
+// and the creation cap has room. The factory runs outside the registry
+// lock — it may allocate gigabytes or create files — and concurrent
+// first-opens of the same name are collapsed to one winner.
+func (ns *Namespaces) openTenant(name string, slots, blockSize int) (tenant, error) {
 	ns.mu.Lock()
-	if s, ok := ns.m[name]; ok {
+	if t, ok := ns.m[name]; ok {
 		ns.mu.Unlock()
-		if err := checkShape(name, s, slots, blockSize); err != nil {
-			return nil, err
+		if err := t.checkShape(name, slots, blockSize); err != nil {
+			return tenant{}, err
 		}
-		return s, nil
+		return t, nil
 	}
 	factory := ns.factory
 	if factory == nil {
 		ns.mu.Unlock()
-		return nil, fmt.Errorf("%w: unknown namespace %q", ErrNamespace, name)
+		return tenant{}, fmt.Errorf("%w: unknown namespace %q", ErrNamespace, name)
 	}
 	if ns.created >= ns.max {
 		ns.mu.Unlock()
-		return nil, fmt.Errorf("%w: namespace cap %d reached, cannot create %q", ErrNamespace, ns.max, name)
+		return tenant{}, fmt.Errorf("%w: namespace cap %d reached, cannot create %q", ErrNamespace, ns.max, name)
 	}
 	// Reserve the slot before building the backend so a burst of opens
 	// cannot overshoot the cap, then release the lock for the (possibly
@@ -114,11 +173,11 @@ func (ns *Namespaces) Open(name string, slots, blockSize int) (BatchServer, erro
 		ns.mu.Lock()
 		ns.created--
 		ns.mu.Unlock()
-		return nil, fmt.Errorf("%w: creating %q: %v", ErrNamespace, name, err)
+		return tenant{}, fmt.Errorf("%w: creating %q: %v", ErrNamespace, name, err)
 	}
 
 	ns.mu.Lock()
-	if s, ok := ns.m[name]; ok {
+	if t, ok := ns.m[name]; ok {
 		// A concurrent open of the same name won the race; keep its
 		// backend, refund our reservation, and discard ours (closing it
 		// if the factory built something closable, e.g. file shards).
@@ -129,26 +188,37 @@ func (ns *Namespaces) Open(name string, slots, blockSize int) (BatchServer, erro
 		if c, ok := backend.(io.Closer); ok {
 			c.Close() //nolint:errcheck
 		}
-		if err := checkShape(name, s, slots, blockSize); err != nil {
-			return nil, err
+		if err := t.checkShape(name, slots, blockSize); err != nil {
+			return tenant{}, err
 		}
-		return s, nil
+		return t, nil
 	}
 	defer ns.mu.Unlock()
-	s := AsBatch(backend)
-	ns.m[name] = s
-	return s, nil
+	t := tenant{batch: AsBatch(backend)}
+	ns.m[name] = t
+	return t, nil
+}
+
+// shape returns the tenant's client-visible shape: the store's physical
+// one for block namespaces, the scheme's logical one for proxy-backed
+// namespaces.
+func (t tenant) shape() (slots, blockSize int) {
+	if t.acc != nil {
+		return t.acc.Records(), t.acc.RecordSize()
+	}
+	return t.batch.Size(), t.batch.BlockSize()
 }
 
 // checkShape verifies a client's requested shape (zeros = no preference)
-// against a namespace's actual one. A nil error means s satisfies the
-// request.
-func checkShape(name string, s Server, slots, blockSize int) error {
-	if slots != 0 && slots != s.Size() {
-		return fmt.Errorf("%w: %q holds %d slots, client wants %d", ErrNamespace, name, s.Size(), slots)
+// against the tenant's actual one. A nil error means the tenant satisfies
+// the request.
+func (t tenant) checkShape(name string, slots, blockSize int) error {
+	haveSlots, haveBS := t.shape()
+	if slots != 0 && slots != haveSlots {
+		return fmt.Errorf("%w: %q holds %d slots, client wants %d", ErrNamespace, name, haveSlots, slots)
 	}
-	if blockSize != 0 && blockSize != s.BlockSize() {
-		return fmt.Errorf("%w: %q has %d B blocks, client wants %d", ErrNamespace, name, s.BlockSize(), blockSize)
+	if blockSize != 0 && blockSize != haveBS {
+		return fmt.Errorf("%w: %q has %d B blocks, client wants %d", ErrNamespace, name, haveBS, blockSize)
 	}
 	return nil
 }

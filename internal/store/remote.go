@@ -311,9 +311,9 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
-	// The connection's current namespace; nil until an open succeeds when
-	// the daemon has no default.
-	cur, _ := ns.Get(DefaultNamespace)
+	// The connection's current namespace; the zero tenant until an open
+	// succeeds when the daemon has no default.
+	cur := ns.lookup(DefaultNamespace)
 	for {
 		req, err := wire.ReadFrame(r)
 		if err != nil {
@@ -323,10 +323,12 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 		switch {
 		case req.Type == wire.MsgOpenReq:
 			resp, cur = handleOpen(req, ns, cur)
-		case cur == nil:
+		case cur.none():
 			resp = wire.EncodeError("no namespace selected (send an open request first)")
+		case cur.acc != nil:
+			resp = handleAccess(req, cur.acc)
 		default:
-			resp = handle(req, cur)
+			resp = handle(req, cur.batch)
 		}
 		if err := wire.WriteFrame(w, resp); err != nil {
 			return
@@ -341,7 +343,7 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 // connection's current namespace switches to the opened one; on failure it
 // stays where it was (the client's session is not torn down by a rejected
 // open).
-func handleOpen(req wire.Frame, ns *Namespaces, cur BatchServer) (wire.Frame, BatchServer) {
+func handleOpen(req wire.Frame, ns *Namespaces, cur tenant) (wire.Frame, tenant) {
 	open, err := wire.DecodeOpenReq(req.Payload)
 	if err != nil {
 		return wire.EncodeError(err.Error()), cur
@@ -349,15 +351,50 @@ func handleOpen(req wire.Frame, ns *Namespaces, cur BatchServer) (wire.Frame, Ba
 	if open.Slots > uint64(int(^uint(0)>>1)) {
 		return wire.EncodeError("requested slot count overflows the server"), cur
 	}
-	backend, err := ns.Open(open.Name, int(open.Slots), int(open.BlockSize))
+	t, err := ns.openTenant(open.Name, int(open.Slots), int(open.BlockSize))
 	if err != nil {
 		return wire.EncodeError(err.Error()), cur
 	}
+	slots, blockSize := t.shape()
 	resp := wire.EncodeOpenResp(wire.Info{
-		Size:      uint64(backend.Size()),
-		BlockSize: uint32(backend.BlockSize()),
+		Size:      uint64(slots),
+		BlockSize: uint32(blockSize),
 	})
-	return resp, backend
+	return resp, t
+}
+
+// handleAccess serves one frame against a proxy-backed namespace: only the
+// info handshake and logical access frames exist there. Everything else —
+// in particular every block frame — is rejected, because hiding the
+// physical store from clients is the proxy deployment's trust boundary.
+func handleAccess(req wire.Frame, acc Accessor) wire.Frame {
+	switch req.Type {
+	case wire.MsgInfoReq:
+		return wire.EncodeInfo(wire.Info{
+			Size:      uint64(acc.Records()),
+			BlockSize: uint32(acc.RecordSize()),
+		})
+	case wire.MsgAccessReq:
+		areq, err := wire.DecodeAccessReq(req.Payload)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		if areq.Index >= uint64(acc.Records()) {
+			return wire.EncodeError(fmt.Sprintf(
+				"record index %d out of range [0,%d)", areq.Index, acc.Records()))
+		}
+		if areq.Write && len(areq.Data) != acc.RecordSize() {
+			return wire.EncodeError(fmt.Sprintf(
+				"record is %d bytes, want %d", len(areq.Data), acc.RecordSize()))
+		}
+		val, err := acc.AccessRecord(int(areq.Index), areq.Write, block.Block(areq.Data))
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.EncodeAccessResp(val)
+	default:
+		return wire.EncodeError("namespace is proxy-backed: block frames are not served")
+	}
 }
 
 func handle(req wire.Frame, backing BatchServer) wire.Frame {
@@ -418,6 +455,8 @@ func handle(req wire.Frame, backing BatchServer) wire.Frame {
 			return wire.EncodeError(err.Error())
 		}
 		return wire.Frame{Type: wire.MsgWriteBatchResp}
+	case wire.MsgAccessReq:
+		return wire.EncodeError("namespace is block-backed: logical access frames need a proxy-backed namespace")
 	default:
 		return wire.EncodeError(fmt.Sprintf("unknown message type %d", req.Type))
 	}

@@ -51,6 +51,31 @@ func (t Transcript) Key() string {
 	return sb.String()
 }
 
+// Shape renders the transcript with the addresses erased: run-length
+// encoded operation kinds, e.g. "D2 U1" for two downloads then an upload.
+// The shape is the part of the adversary view that must be *identical* —
+// not just identically distributed — across workloads for a correctly
+// scheduled construction: every scheme in this module moves a fixed,
+// data-independent number of blocks per query, so any shape divergence
+// between two workloads (a shorter trace on colliding addresses, say, the
+// signature of a deduplicating scheduler) is an access-pattern leak.
+func (t Transcript) Shape() string {
+	var sb strings.Builder
+	for i := 0; i < len(t); {
+		j := i
+		for j < len(t) && t[j].Op == t[i].Op {
+			j++
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte(byte(t[i].Op))
+		sb.WriteString(strconv.Itoa(j - i))
+		i = j
+	}
+	return sb.String()
+}
+
 // Addrs returns the set of distinct addresses the transcript touches.
 func (t Transcript) Addrs() map[int]struct{} {
 	m := make(map[int]struct{}, len(t))

@@ -126,3 +126,31 @@ func TestReset(t *testing.T) {
 		t.Fatal("Reset did not clear state")
 	}
 }
+
+func TestTranscriptShape(t *testing.T) {
+	cases := []struct {
+		tr   Transcript
+		want string
+	}{
+		{nil, ""},
+		{Transcript{{OpDownload, 3}}, "D1"},
+		{Transcript{{OpDownload, 3}, {OpDownload, 9}, {OpUpload, 3}}, "D2 U1"},
+		{Transcript{{OpUpload, 1}, {OpDownload, 1}, {OpDownload, 2}, {OpUpload, 7}}, "U1 D2 U1"},
+	}
+	for _, c := range cases {
+		if got := c.tr.Shape(); got != c.want {
+			t.Errorf("Shape(%v) = %q, want %q", c.tr, got, c.want)
+		}
+	}
+	// Shapes erase addresses: two transcripts with different addresses but
+	// the same op structure collide, which is exactly the equivalence the
+	// obliviousness regression tests compare under.
+	a := Transcript{{OpDownload, 1}, {OpUpload, 2}}
+	b := Transcript{{OpDownload, 8}, {OpUpload, 5}}
+	if a.Shape() != b.Shape() {
+		t.Fatal("shape must not depend on addresses")
+	}
+	if a.Key() == b.Key() {
+		t.Fatal("keys must depend on addresses")
+	}
+}

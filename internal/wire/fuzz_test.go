@@ -1,0 +1,124 @@
+package wire
+
+// Native fuzz targets for the hostile-input surface: every decoder that
+// consumes bytes straight off a socket. The invariants under fuzz are the
+// ones §6 of docs/WIRE.md declares normative: never panic, never allocate
+// unboundedly from forged counts, and round-trip every accepted input
+// bit-exactly (decode ∘ encode = id on the valid set).
+//
+// Seed corpora live in testdata/fuzz/<Target>/ (checked in), plus the
+// f.Add seeds below; CI runs each target for a short -fuzztime smoke.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame throws raw bytes at the frame reader. Accepted frames
+// must re-encode to exactly the bytes consumed.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{byte(MsgInfoReq), 0, 0, 0, 0})
+	f.Add([]byte{byte(MsgDownloadReq), 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 7})
+	f.Add([]byte{byte(MsgError), 0, 0, 0, 3, 'b', 'a', 'd'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff}) // oversized declared length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if want := data[:5+len(fr.Payload)]; !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("round trip mismatch: read %x, wrote %x", want, buf.Bytes())
+		}
+	})
+}
+
+// FuzzOpenReq fuzzes the namespace-open payload decoder (forged name
+// lengths must neither truncate nor alias the shape fields).
+func FuzzOpenReq(f *testing.F) {
+	for _, req := range []OpenReq{
+		{Name: "", Slots: 0, BlockSize: 0},
+		{Name: "tenant-42", Slots: 1 << 16, BlockSize: 112},
+	} {
+		fr, err := EncodeOpenReq(req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(fr.Payload)
+	}
+	f.Add([]byte{0xff, 0xff, 'x', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // forged nameLen
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeOpenReq(data)
+		if err != nil {
+			return
+		}
+		if len(req.Name) > MaxNamespaceName {
+			t.Fatalf("decoder accepted a %d-byte name past the cap", len(req.Name))
+		}
+		fr, err := EncodeOpenReq(req)
+		if err != nil {
+			t.Fatalf("accepted open request failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(fr.Payload, data) {
+			t.Fatalf("round trip mismatch: %x → %+v → %x", data, req, fr.Payload)
+		}
+	})
+}
+
+// FuzzBatchReq fuzzes all three batch payload decoders with one input —
+// they share the forged-count threat model, and none may panic or
+// over-allocate on any byte string.
+func FuzzBatchReq(f *testing.F) {
+	f.Add(EncodeReadBatchReq([]int{0, 5, 9}).Payload)
+	f.Add(EncodeWriteBatchReq([]int{1, 2}, [][]byte{{0xaa}, {0xbb}}).Payload)
+	f.Add(EncodeReadBatchResp([][]byte{{1, 2}, {3, 4}}).Payload)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xf8}) // count ≈ 2³², empty body
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if addrs, err := DecodeReadBatchReq(data); err == nil {
+			fr := EncodeReadBatchReq(addrs)
+			if !bytes.Equal(fr.Payload, data) {
+				t.Fatalf("read batch req round trip mismatch on %x", data)
+			}
+		}
+		if addrs, blocks, err := DecodeWriteBatchReq(data); err == nil {
+			if len(addrs) != len(blocks) {
+				t.Fatalf("write batch decode returned ragged slices on %x", data)
+			}
+			fr := EncodeWriteBatchReq(addrs, blocks)
+			if !bytes.Equal(fr.Payload, data) {
+				t.Fatalf("write batch req round trip mismatch on %x", data)
+			}
+		}
+		if blocks, err := DecodeReadBatchResp(data); err == nil {
+			fr := EncodeReadBatchResp(blocks)
+			if !bytes.Equal(fr.Payload, data) {
+				t.Fatalf("read batch resp round trip mismatch on %x", data)
+			}
+		}
+	})
+}
+
+// FuzzAccessReq fuzzes the proxy access decoder: op byte, index, record
+// payload discipline (reads carry none, writes at least one byte).
+func FuzzAccessReq(f *testing.F) {
+	f.Add(EncodeAccessReq(AccessReq{Index: 7}).Payload)
+	f.Add(EncodeAccessReq(AccessReq{Write: true, Index: 3, Data: []byte("record!")}).Payload)
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0})      // unknown op
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 'x'}) // read smuggling payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeAccessReq(data)
+		if err != nil {
+			return
+		}
+		if req.Write == (len(req.Data) == 0) {
+			t.Fatalf("decoder accepted inconsistent op/payload: %+v", req)
+		}
+		fr := EncodeAccessReq(req)
+		if !bytes.Equal(fr.Payload, data) {
+			t.Fatalf("access req round trip mismatch: %x → %+v → %x", data, req, fr.Payload)
+		}
+	})
+}

@@ -25,6 +25,8 @@
 //	MsgWriteBatchResp (empty)
 //	MsgOpenReq        nameLen uint16 ‖ name bytes ‖ slots uint64 ‖ blockSize uint32
 //	MsgOpenResp       slots uint64 ‖ blockSize uint32
+//	MsgAccessReq      op uint8 ‖ index uint64 ‖ record bytes (writes only)
+//	MsgAccessResp     record bytes
 //
 // The batch frames carry the multi-block operations of store.BatchServer:
 // one frame per direction replaces count individual round trips. Because a
@@ -44,6 +46,17 @@
 // shape the client wants a freshly created namespace to have; zero means
 // "whatever the server already has (or defaults to)". The response carries
 // the namespace's actual shape, exactly like MsgInfoResp.
+//
+// MsgAccessReq/MsgAccessResp are the proxy-mode frames: a logical
+// read/write of one record at the privacy-scheme level, not a block
+// operation at the store level. They are served only by namespaces backed
+// by a privacy proxy (internal/proxy) — a trusted session-serving layer
+// that multiplexes many clients over one scheme instance and hides the
+// obfuscated backing store entirely. On a proxy-backed namespace the block
+// frames (download/upload/batch) are rejected: the whole point of the
+// deployment shape is that clients never see physical addresses. The shape
+// reported by MsgInfoResp/MsgOpenResp on such a namespace is the logical
+// one (records × record size).
 package wire
 
 import (
@@ -68,6 +81,8 @@ const (
 	MsgWriteBatchResp
 	MsgOpenReq
 	MsgOpenResp
+	MsgAccessReq
+	MsgAccessResp
 )
 
 // MaxNamespaceName bounds the length of a namespace name on the wire. Names
@@ -379,6 +394,74 @@ func DecodeOpenResp(p []byte) (Info, error) {
 		return Info{}, fmt.Errorf("open response: %w", err)
 	}
 	return info, nil
+}
+
+// --- proxy access frames -----------------------------------------------------
+
+// Access operation codes on the wire.
+const (
+	accessOpRead  = 0
+	accessOpWrite = 1
+)
+
+// ErrAccess reports a malformed logical-access payload.
+var ErrAccess = errors.New("wire: invalid access request")
+
+// AccessReq is the decoded MsgAccessReq payload: one logical record
+// operation against a proxy-backed namespace. For writes, Data carries the
+// new record contents (exactly the namespace's record size — the server
+// validates); for reads, Data is empty.
+type AccessReq struct {
+	Write bool
+	Index uint64
+	Data  []byte
+}
+
+// EncodeAccessReq builds a MsgAccessReq frame.
+func EncodeAccessReq(req AccessReq) Frame {
+	op := byte(accessOpRead)
+	var data []byte
+	if req.Write {
+		op = accessOpWrite
+		data = req.Data
+	}
+	p := make([]byte, 9+len(data))
+	p[0] = op
+	binary.BigEndian.PutUint64(p[1:9], req.Index)
+	copy(p[9:], data)
+	return Frame{Type: MsgAccessReq, Payload: p}
+}
+
+// DecodeAccessReq parses a MsgAccessReq payload. A read must carry no
+// record bytes (a forged tail cannot smuggle payload past a server that
+// only validates writes); a write must carry at least one. The returned
+// Data aliases p.
+func DecodeAccessReq(p []byte) (AccessReq, error) {
+	if len(p) < 9 {
+		return AccessReq{}, fmt.Errorf("%w: access request %d bytes", ErrShortPayload, len(p))
+	}
+	req := AccessReq{Index: binary.BigEndian.Uint64(p[1:9])}
+	switch p[0] {
+	case accessOpRead:
+		if len(p) != 9 {
+			return AccessReq{}, fmt.Errorf("%w: read carries %d record bytes", ErrAccess, len(p)-9)
+		}
+	case accessOpWrite:
+		req.Write = true
+		req.Data = p[9:]
+		if len(req.Data) == 0 {
+			return AccessReq{}, fmt.Errorf("%w: write carries no record bytes", ErrAccess)
+		}
+	default:
+		return AccessReq{}, fmt.Errorf("%w: unknown op %d", ErrAccess, p[0])
+	}
+	return req, nil
+}
+
+// EncodeAccessResp builds a MsgAccessResp frame carrying the record value
+// the access returned (the previous value for writes).
+func EncodeAccessResp(record []byte) Frame {
+	return Frame{Type: MsgAccessResp, Payload: record}
 }
 
 // EncodeError builds a MsgError frame.
