@@ -16,11 +16,10 @@
 //   - -shards K stripes every hosted store over K independently locked
 //     sub-stores, so concurrent tenants stop serializing on one mutex and
 //     batches execute K-way parallel (memory) or across K files (disk).
-//   - -namespaces N lets clients create up to N additional in-memory
-//     tenant namespaces on demand via the open handshake, each an
-//     independent address space with its own locks. The flag-configured
-//     store remains the default namespace, so pre-namespace clients work
-//     unchanged.
+//   - -namespaces N lets clients create up to N additional tenant
+//     namespaces on demand via the open handshake, each an independent
+//     address space with its own locks. The flag-configured store remains
+//     the default namespace, so pre-namespace clients work unchanged.
 //   - -proxy dpram|pathoram turns the daemon into a privacy *proxy*: it
 //     hosts the named scheme over the flag-configured backing store and
 //     serves logical record accesses (MsgAccessReq) to any number of
@@ -30,20 +29,39 @@
 //     the scheme, and block frames are rejected — clients never see
 //     physical addresses at all, the CAOS deployment shape.
 //
+// Durability (-data DIR): the daemon becomes restartable. Every hosted
+// store runs on the write-ahead engine of internal/store (checksummed
+// pages, group-commit WAL, crash replay on open); factory-created
+// namespaces are persisted in DIR/namespaces.json and recreated — with
+// their data — on the next start; in -proxy mode the scheme's client
+// state (stash, position map) checkpoints to DIR/proxy.journal so that
+// every acknowledged logical write survives SIGKILL. Each startup bumps a
+// recovery epoch reported in the wire handshake, so clients can detect
+// that the server restarted. SIGTERM/SIGINT trigger a clean shutdown:
+// stop accepting, flush and checkpoint everything, exit — after which the
+// next start replays nothing.
+//
 // Usage:
 //
 //	blockstored -addr :9045 -slots 65536 -blocksize 112
 //	blockstored -addr :9045 -slots 65536 -blocksize 112 -file /var/lib/blocks.dat
-//	blockstored -addr :9045 -slots 65536 -blocksize 112 -shards 16 -namespaces 64
-//	blockstored -addr :9045 -slots 4096 -blocksize 64 -proxy dpram
+//	blockstored -addr :9045 -slots 65536 -blocksize 112 -data /var/lib/dpstore -shards 16 -namespaces 64
+//	blockstored -addr :9045 -slots 4096 -blocksize 64 -proxy dpram -data /var/lib/dpstore
 package main
 
 import (
+	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
 
 	"dpstore/internal/baseline/pathoram"
 	"dpstore/internal/block"
@@ -58,9 +76,10 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:9045", "listen address")
 		slots      = flag.Int("slots", 1<<16, "number of block slots (default namespace, and default for created namespaces)")
 		blockSize  = flag.Int("blocksize", 112, "slot size in bytes (default namespace, and default for created namespaces)")
-		file       = flag.String("file", "", "optional path for a disk-backed store (created if missing; with -shards K, K files path.shard0 … are used)")
+		file       = flag.String("file", "", "optional path for a non-durable disk-backed store (created if missing; with -shards K, K files path.shard0 … are used)")
+		dataDir    = flag.String("data", "", "durable data directory: stores run on the crash-safe WAL engine, namespaces persist, -proxy state checkpoints, and restarts recover")
 		shards     = flag.Int("shards", 1, "stripe each store over this many independently locked sub-stores")
-		namespaces = flag.Int("namespaces", 0, "max client-created in-memory namespaces (0 disables the open-to-create path)")
+		namespaces = flag.Int("namespaces", 0, "max client-created namespaces (0 disables the open-to-create path)")
 		maxBytes   = flag.Int64("maxbytes", 1<<30, "per-namespace byte budget for client-requested shapes")
 		proxyMode  = flag.String("proxy", "", "serve a privacy proxy over the backing store: dpram or pathoram (empty = plain block server; -slots/-blocksize then describe the logical database)")
 		seed       = flag.Int64("seed", 1, "scheme coin seed in -proxy mode (deterministic for reproducible experiments)")
@@ -69,25 +88,51 @@ func main() {
 	if *shards < 1 {
 		log.Fatalf("blockstored: -shards %d must be ≥ 1", *shards)
 	}
+	if *file != "" && *dataDir != "" {
+		log.Fatalf("blockstored: -file and -data are mutually exclusive (-data subsumes the disk backend, durably)")
+	}
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("blockstored: creating -data dir: %v", err)
+		}
+	}
+
+	var sd shutdown
 
 	if *proxyMode != "" {
-		p, desc, err := openProxy(*proxyMode, *file, *slots, *blockSize, *shards, *seed)
+		p, desc, err := openProxy(*proxyMode, *file, *dataDir, *slots, *blockSize, *shards, *seed, &sd)
 		if err != nil {
 			log.Fatalf("blockstored: %v", err)
 		}
 		log.Printf("blockstored: proxy namespace: %s", desc)
+		ns := store.NewNamespaces()
+		ns.AttachAccessor(store.DefaultNamespace, p)
+		ns.SetEpoch(p.Epoch())
+		if p.Epoch() > 0 {
+			log.Printf("blockstored: recovery epoch %d", p.Epoch())
+		}
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
 			log.Fatalf("blockstored: listen: %v", err)
 		}
+		sd.onSignal(ln)
 		log.Printf("blockstored: serving logical accesses on %s", ln.Addr())
-		if err := proxy.Serve(ln, p); err != nil {
-			log.Fatalf("blockstored: %v", err)
+		err = store.ServeNamespaces(ln, ns)
+		// Checkpoint and close the proxy FIRST (it writes through the
+		// engines), then the engines themselves. A failed final checkpoint
+		// must surface in the exit code — supervisors treating the
+		// shutdown as clean would never learn the checkpoint path is
+		// broken (recovery still works, via the last per-burst checkpoint
+		// and WAL replay, but the operator should know).
+		if cerr := p.Close(); cerr != nil {
+			log.Printf("blockstored: proxy shutdown: %v", cerr)
+			sd.markFailed()
 		}
+		sd.finish(err)
 		return
 	}
 
-	backing, desc, err := openBacking(*file, *slots, *blockSize, *shards)
+	backing, desc, err := openBackingAny(*file, *dataDir, *slots, *blockSize, *shards, &sd)
 	if err != nil {
 		log.Fatalf("blockstored: %v", err)
 	}
@@ -95,45 +140,233 @@ func main() {
 
 	ns := store.NewNamespaces()
 	ns.Attach(store.DefaultNamespace, backing)
-	if *namespaces > 0 {
-		ns.SetFactory(*namespaces, namespaceFactory(*slots, *blockSize, *shards, *maxBytes))
-		log.Printf("blockstored: up to %d client-created namespaces (≤ %d B each)", *namespaces, *maxBytes)
+
+	var epoch uint64
+	if *dataDir != "" {
+		epoch, err = store.BumpEpoch(filepath.Join(*dataDir, "epoch"))
+		if err != nil {
+			log.Fatalf("blockstored: %v", err)
+		}
+		ns.SetEpoch(epoch)
+		log.Printf("blockstored: recovery epoch %d", epoch)
+	}
+
+	if *namespaces > 0 || *dataDir != "" {
+		reg, err := newTenantRegistry(*dataDir, *slots, *blockSize, *shards, *maxBytes, &sd)
+		if err != nil {
+			log.Fatalf("blockstored: %v", err)
+		}
+		restored, err := reg.restore(ns)
+		if err != nil {
+			log.Fatalf("blockstored: %v", err)
+		}
+		if restored > 0 {
+			log.Printf("blockstored: restored %d persisted namespace(s)", restored)
+		}
+		if cap := *namespaces - restored; cap > 0 {
+			ns.SetFactory(cap, reg.factory)
+			log.Printf("blockstored: up to %d more client-created namespaces (≤ %d B each)", cap, *maxBytes)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("blockstored: listen: %v", err)
 	}
+	sd.onSignal(ln)
 	log.Printf("blockstored: serving on %s", ln.Addr())
-	if err := store.ServeNamespaces(ln, ns); err != nil {
-		log.Fatalf("blockstored: %v", err)
+	sd.finish(store.ServeNamespaces(ln, ns))
+}
+
+// shutdown coordinates the clean-exit path: a signal closes the listener,
+// the serve loop returns, and every registered store is synced and closed
+// before the process exits.
+type shutdown struct {
+	mu       sync.Mutex
+	closers  []io.Closer
+	signaled bool
+	failed   bool
+	finished bool
+}
+
+// markFailed records a shutdown-path failure so finish exits non-zero.
+func (s *shutdown) markFailed() {
+	s.mu.Lock()
+	s.failed = true
+	s.mu.Unlock()
+}
+
+// register adds a store to close (and thereby checkpoint) at shutdown. A
+// store registered after finish has snapshotted the close list — a
+// factory-created namespace racing SIGTERM — is closed on the spot: its
+// engine would otherwise outlive the close loop with an uncompacted WAL.
+func (s *shutdown) register(c io.Closer) {
+	s.mu.Lock()
+	late := s.finished
+	if !late {
+		s.closers = append(s.closers, c)
+	}
+	s.mu.Unlock()
+	if late {
+		if err := c.Close(); err != nil {
+			log.Printf("blockstored: closing late-created store: %v", err)
+			s.markFailed()
+		}
 	}
 }
 
-// namespaceFactory returns the on-demand tenant builder: requested zeros
-// fall back to the daemon defaults, and the resulting shape must fit the
-// byte budget.
-func namespaceFactory(defSlots, defBlockSize, shards int, budget int64) func(string, int, int) (store.Server, error) {
-	return func(name string, nsSlots, nsBlockSize int) (store.Server, error) {
-		if nsSlots == 0 {
-			nsSlots = defSlots
+// onSignal arranges for SIGTERM/SIGINT to close the listener, unblocking
+// the serve loop into the shutdown path.
+func (s *shutdown) onSignal(ln net.Listener) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-ch
+		log.Printf("blockstored: %v: checkpointing and shutting down", sig)
+		s.mu.Lock()
+		s.signaled = true
+		s.mu.Unlock()
+		ln.Close()
+	}()
+}
+
+// finish closes every registered store and exits. serveErr is what the
+// serve loop returned: net.ErrClosed after a signal is the clean path.
+func (s *shutdown) finish(serveErr error) {
+	s.mu.Lock()
+	s.finished = true
+	closers := s.closers
+	signaled := s.signaled
+	s.mu.Unlock()
+	for i := len(closers) - 1; i >= 0; i-- {
+		if err := closers[i].Close(); err != nil {
+			log.Printf("blockstored: closing store: %v", err)
+			s.markFailed()
 		}
-		if nsBlockSize == 0 {
-			nsBlockSize = defBlockSize
-		}
-		// Budget check by division, not multiplication: a hostile open can
-		// request slot counts near max-int, and an overflowed product
-		// would sail past the budget into a huge allocation. The per-slot
-		// overhead term charges for slice headers and allocator
-		// bookkeeping so tiny blocks cannot buy absurd slot counts within
-		// a byte budget meant for payload.
-		const perSlotOverhead = 48
-		if nsSlots < 0 || nsBlockSize <= 0 || int64(nsSlots) > budget/(int64(nsBlockSize)+perSlotOverhead) {
-			return nil, fmt.Errorf("requested %d × %d B exceeds the %d B namespace budget", nsSlots, nsBlockSize, budget)
-		}
-		log.Printf("blockstored: creating namespace %q: %d slots × %d B in memory", name, nsSlots, nsBlockSize)
-		return newMemBacking(nsSlots, nsBlockSize, shards)
 	}
+	if serveErr != nil && !(signaled && errors.Is(serveErr, net.ErrClosed)) {
+		log.Fatalf("blockstored: %v", serveErr)
+	}
+	s.mu.Lock()
+	failed := s.failed
+	s.mu.Unlock()
+	if failed {
+		os.Exit(1)
+	}
+	log.Printf("blockstored: clean shutdown (stores checkpointed)")
+}
+
+// tenantRegistry builds factory-created namespaces and, when a data dir is
+// set, persists them (name + shape) so a restart recreates them with their
+// data. Durable tenants live at DIR/ns-<hex(name)>; the hex encoding keeps
+// arbitrary wire names safe as file names.
+type tenantRegistry struct {
+	dataDir   string
+	defSlots  int
+	defBS     int
+	shards    int
+	budget    int64
+	sd        *shutdown
+	mu        sync.Mutex
+	persisted []store.NamespaceRecord
+}
+
+func newTenantRegistry(dataDir string, defSlots, defBS, shards int, budget int64, sd *shutdown) (*tenantRegistry, error) {
+	r := &tenantRegistry{dataDir: dataDir, defSlots: defSlots, defBS: defBS, shards: shards, budget: budget, sd: sd}
+	if dataDir != "" {
+		recs, err := store.LoadRegistry(r.registryPath())
+		if err != nil {
+			return nil, err
+		}
+		r.persisted = recs
+	}
+	return r, nil
+}
+
+func (r *tenantRegistry) registryPath() string {
+	return filepath.Join(r.dataDir, "namespaces.json")
+}
+
+// restore reattaches every persisted namespace, reopening its engines.
+func (r *tenantRegistry) restore(ns *store.Namespaces) (int, error) {
+	for _, rec := range r.persisted {
+		backing, _, err := openDurableBacking(r.tenantBase(rec.Name), rec.Slots, rec.BlockSize, r.shards, r.sd)
+		if err != nil {
+			return 0, fmt.Errorf("restoring namespace %q: %w", rec.Name, err)
+		}
+		ns.Attach(rec.Name, backing)
+	}
+	return len(r.persisted), nil
+}
+
+func (r *tenantRegistry) tenantBase(name string) string {
+	return filepath.Join(r.dataDir, "ns-"+hex.EncodeToString([]byte(name)))
+}
+
+// factory is the on-demand tenant builder handed to Namespaces.SetFactory:
+// shape-budget checked exactly like the in-memory path, then built
+// in-memory (no -data) or on the durable engine with the registry updated
+// BEFORE the namespace is served — a crash right after creation must not
+// forget a namespace a client saw acknowledged.
+func (r *tenantRegistry) factory(name string, nsSlots, nsBlockSize int) (store.Server, error) {
+	nsSlots, nsBlockSize, err := checkTenantShape(nsSlots, nsBlockSize, r.defSlots, r.defBS, r.budget)
+	if err != nil {
+		return nil, err
+	}
+	if r.dataDir == "" {
+		log.Printf("blockstored: creating namespace %q: %d slots × %d B in memory", name, nsSlots, nsBlockSize)
+		return newMemBacking(nsSlots, nsBlockSize, r.shards)
+	}
+	// Persist the record BEFORE opening the engines: a crash (or an engine
+	// failure) after this point leaves at worst a registered-but-empty
+	// namespace that the next start recreates zeroed, never an engine the
+	// registry has forgotten — and never a leaked open engine whose
+	// committer would race a client's retry on the same files.
+	r.mu.Lock()
+	prev := r.persisted
+	recs := append(append([]store.NamespaceRecord(nil), prev...),
+		store.NamespaceRecord{Name: name, Slots: nsSlots, BlockSize: nsBlockSize})
+	if err := store.SaveRegistry(r.registryPath(), recs); err != nil {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("persisting namespace %q: %w", name, err)
+	}
+	r.persisted = recs
+	r.mu.Unlock()
+	backing, desc, err := openDurableBacking(r.tenantBase(name), nsSlots, nsBlockSize, r.shards, r.sd)
+	if err != nil {
+		// Best-effort registry rollback; a leftover record is benign (see
+		// above), a missing one is exact.
+		r.mu.Lock()
+		if store.SaveRegistry(r.registryPath(), prev) == nil {
+			r.persisted = prev
+		}
+		r.mu.Unlock()
+		return nil, err
+	}
+	log.Printf("blockstored: creating namespace %q: %s", name, desc)
+	return backing, nil
+}
+
+// checkTenantShape applies the zero-defaults and the hostile-shape budget
+// guard shared by the memory and durable factories.
+func checkTenantShape(nsSlots, nsBlockSize, defSlots, defBS int, budget int64) (int, int, error) {
+	if nsSlots == 0 {
+		nsSlots = defSlots
+	}
+	if nsBlockSize == 0 {
+		nsBlockSize = defBS
+	}
+	// Budget check by division, not multiplication: a hostile open can
+	// request slot counts near max-int, and an overflowed product would
+	// sail past the budget into a huge allocation. The per-slot overhead
+	// term charges for slice headers and allocator bookkeeping so tiny
+	// blocks cannot buy absurd slot counts within a byte budget meant for
+	// payload.
+	const perSlotOverhead = 48
+	if nsSlots < 0 || nsBlockSize <= 0 || int64(nsSlots) > budget/(int64(nsBlockSize)+perSlotOverhead) {
+		return 0, 0, fmt.Errorf("requested %d × %d B exceeds the %d B namespace budget", nsSlots, nsBlockSize, budget)
+	}
+	return nsSlots, nsBlockSize, nil
 }
 
 // newMemBacking builds an in-memory store, striped when shards > 1. A
@@ -150,7 +383,65 @@ func newMemBacking(slots, blockSize, shards int) (store.Server, error) {
 	return store.NewMem(slots, blockSize)
 }
 
-// openBacking builds the default namespace's store from the flags.
+// openBackingAny dispatches between the three backend families: memory,
+// non-durable file (-file), durable engine (-data).
+func openBackingAny(file, dataDir string, slots, blockSize, shards int, sd *shutdown) (store.Server, string, error) {
+	if dataDir != "" {
+		if slots < shards {
+			return nil, "", fmt.Errorf("%d slots cannot stripe over %d shards", slots, shards)
+		}
+		return openDurableBacking(filepath.Join(dataDir, "blocks"), slots, blockSize, shards, sd)
+	}
+	return openBacking(file, slots, blockSize, shards)
+}
+
+// openDurableBacking opens (or creates) a crash-safe store on the WAL
+// engine at base, striped over K engines for -shards K. On success every
+// engine is registered for clean-shutdown checkpointing; on any error the
+// engines opened so far are closed again (no half-open stripe survives,
+// and a retried open never races a leaked committer on the same files).
+func openDurableBacking(base string, slots, blockSize, shards int, sd *shutdown) (store.Server, string, error) {
+	if shards > slots {
+		shards = slots
+	}
+	engines := make([]*store.Durable, 0, shards)
+	closeAll := func() {
+		for _, d := range engines {
+			d.Close() //nolint:errcheck // already on an error path
+		}
+	}
+	if shards == 1 {
+		d, err := store.OpenOrCreateDurable(base, slots, blockSize, store.DurableOptions{})
+		if err != nil {
+			return nil, "", err
+		}
+		sd.register(d)
+		return d, fmt.Sprintf("%d slots × %d B durable (WAL engine) at %s", slots, blockSize, base), nil
+	}
+	subs := make([]store.Server, shards)
+	for i := range subs {
+		d, err := store.OpenOrCreateDurable(fmt.Sprintf("%s.shard%d", base, i),
+			store.ShardSlots(slots, shards, i), blockSize, store.DurableOptions{})
+		if err != nil {
+			closeAll()
+			return nil, "", err
+		}
+		engines = append(engines, d)
+		subs[i] = d
+	}
+	s, err := store.NewSharded(subs)
+	if err != nil {
+		closeAll()
+		return nil, "", err
+	}
+	for _, d := range engines {
+		sd.register(d)
+	}
+	return s, fmt.Sprintf("%d slots × %d B durable (WAL engine) striped over %d shards at %s.shard*", slots, blockSize, shards, base), nil
+}
+
+// openBacking builds a memory or -file backed store (the non-durable
+// families, unchanged from the pre-engine daemon).
 func openBacking(file string, slots, blockSize, shards int) (store.Server, string, error) {
 	if file == "" {
 		// The operator asked for this exact stripe width; refuse rather
@@ -190,15 +481,17 @@ func openBacking(file string, slots, blockSize, shards int) (store.Server, strin
 	return s, fmt.Sprintf("%d slots × %d B on disk striped over %d files at %s.shard*", slots, blockSize, shards, file), nil
 }
 
-// openProxy builds the -proxy deployment: a zeroed logical database of
-// `records` × `recordSize`, the scheme's physical store derived from it
-// (in memory, on disk, sharded — same flags as block mode), a write-behind
-// pipeline underneath, and the proxy scheduler on top.
-func openProxy(mode, file string, records, recordSize, shards int, seed int64) (*proxy.Proxy, string, error) {
-	db, err := block.NewDatabase(records, recordSize)
-	if err != nil {
-		return nil, "", fmt.Errorf("proxy database: %w", err)
-	}
+// openProxy builds the -proxy deployment: the scheme's physical store
+// derived from the logical shape (memory, -file, or the durable engine),
+// a write-behind pipeline underneath, and the proxy scheduler on top.
+//
+// With -data, the deployment is RESTARTABLE: the physical store is the
+// WAL engine; the scheme's client state checkpoints to proxy.journal per
+// acknowledged access burst (see proxy.Journal for the commit protocol);
+// and on startup the daemon recovers — engine replay, then checkpoint
+// restore, then pending-write replay — before serving. A fresh directory
+// runs Setup and seeds the journal with the initial checkpoint.
+func openProxy(mode, file, dataDir string, records, recordSize, shards int, seed int64, sd *shutdown) (*proxy.Proxy, string, error) {
 	var slots, physBS int
 	oramOpts := pathoram.Options{Rand: rng.New(seed)}
 	ramOpts := dpram.Options{Rand: rng.New(seed)}
@@ -210,26 +503,109 @@ func openProxy(mode, file string, records, recordSize, shards int, seed int64) (
 	default:
 		return nil, "", fmt.Errorf("unknown -proxy scheme %q (want dpram or pathoram)", mode)
 	}
-	backing, desc, err := openBacking(file, slots, physBS, shards)
+
+	if dataDir == "" {
+		// Ephemeral proxy, as before the engine existed.
+		backing, desc, err := openBacking(file, slots, physBS, shards)
+		if err != nil {
+			return nil, "", err
+		}
+		pipe := proxy.NewPipeline(store.AsBatch(backing))
+		scheme, err := setupScheme(mode, records, recordSize, pipe, ramOpts, oramOpts)
+		if err != nil {
+			return nil, "", err
+		}
+		p := proxy.New(scheme, proxy.Options{Pipeline: pipe})
+		if err := p.Flush(); err != nil {
+			return nil, "", fmt.Errorf("%s setup flush: %w", mode, err)
+		}
+		return p, fmt.Sprintf("%s over %d records × %d B (backing: %s)", mode, records, recordSize, desc), nil
+	}
+
+	backing, desc, err := openDurableBacking(filepath.Join(dataDir, "blocks"), slots, physBS, shards, sd)
 	if err != nil {
 		return nil, "", err
 	}
-	pipe := proxy.NewPipeline(store.AsBatch(backing))
-	var scheme proxy.Scheme
-	switch mode {
-	case "dpram":
-		scheme, err = dpram.Setup(db, pipe, ramOpts)
-	case "pathoram":
-		scheme, err = pathoram.Setup(db, pipe, oramOpts)
-	}
+	journal, ck, err := proxy.OpenJournal(filepath.Join(dataDir, "proxy.journal"), 0)
 	if err != nil {
-		return nil, "", fmt.Errorf("%s setup: %w", mode, err)
+		return nil, "", err
 	}
-	p := proxy.New(scheme, proxy.Options{Pipeline: pipe})
-	if err := p.Flush(); err != nil {
-		return nil, "", fmt.Errorf("%s setup flush: %w", mode, err)
+	// Mix the recovery epoch into the scheme seed: a restarted daemon must
+	// NOT replay the previous incarnation's coin stream against the same
+	// persisted array — identical decoy/leaf draws across epochs would let
+	// an adversary comparing the two traces separate coin-driven from
+	// query-driven addresses. (SplitMix64's increment constant decorrelates
+	// the per-epoch streams; runs stay reproducible per (seed, epoch).)
+	epochSeed := int64(uint64(seed) ^ journal.Epoch()*0x9e3779b97f4a7c15)
+	ramOpts.Rand = rng.New(epochSeed)
+	oramOpts.Rand = rng.New(epochSeed)
+	batch := store.AsBatch(backing)
+	pipe := proxy.NewPipeline(batch)
+	var scheme proxy.DurableScheme
+	if ck != nil {
+		// Recovery: the engine already replayed its own WAL; land the
+		// checkpoint's acked-but-unflushed writes, then transplant the
+		// scheme state over the pipeline.
+		if err := proxy.ReplayPending(batch, ck); err != nil {
+			return nil, "", err
+		}
+		switch mode {
+		case "dpram":
+			scheme, err = dpram.Resume(pipe, ck.State, ramOpts)
+		case "pathoram":
+			scheme, err = pathoram.Resume(pipe, ck.State, oramOpts)
+		}
+		if err != nil {
+			return nil, "", fmt.Errorf("%s resume: %w", mode, err)
+		}
+		desc += fmt.Sprintf(", recovered at epoch %d (%d pending writes replayed)", journal.Epoch(), len(ck.Pending))
+	} else {
+		// Fresh directory: set up through the (not yet journaled)
+		// pipeline, land everything, and seed the journal.
+		scheme, err = setupScheme(mode, records, recordSize, pipe, ramOpts, oramOpts)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := pipe.Flush(); err != nil {
+			return nil, "", fmt.Errorf("%s setup flush: %w", mode, err)
+		}
+		state, err := scheme.MarshalState()
+		if err != nil {
+			return nil, "", fmt.Errorf("%s initial state: %w", mode, err)
+		}
+		if err := journal.Append(proxy.Checkpoint{State: state}); err != nil {
+			return nil, "", fmt.Errorf("%s initial checkpoint: %w", mode, err)
+		}
+		desc += fmt.Sprintf(", journaled at epoch %d", journal.Epoch())
+	}
+	p, err := proxy.NewDurable(scheme, proxy.Options{Pipeline: pipe}, journal)
+	if err != nil {
+		return nil, "", err
 	}
 	return p, fmt.Sprintf("%s over %d records × %d B (backing: %s)", mode, records, recordSize, desc), nil
+}
+
+// setupScheme runs the scheme's Setup over a zeroed logical database.
+func setupScheme(mode string, records, recordSize int, server store.Server, ramOpts dpram.Options, oramOpts pathoram.Options) (proxy.DurableScheme, error) {
+	db, err := block.NewDatabase(records, recordSize)
+	if err != nil {
+		return nil, fmt.Errorf("proxy database: %w", err)
+	}
+	switch mode {
+	case "dpram":
+		c, err := dpram.Setup(db, server, ramOpts)
+		if err != nil {
+			return nil, fmt.Errorf("dpram setup: %w", err)
+		}
+		return c, nil
+	case "pathoram":
+		o, err := pathoram.Setup(db, server, oramOpts)
+		if err != nil {
+			return nil, fmt.Errorf("pathoram setup: %w", err)
+		}
+		return o, nil
+	}
+	return nil, fmt.Errorf("unknown scheme %q", mode)
 }
 
 func openOrCreate(path string, slots, blockSize int) (*store.File, error) {

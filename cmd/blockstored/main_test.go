@@ -9,9 +9,14 @@ import (
 
 // TestNamespaceFactoryRejectsHostileShapes: a client-requested shape whose
 // byte product overflows int64 must be rejected by the budget check, not
-// turned into a daemon-killing allocation.
+// turned into a daemon-killing allocation. Exercises the factory the
+// daemon actually installs (tenantRegistry, in its no-data-dir form).
 func TestNamespaceFactoryRejectsHostileShapes(t *testing.T) {
-	factory := namespaceFactory(64, 32, 4, 1<<30)
+	reg, err := newTenantRegistry("", 64, 32, 4, 1<<30, &shutdown{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := reg.factory
 	bad := [][2]int{
 		{math.MaxInt64 >> 4, 32}, // product overflows int64
 		{1 << 59, 32},            // wraps to 0 under naive int64 multiply

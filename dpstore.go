@@ -106,6 +106,41 @@ type Accessor = store.Accessor
 // DefaultNamespace is the namespace pre-namespace clients speak to.
 const DefaultNamespace = store.DefaultNamespace
 
+// DurableServer is the crash-safe disk engine: checksummed pages, a
+// group-commit write-ahead log, replay on open, and snapshot+truncate
+// compaction. Every acknowledged WriteBatch survives process death, and a
+// batch is atomic across crashes.
+type DurableServer = store.Durable
+
+// DurableServerOptions configures the engine (sync discipline, WAL
+// compaction threshold).
+type DurableServerOptions = store.DurableOptions
+
+// WAL sync disciplines for DurableServerOptions.Sync.
+const (
+	SyncGroup = store.SyncGroup // one fsync per commit round (default)
+	SyncEach  = store.SyncEach  // one fsync per WriteBatch
+	SyncNone  = store.SyncNone  // no write-path fsync; Sync()/Close() only
+)
+
+// CreateDurableServer creates a durable store at base (<base>.pages and
+// <base>.wal) with n zeroed slots of blockSize bytes.
+func CreateDurableServer(base string, n, blockSize int, opts DurableServerOptions) (*DurableServer, error) {
+	return store.CreateDurable(base, n, blockSize, opts)
+}
+
+// OpenDurableServer opens an existing durable store, replaying its
+// write-ahead log; a legacy headerless File-format store of the same
+// shape is migrated to the engine format in place.
+func OpenDurableServer(base string, n, blockSize int, opts DurableServerOptions) (*DurableServer, error) {
+	return store.OpenDurable(base, n, blockSize, opts)
+}
+
+// OpenOrCreateDurableServer opens base if present, creates it otherwise.
+func OpenOrCreateDurableServer(base string, n, blockSize int, opts DurableServerOptions) (*DurableServer, error) {
+	return store.OpenOrCreateDurable(base, n, blockSize, opts)
+}
+
 // NewMemServer returns an in-memory Server with n slots of blockSize bytes.
 func NewMemServer(n, blockSize int) (Server, error) { return store.NewMem(n, blockSize) }
 
@@ -186,6 +221,49 @@ func NewProxy(scheme ProxyScheme, opts ProxyOptions) *Proxy { return proxy.New(s
 // up the scheme over the returned pipeline and pass it to NewProxy via
 // ProxyOptions.Pipeline.
 func NewProxyPipeline(inner BatchServer) *ProxyPipeline { return proxy.NewPipeline(inner) }
+
+// DurableProxyScheme is a ProxyScheme whose client state can be
+// checkpointed (MarshalState); DPRAM and the Path ORAM baseline both
+// satisfy it, each with a matching Resume constructor.
+type DurableProxyScheme = proxy.DurableScheme
+
+// ProxyJournal is the durable proxy's checkpoint log: scheme client state
+// plus acked-but-unflushed physical writes, CRC-framed, group-committed
+// per access burst, compacted by atomic rewrite. It also owns the
+// recovery epoch reported in the wire handshake.
+type ProxyJournal = proxy.Journal
+
+// ProxyCheckpoint is one recoverable proxy state.
+type ProxyCheckpoint = proxy.Checkpoint
+
+// OpenProxyJournal opens (or creates) a checkpoint journal, returning the
+// newest intact checkpoint (nil for a fresh journal) with the recovery
+// epoch bumped. limit ≤ 0 selects the default compaction threshold.
+func OpenProxyJournal(path string, limit int64) (*ProxyJournal, *ProxyCheckpoint, error) {
+	return proxy.OpenJournal(path, limit)
+}
+
+// NewDurableProxy starts a journaled proxy: every access is made durable
+// (scheme state + held writes in one checkpoint) before it is
+// acknowledged. The scheme must have been set up or resumed over pipe,
+// which wraps the recovered physical store; see cmd/blockstored's -data
+// mode for the full recovery sequence.
+func NewDurableProxy(scheme DurableProxyScheme, pipe *ProxyPipeline, journal *ProxyJournal) (*Proxy, error) {
+	return proxy.NewDurable(scheme, proxy.Options{Pipeline: pipe}, journal)
+}
+
+// ReplayProxyPending lands a recovered checkpoint's acked-but-unflushed
+// writes on the physical store — the step between reopening the store and
+// resuming the scheme.
+func ReplayProxyPending(backing BatchServer, ck *ProxyCheckpoint) error {
+	return proxy.ReplayPending(backing, ck)
+}
+
+// ResumeDPRAM rebuilds a DP-RAM client from a MarshalState snapshot over
+// a server that already holds its encrypted array; nothing is uploaded.
+func ResumeDPRAM(server Server, state []byte, opts DPRAMOptions) (*DPRAM, error) {
+	return dpram.Resume(server, state, opts)
+}
 
 // ServeProxy serves p as the default namespace of a wire daemon on ln —
 // the embeddable form of `blockstored -proxy`.

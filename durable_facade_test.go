@@ -1,0 +1,63 @@
+package dpstore_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"dpstore"
+)
+
+// TestFacadeDurableRoundTrip drives the whole durable surface through the
+// public facade: engine create/write/close, reopen with WAL replay, DP-RAM
+// setup + state checkpoint, and a Resume over the reopened engine.
+func TestFacadeDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "blocks")
+
+	const n, recSize = 32, 24
+	opts := dpstore.DPRAMOptions{Rand: dpstore.NewRand(5), StashParam: 4}
+	physBS := dpstore.DPRAMServerBlockSize(recSize, opts)
+
+	srv, err := dpstore.CreateDurableServer(base, n, physBS, dpstore.DurableServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dpstore.NewDatabase(n, recSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram, err := dpstore.SetupDPRAM(db, srv, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dpstore.NewBlock(recSize)
+	copy(want, "facade-durable")
+	if _, err := ram.Write(11, want); err != nil {
+		t.Fatal(err)
+	}
+	state, err := ram.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := dpstore.OpenDurableServer(base, n, physBS, dpstore.DurableServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ram2, err := dpstore.ResumeDPRAM(srv2, state, dpstore.DPRAMOptions{Rand: dpstore.NewRand(6), StashParam: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ram2.Read(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed read = %q, want %q", got, want)
+	}
+}

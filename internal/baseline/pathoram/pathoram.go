@@ -76,6 +76,7 @@ type ORAM struct {
 	numLeaves int
 	server    store.BatchServer
 	cipher    *crypto.Cipher
+	key       crypto.Key // master key behind cipher; serialized by MarshalState
 	pos       positionMap
 	stash     map[int]stashEntry
 	src       *rng.Source
@@ -165,6 +166,7 @@ func Setup(db *block.Database, server store.Server, opts Options) (*ORAM, error)
 			}
 			key = k
 		}
+		o.key = key
 		o.cipher = crypto.NewCipher(key)
 	}
 

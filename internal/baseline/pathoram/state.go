@@ -1,0 +1,388 @@
+// Client-state serialization for Path ORAM, flat and recursive.
+//
+// Unlike DP-RAM's stash-only client, a Path ORAM client carries the
+// position map, the stash with per-block leaf tags, and possibly a parked
+// path rewrite (pendingWrite) from an interrupted eviction. All of it is
+// captured here so the durable proxy can checkpoint the scheme at an
+// access boundary and Resume it over a crash-recovered store — including
+// replaying the parked rewrite, whose idempotence argument (same
+// ciphertexts to the same slots) is exactly the one flushPending already
+// relies on for transient faults; the checkpoint extends it across process
+// death. The coin source is not serialized for the same reason as in
+// dpram: leaf assignments are fresh uniform draws, so a resumed client's
+// transcript distribution — and its deterministic shape — is unchanged.
+package pathoram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dpstore/internal/block"
+	"dpstore/internal/crypto"
+	"dpstore/internal/mathx"
+	"dpstore/internal/statecodec"
+	"dpstore/internal/store"
+)
+
+var (
+	oramStateMagic      = [8]byte{'P', 'O', 'R', 'A', 'M', 'S', 'T', '1'}
+	recursiveStateMagic = [8]byte{'P', 'O', 'R', 'A', 'M', 'R', 'C', '1'}
+)
+
+// ErrState reports client-state bytes that cannot be restored.
+var ErrState = errors.New("pathoram: invalid client state")
+
+const (
+	oramFlagPlaintext = 1 << 0
+	oramFlagLocalPos  = 1 << 1
+)
+
+// MarshalState serializes the ORAM client: shape, master key, position map
+// (when held locally — a recursion level whose positions live in the next
+// ORAM marks them absent), stash entries, counters, and any parked path
+// rewrite. Sensitive: contains the key and plaintext records.
+func (o *ORAM) MarshalState() ([]byte, error) {
+	ids := make([]int, 0, len(o.stash))
+	for id := range o.stash {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	out := make([]byte, 0, 64+4*o.n+len(ids)*(12+o.plainSize))
+	out = append(out, oramStateMagic[:]...)
+	out = binary.BigEndian.AppendUint64(out, uint64(o.n))
+	out = binary.BigEndian.AppendUint32(out, uint32(o.z))
+	out = binary.BigEndian.AppendUint32(out, uint32(o.numLeaves))
+	out = binary.BigEndian.AppendUint32(out, uint32(o.plainSize))
+	var flags byte
+	if o.plaintext {
+		flags |= oramFlagPlaintext
+	}
+	pm, local := o.pos.(localPosMap)
+	if local {
+		flags |= oramFlagLocalPos
+	}
+	out = append(out, flags)
+	out = binary.BigEndian.AppendUint32(out, uint32(o.maxStash))
+	out = binary.BigEndian.AppendUint64(out, uint64(o.roundTrips))
+	out = binary.BigEndian.AppendUint64(out, uint64(o.accesses))
+	out = append(out, o.key[:]...)
+	if local {
+		for _, p := range pm {
+			out = binary.BigEndian.AppendUint32(out, uint32(p))
+		}
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(ids)))
+	for _, id := range ids {
+		e := o.stash[id]
+		out = binary.BigEndian.AppendUint64(out, uint64(id))
+		out = binary.BigEndian.AppendUint32(out, uint32(e.pos))
+		out = append(out, e.data...)
+	}
+	// Parked path rewrite from an interrupted eviction, if any: the slot
+	// ciphertexts are opaque server blocks of the server's block size.
+	out = binary.BigEndian.AppendUint32(out, uint32(len(o.pendingWrite)))
+	if len(o.pendingWrite) > 0 {
+		out = binary.BigEndian.AppendUint32(out, uint32(o.server.BlockSize()))
+		for _, op := range o.pendingWrite {
+			out = binary.BigEndian.AppendUint64(out, uint64(op.Addr))
+			out = append(out, op.Block...)
+		}
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(o.pendingEvict)))
+	for _, id := range o.pendingEvict {
+		out = binary.BigEndian.AppendUint64(out, uint64(id))
+	}
+	return out, nil
+}
+
+// oramState is the decoded form of MarshalState's output.
+type oramState struct {
+	n, z, numLeaves, plainSize int
+	plaintext, localPos        bool
+	maxStash                   int
+	roundTrips, accesses       int64
+	key                        crypto.Key
+	positions                  []int
+	stash                      map[int]stashEntry
+	pendingWrite               []store.WriteOp
+	pendingEvict               []int
+}
+
+func decodeORAMState(data []byte) (*oramState, error) {
+	r := statecodec.NewReader(data)
+	if !r.Magic(oramStateMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrState)
+	}
+	st := &oramState{}
+	st.n = int(r.U64())
+	st.z = int(r.U32())
+	st.numLeaves = int(r.U32())
+	st.plainSize = int(r.U32())
+	flags := r.U8()
+	st.plaintext = flags&oramFlagPlaintext != 0
+	st.localPos = flags&oramFlagLocalPos != 0
+	st.maxStash = int(r.U32())
+	st.roundTrips = int64(r.U64())
+	st.accesses = int64(r.U64())
+	copy(st.key[:], r.Bytes(crypto.KeySize))
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if st.n < 2 || st.z < 1 || st.numLeaves < 1 || st.plainSize <= 0 {
+		return nil, fmt.Errorf("%w: implausible shape n=%d z=%d leaves=%d rec=%d", ErrState, st.n, st.z, st.numLeaves, st.plainSize)
+	}
+	if st.localPos {
+		st.positions = make([]int, st.n)
+		for i := range st.positions {
+			p := int(r.U32())
+			if r.Err() == nil && p >= st.numLeaves {
+				return nil, fmt.Errorf("%w: position %d outside [0,%d)", ErrState, p, st.numLeaves)
+			}
+			st.positions[i] = p
+		}
+	}
+	stashCount := int(r.U32())
+	if r.Err() != nil || stashCount < 0 || stashCount > st.n {
+		return nil, fmt.Errorf("%w: stash count %d", ErrState, stashCount)
+	}
+	st.stash = make(map[int]stashEntry, stashCount)
+	for j := 0; j < stashCount; j++ {
+		id := int(r.U64())
+		pos := int(r.U32())
+		data := r.Bytes(st.plainSize)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if id < 0 || id >= st.n || pos < 0 || pos >= st.numLeaves {
+			return nil, fmt.Errorf("%w: stash entry id=%d pos=%d", ErrState, id, pos)
+		}
+		st.stash[id] = stashEntry{pos: pos, data: block.Block(data).Copy()}
+	}
+	pwCount := int(r.U32())
+	if r.Err() != nil || pwCount < 0 {
+		return nil, fmt.Errorf("%w: pending write count %d", ErrState, pwCount)
+	}
+	if pwCount > 0 {
+		slotBS := int(r.U32())
+		if r.Err() != nil || slotBS <= 0 {
+			return nil, fmt.Errorf("%w: pending write block size", ErrState)
+		}
+		st.pendingWrite = make([]store.WriteOp, pwCount)
+		for j := 0; j < pwCount; j++ {
+			addr := int(r.U64())
+			data := r.Bytes(slotBS)
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			st.pendingWrite[j] = store.WriteOp{Addr: addr, Block: block.Block(data).Copy()}
+		}
+	}
+	peCount := int(r.U32())
+	if r.Err() != nil || peCount < 0 {
+		return nil, fmt.Errorf("%w: pending evict count %d", ErrState, peCount)
+	}
+	st.pendingEvict = make([]int, peCount)
+	for j := 0; j < peCount; j++ {
+		st.pendingEvict[j] = int(r.U64())
+	}
+	if err := r.Drained(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// RestoreState replaces the client's private state with a snapshot from an
+// identically configured ORAM. A snapshot that carried no local position
+// map (a recursion level) restores everything else and leaves the current
+// position map in place — ResumeRecursive wires the levels back together.
+func (o *ORAM) RestoreState(data []byte) error {
+	st, err := decodeORAMState(data)
+	if err != nil {
+		return err
+	}
+	if st.n != o.n || st.z != o.z || st.numLeaves != o.numLeaves ||
+		st.plainSize != o.plainSize || st.plaintext != o.plaintext {
+		return fmt.Errorf("%w: snapshot shape (n=%d z=%d leaves=%d rec=%d pt=%v) does not match client (n=%d z=%d leaves=%d rec=%d pt=%v)",
+			ErrState, st.n, st.z, st.numLeaves, st.plainSize, st.plaintext,
+			o.n, o.z, o.numLeaves, o.plainSize, o.plaintext)
+	}
+	for _, op := range st.pendingWrite {
+		if op.Addr < 0 || op.Addr >= o.server.Size() || len(op.Block) != o.server.BlockSize() {
+			return fmt.Errorf("%w: pending write op addr=%d size=%d", ErrState, op.Addr, len(op.Block))
+		}
+	}
+	if st.localPos {
+		o.pos = localPosMap(st.positions)
+	}
+	o.stash = st.stash
+	o.maxStash = st.maxStash
+	o.roundTrips = st.roundTrips
+	o.accesses = st.accesses
+	o.key = st.key
+	if !o.plaintext {
+		o.cipher = crypto.NewCipher(st.key)
+	}
+	o.pendingWrite = st.pendingWrite
+	o.pendingEvict = st.pendingEvict
+	return nil
+}
+
+// Resume rebuilds a flat Path ORAM client from a MarshalState snapshot
+// over a server that already holds the matching tree (for example, a
+// crash-recovered store.Durable). Nothing is uploaded; a parked path
+// rewrite in the snapshot is replayed before the next access, exactly as
+// after a transient fault. Options supply the coin source (required) and
+// the mode flags, which must match the snapshot; Key and Z come from the
+// snapshot.
+func Resume(server store.Server, state []byte, opts Options) (*ORAM, error) {
+	if opts.Rand == nil {
+		return nil, errors.New("pathoram: Options.Rand is required")
+	}
+	st, err := decodeORAMState(state)
+	if err != nil {
+		return nil, err
+	}
+	if !st.localPos {
+		return nil, fmt.Errorf("%w: snapshot has no position map (a recursion level?); use ResumeRecursive", ErrState)
+	}
+	if opts.DisableEncryption != st.plaintext {
+		return nil, fmt.Errorf("%w: snapshot plaintext=%v, options say %v", ErrState, st.plaintext, opts.DisableEncryption)
+	}
+	if opts.Z != 0 && opts.Z != st.z {
+		return nil, fmt.Errorf("%w: snapshot Z=%d, options say %d", ErrState, st.z, opts.Z)
+	}
+	shapeOpts := opts
+	shapeOpts.Z = st.z
+	wantSlots, wantBS := TreeShape(st.n, st.plainSize, shapeOpts)
+	if server.Size() != wantSlots || server.BlockSize() != wantBS {
+		return nil, fmt.Errorf("pathoram: server shape (%d,%d), want (%d,%d)",
+			server.Size(), server.BlockSize(), wantSlots, wantBS)
+	}
+	o := newORAMShell(server, st, opts)
+	if err := o.RestoreState(state); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// newORAMShell builds an ORAM struct of the snapshot's shape with no
+// client state yet (RestoreState fills it in).
+func newORAMShell(server store.Server, st *oramState, opts Options) *ORAM {
+	return &ORAM{
+		n:         st.n,
+		z:         st.z,
+		height:    mathx.FloorLog2(st.numLeaves),
+		numLeaves: st.numLeaves,
+		server:    store.AsBatch(server),
+		stash:     make(map[int]stashEntry),
+		src:       opts.Rand,
+		plainSize: st.plainSize,
+		slotPlain: slotHeader + st.plainSize,
+		plaintext: st.plaintext,
+		pos:       localPosMap(nil),
+	}
+}
+
+// --- Recursive ----------------------------------------------------------------
+
+// MarshalState serializes the whole recursion: the packing factor, the
+// top-table accounting copy, and every level's ORAM state. Only the last
+// level carries a local position map; the others' positions live in the
+// next level's blocks and are restored from the servers themselves.
+func (r *Recursive) MarshalState() ([]byte, error) {
+	levels := make([]*ORAM, 0, 1+len(r.maps))
+	levels = append(levels, r.data)
+	levels = append(levels, r.maps...)
+
+	out := make([]byte, 0, 256)
+	out = append(out, recursiveStateMagic[:]...)
+	out = binary.BigEndian.AppendUint32(out, uint32(r.pack))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.top)))
+	for _, p := range r.top {
+		out = binary.BigEndian.AppendUint32(out, uint32(p))
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(levels)))
+	for _, o := range levels {
+		st, err := o.MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(st)))
+		out = append(out, st...)
+	}
+	return out, nil
+}
+
+// ResumeRecursive rebuilds a recursive Path ORAM from a MarshalState
+// snapshot. The factory must return the same backing servers (level by
+// level, shape by shape) the construction was set up over — for a durable
+// deployment, the reopened engines. Options must match the original
+// construction; Inner.Rand is required and split per level exactly as
+// SetupRecursive does.
+func ResumeRecursive(state []byte, factory ServerFactory, opts RecursiveOptions) (*Recursive, error) {
+	if opts.Inner.Rand == nil {
+		return nil, errors.New("pathoram: RecursiveOptions.Inner.Rand is required")
+	}
+	rd := statecodec.NewReader(state)
+	if !rd.Magic(recursiveStateMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrState)
+	}
+	pack := int(rd.U32())
+	topLen := int(rd.U32())
+	if rd.Err() != nil || pack < 2 || topLen < 0 {
+		return nil, fmt.Errorf("%w: pack=%d topLen=%d", ErrState, pack, topLen)
+	}
+	top := make(localPosMap, topLen)
+	for i := range top {
+		top[i] = int(rd.U32())
+	}
+	levelCount := int(rd.U32())
+	if rd.Err() != nil || levelCount < 1 {
+		return nil, fmt.Errorf("%w: level count %d", ErrState, levelCount)
+	}
+	rec := &Recursive{pack: pack, top: top}
+	levels := make([]*ORAM, levelCount)
+	for li := 0; li < levelCount; li++ {
+		stLen := int(rd.U32())
+		raw := rd.Bytes(stLen)
+		if rd.Err() != nil {
+			return nil, rd.Err()
+		}
+		st, err := decodeORAMState(raw)
+		if err != nil {
+			return nil, fmt.Errorf("level %d: %w", li, err)
+		}
+		inner := opts.Inner
+		inner.Rand = opts.Inner.Rand.Split()
+		if st.localPos != (li == levelCount-1) {
+			return nil, fmt.Errorf("%w: level %d localPos=%v", ErrState, li, st.localPos)
+		}
+		shapeOpts := inner
+		shapeOpts.Z = st.z
+		shapeOpts.DisableEncryption = st.plaintext
+		slots, bs := TreeShape(st.n, st.plainSize, shapeOpts)
+		srv, err := factory(li, slots, bs)
+		if err != nil {
+			return nil, fmt.Errorf("pathoram: reopening level-%d server: %w", li, err)
+		}
+		o := newORAMShell(srv, st, inner)
+		if err := o.RestoreState(raw); err != nil {
+			return nil, fmt.Errorf("level %d: %w", li, err)
+		}
+		levels[li] = o
+	}
+	if err := rd.Drained(); err != nil {
+		return nil, err
+	}
+	// Wire the recursion back together: level i's positions live in level
+	// i+1's blocks, the last level keeps its restored local map.
+	for li := 0; li+1 < levelCount; li++ {
+		levels[li].setPositionMap(&oramPosMap{oram: levels[li+1], pack: pack})
+	}
+	rec.data = levels[0]
+	rec.maps = levels[1:]
+	return rec, nil
+}

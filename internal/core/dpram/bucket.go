@@ -34,6 +34,7 @@ type BucketRAM struct {
 	size    int     // common bucket length s
 	c       int     // stash parameter C over buckets: p = C/b
 	cipher  *crypto.Cipher
+	key     crypto.Key // master key behind cipher; serialized by MarshalState
 	src     *rng.Source
 
 	stashed map[int]bool        // bucket index → in stash
@@ -65,6 +66,40 @@ type BucketOptions struct {
 // Appendix E pads Π(u) the same way), and every address must be a valid
 // index into nodes. initial may be nil for an all-zero store.
 func NewBucketRAM(server store.Server, buckets [][]int, initial []block.Block, plainSize int, opts BucketOptions) (*BucketRAM, error) {
+	r, err := buildBucketRAM(server, buckets, plainSize, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := server.Size()
+	zero := block.New(plainSize)
+	w := store.NewBatchWriter(r.server)
+	for a := 0; a < m; a++ {
+		pt := zero
+		if initial != nil && a < len(initial) && initial[a] != nil {
+			if len(initial[a]) != plainSize {
+				return nil, fmt.Errorf("dpram: initial node %d has %d bytes, want %d", a, len(initial[a]), plainSize)
+			}
+			pt = initial[a]
+		}
+		ct, err := r.seal(pt)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.Add(a, ct); err != nil {
+			return nil, fmt.Errorf("dpram: setup upload: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, fmt.Errorf("dpram: setup upload: %w", err)
+	}
+	return r, nil
+}
+
+// buildBucketRAM validates the repertoire and builds the client without
+// touching the server — the shared path of NewBucketRAM (which then
+// uploads the initial contents) and ResumeBucketRAM (which restores over
+// a server that already holds them).
+func buildBucketRAM(server store.Server, buckets [][]int, plainSize int, opts BucketOptions) (*BucketRAM, error) {
 	if opts.Rand == nil {
 		return nil, errors.New("dpram: BucketOptions.Rand is required")
 	}
@@ -123,29 +158,8 @@ func NewBucketRAM(server store.Server, buckets [][]int, initial []block.Block, p
 			}
 			key = k
 		}
+		r.key = key
 		r.cipher = crypto.NewCipher(key)
-	}
-
-	zero := block.New(plainSize)
-	w := store.NewBatchWriter(r.server)
-	for a := 0; a < m; a++ {
-		pt := zero
-		if initial != nil && a < len(initial) && initial[a] != nil {
-			if len(initial[a]) != plainSize {
-				return nil, fmt.Errorf("dpram: initial node %d has %d bytes, want %d", a, len(initial[a]), plainSize)
-			}
-			pt = initial[a]
-		}
-		ct, err := r.seal(pt)
-		if err != nil {
-			return nil, err
-		}
-		if err := w.Add(a, ct); err != nil {
-			return nil, fmt.Errorf("dpram: setup upload: %w", err)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		return nil, fmt.Errorf("dpram: setup upload: %w", err)
 	}
 	return r, nil
 }

@@ -86,6 +86,7 @@ type Client struct {
 	plainSize int
 	c         int // stash parameter C; p = C/n
 	cipher    *crypto.Cipher
+	key       crypto.Key // master key behind cipher; serialized by MarshalState
 	stash     map[int]block.Block
 	src       *rng.Source
 
@@ -151,6 +152,7 @@ func Setup(db *block.Database, server store.Server, opts Options) (*Client, erro
 			}
 			key = k
 		}
+		cl.key = key
 		cl.cipher = crypto.NewCipher(key)
 	}
 

@@ -22,6 +22,7 @@ type Client struct {
 	w          *bufio.Writer
 	records    int
 	recordSize int
+	epoch      uint64
 	roundTrips int64
 }
 
@@ -74,9 +75,14 @@ func dial(addr, name string) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("proxy: server reported invalid shape (%d records × %d B)", info.Size, info.BlockSize)
 	}
-	c.records, c.recordSize = int(info.Size), int(info.BlockSize)
+	c.records, c.recordSize, c.epoch = int(info.Size), int(info.BlockSize), info.Epoch
 	return c, nil
 }
+
+// Epoch returns the recovery epoch the daemon reported in the handshake
+// (0 for a non-durable daemon). A client comparing epochs across
+// connections detects daemon restarts — and therefore recoveries.
+func (c *Client) Epoch() uint64 { return c.epoch }
 
 func (c *Client) roundTrip(req wire.Frame, want byte) (wire.Frame, error) {
 	c.mu.Lock()

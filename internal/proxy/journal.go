@@ -1,0 +1,328 @@
+package proxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"dpstore/internal/block"
+	"dpstore/internal/statecodec"
+	"dpstore/internal/store"
+)
+
+// Journal is the proxy's durable checkpoint log: an append-only file of
+// CRC-framed records, each a complete Checkpoint (scheme client state plus
+// the acked-but-unflushed physical writes at that instant). Recovery needs
+// only the LAST intact record — every record is a full snapshot, not a
+// delta — so compaction is trivial: when the log outgrows its limit, it is
+// rewritten (atomically, via rename) to hold just the newest record.
+//
+// The commit protocol the scheduler follows makes the journal the single
+// source of truth for what was acknowledged:
+//
+//  1. run the scheme accesses (their writes are HELD by the journaled
+//     Pipeline, visible to the scheme through the pending overlay but not
+//     yet on the store);
+//  2. Append a checkpoint capturing the post-access scheme state and the
+//     held writes;
+//  3. Release the pipeline barrier (the writes may now land);
+//  4. acknowledge the clients.
+//
+// A crash before 2 completes leaves the store consistent with the
+// PREVIOUS checkpoint (the held writes never landed); a crash after 2 is
+// repaired by restoring the state and replaying Pending — idempotent, the
+// same ciphertexts to the same slots. Torn tails from a crash mid-append
+// fail the CRC and are discarded at open, which is correct: their
+// accesses were never acknowledged.
+//
+// The journal also owns the proxy's recovery epoch, bumped on every open
+// and reported through the wire handshake.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	limit int64
+	size  int64
+	epoch uint64
+	last  []byte // encoded payload of the newest checkpoint, for compaction
+}
+
+// Checkpoint is one recoverable proxy state: everything needed to resume
+// serving over a crash-recovered physical store.
+type Checkpoint struct {
+	// State is the scheme's MarshalState snapshot.
+	State []byte
+	// Pending holds the acked-but-unflushed physical writes at snapshot
+	// time, freshest per address in sequence order. Recovery replays them
+	// onto the store before the scheme resumes.
+	Pending []store.WriteOp
+}
+
+// ErrJournal reports a journal file the codec cannot use.
+var ErrJournal = errors.New("proxy: invalid journal")
+
+const (
+	journalHdrSize     = 24
+	defaultJournalSize = 64 << 20
+)
+
+var journalMagic = [8]byte{'D', 'P', 'S', 'T', 'J', 'N', 'L', '1'}
+
+const journalVersion = 1
+
+var journalCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeJournalHeader lays out magic ‖ version u32 ‖ epoch u64 ‖ crc u32.
+func encodeJournalHeader(epoch uint64) []byte {
+	h := make([]byte, journalHdrSize)
+	copy(h[:8], journalMagic[:])
+	binary.BigEndian.PutUint32(h[8:12], journalVersion)
+	binary.BigEndian.PutUint64(h[12:20], epoch)
+	binary.BigEndian.PutUint32(h[20:24], crc32.Checksum(h[:20], journalCRC))
+	return h
+}
+
+// encodeCheckpoint lays out a record payload:
+//
+//	stateLen u32 ‖ state ‖ pendingCount u32 ‖ blockSize u32 ‖
+//	count × (addr u64 ‖ block)
+func encodeCheckpoint(ck Checkpoint) ([]byte, error) {
+	blockSize := 0
+	if len(ck.Pending) > 0 {
+		blockSize = len(ck.Pending[0].Block)
+		if blockSize == 0 {
+			return nil, fmt.Errorf("%w: zero-sized pending block", ErrJournal)
+		}
+	}
+	size := 4 + len(ck.State) + 8 + len(ck.Pending)*(8+blockSize)
+	out := make([]byte, 0, size)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(ck.State)))
+	out = append(out, ck.State...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(ck.Pending)))
+	out = binary.BigEndian.AppendUint32(out, uint32(blockSize))
+	for _, op := range ck.Pending {
+		if len(op.Block) != blockSize {
+			return nil, fmt.Errorf("%w: ragged pending block (%d B, want %d)", ErrJournal, len(op.Block), blockSize)
+		}
+		out = binary.BigEndian.AppendUint64(out, uint64(op.Addr))
+		out = append(out, op.Block...)
+	}
+	return out, nil
+}
+
+// decodeCheckpoint parses a record payload.
+func decodeCheckpoint(payload []byte) (*Checkpoint, error) {
+	r := statecodec.NewReader(payload)
+	stateLen := int(r.U32())
+	if r.Err() != nil || stateLen < 0 {
+		return nil, fmt.Errorf("%w: state length", ErrJournal)
+	}
+	state := r.Bytes(stateLen)
+	count := int(r.U32())
+	blockSize := int(r.U32())
+	if r.Err() != nil || count < 0 || (count > 0 && blockSize <= 0) {
+		return nil, fmt.Errorf("%w: pending shape count=%d blockSize=%d", ErrJournal, count, blockSize)
+	}
+	ck := &Checkpoint{State: append([]byte(nil), state...)}
+	ck.Pending = make([]store.WriteOp, count)
+	for i := 0; i < count; i++ {
+		addr := int(r.U64())
+		data := r.Bytes(blockSize)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		ck.Pending[i] = store.WriteOp{Addr: addr, Block: block.Block(data).Copy()}
+	}
+	if err := r.Drained(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// OpenJournal opens (or creates) the checkpoint journal at path, returning
+// the newest intact checkpoint (nil for a fresh journal — the caller runs
+// scheme setup and appends the first one). Opening bumps the recovery
+// epoch and compacts: the file is atomically rewritten to hold the new
+// header plus that one checkpoint, discarding history and any torn tail.
+// limit ≤ 0 selects 64 MiB.
+func OpenJournal(path string, limit int64) (*Journal, *Checkpoint, error) {
+	if limit <= 0 {
+		limit = defaultJournalSize
+	}
+	j := &Journal{path: path, limit: limit}
+
+	var ck *Checkpoint
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		j.epoch = 1
+	case err != nil:
+		return nil, nil, fmt.Errorf("proxy: reading journal %s: %w", path, err)
+	default:
+		epoch, last, derr := scanJournal(data)
+		if derr != nil {
+			return nil, nil, fmt.Errorf("%w: %s: %v", ErrJournal, path, derr)
+		}
+		j.epoch = epoch + 1
+		j.last = last
+		if last != nil {
+			if ck, derr = decodeCheckpoint(last); derr != nil {
+				return nil, nil, fmt.Errorf("%w: %s: %v", ErrJournal, path, derr)
+			}
+		}
+	}
+	if err := j.rewrite(); err != nil {
+		return nil, nil, err
+	}
+	return j, ck, nil
+}
+
+// scanJournal validates the header and walks the records, returning the
+// stored epoch and the payload of the last intact record (nil if none). A
+// torn or corrupt record ends the walk — everything before it stands.
+func scanJournal(data []byte) (epoch uint64, last []byte, err error) {
+	if len(data) < journalHdrSize {
+		return 0, nil, errors.New("short header")
+	}
+	hdr := data[:journalHdrSize]
+	if [8]byte(hdr[:8]) != journalMagic ||
+		crc32.Checksum(hdr[:20], journalCRC) != binary.BigEndian.Uint32(hdr[20:24]) {
+		return 0, nil, errors.New("bad header")
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:12]); v != journalVersion {
+		return 0, nil, fmt.Errorf("journal version %d, this build reads %d", v, journalVersion)
+	}
+	epoch = binary.BigEndian.Uint64(hdr[12:20])
+	rest := data[journalHdrSize:]
+	for len(rest) >= 4 {
+		recLen := int(binary.BigEndian.Uint32(rest[:4]))
+		if recLen < 4 || len(rest)-4 < recLen {
+			break // torn tail
+		}
+		rec := rest[4 : 4+recLen]
+		crcOff := recLen - 4
+		if crc32.Checksum(rec[:crcOff], journalCRC) != binary.BigEndian.Uint32(rec[crcOff:]) {
+			break // corrupt (mid-append crash): unacknowledged, discard
+		}
+		last = rec[:crcOff]
+		rest = rest[4+recLen:]
+	}
+	return epoch, last, nil
+}
+
+// rewrite atomically replaces the journal file with header + newest
+// checkpoint — the compaction primitive, also used at open (epoch bump)
+// and when the log outgrows its limit. Caller holds j.mu or has exclusive
+// access.
+func (j *Journal) rewrite() error {
+	buf := encodeJournalHeader(j.epoch)
+	if j.last != nil {
+		buf = append(buf, frameRecord(j.last)...)
+	}
+	if err := store.WriteFileAtomic(j.path, buf); err != nil {
+		return err
+	}
+	if j.f != nil {
+		j.f.Close()
+	}
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("proxy: reopening journal %s: %w", j.path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("proxy: stat journal %s: %w", j.path, err)
+	}
+	j.f = f
+	j.size = st.Size()
+	return nil
+}
+
+// frameRecord wraps a payload as length u32 ‖ payload ‖ crc u32.
+func frameRecord(payload []byte) []byte {
+	rec := make([]byte, 0, 4+len(payload)+4)
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(payload)+4))
+	rec = append(rec, payload...)
+	rec = binary.BigEndian.AppendUint32(rec, crc32.Checksum(payload, journalCRC))
+	return rec
+}
+
+// Epoch returns the recovery epoch of this journal incarnation.
+func (j *Journal) Epoch() uint64 { return j.epoch }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append makes ck durable: encoded, CRC-framed, appended, fsynced. When
+// the log would outgrow its limit the append becomes a compacting rewrite
+// instead (same durability, one atomic rename). Append returns only once
+// the checkpoint is on stable storage — the caller may then release held
+// writes and acknowledge clients.
+func (j *Journal) Append(ck Checkpoint) error {
+	payload, err := encodeCheckpoint(ck)
+	if err != nil {
+		return err
+	}
+	rec := frameRecord(payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("%w: journal closed", ErrJournal)
+	}
+	if j.size+int64(len(rec)) > j.limit {
+		j.last = payload
+		return j.rewrite()
+	}
+	if _, err := j.f.WriteAt(rec, j.size); err != nil {
+		return fmt.Errorf("proxy: appending journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("proxy: syncing journal: %w", err)
+	}
+	j.size += int64(len(rec))
+	j.last = payload
+	return nil
+}
+
+// Size returns the current journal file size in bytes.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// ReplayPending applies a recovered checkpoint's pending writes to the
+// physical store — the recovery step between reopening the store and
+// resuming the scheme. Idempotent: the ops carry the same ciphertexts to
+// the same slots whether or not a prefix already landed before the crash.
+func ReplayPending(backing store.BatchServer, ck *Checkpoint) error {
+	if ck == nil || len(ck.Pending) == 0 {
+		return nil
+	}
+	if err := backing.WriteBatch(ck.Pending); err != nil {
+		return fmt.Errorf("proxy: replaying %d pending writes: %w", len(ck.Pending), err)
+	}
+	return nil
+}
+
+var _ io.Closer = (*Journal)(nil)

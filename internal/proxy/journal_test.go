@@ -1,0 +1,219 @@
+package proxy
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/store"
+)
+
+func mkCheckpoint(tag byte, pending int) Checkpoint {
+	ck := Checkpoint{State: bytes.Repeat([]byte{tag}, 40)}
+	for i := 0; i < pending; i++ {
+		b := block.New(16)
+		b[0] = tag + byte(i)
+		ck.Pending = append(ck.Pending, store.WriteOp{Addr: i, Block: b})
+	}
+	return ck
+}
+
+// TestJournalRoundTrip: append checkpoints, reopen, get the newest back,
+// with the epoch bumped per open.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, ck, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck != nil {
+		t.Fatal("fresh journal returned a checkpoint")
+	}
+	if j.Epoch() != 1 {
+		t.Fatalf("fresh epoch = %d", j.Epoch())
+	}
+	for tag := byte(1); tag <= 3; tag++ {
+		if err := j.Append(mkCheckpoint(tag, int(tag))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, ck2, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Epoch() != 2 {
+		t.Fatalf("second epoch = %d", j2.Epoch())
+	}
+	if ck2 == nil || ck2.State[0] != 3 || len(ck2.Pending) != 3 {
+		t.Fatalf("recovered wrong checkpoint: %+v", ck2)
+	}
+	if ck2.Pending[2].Block[0] != 3+2 {
+		t.Fatal("pending block content lost")
+	}
+}
+
+// TestJournalTornTail: a torn or corrupted trailing record is discarded;
+// the previous intact checkpoint survives.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(mkCheckpoint(7, 2)); err != nil {
+		t.Fatal(err)
+	}
+	good := j.Size()
+	if err := j.Append(mkCheckpoint(9, 1)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	for name, mutate := range map[string]func([]byte) []byte{
+		"torn":    func(d []byte) []byte { return d[:good+5] },                     // mid-record cut
+		"corrupt": func(d []byte) []byte { d[good+6] ^= 0xFF; return d },           // payload bit flip
+		"lenlie":  func(d []byte) []byte { d[good+1] = 0x7F; return d[:len(d)-2] }, // huge length + short file
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		broken := filepath.Join(t.TempDir(), "broken")
+		if err := os.WriteFile(broken, mutate(append([]byte(nil), data...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, ck, err := OpenJournal(broken, 0)
+		if err != nil {
+			t.Fatalf("%s: open failed: %v", name, err)
+		}
+		if ck == nil || ck.State[0] != 7 || len(ck.Pending) != 2 {
+			t.Fatalf("%s: recovered %+v, want the tag-7 checkpoint", name, ck)
+		}
+		j2.Close()
+	}
+}
+
+// TestJournalCompaction: the log never grows past limit + one record, and
+// compaction preserves the newest checkpoint.
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _, err := OpenJournal(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tag := byte(1); tag <= 100; tag++ {
+		if err := j.Append(mkCheckpoint(tag, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if j.Size() > 4096 {
+			t.Fatalf("journal at %d bytes despite 4096 limit", j.Size())
+		}
+	}
+	j.Close()
+	_, ck, err := OpenJournal(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.State[0] != 100 {
+		t.Fatalf("compaction lost the newest checkpoint: %+v", ck)
+	}
+}
+
+// TestReplayPending applies the pending set onto a store, idempotently.
+func TestReplayPending(t *testing.T) {
+	m, _ := store.NewMem(8, 16)
+	ck := mkCheckpoint(5, 3)
+	for i := 0; i < 2; i++ { // twice: replay must be idempotent
+		if err := ReplayPending(m, &ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Download(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5+2 {
+		t.Fatal("pending write not applied")
+	}
+	if err := ReplayPending(m, nil); err != nil {
+		t.Fatal("nil checkpoint should be a no-op")
+	}
+}
+
+// TestPipelineJournaledHold: in journaled mode writes are invisible to the
+// inner store until Release, while reads see them through the overlay; the
+// snapshot lists them freshest-per-address in sequence order.
+func TestPipelineJournaledHold(t *testing.T) {
+	mem, _ := store.NewMem(8, 8)
+	counting := store.NewCounting(mem)
+	p := NewJournaledPipeline(counting)
+	b1, b2 := block.New(8), block.New(8)
+	b1[0], b2[0] = 1, 2
+	if err := p.WriteBatch([]store.WriteOp{{Addr: 3, Block: b1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteBatch([]store.WriteOp{{Addr: 3, Block: b2}, {Addr: 5, Block: b1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Overlay serves the held writes; the store has seen none of them.
+	got, err := p.Download(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatal("overlay missed a held write")
+	}
+	if up := counting.Stats().Uploads; up != 0 {
+		t.Fatalf("%d uploads leaked past the barrier", up)
+	}
+	ops, seq := p.PendingSnapshot()
+	if seq != 3 || len(ops) != 2 || ops[0].Addr != 3 || ops[0].Block[0] != 2 || ops[1].Addr != 5 {
+		t.Fatalf("snapshot = %v seq %d", ops, seq)
+	}
+	p.Release(seq)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if up := counting.Stats().Uploads; up == 0 {
+		t.Fatal("release did not let writes land")
+	}
+	got, err = mem.Download(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatal("landed write has wrong value")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineJournaledDiscardOnClose: writes never covered by a release
+// are dropped — not flushed — when the pipeline dies, because flushing
+// unjournaled writes would desynchronize store and journal.
+func TestPipelineJournaledDiscardOnClose(t *testing.T) {
+	mem, _ := store.NewMem(8, 8)
+	counting := store.NewCounting(mem)
+	p := NewJournaledPipeline(counting)
+	b := block.New(8)
+	b[0] = 9
+	if err := p.WriteBatch([]store.WriteOp{{Addr: 1, Block: b}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if up := counting.Stats().Uploads; up != 0 {
+		t.Fatalf("%d unjournaled uploads reached the store at close", up)
+	}
+	got, _ := mem.Download(1)
+	if got[0] != 0 {
+		t.Fatal("discarded write landed anyway")
+	}
+}

@@ -3,6 +3,7 @@ package proxy
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"dpstore/internal/block"
@@ -71,6 +72,12 @@ type Pipeline struct {
 	sticky   error
 	closed   bool
 
+	// journaled mode: the writer may only flush ops whose seq is covered
+	// by the release barrier — i.e. ops a durable checkpoint has recorded.
+	// See NewJournaledPipeline.
+	journaled bool
+	released  uint64
+
 	jobs chan job
 	done chan struct{}
 }
@@ -104,6 +111,91 @@ func NewPipeline(inner store.BatchServer) *Pipeline {
 	return p
 }
 
+// NewJournaledPipeline wraps inner with a write-behind stage already in
+// journaled (write-hold) mode; see SetJournaled.
+func NewJournaledPipeline(inner store.BatchServer) *Pipeline {
+	p := NewPipeline(inner)
+	p.SetJournaled()
+	return p
+}
+
+// SetJournaled switches the pipeline into journaled (write-hold) mode: the
+// writer goroutine flushes an op to the inner store only once Release has
+// advanced past its sequence number. The durable proxy uses this to keep
+// physical writes OFF the store until the checkpoint describing them —
+// scheme state plus the pending ops themselves — is durable in the
+// journal: a crash before the checkpoint then leaves the store exactly
+// consistent with the previous checkpoint, and a crash after it is
+// repaired by replaying the journal's pending ops. Reads still see the
+// held writes through the pending overlay, so the scheme's
+// read-your-writes view is unchanged.
+//
+// Call it at a quiescent point (after setup flush, before serving); it is
+// not synchronized against in-flight WriteBatch calls.
+func (p *Pipeline) SetJournaled() {
+	p.mu.Lock()
+	p.journaled = true
+	p.mu.Unlock()
+}
+
+// Journaled reports whether the pipeline is in write-hold mode.
+func (p *Pipeline) Journaled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.journaled
+}
+
+// Release advances the flush barrier: every held op with seq ≤ upTo may
+// now reach the inner store. The proxy calls it right after the journal
+// append that recorded those ops returns.
+func (p *Pipeline) Release(upTo uint64) {
+	p.mu.Lock()
+	if upTo > p.released {
+		p.released = upTo
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// PendingSnapshot returns the acked-but-unflushed writes (freshest per
+// address, in sequence order — replaying them in that order reproduces
+// the same final store state as the full write history) together with the
+// highest sequence number assigned so far, which is what the caller hands
+// to Release once the snapshot is durable.
+func (p *Pipeline) PendingSnapshot() ([]store.WriteOp, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	type entry struct {
+		seq  uint64
+		addr int
+	}
+	entries := make([]entry, 0, len(p.pending))
+	for addr, pb := range p.pending {
+		entries = append(entries, entry{seq: pb.seq, addr: addr})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	ops := make([]store.WriteOp, len(entries))
+	for i, e := range entries {
+		// The block is owned by the pipeline and never mutated after entry
+		// (flushes only delete map entries), so aliasing is safe for the
+		// synchronous encode that follows.
+		ops[i] = store.WriteOp{Addr: e.addr, Block: p.pending[e.addr].data}
+	}
+	return ops, p.seq
+}
+
+// poison marks the pipeline dead with err (first error wins) and wakes
+// every waiter. The proxy uses it when a checkpoint fails: unjournaled
+// writes must never reach the store, so the pipeline cannot continue.
+func (p *Pipeline) poison(err error) {
+	p.mu.Lock()
+	if p.sticky == nil {
+		p.sticky = err
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
 // writer drains the job queue, coalescing whatever is already queued into
 // one inner WriteBatch — consecutive accesses' evictions merge into a
 // single round trip, which keeps the write path off the critical path even
@@ -121,7 +213,7 @@ func (p *Pipeline) writer() {
 			select {
 			case more, ok := <-p.jobs:
 				if !ok {
-					p.flush(ops, seqs)
+					p.dispatch(ops, seqs)
 					return
 				}
 				ops = append(ops, more.ops...)
@@ -130,8 +222,53 @@ func (p *Pipeline) writer() {
 				break coalesce
 			}
 		}
-		p.flush(ops, seqs)
+		p.dispatch(ops, seqs)
 	}
+}
+
+// dispatch flushes one coalesced group, first honoring the journaled-mode
+// release barrier: ops not yet covered by a durable checkpoint wait here.
+// If the barrier can never advance (poisoned, or closed with a checkpoint
+// missing), the group is DISCARDED rather than flushed — unjournaled
+// writes reaching the store would desynchronize it from the journal, which
+// is exactly the corruption the barrier exists to prevent; the accesses
+// that produced them were never acknowledged.
+func (p *Pipeline) dispatch(ops []store.WriteOp, seqs []uint64) {
+	if len(seqs) > 0 && !p.waitReleased(seqs[len(seqs)-1]) {
+		p.discard(ops, seqs)
+		return
+	}
+	p.flush(ops, seqs)
+}
+
+// waitReleased blocks until the release barrier covers maxSeq, returning
+// false when that will never happen.
+func (p *Pipeline) waitReleased(maxSeq uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if !p.journaled || p.released >= maxSeq {
+			return true
+		}
+		if p.sticky != nil || p.closed {
+			return false
+		}
+		p.cond.Wait()
+	}
+}
+
+// discard drops a never-released group, keeping the accounting honest so
+// Flush and PendingWrites converge.
+func (p *Pipeline) discard(ops []store.WriteOp, seqs []uint64) {
+	p.mu.Lock()
+	for i, op := range ops {
+		if pb, ok := p.pending[op.Addr]; ok && pb.seq == seqs[i] {
+			delete(p.pending, op.Addr)
+		}
+	}
+	p.inFlight -= len(ops)
+	p.mu.Unlock()
+	p.cond.Broadcast()
 }
 
 // flush lands one coalesced batch, retrying transient failures, then
@@ -281,6 +418,7 @@ func (p *Pipeline) Close() error {
 	already := p.closed
 	p.closed = true
 	p.mu.Unlock()
+	p.cond.Broadcast() // wake a writer parked on the release barrier
 	if !already {
 		close(p.jobs)
 	}

@@ -49,6 +49,28 @@ type Scheme interface {
 // ErrClosed reports an access against a closed proxy.
 var ErrClosed = errors.New("proxy: closed")
 
+// DurableScheme is a Scheme whose client state can be checkpointed — the
+// contract journaled proxies require. dpram.Client and pathoram.ORAM both
+// satisfy it.
+type DurableScheme interface {
+	Scheme
+	// MarshalState serializes the scheme's private client state (stash,
+	// position map, keys) at an access boundary.
+	MarshalState() ([]byte, error)
+}
+
+// checkpointBurst bounds how many queued requests the scheduler executes
+// between two checkpoints in journaled mode. Every request in a burst
+// still gets its own scheme access, in arrival order, with no dedup — the
+// burst changes only how many accesses share one journal fsync, the
+// proxy-level analogue of the engine's group commit. Acks are withheld
+// until the shared checkpoint is durable, so the durability contract per
+// request is unchanged. The bound also caps how many held write jobs can
+// queue behind the pipeline barrier, keeping well clear of the pipeline's
+// backpressure depth (a blocked scheduler could otherwise deadlock against
+// the writer it has not yet released).
+const checkpointBurst = 16
+
 // Options configures a Proxy.
 type Options struct {
 	// Queue is the request queue capacity: how many client requests may
@@ -83,6 +105,7 @@ type result struct {
 type Proxy struct {
 	scheme     Scheme
 	pipe       *Pipeline
+	journal    *Journal
 	records    int
 	recordSize int
 
@@ -93,7 +116,11 @@ type Proxy struct {
 	closed  bool
 	senders sync.WaitGroup
 
-	accesses atomic.Int64
+	stickyMu sync.Mutex
+	sticky   error // a failed checkpoint poisons the proxy
+
+	accesses    atomic.Int64
+	checkpoints atomic.Int64
 }
 
 // New starts a proxy serving scheme. The scheme must not be used directly
@@ -115,17 +142,144 @@ func New(scheme Scheme, opts Options) *Proxy {
 	return p
 }
 
+// NewDurable starts a journaled proxy: every access's effects — scheme
+// state mutation AND physical writes — are made durable in the journal
+// before the access is acknowledged, following the commit protocol on
+// Journal. Requirements: the scheme was set up (or resumed) over
+// opts.Pipeline, opts.Pipeline wraps the recovered physical store, and the
+// journal already holds (or is about to receive, via the daemon's initial
+// append) a checkpoint consistent with that store. The pipeline is
+// switched into journaled write-hold mode here if it is not already.
+func NewDurable(scheme DurableScheme, opts Options, journal *Journal) (*Proxy, error) {
+	if journal == nil {
+		return nil, errors.New("proxy: NewDurable requires a journal")
+	}
+	if opts.Pipeline == nil {
+		return nil, errors.New("proxy: NewDurable requires the scheme's pipeline (synchronous writes would land before their checkpoint)")
+	}
+	opts.Pipeline.SetJournaled()
+	queue := opts.Queue
+	if queue <= 0 {
+		queue = 64
+	}
+	p := &Proxy{
+		scheme:     scheme,
+		pipe:       opts.Pipeline,
+		journal:    journal,
+		records:    scheme.N(),
+		recordSize: scheme.RecordSize(),
+		reqs:       make(chan request, queue),
+		schedDone:  make(chan struct{}),
+	}
+	go p.scheduler()
+	return p, nil
+}
+
 // scheduler owns the scheme: requests execute one at a time in arrival
 // order. One queued request is exactly one scheme access — no dedup, no
 // reordering, no batching of "equal" requests (see the package comment for
 // why that would be a privacy bug, not an optimization).
+//
+// In journaled mode the scheduler additionally group-commits durability:
+// it drains up to checkpointBurst queued requests, executes each as its
+// own access, writes ONE checkpoint covering them all, releases the
+// pipeline barrier, and only then acknowledges them. The physical trace is
+// identical to the non-journaled schedule (same accesses, same order);
+// only the ack timing and the fsync amortization differ.
 func (p *Proxy) scheduler() {
 	defer close(p.schedDone)
 	for req := range p.reqs {
-		b, err := p.scheme.Access(req.q)
-		p.accesses.Add(1)
-		req.resp <- result{b: b, err: err}
+		if p.journal == nil {
+			b, err := p.scheme.Access(req.q)
+			p.accesses.Add(1)
+			req.resp <- result{b: b, err: err}
+			continue
+		}
+		burst := []request{req}
+	gather:
+		for len(burst) < checkpointBurst {
+			select {
+			case more, ok := <-p.reqs:
+				if !ok {
+					break gather // closing: finish this burst, then exit
+				}
+				burst = append(burst, more)
+			default:
+				break gather
+			}
+		}
+		if err := p.stickyErr(); err != nil {
+			// A previous checkpoint failed: the scheme's in-memory state
+			// has already diverged from the journal (its held writes were
+			// discarded). Running more accesses — and above all writing
+			// more checkpoints — would persist that divergence; fail the
+			// queued requests instead.
+			for _, r := range burst {
+				r.resp <- result{err: err}
+			}
+			continue
+		}
+		results := make([]result, len(burst))
+		for i, r := range burst {
+			b, err := r.run(p)
+			results[i] = result{b: b, err: err}
+		}
+		if err := p.checkpoint(); err != nil {
+			// The accesses happened in memory but their durability could
+			// not be secured: fail them all (their held writes will be
+			// discarded, the store stays at the previous checkpoint) and
+			// poison the proxy — serving on would ack state that cannot
+			// survive a restart.
+			p.poison(err)
+			for i := range results {
+				results[i] = result{err: err}
+			}
+		}
+		for i, r := range burst {
+			r.resp <- results[i]
+		}
 	}
+}
+
+// run executes one request against the scheme.
+func (r request) run(p *Proxy) (block.Block, error) {
+	b, err := p.scheme.Access(r.q)
+	p.accesses.Add(1)
+	return b, err
+}
+
+// checkpoint makes the current scheme state and all held writes durable,
+// then releases them to the store — steps 2 and 3 of the Journal commit
+// protocol.
+func (p *Proxy) checkpoint() error {
+	state, err := p.scheme.(DurableScheme).MarshalState()
+	if err != nil {
+		return fmt.Errorf("proxy: marshaling scheme state: %w", err)
+	}
+	pending, seq := p.pipe.PendingSnapshot()
+	if err := p.journal.Append(Checkpoint{State: state, Pending: pending}); err != nil {
+		return fmt.Errorf("proxy: checkpoint: %w", err)
+	}
+	p.pipe.Release(seq)
+	p.checkpoints.Add(1)
+	return nil
+}
+
+// poison marks the proxy (and its pipeline) permanently failed.
+func (p *Proxy) poison(err error) {
+	p.stickyMu.Lock()
+	if p.sticky == nil {
+		p.sticky = err
+	}
+	p.stickyMu.Unlock()
+	p.pipe.poison(err)
+}
+
+// stickyErr returns the poisoning error, if any.
+func (p *Proxy) stickyErr() error {
+	p.stickyMu.Lock()
+	defer p.stickyMu.Unlock()
+	return p.sticky
 }
 
 // Access enqueues one logical access and blocks until the scheduler has
@@ -137,6 +291,9 @@ func (p *Proxy) Access(q workload.Query) (block.Block, error) {
 	}
 	if q.Op == workload.Write && len(q.Data) != p.recordSize {
 		return nil, fmt.Errorf("%w: got %d want %d", block.ErrSize, len(q.Data), p.recordSize)
+	}
+	if err := p.stickyErr(); err != nil {
+		return nil, err
 	}
 	p.closeMu.RLock()
 	if p.closed {
@@ -195,22 +352,57 @@ func (p *Proxy) Flush() error {
 
 // Close stops accepting requests, waits for the queued ones to finish, and
 // drains the attached pipeline. Concurrent Access calls either complete or
-// return ErrClosed.
+// return ErrClosed. A journaled proxy writes one final checkpoint (empty
+// pending set) after the pipeline drains, so a clean shutdown replays
+// nothing on the next start, then closes the journal.
 func (p *Proxy) Close() error {
 	p.closeMu.Lock()
 	already := p.closed
 	p.closed = true
 	p.closeMu.Unlock()
-	if !already {
-		p.senders.Wait() // every admitted request has been answered
-		close(p.reqs)
+	if already {
+		// Idempotent like Pipeline.Close and Durable.Close: the first
+		// Close owns the final checkpoint; later calls just wait it out.
+		<-p.schedDone
+		return nil
 	}
+	p.senders.Wait() // every admitted request has been answered
+	close(p.reqs)
 	<-p.schedDone
-	if p.pipe != nil {
-		return p.pipe.Close()
+	if p.pipe == nil {
+		return nil
 	}
-	return nil
+	err := p.pipe.Close()
+	if p.journal != nil {
+		if err == nil && p.stickyErr() == nil {
+			// Pipeline drained clean: record the quiesced state. The
+			// scheduler has exited, so reading the scheme here is safe.
+			if state, merr := p.scheme.(DurableScheme).MarshalState(); merr == nil {
+				if aerr := p.journal.Append(Checkpoint{State: state}); aerr != nil && err == nil {
+					err = aerr
+				}
+			} else {
+				err = merr
+			}
+		}
+		if cerr := p.journal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
+
+// Epoch returns the journal's recovery epoch (0 for a non-durable proxy).
+func (p *Proxy) Epoch() uint64 {
+	if p.journal == nil {
+		return 0
+	}
+	return p.journal.Epoch()
+}
+
+// Checkpoints returns how many durable checkpoints have been written since
+// start (0 for a non-durable proxy).
+func (p *Proxy) Checkpoints() int64 { return p.checkpoints.Load() }
 
 // Session is one client's handle on a shared proxy. Sessions add no
 // privacy state — that is the point: the trace must not depend on which

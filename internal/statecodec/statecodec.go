@@ -1,0 +1,95 @@
+// Package statecodec holds the tiny binary codec the schemes' client-state
+// serializers share: an appending writer convention (big-endian, magic
+// tagged, length-free fixed fields) and an error-latching reader cursor.
+// Integrity and atomicity belong to the storage layer underneath (the
+// proxy journal CRC-frames every checkpoint; store.Durable checksums every
+// page), so the codec is deliberately plain.
+package statecodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports state bytes that end before their declared content.
+var ErrTruncated = errors.New("statecodec: truncated state")
+
+// ErrTrailing reports state bytes that continue past their declared
+// content — a sign the snapshot and the decoder disagree about the format.
+var ErrTrailing = errors.New("statecodec: trailing bytes")
+
+// Reader is a cursor over a state buffer that latches the first error, so
+// decoders read linearly and check Err once (or at each variable-length
+// boundary).
+type Reader struct {
+	data []byte
+	err  error
+}
+
+// NewReader returns a cursor over data.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data) < n {
+		r.err = fmt.Errorf("%w: want %d bytes, have %d", ErrTruncated, n, len(r.data))
+		return nil
+	}
+	out := r.data[:n]
+	r.data = r.data[n:]
+	return out
+}
+
+// Magic consumes 8 bytes and reports whether they equal want.
+func (r *Reader) Magic(want [8]byte) bool {
+	got := r.take(8)
+	return r.err == nil && [8]byte(got) == want
+}
+
+// U64 consumes a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// U32 consumes a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U8 consumes one byte.
+func (r *Reader) U8() byte {
+	b := r.take(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bytes consumes n raw bytes (aliasing the input buffer).
+func (r *Reader) Bytes(n int) []byte { return r.take(n) }
+
+// Drained returns nil exactly when the buffer was consumed completely and
+// without error.
+func (r *Reader) Drained() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.data))
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"net"
+	"testing"
+)
+
+// TestHandshakeReportsEpoch: a registry with an epoch set reports it in
+// both the info and the open handshake, Remote exposes it, and a Pool over
+// the same daemon carries it too.
+func TestHandshakeReportsEpoch(t *testing.T) {
+	m, err := NewMem(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNamespaces()
+	ns.Attach(DefaultNamespace, m)
+	ns.Attach("tenant", m)
+	ns.SetEpoch(42)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ServeNamespaces(ln, ns) //nolint:errcheck
+	addr := ln.Addr().String()
+
+	rs, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if rs.Epoch() != 42 {
+		t.Fatalf("info handshake epoch = %d, want 42", rs.Epoch())
+	}
+	nrs, err := DialNamespace(addr, "tenant", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nrs.Close()
+	if nrs.Epoch() != 42 {
+		t.Fatalf("open handshake epoch = %d, want 42", nrs.Epoch())
+	}
+	pool, err := DialPool(addr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Epoch() != 42 {
+		t.Fatalf("pool epoch = %d, want 42", pool.Epoch())
+	}
+}
+
+// TestHandshakeDefaultEpochZero: a registry without SetEpoch reports 0 —
+// the "no durability claim" value pre-epoch clients always saw.
+func TestHandshakeDefaultEpochZero(t *testing.T) {
+	m, err := NewMem(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go Serve(ln, m) //nolint:errcheck
+	rs, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if rs.Epoch() != 0 {
+		t.Fatalf("epoch = %d, want 0", rs.Epoch())
+	}
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -22,7 +23,16 @@ type File struct {
 }
 
 // CreateFile creates (or truncates) path as a file server with n zeroed
-// slots of blockSize bytes.
+// slots of blockSize bytes. The sized file (and its directory entry) are
+// fsynced before CreateFile returns, so a crash right after creation can
+// never leave a half-sized store for a later OpenFile to reject.
+//
+// File remains the fast, NON-durable backend: individual Uploads are not
+// synced, the layout carries no header, version, or checksums, and a torn
+// write can corrupt a slot in place. Deployments that need acknowledged
+// writes to survive crashes use Durable, which adds a versioned checksummed
+// header, per-page CRCs, and a write-ahead log — and can migrate a legacy
+// File store on open.
 func CreateFile(path string, n, blockSize int) (*File, error) {
 	if n <= 0 || blockSize <= 0 {
 		return nil, fmt.Errorf("store: invalid file store shape n=%d blockSize=%d", n, blockSize)
@@ -34,6 +44,14 @@ func CreateFile(path string, n, blockSize int) (*File, error) {
 	if err := f.Truncate(int64(n) * int64(blockSize)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: sizing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: syncing %s: %w", path, err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return &File{f: f, n: n, blockSize: blockSize}, nil
 }
@@ -202,5 +220,27 @@ func (s *File) Size() int { return s.n }
 // BlockSize implements Server.
 func (s *File) BlockSize() int { return s.blockSize }
 
-// Close releases the underlying file.
-func (s *File) Close() error { return s.f.Close() }
+// Sync flushes all written slots to stable storage. File never syncs on
+// the write path (that is Durable's job); callers that accept
+// crash-loses-recent-writes semantics but want a durable checkpoint —
+// bulk loads, clean daemon shutdown — call Sync explicitly.
+func (s *File) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing file store: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and releases the underlying file, so a cleanly shut down
+// store is on disk even though individual writes never fsynced.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: syncing file store on close: %w", err)
+	}
+	return s.f.Close()
+}

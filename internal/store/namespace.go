@@ -37,6 +37,7 @@ type Namespaces struct {
 	factory func(name string, slots, blockSize int) (Server, error)
 	created int
 	max     int
+	epoch   uint64
 }
 
 // tenant is one hosted namespace: exactly one of the two backends is set.
@@ -51,6 +52,23 @@ func (t tenant) none() bool { return t.batch == nil && t.acc == nil }
 // NewNamespaces returns an empty registry.
 func NewNamespaces() *Namespaces {
 	return &Namespaces{m: make(map[string]tenant)}
+}
+
+// SetEpoch sets the recovery epoch the serve loop reports in every info
+// and open handshake. A durable daemon passes the value BumpEpoch returned
+// at startup; the zero default means "no durability claim", which is what
+// pre-epoch clients and in-memory daemons see.
+func (ns *Namespaces) SetEpoch(e uint64) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.epoch = e
+}
+
+// Epoch returns the registry's recovery epoch.
+func (ns *Namespaces) Epoch() uint64 {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.epoch
 }
 
 // Attach registers s under name, replacing any previous registration.

@@ -23,6 +23,7 @@ type Pool struct {
 	all       []*Remote
 	size      int
 	blockSize int
+	epoch     uint64
 }
 
 // NewPool builds a pool of conns connections, each produced by dial. Use
@@ -47,12 +48,21 @@ func NewPool(conns int, dial func() (*Remote, error)) (*Pool, error) {
 			return nil, fmt.Errorf("store: dialing pool connection %d: %w", i, err)
 		}
 		if i == 0 {
-			p.size, p.blockSize = r.Size(), r.BlockSize()
+			p.size, p.blockSize, p.epoch = r.Size(), r.BlockSize(), r.Epoch()
 		} else if r.Size() != p.size || r.BlockSize() != p.blockSize {
 			r.Close()
 			p.Close()
 			return nil, fmt.Errorf("store: pool connection %d has shape %d × %d, want %d × %d",
 				i, r.Size(), r.BlockSize(), p.size, p.blockSize)
+		} else if r.Epoch() != p.epoch {
+			// The server restarted between two of our dials: the pool would
+			// straddle a recovery boundary, with some connections' written
+			// state possibly rolled back under the others. Refuse; the
+			// caller re-dials against the (now stable) new epoch.
+			r.Close()
+			p.Close()
+			return nil, fmt.Errorf("store: pool connection %d reports epoch %d, connection 0 saw %d (server restarted mid-dial)",
+				i, r.Epoch(), p.epoch)
 		}
 		p.all = append(p.all, r)
 		p.idle <- r
@@ -118,6 +128,10 @@ func (p *Pool) BlockSize() int { return p.blockSize }
 
 // Conns returns the pool width N.
 func (p *Pool) Conns() int { return len(p.all) }
+
+// Epoch returns the server recovery epoch every pooled connection
+// handshook against (NewPool rejects a mid-dial epoch change).
+func (p *Pool) Epoch() uint64 { return p.epoch }
 
 // RoundTrips sums the round trips of every pooled connection (including
 // handshakes).

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// This file holds the small durable-state helpers the daemon composes
+// around the Durable engine: a crash-safe recovery-epoch counter and a
+// persisted namespace registry. Both use the atomic-rename discipline
+// (write temp, fsync, rename, fsync dir), so a crash at any point leaves
+// either the old file or the new one — never a torn mixture.
+
+// WriteFileAtomic writes data to path atomically and durably.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: renaming %s: %w", tmp, err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// --- recovery epoch ----------------------------------------------------------
+
+// epochFileSize is the epoch file layout: value u64 ‖ crc u32.
+const epochFileSize = 12
+
+// LoadEpoch reads the recovery epoch stored at path; a missing file is
+// epoch 0 (a store that has never been opened durably).
+func LoadEpoch(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: reading epoch %s: %w", path, err)
+	}
+	if len(data) != epochFileSize ||
+		crc32.Checksum(data[:8], castagnoli) != binary.BigEndian.Uint32(data[8:12]) {
+		return 0, fmt.Errorf("%w: epoch file %s", ErrCorrupt, path)
+	}
+	return binary.BigEndian.Uint64(data[:8]), nil
+}
+
+// BumpEpoch increments the recovery epoch at path (creating it at 1) and
+// persists it atomically. The daemon calls it once per startup, so every
+// process incarnation — clean restart or crash recovery — is
+// distinguishable by the epoch it reports in the wire handshake.
+func BumpEpoch(path string) (uint64, error) {
+	cur, err := LoadEpoch(path)
+	if err != nil {
+		return 0, err
+	}
+	next := cur + 1
+	data := make([]byte, epochFileSize)
+	binary.BigEndian.PutUint64(data[:8], next)
+	binary.BigEndian.PutUint32(data[8:12], crc32.Checksum(data[:8], castagnoli))
+	if err := WriteFileAtomic(path, data); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// --- namespace registry ------------------------------------------------------
+
+// NamespaceRecord is one persisted factory-created namespace: enough to
+// recreate the tenant (and find its backing files) after a restart.
+type NamespaceRecord struct {
+	Name      string `json:"name"`
+	Slots     int    `json:"slots"`
+	BlockSize int    `json:"blockSize"`
+}
+
+// registryFile is the JSON envelope, versioned like every other on-disk
+// format the engine owns.
+type registryFile struct {
+	Version    int               `json:"version"`
+	Namespaces []NamespaceRecord `json:"namespaces"`
+}
+
+// SaveRegistry persists the factory-created namespace records atomically.
+func SaveRegistry(path string, recs []NamespaceRecord) error {
+	data, err := json.MarshalIndent(registryFile{Version: 1, Namespaces: recs}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding registry: %w", err)
+	}
+	return WriteFileAtomic(path, append(data, '\n'))
+}
+
+// LoadRegistry reads the persisted namespace records; a missing file is an
+// empty registry.
+func LoadRegistry(path string) ([]NamespaceRecord, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading registry %s: %w", path, err)
+	}
+	var rf registryFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return nil, fmt.Errorf("store: decoding registry %s: %w", path, err)
+	}
+	if rf.Version != 1 {
+		return nil, fmt.Errorf("store: registry %s is version %d, this build reads 1", path, rf.Version)
+	}
+	return rf.Namespaces, nil
+}

@@ -126,6 +126,16 @@ func (rs *Remote) Namespace() string {
 	return rs.name
 }
 
+// Epoch returns the recovery epoch the server reported in the handshake
+// (0 for servers without durable state). A client that remembers the
+// epoch of an earlier connection and sees a larger one here knows the
+// server restarted — and therefore recovered from its log — in between.
+func (rs *Remote) Epoch() uint64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.info.Epoch
+}
+
 // shape returns the current namespace's store shape.
 func (rs *Remote) shape() wire.Info {
 	rs.mu.Lock()
@@ -314,6 +324,7 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 	// The connection's current namespace; the zero tenant until an open
 	// succeeds when the daemon has no default.
 	cur := ns.lookup(DefaultNamespace)
+	epoch := ns.Epoch()
 	for {
 		req, err := wire.ReadFrame(r)
 		if err != nil {
@@ -322,13 +333,13 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 		var resp wire.Frame
 		switch {
 		case req.Type == wire.MsgOpenReq:
-			resp, cur = handleOpen(req, ns, cur)
+			resp, cur = handleOpen(req, ns, cur, epoch)
 		case cur.none():
 			resp = wire.EncodeError("no namespace selected (send an open request first)")
 		case cur.acc != nil:
-			resp = handleAccess(req, cur.acc)
+			resp = handleAccess(req, cur.acc, epoch)
 		default:
-			resp = handle(req, cur.batch)
+			resp = handle(req, cur.batch, epoch)
 		}
 		if err := wire.WriteFrame(w, resp); err != nil {
 			return
@@ -343,7 +354,7 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 // connection's current namespace switches to the opened one; on failure it
 // stays where it was (the client's session is not torn down by a rejected
 // open).
-func handleOpen(req wire.Frame, ns *Namespaces, cur tenant) (wire.Frame, tenant) {
+func handleOpen(req wire.Frame, ns *Namespaces, cur tenant, epoch uint64) (wire.Frame, tenant) {
 	open, err := wire.DecodeOpenReq(req.Payload)
 	if err != nil {
 		return wire.EncodeError(err.Error()), cur
@@ -359,6 +370,7 @@ func handleOpen(req wire.Frame, ns *Namespaces, cur tenant) (wire.Frame, tenant)
 	resp := wire.EncodeOpenResp(wire.Info{
 		Size:      uint64(slots),
 		BlockSize: uint32(blockSize),
+		Epoch:     epoch,
 	})
 	return resp, t
 }
@@ -367,12 +379,13 @@ func handleOpen(req wire.Frame, ns *Namespaces, cur tenant) (wire.Frame, tenant)
 // info handshake and logical access frames exist there. Everything else —
 // in particular every block frame — is rejected, because hiding the
 // physical store from clients is the proxy deployment's trust boundary.
-func handleAccess(req wire.Frame, acc Accessor) wire.Frame {
+func handleAccess(req wire.Frame, acc Accessor, epoch uint64) wire.Frame {
 	switch req.Type {
 	case wire.MsgInfoReq:
 		return wire.EncodeInfo(wire.Info{
 			Size:      uint64(acc.Records()),
 			BlockSize: uint32(acc.RecordSize()),
+			Epoch:     epoch,
 		})
 	case wire.MsgAccessReq:
 		areq, err := wire.DecodeAccessReq(req.Payload)
@@ -397,12 +410,13 @@ func handleAccess(req wire.Frame, acc Accessor) wire.Frame {
 	}
 }
 
-func handle(req wire.Frame, backing BatchServer) wire.Frame {
+func handle(req wire.Frame, backing BatchServer, epoch uint64) wire.Frame {
 	switch req.Type {
 	case wire.MsgInfoReq:
 		return wire.EncodeInfo(wire.Info{
 			Size:      uint64(backing.Size()),
 			BlockSize: uint32(backing.BlockSize()),
+			Epoch:     epoch,
 		})
 	case wire.MsgDownloadReq:
 		addr, err := wire.DecodeDownloadReq(req.Payload)

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestInfoEpochRoundTrip: the 20-byte epoch-bearing layout round-trips.
+func TestInfoEpochRoundTrip(t *testing.T) {
+	want := Info{Size: 4096, BlockSize: 112, Epoch: 7}
+	f := EncodeInfo(want)
+	if len(f.Payload) != 20 {
+		t.Fatalf("payload %d bytes, want 20", len(f.Payload))
+	}
+	got, err := DecodeInfo(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
+// TestInfoLegacyDecode: the pre-epoch 12-byte layout decodes as epoch 0 —
+// new clients interoperate with old servers.
+func TestInfoLegacyDecode(t *testing.T) {
+	p := make([]byte, 12)
+	binary.BigEndian.PutUint64(p[:8], 1024)
+	binary.BigEndian.PutUint32(p[8:12], 64)
+	got, err := DecodeInfo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 1024 || got.BlockSize != 64 || got.Epoch != 0 {
+		t.Fatalf("legacy decode: %+v", got)
+	}
+	// Anything else is rejected.
+	for _, n := range []int{0, 11, 13, 19, 21} {
+		if _, err := DecodeInfo(make([]byte, n)); err == nil {
+			t.Fatalf("%d-byte info payload accepted", n)
+		}
+	}
+}
+
+// TestOpenRespEpoch: the open handshake carries the epoch identically.
+func TestOpenRespEpoch(t *testing.T) {
+	f := EncodeOpenResp(Info{Size: 16, BlockSize: 8, Epoch: 3})
+	if f.Type != MsgOpenResp {
+		t.Fatalf("type %d", f.Type)
+	}
+	got, err := DecodeOpenResp(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 {
+		t.Fatalf("open-resp epoch %d", got.Epoch)
+	}
+}

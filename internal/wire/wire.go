@@ -13,7 +13,7 @@
 // Payloads:
 //
 //	MsgInfoReq        (empty)
-//	MsgInfoResp       size uint64 ‖ blockSize uint32
+//	MsgInfoResp       size uint64 ‖ blockSize uint32 ‖ epoch uint64
 //	MsgDownloadReq    addr uint64
 //	MsgDownloadResp   block bytes
 //	MsgUploadReq      addr uint64 ‖ block bytes
@@ -24,7 +24,7 @@
 //	MsgWriteBatchReq  count uint32 ‖ count × (addr uint64 ‖ block bytes)
 //	MsgWriteBatchResp (empty)
 //	MsgOpenReq        nameLen uint16 ‖ name bytes ‖ slots uint64 ‖ blockSize uint32
-//	MsgOpenResp       slots uint64 ‖ blockSize uint32
+//	MsgOpenResp       slots uint64 ‖ blockSize uint32 ‖ epoch uint64
 //	MsgAccessReq      op uint8 ‖ index uint64 ‖ record bytes (writes only)
 //	MsgAccessResp     record bytes
 //
@@ -46,6 +46,14 @@
 // shape the client wants a freshly created namespace to have; zero means
 // "whatever the server already has (or defaults to)". The response carries
 // the namespace's actual shape, exactly like MsgInfoResp.
+//
+// The trailing epoch of MsgInfoResp/MsgOpenResp is the server's recovery
+// epoch: a counter a durable daemon (-data) bumps on every startup, so a
+// client comparing the epoch across connections can detect that the server
+// restarted (and therefore recovered) in between. Pre-epoch servers sent a
+// 12-byte payload; decoders accept both layouts, treating the short form
+// as epoch 0 ("server makes no durability claim"), so the handshake stays
+// backward and forward compatible.
 //
 // MsgAccessReq/MsgAccessResp are the proxy-mode frames: a logical
 // read/write of one record at the privacy-scheme level, not a block
@@ -138,29 +146,37 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return Frame{Type: hdr[0], Payload: p}, nil
 }
 
-// Info is the decoded MsgInfoResp payload.
+// Info is the decoded MsgInfoResp payload. Epoch is the server's recovery
+// epoch (0 when the server predates epochs or holds no durable state).
 type Info struct {
 	Size      uint64
 	BlockSize uint32
+	Epoch     uint64
 }
 
-// EncodeInfo builds a MsgInfoResp frame.
+// EncodeInfo builds a MsgInfoResp frame (the 20-byte epoch-bearing layout).
 func EncodeInfo(info Info) Frame {
-	p := make([]byte, 12)
+	p := make([]byte, 20)
 	binary.BigEndian.PutUint64(p[:8], info.Size)
 	binary.BigEndian.PutUint32(p[8:12], info.BlockSize)
+	binary.BigEndian.PutUint64(p[12:20], info.Epoch)
 	return Frame{Type: MsgInfoResp, Payload: p}
 }
 
-// DecodeInfo parses a MsgInfoResp payload.
+// DecodeInfo parses a MsgInfoResp payload: 20 bytes with an epoch, or the
+// legacy 12-byte layout (epoch 0).
 func DecodeInfo(p []byte) (Info, error) {
-	if len(p) != 12 {
+	if len(p) != 12 && len(p) != 20 {
 		return Info{}, fmt.Errorf("%w: info payload %d bytes", ErrShortPayload, len(p))
 	}
-	return Info{
+	info := Info{
 		Size:      binary.BigEndian.Uint64(p[:8]),
 		BlockSize: binary.BigEndian.Uint32(p[8:12]),
-	}, nil
+	}
+	if len(p) == 20 {
+		info.Epoch = binary.BigEndian.Uint64(p[12:20])
+	}
+	return info, nil
 }
 
 // EncodeDownloadReq builds a MsgDownloadReq frame for addr.
