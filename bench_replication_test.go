@@ -1,0 +1,283 @@
+package dpstore
+
+// Closed-loop replication benchmarks in the disk-like model of
+// bench_scale_test.go (per-address device time charged under the store's
+// lock): read fan-out across a 3-replica cluster vs a single store, the
+// write-quorum cost of fanning every write to 3 devices, and a timed
+// failover run that kills one replica at t=½ and reports the throughput
+// dip and recovery. Numbers are recorded in EXPERIMENTS.md §Replication.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpstore/internal/block"
+	"dpstore/internal/store"
+)
+
+// gatedDisk wraps a diskLike with a togglable failure switch, the
+// "killed daemon" of the in-process model.
+type gatedDisk struct {
+	inner  store.BatchServer
+	broken atomic.Bool
+}
+
+var errKilled = errors.New("bench: replica killed")
+
+func (g *gatedDisk) Download(addr int) (block.Block, error) {
+	if g.broken.Load() {
+		return nil, errKilled
+	}
+	return g.inner.Download(addr)
+}
+
+func (g *gatedDisk) Upload(addr int, b block.Block) error {
+	if g.broken.Load() {
+		return errKilled
+	}
+	return g.inner.Upload(addr, b)
+}
+
+func (g *gatedDisk) ReadBatch(addrs []int) ([]block.Block, error) {
+	if g.broken.Load() {
+		return nil, errKilled
+	}
+	return g.inner.ReadBatch(addrs)
+}
+
+func (g *gatedDisk) WriteBatch(ops []store.WriteOp) error {
+	if g.broken.Load() {
+		return errKilled
+	}
+	return g.inner.WriteBatch(ops)
+}
+
+func (g *gatedDisk) Size() int      { return g.inner.Size() }
+func (g *gatedDisk) BlockSize() int { return g.inner.BlockSize() }
+
+// newReplicatedDiskLike builds a Replicated over k disk-like replicas
+// (serviceTime per address, lock held across the "device" time), with
+// gates so the failover run can kill one.
+func newReplicatedDiskLike(b *testing.B, n, k int, serviceTime time.Duration, quorum int, policy store.ReadPolicy) (*store.Replicated, []*gatedDisk) {
+	b.Helper()
+	gates := make([]*gatedDisk, k)
+	specs := make([]store.ReplicaSpec, k)
+	for i := range specs {
+		gates[i] = &gatedDisk{inner: store.AsBatch(newDiskLike(n, serviceTime))}
+		specs[i] = store.ReplicaSpec{Name: fmt.Sprintf("disk%d", i), Backend: gates[i]}
+	}
+	r, err := store.NewReplicated(specs, store.ReplicatedOptions{
+		WriteQuorum:      quorum,
+		ReadPolicy:       policy,
+		ProbeInterval:    time.Millisecond,
+		MaxProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { r.Close() }) //nolint:errcheck
+	return r, gates
+}
+
+// BenchmarkReplicationDiskLikeRead: 16-client closed-loop reads, single
+// disk-like store vs Replicated(3) under both read policies. Rotation
+// keeps 3 devices busy and should approach 3× the single store;
+// sticky serves everything from one device (the price of a full-trace
+// replica, measured for the record).
+func BenchmarkReplicationDiskLikeRead(b *testing.B) {
+	const serviceTime = time.Millisecond
+	const clients = 16
+	b.Run("store=single/clients=16", func(b *testing.B) {
+		closedLoop(b, newDiskLike(scaleSlots, serviceTime), clients)
+	})
+	b.Run("store=replicated3-rotate/clients=16", func(b *testing.B) {
+		r, _ := newReplicatedDiskLike(b, scaleSlots, 3, serviceTime, 2, store.ReadRotate)
+		closedLoop(b, r, clients)
+	})
+	b.Run("store=replicated3-sticky/clients=16", func(b *testing.B) {
+		r, _ := newReplicatedDiskLike(b, scaleSlots, 3, serviceTime, 2, store.ReadSticky)
+		closedLoop(b, r, clients)
+	})
+}
+
+// BenchmarkReplicationDiskLikeWrite: the quorum cost — every write fans
+// to all 3 devices but acks after W=2, vs a single device. The fan-out
+// runs the devices concurrently, so the expected cost is one device's
+// service time plus coordination, not 3×.
+func BenchmarkReplicationDiskLikeWrite(b *testing.B) {
+	const serviceTime = time.Millisecond
+	const clients = 16
+	writeLoop := func(b *testing.B, srv store.Server, clients int) {
+		b.Helper()
+		batch := store.AsBatch(srv)
+		n := srv.Size()
+		var wg sync.WaitGroup
+		perClient := b.N/clients + 1
+		b.ResetTimer()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(c)))
+				ops := make([]store.WriteOp, scaleBatch)
+				for i := range ops {
+					ops[i].Block = block.New(scaleBlockSize)
+				}
+				for i := 0; i < perClient; i++ {
+					for j := range ops {
+						ops[j].Addr = rng.Intn(n)
+					}
+					if err := batch.WriteBatch(ops); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*float64(scaleBatch)/b.Elapsed().Seconds(), "blocks/s")
+	}
+	b.Run("store=single/clients=16", func(b *testing.B) {
+		writeLoop(b, newDiskLike(scaleSlots, serviceTime), clients)
+	})
+	b.Run("store=replicated3-W2/clients=16", func(b *testing.B) {
+		r, _ := newReplicatedDiskLike(b, scaleSlots, 3, serviceTime, 2, store.ReadRotate)
+		writeLoop(b, r, clients)
+	})
+}
+
+// TestReplicationFailoverThroughput is the timed failover experiment
+// (a test, not a benchmark: it needs a fixed wall-clock script). 16
+// closed-loop readers run for ~1.8s over Replicated(3, W=2, rotate) in
+// the disk-like model; at t=600ms one replica is killed, at t=1200ms it
+// is revived. Per-100ms-bucket throughput is logged, and the run fails
+// if any client sees an error or the outage budget (reads during the
+// dead window must still complete, just at ~2/3 the rate) is violated.
+// Run with -v to see the bucket series; EXPERIMENTS.md §Replication
+// records a reference run.
+func TestReplicationFailoverThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed ~2s experiment")
+	}
+	const (
+		clients     = 16
+		serviceTime = time.Millisecond
+		bucket      = 100 * time.Millisecond
+		phase       = 600 * time.Millisecond
+		total       = 3 * phase
+	)
+	gates := make([]*gatedDisk, 3)
+	specs := make([]store.ReplicaSpec, 3)
+	for i := range specs {
+		gates[i] = &gatedDisk{inner: store.AsBatch(newDiskLike(scaleSlots, serviceTime))}
+		specs[i] = store.ReplicaSpec{Name: fmt.Sprintf("disk%d", i), Backend: gates[i]}
+	}
+	r, err := store.NewReplicated(specs, store.ReplicatedOptions{
+		WriteQuorum:      2,
+		ReadPolicy:       store.ReadRotate,
+		ProbeInterval:    5 * time.Millisecond,
+		MaxProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close() //nolint:errcheck
+
+	start := time.Now()
+	stop := make(chan struct{})
+	counts := make([]atomic.Int64, int(total/bucket)+2)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := rand.New(rand.NewSource(int64(c)))
+			addrs := make([]int, scaleBatch)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range addrs {
+					addrs[j] = src.Intn(scaleSlots)
+				}
+				if _, err := r.ReadBatch(addrs); err != nil {
+					errs[c] = err
+					return
+				}
+				if i := int(time.Since(start) / bucket); i < len(counts) {
+					counts[i].Add(int64(len(addrs)))
+				}
+			}
+		}(c)
+	}
+	time.Sleep(phase)
+	gates[1].broken.Store(true)
+	killed := time.Since(start)
+	time.Sleep(phase)
+	gates[1].broken.Store(false)
+	revived := time.Since(start)
+	// Wait (within the last phase) for promotion, measuring recovery time.
+	var recovered time.Duration
+	for time.Since(start) < total {
+		if r.ReplicaStatus()[1].State == store.ReplicaUp {
+			recovered = time.Since(start)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(total - time.Since(start))
+	close(stop)
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d failed during failover run: %v", c, err)
+		}
+	}
+	if recovered == 0 {
+		t.Fatalf("killed replica was not promoted back within the run: %+v", r.ReplicaStatus())
+	}
+	t.Logf("killed disk1 at %v, revived at %v, promoted at %v (recovery %v after revival)",
+		killed.Round(time.Millisecond), revived.Round(time.Millisecond),
+		recovered.Round(time.Millisecond), (recovered - revived).Round(time.Millisecond))
+	var healthySum, outageSum int64
+	var healthyN, outageN int
+	for i := range counts {
+		c := counts[i].Load()
+		tMid := time.Duration(i) * bucket
+		phase := "healthy"
+		switch {
+		case tMid >= killed && tMid < revived:
+			phase = "outage "
+			outageSum += c
+			outageN++
+		case tMid < killed:
+			healthySum += c
+			healthyN++
+		}
+		if tMid < total {
+			t.Logf("t=%4dms  %s  %6d blocks/100ms", tMid/time.Millisecond, phase, c)
+		}
+	}
+	if healthyN == 0 || outageN == 0 {
+		t.Fatal("bucketing broke; no healthy/outage samples")
+	}
+	healthy := healthySum / int64(healthyN)
+	outage := outageSum / int64(outageN)
+	t.Logf("throughput: healthy %d blocks/100ms, outage %d blocks/100ms (%.0f%%)",
+		healthy, outage, 100*float64(outage)/float64(healthy))
+	// With one of three devices gone, rotation sustains ~2/3; require at
+	// least 40% to leave slack for scheduling noise while still proving
+	// the cluster kept serving through the outage.
+	if outage*5 < healthy*2 {
+		t.Fatalf("outage throughput %d fell below 40%% of healthy %d", outage, healthy)
+	}
+}

@@ -28,6 +28,17 @@
 //     (records × record bytes); the physical store shape is derived from
 //     the scheme, and block frames are rejected — clients never see
 //     physical addresses at all, the CAOS deployment shape.
+//   - -replicate host1,host2,... turns the daemon into a cluster front
+//     door: instead of hosting blocks itself, it fans every write to all
+//     listed replica daemons (-quorum W acknowledges after W durable
+//     acks), serves each read from one replica chosen data-independently
+//     (-readpolicy sticky|rotate), ejects dead replicas, redials them
+//     with backoff, resynchronizes a rejoining replica (missed-write
+//     backlog for durable replicas, full copy for epoch-0 ones), and
+//     promotes it back to read-eligible — all invisible to clients,
+//     which speak the ordinary block protocol to the front door. The
+//     cluster's health is served on MsgReplStatusReq. Composes with
+//     -proxy: the scheme's physical store then IS the replica cluster.
 //
 // Durability (-data DIR): the daemon becomes restartable. Every hosted
 // store runs on the write-ahead engine of internal/store (checksummed
@@ -47,6 +58,7 @@
 //	blockstored -addr :9045 -slots 65536 -blocksize 112 -file /var/lib/blocks.dat
 //	blockstored -addr :9045 -slots 65536 -blocksize 112 -data /var/lib/dpstore -shards 16 -namespaces 64
 //	blockstored -addr :9045 -slots 4096 -blocksize 64 -proxy dpram -data /var/lib/dpstore
+//	blockstored -addr :9040 -replicate 127.0.0.1:9041,127.0.0.1:9042,127.0.0.1:9043 -quorum 2
 package main
 
 import (
@@ -60,6 +72,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -82,7 +95,10 @@ func main() {
 		namespaces = flag.Int("namespaces", 0, "max client-created namespaces (0 disables the open-to-create path)")
 		maxBytes   = flag.Int64("maxbytes", 1<<30, "per-namespace byte budget for client-requested shapes")
 		proxyMode  = flag.String("proxy", "", "serve a privacy proxy over the backing store: dpram or pathoram (empty = plain block server; -slots/-blocksize then describe the logical database)")
-		seed       = flag.Int64("seed", 1, "scheme coin seed in -proxy mode (deterministic for reproducible experiments)")
+		seed       = flag.Int64("seed", 1, "scheme coin seed in -proxy mode, and read-replica selection seed in -replicate mode (deterministic for reproducible experiments)")
+		replicate  = flag.String("replicate", "", "comma-separated replica daemon addresses: serve as a cluster front door over them instead of hosting blocks locally")
+		quorum     = flag.Int("quorum", 0, "write quorum W in -replicate mode (0 = majority)")
+		readPolicy = flag.String("readpolicy", "sticky", "read replica selection in -replicate mode: sticky or rotate")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -90,6 +106,27 @@ func main() {
 	}
 	if *file != "" && *dataDir != "" {
 		log.Fatalf("blockstored: -file and -data are mutually exclusive (-data subsumes the disk backend, durably)")
+	}
+	explicit := explicitFlags()
+	if *replicate != "" && (*file != "" || *dataDir != "" || *shards != 1 || *namespaces != 0 || explicit["maxbytes"]) {
+		log.Fatalf("blockstored: -replicate is a front door over remote replicas; -file/-data/-shards/-namespaces/-maxbytes belong on the replica daemons")
+	}
+	if *replicate == "" && (*quorum != 0 || *readPolicy != "sticky") {
+		log.Fatalf("blockstored: -quorum and -readpolicy only apply with -replicate")
+	}
+	// In front-door mode an EXPLICIT -slots/-blocksize pins that dimension
+	// of the shape the replica daemons must hold (mis-provisioned replicas
+	// fail fast at startup instead of at the first client); an unset flag
+	// accepts whatever the cluster reports for that dimension — setting
+	// one dimension must not silently pin the other to its default.
+	wantSlots, wantBS := 0, 0
+	if *replicate != "" {
+		if explicit["slots"] {
+			wantSlots = *slots
+		}
+		if explicit["blocksize"] {
+			wantBS = *blockSize
+		}
 	}
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
@@ -99,8 +136,26 @@ func main() {
 
 	var sd shutdown
 
+	if *replicate != "" && *proxyMode == "" {
+		cluster, desc, err := openCluster(*replicate, *quorum, *readPolicy, *seed, wantSlots, wantBS, &sd)
+		if err != nil {
+			log.Fatalf("blockstored: %v", err)
+		}
+		log.Printf("blockstored: default namespace: %s", desc)
+		ns := store.NewNamespaces()
+		ns.Attach(store.DefaultNamespace, cluster)
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatalf("blockstored: listen: %v", err)
+		}
+		sd.onSignal(ln)
+		log.Printf("blockstored: serving replicated blocks on %s", ln.Addr())
+		sd.finish(store.ServeNamespaces(ln, ns))
+		return
+	}
+
 	if *proxyMode != "" {
-		p, desc, err := openProxy(*proxyMode, *file, *dataDir, *slots, *blockSize, *shards, *seed, &sd)
+		p, desc, err := openProxy(*proxyMode, *file, *dataDir, *replicate, *quorum, *readPolicy, *slots, *blockSize, *shards, *seed, &sd)
 		if err != nil {
 			log.Fatalf("blockstored: %v", err)
 		}
@@ -383,6 +438,70 @@ func newMemBacking(slots, blockSize, shards int) (store.Server, error) {
 	return store.NewMem(slots, blockSize)
 }
 
+// explicitFlags returns the set of flags the operator actually passed,
+// distinguishing them from defaulted values (a default must neither pin
+// the cluster shape nor trip the front-door flag validation).
+func explicitFlags() map[string]bool {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// openCluster dials the -replicate replica daemons and assembles the
+// Replicated front door. wantSlots/wantBS, when non-zero, pin that
+// dimension of the shape the replicas must hold (the -proxy composition
+// derives both from the scheme); a zero accepts whatever consistent
+// value the cluster reports for that dimension.
+func openCluster(replicate string, quorum int, readPolicy string, seed int64, wantSlots, wantBS int, sd *shutdown) (*store.Replicated, string, error) {
+	var policy store.ReadPolicy
+	switch readPolicy {
+	case "sticky":
+		policy = store.ReadSticky
+	case "rotate":
+		policy = store.ReadRotate
+	default:
+		return nil, "", fmt.Errorf("unknown -readpolicy %q (want sticky or rotate)", readPolicy)
+	}
+	addrs := strings.Split(replicate, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+		if addrs[i] == "" {
+			return nil, "", fmt.Errorf("-replicate has an empty address (got %q)", replicate)
+		}
+	}
+	cluster, err := store.DialCluster(addrs, store.ClusterOptions{
+		Slots:     wantSlots,
+		BlockSize: wantBS,
+		Replicated: store.ReplicatedOptions{
+			WriteQuorum: quorum,
+			ReadPolicy:  policy,
+			Seed:        seed,
+		},
+	})
+	if err != nil {
+		// A pinned shape is enforced in every replica's open handshake,
+		// so a mis-provisioned replica surfaces as a namespace-rejected
+		// dial error; add the remedy to that message only (a plain
+		// connection failure must not tell the operator to change shape
+		// flags that are not the problem).
+		if (wantSlots != 0 || wantBS != 0) && strings.Contains(err.Error(), "namespace rejected") {
+			var pins []string
+			if wantSlots != 0 {
+				pins = append(pins, fmt.Sprintf("-slots %d", wantSlots))
+			}
+			if wantBS != 0 {
+				pins = append(pins, fmt.Sprintf("-blocksize %d", wantBS))
+			}
+			return nil, "", fmt.Errorf("%w (this front door pins the shape — start the replica daemons with %s)",
+				err, strings.Join(pins, " "))
+		}
+		return nil, "", err
+	}
+	sd.register(cluster)
+	return cluster, fmt.Sprintf("%d slots × %d B replicated over %d daemons (W=%d, reads %s)",
+		cluster.Size(), cluster.BlockSize(), len(addrs), cluster.Quorum(), readPolicy), nil
+}
+
 // openBackingAny dispatches between the three backend families: memory,
 // non-durable file (-file), durable engine (-data).
 func openBackingAny(file, dataDir string, slots, blockSize, shards int, sd *shutdown) (store.Server, string, error) {
@@ -491,7 +610,7 @@ func openBacking(file string, slots, blockSize, shards int) (store.Server, strin
 // and on startup the daemon recovers — engine replay, then checkpoint
 // restore, then pending-write replay — before serving. A fresh directory
 // runs Setup and seeds the journal with the initial checkpoint.
-func openProxy(mode, file, dataDir string, records, recordSize, shards int, seed int64, sd *shutdown) (*proxy.Proxy, string, error) {
+func openProxy(mode, file, dataDir, replicate string, quorum int, readPolicy string, records, recordSize, shards int, seed int64, sd *shutdown) (*proxy.Proxy, string, error) {
 	var slots, physBS int
 	oramOpts := pathoram.Options{Rand: rng.New(seed)}
 	ramOpts := dpram.Options{Rand: rng.New(seed)}
@@ -502,6 +621,29 @@ func openProxy(mode, file, dataDir string, records, recordSize, shards int, seed
 		slots, physBS = pathoram.TreeShape(records, recordSize, oramOpts)
 	default:
 		return nil, "", fmt.Errorf("unknown -proxy scheme %q (want dpram or pathoram)", mode)
+	}
+
+	if replicate != "" {
+		// Proxy over a replica cluster: the scheme's physical store IS the
+		// Replicated front end, so every obfuscated block lands on W
+		// daemons and reads fail over invisibly underneath the scheme.
+		// Scheme client state is ephemeral here (run the replicas with
+		// -data for block durability; -proxy -data -replicate is not a
+		// supported combination).
+		backing, desc, err := openCluster(replicate, quorum, readPolicy, seed, slots, physBS, sd)
+		if err != nil {
+			return nil, "", err
+		}
+		pipe := proxy.NewPipeline(backing)
+		scheme, err := setupScheme(mode, records, recordSize, pipe, ramOpts, oramOpts)
+		if err != nil {
+			return nil, "", err
+		}
+		p := proxy.New(scheme, proxy.Options{Pipeline: pipe})
+		if err := p.Flush(); err != nil {
+			return nil, "", fmt.Errorf("%s setup flush: %w", mode, err)
+		}
+		return p, fmt.Sprintf("%s over %d records × %d B (backing: %s)", mode, records, recordSize, desc), nil
 	}
 
 	if dataDir == "" {

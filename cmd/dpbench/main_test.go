@@ -1,0 +1,104 @@
+package main
+
+// Process-level smoke for the dpbench CLI — previously nothing exercised
+// -format md (or -list) end to end, so an escaping or flag regression
+// would only surface when a human regenerated EXPERIMENTS.md tables.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBench compiles dpbench once per test binary.
+func buildBench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dpbench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Skipf("cannot build dpbench (no go toolchain in test env?): %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestFormatMarkdownSmoke: `dpbench -quick -run E4 -format md` exits 0
+// and emits structurally valid GitHub-flavored markdown tables — every
+// table row holds the same column count (counting unescaped pipes), and
+// a separator row follows each header.
+func TestFormatMarkdownSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildBench(t)
+	out, err := exec.Command(bin, "-quick", "-run", "E4,E5", "-format", "md").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dpbench -format md failed: %v\n%s", err, out)
+	}
+	cols := func(l string) int {
+		n := 0
+		for i := 0; i < len(l); i++ {
+			if l[i] == '\\' {
+				i++
+				continue
+			}
+			if l[i] == '|' {
+				n++
+			}
+		}
+		return n - 1
+	}
+	lines := strings.Split(string(out), "\n")
+	tables := 0
+	for i := 0; i < len(lines); i++ {
+		if !strings.HasPrefix(lines[i], "| ") {
+			continue
+		}
+		// Header row: the next line must be the --- separator with the
+		// same column count, and every following row must match it.
+		width := cols(lines[i])
+		if width < 1 {
+			t.Fatalf("line %d: table with %d columns: %q", i, width, lines[i])
+		}
+		if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "| ---") {
+			t.Fatalf("line %d: header not followed by a separator row: %q", i, lines[i])
+		}
+		tables++
+		for ; i < len(lines) && strings.HasPrefix(lines[i], "| "); i++ {
+			if got := cols(lines[i]); got != width {
+				t.Fatalf("line %d: row has %d columns, want %d: %q", i, got, width, lines[i])
+			}
+		}
+	}
+	if tables == 0 {
+		t.Fatalf("no markdown tables in output:\n%s", out)
+	}
+}
+
+// TestListAndBadFlags: -list exits 0 and names every registered
+// experiment; an unknown experiment ID exits non-zero with a usable
+// message.
+func TestListAndBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildBench(t)
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dpbench -list failed: %v\n%s", err, out)
+	}
+	for _, id := range []string{"E1", "E5", "E15"} {
+		if !strings.Contains(string(out), id) {
+			t.Fatalf("-list output missing %s:\n%s", id, out)
+		}
+	}
+	out, err = exec.Command(bin, "-run", "E99").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "E99") {
+		t.Fatalf("error message does not name the bad ID:\n%s", out)
+	}
+}

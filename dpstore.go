@@ -93,6 +93,56 @@ type ShardedServer = store.Sharded
 // many goroutine clients share it without head-of-line blocking.
 type ServerPool = store.Pool
 
+// ReplicatedServer fans writes to N replica stores with a write quorum,
+// serves reads from one replica chosen data-independently (so replica
+// choice never leaks the access pattern), ejects dead replicas with
+// automatic failover, and resynchronizes + promotes rejoining replicas
+// while the cluster keeps serving.
+type ReplicatedServer = store.Replicated
+
+// ReplicatedOptions configures a ReplicatedServer (write quorum, read
+// policy, probe cadence).
+type ReplicatedOptions = store.ReplicatedOptions
+
+// ReplicaSpec describes one member of a replicated cluster.
+type ReplicaSpec = store.ReplicaSpec
+
+// ReplicaHealth is one replica's externally visible status snapshot.
+type ReplicaHealth = store.ReplicaStatus
+
+// ClusterOptions configures DialCluster.
+type ClusterOptions = store.ClusterOptions
+
+// Read-replica selection policies for ReplicatedOptions.ReadPolicy. Both
+// are data-independent: the choice is a function of replica health and a
+// seeded counter only.
+const (
+	ReadSticky = store.ReadSticky // one replica serves all reads until it fails
+	ReadRotate = store.ReadRotate // reads rotate across Up replicas
+)
+
+// Replica failover states reported by ReplicatedServer.ReplicaStatus.
+const (
+	ReplicaUp      = store.ReplicaUp
+	ReplicaSyncing = store.ReplicaSyncing
+	ReplicaDown    = store.ReplicaDown
+)
+
+// NewReplicated builds a replicated cluster over the given replicas; all
+// backends must share one shape. See ReplicatedOptions for quorum and
+// read-policy semantics.
+func NewReplicated(specs []ReplicaSpec, opts ReplicatedOptions) (*ReplicatedServer, error) {
+	return store.NewReplicated(specs, opts)
+}
+
+// DialCluster connects to every replica daemon in addrs and assembles a
+// ReplicatedServer over them, with automatic redial, epoch-aware resync,
+// and promotion of replicas that die and return — the embeddable form of
+// `blockstored -replicate`.
+func DialCluster(addrs []string, opts ClusterOptions) (*ReplicatedServer, error) {
+	return store.DialCluster(addrs, opts)
+}
+
 // Namespaces is a registry of named block stores hosted by one daemon —
 // the multi-tenant serving surface of ServeBlockNamespaces. A namespace
 // may instead be proxy-backed (AttachAccessor): clients then speak only

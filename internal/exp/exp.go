@@ -75,21 +75,49 @@ func (t *Table) Render(w io.Writer) {
 	}
 }
 
+// mdCell escapes one table cell for GitHub-flavored markdown: a literal
+// "|" would end the cell (silently shifting every column after it) and a
+// newline would end the row, so both are neutralized. Applied to headers
+// and cells; titles and notes only need the newline treatment (they are
+// not table-structural) plus escaping of the emphasis markers that wrap
+// them.
+func mdCell(s string) string {
+	s = strings.ReplaceAll(s, "|", `\|`)
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
+// mdProse escapes a title or note rendered inside **…** / _…_ emphasis.
+func mdProse(s string) string {
+	s = strings.ReplaceAll(s, "*", `\*`)
+	s = strings.ReplaceAll(s, "_", `\_`)
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
 // RenderMarkdown writes the table as a GitHub-flavored markdown table,
 // used by dpbench -format=md to regenerate EXPERIMENTS.md sections.
+// Cells are escaped so a "|" or newline in a value cannot break the
+// table structure.
 func (t *Table) RenderMarkdown(w io.Writer) {
-	fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	fmt.Fprintf(w, "**%s**\n\n", mdProse(t.Title))
 	if t.Note != "" {
-		fmt.Fprintf(w, "_%s_\n\n", t.Note)
+		fmt.Fprintf(w, "_%s_\n\n", mdProse(t.Note))
 	}
-	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = mdCell(h)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
 	seps := make([]string, len(t.Header))
 	for i := range seps {
 		seps[i] = "---"
 	}
 	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
 	for _, row := range t.Rows {
-		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, mdCell(c))
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
 	}
 }
 

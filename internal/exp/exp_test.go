@@ -103,3 +103,98 @@ func TestTrialsScaling(t *testing.T) {
 		t.Fatalf("quick floor = %d, want 200", v)
 	}
 }
+
+// TestRenderMarkdownEscaping: values containing the characters that are
+// structural in GitHub-flavored markdown — "|" ends a cell, "\n" ends a
+// row, "*"/"_" toggle the emphasis wrapping titles and notes — must not
+// break the rendered table: every line of the table body must keep the
+// declared column count, and titles/notes must stay on one line.
+func TestRenderMarkdownEscaping(t *testing.T) {
+	tab := &Table{
+		Title:  "hostile * title\nwith newline",
+		Note:   "a note_with_underscores and a | pipe",
+		Header: []string{"plain", "p|q", "multi\nline"},
+	}
+	tab.AddRow("1", "a|b", "x\ny")
+	tab.AddRow("2", "`code|span`", "ok")
+	var sb strings.Builder
+	tab.RenderMarkdown(&sb)
+	out := sb.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var tableLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "| ") {
+			tableLines = append(tableLines, l)
+		}
+	}
+	if len(tableLines) != 2+len(tab.Rows) {
+		t.Fatalf("markdown table has %d lines, want %d (a newline in a cell split a row?):\n%s",
+			len(tableLines), 2+len(tab.Rows), out)
+	}
+	// Column count per line = number of UNESCAPED pipes minus one.
+	cols := func(l string) int {
+		n := 0
+		for i := 0; i < len(l); i++ {
+			if l[i] == '\\' {
+				i++ // skip the escaped char
+				continue
+			}
+			if l[i] == '|' {
+				n++
+			}
+		}
+		return n - 1
+	}
+	for i, l := range tableLines {
+		if got := cols(l); got != len(tab.Header) {
+			t.Fatalf("table line %d has %d columns, want %d (a | in a cell broke the row): %q",
+				i, got, len(tab.Header), l)
+		}
+	}
+	// Title and note must be intact single lines under their emphasis.
+	if !strings.HasPrefix(lines[0], "**") || !strings.HasSuffix(lines[0], "**") {
+		t.Fatalf("title line broken: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "_") || !strings.HasSuffix(lines[2], "_") {
+		t.Fatalf("note line broken: %q", lines[2])
+	}
+}
+
+// TestRenderMarkdownAllExperiments: every table every experiment emits
+// renders to a structurally valid markdown table at quick scale — the
+// in-process half of the dpbench -format md smoke test.
+func TestRenderMarkdownAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	cfg := Config{Seed: 1, Quick: true}
+	for _, e := range All() {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		for ti, tab := range tables {
+			var sb strings.Builder
+			tab.RenderMarkdown(&sb)
+			for _, l := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+				if !strings.HasPrefix(l, "| ") {
+					continue
+				}
+				n := 0
+				for i := 0; i < len(l); i++ {
+					if l[i] == '\\' {
+						i++
+						continue
+					}
+					if l[i] == '|' {
+						n++
+					}
+				}
+				if n-1 != len(tab.Header) {
+					t.Fatalf("%s table %d: row has %d columns, want %d: %q", e.ID, ti, n-1, len(tab.Header), l)
+				}
+			}
+		}
+	}
+}

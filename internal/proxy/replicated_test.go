@@ -1,0 +1,177 @@
+package proxy
+
+// The tentpole integration test at the proxy layer: many concurrent
+// client sessions run over a Pipeline whose backing store is a
+// store.Replicated cluster; one replica is killed mid-load and later
+// revived. The proxy's clients must observe ZERO failed accesses — the
+// cluster absorbs the failure below the pipeline — and the revived
+// replica must be resynchronized and promoted while load continues.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// switchable wraps a BatchServer with a togglable failure gate (the
+// proxy-layer twin of the store package's test gate, which is not
+// exported).
+type switchable struct {
+	inner  store.BatchServer
+	broken atomic.Bool
+}
+
+var errSwitch = errors.New("proxy test: replica gate closed")
+
+func (s *switchable) Download(addr int) (block.Block, error) {
+	if s.broken.Load() {
+		return nil, errSwitch
+	}
+	return s.inner.Download(addr)
+}
+
+func (s *switchable) Upload(addr int, b block.Block) error {
+	if s.broken.Load() {
+		return errSwitch
+	}
+	return s.inner.Upload(addr, b)
+}
+
+func (s *switchable) ReadBatch(addrs []int) ([]block.Block, error) {
+	if s.broken.Load() {
+		return nil, errSwitch
+	}
+	return s.inner.ReadBatch(addrs)
+}
+
+func (s *switchable) WriteBatch(ops []store.WriteOp) error {
+	if s.broken.Load() {
+		return errSwitch
+	}
+	return s.inner.WriteBatch(ops)
+}
+
+func (s *switchable) Size() int      { return s.inner.Size() }
+func (s *switchable) BlockSize() int { return s.inner.BlockSize() }
+
+// TestProxyOverReplicatedKillOneReplica: 8 sessions of mixed reads and
+// writes over Proxy → Pipeline → Replicated(3, W=2); replica 1 dies at
+// mid-load and comes back; every access of every session must succeed,
+// and after promotion all three replicas hold identical ciphertext
+// arrays.
+func TestProxyOverReplicatedKillOneReplica(t *testing.T) {
+	const n, rs, sessions, perSession = 64, 16, 8, 40
+	db, err := block.PatternDatabase(n, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	physBS := crypto.CiphertextSize(rs)
+	mems := make([]*store.Mem, 3)
+	gates := make([]*switchable, 3)
+	specs := make([]store.ReplicaSpec, 3)
+	for i := range specs {
+		m, err := store.NewMem(n, physBS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i] = m
+		gates[i] = &switchable{inner: store.AsBatch(m)}
+		specs[i] = store.ReplicaSpec{Name: fmt.Sprintf("r%d", i), Backend: gates[i]}
+	}
+	cluster, err := store.NewReplicated(specs, store.ReplicatedOptions{
+		WriteQuorum:      2,
+		ReadPolicy:       store.ReadRotate,
+		ProbeInterval:    time.Millisecond,
+		MaxProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close() //nolint:errcheck
+
+	pipe := NewPipeline(cluster)
+	scheme, err := dpram.Setup(db, pipe, dpram.Options{Rand: rng.New(11), Key: crypto.KeyFromSeed(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(scheme, Options{Pipeline: pipe})
+	defer p.Close() //nolint:errcheck
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	var accesses atomic.Int64
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess := p.NewSession()
+			for q := 0; q < perSession; q++ {
+				idx := (s*perSession + q) % n
+				var err error
+				if q%2 == 0 {
+					_, err = sess.Read(idx)
+				} else {
+					_, err = sess.Write(idx, block.Pattern(uint64(s*1000+q), rs))
+				}
+				if err != nil {
+					errs[s] = fmt.Errorf("session %d access %d: %w", s, q, err)
+					return
+				}
+				accesses.Add(1)
+			}
+		}(s)
+	}
+	// Kill replica 1 once load is flowing, revive it while load continues.
+	for accesses.Load() < sessions*perSession/4 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	gates[1].broken.Store(true)
+	for accesses.Load() < sessions*perSession/2 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	gates[1].broken.Store(false)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatalf("proxy client observed a failed access: %v", err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the revived replica to be promoted, then require
+	// bit-identical replicas.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && cluster.ReplicaStatus()[1].State != store.ReplicaUp {
+		time.Sleep(time.Millisecond)
+	}
+	if st := cluster.ReplicaStatus()[1]; st.State != store.ReplicaUp {
+		t.Fatalf("killed replica never promoted back: %+v", cluster.ReplicaStatus())
+	}
+	cluster.Flush()
+	for a := 0; a < n; a++ {
+		want, _ := mems[0].Download(a)
+		for i := 1; i < 3; i++ {
+			got, _ := mems[i].Download(a)
+			if !bytes.Equal(got, want) {
+				b2, _ := mems[2].Download(a)
+				t.Fatalf("replica %d diverges at slot %d after rejoin\nstatus=%+v\nr0[:8]=%x r%d[:8]=%x r2[:8]=%x",
+					i, a, cluster.ReplicaStatus(), want[:8], i, got[:8], b2[:8])
+			}
+		}
+	}
+}

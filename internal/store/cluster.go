@@ -1,0 +1,81 @@
+package store
+
+import (
+	"fmt"
+)
+
+// ClusterOptions configures DialCluster.
+type ClusterOptions struct {
+	// Namespace is the namespace to open on every replica daemon (the
+	// default namespace when empty). All replicas must report one shape.
+	Namespace string
+	// Slots and BlockSize are the shape a created namespace should have
+	// (zeros defer to the servers), exactly like DialNamespace.
+	Slots, BlockSize int
+	// Replicated carries the quorum, read policy, and probe cadence.
+	Replicated ReplicatedOptions
+}
+
+// DialCluster connects to every replica daemon in addrs and assembles a
+// Replicated over them: quorum writes fan to all daemons, reads are
+// served by one (data-independent choice), and a daemon that dies is
+// redialed, resynchronized, and promoted by the repair loop. Each
+// replica's initial epoch is taken from its handshake; a replica that
+// later reports epoch 0 after a redial (no durability claim — it may
+// have restarted empty) or an epoch BELOW the one it was last promoted
+// at (its durable state was wiped or replaced) is rebuilt with a full
+// copy, while a durable replica at the same or a later epoch is
+// resynchronized from the missed-write backlog alone, since a durable
+// daemon's acknowledged writes survive its restarts.
+//
+// An unreachable daemon at dial time is an error: the caller should know
+// its cluster is whole before serving. (Failures after that are the
+// failover machinery's job.)
+func DialCluster(addrs []string, opts ClusterOptions) (*Replicated, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("store: cluster needs at least one replica address")
+	}
+	// Duplicate addresses would let one daemon ack the quorum twice,
+	// silently voiding the W-of-N durability claim (W "replicas" on one
+	// machine). An operator typo should fail loudly at startup.
+	seen := make(map[string]struct{}, len(addrs))
+	for _, a := range addrs {
+		if _, dup := seen[a]; dup {
+			return nil, fmt.Errorf("store: duplicate replica address %s (each quorum ack must come from a distinct daemon)", a)
+		}
+		seen[a] = struct{}{}
+	}
+	dial := func(addr string) (*Remote, error) {
+		if opts.Namespace == "" && opts.Slots == 0 && opts.BlockSize == 0 {
+			return Dial(addr)
+		}
+		return DialNamespace(addr, opts.Namespace, opts.Slots, opts.BlockSize)
+	}
+	specs := make([]ReplicaSpec, 0, len(addrs))
+	closeAll := func() {
+		for _, s := range specs {
+			if c, ok := s.Backend.(interface{ Close() error }); ok {
+				c.Close() //nolint:errcheck
+			}
+		}
+	}
+	for _, addr := range addrs {
+		addr := addr
+		r, err := dial(addr)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("store: dialing cluster replica %s: %w", addr, err)
+		}
+		specs = append(specs, ReplicaSpec{
+			Name:    addr,
+			Backend: r,
+			Redial:  func() (BatchServer, error) { return dial(addr) },
+		})
+	}
+	rep, err := NewReplicated(specs, opts.Replicated)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return rep, nil
+}

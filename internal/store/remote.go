@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"dpstore/internal/block"
 	"dpstore/internal/wire"
@@ -32,9 +33,16 @@ type Remote struct {
 	maxFrame   int // frame budget for batch splitting; wire.MaxFrame outside tests
 }
 
+// dialTimeout bounds connection establishment. An unbounded net.Dial
+// against a black-holing address hangs for the kernel connect timeout
+// (minutes) — unacceptable for interactive clients and fatal for a
+// Replicated cluster's serial repair loop, which would stall every other
+// replica's probe behind one unreachable host.
+const dialTimeout = 10 * time.Second
+
 // dialRaw opens the TCP connection without any handshake.
 func dialRaw(addr string) (*Remote, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("store: dialing %s: %w", addr, err)
 	}
@@ -291,6 +299,49 @@ func (rs *Remote) WriteBatch(ops []WriteOp) error {
 	return nil
 }
 
+// ResyncCheck asks the server to confirm it still serves the given
+// recovery epoch (one MsgResyncReq round trip). The repair loop of a
+// Replicated cluster calls it right before streaming a resync, so a
+// replica restarting between the redial and the stream is caught instead
+// of receiving a backlog computed against its previous life.
+func (rs *Remote) ResyncCheck(expect uint64) (epoch uint64, ok bool, err error) {
+	resp, err := rs.roundTrip(wire.EncodeResyncReq(expect), wire.MsgResyncResp)
+	if err != nil {
+		return 0, false, err
+	}
+	ok, epoch, err = wire.DecodeResyncResp(resp.Payload)
+	if err != nil {
+		return 0, false, err
+	}
+	return epoch, ok, nil
+}
+
+// ReplicaStatus fetches the per-replica health of a replicated namespace
+// (a daemon running with -replicate). Non-replicated namespaces answer
+// with an error. The result uses the same ReplicaStatus type the
+// in-process Replicated reports, so callers handle both identically
+// (LastErr is in-process-only and stays empty over the wire).
+func (rs *Remote) ReplicaStatus() ([]ReplicaStatus, error) {
+	resp, err := rs.roundTrip(wire.Frame{Type: wire.MsgReplStatusReq}, wire.MsgReplStatusResp)
+	if err != nil {
+		return nil, err
+	}
+	wsts, err := wire.DecodeReplStatusResp(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReplicaStatus, len(wsts))
+	for i, st := range wsts {
+		out[i] = ReplicaStatus{
+			Name:  st.Name,
+			State: ReplicaState(st.State),
+			Epoch: st.Epoch,
+			Dirty: int(st.Dirty),
+		}
+	}
+	return out, nil
+}
+
 // Size implements Server.
 func (rs *Remote) Size() int { return int(rs.shape().Size) }
 
@@ -469,9 +520,37 @@ func handle(req wire.Frame, backing BatchServer, epoch uint64) wire.Frame {
 			return wire.EncodeError(err.Error())
 		}
 		return wire.Frame{Type: wire.MsgWriteBatchResp}
+	case wire.MsgResyncReq:
+		expect, err := wire.DecodeResyncReq(req.Payload)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return wire.EncodeResyncResp(expect == epoch, epoch)
+	case wire.MsgReplStatusReq:
+		rep, ok := backing.(replicaStatusReporter)
+		if !ok {
+			return wire.EncodeError("namespace is not replicated: no replica status to report")
+		}
+		sts := rep.ReplicaStatus()
+		out := make([]wire.ReplicaStatus, len(sts))
+		for i, st := range sts {
+			out[i] = wire.ReplicaStatus{Name: st.Name, State: uint8(st.State), Epoch: st.Epoch, Dirty: uint64(st.Dirty)}
+		}
+		resp, err := wire.EncodeReplStatusResp(out)
+		if err != nil {
+			return wire.EncodeError(err.Error())
+		}
+		return resp
 	case wire.MsgAccessReq:
 		return wire.EncodeError("namespace is block-backed: logical access frames need a proxy-backed namespace")
 	default:
 		return wire.EncodeError(fmt.Sprintf("unknown message type %d", req.Type))
 	}
+}
+
+// replicaStatusReporter is the serve loop's view of a replicated backing
+// store (store.Replicated implements it); daemons hosting one export the
+// cluster's health via MsgReplStatusReq.
+type replicaStatusReporter interface {
+	ReplicaStatus() []ReplicaStatus
 }

@@ -1,0 +1,284 @@
+package store_test
+
+// Obliviousness regression for replication (external test package: the
+// trace recorder imports store). Replication must be invisible in the
+// adversary view:
+//
+//  1. A scheme run over Replicated(2) produces bit-identical per-query
+//     traces to the same run over a single Mem — replication changes
+//     where blocks live, never which (op, address) sequence the scheme
+//     emits (dpram AND pathoram, two seeds).
+//  2. Ejecting a replica mid-run leaves every per-query trace shape (and
+//     the full trace, bit-exactly) unchanged — failover retries the same
+//     address multiset, so a replica death is invisible both to the
+//     client and in trace shape (the leak a naive "skip the dead
+//     replica's portion" failover would introduce).
+//  3. Replica choice carries no address information: every replica sees
+//     the identical upload sequence (writes fan out in order), and under
+//     the sticky policy the non-chosen replica sees zero downloads.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpstore/internal/baseline/pathoram"
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+	"dpstore/internal/trace"
+	"dpstore/internal/workload"
+)
+
+// scheme is the slice of proxy.Scheme both constructions satisfy.
+type scheme interface {
+	Access(q workload.Query) (block.Block, error)
+}
+
+// gate wraps a Server with a togglable failure switch.
+type gate struct {
+	inner  store.Server
+	broken atomic.Bool
+}
+
+func (g *gate) Download(addr int) (block.Block, error) {
+	if g.broken.Load() {
+		return nil, fmt.Errorf("gate: broken")
+	}
+	return g.inner.Download(addr)
+}
+
+func (g *gate) Upload(addr int, b block.Block) error {
+	if g.broken.Load() {
+		return fmt.Errorf("gate: broken")
+	}
+	return g.inner.Upload(addr, b)
+}
+
+func (g *gate) Size() int      { return g.inner.Size() }
+func (g *gate) BlockSize() int { return g.inner.BlockSize() }
+
+// physShape returns the backing-store shape the scheme needs.
+func physShape(t *testing.T, kind string, n, rs int, seed int64) (int, int) {
+	t.Helper()
+	switch kind {
+	case "dpram":
+		return n, crypto.CiphertextSize(rs)
+	case "pathoram":
+		return pathoram.TreeShape(n, rs, pathoram.Options{Rand: rng.New(seed)})
+	}
+	t.Fatalf("unknown scheme kind %q", kind)
+	return 0, 0
+}
+
+// setupOn builds the named scheme over srv with deterministic coins.
+func setupOn(t *testing.T, kind string, n, rs int, seed int64, srv store.Server) scheme {
+	t.Helper()
+	db, err := block.PatternDatabase(n, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch kind {
+	case "dpram":
+		c, err := dpram.Setup(db, srv, dpram.Options{Rand: rng.New(seed), Key: crypto.KeyFromSeed(uint64(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	case "pathoram":
+		o, err := pathoram.Setup(db, srv, pathoram.Options{Rand: rng.New(seed), Key: crypto.KeyFromSeed(uint64(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	t.Fatalf("unknown scheme kind %q", kind)
+	return nil
+}
+
+// requests derives a fixed mixed read/write sequence.
+func requests(seed int64, n, rs, count int) []workload.Query {
+	src := rng.New(seed + 77)
+	reqs := make([]workload.Query, count)
+	for i := range reqs {
+		reqs[i] = workload.Query{Index: src.Intn(n), Op: workload.Read}
+		if i%2 == 1 {
+			reqs[i].Op = workload.Write
+			reqs[i].Data = block.Pattern(uint64(i), rs)
+		}
+	}
+	return reqs
+}
+
+// runTraced executes the request sequence over a recorder-wrapped server
+// and returns the per-query transcripts.
+func runTraced(t *testing.T, kind string, n, rs int, seed int64, backing store.Server, breakAt int, g *gate) []trace.Transcript {
+	t.Helper()
+	rec := trace.NewRecorder(backing)
+	sch := setupOn(t, kind, n, rs, seed, rec)
+	for i, q := range requests(seed, n, rs, 24) {
+		if g != nil && i == breakAt {
+			g.broken.Store(true)
+		}
+		rec.Mark()
+		if _, err := sch.Access(q); err != nil {
+			t.Fatalf("%s seed %d: access %d failed: %v", kind, seed, i, err)
+		}
+	}
+	return rec.Queries()
+}
+
+// newReplicated2 builds a 2-replica cluster over fresh Mems (optionally
+// gating replica 0) with a fast probe cadence.
+func newReplicated2(t *testing.T, slots, bs, quorum int, gateFirst bool) (*store.Replicated, *gate) {
+	t.Helper()
+	specs := make([]store.ReplicaSpec, 2)
+	var g *gate
+	for i := range specs {
+		m, err := store.NewMem(slots, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var backend store.Server = m
+		if i == 0 && gateFirst {
+			g = &gate{inner: m}
+			backend = g
+		}
+		specs[i] = store.ReplicaSpec{Name: fmt.Sprintf("r%d", i), Backend: store.AsBatch(backend)}
+	}
+	r, err := store.NewReplicated(specs, store.ReplicatedOptions{
+		WriteQuorum:      quorum,
+		ProbeInterval:    time.Millisecond,
+		MaxProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() }) //nolint:errcheck
+	return r, g
+}
+
+// TestReplicatedTraceEqualsMem: per-query traces over Replicated(2) are
+// bit-identical (so in particular shape-identical) to a single Mem, for
+// dpram and pathoram at two seeds.
+func TestReplicatedTraceEqualsMem(t *testing.T) {
+	const n, rs = 64, 16
+	for _, kind := range []string{"dpram", "pathoram"} {
+		for _, seed := range []int64{1, 2} {
+			slots, bs := physShape(t, kind, n, rs, seed)
+			single, err := store.NewMem(slots, bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := runTraced(t, kind, n, rs, seed, single, -1, nil)
+			cluster, _ := newReplicated2(t, slots, bs, 2, false)
+			repl := runTraced(t, kind, n, rs, seed, cluster, -1, nil)
+			if len(base) != len(repl) {
+				t.Fatalf("%s seed %d: %d vs %d queries", kind, seed, len(base), len(repl))
+			}
+			for q := range base {
+				if bs, rs := base[q].Shape(), repl[q].Shape(); bs != rs {
+					t.Fatalf("%s seed %d query %d: shape %q over Mem vs %q over Replicated(2)",
+						kind, seed, q, bs, rs)
+				}
+				if bk, rk := base[q].Key(), repl[q].Key(); bk != rk {
+					t.Fatalf("%s seed %d query %d: trace diverges: %q vs %q", kind, seed, q, bk, rk)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicatedShapeInvariance: ejecting the read replica mid-run (its
+// gate starts failing before access 12) leaves every per-query shape —
+// and the whole trace, bit-exactly — identical to the unbroken baseline,
+// while every access still succeeds.
+func TestReplicatedShapeInvariance(t *testing.T) {
+	const n, rs, breakAt = 64, 16, 12
+	for _, kind := range []string{"dpram", "pathoram"} {
+		for _, seed := range []int64{1, 2} {
+			slots, bs := physShape(t, kind, n, rs, seed)
+			single, err := store.NewMem(slots, bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := runTraced(t, kind, n, rs, seed, single, -1, nil)
+			cluster, g := newReplicated2(t, slots, bs, 1, true)
+			broken := runTraced(t, kind, n, rs, seed, cluster, breakAt, g)
+			if len(base) != len(broken) {
+				t.Fatalf("%s seed %d: %d vs %d queries", kind, seed, len(base), len(broken))
+			}
+			for q := range base {
+				if bs, ks := base[q].Shape(), broken[q].Shape(); bs != ks {
+					t.Fatalf("%s seed %d query %d: shape %q healthy vs %q with replica 0 ejected — replica failure leaked into the trace shape",
+						kind, seed, q, bs, ks)
+				}
+				if bk, kk := base[q].Key(), broken[q].Key(); bk != kk {
+					t.Fatalf("%s seed %d query %d: trace diverges under ejection", kind, seed, q)
+				}
+			}
+			if st := cluster.ReplicaStatus()[0]; st.State == store.ReplicaUp {
+				t.Fatalf("%s seed %d: gated replica still up — the test never exercised failover", kind, seed)
+			}
+		}
+	}
+}
+
+// TestReplicatedReplicaViewLeak: what each replica itself sees. The
+// upload sequence must be identical on every replica (fan-out preserves
+// order and content), and under the sticky policy the non-chosen replica
+// must see zero downloads — replica choice is made before any address is
+// known, so no download placement can encode data.
+func TestReplicatedReplicaViewLeak(t *testing.T) {
+	const n, rs = 64, 16
+	kind, seed := "dpram", int64(3)
+	slots, bs := physShape(t, kind, n, rs, seed)
+	recs := make([]*trace.Recorder, 2)
+	specs := make([]store.ReplicaSpec, 2)
+	for i := range specs {
+		m, err := store.NewMem(slots, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = trace.NewRecorder(m)
+		specs[i] = store.ReplicaSpec{Name: fmt.Sprintf("r%d", i), Backend: store.AsBatch(recs[i])}
+	}
+	cluster, err := store.NewReplicated(specs, store.ReplicatedOptions{WriteQuorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close() //nolint:errcheck
+	sch := setupOn(t, kind, n, rs, seed, cluster)
+	for _, q := range requests(seed, n, rs, 24) {
+		if _, err := sch.Access(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster.Flush()
+
+	uploads := func(tr trace.Transcript) trace.Transcript {
+		var out trace.Transcript
+		for _, a := range tr {
+			if a.Op == trace.OpUpload {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	u0, u1 := uploads(recs[0].Transcript()), uploads(recs[1].Transcript())
+	if u0.Key() != u1.Key() {
+		t.Fatal("replicas saw different upload sequences — fan-out reordered or dropped writes")
+	}
+	if len(u0) == 0 {
+		t.Fatal("no uploads recorded; test is vacuous")
+	}
+	// Sticky seed 0 → replica 0 serves all downloads; replica 1 none.
+	for _, a := range recs[1].Transcript() {
+		if a.Op == trace.OpDownload {
+			t.Fatalf("sticky policy leaked a download to the non-chosen replica (addr %d)", a.Addr)
+		}
+	}
+}

@@ -1,0 +1,681 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpstore/internal/block"
+)
+
+// gated wraps a BatchServer with a switchable failure mode, so tests
+// control exactly when a replica is "dead" and when it comes back —
+// unlike Faulty, whose schedule is fixed at construction.
+type gated struct {
+	inner  BatchServer
+	broken atomic.Bool
+	reads  atomic.Int64
+	writes atomic.Int64
+}
+
+var errGated = errors.New("store: replica gate closed")
+
+func newGated(inner Server) *gated { return &gated{inner: AsBatch(inner)} }
+
+func (g *gated) Download(addr int) (block.Block, error) {
+	if g.broken.Load() {
+		return nil, errGated
+	}
+	g.reads.Add(1)
+	return g.inner.Download(addr)
+}
+
+func (g *gated) Upload(addr int, b block.Block) error {
+	if g.broken.Load() {
+		return errGated
+	}
+	g.writes.Add(1)
+	return g.inner.Upload(addr, b)
+}
+
+func (g *gated) ReadBatch(addrs []int) ([]block.Block, error) {
+	if g.broken.Load() {
+		return nil, errGated
+	}
+	g.reads.Add(int64(len(addrs)))
+	return g.inner.ReadBatch(addrs)
+}
+
+func (g *gated) WriteBatch(ops []WriteOp) error {
+	if g.broken.Load() {
+		return errGated
+	}
+	g.writes.Add(int64(len(ops)))
+	return g.inner.WriteBatch(ops)
+}
+
+func (g *gated) Size() int      { return g.inner.Size() }
+func (g *gated) BlockSize() int { return g.inner.BlockSize() }
+
+// newTestCluster builds a Replicated over n gated Mems with a fast probe
+// cadence, returning the cluster, the gates, and the raw Mems.
+func newTestCluster(t *testing.T, replicas, slots, blockSize int, opts ReplicatedOptions) (*Replicated, []*gated, []*Mem) {
+	t.Helper()
+	gates := make([]*gated, replicas)
+	mems := make([]*Mem, replicas)
+	specs := make([]ReplicaSpec, replicas)
+	for i := range specs {
+		m, err := NewMem(slots, blockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i] = m
+		gates[i] = newGated(m)
+		specs[i] = ReplicaSpec{Name: fmt.Sprintf("r%d", i), Backend: gates[i]}
+	}
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = 2 * time.Millisecond
+	}
+	if opts.MaxProbeInterval == 0 {
+		opts.MaxProbeInterval = 20 * time.Millisecond
+	}
+	r, err := NewReplicated(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() }) //nolint:errcheck
+	return r, gates, mems
+}
+
+// waitState polls until the named replica reaches the wanted state.
+func waitState(t *testing.T, r *Replicated, idx int, want ReplicaState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.ReplicaStatus()[idx].State == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("replica %d never reached %v (status %+v)", idx, want, r.ReplicaStatus())
+}
+
+// TestReplicatedMatchesMem: with all replicas healthy, the cluster is
+// bit-identical to a single Mem under a mixed read/write workload, and
+// every replica converges to the same contents.
+func TestReplicatedMatchesMem(t *testing.T) {
+	const slots, bs = 64, 16
+	r, _, mems := newTestCluster(t, 3, slots, bs, ReplicatedOptions{})
+	shadow, err := NewMem(slots, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 200; q++ {
+		addr := (q * 7) % slots
+		if q%3 == 0 {
+			b := block.Pattern(uint64(q), bs)
+			if err := r.Upload(addr, b); err != nil {
+				t.Fatalf("upload %d: %v", q, err)
+			}
+			if err := shadow.Upload(addr, b); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			got, err := r.Download(addr)
+			if err != nil {
+				t.Fatalf("download %d: %v", q, err)
+			}
+			want, _ := shadow.Download(addr)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("q%d addr %d: got %x want %x", q, addr, got, want)
+			}
+		}
+	}
+	r.Flush()
+	for i, m := range mems {
+		for a := 0; a < slots; a++ {
+			want, _ := shadow.Download(a)
+			got, _ := m.Download(a)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("replica %d diverged at addr %d", i, a)
+			}
+		}
+	}
+}
+
+// TestReplicatedQuorumSemantics: W=2 over 3 replicas tolerates one dead
+// replica with zero write failures; with two dead, writes fail with
+// ErrQuorum; W=N fails as soon as one replica is down.
+func TestReplicatedQuorumSemantics(t *testing.T) {
+	const slots, bs = 16, 8
+	t.Run("W2N3-one-dead", func(t *testing.T) {
+		r, gates, _ := newTestCluster(t, 3, slots, bs, ReplicatedOptions{WriteQuorum: 2})
+		gates[1].broken.Store(true)
+		for q := 0; q < 20; q++ {
+			if err := r.Upload(q%slots, block.Pattern(uint64(q), bs)); err != nil {
+				t.Fatalf("write %d failed with one dead replica: %v", q, err)
+			}
+		}
+	})
+	t.Run("W2N3-two-dead", func(t *testing.T) {
+		r, gates, _ := newTestCluster(t, 3, slots, bs, ReplicatedOptions{WriteQuorum: 2})
+		gates[1].broken.Store(true)
+		gates[2].broken.Store(true)
+		// First writes eject the two dead replicas; after ejection the
+		// quorum is provably unreachable and the error must be ErrQuorum.
+		var lastErr error
+		for q := 0; q < 10; q++ {
+			lastErr = r.Upload(0, block.Pattern(uint64(q), bs))
+		}
+		if !errors.Is(lastErr, ErrQuorum) {
+			t.Fatalf("want ErrQuorum with 2/3 dead, got %v", lastErr)
+		}
+	})
+	t.Run("WN-one-dead", func(t *testing.T) {
+		r, gates, _ := newTestCluster(t, 2, slots, bs, ReplicatedOptions{WriteQuorum: 2})
+		gates[1].broken.Store(true)
+		var lastErr error
+		for q := 0; q < 5; q++ {
+			lastErr = r.Upload(0, block.Pattern(uint64(q), bs))
+		}
+		if !errors.Is(lastErr, ErrQuorum) {
+			t.Fatalf("want ErrQuorum at W=N with a dead replica, got %v", lastErr)
+		}
+	})
+}
+
+// TestReplicatedReadFailover: the sticky read replica dying mid-workload
+// is invisible to the caller — the same read succeeds on the next
+// replica — and the dead replica serves nothing until it is revived and
+// resynced (sticky ejection).
+func TestReplicatedReadFailover(t *testing.T) {
+	const slots, bs = 32, 8
+	r, gates, _ := newTestCluster(t, 3, slots, bs, ReplicatedOptions{WriteQuorum: 2})
+	for a := 0; a < slots; a++ {
+		if err := r.Upload(a, block.Pattern(uint64(a), bs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sticky with seed 0 reads from replica 0.
+	if _, err := r.Download(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := gates[0].reads.Load(); got == 0 {
+		t.Fatal("sticky policy did not read from replica 0")
+	}
+	before1 := gates[1].reads.Load()
+
+	gates[0].broken.Store(true)
+	for a := 0; a < slots; a++ {
+		got, err := r.Download(a)
+		if err != nil {
+			t.Fatalf("read %d during failover: %v", a, err)
+		}
+		if !bytes.Equal(got, block.Pattern(uint64(a), bs)) {
+			t.Fatalf("read %d returned wrong data during failover", a)
+		}
+	}
+	if gates[1].reads.Load() == before1 {
+		t.Fatal("failover did not move reads to replica 1")
+	}
+	waitState(t, r, 0, ReplicaDown)
+
+	// Sticky ejection: replica 0 must not serve reads again while broken,
+	// even though probes keep firing.
+	reads0 := gates[0].reads.Load()
+	for a := 0; a < 8; a++ {
+		if _, err := r.Download(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gates[0].reads.Load() != reads0 {
+		t.Fatal("ejected replica served a read before promotion")
+	}
+}
+
+// TestReplicatedResyncDirty: a replica that dies, misses writes, and
+// returns is streamed exactly its backlog and promoted; after promotion
+// its contents match the survivors and it serves reads again.
+func TestReplicatedResyncDirty(t *testing.T) {
+	const slots, bs = 64, 8
+	r, gates, mems := newTestCluster(t, 2, slots, bs, ReplicatedOptions{WriteQuorum: 1, Seed: 0})
+	for a := 0; a < slots; a++ {
+		if err := r.Upload(a, block.Pattern(uint64(a), bs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Flush()
+	gates[1].broken.Store(true)
+	// Miss a batch of writes (some overwriting, some new) — these fail on
+	// replica 1 and land in its backlog.
+	for q := 0; q < 40; q++ {
+		if err := r.Upload((q*3)%slots, block.Pattern(1000+uint64(q), bs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitState(t, r, 1, ReplicaDown)
+	if st := r.ReplicaStatus()[1]; st.Dirty == 0 {
+		t.Fatal("down replica has an empty backlog despite missed writes")
+	}
+	writesBefore := gates[1].writes.Load()
+	gates[1].broken.Store(false)
+	waitState(t, r, 1, ReplicaUp)
+	if st := r.ReplicaStatus()[1]; st.Dirty != 0 {
+		t.Fatalf("promoted replica still has %d backlog entries", st.Dirty)
+	}
+	// The resync stream wrote only the backlog, not the whole store.
+	streamed := gates[1].writes.Load() - writesBefore
+	if streamed == 0 || streamed > 40 {
+		t.Fatalf("dirty resync streamed %d writes, want 1..40", streamed)
+	}
+	r.Flush()
+	for a := 0; a < slots; a++ {
+		want, _ := mems[0].Download(a)
+		got, _ := mems[1].Download(a)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("resynced replica diverges at addr %d", a)
+		}
+	}
+}
+
+// TestReplicatedResyncUnderLoad: writes keep flowing WHILE the resync
+// stream runs; the freshness rule must keep the live writes (newer) from
+// being overwritten by the backlog (older). The gate's write counter
+// throttle forces the stream and the live path to interleave.
+func TestReplicatedResyncUnderLoad(t *testing.T) {
+	const slots, bs = 256, 8
+	r, gates, mems := newTestCluster(t, 2, slots, bs, ReplicatedOptions{WriteQuorum: 1})
+	for a := 0; a < slots; a++ {
+		if err := r.Upload(a, block.Pattern(uint64(a), bs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Flush()
+	gates[1].broken.Store(true)
+	for a := 0; a < slots; a++ {
+		if err := r.Upload(a, block.Pattern(5000+uint64(a), bs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitState(t, r, 1, ReplicaDown)
+
+	// Revive, and concurrently overwrite a moving window of addresses.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	stop := make(chan struct{})
+	var liveErr error
+	go func() {
+		defer wg.Done()
+		for q := 0; ; q++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := r.Upload(q%slots, block.Pattern(9000+uint64(q), bs)); err != nil {
+				liveErr = err
+				return
+			}
+		}
+	}()
+	gates[1].broken.Store(false)
+	waitState(t, r, 1, ReplicaUp)
+	close(stop)
+	wg.Wait()
+	if liveErr != nil {
+		t.Fatalf("live writes during resync failed: %v", liveErr)
+	}
+	r.Flush()
+	for a := 0; a < slots; a++ {
+		want, _ := mems[0].Download(a)
+		got, _ := mems[1].Download(a)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("replica diverges at addr %d after resync under load: got %x want %x", a, got, want)
+		}
+	}
+}
+
+// TestReplicatedRotatePolicy: ReadRotate spreads reads across all Up
+// replicas (every replica serves some), and ejection shrinks the
+// rotation set without client-visible failures.
+func TestReplicatedRotatePolicy(t *testing.T) {
+	const slots, bs = 16, 8
+	r, gates, _ := newTestCluster(t, 3, slots, bs, ReplicatedOptions{WriteQuorum: 2, ReadPolicy: ReadRotate})
+	for a := 0; a < slots; a++ {
+		if err := r.Upload(a, block.Pattern(uint64(a), bs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 30; q++ {
+		if _, err := r.Download(q % slots); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, g := range gates {
+		if g.reads.Load() == 0 {
+			t.Fatalf("rotate policy never read from replica %d", i)
+		}
+	}
+	gates[2].broken.Store(true)
+	for q := 0; q < 30; q++ {
+		if _, err := r.Download(q % slots); err != nil {
+			t.Fatalf("rotate read %d during failover: %v", q, err)
+		}
+	}
+}
+
+// TestReplicatedReadYourWrites: a read immediately after an acknowledged
+// write must return the new data even under the rotate policy, where the
+// read may land on a replica that acked later than the quorum pair.
+func TestReplicatedReadYourWrites(t *testing.T) {
+	const slots, bs = 8, 8
+	r, _, _ := newTestCluster(t, 3, slots, bs, ReplicatedOptions{WriteQuorum: 2, ReadPolicy: ReadRotate})
+	for q := 0; q < 300; q++ {
+		want := block.Pattern(uint64(q), bs)
+		if err := r.Upload(q%slots, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Download(q % slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("q%d: read-your-writes violated: got %x want %x", q, got, want)
+		}
+	}
+}
+
+// TestReplicatedConcurrent: racing readers and writers over a cluster
+// with a replica dying and rejoining mid-run — no client-visible errors,
+// and all replicas converge (run under -race).
+func TestReplicatedConcurrent(t *testing.T) {
+	const slots, bs, clients, perClient = 64, 8, 8, 50
+	r, gates, mems := newTestCluster(t, 3, slots, bs, ReplicatedOptions{WriteQuorum: 2, ReadPolicy: ReadRotate})
+	for a := 0; a < slots; a++ {
+		if err := r.Upload(a, block.Pattern(uint64(a), bs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				addr := (c*perClient + q) % slots
+				if q%2 == 0 {
+					if _, err := r.Download(addr); err != nil {
+						errs[c] = err
+						return
+					}
+				} else if err := r.Upload(addr, block.Pattern(uint64(c*1000+q), bs)); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	// Kill replica 1 mid-run, then revive it.
+	time.Sleep(2 * time.Millisecond)
+	gates[1].broken.Store(true)
+	time.Sleep(5 * time.Millisecond)
+	gates[1].broken.Store(false)
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d observed a failure: %v", c, err)
+		}
+	}
+	waitState(t, r, 1, ReplicaUp)
+	r.Flush()
+	for a := 0; a < slots; a++ {
+		want, _ := mems[0].Download(a)
+		for i := 1; i < 3; i++ {
+			got, _ := mems[i].Download(a)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("replica %d diverges at addr %d after concurrent run", i, a)
+			}
+		}
+	}
+}
+
+// hangable wraps a BatchServer whose WriteBatch can be made to block
+// (a black-holed connection, not an erroring one) until released.
+type hangable struct {
+	inner   BatchServer
+	hung    atomic.Bool
+	release chan struct{}
+}
+
+func (h *hangable) maybeHang() {
+	if h.hung.Load() {
+		<-h.release
+	}
+}
+
+func (h *hangable) Download(addr int) (block.Block, error) { return h.inner.Download(addr) }
+func (h *hangable) Upload(addr int, b block.Block) error {
+	h.maybeHang()
+	return h.inner.Upload(addr, b)
+}
+func (h *hangable) ReadBatch(addrs []int) ([]block.Block, error) { return h.inner.ReadBatch(addrs) }
+func (h *hangable) WriteBatch(ops []WriteOp) error {
+	h.maybeHang()
+	return h.inner.WriteBatch(ops)
+}
+func (h *hangable) Size() int      { return h.inner.Size() }
+func (h *hangable) BlockSize() int { return h.inner.BlockSize() }
+
+// TestReplicatedHungReplica: a replica that HANGS (no error, ever) must
+// not stall cluster writes — once its queue fills, the cluster ejects it
+// and keeps acking at quorum; after the hang clears, resync converges it.
+func TestReplicatedHungReplica(t *testing.T) {
+	const slots, bs = 64, 8
+	hang := &hangable{release: make(chan struct{})}
+	mems := make([]*Mem, 3)
+	specs := make([]ReplicaSpec, 3)
+	for i := range specs {
+		m, err := NewMem(slots, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i] = m
+		var backend BatchServer = AsBatch(m)
+		if i == 2 {
+			hang.inner = backend
+			backend = hang
+		}
+		specs[i] = ReplicaSpec{Name: fmt.Sprintf("r%d", i), Backend: backend}
+	}
+	r, err := NewReplicated(specs, ReplicatedOptions{
+		WriteQuorum:      2,
+		ProbeInterval:    2 * time.Millisecond,
+		MaxProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close() //nolint:errcheck
+
+	hang.hung.Store(true)
+	// Enough writes to fill the hung replica's queue (depth 64 + the one
+	// its writer is stuck inside) and trip the bypass. Must complete
+	// promptly — a stalled fan-out would hang this loop forever.
+	done := make(chan error, 1)
+	go func() {
+		for q := 0; q < 100; q++ {
+			if err := r.Upload(q%slots, block.Pattern(uint64(q), bs)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write failed during hang: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster writes stalled behind one hung replica")
+	}
+	if st := r.ReplicaStatus()[2]; st.State != ReplicaDown || st.LastErr == "" {
+		t.Fatalf("hung replica not ejected with a cause: %+v", st)
+	}
+
+	// Clear the hang; the stuck writer drains, resync streams the
+	// backlog, and the replica converges with the survivors.
+	hang.hung.Store(false)
+	close(hang.release)
+	waitState(t, r, 2, ReplicaUp)
+	r.Flush()
+	for a := 0; a < slots; a++ {
+		want, _ := mems[0].Download(a)
+		got, _ := mems[2].Download(a)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("hung replica diverges at addr %d after recovery", a)
+		}
+	}
+}
+
+// epochGated is a gated backend that also reports a recovery epoch,
+// standing in for a durable remote replica.
+type epochGated struct {
+	*gated
+	epoch uint64
+}
+
+func (e *epochGated) Epoch() uint64 { return e.epoch }
+
+// TestReplicatedEpochRegressionForcesFullCopy: a redialed replica whose
+// epoch went BACKWARDS (its durable directory was wiped — a fresh dir
+// boots at epoch 1) must be rebuilt with a full copy, not trusted to
+// hold its previously acknowledged writes. The wiped store here is
+// empty, so a backlog-only resync would leave every address outside the
+// down-window zeroed; the test fails on exactly that.
+func TestReplicatedEpochRegressionForcesFullCopy(t *testing.T) {
+	const slots, bs = 64, 8
+	m0, err := NewMem(slots, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOld, err := NewMem(slots, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gOld := &epochGated{gated: newGated(mOld), epoch: 5}
+	var mNew *Mem
+	specs := []ReplicaSpec{
+		{Name: "r0", Backend: AsBatch(m0)},
+		{Name: "r1", Backend: gOld, Redial: func() (BatchServer, error) {
+			// The "restarted on a wiped directory" daemon: empty store,
+			// epoch reset to 1 < 5.
+			m, err := NewMem(slots, bs)
+			if err != nil {
+				return nil, err
+			}
+			mNew = m
+			return &epochGated{gated: newGated(m), epoch: 1}, nil
+		}},
+	}
+	r, err := NewReplicated(specs, ReplicatedOptions{
+		WriteQuorum:      1,
+		ProbeInterval:    2 * time.Millisecond,
+		MaxProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close() //nolint:errcheck
+	for a := 0; a < slots; a++ {
+		if err := r.Upload(a, block.Pattern(uint64(a), bs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Flush()
+	// Kill r1; miss only TWO writes, so a backlog-only resync would
+	// restore 2 addresses and leave 62 zeroed on the wiped store.
+	gOld.broken.Store(true)
+	for q := 0; q < 2; q++ {
+		if err := r.Upload(q, block.Pattern(9000+uint64(q), bs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitState(t, r, 1, ReplicaDown)
+	waitState(t, r, 1, ReplicaUp) // redial (epoch 5→1) + resync + promote
+	if st := r.ReplicaStatus()[1]; st.Epoch != 1 {
+		t.Fatalf("promoted epoch %d, want the redialed 1", st.Epoch)
+	}
+	r.Flush()
+	for a := 0; a < slots; a++ {
+		want, _ := m0.Download(a)
+		got, _ := mNew.Download(a)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("wiped replica diverges at addr %d: epoch regression was not treated as a full-copy case", a)
+		}
+	}
+}
+
+// TestReplicatedValidation: malformed batches are rejected up front and
+// must NOT eject healthy replicas.
+func TestReplicatedValidation(t *testing.T) {
+	const slots, bs = 8, 8
+	r, _, _ := newTestCluster(t, 2, slots, bs, ReplicatedOptions{})
+	if err := r.Upload(slots, block.New(bs)); !errors.Is(err, ErrAddr) {
+		t.Fatalf("out-of-range upload: %v", err)
+	}
+	if err := r.Upload(0, block.New(bs-1)); !errors.Is(err, block.ErrSize) {
+		t.Fatalf("ragged upload: %v", err)
+	}
+	if _, err := r.ReadBatch([]int{-1}); !errors.Is(err, ErrAddr) {
+		t.Fatalf("out-of-range read: %v", err)
+	}
+	for _, st := range r.ReplicaStatus() {
+		if st.State != ReplicaUp {
+			t.Fatalf("caller bug ejected replica %s", st.Name)
+		}
+	}
+	if err := r.Upload(0, block.Pattern(1, bs)); err != nil {
+		t.Fatalf("cluster broken after rejected batches: %v", err)
+	}
+}
+
+// TestReplicatedShapeMismatch: construction fails when replicas disagree
+// on shape, and quorum bounds are enforced.
+func TestReplicatedShapeMismatch(t *testing.T) {
+	a, _ := NewMem(8, 8)
+	b, _ := NewMem(16, 8)
+	if _, err := NewReplicated([]ReplicaSpec{{Backend: AsBatch(a)}, {Backend: AsBatch(b)}}, ReplicatedOptions{}); err == nil {
+		t.Fatal("mismatched replica shapes accepted")
+	}
+	c, _ := NewMem(8, 8)
+	if _, err := NewReplicated([]ReplicaSpec{{Backend: AsBatch(c)}}, ReplicatedOptions{WriteQuorum: 2}); err == nil {
+		t.Fatal("quorum larger than cluster accepted")
+	}
+	if _, err := NewReplicated(nil, ReplicatedOptions{}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+}
+
+// TestReplicatedClosed: operations after Close fail with
+// ErrReplicatedClosed rather than hanging or panicking.
+func TestReplicatedClosed(t *testing.T) {
+	r, _, _ := newTestCluster(t, 2, 8, 8, ReplicatedOptions{})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upload(0, block.New(8)); !errors.Is(err, ErrReplicatedClosed) {
+		t.Fatalf("upload after close: %v", err)
+	}
+	if _, err := r.Download(0); !errors.Is(err, ErrReplicatedClosed) {
+		t.Fatalf("download after close: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -1,0 +1,236 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"dpstore/internal/block"
+)
+
+// serveOn starts a wire daemon on a loopback listener serving backing as
+// the default namespace with the given epoch, returning its address.
+func serveOn(t *testing.T, backing Server, epoch uint64) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	ns := NewNamespaces()
+	ns.Attach(DefaultNamespace, backing)
+	ns.SetEpoch(epoch)
+	go ServeNamespaces(ln, ns) //nolint:errcheck
+	return ln.Addr().String()
+}
+
+// TestResyncCheckWire: MsgResyncReq answers with the daemon's epoch and
+// whether it matched the expectation — on any daemon, replicated or not.
+func TestResyncCheckWire(t *testing.T) {
+	m, err := NewMem(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := serveOn(t, m, 7)
+	rs, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	epoch, ok, err := rs.ResyncCheck(7)
+	if err != nil || !ok || epoch != 7 {
+		t.Fatalf("matching check: epoch=%d ok=%v err=%v", epoch, ok, err)
+	}
+	epoch, ok, err = rs.ResyncCheck(3)
+	if err != nil || ok || epoch != 7 {
+		t.Fatalf("mismatched check: epoch=%d ok=%v err=%v", epoch, ok, err)
+	}
+}
+
+// TestReplicaStatusWire: a daemon whose default namespace is a Replicated
+// serves MsgReplStatusReq; a plain daemon rejects it.
+func TestReplicaStatusWire(t *testing.T) {
+	mems := make([]*Mem, 2)
+	specs := make([]ReplicaSpec, 2)
+	for i := range specs {
+		m, err := NewMem(8, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i] = m
+		specs[i] = ReplicaSpec{Name: fmt.Sprintf("r%d", i), Backend: AsBatch(m)}
+	}
+	rep, err := NewReplicated(specs, ReplicatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close() //nolint:errcheck
+	addr := serveOn(t, rep, 0)
+	rs, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	sts, err := rs.ReplicaStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 || sts[0].Name != "r0" || sts[1].Name != "r1" {
+		t.Fatalf("status %+v", sts)
+	}
+	for _, st := range sts {
+		if st.State != ReplicaUp {
+			t.Fatalf("replica %s not up: %+v", st.Name, st)
+		}
+	}
+
+	plain := serveOn(t, mems[0], 0)
+	rp, err := Dial(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	if _, err := rp.ReplicaStatus(); err == nil {
+		t.Fatal("plain daemon served a replica status")
+	}
+}
+
+// TestDialClusterFailoverResync is the transport-level acceptance path
+// in-process: three TCP daemons, a DialCluster front end with W=2, one
+// daemon dying mid-load (listener + connections torn down), zero
+// client-visible failures, then the daemon returning and being promoted
+// after a full resync (epoch 0 = no durability claim).
+func TestDialClusterFailoverResync(t *testing.T) {
+	const slots, bs = 64, 16
+	mems := make([]*Mem, 3)
+	lns := make([]net.Listener, 3)
+	addrs := make([]string, 3)
+	conns := make([]chan net.Conn, 3)
+	for i := range mems {
+		m, err := NewMem(slots, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i] = m
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+		conns[i] = make(chan net.Conn, 64)
+		ns := NewNamespaces()
+		ns.Attach(DefaultNamespace, m)
+		go func(ln net.Listener, ns *Namespaces, cc chan net.Conn) {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				select {
+				case cc <- c:
+				default:
+				}
+				go serveConn(c, ns)
+			}
+		}(ln, ns, conns[i])
+	}
+	cl, err := DialCluster(addrs, ClusterOptions{Replicated: ReplicatedOptions{
+		WriteQuorum:      2,
+		ProbeInterval:    2 * time.Millisecond,
+		MaxProbeInterval: 20 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+
+	shadow := make(map[int]block.Block)
+	write := func(q int) {
+		a := (q * 5) % slots
+		b := block.Pattern(uint64(q), bs)
+		if err := cl.Upload(a, b); err != nil {
+			t.Fatalf("write %d: %v", q, err)
+		}
+		shadow[a] = b
+	}
+	for q := 0; q < 32; q++ {
+		write(q)
+	}
+
+	// Kill daemon 0 (the sticky read replica): close its listener and
+	// every accepted connection, so in-flight and future operations fail.
+	lns[0].Close()
+	for {
+		select {
+		case c := <-conns[0]:
+			c.Close()
+			continue
+		default:
+		}
+		break
+	}
+	// Load continues: zero client-visible failures (reads fail over,
+	// writes reach quorum on the two survivors).
+	for q := 32; q < 64; q++ {
+		write(q)
+		a := (q * 3) % slots
+		got, err := cl.Download(a)
+		if err != nil {
+			t.Fatalf("read %d during outage: %v", q, err)
+		}
+		want := shadow[a]
+		if want == nil {
+			want = block.New(bs)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %d returned wrong data during outage", q)
+		}
+	}
+
+	// Restart daemon 0 on the same address with an EMPTY store: epoch 0
+	// means no durability claim, so the repair loop must full-copy.
+	m0, err := NewMem(slots, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mems[0] = m0
+	ln, err := net.Listen("tcp", addrs[0])
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addrs[0], err)
+	}
+	defer ln.Close()
+	ns := NewNamespaces()
+	ns.Attach(DefaultNamespace, m0)
+	go ServeNamespaces(ln, ns) //nolint:errcheck
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && cl.ReplicaStatus()[0].State != ReplicaUp {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := cl.ReplicaStatus()[0]; st.State != ReplicaUp {
+		t.Fatalf("replica 0 never promoted: %+v", cl.ReplicaStatus())
+	}
+	cl.Flush()
+	// The restarted, resynced replica holds every acknowledged write.
+	for a := 0; a < slots; a++ {
+		want := shadow[a]
+		if want == nil {
+			want = block.New(bs)
+		}
+		got, err := m0.Download(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("resynced replica wrong at addr %d", a)
+		}
+	}
+	// And serves reads again (sticky policy returns to the lowest Up
+	// replica only after the current one fails; force it by killing 1).
+	if _, err := cl.Download(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -101,6 +101,71 @@ func FuzzBatchReq(f *testing.F) {
 	})
 }
 
+// FuzzReplStatus fuzzes the replica-status decoder: forged counts and
+// name lengths must neither over-allocate nor alias entry fields into
+// names, and every accepted payload must round-trip bit-exactly.
+func FuzzReplStatus(f *testing.F) {
+	for _, reps := range [][]ReplicaStatus{
+		{},
+		{{Name: "r0", State: ReplicaStateUp, Epoch: 3, Dirty: 0}},
+		{{Name: "a", State: ReplicaStateDown, Epoch: 0, Dirty: 42}, {Name: "b", State: ReplicaStateSyncing, Epoch: 9, Dirty: 7}},
+	} {
+		fr, err := EncodeReplStatusResp(reps)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(fr.Payload)
+	}
+	f.Add([]byte{0xff, 0xff})            // forged huge count, empty body
+	f.Add([]byte{0, 1, 0xff, 0xff, 'x'}) // forged name length
+	f.Add([]byte{0, 0, 0})               // trailing byte after zero entries
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reps, err := DecodeReplStatusResp(data)
+		if err != nil {
+			return
+		}
+		if len(reps) > MaxReplicas {
+			t.Fatalf("decoder accepted %d replicas past the cap", len(reps))
+		}
+		for _, r := range reps {
+			if len(r.Name) > MaxNamespaceName {
+				t.Fatalf("decoder accepted a %d-byte replica name past the cap", len(r.Name))
+			}
+		}
+		fr, err := EncodeReplStatusResp(reps)
+		if err != nil {
+			t.Fatalf("accepted status failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(fr.Payload, data) {
+			t.Fatalf("status round trip mismatch: %x → %+v → %x", data, reps, fr.Payload)
+		}
+	})
+}
+
+// FuzzResync fuzzes both resync payload decoders (fixed-size frames with
+// a strict ok-byte discipline).
+func FuzzResync(f *testing.F) {
+	f.Add(EncodeResyncReq(0).Payload)
+	f.Add(EncodeResyncReq(1 << 40).Payload)
+	f.Add(EncodeResyncResp(true, 7).Payload)
+	f.Add(EncodeResyncResp(false, 0).Payload)
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 9}) // invalid ok byte
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if epoch, err := DecodeResyncReq(data); err == nil {
+			fr := EncodeResyncReq(epoch)
+			if !bytes.Equal(fr.Payload, data) {
+				t.Fatalf("resync req round trip mismatch on %x", data)
+			}
+		}
+		if ok, epoch, err := DecodeResyncResp(data); err == nil {
+			fr := EncodeResyncResp(ok, epoch)
+			if !bytes.Equal(fr.Payload, data) {
+				t.Fatalf("resync resp round trip mismatch on %x", data)
+			}
+		}
+	})
+}
+
 // FuzzAccessReq fuzzes the proxy access decoder: op byte, index, record
 // payload discipline (reads carry none, writes at least one byte).
 func FuzzAccessReq(f *testing.F) {

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestReplStatusRoundTrip: encode → decode is the identity on valid
+// status lists, including the empty cluster.
+func TestReplStatusRoundTrip(t *testing.T) {
+	cases := [][]ReplicaStatus{
+		nil,
+		{{Name: "127.0.0.1:9045", State: ReplicaStateUp, Epoch: 12, Dirty: 0}},
+		{
+			{Name: "a", State: ReplicaStateUp, Epoch: 1, Dirty: 0},
+			{Name: "b", State: ReplicaStateSyncing, Epoch: 2, Dirty: 999},
+			{Name: "", State: ReplicaStateDown, Epoch: 0, Dirty: 1 << 40},
+		},
+	}
+	for _, reps := range cases {
+		fr, err := EncodeReplStatusResp(reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Type != MsgReplStatusResp {
+			t.Fatalf("frame type %d", fr.Type)
+		}
+		got, err := DecodeReplStatusResp(fr.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(reps) {
+			t.Fatalf("round trip count %d, want %d", len(got), len(reps))
+		}
+		for i := range reps {
+			if got[i] != reps[i] {
+				t.Fatalf("entry %d: %+v != %+v", i, got[i], reps[i])
+			}
+		}
+	}
+}
+
+// TestReplStatusHostile: forged counts, forged name lengths, truncated
+// entries, trailing bytes, and cap violations are all rejected.
+func TestReplStatusHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"one byte":         {0},
+		"huge count":       {0xff, 0xff},
+		"count overruns":   {0, 2, 0, 1, 'x', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"forged nameLen":   {0, 1, 0xff, 0xff, 'x'},
+		"trailing garbage": {0, 0, 0xde, 0xad},
+		"truncated entry":  {0, 1, 0, 1, 'x', 0, 0},
+		"unknown state": {0, 1, 0, 1, 'x', 3,
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, p := range cases {
+		if _, err := DecodeReplStatusResp(p); err == nil {
+			t.Errorf("%s: hostile payload %x accepted", name, p)
+		}
+	}
+	// Encoder-side caps.
+	if _, err := EncodeReplStatusResp(make([]ReplicaStatus, MaxReplicas+1)); err == nil {
+		t.Error("encoder accepted a cluster past MaxReplicas")
+	}
+	if _, err := EncodeReplStatusResp([]ReplicaStatus{{Name: strings.Repeat("x", MaxNamespaceName+1)}}); err == nil {
+		t.Error("encoder accepted an over-long replica name")
+	}
+	if !errors.Is(func() error { _, err := DecodeReplStatusResp([]byte{0xff, 0xff}); return err }(), ErrReplica) {
+		t.Error("forged count does not report ErrReplica")
+	}
+}
+
+// TestResyncRoundTrip: both resync frames round-trip, and the ok-byte
+// discipline rejects anything but 0/1.
+func TestResyncRoundTrip(t *testing.T) {
+	for _, epoch := range []uint64{0, 1, 1<<63 + 5} {
+		fr := EncodeResyncReq(epoch)
+		if fr.Type != MsgResyncReq {
+			t.Fatalf("req frame type %d", fr.Type)
+		}
+		got, err := DecodeResyncReq(fr.Payload)
+		if err != nil || got != epoch {
+			t.Fatalf("req round trip: %d, %v", got, err)
+		}
+		for _, ok := range []bool{true, false} {
+			fr := EncodeResyncResp(ok, epoch)
+			if fr.Type != MsgResyncResp {
+				t.Fatalf("resp frame type %d", fr.Type)
+			}
+			gotOK, gotEpoch, err := DecodeResyncResp(fr.Payload)
+			if err != nil || gotOK != ok || gotEpoch != epoch {
+				t.Fatalf("resp round trip: %v %d, %v", gotOK, gotEpoch, err)
+			}
+		}
+	}
+	if _, err := DecodeResyncReq([]byte{1, 2, 3}); err == nil {
+		t.Error("short resync req accepted")
+	}
+	if _, _, err := DecodeResyncResp([]byte{1, 2, 3}); err == nil {
+		t.Error("short resync resp accepted")
+	}
+	if _, _, err := DecodeResyncResp([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("ok byte 2 accepted")
+	}
+}

@@ -27,6 +27,10 @@
 //	MsgOpenResp       slots uint64 ‖ blockSize uint32 ‖ epoch uint64
 //	MsgAccessReq      op uint8 ‖ index uint64 ‖ record bytes (writes only)
 //	MsgAccessResp     record bytes
+//	MsgReplStatusReq  (empty)
+//	MsgReplStatusResp count uint16 ‖ count × (nameLen uint16 ‖ name ‖ state uint8 ‖ epoch uint64 ‖ dirty uint64)
+//	MsgResyncReq      epoch uint64
+//	MsgResyncResp     ok uint8 ‖ epoch uint64
 //
 // The batch frames carry the multi-block operations of store.BatchServer:
 // one frame per direction replaces count individual round trips. Because a
@@ -91,6 +95,10 @@ const (
 	MsgOpenResp
 	MsgAccessReq
 	MsgAccessResp
+	MsgReplStatusReq
+	MsgReplStatusResp
+	MsgResyncReq
+	MsgResyncResp
 )
 
 // MaxNamespaceName bounds the length of a namespace name on the wire. Names
@@ -478,6 +486,146 @@ func DecodeAccessReq(p []byte) (AccessReq, error) {
 // the access returned (the previous value for writes).
 func EncodeAccessResp(record []byte) Frame {
 	return Frame{Type: MsgAccessResp, Payload: record}
+}
+
+// --- replication frames ------------------------------------------------------
+
+// Replica state codes on the wire (matching store.ReplicaState).
+const (
+	ReplicaStateUp      = 0
+	ReplicaStateSyncing = 1
+	ReplicaStateDown    = 2
+)
+
+// MaxReplicas bounds how many per-replica entries a status frame may
+// declare. Clusters are a handful of machines; the cap keeps a forged
+// count from driving a large allocation.
+const MaxReplicas = 1024
+
+// ErrReplica reports a malformed replication frame.
+var ErrReplica = errors.New("wire: invalid replication frame")
+
+// ReplicaStatus is one replica's health entry in a MsgReplStatusResp: the
+// observing cluster's name for the replica, its failover state, the
+// recovery epoch it was last promoted at, and the number of addresses in
+// its resync backlog.
+type ReplicaStatus struct {
+	Name  string
+	State uint8
+	Epoch uint64
+	Dirty uint64
+}
+
+// EncodeReplStatusResp builds a MsgReplStatusResp frame. Replica names
+// are capped at MaxNamespaceName bytes, like namespace names.
+func EncodeReplStatusResp(reps []ReplicaStatus) (Frame, error) {
+	if len(reps) > MaxReplicas {
+		return Frame{}, fmt.Errorf("%w: %d replicas exceeds the %d cap", ErrReplica, len(reps), MaxReplicas)
+	}
+	p := make([]byte, 2, 2+len(reps)*(2+17))
+	binary.BigEndian.PutUint16(p[:2], uint16(len(reps)))
+	var u8 [8]byte
+	for _, r := range reps {
+		if len(r.Name) > MaxNamespaceName {
+			return Frame{}, fmt.Errorf("%w: replica name %d bytes exceeds the %d-byte cap", ErrName, len(r.Name), MaxNamespaceName)
+		}
+		var n2 [2]byte
+		binary.BigEndian.PutUint16(n2[:], uint16(len(r.Name)))
+		p = append(p, n2[:]...)
+		p = append(p, r.Name...)
+		p = append(p, r.State)
+		binary.BigEndian.PutUint64(u8[:], r.Epoch)
+		p = append(p, u8[:]...)
+		binary.BigEndian.PutUint64(u8[:], r.Dirty)
+		p = append(p, u8[:]...)
+	}
+	return Frame{Type: MsgReplStatusResp, Payload: p}, nil
+}
+
+// DecodeReplStatusResp parses a MsgReplStatusResp payload. Every entry's
+// declared name length must be consistent with the remaining payload, and
+// the payload must end exactly at the last entry — forged counts and
+// lengths can neither over-allocate nor alias fields into names.
+func DecodeReplStatusResp(p []byte) ([]ReplicaStatus, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("%w: status response %d bytes", ErrShortPayload, len(p))
+	}
+	count := int(binary.BigEndian.Uint16(p[:2]))
+	if count > MaxReplicas {
+		return nil, fmt.Errorf("%w: %d replicas exceeds the %d cap", ErrReplica, count, MaxReplicas)
+	}
+	body := p[2:]
+	reps := make([]ReplicaStatus, 0, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 2 {
+			return nil, fmt.Errorf("%w: truncated entry %d", ErrReplica, i)
+		}
+		nameLen := int(binary.BigEndian.Uint16(body[:2]))
+		if nameLen > MaxNamespaceName {
+			return nil, fmt.Errorf("%w: replica name %d bytes exceeds the %d-byte cap", ErrName, nameLen, MaxNamespaceName)
+		}
+		if len(body) < 2+nameLen+17 {
+			return nil, fmt.Errorf("%w: entry %d overruns the payload", ErrReplica, i)
+		}
+		name := string(body[2 : 2+nameLen])
+		rest := body[2+nameLen:]
+		if rest[0] > ReplicaStateDown {
+			return nil, fmt.Errorf("%w: unknown replica state %d", ErrReplica, rest[0])
+		}
+		reps = append(reps, ReplicaStatus{
+			Name:  name,
+			State: rest[0],
+			Epoch: binary.BigEndian.Uint64(rest[1:9]),
+			Dirty: binary.BigEndian.Uint64(rest[9:17]),
+		})
+		body = rest[17:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d entries", ErrReplica, len(body), count)
+	}
+	return reps, nil
+}
+
+// EncodeResyncReq builds a MsgResyncReq frame: "I am about to stream a
+// resync computed against your state at this recovery epoch — confirm
+// you are still there." It closes the race where a replica restarts
+// (losing or rolling state) between the repair loop's dial and its
+// stream; a mismatched answer makes the repairer recompute.
+func EncodeResyncReq(epoch uint64) Frame {
+	p := make([]byte, 8)
+	binary.BigEndian.PutUint64(p, epoch)
+	return Frame{Type: MsgResyncReq, Payload: p}
+}
+
+// DecodeResyncReq parses a MsgResyncReq payload.
+func DecodeResyncReq(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: resync request %d bytes", ErrShortPayload, len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// EncodeResyncResp builds a MsgResyncResp frame: whether the server's
+// epoch matches the requester's expectation, plus the actual epoch.
+func EncodeResyncResp(ok bool, epoch uint64) Frame {
+	p := make([]byte, 9)
+	if ok {
+		p[0] = 1
+	}
+	binary.BigEndian.PutUint64(p[1:9], epoch)
+	return Frame{Type: MsgResyncResp, Payload: p}
+}
+
+// DecodeResyncResp parses a MsgResyncResp payload. The ok byte must be
+// exactly 0 or 1.
+func DecodeResyncResp(p []byte) (ok bool, epoch uint64, err error) {
+	if len(p) != 9 {
+		return false, 0, fmt.Errorf("%w: resync response %d bytes", ErrShortPayload, len(p))
+	}
+	if p[0] > 1 {
+		return false, 0, fmt.Errorf("%w: ok byte %d", ErrReplica, p[0])
+	}
+	return p[0] == 1, binary.BigEndian.Uint64(p[1:9]), nil
 }
 
 // EncodeError builds a MsgError frame.

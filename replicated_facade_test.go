@@ -1,0 +1,108 @@
+package dpstore
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestFacadeReplicatedDPRAM: the public surface end to end — a DP-RAM
+// client runs unmodified over a NewReplicated cluster of two in-memory
+// replicas, and both replicas converge to identical ciphertext arrays.
+func TestFacadeReplicatedDPRAM(t *testing.T) {
+	const n, rs = 64, 16
+	db, err := NewDatabase(n, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Block, n)
+	for i := range want {
+		want[i] = NewBlock(rs)
+		want[i][0] = byte(i)
+		copy(db.Get(i), want[i])
+	}
+	opts := DPRAMOptions{Rand: NewRand(7)}
+	bs := DPRAMServerBlockSize(rs, opts)
+	backs := make([]Server, 2)
+	specs := make([]ReplicaSpec, 2)
+	for i := range specs {
+		m, err := NewMemServer(n, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backs[i] = m
+		specs[i] = ReplicaSpec{Backend: AsBatchServer(m)}
+	}
+	cluster, err := NewReplicated(specs, ReplicatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close() //nolint:errcheck
+	ram, err := SetupDPRAM(db, cluster, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := ram.Read(i)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("read %d: got %x want %x", i, got, want[i])
+		}
+	}
+	cluster.Flush()
+	for a := 0; a < n; a++ {
+		b0, _ := backs[0].Download(a)
+		b1, _ := backs[1].Download(a)
+		if !bytes.Equal(b0, b1) {
+			t.Fatalf("replicas diverge at slot %d", a)
+		}
+	}
+}
+
+// TestFacadeDialCluster: DialCluster over two ServeBlocks daemons, with
+// replica health visible through the returned cluster.
+func TestFacadeDialCluster(t *testing.T) {
+	const slots, bs = 32, 16
+	addrs := make([]string, 2)
+	for i := range addrs {
+		m, err := NewMemServer(slots, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go ServeBlocks(ln, m) //nolint:errcheck
+		addrs[i] = ln.Addr().String()
+	}
+	cluster, err := DialCluster(addrs, ClusterOptions{Replicated: ReplicatedOptions{
+		WriteQuorum:   2,
+		ProbeInterval: 2 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close() //nolint:errcheck
+	b := NewBlock(bs)
+	copy(b, "replicated!")
+	if err := cluster.Upload(9, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.Download(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Fatal("cluster read back wrong data")
+	}
+	for _, st := range cluster.ReplicaStatus() {
+		if st.State != ReplicaUp {
+			t.Fatalf("replica %s not up: %+v", st.Name, st)
+		}
+	}
+}
