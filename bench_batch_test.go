@@ -57,6 +57,7 @@ func rawReadBench(b *testing.B, srv store.Server) {
 }
 
 func BenchmarkTransportMemRead64Batched(b *testing.B) {
+	b.ReportAllocs()
 	m, err := store.NewMem(transportN, block.DefaultSize)
 	if err != nil {
 		b.Fatal(err)
@@ -65,6 +66,7 @@ func BenchmarkTransportMemRead64Batched(b *testing.B) {
 }
 
 func BenchmarkTransportMemRead64PerBlock(b *testing.B) {
+	b.ReportAllocs()
 	m, err := store.NewMem(transportN, block.DefaultSize)
 	if err != nil {
 		b.Fatal(err)
@@ -73,16 +75,19 @@ func BenchmarkTransportMemRead64PerBlock(b *testing.B) {
 }
 
 func BenchmarkTransportRemoteRead64Batched(b *testing.B) {
+	b.ReportAllocs()
 	rawReadBench(b, benchRemote(b, transportN, block.DefaultSize))
 }
 
 func BenchmarkTransportRemoteRead64PerBlock(b *testing.B) {
+	b.ReportAllocs()
 	rawReadBench(b, store.PerBlock(benchRemote(b, transportN, block.DefaultSize)))
 }
 
 // dpramRemoteBench measures a full DP-RAM access over loopback, reporting
 // real wire round trips per access.
 func dpramRemoteBench(b *testing.B, perBlock bool) {
+	b.ReportAllocs()
 	db, err := block.PatternDatabase(transportN, block.DefaultSize)
 	if err != nil {
 		b.Fatal(err)
@@ -113,6 +118,7 @@ func BenchmarkTransportDPRAMRemotePerBlock(b *testing.B) { dpramRemoteBench(b, t
 // pathoramRemoteBench does the same for Path ORAM, whose per-access block
 // count is Θ(log n) rather than O(1).
 func pathoramRemoteBench(b *testing.B, perBlock bool) {
+	b.ReportAllocs()
 	db, err := block.PatternDatabase(transportN, block.DefaultSize)
 	if err != nil {
 		b.Fatal(err)

@@ -113,9 +113,11 @@ func durBackends() []struct {
 // BenchmarkDurableWrite is the 8-op-batch (per-query write set) closed
 // loop across the client axis: the fsync-amortization story.
 func BenchmarkDurableWrite(b *testing.B) {
+	b.ReportAllocs()
 	for _, be := range durBackends() {
 		for _, clients := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("%s/clients=%d", be.name, clients), func(b *testing.B) {
+				b.ReportAllocs()
 				benchWriteClosedLoop(b, be.open(b), clients, 8)
 			})
 		}
@@ -129,9 +131,11 @@ func BenchmarkDurableWrite(b *testing.B) {
 // non-durable File is judged: the group-commit sync amortizes over
 // clients × batch blocks.
 func BenchmarkDurableWriteBatched(b *testing.B) {
+	b.ReportAllocs()
 	for _, be := range durBackends() {
 		for _, batch := range []int{64, 256} {
 			b.Run(fmt.Sprintf("%s/batch=%d", be.name, batch), func(b *testing.B) {
+				b.ReportAllocs()
 				benchWriteClosedLoop(b, be.open(b), 16, batch)
 			})
 		}
@@ -142,8 +146,10 @@ func BenchmarkDurableWriteBatched(b *testing.B) {
 // File read path (CRC verification is the only extra work; no WAL
 // involvement on reads).
 func BenchmarkDurableRead(b *testing.B) {
+	b.ReportAllocs()
 	for _, be := range []string{"file", "wal"} {
 		b.Run(be, func(b *testing.B) {
+			b.ReportAllocs()
 			var srv store.BatchServer
 			if be == "file" {
 				f, err := store.CreateFile(filepath.Join(b.TempDir(), "blocks.dat"), durSlots, durBlockSize)

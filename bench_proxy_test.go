@@ -128,6 +128,7 @@ func benchProxyClosedLoop(b *testing.B, pipelined bool, clients int) {
 // client counts over the seek/seek+sync backend. Numbers are recorded in
 // EXPERIMENTS.md §Proxy.
 func BenchmarkProxyDiskLike(b *testing.B) {
+	b.ReportAllocs()
 	for _, clients := range []int{1, 4, 16} {
 		for _, pipelined := range []bool{false, true} {
 			mode := "serialized"
@@ -135,6 +136,7 @@ func BenchmarkProxyDiskLike(b *testing.B) {
 				mode = "pipelined"
 			}
 			b.Run(fmt.Sprintf("mode=%s/clients=%d", mode, clients), func(b *testing.B) {
+				b.ReportAllocs()
 				benchProxyClosedLoop(b, pipelined, clients)
 			})
 		}

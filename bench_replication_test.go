@@ -90,16 +90,20 @@ func newReplicatedDiskLike(b *testing.B, n, k int, serviceTime time.Duration, qu
 // sticky serves everything from one device (the price of a full-trace
 // replica, measured for the record).
 func BenchmarkReplicationDiskLikeRead(b *testing.B) {
+	b.ReportAllocs()
 	const serviceTime = time.Millisecond
 	const clients = 16
 	b.Run("store=single/clients=16", func(b *testing.B) {
+		b.ReportAllocs()
 		closedLoop(b, newDiskLike(scaleSlots, serviceTime), clients)
 	})
 	b.Run("store=replicated3-rotate/clients=16", func(b *testing.B) {
+		b.ReportAllocs()
 		r, _ := newReplicatedDiskLike(b, scaleSlots, 3, serviceTime, 2, store.ReadRotate)
 		closedLoop(b, r, clients)
 	})
 	b.Run("store=replicated3-sticky/clients=16", func(b *testing.B) {
+		b.ReportAllocs()
 		r, _ := newReplicatedDiskLike(b, scaleSlots, 3, serviceTime, 2, store.ReadSticky)
 		closedLoop(b, r, clients)
 	})
@@ -110,6 +114,7 @@ func BenchmarkReplicationDiskLikeRead(b *testing.B) {
 // runs the devices concurrently, so the expected cost is one device's
 // service time plus coordination, not 3×.
 func BenchmarkReplicationDiskLikeWrite(b *testing.B) {
+	b.ReportAllocs()
 	const serviceTime = time.Millisecond
 	const clients = 16
 	writeLoop := func(b *testing.B, srv store.Server, clients int) {
@@ -144,9 +149,11 @@ func BenchmarkReplicationDiskLikeWrite(b *testing.B) {
 		b.ReportMetric(float64(b.N)*float64(scaleBatch)/b.Elapsed().Seconds(), "blocks/s")
 	}
 	b.Run("store=single/clients=16", func(b *testing.B) {
+		b.ReportAllocs()
 		writeLoop(b, newDiskLike(scaleSlots, serviceTime), clients)
 	})
 	b.Run("store=replicated3-W2/clients=16", func(b *testing.B) {
+		b.ReportAllocs()
 		r, _ := newReplicatedDiskLike(b, scaleSlots, 3, serviceTime, 2, store.ReadRotate)
 		writeLoop(b, r, clients)
 	})

@@ -138,6 +138,7 @@ func closedLoop(b *testing.B, srv store.Server, clients int) {
 // BenchmarkScaleMemRead: pure-CPU closed loop, single-lock Mem vs sharded
 // Mem, at increasing client counts.
 func BenchmarkScaleMemRead(b *testing.B) {
+	b.ReportAllocs()
 	for _, clients := range []int{1, 4, 16} {
 		single, err := store.NewMem(scaleSlots, scaleBlockSize)
 		if err != nil {
@@ -148,9 +149,11 @@ func BenchmarkScaleMemRead(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("store=single/clients=%d", clients), func(b *testing.B) {
+			b.ReportAllocs()
 			closedLoop(b, single, clients)
 		})
 		b.Run(fmt.Sprintf("store=sharded%d/clients=%d", scaleShards, clients), func(b *testing.B) {
+			b.ReportAllocs()
 			closedLoop(b, sharded, clients)
 		})
 	}
@@ -163,12 +166,15 @@ func BenchmarkScaleMemRead(b *testing.B) {
 // The single lock flatlines at one device's throughput regardless of
 // client count; K shards sustain K devices' worth.
 func BenchmarkScaleDiskLikeRead(b *testing.B) {
+	b.ReportAllocs()
 	const serviceTime = time.Millisecond
 	for _, clients := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("store=single/clients=%d", clients), func(b *testing.B) {
+			b.ReportAllocs()
 			closedLoop(b, newDiskLike(scaleSlots, serviceTime), clients)
 		})
 		b.Run(fmt.Sprintf("store=sharded%d/clients=%d", scaleShards, clients), func(b *testing.B) {
+			b.ReportAllocs()
 			closedLoop(b, newShardedDiskLike(scaleSlots, scaleShards, serviceTime), clients)
 		})
 	}
@@ -178,6 +184,7 @@ func BenchmarkScaleDiskLikeRead(b *testing.B) {
 // round trip on a live connection, alternating between two attached
 // namespaces so every iteration crosses the wire.
 func BenchmarkNamespaceOpen(b *testing.B) {
+	b.ReportAllocs()
 	ns := store.NewNamespaces()
 	for _, name := range []string{"a", "b"} {
 		m, err := store.NewMem(64, scaleBlockSize)
@@ -211,6 +218,7 @@ func BenchmarkNamespaceOpen(b *testing.B) {
 // The pool removes head-of-line blocking: with one socket every client's
 // round trip queues behind 15 others.
 func BenchmarkPoolFanout(b *testing.B) {
+	b.ReportAllocs()
 	backing, err := store.NewShardedMem(scaleSlots, scaleBlockSize, scaleShards)
 	if err != nil {
 		b.Fatal(err)
@@ -224,6 +232,7 @@ func BenchmarkPoolFanout(b *testing.B) {
 	addr := ln.Addr().String()
 
 	b.Run("transport=remote1", func(b *testing.B) {
+		b.ReportAllocs()
 		r, err := store.Dial(addr)
 		if err != nil {
 			b.Fatal(err)
@@ -232,6 +241,7 @@ func BenchmarkPoolFanout(b *testing.B) {
 		closedLoop(b, r, 16)
 	})
 	b.Run("transport=pool16", func(b *testing.B) {
+		b.ReportAllocs()
 		p, err := store.DialPool(addr, 16)
 		if err != nil {
 			b.Fatal(err)

@@ -51,6 +51,7 @@ func reportBlocks(b *testing.B, c *store.Counting) {
 // BenchmarkE1ErrorlessDPIR measures the full-scan cost Theorem 3.3 proves
 // unavoidable for errorless DP-IR.
 func BenchmarkE1ErrorlessDPIR(b *testing.B) {
+	b.ReportAllocs()
 	srv := benchServer(b, benchN)
 	c := dpir.NewErrorless(srv)
 	b.ResetTimer()
@@ -65,6 +66,7 @@ func BenchmarkE1ErrorlessDPIR(b *testing.B) {
 // BenchmarkE2DPIRBound measures Algorithm 1 in the low-ε regime where the
 // Theorem 3.4 bound keeps cost near-linear.
 func BenchmarkE2DPIRBound(b *testing.B) {
+	b.ReportAllocs()
 	srv := benchServer(b, benchN)
 	c, err := dpir.New(srv, dpir.Options{Epsilon: 2, Alpha: 0.1, Rand: rng.New(1)})
 	if err != nil {
@@ -82,6 +84,7 @@ func BenchmarkE2DPIRBound(b *testing.B) {
 // BenchmarkE3DPIRQuery measures Algorithm 1 at ε = ln n — the paper's
 // constant-overhead operating point.
 func BenchmarkE3DPIRQuery(b *testing.B) {
+	b.ReportAllocs()
 	srv := benchServer(b, benchN)
 	c, err := dpir.New(srv, dpir.Options{
 		Epsilon: math.Log(float64(benchN)), Alpha: 0.1, Rand: rng.New(1),
@@ -101,6 +104,7 @@ func BenchmarkE3DPIRQuery(b *testing.B) {
 // BenchmarkE4Strawman measures the broken Section 4 construction (cheap,
 // and worth exactly nothing).
 func BenchmarkE4Strawman(b *testing.B) {
+	b.ReportAllocs()
 	srv := benchServer(b, benchN)
 	c, err := strawman.New(srv, rng.New(1))
 	if err != nil {
@@ -118,6 +122,7 @@ func BenchmarkE4Strawman(b *testing.B) {
 // BenchmarkE5DPRAMQuery measures the errorless DP-RAM query (Algorithms
 // 2–3): exactly 3 blocks/op at any n.
 func BenchmarkE5DPRAMQuery(b *testing.B) {
+	b.ReportAllocs()
 	db, err := block.PatternDatabase(benchN, block.DefaultSize)
 	if err != nil {
 		b.Fatal(err)
@@ -145,6 +150,7 @@ func BenchmarkE5DPRAMQuery(b *testing.B) {
 // BenchmarkE6DPRAMEpsilon measures the unit of experiment E6: sampling one
 // full DP-RAM transcript for the empirical ε estimator.
 func BenchmarkE6DPRAMEpsilon(b *testing.B) {
+	b.ReportAllocs()
 	const n = 4
 	db, err := block.PatternDatabase(n, block.DefaultSize)
 	if err != nil {
@@ -175,6 +181,7 @@ func BenchmarkE6DPRAMEpsilon(b *testing.B) {
 // BenchmarkE7RAMBound measures the analytic Theorem 3.7 landscape
 // evaluation (pure computation; here for one-bench-per-experiment parity).
 func BenchmarkE7RAMBound(b *testing.B) {
+	b.ReportAllocs()
 	var sink float64
 	for i := 0; i < b.N; i++ {
 		sink += privacy.DPRAMLowerBound(1<<20, 2+i%1024, float64(i%28), 0)
@@ -187,6 +194,7 @@ func BenchmarkE7RAMBound(b *testing.B) {
 // BenchmarkE8TwoChoice measures the two-choice allocation process itself
 // (per ball).
 func BenchmarkE8TwoChoice(b *testing.B) {
+	b.ReportAllocs()
 	src := rng.New(1)
 	n := benchN
 	load := make([]int, n)
@@ -203,6 +211,7 @@ func BenchmarkE8TwoChoice(b *testing.B) {
 // BenchmarkE9TreeMapping measures one insertion into the oblivious tree
 // mapping scheme (Theorem 7.2's process).
 func BenchmarkE9TreeMapping(b *testing.B) {
+	b.ReportAllocs()
 	geo, err := twochoice.NewGeometry(benchN, twochoice.DefaultLeavesPerTree(benchN), 2)
 	if err != nil {
 		b.Fatal(err)
@@ -223,6 +232,7 @@ func BenchmarkE9TreeMapping(b *testing.B) {
 
 // BenchmarkE10DPKVSQuery measures a DP-KVS Get — O(log log n) blocks.
 func BenchmarkE10DPKVSQuery(b *testing.B) {
+	b.ReportAllocs()
 	opts := dpkvs.Options{
 		Capacity:  benchN,
 		ValueSize: 16,
@@ -260,6 +270,7 @@ func BenchmarkE10DPKVSQuery(b *testing.B) {
 // BenchmarkE11Comparison measures the ORAM side of the head-to-head table:
 // a Path ORAM read at the same n as BenchmarkE5DPRAMQuery.
 func BenchmarkE11Comparison(b *testing.B) {
+	b.ReportAllocs()
 	db, err := block.PatternDatabase(benchN, block.DefaultSize)
 	if err != nil {
 		b.Fatal(err)
@@ -287,6 +298,7 @@ func BenchmarkE11Comparison(b *testing.B) {
 
 // BenchmarkE12MultiServer measures the D-server uniform-decoy DP-IR query.
 func BenchmarkE12MultiServer(b *testing.B) {
+	b.ReportAllocs()
 	const d = 3
 	db, err := block.PatternDatabase(benchN, block.DefaultSize)
 	if err != nil {
@@ -322,6 +334,7 @@ func BenchmarkE12MultiServer(b *testing.B) {
 // BenchmarkE13Roundtrips measures a recursive Path ORAM access — the
 // Θ(log n)-roundtrip comparison point for DP-RAM's 2.
 func BenchmarkE13Roundtrips(b *testing.B) {
+	b.ReportAllocs()
 	db, err := block.PatternDatabase(benchN, 16)
 	if err != nil {
 		b.Fatal(err)
@@ -347,6 +360,7 @@ func BenchmarkE13Roundtrips(b *testing.B) {
 // BenchmarkBaselineTrivialPIR and BenchmarkBaselineXORPIR give the PIR cost
 // floor rows of E11 their own measurable targets.
 func BenchmarkBaselineTrivialPIR(b *testing.B) {
+	b.ReportAllocs()
 	srv := benchServer(b, benchN)
 	p := linearpir.NewTrivial(srv)
 	b.ResetTimer()
@@ -359,6 +373,7 @@ func BenchmarkBaselineTrivialPIR(b *testing.B) {
 }
 
 func BenchmarkBaselineXORPIR(b *testing.B) {
+	b.ReportAllocs()
 	s0 := benchServer(b, benchN)
 	s1 := benchServer(b, benchN)
 	p, err := linearpir.NewTwoServerXOR(s0, s1, rng.New(1))
@@ -377,6 +392,7 @@ func BenchmarkBaselineXORPIR(b *testing.B) {
 // BenchmarkEmpiricalEpsEstimator measures the adversary itself (transcript
 // histogramming throughput).
 func BenchmarkEmpiricalEpsEstimator(b *testing.B) {
+	b.ReportAllocs()
 	src := rng.New(1)
 	p, q := src.Split(), src.Split()
 	b.ResetTimer()
@@ -401,6 +417,7 @@ func BenchmarkEmpiricalEpsEstimator(b *testing.B) {
 // BenchmarkExperimentSuiteQuick runs the entire E1–E13 pipeline once per
 // iteration in quick mode — the end-to-end reproduction cost.
 func BenchmarkExperimentSuiteQuick(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, e := range exp.All() {
 			if _, err := e.Run(exp.Config{Seed: int64(i + 1), Quick: true}); err != nil {

@@ -133,6 +133,11 @@ func main() {
 			log.Fatalf("blockstored: creating -data dir: %v", err)
 		}
 	}
+	if *file != "" || *dataDir != "" {
+		// Surface which run-I/O path this build uses (see DESIGN.md
+		// §HotPath's fallback matrix) so recorded numbers are attributable.
+		log.Printf("blockstored: vectored run I/O: %v", store.VectoredIO())
+	}
 
 	var sd shutdown
 

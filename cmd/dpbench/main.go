@@ -8,17 +8,42 @@
 //	dpbench -quick          # small sizes / trial counts (seconds)
 //	dpbench -seed 7         # change the reproduction seed
 //	dpbench -list           # list experiments
+//	dpbench -format json -o out.json   # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"dpstore/internal/exp"
 )
+
+// jsonExperiment is one experiment's results in the machine-readable
+// output (-format json): the perf-trajectory file series (BENCH_*.json)
+// is built from these, so the field set is part of the format.
+type jsonExperiment struct {
+	ID         string       `json:"id"`
+	Title      string       `json:"title"`
+	Reproduces string       `json:"reproduces"`
+	Seconds    float64      `json:"seconds"`
+	Tables     []*exp.Table `json:"tables"`
+}
+
+// jsonOutput is the top-level -format json document.
+type jsonOutput struct {
+	Seed        int64            `json:"seed"`
+	Quick       bool             `json:"quick"`
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
 
 func main() {
 	var (
@@ -26,7 +51,8 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink sizes and trial counts")
 		seed    = flag.Int64("seed", 1, "reproduction seed")
 		list    = flag.Bool("list", false, "list experiments and exit")
-		format  = flag.String("format", "text", "table format: text or md")
+		format  = flag.String("format", "text", "table format: text, md, or json")
+		outPath = flag.String("o", "", "write results to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -35,6 +61,12 @@ func main() {
 			fmt.Printf("%-4s %-70s [%s]\n", e.ID, e.Title, e.Reproduces)
 		}
 		return
+	}
+	switch *format {
+	case "text", "md", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "dpbench: unknown format %q (want text, md, or json)\n", *format)
+		os.Exit(2)
 	}
 
 	var selected []exp.Experiment
@@ -52,8 +84,28 @@ func main() {
 		}
 	}
 
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+			os.Exit(1)
+		}
+		out = f
+	}
+
 	cfg := exp.Config{Seed: *seed, Quick: *quick}
-	fmt.Printf("dpbench: seed=%d quick=%v — reproducing Patel–Persiano–Yeo, PODS'19\n\n", *seed, *quick)
+	doc := jsonOutput{
+		Seed:      *seed,
+		Quick:     *quick,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if *format != "json" {
+		fmt.Fprintf(out, "dpbench: seed=%d quick=%v — reproducing Patel–Persiano–Yeo, PODS'19\n\n", *seed, *quick)
+	}
 	for _, e := range selected {
 		start := time.Now()
 		tables, err := e.Run(cfg)
@@ -61,15 +113,40 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dpbench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s: %s  (reproduces %s)\n", e.ID, e.Title, e.Reproduces)
+		elapsed := time.Since(start)
+		if *format == "json" {
+			doc.Experiments = append(doc.Experiments, jsonExperiment{
+				ID:         e.ID,
+				Title:      e.Title,
+				Reproduces: e.Reproduces,
+				Seconds:    elapsed.Seconds(),
+				Tables:     tables,
+			})
+			continue
+		}
+		fmt.Fprintf(out, "=== %s: %s  (reproduces %s)\n", e.ID, e.Title, e.Reproduces)
 		for _, t := range tables {
-			fmt.Println()
+			fmt.Fprintln(out)
 			if *format == "md" {
-				t.RenderMarkdown(os.Stdout)
+				t.RenderMarkdown(out)
 			} else {
-				t.Render(os.Stdout)
+				t.Render(out)
 			}
 		}
-		fmt.Printf("\n    [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "\n    [%s completed in %v]\n\n", e.ID, elapsed.Round(time.Millisecond))
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: encoding results: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *outPath != "" {
+		if err := out.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: writing %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
 	}
 }

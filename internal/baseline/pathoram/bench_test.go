@@ -29,6 +29,7 @@ func benchORAM(b *testing.B, n int, opts Options) *ORAM {
 }
 
 func BenchmarkReadFlat(b *testing.B) {
+	b.ReportAllocs()
 	o := benchORAM(b, 1<<12, Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)})
 	b.ReportMetric(float64(o.BlocksPerAccess()), "blocks/op")
 	b.ResetTimer()
@@ -41,8 +42,10 @@ func BenchmarkReadFlat(b *testing.B) {
 
 // BenchmarkReadByZ is the bucket-size ablation.
 func BenchmarkReadByZ(b *testing.B) {
+	b.ReportAllocs()
 	for _, z := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("Z=%d", z), func(b *testing.B) {
+			b.ReportAllocs()
 			o := benchORAM(b, 1<<10, Options{Z: z, Rand: rng.New(1), Key: crypto.KeyFromSeed(1)})
 			b.ReportMetric(float64(o.BlocksPerAccess()), "blocks/op")
 			b.ResetTimer()
@@ -56,6 +59,7 @@ func BenchmarkReadByZ(b *testing.B) {
 }
 
 func BenchmarkReadRecursive(b *testing.B) {
+	b.ReportAllocs()
 	db, err := block.PatternDatabase(1<<12, 16)
 	if err != nil {
 		b.Fatal(err)

@@ -94,6 +94,21 @@ type ORAM struct {
 	pendingWrite []store.WriteOp
 	pendingEvict []int
 
+	// Per-access scratch, reused across accesses (ORAM is single-threaded).
+	// BatchServer implementations never retain the caller's slices or blocks
+	// past the call, so reuse is safe — with one exception: when a path
+	// write fails, evict parks its op list (and, in plaintext mode, the slot
+	// slab backing it) in pendingWrite for replay, so those scratches are
+	// surrendered (nil'd) there and reallocated lazily on the next access.
+	pathBuf  []int           // pathNodes result
+	addrBuf  []int           // read-phase address list
+	opBuf    []store.WriteOp // eviction write ops
+	evictBuf []int           // ids placed by the current eviction
+	taken    map[int]bool    // ids already placed on the current path
+	placed   []int           // per-bucket placement list
+	sealPt   block.Block     // plaintext staging for sealed slots (encrypted mode)
+	slotSlab []byte          // backing for one eviction's slots (plaintext mode)
+
 	maxStash   int
 	roundTrips int64
 	accesses   int64
@@ -228,9 +243,14 @@ func (o *ORAM) setPositionMap(pm positionMap) { o.pos = pm }
 
 // pathNodes returns the tree node indices on the path of leaf, ordered
 // deepest (leaf bucket) to root. Node 0 is the root; node i has children
-// 2i+1 and 2i+2; leaf ℓ is node numLeaves−1+ℓ.
+// 2i+1 and 2i+2; leaf ℓ is node numLeaves−1+ℓ. The returned slice is the
+// reusable o.pathBuf scratch: valid until the next pathNodes call, which
+// every caller (the setup placement loop and access) respects.
 func (o *ORAM) pathNodes(leaf int) []int {
-	nodes := make([]int, 0, o.height+1)
+	if cap(o.pathBuf) < o.height+1 {
+		o.pathBuf = make([]int, 0, o.height+1)
+	}
+	nodes := o.pathBuf[:0]
 	node := o.numLeaves - 1 + leaf
 	for {
 		nodes = append(nodes, node)
@@ -357,12 +377,13 @@ func (o *ORAM) access(i int, mutate func(cur block.Block) block.Block) error {
 
 	// Read phase: the whole path in one ReadBatch — now genuinely one
 	// round trip on a batch-capable transport, not just one in accounting.
-	addrs := make([]int, 0, len(path)*o.z)
+	addrs := o.addrBuf[:0]
 	for _, node := range path {
 		for zi := 0; zi < o.z; zi++ {
 			addrs = append(addrs, node*o.z+zi)
 		}
 	}
+	o.addrBuf = addrs
 	cts, err := o.server.ReadBatch(addrs)
 	if err != nil {
 		// The remap already happened but the block never left its old
@@ -411,32 +432,44 @@ func (o *ORAM) access(i int, mutate func(cur block.Block) block.Block) error {
 // evict writes the path back, placing each stash block into the deepest
 // bucket its current position tag allows. The Z·(height+1) slot writes go
 // out as a single WriteBatch: one round trip for the whole write phase.
+// The op list, placement bookkeeping, and (in plaintext mode) the slot
+// backing all come from per-ORAM scratch; see the ownership note on the
+// scratch fields for the failed-write handoff.
 func (o *ORAM) evict(leaf int, path []int) error {
-	ops := make([]store.WriteOp, 0, len(path)*o.z)
-	evicted := make([]int, 0, len(path)*o.z)
-	taken := make(map[int]bool, len(path)*o.z)
+	total := len(path) * o.z
+	ops := o.opBuf[:0]
+	evicted := o.evictBuf[:0]
+	if o.taken == nil {
+		o.taken = make(map[int]bool, total)
+	}
+	clear(o.taken)
+	if o.plaintext && cap(o.slotSlab) < total*o.slotPlain {
+		o.slotSlab = make([]byte, total*o.slotPlain)
+	}
 	for li, node := range path {
 		level := o.height - li // depth of this bucket
-		placed := make([]int, 0, o.z)
+		placed := o.placed[:0]
 		for id, e := range o.stash {
 			if len(placed) == o.z {
 				break
 			}
-			if !taken[id] && sameAncestor(e.pos, leaf, level, o.height) {
+			if !o.taken[id] && sameAncestor(e.pos, leaf, level, o.height) {
 				placed = append(placed, id)
-				taken[id] = true
+				o.taken[id] = true
 			}
 		}
+		o.placed = placed
 		for zi := 0; zi < o.z; zi++ {
+			slot := len(ops)
 			var sl block.Block
 			var err error
 			if zi < len(placed) {
 				id := placed[zi]
 				e := o.stash[id]
-				sl, err = o.sealSlot(uint64(id), e.pos, e.data)
+				sl, err = o.sealSlotTo(slot, uint64(id), e.pos, e.data)
 				evicted = append(evicted, id)
 			} else {
-				sl, err = o.sealSlot(dummyID, 0, nil)
+				sl, err = o.sealSlotTo(slot, dummyID, 0, nil)
 			}
 			if err != nil {
 				return err
@@ -444,18 +477,58 @@ func (o *ORAM) evict(leaf int, path []int) error {
 			ops = append(ops, store.WriteOp{Addr: node*o.z + zi, Block: sl})
 		}
 	}
+	o.opBuf, o.evictBuf = ops, evicted
 	if err := o.server.WriteBatch(ops); err != nil {
 		// The stash still holds every placed block, and the rewrite is
 		// parked for replay: a failed path write must neither orphan data
 		// that never reached the server nor leave stale tree copies behind
-		// for a later read to resurrect.
+		// for a later read to resurrect. The parked ops (and their slab, in
+		// plaintext mode) now belong to pendingWrite — surrender the
+		// scratches so the next access cannot scribble over them.
 		o.pendingWrite, o.pendingEvict = ops, evicted
+		o.opBuf, o.evictBuf, o.slotSlab = nil, nil, nil
 		return fmt.Errorf("pathoram: path write: %w", err)
 	}
 	for _, id := range evicted {
 		delete(o.stash, id)
 	}
+	for k := range ops {
+		ops[k].Block = nil // don't pin sealed slots between accesses
+	}
 	return nil
+}
+
+// sealSlotTo is sealSlot for the eviction hot path: slot plaintexts are
+// staged in reusable scratch instead of a fresh allocation per slot. In
+// plaintext mode the sealed slot must be distinct memory per op (the write
+// batch holds all Z·(height+1) at once), so slot i is carved out of the
+// o.slotSlab backing; in encrypted mode the one o.sealPt buffer is reused
+// and Encrypt's fresh ciphertext is returned.
+func (o *ORAM) sealSlotTo(slot int, id uint64, pos int, payload block.Block) (block.Block, error) {
+	var pt block.Block
+	if o.plaintext {
+		pt = block.Block(o.slotSlab[slot*o.slotPlain : (slot+1)*o.slotPlain : (slot+1)*o.slotPlain])
+	} else {
+		if cap(o.sealPt) < o.slotPlain {
+			o.sealPt = block.New(o.slotPlain)
+		}
+		pt = o.sealPt[:o.slotPlain]
+	}
+	pt.SetUint64(id)
+	binary.BigEndian.PutUint32(pt[8:12], uint32(pos))
+	if payload != nil {
+		copy(pt[slotHeader:], payload)
+	} else {
+		clear(pt[slotHeader:]) // dummies must not leak a stale payload
+	}
+	if o.plaintext {
+		return pt, nil
+	}
+	ct, err := o.cipher.Encrypt(pt)
+	if err != nil {
+		return nil, fmt.Errorf("pathoram: encrypting slot: %w", err)
+	}
+	return block.Block(ct), nil
 }
 
 // flushPending replays an interrupted path write. Replaying the full batch

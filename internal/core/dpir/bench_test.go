@@ -26,6 +26,7 @@ func benchServerB(b *testing.B, n int) store.Server {
 
 // BenchmarkQueryByEps sweeps the privacy/cost frontier: ns/op tracks K.
 func BenchmarkQueryByEps(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 12
 	lgn := math.Log(float64(n))
 	for _, tc := range []struct {
@@ -37,6 +38,7 @@ func BenchmarkQueryByEps(b *testing.B) {
 		{"eps=ln-n", lgn},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			srv := benchServerB(b, n)
 			c, err := New(srv, Options{Epsilon: tc.eps, Alpha: 0.1, Rand: rng.New(1)})
 			if err != nil {
@@ -54,6 +56,7 @@ func BenchmarkQueryByEps(b *testing.B) {
 }
 
 func BenchmarkSampleSet(b *testing.B) {
+	b.ReportAllocs()
 	srv := benchServerB(b, 1<<12)
 	c, err := New(srv, Options{Epsilon: 4, Alpha: 0.1, Rand: rng.New(1)})
 	if err != nil {
@@ -66,9 +69,11 @@ func BenchmarkSampleSet(b *testing.B) {
 }
 
 func BenchmarkMultiByD(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 12
 	for _, d := range []int{2, 3, 5} {
 		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
 			servers := make([]store.Server, d)
 			for i := range servers {
 				servers[i] = benchServerB(b, n)

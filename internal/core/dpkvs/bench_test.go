@@ -39,6 +39,7 @@ func benchStore(b *testing.B, capacity int) *Store {
 }
 
 func BenchmarkGetHit(b *testing.B) {
+	b.ReportAllocs()
 	s := benchStore(b, 1<<12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -49,6 +50,7 @@ func BenchmarkGetHit(b *testing.B) {
 }
 
 func BenchmarkGetMiss(b *testing.B) {
+	b.ReportAllocs()
 	s := benchStore(b, 1<<12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -59,6 +61,7 @@ func BenchmarkGetMiss(b *testing.B) {
 }
 
 func BenchmarkPutUpdate(b *testing.B) {
+	b.ReportAllocs()
 	s := benchStore(b, 1<<12)
 	val := block.Pattern(42, 16)
 	b.ResetTimer()
@@ -70,6 +73,7 @@ func BenchmarkPutUpdate(b *testing.B) {
 }
 
 func BenchmarkDeleteAbsent(b *testing.B) {
+	b.ReportAllocs()
 	s := benchStore(b, 1<<12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -81,8 +85,10 @@ func BenchmarkDeleteAbsent(b *testing.B) {
 
 // BenchmarkGetByCapacity shows the Θ(log log n) scaling directly.
 func BenchmarkGetByCapacity(b *testing.B) {
+	b.ReportAllocs()
 	for _, capacity := range []int{1 << 8, 1 << 12, 1 << 16} {
 		b.Run(fmt.Sprintf("n=%d", capacity), func(b *testing.B) {
+			b.ReportAllocs()
 			s := benchStore(b, capacity)
 			b.ReportMetric(float64(s.BlocksPerOp()), "blocks/op")
 			b.ResetTimer()

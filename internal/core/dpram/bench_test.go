@@ -27,6 +27,7 @@ func benchClient(b *testing.B, n int, opts Options) *Client {
 }
 
 func BenchmarkRead(b *testing.B) {
+	b.ReportAllocs()
 	c := benchClient(b, 1<<12, Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -37,6 +38,7 @@ func BenchmarkRead(b *testing.B) {
 }
 
 func BenchmarkWrite(b *testing.B) {
+	b.ReportAllocs()
 	c := benchClient(b, 1<<12, Options{Rand: rng.New(1), Key: crypto.KeyFromSeed(1)})
 	blk := block.Pattern(9, block.DefaultSize)
 	b.ResetTimer()
@@ -48,6 +50,7 @@ func BenchmarkWrite(b *testing.B) {
 }
 
 func BenchmarkReadRetrievalOnly(b *testing.B) {
+	b.ReportAllocs()
 	c := benchClient(b, 1<<12, Options{Rand: rng.New(1), RetrievalOnly: true})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -58,6 +61,7 @@ func BenchmarkReadRetrievalOnly(b *testing.B) {
 }
 
 func BenchmarkReadNoEncryption(b *testing.B) {
+	b.ReportAllocs()
 	// Ablation: how much of the query cost is AES+HMAC.
 	c := benchClient(b, 1<<12, Options{Rand: rng.New(1), DisableEncryption: true})
 	b.ResetTimer()
@@ -69,6 +73,7 @@ func BenchmarkReadNoEncryption(b *testing.B) {
 }
 
 func BenchmarkBucketAccess(b *testing.B) {
+	b.ReportAllocs()
 	const plain = 16
 	srv, err := store.NewMem(6, crypto.CiphertextSize(plain))
 	if err != nil {

@@ -44,6 +44,13 @@ type BucketRAM struct {
 	plainSize int
 	plaintext bool
 	maxDirty  int
+
+	// Per-query scratch (BucketRAM is single-threaded): the 2s-address read
+	// set and the s-op write set of one bucket query. Safe to reuse across
+	// queries because BatchServer implementations never retain the caller's
+	// slices or blocks; op block references are cleared after each upload.
+	addrScratch []int
+	opScratch   []store.WriteOp
 }
 
 // BucketOptions configures a BucketRAM.
@@ -175,6 +182,23 @@ func (r *BucketRAM) seal(b block.Block) (block.Block, error) {
 	return block.Block(ct), nil
 }
 
+// refresh re-encrypts a downloaded node for upload with fresh randomness;
+// in plaintext mode it is the identity (see Client.refresh).
+func (r *BucketRAM) refresh(ct block.Block) (block.Block, error) {
+	if r.plaintext {
+		return ct, nil
+	}
+	pt, err := r.cipher.Decrypt(ct)
+	if err != nil {
+		return nil, fmt.Errorf("dpram: decrypting node: %w", err)
+	}
+	fresh, err := r.cipher.Encrypt(pt)
+	if err != nil {
+		return nil, fmt.Errorf("dpram: encrypting node: %w", err)
+	}
+	return block.Block(fresh), nil
+}
+
 func (r *BucketRAM) open(ct block.Block) (block.Block, error) {
 	if r.plaintext {
 		return ct.Copy(), nil
@@ -303,9 +327,9 @@ func (r *BucketRAM) Access(bi int, update func(nodes []block.Block)) ([]block.Bl
 
 	// --- Download phase (both buckets, one round trip) ---
 	s := r.size
-	addrs := make([]int, 0, 2*s)
-	addrs = append(addrs, r.buckets[d1]...)
+	addrs := append(r.addrScratch[:0], r.buckets[d1]...)
 	addrs = append(addrs, r.buckets[d2]...)
+	r.addrScratch = addrs
 	raw, err := r.server.ReadBatch(addrs)
 	if err != nil {
 		return nil, fmt.Errorf("dpram: bucket download: %w", err)
@@ -330,19 +354,17 @@ func (r *BucketRAM) Access(bi int, update func(nodes []block.Block)) ([]block.Bl
 	}
 
 	// --- Overwrite phase (one round trip) ---
-	ops := make([]store.WriteOp, 0, s)
+	ops := r.opScratch[:0]
 	if toStash {
 		if !stashedHit {
 			r.putInStash(bi, contents)
 		}
 		// Refresh bucket d2: re-encrypt the server's own blocks with fresh
-		// randomness, the masking move of Algorithm 3's stash branch.
+		// randomness, the masking move of Algorithm 3's stash branch. In the
+		// plaintext mode re-encryption is the identity and the slab blocks
+		// (owned by this query) are uploaded as-is.
 		for k, a := range r.buckets[d2] {
-			pt, err := r.open(raw[s+k])
-			if err != nil {
-				return nil, err
-			}
-			fresh, err := r.seal(pt)
+			fresh, err := r.refresh(raw[s+k])
 			if err != nil {
 				return nil, err
 			}
@@ -359,7 +381,12 @@ func (r *BucketRAM) Access(bi int, update func(nodes []block.Block)) ([]block.Bl
 			ops = append(ops, store.WriteOp{Addr: a, Block: ct})
 		}
 	}
-	if err := r.server.WriteBatch(ops); err != nil {
+	r.opScratch = ops
+	err = r.server.WriteBatch(ops)
+	for k := range ops {
+		ops[k].Block = nil // don't pin sealed blocks between queries
+	}
+	if err != nil {
 		// On a stash hit the bucket is still stashed with current contents:
 		// a failed overwrite must not orphan the authoritative copy.
 		return nil, fmt.Errorf("dpram: bucket upload: %w", err)

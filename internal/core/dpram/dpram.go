@@ -93,6 +93,16 @@ type Client struct {
 	retrievalOnly bool
 	plaintext     bool
 
+	// Per-query scratch (the client is single-threaded by contract): the
+	// two-address read set and the single-op write set of Algorithm 3.
+	// BatchServer implementations never retain the caller's slices or blocks
+	// past the call (Durable copies ops up front before handing them to its
+	// committer), so reusing these across queries is safe; the op's block
+	// reference is cleared after each upload so the scratch never pins a
+	// sealed block.
+	addrBuf [2]int
+	opBuf   [1]store.WriteOp
+
 	maxStash int
 }
 
@@ -190,6 +200,26 @@ func (c *Client) seal(b block.Block) (block.Block, error) {
 	return block.Block(ct), nil
 }
 
+// refresh re-encrypts a downloaded block for upload with fresh randomness
+// (the masking move of Algorithm 3's stash branch). In the plaintext modes
+// re-encryption is the identity, and the downloaded slab block — owned by
+// this query — is uploaded as-is, skipping the decrypt/encrypt copies on
+// the measurement hot path.
+func (c *Client) refresh(ct block.Block) (block.Block, error) {
+	if c.plaintext {
+		return ct, nil
+	}
+	pt, err := c.cipher.Decrypt(ct)
+	if err != nil {
+		return nil, fmt.Errorf("dpram: decrypting: %w", err)
+	}
+	fresh, err := c.cipher.Encrypt(pt)
+	if err != nil {
+		return nil, fmt.Errorf("dpram: encrypting: %w", err)
+	}
+	return block.Block(fresh), nil
+}
+
 func (c *Client) open(ct block.Block) (block.Block, error) {
 	if c.plaintext {
 		return ct.Copy(), nil
@@ -275,13 +305,15 @@ func (c *Client) Access(q workload.Query) (block.Block, error) {
 	// download, below, preserving Algorithm 3's draw order.
 	var toStash bool
 	d2 := i // non-stash branch: re-download A[i] (discarded) before writing home
-	addrs := []int{d1}
+	c.addrBuf[0] = d1
+	addrs := c.addrBuf[:1]
 	if !c.retrievalOnly {
 		toStash = c.src.Intn(c.n) < c.c
 		if toStash {
 			d2 = c.src.Intn(c.n) // stash branch: refresh a random address
 		}
-		addrs = append(addrs, d2)
+		c.addrBuf[1] = d2
+		addrs = c.addrBuf[:2]
 	}
 
 	// --- Download phase: one round trip ---
@@ -319,21 +351,16 @@ func (c *Client) Access(q workload.Query) (block.Block, error) {
 	}
 
 	// --- Overwrite phase: one upload in one round trip ---
-	var op store.WriteOp
 	if toStash {
 		// Stash the record (overwriting the old entry on a stash hit);
 		// refresh the random address to mask the choice.
 		c.stash[i] = cur
 		c.trackStash()
-		pt, err := c.open(blocks[1])
+		fresh, err := c.refresh(blocks[1])
 		if err != nil {
 			return nil, err
 		}
-		fresh, err := c.seal(pt)
-		if err != nil {
-			return nil, err
-		}
-		op = store.WriteOp{Addr: d2, Block: fresh}
+		c.opBuf[0] = store.WriteOp{Addr: d2, Block: fresh}
 	} else {
 		// Write the record home; the second downloaded block was the
 		// transcript-shaping re-read of A[i] and is discarded.
@@ -341,9 +368,11 @@ func (c *Client) Access(q workload.Query) (block.Block, error) {
 		if err != nil {
 			return nil, err
 		}
-		op = store.WriteOp{Addr: i, Block: ct}
+		c.opBuf[0] = store.WriteOp{Addr: i, Block: ct}
 	}
-	if err := c.server.WriteBatch([]store.WriteOp{op}); err != nil {
+	err = c.server.WriteBatch(c.opBuf[:])
+	c.opBuf[0] = store.WriteOp{}
+	if err != nil {
 		// On a stash hit the entry is still present (old value, or the new
 		// one if the stash branch already replaced it): a failed overwrite
 		// must not orphan the only authoritative copy.

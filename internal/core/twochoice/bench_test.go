@@ -9,6 +9,7 @@ import (
 )
 
 func BenchmarkPathComputation(b *testing.B) {
+	b.ReportAllocs()
 	g, err := NewGeometry(1<<16, DefaultLeavesPerTree(1<<16), 2)
 	if err != nil {
 		b.Fatal(err)
@@ -20,6 +21,7 @@ func BenchmarkPathComputation(b *testing.B) {
 }
 
 func BenchmarkMappingInsert(b *testing.B) {
+	b.ReportAllocs()
 	g, err := NewGeometry(1<<16, DefaultLeavesPerTree(1<<16), 2)
 	if err != nil {
 		b.Fatal(err)
@@ -40,8 +42,10 @@ func BenchmarkMappingInsert(b *testing.B) {
 
 // BenchmarkMappingInsertByNodeCap is the node-capacity ablation.
 func BenchmarkMappingInsertByNodeCap(b *testing.B) {
+	b.ReportAllocs()
 	for _, t := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			b.ReportAllocs()
 			g, err := NewGeometry(1<<14, DefaultLeavesPerTree(1<<14), t)
 			if err != nil {
 				b.Fatal(err)
@@ -63,6 +67,7 @@ func BenchmarkMappingInsertByNodeCap(b *testing.B) {
 }
 
 func BenchmarkTwoChoiceProcess(b *testing.B) {
+	b.ReportAllocs()
 	src := rng.New(1)
 	const bins = 1 << 16
 	load := make([]int, bins)

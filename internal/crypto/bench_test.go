@@ -3,6 +3,7 @@ package crypto
 import "testing"
 
 func benchCipher(b *testing.B, size int) {
+	b.ReportAllocs()
 	c := NewCipher(KeyFromSeed(1))
 	pt := make([]byte, size)
 	b.SetBytes(int64(size))
@@ -23,6 +24,7 @@ func BenchmarkEncryptDecrypt1K(b *testing.B)  { benchCipher(b, 1024) }
 func BenchmarkEncryptDecrypt16K(b *testing.B) { benchCipher(b, 16*1024) }
 
 func BenchmarkPRFEval(b *testing.B) {
+	b.ReportAllocs()
 	p := NewPRF(KeyFromSeed(1), "bench")
 	in := []byte("key-00001234")
 	b.ResetTimer()
@@ -32,6 +34,7 @@ func BenchmarkPRFEval(b *testing.B) {
 }
 
 func BenchmarkPRFEvalMod(b *testing.B) {
+	b.ReportAllocs()
 	p := NewPRF(KeyFromSeed(1), "bench")
 	in := []byte("key-00001234")
 	b.ResetTimer()

@@ -23,12 +23,13 @@ type Config struct {
 	Quick bool
 }
 
-// Table is one rendered result table.
+// Table is one rendered result table. The json tags define the table's
+// shape in dpbench -format json output (the BENCH_*.json file series).
 type Table struct {
-	Title  string
-	Note   string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row of already formatted cells.

@@ -332,13 +332,22 @@ func (p *Pipeline) ReadBatch(addrs []int) ([]block.Block, error) {
 
 // WriteBatch implements store.BatchServer: record the ops as pending and
 // hand them to the writer. The blocks are copied — callers may reuse their
-// buffers the moment this returns, exactly as with a synchronous store.
+// buffers the moment this returns, exactly as with a synchronous store. The
+// copies are carved from one slab per batch (the job and its seqs genuinely
+// transfer to the writer goroutine, so unlike the synchronous stores'
+// scratch they cannot be reused — but the per-op block allocations can
+// still collapse into one backing array).
 func (p *Pipeline) WriteBatch(ops []store.WriteOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
 	cp := make([]store.WriteOp, len(ops))
 	seqs := make([]uint64, len(ops))
+	backing := 0
+	for _, op := range ops {
+		backing += len(op.Block)
+	}
+	buf := make([]byte, 0, backing)
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
 	p.mu.Lock()
@@ -348,7 +357,9 @@ func (p *Pipeline) WriteBatch(ops []store.WriteOp) error {
 	}
 	for i, op := range ops {
 		p.seq++
-		cp[i] = store.WriteOp{Addr: op.Addr, Block: op.Block.Copy()}
+		start := len(buf)
+		buf = append(buf, op.Block...)
+		cp[i] = store.WriteOp{Addr: op.Addr, Block: block.Block(buf[start:len(buf):len(buf)])}
 		seqs[i] = p.seq
 		p.pending[op.Addr] = pendingBlock{seq: p.seq, data: cp[i].Block}
 	}

@@ -9,6 +9,7 @@ import (
 )
 
 func BenchmarkMemDownload(b *testing.B) {
+	b.ReportAllocs()
 	m, err := NewMem(1024, 64)
 	if err != nil {
 		b.Fatal(err)
@@ -22,6 +23,7 @@ func BenchmarkMemDownload(b *testing.B) {
 }
 
 func BenchmarkMemUpload(b *testing.B) {
+	b.ReportAllocs()
 	m, err := NewMem(1024, 64)
 	if err != nil {
 		b.Fatal(err)
@@ -36,6 +38,7 @@ func BenchmarkMemUpload(b *testing.B) {
 }
 
 func BenchmarkCountingOverhead(b *testing.B) {
+	b.ReportAllocs()
 	m, err := NewMem(1024, 64)
 	if err != nil {
 		b.Fatal(err)
@@ -50,6 +53,7 @@ func BenchmarkCountingOverhead(b *testing.B) {
 }
 
 func BenchmarkFileDownload(b *testing.B) {
+	b.ReportAllocs()
 	f, err := CreateFile(filepath.Join(b.TempDir(), "bench.dat"), 1024, 64)
 	if err != nil {
 		b.Fatal(err)
@@ -64,6 +68,7 @@ func BenchmarkFileDownload(b *testing.B) {
 }
 
 func BenchmarkRemoteRoundTrip(b *testing.B) {
+	b.ReportAllocs()
 	backing, err := NewMem(1024, 64)
 	if err != nil {
 		b.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -67,8 +68,15 @@ type Durable struct {
 
 	// pageMu serializes page I/O (reads, applies, compaction) exactly like
 	// File's mutex; the WAL append path has its own serialization through
-	// the committer goroutine.
+	// the committer goroutine. It also guards the batch-path scratch below:
+	// the vectored-I/O state, the per-run buffer list, and the CRC staging
+	// buffer that rides interleaved with page payloads (a page on disk is
+	// payload ‖ CRC32C, so a vectored run alternates payload and checksum
+	// buffers).
 	pageMu sync.Mutex
+	vec    vectorizer
+	bufs   [][]byte
+	crcBuf []byte
 
 	// sendMu guards the request channel against a Close racing in-flight
 	// senders: senders hold it shared for the duration of the send, Close
@@ -601,14 +609,14 @@ func sortKeys(count int, addrOf func(i int) int) []uint64 {
 		}
 		keys[i] = uint64(a)<<sortKeyBits | uint64(i)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	return keys
 }
 
 // applyPages writes the ops' pages, coalescing address-sorted runs into
-// single WriteAt calls like File does. No fsync: durability comes from the
-// already-synced log record. Caller need not hold pageMu; applyPages takes
-// it.
+// one vectored write each like File does. No fsync: durability comes from
+// the already-synced log record. Caller need not hold pageMu; applyPages
+// takes it.
 func (d *Durable) applyPages(ops []WriteOp) error {
 	count := len(ops)
 	var addrAt func(k int) int
@@ -626,7 +634,6 @@ func (d *Durable) applyPages(ops []WriteOp) error {
 	if maxRun < 1 {
 		maxRun = 1
 	}
-	var scratch []byte
 	d.pageMu.Lock()
 	defer d.pageMu.Unlock()
 	for start := 0; start < count; {
@@ -636,22 +643,32 @@ func (d *Durable) applyPages(ops []WriteOp) error {
 			end++
 		}
 		base, last := addrAt(start), addrAt(end-1)
-		need := (last - base + 1) * d.pageSize
-		if cap(scratch) < need {
-			scratch = make([]byte, need)
-		}
-		buf := scratch[:need]
-		// A run may skip addresses (gaps between non-consecutive dups are
-		// impossible — runs extend only by ≤ 1 — but duplicates collapse);
-		// every page in [base,last] is covered because consecutive run
+		// Gather the run directly from the ops' blocks, alternating each
+		// payload with its 4-byte CRC trailer from the staging buffer — the
+		// on-disk page layout — so a run is one vectored write with no page
+		// assembly copy. Duplicate addresses collapse to the last op (a
+		// vectored write lands buffers at consecutive offsets, so earlier
+		// duplicates must not occupy a slot), preserving last-write-wins.
+		// Every page in [base,last] is covered because consecutive run
 		// members differ by at most one address.
-		for k := start; k < end; k++ {
-			op := opAt(k)
-			pg := buf[(op.Addr-base)*d.pageSize:]
-			copy(pg, op.Block)
-			binary.BigEndian.PutUint32(pg[d.blockSize:], crc32.Checksum(op.Block, castagnoli))
+		if need := (last - base + 1) * pageTrailer; cap(d.crcBuf) < need {
+			d.crcBuf = make([]byte, need)
 		}
-		if _, err := d.pages.WriteAt(buf, d.pageOff(base)); err != nil {
+		d.bufs = d.bufs[:0]
+		pages := 0
+		for k := start; k < end; {
+			j := k
+			for j+1 < end && addrAt(j+1) == addrAt(k) {
+				j++ // stable sort: the last duplicate is the batch's last write
+			}
+			op := opAt(j)
+			crc := d.crcBuf[pages*pageTrailer : (pages+1)*pageTrailer]
+			binary.BigEndian.PutUint32(crc, crc32.Checksum(op.Block, castagnoli))
+			d.bufs = append(d.bufs, op.Block, crc)
+			pages++
+			k = j + 1
+		}
+		if err := d.vec.writev(d.pages, d.bufs, d.pageOff(base)); err != nil {
 			return fmt.Errorf("store: writing pages [%d,%d]: %w", base, last, err)
 		}
 		start = end
@@ -973,12 +990,11 @@ func (d *Durable) ReadBatch(addrs []int) ([]block.Block, error) {
 		}
 		sort.Slice(order, func(a, b int) bool { return addrs[order[a]] < addrs[order[b]] })
 	}
-	out := make([]block.Block, len(addrs))
+	out := newSlab(len(addrs), d.blockSize)
 	maxRun := fileMaxRunBytes / d.pageSize
 	if maxRun < 1 {
 		maxRun = 1
 	}
-	var scratch []byte
 	d.pageMu.Lock()
 	defer d.pageMu.Unlock()
 	for start := 0; start < len(order); {
@@ -989,21 +1005,41 @@ func (d *Durable) ReadBatch(addrs []int) ([]block.Block, error) {
 		}
 		base := addrs[order[start]]
 		last := addrs[order[end-1]]
-		need := (last - base + 1) * d.pageSize
-		if cap(scratch) < need {
-			scratch = make([]byte, need)
+		// Scatter the run directly into the result slab, each payload
+		// alternating with its CRC trailer into the staging buffer (the
+		// on-disk page layout): one vectored read per run, no page assembly
+		// copy. Duplicates are read once and filled from the first
+		// occurrence afterwards.
+		if need := (last - base + 1) * pageTrailer; cap(d.crcBuf) < need {
+			d.crcBuf = make([]byte, need)
 		}
-		buf := scratch[:need]
-		if _, err := d.pages.ReadAt(buf, d.pageOff(base)); err != nil {
+		d.bufs = d.bufs[:0]
+		pages, prev := 0, -1
+		for k := start; k < end; k++ {
+			oi := order[k]
+			if addrs[oi] == prev {
+				continue
+			}
+			prev = addrs[oi]
+			d.bufs = append(d.bufs, out[oi], d.crcBuf[pages*pageTrailer:(pages+1)*pageTrailer])
+			pages++
+		}
+		if err := d.vec.readv(d.pages, d.bufs, d.pageOff(base)); err != nil {
 			return nil, fmt.Errorf("store: reading pages [%d,%d]: %w", base, last, err)
 		}
-		for _, oi := range order[start:end] {
-			pg := buf[(addrs[oi]-base)*d.pageSize:]
-			payload := pg[:d.blockSize]
-			if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(pg[d.blockSize:d.pageSize]) {
+		pages, prev = 0, -1
+		for k := start; k < end; k++ {
+			oi := order[k]
+			if addrs[oi] == prev {
+				copy(out[oi], out[order[k-1]])
+				continue
+			}
+			prev = addrs[oi]
+			crc := d.crcBuf[pages*pageTrailer : (pages+1)*pageTrailer]
+			pages++
+			if crc32.Checksum(out[oi], castagnoli) != binary.BigEndian.Uint32(crc) {
 				return nil, fmt.Errorf("%w: page %d checksum mismatch", ErrCorrupt, addrs[oi])
 			}
-			out[oi] = block.Block(payload).Copy()
 		}
 		start = end
 	}

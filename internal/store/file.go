@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"sync"
 
@@ -20,6 +21,13 @@ type File struct {
 	f         *os.File
 	n         int
 	blockSize int
+
+	// Batch-path scratch, guarded by mu: the vectored-I/O state (iovecs on
+	// Linux, the staging buffer elsewhere), the sorted composite keys, and
+	// the per-run buffer list handed to readv/writev.
+	vec  vectorizer
+	keys []uint64
+	bufs [][]byte
 }
 
 // CreateFile creates (or truncates) path as a file server with n zeroed
@@ -120,47 +128,83 @@ func (s *File) maxRunBlocks() int {
 	return m
 }
 
+// sortedAccessors returns addrAt/idxAt views of the batch's addresses in
+// sorted order, stable by request index. The fast path packs (addr ‖ index)
+// into the reusable uint64 key scratch (see sortKeys' bounds discussion);
+// shapes beyond the packing limits fall back to an allocated order slice.
+// Callers hold s.mu.
+func (s *File) sortedAccessors(addrs []int) (addrAt, idxAt func(k int) int) {
+	packed := len(addrs) < 1<<sortKeyBits
+	if packed {
+		s.keys = s.keys[:0]
+		for i, a := range addrs {
+			if a >= 1<<(64-sortKeyBits) {
+				packed = false
+				break
+			}
+			s.keys = append(s.keys, uint64(a)<<sortKeyBits|uint64(i))
+		}
+	}
+	if packed {
+		keys := s.keys
+		slices.Sort(keys)
+		return func(k int) int { return int(keys[k] >> sortKeyBits) },
+			func(k int) int { return int(keys[k] & (1<<sortKeyBits - 1)) }
+	}
+	order := make([]int, len(addrs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return addrs[order[a]] < addrs[order[b]] })
+	return func(k int) int { return addrs[order[k]] }, func(k int) int { return order[k] }
+}
+
 // ReadBatch implements BatchServer. Requested addresses are processed in
 // sorted order and coalesced into runs of consecutive (or duplicate)
-// slots, each served by one large sequential ReadAt bounded by
-// fileMaxRunBytes — a full-database scan (linear PIR) becomes a few
-// sequential reads instead of n seeks. Returned blocks are independent
-// copies, like Download's, written straight into request order.
+// slots, each served by one vectored read bounded by fileMaxRunBytes that
+// scatters straight into the result slab (one preadv syscall per run on
+// Linux; one sequential ReadAt plus a staging copy elsewhere) — a
+// full-database scan (linear PIR) stays a few sequential transfers instead
+// of n seeks. Returned blocks are independent copies carved from one slab,
+// written straight into request order; duplicates are read once and copied
+// client-side.
 func (s *File) ReadBatch(addrs []int) ([]block.Block, error) {
 	for _, a := range addrs {
 		if a < 0 || a >= s.n {
 			return nil, fmt.Errorf("%w: %d (size %d)", ErrAddr, a, s.n)
 		}
 	}
-	order := make([]int, len(addrs))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return addrs[order[a]] < addrs[order[b]] })
-	out := make([]block.Block, len(addrs))
+	out := newSlab(len(addrs), s.blockSize)
 	maxRun := s.maxRunBlocks()
-	var scratch []byte
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for start := 0; start < len(order); {
+	addrAt, idxAt := s.sortedAccessors(addrs)
+	for start := 0; start < len(addrs); {
 		end := start + 1
-		for end < len(order) && addrs[order[end]]-addrs[order[end-1]] <= 1 &&
-			addrs[order[end]]-addrs[order[start]] < maxRun {
+		for end < len(addrs) && addrAt(end)-addrAt(end-1) <= 1 &&
+			addrAt(end)-addrAt(start) < maxRun {
 			end++
 		}
-		base := addrs[order[start]]
-		last := addrs[order[end-1]]
-		need := (last - base + 1) * s.blockSize
-		if cap(scratch) < need {
-			scratch = make([]byte, need)
+		base, last := addrAt(start), addrAt(end-1)
+		// One buffer per distinct slot, in file order: runs extend only by
+		// address gaps of ≤ 1, so [base,last] is covered gaplessly and the
+		// scatter destinations are the request-order slab blocks themselves.
+		s.bufs = s.bufs[:0]
+		prev := -1
+		for k := start; k < end; k++ {
+			if a := addrAt(k); a != prev {
+				s.bufs = append(s.bufs, out[idxAt(k)])
+				prev = a
+			}
 		}
-		buf := scratch[:need]
-		if _, err := s.f.ReadAt(buf, int64(base)*int64(s.blockSize)); err != nil {
+		if err := s.vec.readv(s.f, s.bufs, int64(base)*int64(s.blockSize)); err != nil {
 			return nil, fmt.Errorf("store: reading slots [%d,%d]: %w", base, last, err)
 		}
-		for _, oi := range order[start:end] {
-			off := (addrs[oi] - base) * s.blockSize
-			out[oi] = block.Block(buf[off : off+s.blockSize]).Copy()
+		// Duplicates: filled from the first occurrence, not the disk.
+		for k := start + 1; k < end; k++ {
+			if addrAt(k) == addrAt(k-1) {
+				copy(out[idxAt(k)], out[idxAt(k-1)])
+			}
 		}
 		start = end
 	}
@@ -168,9 +212,13 @@ func (s *File) ReadBatch(addrs []int) ([]block.Block, error) {
 }
 
 // WriteBatch implements BatchServer with the same coalescing: ops are
-// stably sorted by address (preserving batch order among duplicates, so
-// the last write to an address wins) and consecutive slots are flushed in
-// one WriteAt each.
+// stably sorted by address and consecutive slots are flushed by one
+// vectored write per run, gathering directly from the ops' blocks (one
+// pwritev syscall on Linux; a staging copy plus one WriteAt elsewhere).
+// Duplicate addresses within a run are deduplicated to the last op — a
+// vectored write lands each buffer at consecutive file offsets, so the
+// earlier duplicates must not occupy a slot — which preserves the batch's
+// last-write-wins semantics exactly.
 func (s *File) WriteBatch(ops []WriteOp) error {
 	for _, op := range ops {
 		if op.Addr < 0 || op.Addr >= s.n {
@@ -180,38 +228,63 @@ func (s *File) WriteBatch(ops []WriteOp) error {
 			return fmt.Errorf("%w: got %d want %d", block.ErrSize, len(op.Block), s.blockSize)
 		}
 	}
-	sorted := append([]WriteOp(nil), ops...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
 	maxRun := s.maxRunBlocks()
-	var scratch []byte
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for start := 0; start < len(sorted); {
+	addrAt, idxAt := s.sortedAccessorsOps(ops)
+	for start := 0; start < len(ops); {
 		end := start + 1
-		// Consecutive or duplicate addresses extend the run, capped so the
-		// buffer stays bounded; any slice of a run still covers its address
-		// span gaplessly, so splitting is safe, and in-order application
-		// keeps last-write-wins for duplicates across the split.
-		for end < len(sorted) && sorted[end].Addr-sorted[end-1].Addr <= 1 &&
-			sorted[end].Addr-sorted[start].Addr < maxRun {
+		// Consecutive or duplicate addresses extend the run, capped so one
+		// transfer stays bounded; any slice of a run still covers its
+		// address span gaplessly, so splitting is safe.
+		for end < len(ops) && addrAt(end)-addrAt(end-1) <= 1 &&
+			addrAt(end)-addrAt(start) < maxRun {
 			end++
 		}
-		base := sorted[start].Addr
-		last := sorted[end-1].Addr
-		need := (last - base + 1) * s.blockSize
-		if cap(scratch) < need {
-			scratch = make([]byte, need)
+		base, last := addrAt(start), addrAt(end-1)
+		s.bufs = s.bufs[:0]
+		for k := start; k < end; {
+			j := k
+			for j+1 < end && addrAt(j+1) == addrAt(k) {
+				j++ // stable sort: the last duplicate is the batch's last write
+			}
+			s.bufs = append(s.bufs, ops[idxAt(j)].Block)
+			k = j + 1
 		}
-		buf := scratch[:need]
-		for _, op := range sorted[start:end] {
-			copy(buf[(op.Addr-base)*s.blockSize:], op.Block)
-		}
-		if _, err := s.f.WriteAt(buf, int64(base)*int64(s.blockSize)); err != nil {
+		if err := s.vec.writev(s.f, s.bufs, int64(base)*int64(s.blockSize)); err != nil {
 			return fmt.Errorf("store: writing slots [%d,%d]: %w", base, last, err)
 		}
 		start = end
 	}
 	return nil
+}
+
+// sortedAccessorsOps is sortedAccessors over a WriteOp slice.
+func (s *File) sortedAccessorsOps(ops []WriteOp) (addrAt, idxAt func(k int) int) {
+	packed := len(ops) < 1<<sortKeyBits
+	if packed {
+		s.keys = s.keys[:0]
+		for i := range ops {
+			a := ops[i].Addr
+			if a >= 1<<(64-sortKeyBits) {
+				packed = false
+				break
+			}
+			s.keys = append(s.keys, uint64(a)<<sortKeyBits|uint64(i))
+		}
+	}
+	if packed {
+		keys := s.keys
+		slices.Sort(keys)
+		return func(k int) int { return int(keys[k] >> sortKeyBits) },
+			func(k int) int { return int(keys[k] & (1<<sortKeyBits - 1)) }
+	}
+	order := make([]int, len(ops))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ops[order[a]].Addr < ops[order[b]].Addr })
+	return func(k int) int { return ops[order[k]].Addr }, func(k int) int { return order[k] }
 }
 
 // Size implements Server.

@@ -31,6 +31,18 @@ type Remote struct {
 	name       string // current namespace (DefaultNamespace until Open)
 	roundTrips int64
 	maxFrame   int // frame budget for batch splitting; wire.MaxFrame outside tests
+
+	// Per-connection scratch for the batch hot path, guarded by mu like the
+	// connection itself. encBuf holds the outgoing frame, readBuf the
+	// incoming payload (ReadFrameInto grows it once to the steady-state
+	// frame size, then reuses it); addrScratch/blockScratch stage WriteBatch
+	// ops as the parallel slices the wire codec takes. Results returned to
+	// callers never alias any of these — ReadBatch copies the payload into a
+	// caller-owned slab before mu is released.
+	encBuf       []byte
+	readBuf      []byte
+	addrScratch  []int
+	blockScratch [][]byte
 }
 
 // dialTimeout bounds connection establishment. An unbounded net.Dial
@@ -171,6 +183,29 @@ func (rs *Remote) roundTrip(req wire.Frame, want byte) (wire.Frame, error) {
 	return resp, nil
 }
 
+// hotRoundTripLocked performs one round trip with the pre-encoded frame
+// already in rs.encBuf, reading the response into rs.readBuf. Callers must
+// hold mu and must finish with the returned frame — whose payload aliases
+// rs.readBuf — before releasing it.
+func (rs *Remote) hotRoundTripLocked(want byte) (wire.Frame, error) {
+	if _, err := rs.w.Write(rs.encBuf); err != nil {
+		return wire.Frame{}, fmt.Errorf("store: writing request: %w", err)
+	}
+	if err := rs.w.Flush(); err != nil {
+		return wire.Frame{}, fmt.Errorf("store: flushing request: %w", err)
+	}
+	rs.roundTrips++
+	resp, buf, err := wire.ReadFrameInto(rs.r, rs.readBuf)
+	rs.readBuf = buf
+	if err != nil {
+		return wire.Frame{}, fmt.Errorf("store: reading response: %w", err)
+	}
+	if err := wire.AsError(resp, want); err != nil {
+		return wire.Frame{}, err
+	}
+	return resp, nil
+}
+
 // RoundTrips returns the number of request/response exchanges performed on
 // this connection (including the handshake). Benchmarks use it to show the
 // batch transport collapsing per-block chatter.
@@ -220,48 +255,56 @@ func (rs *Remote) writeChunk(blockSize int) int {
 }
 
 // ReadBatch implements BatchServer in one round trip (or ⌈N/chunk⌉ trips
-// when the reply would overflow MaxFrame).
+// when the reply would overflow MaxFrame). The result is a caller-owned
+// slab — two allocations per call regardless of batch size — filled
+// straight from the response payload in the connection's reusable read
+// buffer, which is why the whole batch runs under one mu acquisition.
 func (rs *Remote) ReadBatch(addrs []int) ([]block.Block, error) {
 	if len(addrs) == 0 {
 		return nil, nil
 	}
-	out := make([]block.Block, 0, len(addrs))
 	blockSize := int(rs.shape().BlockSize)
 	chunk := rs.readChunk(blockSize)
+	out := newSlab(len(addrs), blockSize)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
 	for start := 0; start < len(addrs); start += chunk {
 		end := start + chunk
 		if end > len(addrs) {
 			end = len(addrs)
 		}
-		resp, err := rs.roundTrip(wire.EncodeReadBatchReq(addrs[start:end]), wire.MsgReadBatchResp)
+		rs.encBuf = wire.AppendReadBatchReq(rs.encBuf[:0], addrs[start:end])
+		resp, err := rs.hotRoundTripLocked(wire.MsgReadBatchResp)
 		if err != nil {
 			return nil, err
 		}
-		blocks, err := wire.DecodeReadBatchResp(resp.Payload)
+		count, size, body, err := wire.ReadBatchRespShape(resp.Payload)
 		if err != nil {
 			return nil, err
 		}
-		if len(blocks) != end-start {
-			return nil, fmt.Errorf("store: read batch returned %d blocks, want %d", len(blocks), end-start)
+		if count != end-start {
+			return nil, fmt.Errorf("store: read batch returned %d blocks, want %d", count, end-start)
 		}
-		// The decoder guarantees uniform sizes, so checking one block pins
-		// them all: a hostile server must not be able to hand short blocks
-		// to callers that index to BlockSize().
-		if len(blocks[0]) != blockSize {
-			return nil, fmt.Errorf("store: read batch returned %d B blocks, want %d", len(blocks[0]), blockSize)
+		// The shape check guarantees uniform sizes, so checking the common
+		// size pins every block: a hostile server must not be able to hand
+		// short blocks to callers that index to BlockSize().
+		if size != blockSize {
+			return nil, fmt.Errorf("store: read batch returned %d B blocks, want %d", size, blockSize)
 		}
-		// Copy out of the frame payload: the decoded slices all alias one
-		// chunk-sized buffer, and handing them out directly would let a
-		// caller retaining a single block pin up to MaxFrame of memory.
-		for _, b := range blocks {
-			out = append(out, block.Block(b).Copy())
+		// Copy out of the frame payload while still holding mu: body
+		// aliases rs.readBuf, which the next round trip overwrites.
+		for i := start; i < end; i++ {
+			o := (i - start) * size
+			copy(out[i], body[o:o+size])
 		}
 	}
 	return out, nil
 }
 
 // WriteBatch implements BatchServer in one round trip (split as needed to
-// respect MaxFrame).
+// respect MaxFrame), staging each chunk in the connection's reusable
+// scratch. The ops' blocks are read before the call returns and never
+// retained.
 func (rs *Remote) WriteBatch(ops []WriteOp) error {
 	if len(ops) == 0 {
 		return nil
@@ -276,23 +319,34 @@ func (rs *Remote) WriteBatch(ops []WriteOp) error {
 		}
 	}
 	chunk := rs.writeChunk(blockSize)
-	prealloc := chunk
-	if prealloc > len(ops) {
-		prealloc = len(ops)
-	}
-	addrs := make([]int, 0, prealloc)
-	blocks := make([][]byte, 0, prealloc)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	defer func() {
+		// Drop the staged views so the scratch never pins a caller's block
+		// past the call.
+		for i := range rs.blockScratch {
+			rs.blockScratch[i] = nil
+		}
+		rs.blockScratch = rs.blockScratch[:0]
+		rs.addrScratch = rs.addrScratch[:0]
+	}()
 	for start := 0; start < len(ops); start += chunk {
 		end := start + chunk
 		if end > len(ops) {
 			end = len(ops)
 		}
-		addrs, blocks = addrs[:0], blocks[:0]
+		addrs, blocks := rs.addrScratch[:0], rs.blockScratch[:0]
 		for _, op := range ops[start:end] {
 			addrs = append(addrs, op.Addr)
 			blocks = append(blocks, op.Block)
 		}
-		if _, err := rs.roundTrip(wire.EncodeWriteBatchReq(addrs, blocks), wire.MsgWriteBatchResp); err != nil {
+		rs.addrScratch, rs.blockScratch = addrs, blocks
+		var err error
+		rs.encBuf, err = wire.AppendWriteBatchReq(rs.encBuf[:0], addrs, blocks)
+		if err != nil {
+			return err
+		}
+		if _, err := rs.hotRoundTripLocked(wire.MsgWriteBatchResp); err != nil {
 			return err
 		}
 	}
@@ -368,18 +422,56 @@ func Serve(ln net.Listener, backing Server) error {
 	return ServeNamespaces(ln, ns)
 }
 
+// connScratch is one connection's reusable hot-path memory: the frame read
+// buffer, the response frame build buffer, and the decoded batch views. All
+// of it lives exactly as long as the connection and is only ever touched by
+// its serve goroutine, so no locking or pooling is needed.
+type connScratch struct {
+	readBuf []byte    // incoming frame payloads (ReadFrameInto target)
+	resp    []byte    // outgoing frame bytes, header included
+	addrs   []int     // decoded batch addresses
+	blocks  [][]byte  // decoded write-batch block views (alias readBuf)
+	ops     []WriteOp // staged write ops handed to the backing store
+}
+
+// errorFrame builds a complete MsgError frame into the response buffer.
+func (cs *connScratch) errorFrame(msg string) []byte {
+	buf, off := wire.BeginFrame(cs.resp[:0], wire.MsgError)
+	buf = append(buf, msg...)
+	buf, _ = wire.EndFrame(buf, off) // an error message can't exceed MaxFrame
+	cs.resp = buf
+	return buf
+}
+
 func serveConn(conn net.Conn, ns *Namespaces) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	cs := &connScratch{}
 	// The connection's current namespace; the zero tenant until an open
 	// succeeds when the daemon has no default.
 	cur := ns.lookup(DefaultNamespace)
 	epoch := ns.Epoch()
 	for {
-		req, err := wire.ReadFrame(r)
+		req, buf, err := wire.ReadFrameInto(r, cs.readBuf)
+		cs.readBuf = buf
 		if err != nil {
 			return // EOF or broken peer: drop the connection
+		}
+		// The batch frames — the steady-state traffic — are served through
+		// the per-connection scratch with zero per-request allocation;
+		// everything else goes through the allocating cold path. Both
+		// decode from cs.readBuf, which the next ReadFrameInto reuses, so
+		// each request must be fully handled (response built or frame
+		// encoded) before the next iteration — they are.
+		if raw, handled := handleBatch(req, cur, cs); handled {
+			if _, err := w.Write(raw); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			continue
 		}
 		var resp wire.Frame
 		switch {
@@ -399,6 +491,80 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 			return
 		}
 	}
+}
+
+// handleBatch serves the two batch frames against a block-backed namespace
+// using the connection's scratch, returning the complete response frame
+// bytes (which alias cs.resp) and true; any other frame — or a batch frame
+// against a proxy-backed or unselected namespace, which must keep its
+// existing rejection — reports false and falls to the cold path.
+func handleBatch(req wire.Frame, cur tenant, cs *connScratch) ([]byte, bool) {
+	if cur.none() || cur.acc != nil {
+		return nil, false
+	}
+	backing := cur.batch
+	switch req.Type {
+	case wire.MsgReadBatchReq:
+		var err error
+		cs.addrs, err = wire.DecodeReadBatchReqInto(cs.addrs[:0], req.Payload)
+		if err != nil {
+			return cs.errorFrame(err.Error()), true
+		}
+		blockSize := backing.BlockSize()
+		if 4+int64(len(cs.addrs))*int64(blockSize) > wire.MaxFrame {
+			return cs.errorFrame(fmt.Sprintf(
+				"read batch of %d × %d B blocks exceeds the %d B frame limit",
+				len(cs.addrs), blockSize, wire.MaxFrame)), true
+		}
+		buf, off := wire.BeginFrame(cs.resp[:0], wire.MsgReadBatchResp)
+		buf = wire.AppendBatchCount(buf, len(cs.addrs))
+		cs.resp = buf
+		if ab, ok := backing.(BatchAppender); ok {
+			// Zero-copy: the store appends its slots straight into the
+			// response frame.
+			buf, err = ab.AppendReadBatch(buf, cs.addrs)
+			cs.resp = buf
+			if err != nil {
+				return cs.errorFrame(err.Error()), true
+			}
+		} else {
+			blocks, err := backing.ReadBatch(cs.addrs)
+			if err != nil {
+				return cs.errorFrame(err.Error()), true
+			}
+			for _, b := range blocks {
+				buf = append(buf, b...)
+			}
+			cs.resp = buf
+		}
+		buf, err = wire.EndFrame(buf, off)
+		cs.resp = buf
+		if err != nil {
+			return cs.errorFrame(err.Error()), true
+		}
+		return buf, true
+	case wire.MsgWriteBatchReq:
+		var err error
+		cs.addrs, cs.blocks, err = wire.DecodeWriteBatchReqInto(cs.addrs[:0], cs.blocks[:0], req.Payload)
+		if err != nil {
+			return cs.errorFrame(err.Error()), true
+		}
+		if cap(cs.ops) < len(cs.addrs) {
+			cs.ops = make([]WriteOp, len(cs.addrs))
+		}
+		ops := cs.ops[:len(cs.addrs)]
+		for i := range ops {
+			ops[i] = WriteOp{Addr: cs.addrs[i], Block: block.Block(cs.blocks[i])}
+		}
+		if err := backing.WriteBatch(ops); err != nil {
+			return cs.errorFrame(err.Error()), true
+		}
+		buf, off := wire.BeginFrame(cs.resp[:0], wire.MsgWriteBatchResp)
+		buf, _ = wire.EndFrame(buf, off) // empty payload can't exceed MaxFrame
+		cs.resp = buf
+		return buf, true
+	}
+	return nil, false
 }
 
 // handleOpen resolves an open request against the registry. On success the

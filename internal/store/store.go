@@ -100,18 +100,41 @@ func (m *Mem) Upload(addr int, b block.Block) error {
 	return nil
 }
 
-// ReadBatch implements BatchServer under a single lock acquisition.
+// ReadBatch implements BatchServer under a single lock acquisition. The
+// returned blocks are carved from one slab (two allocations per batch, not
+// one per block); see slab.go for the ownership rules.
 func (m *Mem) ReadBatch(addrs []int) ([]block.Block, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	out := make([]block.Block, len(addrs))
-	for i, a := range addrs {
+	for _, a := range addrs {
 		if a < 0 || a >= len(m.slots) {
 			return nil, fmt.Errorf("%w: %d (size %d)", ErrAddr, a, len(m.slots))
 		}
-		out[i] = m.slots[a].Copy()
+	}
+	out := newSlab(len(addrs), m.blockSize)
+	for i, a := range addrs {
+		copy(out[i], m.slots[a])
 	}
 	return out, nil
+}
+
+// AppendReadBatch implements BatchAppender: the serve loop's zero-copy read
+// path appends the requested slots directly onto the response buffer, under
+// the same single lock acquisition as ReadBatch. All addresses are
+// validated before any byte is appended, so dst is returned unchanged on
+// error.
+func (m *Mem) AppendReadBatch(dst []byte, addrs []int) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, a := range addrs {
+		if a < 0 || a >= len(m.slots) {
+			return dst, fmt.Errorf("%w: %d (size %d)", ErrAddr, a, len(m.slots))
+		}
+	}
+	for _, a := range addrs {
+		dst = append(dst, m.slots[a]...)
+	}
+	return dst, nil
 }
 
 // WriteBatch implements BatchServer under a single lock acquisition. All

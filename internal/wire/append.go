@@ -1,0 +1,123 @@
+package wire
+
+// Appending codecs for the batch hot path: each builds a complete frame
+// (header included) into a caller-owned buffer, and each decoder either
+// appends into caller-owned scratch or returns a validated view of the
+// payload. Together with ReadFrameInto these make a steady-state batch
+// round trip allocation-free on both sides of the connection. The shape
+// checks mirror the Encode*/Decode* pair in wire.go exactly — same division
+// guards, same errors — so the two paths reject the same hostile inputs.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendReadBatchReq appends a complete MsgReadBatchReq frame for addrs.
+func AppendReadBatchReq(dst []byte, addrs []int) []byte {
+	dst, off := BeginFrame(dst, MsgReadBatchReq)
+	dst = AppendBatchCount(dst, len(addrs))
+	var a8 [8]byte
+	for _, a := range addrs {
+		binary.BigEndian.PutUint64(a8[:], uint64(a))
+		dst = append(dst, a8[:]...)
+	}
+	dst, _ = EndFrame(dst, off) // 4+8·len(addrs) ≤ MaxFrame for any real batch
+	return dst
+}
+
+// AppendWriteBatchReq appends a complete MsgWriteBatchReq frame from
+// parallel address and block slices. All blocks must have the same length,
+// and the frame must fit MaxFrame (callers chunk batches first, exactly as
+// they do for EncodeWriteBatchReq).
+func AppendWriteBatchReq(dst []byte, addrs []int, blocks [][]byte) ([]byte, error) {
+	dst, off := BeginFrame(dst, MsgWriteBatchReq)
+	dst = AppendBatchCount(dst, len(addrs))
+	var a8 [8]byte
+	for i, a := range addrs {
+		binary.BigEndian.PutUint64(a8[:], uint64(a))
+		dst = append(dst, a8[:]...)
+		dst = append(dst, blocks[i]...)
+	}
+	return EndFrame(dst, off)
+}
+
+// AppendBatchCount appends the 4-byte batch count that opens every batch
+// payload. Servers building a MsgReadBatchResp append this right after
+// BeginFrame, then the packed blocks.
+func AppendBatchCount(dst []byte, count int) []byte {
+	var c4 [4]byte
+	binary.BigEndian.PutUint32(c4[:], uint32(count))
+	return append(dst, c4[:]...)
+}
+
+// DecodeReadBatchReqInto parses a MsgReadBatchReq payload, appending the
+// addresses to dst (pass dst[:0] to reuse scratch across frames).
+func DecodeReadBatchReqInto(dst []int, p []byte) ([]int, error) {
+	if len(p) < 4 {
+		return dst, fmt.Errorf("%w: read batch request %d bytes", ErrShortPayload, len(p))
+	}
+	count := int(binary.BigEndian.Uint32(p[:4]))
+	// Division guard, as in DecodeReadBatchReq: a forged count near 2³¹/8
+	// must not pass a naive multiplied comparison.
+	if (len(p)-4)%8 != 0 || (len(p)-4)/8 != count {
+		return dst, fmt.Errorf("%w: %d addresses in %d payload bytes", ErrBatchShape, count, len(p))
+	}
+	for i := 0; i < count; i++ {
+		dst = append(dst, int(binary.BigEndian.Uint64(p[4+8*i:])))
+	}
+	return dst, nil
+}
+
+// ReadBatchRespShape validates a MsgReadBatchResp payload and returns its
+// block count, the uniform block size, and the packed body (count × size
+// bytes, aliasing p). Callers copy blocks straight out of the body — into a
+// slab, typically — without a per-block slice header in between.
+func ReadBatchRespShape(p []byte) (count, size int, body []byte, err error) {
+	if len(p) < 4 {
+		return 0, 0, nil, fmt.Errorf("%w: read batch response %d bytes", ErrShortPayload, len(p))
+	}
+	count = int(binary.BigEndian.Uint32(p[:4]))
+	body = p[4:]
+	if count == 0 {
+		if len(body) != 0 {
+			return 0, 0, nil, fmt.Errorf("%w: empty batch with %d trailing bytes", ErrBatchShape, len(body))
+		}
+		return 0, 0, nil, nil
+	}
+	if len(body) == 0 || len(body)%count != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d body bytes not divisible by %d blocks", ErrBatchShape, len(body), count)
+	}
+	return count, len(body) / count, body, nil
+}
+
+// DecodeWriteBatchReqInto parses a MsgWriteBatchReq payload, appending the
+// addresses and block views to the caller's scratch slices (pass each as
+// s[:0] to reuse across frames). The block slices alias p and are
+// capacity-capped to their entry, like DecodeWriteBatchReq's.
+func DecodeWriteBatchReqInto(addrs []int, blocks [][]byte, p []byte) ([]int, [][]byte, error) {
+	if len(p) < 4 {
+		return addrs, blocks, fmt.Errorf("%w: write batch request %d bytes", ErrShortPayload, len(p))
+	}
+	count := int(binary.BigEndian.Uint32(p[:4]))
+	body := p[4:]
+	if count == 0 {
+		if len(body) != 0 {
+			return addrs, blocks, fmt.Errorf("%w: empty batch with %d trailing bytes", ErrBatchShape, len(body))
+		}
+		return addrs, blocks, nil
+	}
+	if len(body)%count != 0 {
+		return addrs, blocks, fmt.Errorf("%w: %d body bytes not divisible by %d entries", ErrBatchShape, len(body), count)
+	}
+	entry := len(body) / count
+	if entry < 8 {
+		return addrs, blocks, fmt.Errorf("%w: %d-byte entries too small for an address", ErrBatchShape, entry)
+	}
+	for i := 0; i < count; i++ {
+		e := body[i*entry : (i+1)*entry : (i+1)*entry]
+		addrs = append(addrs, int(binary.BigEndian.Uint64(e[:8])))
+		blocks = append(blocks, e[8:])
+	}
+	return addrs, blocks, nil
+}

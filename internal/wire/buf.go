@@ -1,0 +1,137 @@
+package wire
+
+// Pooled frame buffers and in-place frame I/O: the zero-allocation side of
+// the codec. The Encode*/Decode* functions in wire.go allocate per message
+// and remain the cold-path API; everything steady-state (store.Remote, the
+// serve loop, the proxy pipeline) goes through the appenders here against a
+// buffer it either owns and reuses, or borrows from the pool.
+//
+// # Safety discipline: length, not zeroing
+//
+// Recycled buffers are NOT zeroed. Instead every function here maintains a
+// strict length discipline, which the aliasing-safety tests pin:
+//
+//   - GetBuf returns a buffer of length 0. Stale bytes from the previous
+//     tenant exist only beyond len, where no reader can see them.
+//   - Appenders only append. They never slice a buffer beyond its current
+//     length, so they can expose stale capacity bytes only by overwriting
+//     them first.
+//   - ReadFrameInto returns a payload sliced to exactly the byte count read
+//     off the wire, and every byte within that length was just filled by
+//     io.ReadFull. A short read is an error, never a partially-stale buffer.
+//   - Decoders validate that declared counts account for the payload length
+//     exactly (see the shape checks in wire.go), so a forged header cannot
+//     widen a view into a recycled region.
+//
+// Zero-on-put was considered and rejected: it costs a full memset per
+// recycle on the hottest path in the module, and it protects only against
+// the same bugs the length discipline already excludes. The tests in
+// pool_test.go exercise a hostile peer and a dirty pool directly.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// frameHeader is the encoded size of a frame header: 1 type byte plus a
+// 4-byte big-endian payload length.
+const frameHeader = 5
+
+// bufPool recycles payload/frame buffers. It stores *[]byte (not []byte) so
+// Put does not allocate a fresh interface box per recycle.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetBuf returns a length-zero buffer from the pool, ready to append into.
+// Its capacity may hold bytes from a previous tenant; the length discipline
+// documented above keeps them unreachable.
+func GetBuf() []byte {
+	bp := bufPool.Get().(*[]byte)
+	b := *bp
+	*bp = nil
+	if b == nil {
+		return nil // append will allocate; still satisfies len == 0
+	}
+	return b[:0]
+}
+
+// PutBuf recycles b's backing array. The caller must not retain b or any
+// slice aliasing it after the call. Buffers larger than a frame can ever be
+// are dropped rather than pinned in the pool.
+func PutBuf(b []byte) {
+	if cap(b) > MaxFrame+frameHeader {
+		return
+	}
+	bp := bufPool.Get().(*[]byte)
+	*bp = b
+	bufPool.Put(bp)
+}
+
+// ReadFrameInto reads one frame, placing the payload in buf (grown if
+// needed). It returns the frame — whose Payload aliases the returned buffer
+// — and the buffer for the caller to keep for the next call. On error the
+// original buffer is returned unchanged.
+func ReadFrameInto(r io.Reader, buf []byte) (Frame, []byte, error) {
+	// The header is read through the reusable buffer too: a stack array
+	// would escape through the io.Reader interface and cost one small heap
+	// allocation per frame — the exact overhead this function exists to
+	// remove. Its bytes are fully parsed before the payload read reuses the
+	// same region.
+	if cap(buf) < frameHeader {
+		buf = make([]byte, 0, 512)
+	}
+	hdr := buf[:frameHeader]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Frame{}, buf, err // io.EOF passes through for clean shutdown
+	}
+	typ := hdr[0]
+	n := int(binary.BigEndian.Uint32(hdr[1:5]))
+	if n > MaxFrame {
+		return Frame{}, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	p := buf[:n]
+	if _, err := io.ReadFull(r, p); err != nil {
+		return Frame{}, buf, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	return Frame{Type: typ, Payload: p}, p[:cap(p)], nil
+}
+
+// BeginFrame appends a frame header for typ with a zero placeholder length
+// and returns the buffer plus the header's offset, to be patched by
+// EndFrame once the payload has been appended after it. Between the two
+// calls the caller must only append.
+func BeginFrame(dst []byte, typ byte) ([]byte, int) {
+	off := len(dst)
+	return append(dst, typ, 0, 0, 0, 0), off
+}
+
+// EndFrame patches the length of the frame begun at off to cover everything
+// appended since BeginFrame, and returns the buffer. The finished frame is
+// buf[off:], ready to write to the wire as-is.
+func EndFrame(buf []byte, off int) ([]byte, error) {
+	n := len(buf) - off - frameHeader
+	if n < 0 {
+		return buf, fmt.Errorf("wire: EndFrame before BeginFrame's header (offset %d in %d bytes)", off, len(buf))
+	}
+	if n > MaxFrame {
+		return buf, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(buf[off+1:off+frameHeader], uint32(n))
+	return buf, nil
+}
+
+// AppendFrame appends f's complete wire encoding (header and payload) to
+// dst. It is WriteFrame for callers that batch frames into one owned buffer
+// and issue a single write.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxFrame {
+		return dst, ErrFrameTooLarge
+	}
+	dst, off := BeginFrame(dst, f.Type)
+	dst = append(dst, f.Payload...)
+	return EndFrame(dst, off)
+}

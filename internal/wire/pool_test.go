@@ -1,0 +1,276 @@
+package wire
+
+// Aliasing-safety tests for the pooled-buffer hot path: proof that a
+// recycled frame buffer can never leak a previous tenant's block bytes.
+// The discipline under test is length, not zeroing — see buf.go — so these
+// tests deliberately construct dirty buffers full of a recognizable secret
+// and check that no decode, encode, or frame read ever exposes it.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// secretFill stamps b's full capacity with a recognizable secret byte.
+func secretFill(b []byte) []byte {
+	full := b[:cap(b)]
+	for i := range full {
+		full[i] = 0xA5
+	}
+	return full
+}
+
+// TestGetBufLengthDiscipline: buffers come out of the pool with length 0
+// regardless of what the previous tenant left behind.
+func TestGetBufLengthDiscipline(t *testing.T) {
+	b := GetBuf()
+	if len(b) != 0 {
+		t.Fatalf("GetBuf returned len %d, want 0", len(b))
+	}
+	b = append(b, secretFill(make([]byte, 0, 256))...)
+	PutBuf(b)
+	for i := 0; i < 100; i++ {
+		got := GetBuf()
+		if len(got) != 0 {
+			t.Fatalf("recycled GetBuf returned len %d, want 0", len(got))
+		}
+		PutBuf(got)
+	}
+}
+
+// TestPutBufDropsOversized: a buffer beyond any legal frame is not pinned
+// in the pool.
+func TestPutBufDropsOversized(t *testing.T) {
+	PutBuf(make([]byte, MaxFrame+frameHeader+1)) // must not panic; silently dropped
+}
+
+// TestDirtyBufferEncodeExposesNothing: encoding a small frame into a dirty
+// recycled buffer and writing it to the wire carries exactly the encoded
+// bytes — none of the secret that still sits in the buffer's capacity.
+func TestDirtyBufferEncodeExposesNothing(t *testing.T) {
+	dirty := secretFill(make([]byte, 0, 4096))[:0]
+	addrs := []int{7, 11}
+	frame := AppendReadBatchReq(dirty, addrs)
+
+	var conn bytes.Buffer
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.IndexByte(conn.Bytes(), 0xA5) >= 0 {
+		t.Fatalf("wire bytes contain the dirty buffer's secret: %x", conn.Bytes())
+	}
+	f, err := ReadFrame(&conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReadBatchReq(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 7 || got[1] != 11 {
+		t.Fatalf("round trip through dirty buffer: got %v, want %v", got, addrs)
+	}
+}
+
+// TestReadFrameIntoReusesAndIsolates: a large secret-bearing frame followed
+// by a small frame into the same buffer — the small frame's payload must be
+// sliced to exactly its own length, with the earlier tenant's bytes beyond
+// reach, and the backing array must actually be reused (the perf claim).
+func TestReadFrameIntoReusesAndIsolates(t *testing.T) {
+	var conn bytes.Buffer
+	big := Frame{Type: MsgDownloadResp, Payload: bytes.Repeat([]byte{0xA5}, 1024)}
+	small := Frame{Type: MsgUploadResp, Payload: []byte{1, 2, 3}}
+	if err := WriteFrame(&conn, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&conn, small); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf []byte
+	f1, buf, err := ReadFrameInto(&conn, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Payload) != 1024 {
+		t.Fatalf("big payload %d bytes, want 1024", len(f1.Payload))
+	}
+	f2, buf2, err := ReadFrameInto(&conn, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &buf2[0] != &buf[0] {
+		t.Fatal("second read did not reuse the buffer")
+	}
+	if len(f2.Payload) != 3 || !bytes.Equal(f2.Payload, []byte{1, 2, 3}) {
+		t.Fatalf("small payload = %x, want 010203 (len %d)", f2.Payload, len(f2.Payload))
+	}
+	if bytes.IndexByte(f2.Payload, 0xA5) >= 0 {
+		t.Fatal("small payload exposes the previous frame's bytes")
+	}
+}
+
+// TestHostileShapesCannotWidenRecycledViews: forged counts and entry sizes
+// against the Into-decoders and the shape helper must be rejected with the
+// same errors as the allocating decoders — a hostile header can never turn
+// a short payload into a long view of recycled memory.
+func TestHostileShapesCannotWidenRecycledViews(t *testing.T) {
+	// Payloads are views into a dirty backing array, as they are in a
+	// recycled read buffer.
+	backing := secretFill(make([]byte, 4096))
+
+	// ReadBatchResp declaring 5 blocks with an empty body.
+	p := backing[:4]
+	copy(p, []byte{0, 0, 0, 5})
+	if _, _, _, err := ReadBatchRespShape(p); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("forged count over empty body: err = %v, want ErrBatchShape", err)
+	}
+
+	// ReadBatchReq declaring 2³¹/8-scale count in a tiny payload (the
+	// overflow probe from DecodeReadBatchReq's division guard).
+	p = backing[:12]
+	copy(p, []byte{0x10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7})
+	if _, err := DecodeReadBatchReqInto(nil, p); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("forged huge count: err = %v, want ErrBatchShape", err)
+	}
+
+	// WriteBatchReq whose entries are too small to hold an address.
+	p = backing[:8]
+	copy(p, []byte{0, 0, 0, 2, 1, 2, 3, 4})
+	if _, _, err := DecodeWriteBatchReqInto(nil, nil, p); !errors.Is(err, ErrBatchShape) {
+		t.Fatalf("undersized entries: err = %v, want ErrBatchShape", err)
+	}
+
+	// A valid WriteBatchReq: the decoded block views must be capacity-capped
+	// to their entry so an append cannot run into the dirty region beyond.
+	valid := EncodeWriteBatchReq([]int{3}, [][]byte{{9, 9}})
+	p = backing[:len(valid.Payload)]
+	copy(p, valid.Payload)
+	_, blocks, err := DecodeWriteBatchReqInto(nil, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(blocks[0]) != len(blocks[0]) {
+		t.Fatalf("decoded block capacity %d > length %d: an append would reach recycled bytes", cap(blocks[0]), len(blocks[0]))
+	}
+}
+
+// TestAppendersMatchEncoders: every appender produces byte-identical wire
+// encoding to its Encode* counterpart, so the hot and cold paths cannot
+// drift apart.
+func TestAppendersMatchEncoders(t *testing.T) {
+	addrs := []int{0, 1, 5, 1 << 30}
+	blocks := [][]byte{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+
+	var cold bytes.Buffer
+	if err := WriteFrame(&cold, EncodeReadBatchReq(addrs)); err != nil {
+		t.Fatal(err)
+	}
+	if got := AppendReadBatchReq(nil, addrs); !bytes.Equal(got, cold.Bytes()) {
+		t.Fatalf("AppendReadBatchReq:\n got %x\nwant %x", got, cold.Bytes())
+	}
+
+	cold.Reset()
+	if err := WriteFrame(&cold, EncodeWriteBatchReq(addrs, blocks)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := AppendWriteBatchReq(nil, addrs, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cold.Bytes()) {
+		t.Fatalf("AppendWriteBatchReq:\n got %x\nwant %x", got, cold.Bytes())
+	}
+
+	// Server response path: BeginFrame + count + packed blocks + EndFrame.
+	cold.Reset()
+	if err := WriteFrame(&cold, EncodeReadBatchResp(blocks)); err != nil {
+		t.Fatal(err)
+	}
+	hot, off := BeginFrame(nil, MsgReadBatchResp)
+	hot = AppendBatchCount(hot, len(blocks))
+	for _, b := range blocks {
+		hot = append(hot, b...)
+	}
+	if hot, err = EndFrame(hot, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hot, cold.Bytes()) {
+		t.Fatalf("response via Begin/EndFrame:\n got %x\nwant %x", hot, cold.Bytes())
+	}
+}
+
+// TestIntoDecodersMatchDecoders: the Into-decoders agree with their
+// allocating counterparts on valid inputs and reuse the scratch they are
+// handed.
+func TestIntoDecodersMatchDecoders(t *testing.T) {
+	addrs := []int{2, 4, 8}
+	blocks := [][]byte{{1}, {2}, {3}}
+
+	reqP := EncodeReadBatchReq(addrs).Payload
+	scratch := make([]int, 0, 16)
+	got, err := DecodeReadBatchReqInto(scratch[:0], reqP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := DecodeReadBatchReq(reqP)
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("addr %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	if cap(got) != cap(scratch) {
+		t.Fatal("DecodeReadBatchReqInto did not reuse scratch")
+	}
+
+	wp := EncodeWriteBatchReq(addrs, blocks).Payload
+	gotA, gotB, err := DecodeWriteBatchReqInto(nil, nil, wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, wantB, _ := DecodeWriteBatchReq(wp)
+	for i := range wantA {
+		if gotA[i] != wantA[i] || !bytes.Equal(gotB[i], wantB[i]) {
+			t.Fatalf("entry %d: (%d,%x) != (%d,%x)", i, gotA[i], gotB[i], wantA[i], wantB[i])
+		}
+	}
+
+	respP := EncodeReadBatchResp(blocks).Payload
+	count, size, body, err := ReadBatchRespShape(respP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 || size != 1 || !bytes.Equal(body, []byte{1, 2, 3}) {
+		t.Fatalf("shape = (%d, %d, %x)", count, size, body)
+	}
+}
+
+// TestEndFrameRejectsOversizedPayload: a frame grown past MaxFrame between
+// BeginFrame and EndFrame is refused, mirroring WriteFrame's check.
+func TestEndFrameRejectsOversizedPayload(t *testing.T) {
+	buf, off := BeginFrame(make([]byte, 0, MaxFrame+frameHeader+1), MsgReadBatchResp)
+	buf = buf[:MaxFrame+frameHeader+1]
+	if _, err := EndFrame(buf, off); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := EndFrame(nil, 0); err == nil {
+		t.Fatal("EndFrame before BeginFrame's header not rejected")
+	}
+}
+
+// TestReadFrameIntoHostileHeader: the MaxFrame guard holds for the in-place
+// reader too.
+func TestReadFrameIntoHostileHeader(t *testing.T) {
+	hostile := []byte{MsgDownloadResp, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadFrameInto(bytes.NewReader(hostile), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if _, _, err := ReadFrameInto(bytes.NewReader(nil), nil); !errors.Is(err, io.EOF) {
+		t.Fatal("EOF must pass through for clean shutdown")
+	}
+}

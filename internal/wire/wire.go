@@ -123,15 +123,26 @@ type Frame struct {
 	Payload []byte
 }
 
-// WriteFrame encodes and writes one frame.
+// WriteFrame encodes and writes one frame as two writes: a stack header,
+// then the payload, with no intermediate concatenation. Callers on a hot
+// path should hand it a buffered writer so both land in one flush (every
+// caller in this module does); zero-allocation paths skip WriteFrame
+// entirely and build complete frames into a reused buffer with BeginFrame /
+// AppendFrame.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	hdr := make([]byte, 5, 5+len(f.Payload))
+	var hdr [frameHeader]byte
 	hdr[0] = f.Type
 	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(f.Payload)))
-	if _, err := w.Write(append(hdr, f.Payload...)); err != nil {
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	if len(f.Payload) == 0 {
+		return nil
+	}
+	if _, err := w.Write(f.Payload); err != nil {
 		return fmt.Errorf("wire: writing frame: %w", err)
 	}
 	return nil
