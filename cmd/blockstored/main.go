@@ -63,18 +63,21 @@ package main
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"dpstore/internal/baseline/pathoram"
 	"dpstore/internal/block"
@@ -82,25 +85,35 @@ import (
 	"dpstore/internal/proxy"
 	"dpstore/internal/rng"
 	"dpstore/internal/store"
+	"dpstore/internal/wire"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:9045", "listen address")
-		slots      = flag.Int("slots", 1<<16, "number of block slots (default namespace, and default for created namespaces)")
-		blockSize  = flag.Int("blocksize", 112, "slot size in bytes (default namespace, and default for created namespaces)")
-		file       = flag.String("file", "", "optional path for a non-durable disk-backed store (created if missing; with -shards K, K files path.shard0 … are used)")
-		dataDir    = flag.String("data", "", "durable data directory: stores run on the crash-safe WAL engine, namespaces persist, -proxy state checkpoints, and restarts recover")
-		shards     = flag.Int("shards", 1, "stripe each store over this many independently locked sub-stores")
-		namespaces = flag.Int("namespaces", 0, "max client-created namespaces (0 disables the open-to-create path)")
-		maxBytes   = flag.Int64("maxbytes", 1<<30, "per-namespace byte budget for client-requested shapes")
-		proxyMode  = flag.String("proxy", "", "serve a privacy proxy over the backing store: dpram or pathoram (empty = plain block server; -slots/-blocksize then describe the logical database)")
-		seed       = flag.Int64("seed", 1, "scheme coin seed in -proxy mode, and read-replica selection seed in -replicate mode (deterministic for reproducible experiments)")
-		replicate  = flag.String("replicate", "", "comma-separated replica daemon addresses: serve as a cluster front door over them instead of hosting blocks locally")
-		quorum     = flag.Int("quorum", 0, "write quorum W in -replicate mode (0 = majority)")
-		readPolicy = flag.String("readpolicy", "sticky", "read replica selection in -replicate mode: sticky or rotate")
+		addr        = flag.String("addr", "127.0.0.1:9045", "listen address")
+		slots       = flag.Int("slots", 1<<16, "number of block slots (default namespace, and default for created namespaces)")
+		blockSize   = flag.Int("blocksize", 112, "slot size in bytes (default namespace, and default for created namespaces)")
+		file        = flag.String("file", "", "optional path for a non-durable disk-backed store (created if missing; with -shards K, K files path.shard0 … are used)")
+		dataDir     = flag.String("data", "", "durable data directory: stores run on the crash-safe WAL engine, namespaces persist, -proxy state checkpoints, and restarts recover")
+		shards      = flag.Int("shards", 1, "stripe each store over this many independently locked sub-stores")
+		namespaces  = flag.Int("namespaces", 0, "max client-created namespaces (0 disables the open-to-create path)")
+		maxBytes    = flag.Int64("maxbytes", 1<<30, "per-namespace byte budget for client-requested shapes")
+		proxyMode   = flag.String("proxy", "", "serve a privacy proxy over the backing store: dpram or pathoram (empty = plain block server; -slots/-blocksize then describe the logical database)")
+		seed        = flag.Int64("seed", 1, "scheme coin seed in -proxy mode, and read-replica selection seed in -replicate mode (deterministic for reproducible experiments)")
+		replicate   = flag.String("replicate", "", "comma-separated replica daemon addresses: serve as a cluster front door over them instead of hosting blocks locally")
+		quorum      = flag.Int("quorum", 0, "write quorum W in -replicate mode (0 = majority)")
+		readPolicy  = flag.String("readpolicy", "sticky", "read replica selection in -replicate mode: sticky or rotate")
+		maxInflight = flag.Int("maxinflight", 0, "per-namespace admission limit: concurrent executing requests (0 = no admission control)")
+		maxQueue    = flag.Int("maxqueue", 0, "per-namespace admission queue: requests waiting beyond -maxinflight before the server sheds with busy frames")
+		metricsAddr = flag.String("metrics", "", "optional HTTP listen address for /metrics (JSON namespace stats) and /healthz")
 	)
 	flag.Parse()
+	if *maxInflight == 0 && *maxQueue != 0 {
+		log.Fatalf("blockstored: -maxqueue needs -maxinflight (a queue in front of unlimited concurrency bounds nothing)")
+	}
+	if *maxInflight < 0 || *maxQueue < 0 {
+		log.Fatalf("blockstored: -maxinflight/-maxqueue must be ≥ 0")
+	}
 	if *shards < 1 {
 		log.Fatalf("blockstored: -shards %d must be ≥ 1", *shards)
 	}
@@ -149,6 +162,7 @@ func main() {
 		log.Printf("blockstored: default namespace: %s", desc)
 		ns := store.NewNamespaces()
 		ns.Attach(store.DefaultNamespace, cluster)
+		applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr)
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
 			log.Fatalf("blockstored: listen: %v", err)
@@ -168,6 +182,7 @@ func main() {
 		ns := store.NewNamespaces()
 		ns.AttachAccessor(store.DefaultNamespace, p)
 		ns.SetEpoch(p.Epoch())
+		applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr)
 		if p.Epoch() > 0 {
 			log.Printf("blockstored: recovery epoch %d", p.Epoch())
 		}
@@ -200,6 +215,7 @@ func main() {
 
 	ns := store.NewNamespaces()
 	ns.Attach(store.DefaultNamespace, backing)
+	applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr)
 
 	var epoch uint64
 	if *dataDir != "" {
@@ -236,6 +252,79 @@ func main() {
 	sd.onSignal(ln)
 	log.Printf("blockstored: serving on %s", ln.Addr())
 	sd.finish(store.ServeNamespaces(ln, ns))
+}
+
+// applyOperability wires the load-survival layer onto a namespace set:
+// per-namespace admission control (-maxinflight/-maxqueue, serving busy
+// frames past the queue) and the -metrics HTTP endpoint that keeps a
+// saturated daemon observable from outside the wire protocol.
+func applyOperability(ns *store.Namespaces, maxInflight, maxQueue int, metricsAddr string) {
+	if maxInflight > 0 {
+		ns.SetAdmission(store.AdmitOptions{MaxInflight: maxInflight, MaxQueue: maxQueue})
+		log.Printf("blockstored: admission: %d in flight + %d queued per namespace, then shed", maxInflight, maxQueue)
+	}
+	if metricsAddr == "" {
+		return
+	}
+	mln, err := net.Listen("tcp", metricsAddr)
+	if err != nil {
+		log.Fatalf("blockstored: metrics listen: %v", err)
+	}
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime=%s\n", time.Since(start).Round(time.Second))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(metricsView(ns)) //nolint:errcheck // best-effort response write
+	})
+	go func() {
+		if err := http.Serve(mln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("blockstored: metrics server: %v", err)
+		}
+	}()
+	log.Printf("blockstored: metrics on http://%s/metrics", mln.Addr())
+}
+
+// nsMetrics is the JSON rendering of one namespace's wire.StatsEntry,
+// with the kind decoded for human readers.
+type nsMetrics struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	Accepted   uint64 `json:"accepted"`
+	Shed       uint64 `json:"shed"`
+	Inflight   uint32 `json:"inflight"`
+	Queued     uint32 `json:"queued"`
+	Limit      uint32 `json:"limit"`
+	QueueCap   uint32 `json:"queue_cap"`
+	Depth      uint64 `json:"depth"`
+	SyncMicros uint64 `json:"wal_sync_micros"`
+}
+
+func metricsView(ns *store.Namespaces) map[string]any {
+	entries := ns.Stats()
+	out := make([]nsMetrics, 0, len(entries))
+	for _, e := range entries {
+		kind := "block"
+		switch e.Kind {
+		case wire.StatsKindProxy:
+			kind = "proxy"
+		case wire.StatsKindReplicated:
+			kind = "replicated"
+		}
+		out = append(out, nsMetrics{
+			Name: e.Name, Kind: kind,
+			Accepted: e.Accepted, Shed: e.Shed,
+			Inflight: e.Inflight, Queued: e.Queued,
+			Limit: e.Limit, QueueCap: e.QueueCap,
+			Depth: e.Depth, SyncMicros: e.SyncMicros,
+		})
+	}
+	return map[string]any{"epoch": ns.Epoch(), "namespaces": out}
 }
 
 // shutdown coordinates the clean-exit path: a signal closes the listener,

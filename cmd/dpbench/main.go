@@ -46,6 +46,10 @@ type jsonOutput struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "load" {
+		runLoad(os.Args[2:])
+		return
+	}
 	var (
 		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		quick   = flag.Bool("quick", false, "shrink sizes and trial counts")

@@ -26,6 +26,7 @@ package dpstore
 
 import (
 	"net"
+	"time"
 
 	"dpstore/internal/block"
 	"dpstore/internal/core/dpir"
@@ -36,7 +37,10 @@ import (
 	"dpstore/internal/privacy"
 	"dpstore/internal/proxy"
 	"dpstore/internal/rng"
+	"dpstore/internal/stats"
 	"dpstore/internal/store"
+	"dpstore/internal/wire"
+	"dpstore/internal/workload"
 )
 
 // --- blocks and databases ----------------------------------------------------
@@ -232,6 +236,69 @@ func ServeBlocks(ln net.Listener, backing Server) error { return store.Serve(ln,
 func ServeBlockNamespaces(ln net.Listener, ns *Namespaces) error {
 	return store.ServeNamespaces(ln, ns)
 }
+
+// --- load and operability ------------------------------------------------------
+
+// AdmitOptions configures per-namespace admission control on a served
+// Namespaces registry (Namespaces.SetAdmission): at most MaxInflight
+// requests execute concurrently, at most MaxQueue more wait, and the rest
+// are shed with an explicit busy frame. The accept/queue/shed decision is
+// made before the request payload is decoded, so it is independent of the
+// addresses a request carries — shedding never leaks access structure.
+type AdmitOptions = store.AdmitOptions
+
+// BusyError is the typed client-side form of a server busy frame: the
+// request was shed by admission control, with a retry hint derived from
+// the server's observed service times.
+type BusyError = wire.BusyError
+
+// IsBusy reports whether err is server backpressure, returning the
+// suggested retry delay. The error classifier for load-driver IsShed
+// callbacks and client retry loops.
+func IsBusy(err error) (retryAfter time.Duration, ok bool) { return wire.IsBusy(err) }
+
+// NamespaceStats is one namespace's live counters from a daemon's stats
+// frame or /metrics endpoint: accepted/shed totals, inflight and queued
+// gauges against their limits, backing depth (proxy stash size or replica
+// resync backlog), and WAL sync latency.
+type NamespaceStats = wire.StatsEntry
+
+// LatencyHist is an HDR-style log-linear latency histogram: fixed-size,
+// mergeable, with ≤1.6% relative quantile error and a conservative
+// (upward) bias so reported tails never understate the truth.
+type LatencyHist = stats.LatencyHist
+
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist { return stats.NewLatencyHist() }
+
+// LoadSchedule decides when each open-loop operation arrives; see
+// ConstantRate, RampRate, and BurstRate.
+type LoadSchedule = workload.Schedule
+
+// ConstantRate schedules rps arrivals per second for d.
+func ConstantRate(rps float64, d time.Duration) LoadSchedule { return workload.ConstantRate(rps, d) }
+
+// RampRate sweeps the arrival rate linearly from `from` to `to` over d —
+// the schedule that walks a server through its saturation point.
+func RampRate(from, to float64, d time.Duration) LoadSchedule { return workload.Ramp(from, to, d) }
+
+// BurstRate schedules a base rate punctuated every period by burstLen of
+// the higher burst rate, for d total.
+func BurstRate(base, burstRPS float64, period, burstLen, d time.Duration) LoadSchedule {
+	return workload.Burst(base, burstRPS, period, burstLen, d)
+}
+
+// LoadDriverOptions configures one open-loop load run.
+type LoadDriverOptions = workload.DriverOptions
+
+// LoadReport is the outcome of one open-loop run: offered vs achieved
+// rates, done/shed/error counts, and the coordinated-omission-safe
+// latency distribution (each operation charged from its intended arrival).
+type LoadReport = workload.Report
+
+// RunOpenLoop executes one open-loop load run and blocks until every
+// dispatched operation completes. The library form of `dpbench load`.
+func RunOpenLoop(opts LoadDriverOptions) (*LoadReport, error) { return workload.RunOpenLoop(opts) }
 
 // --- privacy proxy -------------------------------------------------------------
 

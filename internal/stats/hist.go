@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// LatencyHist is an HDR-style log-linear histogram over non-negative
+// int64 values (nanoseconds, in the load harness's use). Values are
+// binned into 2^histSubBits linear sub-buckets per power-of-two range,
+// which bounds the relative quantization error of any reported quantile
+// by 1/2^histSubBits (≈1.6%) while keeping Record at O(1) with no
+// allocation — the property an open-loop driver needs to record millions
+// of latencies without perturbing the run it is measuring.
+//
+// The zero value is NOT usable; construct with NewLatencyHist. A
+// LatencyHist is not safe for concurrent use: give each recording
+// goroutine its own and Merge them afterwards (Merge is exact — the
+// merged histogram is identical to one that recorded both streams).
+type LatencyHist struct {
+	counts []uint64
+	total  uint64
+	sum    float64 // running sum of recorded values, for Mean
+	min    int64
+	max    int64
+}
+
+const (
+	histSubBits  = 6
+	histSubCount = 1 << histSubBits // linear sub-buckets per octave
+	// histBuckets covers the full non-negative int64 range: values below
+	// histSubCount map to themselves; every further octave e ∈
+	// [histSubBits, 63) contributes histSubCount sub-buckets.
+	histBuckets = (64 - histSubBits) * histSubCount
+)
+
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{counts: make([]uint64, histBuckets), min: math.MaxInt64}
+}
+
+// histIndex maps a value to its bucket. The linear region [0, histSubCount)
+// is exact; above it, the top histSubBits+1 bits of the value select the
+// bucket, so buckets within one octave are equal-width and octaves double.
+func histIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // position of the top set bit, ≥ histSubBits
+	m := v >> (uint(e) - histSubBits)
+	return (e-histSubBits+1)*histSubCount + int(m-histSubCount)
+}
+
+// histValue returns the highest value mapping to bucket i — the
+// representative reported for quantiles, chosen so a reported quantile
+// never understates the true one (conservative for tail latency).
+func histValue(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	block := i/histSubCount - 1 // octave above the linear region, ≥ 0
+	sub := uint64(i%histSubCount) + histSubCount
+	lo := sub << uint(block)
+	width := uint64(1) << uint(block)
+	return int64(lo + width - 1)
+}
+
+// RecordValue adds one observation. Negative values clamp to 0 (a latency
+// can go negative only through clock steps; losing its sign is the right
+// degradation).
+func (h *LatencyHist) RecordValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(uint64(v))]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Record adds one duration observation in nanoseconds.
+func (h *LatencyHist) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// Count returns the number of recorded observations.
+func (h *LatencyHist) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded value (0 for an empty histogram).
+func (h *LatencyHist) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (0 for an empty histogram).
+func (h *LatencyHist) Max() int64 { return h.max }
+
+// Mean returns the exact mean of the recorded values (not a bucket
+// approximation; the sum is carried alongside the buckets).
+func (h *LatencyHist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// QuantileValue returns the q-quantile (0 ≤ q ≤ 1) of the recorded
+// distribution, to within the histogram's ≈1.6% relative quantization
+// error, biased upward (never understates). Returns 0 for an empty
+// histogram. The exact recorded Min and Max clamp the answer, so
+// Quantile(0) and Quantile(1) are exact.
+func (h *LatencyHist) QuantileValue(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based: the smallest value v such
+	// that at least ⌈q·total⌉ observations are ≤ v.
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := histValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Quantile returns QuantileValue as a time.Duration.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	return time.Duration(h.QuantileValue(q))
+}
+
+// Merge adds every observation of o into h. Merging is exact: recording
+// two streams into separate histograms and merging equals recording both
+// into one.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset returns the histogram to its empty state, retaining the bucket
+// array.
+func (h *LatencyHist) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// String renders the standard latency summary line.
+func (h *LatencyHist) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v p999=%v max=%v",
+		h.total, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), time.Duration(h.Max()))
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"dpstore/internal/rng"
+)
+
+// histTolerance is the relative error budget for quantile assertions: the
+// bucket quantization bound (1/2^histSubBits) plus slack for the
+// conservative upward bias at bucket edges.
+const histTolerance = 0.017
+
+// oracleQuantile is the ground truth the histogram is checked against:
+// the smallest sample value with at least ⌈q·n⌉ samples ≤ it.
+func oracleQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles records xs into a fresh histogram and asserts every
+// probed quantile is within tolerance of the sorted-slice oracle, and
+// never below it (the conservative-bias contract).
+func checkQuantiles(t *testing.T, name string, xs []int64) *LatencyHist {
+	t.Helper()
+	h := NewLatencyHist()
+	for _, x := range xs {
+		h.RecordValue(x)
+	}
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 0.9999, 1} {
+		want := oracleQuantile(sorted, q)
+		got := h.QuantileValue(q)
+		if got < want {
+			t.Errorf("%s: q=%g: histogram %d understates oracle %d", name, q, got, want)
+		}
+		// Relative bound, with an absolute floor of one unit for the tiny
+		// values where a 1-count difference dominates any ratio.
+		tol := float64(want) * histTolerance
+		if tol < 1 {
+			tol = 1
+		}
+		if float64(got)-float64(want) > tol {
+			t.Errorf("%s: q=%g: histogram %d vs oracle %d exceeds tolerance %.1f", name, q, got, want, tol)
+		}
+	}
+	if h.Count() != uint64(len(xs)) {
+		t.Errorf("%s: count %d, want %d", name, h.Count(), len(xs))
+	}
+	if got, want := h.Min(), sorted[0]; got != want {
+		t.Errorf("%s: min %d, want %d", name, got, want)
+	}
+	if got, want := h.Max(), sorted[len(sorted)-1]; got != want {
+		t.Errorf("%s: max %d, want %d", name, got, want)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	if got, want := h.Mean(), sum/float64(len(xs)); math.Abs(got-want) > math.Abs(want)*1e-9 {
+		t.Errorf("%s: mean %g, want %g", name, got, want)
+	}
+	return h
+}
+
+func TestHistUniform(t *testing.T) {
+	src := rng.New(1)
+	xs := make([]int64, 50_000)
+	for i := range xs {
+		xs[i] = int64(src.Intn(5_000_000)) // 0–5ms in ns
+	}
+	checkQuantiles(t, "uniform", xs)
+}
+
+func TestHistBimodal(t *testing.T) {
+	// The adversarial case for averaged statistics: a fast mode at ~100µs
+	// and a slow mode at ~80ms. The p99/p999 must land in the slow mode.
+	src := rng.New(2)
+	xs := make([]int64, 40_000)
+	for i := range xs {
+		if src.Bernoulli(0.02) {
+			xs[i] = 80_000_000 + int64(src.Intn(5_000_000))
+		} else {
+			xs[i] = 100_000 + int64(src.Intn(20_000))
+		}
+	}
+	h := checkQuantiles(t, "bimodal", xs)
+	if p999 := h.QuantileValue(0.999); p999 < 80_000_000 {
+		t.Errorf("bimodal p999 %d missed the slow mode", p999)
+	}
+	if p50 := h.QuantileValue(0.5); p50 > 1_000_000 {
+		t.Errorf("bimodal p50 %d dragged into the slow mode", p50)
+	}
+}
+
+func TestHistHeavyTail(t *testing.T) {
+	// Pareto-ish tail spanning six orders of magnitude: x = m / u^(1/α).
+	src := rng.New(3)
+	xs := make([]int64, 60_000)
+	for i := range xs {
+		u := src.Float64()
+		if u < 1e-7 {
+			u = 1e-7
+		}
+		x := 1000.0 / math.Pow(u, 1/1.2)
+		if x > 1e12 {
+			x = 1e12
+		}
+		xs[i] = int64(x)
+	}
+	checkQuantiles(t, "heavy-tail", xs)
+}
+
+func TestHistSingleValue(t *testing.T) {
+	xs := make([]int64, 10_000)
+	for i := range xs {
+		xs[i] = 777_777
+	}
+	h := checkQuantiles(t, "single-value", xs)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.QuantileValue(q); got != 777_777 {
+			t.Errorf("single-value q=%g: got %d, want 777777 exactly", q, got)
+		}
+	}
+}
+
+func TestHistSmallAndEdgeValues(t *testing.T) {
+	// The linear region must be exact, negatives clamp, and the extremes
+	// must not panic or wrap.
+	h := NewLatencyHist()
+	for v := int64(0); v < 200; v++ {
+		h.RecordValue(v)
+	}
+	h.RecordValue(-5)
+	h.RecordValue(math.MaxInt64)
+	if h.Count() != 202 {
+		t.Fatalf("count %d, want 202", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Errorf("min %d, want 0 (clamped negative)", h.Min())
+	}
+	if h.Max() != math.MaxInt64 {
+		t.Errorf("max %d, want MaxInt64", h.Max())
+	}
+	// In the exact region, the 25th percentile of 0..199 (+2 extremes).
+	if got := h.QuantileValue(0.25); got < 45 || got > 55 {
+		t.Errorf("q25 %d outside the exact linear region's expectation", got)
+	}
+}
+
+func TestHistMergeMatchesCombinedRecording(t *testing.T) {
+	src := rng.New(4)
+	a, b, both := NewLatencyHist(), NewLatencyHist(), NewLatencyHist()
+	for i := 0; i < 30_000; i++ {
+		v := int64(src.Intn(10_000_000))
+		if i%2 == 0 {
+			a.RecordValue(v)
+		} else {
+			b.RecordValue(v)
+		}
+		both.RecordValue(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), both.Count())
+	}
+	if a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Errorf("merged min/max (%d,%d), want (%d,%d)", a.Min(), a.Max(), both.Min(), both.Max())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := a.QuantileValue(q), both.QuantileValue(q); got != want {
+			t.Errorf("q=%g: merged %d, combined %d (merge must be exact)", q, got, want)
+		}
+	}
+	if math.Abs(a.Mean()-both.Mean()) > both.Mean()*1e-9 {
+		t.Errorf("merged mean %g, combined %g", a.Mean(), both.Mean())
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := a.QuantileValue(0.5)
+	a.Merge(NewLatencyHist())
+	a.Merge(nil)
+	if a.QuantileValue(0.5) != before {
+		t.Error("merging empty/nil changed the histogram")
+	}
+}
+
+func TestHistReset(t *testing.T) {
+	h := NewLatencyHist()
+	for i := 0; i < 1000; i++ {
+		h.RecordValue(int64(i) * 1000)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatalf("reset left state: count=%d min=%d max=%d mean=%g", h.Count(), h.Min(), h.Max(), h.Mean())
+	}
+	if h.QuantileValue(0.5) != 0 {
+		t.Fatalf("reset histogram q50 = %d, want 0", h.QuantileValue(0.5))
+	}
+	// And it records correctly again afterwards.
+	h.Record(3 * time.Millisecond)
+	if h.Quantile(0.5) != 3*time.Millisecond {
+		t.Fatalf("post-reset q50 = %v, want 3ms", h.Quantile(0.5))
+	}
+}
+
+func TestHistIndexValueConsistency(t *testing.T) {
+	// Every bucket's representative must map back into that bucket, and
+	// bucket boundaries must be monotone — the invariants the quantile
+	// walk relies on.
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		v := histValue(i)
+		if v <= prev && i > 0 {
+			t.Fatalf("bucket %d representative %d not monotone (prev %d)", i, v, prev)
+		}
+		prev = v
+		if v >= 0 && histIndex(uint64(v)) != i {
+			t.Fatalf("histIndex(histValue(%d)) = %d", i, histIndex(uint64(v)))
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package store_test
+
+// The obliviousness regression for load shedding (docs/DESIGN.md §Load):
+// whether a request is accepted, queued, or shed must depend only on
+// queue state — never on the addresses the request carries. The test
+// saturates a one-slot namespace with two workloads of identical arrival
+// structure but maximally different address structure (every request
+// hitting ONE hot record vs. all-distinct uniform addresses) and asserts
+// the adversary views are identical: same number of requests shed, same
+// number accepted, and the backend trace SHAPE — the run-length encoded
+// op sequence of Definition 2.1's transcript with addresses erased —
+// exactly equal. A shed policy that peeked at addresses (deduplicating
+// hot keys, say, or hashing the address into the drop decision) would
+// shed different counts across the two workloads and fail here.
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dpstore/internal/block"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+	"dpstore/internal/trace"
+	"dpstore/internal/wire"
+)
+
+// gateServer blocks Downloads while armed, holding the admission slot of
+// the request inside it so a wave of contenders resolves deterministically:
+// with MaxInflight=1 and MaxQueue=q, exactly q contenders queue (their
+// slots cannot free while the holder is parked) and the rest shed.
+type gateServer struct {
+	store.Server
+	mu      sync.Mutex
+	armed   bool
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (g *gateServer) Download(addr int) (block.Block, error) {
+	g.mu.Lock()
+	hold := g.armed
+	gate := g.gate
+	g.mu.Unlock()
+	if hold {
+		g.entered <- struct{}{}
+		<-gate
+	}
+	return g.Server.Download(addr)
+}
+
+func (g *gateServer) arm() {
+	g.mu.Lock()
+	g.armed = true
+	g.gate = make(chan struct{})
+	g.mu.Unlock()
+}
+
+// open releases the parked holder and stops gating (the queued contenders
+// that run next pass straight through).
+func (g *gateServer) open() {
+	g.mu.Lock()
+	g.armed = false
+	gate := g.gate
+	g.mu.Unlock()
+	close(gate)
+}
+
+// shedView is the adversary-visible outcome of one saturation run.
+type shedView struct {
+	shape    string
+	accepted uint64
+	shed     uint64
+	perWave  []int // busy responses per wave, in wave order
+}
+
+// runShedWorkload saturates a fresh one-slot daemon with waves of
+// contending downloads at the given addresses and returns the adversary
+// view. addrs[w][0] is the wave's holder; the rest contend while the
+// holder is parked inside the backend.
+func runShedWorkload(t *testing.T, addrs [][]int) shedView {
+	t.Helper()
+	const maxQueue = 2
+
+	mem, err := store.NewMem(256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(mem)
+	gated := &gateServer{Server: rec, entered: make(chan struct{}, 1)}
+	ns := store.NewNamespaces()
+	ns.Attach(store.DefaultNamespace, gated)
+	ns.SetAdmission(store.AdmitOptions{MaxInflight: 1, MaxQueue: maxQueue})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go store.ServeNamespaces(ln, ns) //nolint:errcheck
+
+	// One connection per contender so every request has its own serve
+	// goroutine racing for the namespace's admission slot.
+	conns := make([]*store.Remote, len(addrs[0]))
+	for i := range conns {
+		c, err := store.Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	view := shedView{}
+	for _, wave := range addrs {
+		gated.arm()
+		holderDone := make(chan error, 1)
+		go func() {
+			_, err := conns[0].Download(wave[0])
+			holderDone <- err
+		}()
+		<-gated.entered // the slot is held and the backend parked
+
+		var wg sync.WaitGroup
+		busy := make(chan struct{}, len(wave))
+		fail := make(chan error, len(wave))
+		for i := 1; i < len(wave); i++ {
+			wg.Add(1)
+			go func(c *store.Remote, addr int) {
+				defer wg.Done()
+				_, err := c.Download(addr)
+				if _, isBusy := wire.IsBusy(err); isBusy {
+					busy <- struct{}{}
+				} else if err != nil {
+					fail <- err
+				}
+			}(conns[i], wave[i])
+		}
+		// Exactly len(wave)-1-maxQueue contenders must shed: the queue
+		// cannot drain while the holder is parked, so once that many busy
+		// responses arrive the remaining contenders are provably queued.
+		wantShed := len(wave) - 1 - maxQueue
+		for got := 0; got < wantShed; {
+			select {
+			case <-busy:
+				got++
+			case err := <-fail:
+				t.Fatalf("contender failed with a non-busy error: %v", err)
+			case <-time.After(10 * time.Second):
+				t.Fatalf("saw %d busy responses, want %d", got, wantShed)
+			}
+		}
+		gated.open()
+		if err := <-holderDone; err != nil {
+			t.Fatalf("holder failed: %v", err)
+		}
+		wg.Wait()
+		close(busy)
+		extra := 0
+		for range busy {
+			extra++
+		}
+		if extra != 0 {
+			t.Fatalf("%d extra busy responses after the deterministic %d", extra, wantShed)
+		}
+		view.perWave = append(view.perWave, wantShed)
+	}
+
+	sts, err := conns[0].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 1 {
+		t.Fatalf("stats entries %d, want 1", len(sts))
+	}
+	view.accepted = sts[0].Accepted
+	view.shed = sts[0].Shed
+	view.shape = rec.Transcript().Shape()
+	return view
+}
+
+func TestShedDecisionIsAddressOblivious(t *testing.T) {
+	const waves, perWave = 4, 8
+
+	// Hot-spot workload: every request in every wave downloads record 7.
+	hot := make([][]int, waves)
+	for w := range hot {
+		hot[w] = make([]int, perWave)
+		for i := range hot[w] {
+			hot[w][i] = 7
+		}
+	}
+
+	// Uniform workload: all-distinct addresses from a fixed seed.
+	src := rng.New(42)
+	uniform := make([][]int, waves)
+	for w := range uniform {
+		uniform[w] = make([]int, perWave)
+		for i := range uniform[w] {
+			uniform[w][i] = src.Intn(256)
+		}
+	}
+
+	hotView := runShedWorkload(t, hot)
+	uniView := runShedWorkload(t, uniform)
+
+	if hotView.shape != uniView.shape {
+		t.Errorf("backend trace shapes diverge:\n  hot-spot: %s\n  uniform:  %s\n(the shed layer leaked address structure into the adversary view)",
+			hotView.shape, uniView.shape)
+	}
+	if hotView.accepted != uniView.accepted || hotView.shed != uniView.shed {
+		t.Errorf("shed/accept counts diverge: hot-spot %d/%d vs uniform %d/%d",
+			hotView.accepted, hotView.shed, uniView.accepted, uniView.shed)
+	}
+	// And both match the deterministic prediction: per wave, 1 holder +
+	// MaxQueue queued execute, the remaining contenders shed.
+	if want := uint64(waves * 3); hotView.accepted != want {
+		t.Errorf("accepted %d, want %d", hotView.accepted, want)
+	}
+	if want := uint64(waves * (perWave - 3)); hotView.shed != want {
+		t.Errorf("shed %d, want %d", hotView.shed, want)
+	}
+}

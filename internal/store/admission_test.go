@@ -1,0 +1,223 @@
+package store
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dpstore/internal/block"
+	"dpstore/internal/wire"
+)
+
+func TestLimiterCountingOnlyNeverSheds(t *testing.T) {
+	l := newLimiter(AdmitOptions{}) // admission disabled
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, ok, _, _ := l.admit()
+			if !ok {
+				t.Error("counting-only limiter shed a request")
+				return
+			}
+			release()
+		}()
+	}
+	wg.Wait()
+	if got := l.accepted.Load(); got != 50 {
+		t.Errorf("accepted %d, want 50", got)
+	}
+	if got := l.shed.Load(); got != 0 {
+		t.Errorf("shed %d, want 0", got)
+	}
+	if got := l.inflight.Load(); got != 0 {
+		t.Errorf("inflight %d after all released, want 0", got)
+	}
+}
+
+func TestLimiterShedsPastQueue(t *testing.T) {
+	l := newLimiter(AdmitOptions{MaxInflight: 1, MaxQueue: 1})
+
+	// Occupy the single slot.
+	holderRelease, ok, _, _ := l.admit()
+	if !ok {
+		t.Fatal("first admit shed")
+	}
+
+	// Fill the single queue slot with a blocked waiter.
+	waiterDone := make(chan struct{})
+	waiterIn := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		// Signal once we are definitely queued: admit blocks, so signal
+		// first and rely on the main goroutine polling the queue gauge.
+		close(waiterIn)
+		release, ok, _, _ := l.admit()
+		if !ok {
+			t.Error("queued request was shed")
+			return
+		}
+		release()
+	}()
+	<-waiterIn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		q := l.queued
+		l.mu.Unlock()
+		if q == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Slot busy, queue full: the next request must shed with a sane hint.
+	release, ok, retry, depth := l.admit()
+	if ok {
+		release()
+		t.Fatal("admit succeeded past a full queue")
+	}
+	if depth != 1 {
+		t.Errorf("shed reported queue depth %d, want 1", depth)
+	}
+	if retry < time.Millisecond || retry > 2*time.Second {
+		t.Errorf("retry hint %v outside [1ms, 2s]", retry)
+	}
+	if got := l.shed.Load(); got != 1 {
+		t.Errorf("shed counter %d, want 1", got)
+	}
+
+	// Releasing the holder drains the waiter.
+	holderRelease()
+	select {
+	case <-waiterDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not drain after release")
+	}
+	if got := l.accepted.Load(); got != 2 {
+		t.Errorf("accepted %d, want 2", got)
+	}
+}
+
+func TestLimiterSnapshot(t *testing.T) {
+	l := newLimiter(AdmitOptions{MaxInflight: 3, MaxQueue: 7})
+	release, ok, _, _ := l.admit()
+	if !ok {
+		t.Fatal("admit shed")
+	}
+	var e wire.StatsEntry
+	l.snapshot(&e)
+	if e.Inflight != 1 || e.Limit != 3 || e.QueueCap != 7 {
+		t.Errorf("snapshot %+v, want inflight=1 limit=3 queueCap=7", e)
+	}
+	release()
+	l.snapshot(&e)
+	if e.Accepted != 1 || e.Inflight != 0 {
+		t.Errorf("snapshot after release %+v, want accepted=1 inflight=0", e)
+	}
+}
+
+func TestAdmittableIsControlPlaneSafe(t *testing.T) {
+	for _, typ := range []byte{wire.MsgInfoReq, wire.MsgOpenReq, wire.MsgResyncReq, wire.MsgReplStatusReq, wire.MsgStatsReq} {
+		if admittable(typ) {
+			t.Errorf("control frame %d subject to admission (a saturated daemon would go dark)", typ)
+		}
+	}
+	for _, typ := range []byte{wire.MsgDownloadReq, wire.MsgUploadReq, wire.MsgReadBatchReq, wire.MsgWriteBatchReq, wire.MsgAccessReq} {
+		if !admittable(typ) {
+			t.Errorf("data frame %d bypasses admission", typ)
+		}
+	}
+}
+
+// blockingStore parks every Download on a gate channel so a test can hold
+// the admission slot open deliberately.
+type blockingStore struct {
+	Server
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (b *blockingStore) Download(addr int) (block.Block, error) {
+	b.entered <- struct{}{}
+	<-b.gate
+	return b.Server.Download(addr)
+}
+
+// TestServeShedsWithBusyFrame drives the full wire path: a server with one
+// admission slot and no queue, a request parked inside the backend, and a
+// second request that must come back as a typed *BusyError — while control
+// frames (info, stats) still answer.
+func TestServeShedsWithBusyFrame(t *testing.T) {
+	mem, err := NewMem(64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := &blockingStore{Server: mem, gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	ns := NewNamespaces()
+	ns.Attach(DefaultNamespace, gated)
+	ns.SetAdmission(AdmitOptions{MaxInflight: 1, MaxQueue: 0})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ServeNamespaces(ln, ns) //nolint:errcheck
+
+	holder, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	holderDone := make(chan error, 1)
+	go func() {
+		_, err := holder.Download(3)
+		holderDone <- err
+	}()
+	<-gated.entered // the slot is now provably held
+
+	other, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	_, err = other.Download(5)
+	retry, busy := wire.IsBusy(err)
+	if !busy {
+		t.Fatalf("expected a busy error, got %v", err)
+	}
+	if retry < time.Millisecond {
+		t.Errorf("busy retry hint %v below the floor", retry)
+	}
+
+	// The same connection stays healthy: control frames answer while the
+	// namespace is saturated, and data frames work again after release.
+	if _, err := other.Stats(); err != nil {
+		t.Fatalf("stats during saturation: %v", err)
+	}
+	close(gated.gate)
+	if err := <-holderDone; err != nil {
+		t.Fatalf("held download failed: %v", err)
+	}
+	if _, err := other.Download(5); err != nil {
+		t.Fatalf("download after release: %v", err)
+	}
+
+	sts, err := other.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 1 {
+		t.Fatalf("stats entries %d, want 1", len(sts))
+	}
+	e := sts[0]
+	if e.Kind != wire.StatsKindBlock || e.Accepted != 2 || e.Shed != 1 || e.Limit != 1 {
+		t.Errorf("stats entry %+v, want block kind, accepted=2, shed=1, limit=1", e)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpstore/internal/block"
@@ -92,8 +93,11 @@ type Durable struct {
 
 	// Committer-goroutine-only group-commit pacing state: an EWMA of the
 	// log sync latency, and a decaying estimate of concurrent writers.
-	syncEWMA time.Duration
-	demand   int
+	// syncGauge mirrors syncEWMA atomically for SyncLatency (the metrics
+	// endpoint reads it from other goroutines).
+	syncEWMA  time.Duration
+	demand    int
+	syncGauge atomic.Int64
 
 	reqs  chan *walReq
 	apply chan applyGroup
@@ -917,8 +921,10 @@ func (d *Durable) appendAndSync(group []*walReq) error {
 		if err := datasync(d.wal); err != nil {
 			return fmt.Errorf("store: syncing WAL: %w", err)
 		}
-		// EWMA (α = 1/4) of sync latency, read only by the committer.
+		// EWMA (α = 1/4) of sync latency, read only by the committer;
+		// mirrored into the atomic gauge for SyncLatency.
 		d.syncEWMA += (time.Since(t0) - d.syncEWMA) / 4
+		d.syncGauge.Store(int64(d.syncEWMA))
 	}
 	d.mu.Lock()
 	d.walSize = off + int64(len(buf))
@@ -1098,6 +1104,14 @@ func (d *Durable) gate() error {
 		return fmt.Errorf("store: durable store %s is closed", d.base)
 	}
 	return nil
+}
+
+// SyncLatency returns the engine's observed WAL fsync latency (EWMA,
+// α = 1/4), zero until the first synced commit or under SyncNone. The
+// metrics endpoint exports it per namespace — a climbing value is the
+// earliest warning that the disk, not the CPU, is the bottleneck.
+func (d *Durable) SyncLatency() time.Duration {
+	return time.Duration(d.syncGauge.Load())
 }
 
 // WALSize returns the current log size in bytes (header included); tests

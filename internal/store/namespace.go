@@ -38,10 +38,18 @@ type Namespaces struct {
 	created int
 	max     int
 	epoch   uint64
+
+	// Admission control (see admission.go): one limiter per namespace,
+	// created lazily with the registry-wide options.
+	admit    AdmitOptions
+	limiters map[string]*limiter
 }
 
 // tenant is one hosted namespace: exactly one of the two backends is set.
+// name is the key it is registered under (the serve loop uses it to find
+// the namespace's admission limiter after an open).
 type tenant struct {
+	name  string
 	batch BatchServer // block-backed namespace
 	acc   Accessor    // proxy-backed namespace
 }
@@ -51,7 +59,7 @@ func (t tenant) none() bool { return t.batch == nil && t.acc == nil }
 
 // NewNamespaces returns an empty registry.
 func NewNamespaces() *Namespaces {
-	return &Namespaces{m: make(map[string]tenant)}
+	return &Namespaces{m: make(map[string]tenant), limiters: make(map[string]*limiter)}
 }
 
 // SetEpoch sets the recovery epoch the serve loop reports in every info
@@ -76,7 +84,7 @@ func (ns *Namespaces) Epoch() uint64 {
 func (ns *Namespaces) Attach(name string, s Server) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	ns.m[name] = tenant{batch: AsBatch(s)}
+	ns.m[name] = tenant{name: name, batch: AsBatch(s)}
 }
 
 // AttachAccessor registers a proxy-backed namespace under name, replacing
@@ -86,7 +94,7 @@ func (ns *Namespaces) Attach(name string, s Server) {
 func (ns *Namespaces) AttachAccessor(name string, a Accessor) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	ns.m[name] = tenant{acc: a}
+	ns.m[name] = tenant{name: name, acc: a}
 }
 
 // SetFactory installs the on-demand creation path: an open naming an
@@ -212,7 +220,7 @@ func (ns *Namespaces) openTenant(name string, slots, blockSize int) (tenant, err
 		return t, nil
 	}
 	defer ns.mu.Unlock()
-	t := tenant{batch: AsBatch(backend)}
+	t := tenant{name: name, batch: AsBatch(backend)}
 	ns.m[name] = t
 	return t, nil
 }

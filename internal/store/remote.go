@@ -396,6 +396,19 @@ func (rs *Remote) ReplicaStatus() ([]ReplicaStatus, error) {
 	return out, nil
 }
 
+// Stats fetches the daemon-wide namespace metrics snapshot (one
+// MsgStatsReq round trip): admission counters, queue state, and backing
+// gauges for every hosted namespace, regardless of which one this
+// connection has open. Counters are cumulative since daemon start, so a
+// monitor derives throughput from two snapshots.
+func (rs *Remote) Stats() ([]wire.StatsEntry, error) {
+	resp, err := rs.roundTrip(wire.Frame{Type: wire.MsgStatsReq}, wire.MsgStatsResp)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeStatsResp(resp.Payload)
+}
+
 // Size implements Server.
 func (rs *Remote) Size() int { return int(rs.shape().Size) }
 
@@ -451,12 +464,35 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 	// The connection's current namespace; the zero tenant until an open
 	// succeeds when the daemon has no default.
 	cur := ns.lookup(DefaultNamespace)
+	curName := DefaultNamespace
+	lim := ns.limiterFor(curName)
 	epoch := ns.Epoch()
 	for {
 		req, buf, err := wire.ReadFrameInto(r, cs.readBuf)
 		cs.readBuf = buf
 		if err != nil {
 			return // EOF or broken peer: drop the connection
+		}
+		// Admission runs here, on the frame TYPE alone — the payload (and
+		// with it every address) is still opaque bytes, which is what makes
+		// the shed/accept pattern provably address-independent. A shed
+		// request is answered with a busy frame and never touches a
+		// backend.
+		var release func()
+		if admittable(req.Type) && !cur.none() {
+			rel, ok, retry, depth := lim.admit()
+			if !ok {
+				raw := wire.AppendBusy(cs.resp[:0], retry, depth)
+				cs.resp = raw
+				if _, err := w.Write(raw); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+				continue
+			}
+			release = rel
 		}
 		// The batch frames — the steady-state traffic — are served through
 		// the per-connection scratch with zero per-request allocation;
@@ -465,10 +501,14 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 		// each request must be fully handled (response built or frame
 		// encoded) before the next iteration — they are.
 		if raw, handled := handleBatch(req, cur, cs); handled {
-			if _, err := w.Write(raw); err != nil {
-				return
+			_, err := w.Write(raw)
+			if err == nil {
+				err = w.Flush()
 			}
-			if err := w.Flush(); err != nil {
+			if release != nil {
+				release()
+			}
+			if err != nil {
 				return
 			}
 			continue
@@ -477,6 +517,12 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 		switch {
 		case req.Type == wire.MsgOpenReq:
 			resp, cur = handleOpen(req, ns, cur, epoch)
+			if cur.name != curName {
+				curName = cur.name
+				lim = ns.limiterFor(curName)
+			}
+		case req.Type == wire.MsgStatsReq:
+			resp = handleStats(ns)
 		case cur.none():
 			resp = wire.EncodeError("no namespace selected (send an open request first)")
 		case cur.acc != nil:
@@ -484,13 +530,29 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 		default:
 			resp = handle(req, cur.batch, epoch)
 		}
-		if err := wire.WriteFrame(w, resp); err != nil {
-			return
+		err = wire.WriteFrame(w, resp)
+		if err == nil {
+			err = w.Flush()
 		}
-		if err := w.Flush(); err != nil {
+		if release != nil {
+			release()
+		}
+		if err != nil {
 			return
 		}
 	}
+}
+
+// handleStats answers the daemon-wide metrics probe. Like the replica
+// status frame it describes the whole daemon, not the connection's
+// namespace, and is never subject to admission — a saturated daemon must
+// stay observable.
+func handleStats(ns *Namespaces) wire.Frame {
+	resp, err := wire.EncodeStatsResp(ns.Stats())
+	if err != nil {
+		return wire.EncodeError(err.Error())
+	}
+	return resp
 }
 
 // handleBatch serves the two batch frames against a block-backed namespace

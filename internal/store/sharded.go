@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"time"
 
 	"dpstore/internal/block"
 )
@@ -119,6 +120,21 @@ func (s *Sharded) SetParallelMin(minAddrs int) { s.parallelMin = minAddrs }
 
 // Shards returns the stripe width K.
 func (s *Sharded) Shards() int { return len(s.shards) }
+
+// SyncLatency reports the slowest shard's observed WAL fsync latency
+// (zero when no shard is durable) — the whole stripe commits no faster
+// than its slowest member.
+func (s *Sharded) SyncLatency() time.Duration {
+	var worst time.Duration
+	for _, sh := range s.shards {
+		if r, ok := sh.(syncLatencyReporter); ok {
+			if l := r.SyncLatency(); l > worst {
+				worst = l
+			}
+		}
+	}
+	return worst
+}
 
 // Size implements Server.
 func (s *Sharded) Size() int { return s.n }

@@ -166,6 +166,71 @@ func FuzzResync(f *testing.F) {
 	})
 }
 
+// FuzzBusyFrame fuzzes the backpressure payload decoder: strictly eight
+// bytes, every accepted payload round-trips bit-exactly through the
+// re-encoded hint.
+func FuzzBusyFrame(f *testing.F) {
+	f.Add(EncodeBusy(0, 0).Payload)
+	f.Add(EncodeBusy(1500*1000, 42).Payload) // 1.5ms in ns
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 1}) // short
+	f.Add(make([]byte, 9))    // long
+	f.Fuzz(func(t *testing.T, data []byte) {
+		busy, err := DecodeBusy(data)
+		if err != nil {
+			return
+		}
+		fr := EncodeBusy(busy.RetryAfter, busy.Queued)
+		if !bytes.Equal(fr.Payload, data) {
+			t.Fatalf("busy round trip mismatch: %x → %+v → %x", data, busy, fr.Payload)
+		}
+	})
+}
+
+// FuzzStatsResp fuzzes the stats-snapshot decoder: forged counts and name
+// lengths must neither over-allocate nor alias numeric fields into names,
+// and every accepted payload must round-trip bit-exactly.
+func FuzzStatsResp(f *testing.F) {
+	for _, entries := range [][]StatsEntry{
+		{},
+		{{Name: "ns", Kind: StatsKindBlock, Accepted: 100, Shed: 3, Inflight: 2, Queued: 1, Limit: 16, QueueCap: 64, SyncMicros: 850}},
+		{{Name: "a", Kind: StatsKindProxy, Depth: 17}, {Name: "b", Kind: StatsKindReplicated, Shed: 9}},
+	} {
+		fr, err := EncodeStatsResp(entries)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(fr.Payload)
+	}
+	f.Add([]byte{0xff, 0xff})            // forged huge count, empty body
+	f.Add([]byte{0, 1, 0xff, 0xff, 'x'}) // forged name length
+	f.Add([]byte{0, 0, 0})               // trailing byte after zero entries
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeStatsResp(data)
+		if err != nil {
+			return
+		}
+		if len(entries) > MaxStatsEntries {
+			t.Fatalf("decoder accepted %d entries past the cap", len(entries))
+		}
+		for _, e := range entries {
+			if len(e.Name) > MaxNamespaceName {
+				t.Fatalf("decoder accepted a %d-byte name past the cap", len(e.Name))
+			}
+			if e.Kind > StatsKindReplicated {
+				t.Fatalf("decoder accepted unknown kind %d", e.Kind)
+			}
+		}
+		fr, err := EncodeStatsResp(entries)
+		if err != nil {
+			t.Fatalf("accepted stats failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(fr.Payload, data) {
+			t.Fatalf("stats round trip mismatch: %x → %+v → %x", data, entries, fr.Payload)
+		}
+	})
+}
+
 // FuzzAccessReq fuzzes the proxy access decoder: op byte, index, record
 // payload discipline (reads carry none, writes at least one byte).
 func FuzzAccessReq(f *testing.F) {

@@ -31,6 +31,15 @@
 //	MsgReplStatusResp count uint16 ‖ count × (nameLen uint16 ‖ name ‖ state uint8 ‖ epoch uint64 ‖ dirty uint64)
 //	MsgResyncReq      epoch uint64
 //	MsgResyncResp     ok uint8 ‖ epoch uint64
+//	MsgBusyResp       retryAfterMicros uint32 ‖ queued uint32
+//	MsgStatsReq       (empty)
+//	MsgStatsResp      count uint16 ‖ count × stats entry (see StatsEntry)
+//
+// MsgBusyResp is the backpressure signal: the server shed the request
+// because the namespace's admission queue is full; retry after the hint.
+// MsgStatsReq/Resp expose the daemon's per-namespace operability metrics
+// (admission counters, queue depths, stash depth, WAL sync latency). Both
+// are specified in load.go.
 //
 // The batch frames carry the multi-block operations of store.BatchServer:
 // one frame per direction replaces count individual round trips. Because a
@@ -99,6 +108,9 @@ const (
 	MsgReplStatusResp
 	MsgResyncReq
 	MsgResyncResp
+	MsgBusyResp
+	MsgStatsReq
+	MsgStatsResp
 )
 
 // MaxNamespaceName bounds the length of a namespace name on the wire. Names
@@ -649,14 +661,23 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "wire: server error: " + e.Msg }
 
-// AsError converts a frame into an error if it is a MsgError, or reports an
-// unexpected type mismatch against want.
+// AsError converts a frame into an error if it is a MsgError (a
+// *RemoteError) or a MsgBusyResp (a *BusyError — the server shed the
+// request; the connection is still healthy and the caller may retry), or
+// reports an unexpected type mismatch against want.
 func AsError(f Frame, want byte) error {
 	if f.Type == want {
 		return nil
 	}
 	if f.Type == MsgError {
 		return &RemoteError{Msg: string(f.Payload)}
+	}
+	if f.Type == MsgBusyResp {
+		busy, err := DecodeBusy(f.Payload)
+		if err != nil {
+			return err
+		}
+		return busy
 	}
 	return fmt.Errorf("%w: got %d want %d", ErrUnexpected, f.Type, want)
 }

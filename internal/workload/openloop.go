@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"dpstore/internal/stats"
+)
+
+// Open-loop load generation.
+//
+// A closed-loop driver (issue, wait, issue) measures a different system
+// than the one production sees: when the server slows down, a closed loop
+// slows its own arrival rate to match, so queueing delay never shows up
+// in the numbers — the coordinated-omission trap. The driver here is
+// open-loop: operations arrive on a fixed schedule that does not care how
+// the server is doing, and every operation's latency is measured from its
+// INTENDED arrival time, not from when a goroutine got around to sending
+// it. A server that stalls for a second therefore charges that second to
+// every operation scheduled during the stall, exactly as real clients
+// would experience it.
+//
+// The driver separates three populations: Sessions (virtual clients —
+// thousands; they are just an index the Do callback maps onto connections
+// and namespaces), Workers (bounded OS-level concurrency actually
+// executing requests), and the Schedule (when operations arrive). The
+// dispatch queue is sized to the whole run, so a slow server can never
+// push back on the arrival process — it can only grow the measured
+// latency or trigger shedding, which is the behavior under test.
+
+// Schedule decides when each operation arrives: At(i) is the intended
+// start of operation i as an offset from the run's start, with ok=false
+// once i is past the schedule's end. Implementations are pure functions —
+// same i, same answer — so a schedule can be scanned, replayed, and
+// split across workers without coordination.
+type Schedule interface {
+	At(i int) (offset time.Duration, ok bool)
+}
+
+// constantRate arrives every 1/rps, for d total.
+type constantRate struct {
+	rps float64
+	d   time.Duration
+}
+
+// ConstantRate schedules rps arrivals per second for d. The steady state
+// every saturation experiment compares against.
+func ConstantRate(rps float64, d time.Duration) Schedule {
+	return constantRate{rps: rps, d: d}
+}
+
+func (c constantRate) At(i int) (time.Duration, bool) {
+	if c.rps <= 0 || c.d <= 0 {
+		return 0, false
+	}
+	t := time.Duration(float64(i) / c.rps * float64(time.Second))
+	return t, t < c.d
+}
+
+// ramp sweeps the arrival rate linearly from one rate to another.
+type ramp struct {
+	from, to float64
+	d        time.Duration
+}
+
+// Ramp schedules arrivals at a rate sweeping linearly from `from` to `to`
+// over d — the schedule that walks a server through its saturation point
+// in one run. Rates are per second; both must be > 0.
+func Ramp(from, to float64, d time.Duration) Schedule {
+	return ramp{from: from, to: to, d: d}
+}
+
+func (r ramp) At(i int) (time.Duration, bool) {
+	if r.from <= 0 || r.to <= 0 || r.d <= 0 {
+		return 0, false
+	}
+	// Cumulative arrivals by time t (seconds): N(t) = from·t + (to−from)·t²/(2D).
+	// Invert for arrival i: the positive root of (to−from)/(2D)·t² + from·t − i = 0.
+	D := r.d.Seconds()
+	a := (r.to - r.from) / (2 * D)
+	var sec float64
+	if a == 0 {
+		sec = float64(i) / r.from
+	} else {
+		sec = (-r.from + math.Sqrt(r.from*r.from+4*a*float64(i))) / (2 * a)
+	}
+	t := time.Duration(sec * float64(time.Second))
+	return t, t < r.d
+}
+
+// burst alternates a base rate with periodic bursts.
+type burst struct {
+	base, burstRPS   float64
+	period, burstLen time.Duration
+	d                time.Duration
+}
+
+// Burst schedules a base rate punctuated every period by burstLen of the
+// (higher) burst rate, for d total — the diurnal-spike shape that defeats
+// admission tuned only for averages. burstLen must be < period.
+func Burst(base, burstRPS float64, period, burstLen, d time.Duration) Schedule {
+	return burst{base: base, burstRPS: burstRPS, period: period, burstLen: burstLen, d: d}
+}
+
+func (b burst) At(i int) (time.Duration, bool) {
+	if b.base <= 0 || b.burstRPS <= 0 || b.d <= 0 || b.burstLen <= 0 || b.burstLen >= b.period {
+		return 0, false
+	}
+	bl := b.burstLen.Seconds()
+	quiet := (b.period - b.burstLen).Seconds()
+	perBurst := b.burstRPS * bl
+	perPeriod := perBurst + b.base*quiet
+	k := math.Floor(float64(i) / perPeriod)
+	rem := float64(i) - k*perPeriod
+	var sec float64
+	if rem < perBurst {
+		sec = k*b.period.Seconds() + rem/b.burstRPS
+	} else {
+		sec = k*b.period.Seconds() + bl + (rem-perBurst)/b.base
+	}
+	t := time.Duration(sec * float64(time.Second))
+	return t, t < b.d
+}
+
+// DriverOptions configures one open-loop run.
+type DriverOptions struct {
+	// Schedule decides when operations arrive. Required.
+	Schedule Schedule
+	// Sessions is the number of virtual client sessions; operation i runs
+	// as session i mod Sessions. The Do callback maps a session onto a
+	// connection, namespace, and key distribution. Default 1.
+	Sessions int
+	// Workers bounds the goroutines executing operations. Default 8.
+	// With fewer workers than the server's concurrency, the driver — not
+	// the server — becomes the bottleneck; size it past the saturation
+	// point under study.
+	Workers int
+	// Do executes operation seq (the schedule index) for a session.
+	// Required. An error classified by IsShed counts as shed; any other
+	// error fails the operation.
+	Do func(session, seq int) error
+	// IsShed classifies an error as server backpressure (wire.IsBusy for
+	// daemons in this module). Nil means no error is a shed.
+	IsShed func(error) bool
+}
+
+// Report is the outcome of one open-loop run.
+type Report struct {
+	Total  int // operations the schedule dispatched
+	Done   int // completed successfully
+	Shed   int // refused by server backpressure
+	Errors int // failed with a non-shed error
+
+	// Offered is the schedule's arrival rate (ops/sec); Achieved is the
+	// successful completion rate over the run's wall time. Achieved
+	// tracking Offered up to capacity — then flattening instead of
+	// collapsing — is the signature of a server that survives overload.
+	Offered  float64
+	Achieved float64
+	Elapsed  time.Duration // first intended arrival to last completion
+
+	// Latency is the distribution of successful operations, each measured
+	// from its intended arrival (coordinated-omission-safe).
+	Latency *stats.LatencyHist
+
+	// FirstErr is the first non-shed error observed, for diagnosis.
+	FirstErr error
+}
+
+// String renders the one-line summary experiments log.
+func (r *Report) String() string {
+	return fmt.Sprintf("offered=%.0f/s achieved=%.0f/s done=%d shed=%d errors=%d p50=%v p99=%v p999=%v",
+		r.Offered, r.Achieved, r.Done, r.Shed, r.Errors,
+		r.Latency.Quantile(0.50), r.Latency.Quantile(0.99), r.Latency.Quantile(0.999))
+}
+
+// maxScheduleOps bounds how many operations one run may dispatch — a
+// mis-parameterized schedule (say, 1e9 RPS) should fail fast, not OOM.
+const maxScheduleOps = 50_000_000
+
+// RunOpenLoop executes one open-loop run and blocks until every
+// dispatched operation has completed.
+func RunOpenLoop(opts DriverOptions) (*Report, error) {
+	if opts.Schedule == nil || opts.Do == nil {
+		return nil, errors.New("workload: RunOpenLoop needs a Schedule and a Do callback")
+	}
+	sessions := opts.Sessions
+	if sessions <= 0 {
+		sessions = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+
+	// Scan the schedule once: total operation count and intended span.
+	total := 0
+	var span time.Duration
+	for {
+		d, ok := opts.Schedule.At(total)
+		if !ok {
+			break
+		}
+		span = d
+		total++
+		if total > maxScheduleOps {
+			return nil, fmt.Errorf("workload: schedule exceeds %d operations", maxScheduleOps)
+		}
+	}
+	if total == 0 {
+		return nil, errors.New("workload: schedule dispatches no operations")
+	}
+
+	type op struct {
+		seq      int
+		intended time.Duration
+	}
+	// Capacity = the whole run: the dispatcher NEVER blocks on slow
+	// workers, which is the open-loop property itself.
+	ops := make(chan op, total)
+
+	type workerState struct {
+		hist             *stats.LatencyHist
+		done, shed, errs int
+		firstErr         error
+	}
+	states := make([]*workerState, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ws := &workerState{hist: stats.NewLatencyHist()}
+		states[w] = ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range ops {
+				err := opts.Do(o.seq%sessions, o.seq)
+				// Charge the full queueing delay: completion minus the
+				// intended arrival, not minus the send.
+				lat := time.Since(start.Add(o.intended))
+				switch {
+				case err == nil:
+					ws.hist.Record(lat)
+					ws.done++
+				case opts.IsShed != nil && opts.IsShed(err):
+					ws.shed++
+				default:
+					ws.errs++
+					if ws.firstErr == nil {
+						ws.firstErr = err
+					}
+				}
+			}
+		}()
+	}
+
+	// Dispatch on the intended timeline. When the dispatcher falls behind
+	// (sleep granularity, GC), it catches up in a burst — the intended
+	// times, which the latency accounting uses, are unaffected.
+	for i := 0; i < total; i++ {
+		d, _ := opts.Schedule.At(i)
+		if sleep := time.Until(start.Add(d)); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		ops <- op{seq: i, intended: d}
+	}
+	close(ops)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Total: total, Elapsed: elapsed, Latency: stats.NewLatencyHist()}
+	for _, ws := range states {
+		rep.Done += ws.done
+		rep.Shed += ws.shed
+		rep.Errors += ws.errs
+		rep.Latency.Merge(ws.hist)
+		if rep.FirstErr == nil {
+			rep.FirstErr = ws.firstErr
+		}
+	}
+	if total > 1 && span > 0 {
+		rep.Offered = float64(total-1) / span.Seconds()
+	}
+	if elapsed > 0 {
+		rep.Achieved = float64(rep.Done) / elapsed.Seconds()
+	}
+	return rep, nil
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func scanSchedule(t *testing.T, s Schedule) (total int, last time.Duration) {
+	t.Helper()
+	for {
+		d, ok := s.At(total)
+		if !ok {
+			return total, last
+		}
+		if d < last {
+			t.Fatalf("schedule not monotone: At(%d)=%v after %v", total, d, last)
+		}
+		last = d
+		total++
+		if total > 10_000_000 {
+			t.Fatal("schedule never ends")
+		}
+	}
+}
+
+func TestConstantRateSchedule(t *testing.T) {
+	s := ConstantRate(1000, time.Second)
+	total, last := scanSchedule(t, s)
+	if total != 1000 {
+		t.Errorf("total %d, want 1000", total)
+	}
+	if last >= time.Second {
+		t.Errorf("last arrival %v at or past the end", last)
+	}
+	// Exact spacing: arrival i at i millisecond.
+	for _, i := range []int{0, 1, 499, 999} {
+		d, ok := s.At(i)
+		if !ok {
+			t.Fatalf("At(%d) ended early", i)
+		}
+		if want := time.Duration(i) * time.Millisecond; d != want {
+			t.Errorf("At(%d) = %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestRampSchedule(t *testing.T) {
+	// 100→900 ops/s over 2s: mean rate 500/s, so ~1000 arrivals.
+	s := Ramp(100, 900, 2*time.Second)
+	total, last := scanSchedule(t, s)
+	if total < 990 || total > 1010 {
+		t.Errorf("ramp dispatched %d ops, want ~1000", total)
+	}
+	if last >= 2*time.Second {
+		t.Errorf("last arrival %v at or past the end", last)
+	}
+	// The instantaneous rate climbs: spacing between late arrivals must be
+	// tighter than between early ones.
+	a0, _ := s.At(0)
+	a1, _ := s.At(1)
+	b0, _ := s.At(total - 2)
+	b1, _ := s.At(total - 1)
+	if early, late := a1-a0, b1-b0; late >= early {
+		t.Errorf("ramp spacing did not tighten: early gap %v, late gap %v", early, late)
+	}
+	// A flat ramp degenerates to constant rate.
+	flat := Ramp(500, 500, time.Second)
+	if d, ok := flat.At(250); !ok || math.Abs(d.Seconds()-0.5) > 1e-9 {
+		t.Errorf("flat ramp At(250) = %v, want 500ms", d)
+	}
+}
+
+func TestBurstSchedule(t *testing.T) {
+	// 100/s base, 1000/s bursts of 100ms every 500ms, for 1s: each period
+	// carries 100 burst arrivals + 40 base arrivals.
+	s := Burst(100, 1000, 500*time.Millisecond, 100*time.Millisecond, time.Second)
+	total, last := scanSchedule(t, s)
+	if total != 280 {
+		t.Errorf("burst dispatched %d ops, want 280 (2 × (100 + 40))", total)
+	}
+	if last >= time.Second {
+		t.Errorf("last arrival %v at or past the end", last)
+	}
+	// Arrival 0 opens the first burst; arrival 100 is the first base-rate
+	// arrival of period 0; arrival 140 opens period 1's burst.
+	if d, _ := s.At(0); d != 0 {
+		t.Errorf("At(0) = %v, want 0", d)
+	}
+	if d, _ := s.At(100); d != 100*time.Millisecond {
+		t.Errorf("At(100) = %v, want 100ms (burst hands over to base)", d)
+	}
+	if d, _ := s.At(140); d != 500*time.Millisecond {
+		t.Errorf("At(140) = %v, want 500ms (next period's burst)", d)
+	}
+}
+
+func TestScheduleRejectsNonsense(t *testing.T) {
+	for name, s := range map[string]Schedule{
+		"zero rate":       ConstantRate(0, time.Second),
+		"zero duration":   ConstantRate(100, 0),
+		"ramp to zero":    Ramp(100, 0, time.Second),
+		"burst ≥ period":  Burst(10, 100, time.Second, time.Second, time.Second),
+		"burst zero base": Burst(0, 100, time.Second, 100*time.Millisecond, time.Second),
+	} {
+		if _, ok := s.At(0); ok {
+			t.Errorf("%s: schedule dispatched an operation", name)
+		}
+	}
+}
+
+func TestRunOpenLoopCountsAndRates(t *testing.T) {
+	var calls atomic.Int64
+	shedErr := errors.New("busy")
+	rep, err := RunOpenLoop(DriverOptions{
+		Schedule: ConstantRate(2000, 250*time.Millisecond),
+		Sessions: 32,
+		Workers:  4,
+		Do: func(session, seq int) error {
+			calls.Add(1)
+			if session < 0 || session >= 32 {
+				t.Errorf("session %d out of range", session)
+			}
+			if seq%5 == 3 {
+				return shedErr
+			}
+			return nil
+		},
+		IsShed: func(err error) bool { return errors.Is(err, shedErr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 500 || int(calls.Load()) != 500 {
+		t.Errorf("total %d, calls %d, want 500", rep.Total, calls.Load())
+	}
+	if rep.Shed != 100 || rep.Done != 400 || rep.Errors != 0 {
+		t.Errorf("done/shed/errors = %d/%d/%d, want 400/100/0", rep.Done, rep.Shed, rep.Errors)
+	}
+	if rep.Latency.Count() != 400 {
+		t.Errorf("latency recorded %d ops, want the 400 successes", rep.Latency.Count())
+	}
+	if rep.Offered < 1900 || rep.Offered > 2100 {
+		t.Errorf("offered %f, want ~2000", rep.Offered)
+	}
+	if rep.FirstErr != nil {
+		t.Errorf("unexpected first error %v", rep.FirstErr)
+	}
+}
+
+func TestRunOpenLoopChargesCoordinatedOmission(t *testing.T) {
+	// One worker, 10ms per op, arrivals every 2.5ms: the queue grows by
+	// 7.5ms per op, so late operations must report latencies near
+	// N×10ms — not the ~10ms a closed-loop (send-to-receive) measurement
+	// would claim. This is the test that distinguishes the two.
+	rep, err := RunOpenLoop(DriverOptions{
+		Schedule: ConstantRate(400, 100*time.Millisecond), // 40 ops
+		Workers:  1,
+		Do: func(session, seq int) error {
+			time.Sleep(10 * time.Millisecond)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != rep.Total {
+		t.Fatalf("done %d of %d", rep.Done, rep.Total)
+	}
+	// The last op completes around 40×10ms = 400ms after start but was
+	// intended at ≤100ms: its charged latency is ≥ 250ms even with lax
+	// scheduling slop.
+	if p99 := rep.Latency.Quantile(0.99); p99 < 250*time.Millisecond {
+		t.Errorf("p99 %v too low: queueing delay was not charged from intended start", p99)
+	}
+	// And the median is far above the 10ms service time too — most of the
+	// run is queued behind the backlog.
+	if p50 := rep.Latency.Quantile(0.50); p50 < 50*time.Millisecond {
+		t.Errorf("p50 %v suggests latencies measured from send, not intended arrival", p50)
+	}
+}
+
+func TestRunOpenLoopPropagatesErrors(t *testing.T) {
+	boom := errors.New("backend exploded")
+	rep, err := RunOpenLoop(DriverOptions{
+		Schedule: ConstantRate(1000, 50*time.Millisecond),
+		Workers:  2,
+		Do: func(session, seq int) error {
+			if seq == 7 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 1 || !errors.Is(rep.FirstErr, boom) {
+		t.Errorf("errors=%d firstErr=%v, want the injected failure", rep.Errors, rep.FirstErr)
+	}
+}
+
+func TestRunOpenLoopValidates(t *testing.T) {
+	if _, err := RunOpenLoop(DriverOptions{}); err == nil {
+		t.Error("accepted empty options")
+	}
+	if _, err := RunOpenLoop(DriverOptions{
+		Schedule: ConstantRate(0, 0),
+		Do:       func(int, int) error { return nil },
+	}); err == nil {
+		t.Error("accepted an empty schedule")
+	}
+}
