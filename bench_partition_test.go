@@ -1,0 +1,113 @@
+package dpstore
+
+// Partitioned-scheme throughput benchmarks: 16 closed-loop client
+// sessions over ONE tenant striped across P independent DP-RAM instances,
+// every instance running over its own store.Offset window of the SAME
+// disk-like backend (1 ms reads, 2 ms writes, concurrent round trips
+// overlap — queue depth > 1).
+//
+// A single scheme instance is one logical party: its state serializes
+// every access, so adding clients cannot push throughput past ~1/readRTT
+// even with the write-behind pipeline (see bench_proxy_test.go). What
+// partitioning buys is P of those serial parties running concurrently —
+// client u mod P routing keeps each party's trace independently oblivious
+// — so closed-loop throughput at sufficient client count scales
+// near-linearly in P until the device or the client pool saturates.
+// Numbers are recorded in EXPERIMENTS.md §Partitioning.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/crypto"
+	"dpstore/internal/proxy"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+)
+
+// benchPartitionedClosedLoop drives b.N accesses from `clients` concurrent
+// sessions through a P-way partitioned DP-RAM over one shared device.
+func benchPartitionedClosedLoop(b *testing.B, parts, clients int) {
+	b.Helper()
+	opts := dpram.Options{Key: crypto.KeyFromSeed(1)}
+	mem, err := store.NewMem(proxyBenchRecords, dpram.ServerBlockSize(proxyBenchRS, opts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One physical device for ALL partitions: per-call sleeps with no lock
+	// held, so the P schedulers' round trips overlap like a real disk or
+	// network store serving a deep queue.
+	device := store.AsBatch(&latencyBackend{inner: mem, read: proxyReadRTT, write: proxyWriteRTT})
+
+	proxies := make([]*proxy.Proxy, parts)
+	base := 0
+	for i := 0; i < parts; i++ {
+		ni := store.ShardSlots(proxyBenchRecords, parts, i)
+		db, err := block.NewDatabase(ni, proxyBenchRS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		win, err := store.NewOffset(device, base, ni)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base += ni
+		pipe := proxy.NewPipeline(win)
+		o := opts
+		// The daemon's per-partition seed mixing: decorrelated coin streams.
+		o.Rand = rng.New(int64(uint64(1) ^ uint64(i)*0xbf58476d1ce4e5b9))
+		scheme, err := dpram.Setup(db, pipe, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proxies[i] = proxy.New(scheme, proxy.Options{Pipeline: pipe})
+	}
+	pt, err := proxy.NewPartitioned(proxies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pt.Close() //nolint:errcheck
+	if err := pt.Flush(); err != nil {
+		b.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	perClient := b.N/clients + 1
+	b.ResetTimer()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				if _, err := pt.Read(rnd.Intn(proxyBenchRecords)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkPartitionDiskLike: the P ∈ {1, 2, 4} striping sweep at 16
+// clients over the seek/seek+sync backend. The P=1 row is the same
+// deployment shape as BenchmarkProxyDiskLike's pipelined/16-client row
+// (Offset window degenerate at [0, n)), anchoring the sweep to the
+// single-scheme baseline.
+func BenchmarkPartitionDiskLike(b *testing.B) {
+	b.ReportAllocs()
+	const clients = 16
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parts=%d/clients=%d", parts, clients), func(b *testing.B) {
+			b.ReportAllocs()
+			benchPartitionedClosedLoop(b, parts, clients)
+		})
+	}
+}

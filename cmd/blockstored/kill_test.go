@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -183,6 +186,183 @@ func TestKillAndRestartDurableProxy(t *testing.T) {
 	}
 }
 
+// TestKillAndRestartPartitionedProxy: the durability round trip for a
+// striped tenant. `-proxy dpram -partitions 4 -data DIR` journals four
+// scheme instances into per-partition WALs over one shared durable
+// backend; a SIGKILL mid-workload tears at most one partition's in-flight
+// batch, and the restart must replay every journal and serve every
+// previously-acknowledged logical record. A third start with a different
+// -partitions on the same directory must be refused outright: the
+// striping width is load-bearing on-disk state.
+func TestKillAndRestartPartitionedProxy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	addr := pickAddr(t)
+	args := []string{"-addr", addr, "-slots", "256", "-blocksize", "32", "-proxy", "dpram", "-partitions", "4", "-data", dir}
+
+	daemon := startDaemon(t, bin, args...)
+	waitListening(t, addr)
+	cl, err := proxy.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Partitions() != 4 {
+		t.Fatalf("handshake advertises %d partitions, want 4", cl.Partitions())
+	}
+	if cl.Epoch() != 1 {
+		t.Fatalf("first-generation epoch = %d, want 1", cl.Epoch())
+	}
+
+	// Stride 7 is coprime to 4, so acked writes land in every partition
+	// before the timer kills the daemon mid-workload.
+	acked := make(map[int]block.Block)
+	killAt := time.After(400 * time.Millisecond)
+	var inFlight int
+	killed := false
+	for q := 0; !killed; q++ {
+		select {
+		case <-killAt:
+			if err := daemon.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			daemon.Wait() //nolint:errcheck // SIGKILL exit is expected
+			killed = true
+			continue
+		default:
+		}
+		i := (q * 7) % 256
+		v := block.New(32)
+		copy(v, fmt.Sprintf("acked-%05d", q))
+		inFlight = i
+		if _, err := cl.Write(i, v); err != nil {
+			break // the kill raced the round trip: unacknowledged, excluded
+		}
+		acked[i] = v
+	}
+	cl.Close()
+	if len(acked) == 0 {
+		t.Fatal("daemon died before any write was acknowledged; timing broken")
+	}
+	t.Logf("killed after %d acknowledged writes", len(acked))
+
+	daemon2 := startDaemon(t, bin, args...)
+	waitListening(t, addr)
+	cl2, err := proxy.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl2.Partitions() != 4 {
+		t.Fatalf("recovered handshake advertises %d partitions, want 4", cl2.Partitions())
+	}
+	if cl2.Epoch() != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", cl2.Epoch())
+	}
+	zero := block.New(32)
+	for i := 0; i < 256; i++ {
+		got, err := cl2.Read(i)
+		if err != nil {
+			t.Fatalf("read %d after recovery: %v", i, err)
+		}
+		want, wasAcked := acked[i]
+		switch {
+		case wasAcked && !bytes.Equal(got, want):
+			if i == inFlight && bytes.HasPrefix(got, []byte("acked-")) {
+				continue // the unacked in-flight write landed: admissible
+			}
+			t.Fatalf("acked record %d lost: got %q want %q", i, got, want)
+		case !wasAcked && i != inFlight && !bytes.Equal(got, zero):
+			t.Fatalf("never-written record %d holds %q", i, got)
+		}
+	}
+	cl2.Close()
+	if err := daemon2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon2.Wait(); err != nil {
+		t.Fatalf("SIGTERM shutdown of recovered partitioned daemon: %v", err)
+	}
+
+	// Reopening the same directory under a different striping width would
+	// scramble record→partition routing; the daemon must refuse.
+	bad := exec.Command(bin, "-addr", pickAddr(t), "-slots", "256", "-blocksize", "32", "-proxy", "dpram", "-partitions", "2", "-data", dir)
+	out, err := bad.CombinedOutput()
+	if err == nil {
+		t.Fatalf("daemon opened a P=4 directory with -partitions 2:\n%s", out)
+	}
+	if !strings.Contains(string(out), "partitions") {
+		t.Fatalf("refusal does not name the striping mismatch:\n%s", out)
+	}
+}
+
+// TestMetricsDrainOnSignal exercises the -metrics shutdown contract
+// in-process, where the window between "signal received" and "process
+// gone" is observable deterministically: after SIGTERM, /healthz flips to
+// 503 draining BEFORE the wire listener closes, and finish closes the
+// metrics listener so the HTTP port does not outlive the stores.
+func TestMetricsDrainOnSignal(t *testing.T) {
+	mem, err := store.NewMem(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := store.NewNamespaces()
+	ns.Attach(store.DefaultNamespace, mem)
+	sd := &shutdown{}
+	maddr := pickAddr(t)
+	applyOperability(ns, 0, 0, maddr, sd)
+
+	// Each probe dials fresh: a kept-alive connection would keep answering
+	// after the listener closed and mask the port staying up or down.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := client.Get("http://" + maddr + "/healthz")
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	code, body := get()
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("healthy daemon: /healthz = %d %q", code, body)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd.onSignal(ln)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The handler flips draining then closes the wire listener; Accept
+	// returning is the signal-processed barrier.
+	if _, err := ln.Accept(); err == nil {
+		t.Fatal("wire listener still accepting after SIGTERM")
+	}
+	code, body = get()
+	if code != http.StatusServiceUnavailable || !strings.HasPrefix(body, "draining") {
+		t.Fatalf("draining daemon: /healthz = %d %q, want 503 draining", code, body)
+	}
+
+	// finish closes stores first, metrics listener last.
+	sd.finish(net.ErrClosed)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code, _ := get(); code == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("metrics listener survived finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestCleanShutdownSIGTERM: SIGTERM checkpoints and exits 0; the restart
 // serves the data with the epoch advanced.
 func TestCleanShutdownSIGTERM(t *testing.T) {
@@ -192,10 +372,20 @@ func TestCleanShutdownSIGTERM(t *testing.T) {
 	bin := buildDaemon(t)
 	dir := t.TempDir()
 	addr := pickAddr(t)
-	args := []string{"-addr", addr, "-slots", "128", "-blocksize", "32", "-proxy", "pathoram", "-data", dir}
+	maddr := pickAddr(t)
+	args := []string{"-addr", addr, "-slots", "128", "-blocksize", "32", "-proxy", "pathoram", "-data", dir, "-metrics", maddr}
 
 	daemon := startDaemon(t, bin, args...)
 	waitListening(t, addr)
+	waitListening(t, maddr)
+	resp, err := http.Get("http://" + maddr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy daemon: /healthz = %d", resp.StatusCode)
+	}
 	cl, err := proxy.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -211,6 +401,10 @@ func TestCleanShutdownSIGTERM(t *testing.T) {
 	}
 	if err := daemon.Wait(); err != nil {
 		t.Fatalf("SIGTERM shutdown was not clean: %v", err)
+	}
+	// The metrics port dies with the process, not before the checkpoint.
+	if _, err := http.Get("http://" + maddr + "/healthz"); err == nil {
+		t.Fatal("metrics port outlived the daemon")
 	}
 
 	daemon2 := startDaemon(t, bin, args...)

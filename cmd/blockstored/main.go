@@ -28,6 +28,20 @@
 //     (records × record bytes); the physical store shape is derived from
 //     the scheme, and block frames are rejected — clients never see
 //     physical addresses at all, the CAOS deployment shape.
+//   - -partitions P (with -proxy) stripes the tenant over P independent
+//     scheme instances — each with its own stash, position map, key, and
+//     coin stream, each on its own scheduler — routing logical record u
+//     to partition u mod P. One scheme is one logical party whose
+//     accesses serialize; P schemes overlap whenever requests hit
+//     different partitions, trading a bounded extra leak (the partition
+//     index, a data-independent function of the logical address) for
+//     near-linear throughput in P. All partitions share ONE physical
+//     backing store (windowed by store.Offset), so -file/-data/-shards/
+//     -replicate compose unchanged. With -data, partition i checkpoints
+//     to DIR/proxy.p<i>.journal and the striping width is persisted in
+//     DIR/namespaces.json — a restart with a different -partitions (or
+//     scheme, or logical shape) is refused rather than permuting the
+//     database.
 //   - -replicate host1,host2,... turns the daemon into a cluster front
 //     door: instead of hosting blocks itself, it fans every write to all
 //     listed replica daemons (-quorum W acknowledges after W durable
@@ -76,6 +90,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -99,6 +114,7 @@ func main() {
 		namespaces  = flag.Int("namespaces", 0, "max client-created namespaces (0 disables the open-to-create path)")
 		maxBytes    = flag.Int64("maxbytes", 1<<30, "per-namespace byte budget for client-requested shapes")
 		proxyMode   = flag.String("proxy", "", "serve a privacy proxy over the backing store: dpram or pathoram (empty = plain block server; -slots/-blocksize then describe the logical database)")
+		partitions  = flag.Int("partitions", 1, "stripe the -proxy tenant over this many independent scheme instances (logical record u routes to partition u mod P; leaks the partition index, overlaps accesses across partitions)")
 		seed        = flag.Int64("seed", 1, "scheme coin seed in -proxy mode, and read-replica selection seed in -replicate mode (deterministic for reproducible experiments)")
 		replicate   = flag.String("replicate", "", "comma-separated replica daemon addresses: serve as a cluster front door over them instead of hosting blocks locally")
 		quorum      = flag.Int("quorum", 0, "write quorum W in -replicate mode (0 = majority)")
@@ -116,6 +132,12 @@ func main() {
 	}
 	if *shards < 1 {
 		log.Fatalf("blockstored: -shards %d must be ≥ 1", *shards)
+	}
+	if *partitions < 1 {
+		log.Fatalf("blockstored: -partitions %d must be ≥ 1", *partitions)
+	}
+	if *partitions > 1 && *proxyMode == "" {
+		log.Fatalf("blockstored: -partitions stripes scheme instances and needs -proxy (block namespaces stripe with -shards)")
 	}
 	if *file != "" && *dataDir != "" {
 		log.Fatalf("blockstored: -file and -data are mutually exclusive (-data subsumes the disk backend, durably)")
@@ -162,7 +184,7 @@ func main() {
 		log.Printf("blockstored: default namespace: %s", desc)
 		ns := store.NewNamespaces()
 		ns.Attach(store.DefaultNamespace, cluster)
-		applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr)
+		applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr, &sd)
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
 			log.Fatalf("blockstored: listen: %v", err)
@@ -174,7 +196,7 @@ func main() {
 	}
 
 	if *proxyMode != "" {
-		p, desc, err := openProxy(*proxyMode, *file, *dataDir, *replicate, *quorum, *readPolicy, *slots, *blockSize, *shards, *seed, &sd)
+		p, desc, err := openProxy(*proxyMode, *file, *dataDir, *replicate, *quorum, *readPolicy, *slots, *blockSize, *partitions, *shards, *seed, &sd)
 		if err != nil {
 			log.Fatalf("blockstored: %v", err)
 		}
@@ -182,7 +204,7 @@ func main() {
 		ns := store.NewNamespaces()
 		ns.AttachAccessor(store.DefaultNamespace, p)
 		ns.SetEpoch(p.Epoch())
-		applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr)
+		applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr, &sd)
 		if p.Epoch() > 0 {
 			log.Printf("blockstored: recovery epoch %d", p.Epoch())
 		}
@@ -215,7 +237,7 @@ func main() {
 
 	ns := store.NewNamespaces()
 	ns.Attach(store.DefaultNamespace, backing)
-	applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr)
+	applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr, &sd)
 
 	var epoch uint64
 	if *dataDir != "" {
@@ -258,7 +280,7 @@ func main() {
 // per-namespace admission control (-maxinflight/-maxqueue, serving busy
 // frames past the queue) and the -metrics HTTP endpoint that keeps a
 // saturated daemon observable from outside the wire protocol.
-func applyOperability(ns *store.Namespaces, maxInflight, maxQueue int, metricsAddr string) {
+func applyOperability(ns *store.Namespaces, maxInflight, maxQueue int, metricsAddr string, sd *shutdown) {
 	if maxInflight > 0 {
 		ns.SetAdmission(store.AdmitOptions{MaxInflight: maxInflight, MaxQueue: maxQueue})
 		log.Printf("blockstored: admission: %d in flight + %d queued per namespace, then shed", maxInflight, maxQueue)
@@ -270,10 +292,16 @@ func applyOperability(ns *store.Namespaces, maxInflight, maxQueue int, metricsAd
 	if err != nil {
 		log.Fatalf("blockstored: metrics listen: %v", err)
 	}
+	ms := &metricsServer{ln: mln}
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ms.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "draining uptime=%s\n", time.Since(start).Round(time.Second))
+			return
+		}
 		fmt.Fprintf(w, "ok uptime=%s\n", time.Since(start).Round(time.Second))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -287,7 +315,19 @@ func applyOperability(ns *store.Namespaces, maxInflight, maxQueue int, metricsAd
 			log.Printf("blockstored: metrics server: %v", err)
 		}
 	}()
+	sd.setMetrics(ms)
 	log.Printf("blockstored: metrics on http://%s/metrics", mln.Addr())
+}
+
+// metricsServer is the -metrics endpoint's shutdown handle. The signal
+// handler flips draining, so /healthz answers 503 the moment the daemon
+// stops accepting wire connections — a load balancer polling it steers
+// traffic away while the stores checkpoint — and finish closes the
+// listener, so the HTTP port does not outlive the process's useful life
+// (it previously leaked until exit).
+type metricsServer struct {
+	ln       net.Listener
+	draining atomic.Bool
 }
 
 // nsMetrics is the JSON rendering of one namespace's wire.StatsEntry,
@@ -333,9 +373,18 @@ func metricsView(ns *store.Namespaces) map[string]any {
 type shutdown struct {
 	mu       sync.Mutex
 	closers  []io.Closer
+	metrics  *metricsServer
 	signaled bool
 	failed   bool
 	finished bool
+}
+
+// setMetrics hands the -metrics endpoint to the shutdown path: drained on
+// signal, closed in finish.
+func (s *shutdown) setMetrics(ms *metricsServer) {
+	s.mu.Lock()
+	s.metrics = ms
+	s.mu.Unlock()
 }
 
 // markFailed records a shutdown-path failure so finish exits non-zero.
@@ -374,7 +423,14 @@ func (s *shutdown) onSignal(ln net.Listener) {
 		log.Printf("blockstored: %v: checkpointing and shutting down", sig)
 		s.mu.Lock()
 		s.signaled = true
+		ms := s.metrics
 		s.mu.Unlock()
+		// Flip /healthz to draining BEFORE closing the wire listener: a
+		// health checker must never see "ok" on a daemon that has already
+		// stopped accepting.
+		if ms != nil {
+			ms.draining.Store(true)
+		}
 		ln.Close()
 	}()
 }
@@ -386,11 +442,20 @@ func (s *shutdown) finish(serveErr error) {
 	s.finished = true
 	closers := s.closers
 	signaled := s.signaled
+	ms := s.metrics
 	s.mu.Unlock()
 	for i := len(closers) - 1; i >= 0; i-- {
 		if err := closers[i].Close(); err != nil {
 			log.Printf("blockstored: closing store: %v", err)
 			s.markFailed()
+		}
+	}
+	// Close the metrics listener last: it stays readable (reporting
+	// draining) for the whole checkpoint window, then goes away with the
+	// process instead of leaking the port until exit.
+	if ms != nil {
+		if err := ms.ln.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("blockstored: closing metrics listener: %v", err)
 		}
 	}
 	if serveErr != nil && !(signaled && errors.Is(serveErr, net.ErrClosed)) {
@@ -436,16 +501,24 @@ func (r *tenantRegistry) registryPath() string {
 	return filepath.Join(r.dataDir, "namespaces.json")
 }
 
-// restore reattaches every persisted namespace, reopening its engines.
+// restore reattaches every persisted block namespace, reopening its
+// engines. Proxy configuration records (Proxy != "") are consumed by
+// openProxy at startup, not here: they describe the default namespace's
+// scheme deployment, not a block tenant with files of its own.
 func (r *tenantRegistry) restore(ns *store.Namespaces) (int, error) {
+	restored := 0
 	for _, rec := range r.persisted {
+		if rec.Proxy != "" {
+			continue
+		}
 		backing, _, err := openDurableBacking(r.tenantBase(rec.Name), rec.Slots, rec.BlockSize, r.shards, r.sd)
 		if err != nil {
 			return 0, fmt.Errorf("restoring namespace %q: %w", rec.Name, err)
 		}
 		ns.Attach(rec.Name, backing)
+		restored++
 	}
-	return len(r.persisted), nil
+	return restored, nil
 }
 
 func (r *tenantRegistry) tenantBase(name string) string {
@@ -694,131 +767,268 @@ func openBacking(file string, slots, blockSize, shards int) (store.Server, strin
 	return s, fmt.Sprintf("%d slots × %d B on disk striped over %d files at %s.shard*", slots, blockSize, shards, file), nil
 }
 
+// proxyFront is what main needs from a -proxy deployment: the accessor
+// served on the wire, its recovery epoch, and shutdown. Both proxy.Proxy
+// (one scheme) and proxy.Partitioned (P schemes) satisfy it.
+type proxyFront interface {
+	store.Accessor
+	Epoch() uint64
+	Flush() error
+	Close() error
+}
+
 // openProxy builds the -proxy deployment: the scheme's physical store
-// derived from the logical shape (memory, -file, or the durable engine),
-// a write-behind pipeline underneath, and the proxy scheduler on top.
+// derived from the logical shape (memory, -file, the durable engine, or a
+// replica cluster), a write-behind pipeline underneath, and the proxy
+// scheduler on top.
+//
+// With -partitions P, the logical database is striped over P fully
+// independent scheme instances (record u → partition u mod P, local index
+// u div P), each with its own pipeline and scheduler, all windowed onto
+// ONE shared physical store via store.Offset — so the backing composition
+// flags apply once to the whole deployment, not per partition.
 //
 // With -data, the deployment is RESTARTABLE: the physical store is the
-// WAL engine; the scheme's client state checkpoints to proxy.journal per
+// WAL engine; each partition's client state checkpoints to its own
+// journal (proxy.journal for P=1, proxy.p<i>.journal otherwise) per
 // acknowledged access burst (see proxy.Journal for the commit protocol);
-// and on startup the daemon recovers — engine replay, then checkpoint
-// restore, then pending-write replay — before serving. A fresh directory
-// runs Setup and seeds the journal with the initial checkpoint.
-func openProxy(mode, file, dataDir, replicate string, quorum int, readPolicy string, records, recordSize, shards int, seed int64, sd *shutdown) (*proxy.Proxy, string, error) {
-	var slots, physBS int
+// and on startup the daemon recovers — engine replay, then per-partition
+// checkpoint restore and pending-write replay — before serving. A fresh
+// directory runs Setup and seeds each journal with the initial
+// checkpoint. The deployment shape (scheme, logical shape, P) persists in
+// namespaces.json; a restart with disagreeing flags is refused.
+func openProxy(mode, file, dataDir, replicate string, quorum int, readPolicy string, records, recordSize, partitions, shards int, seed int64, sd *shutdown) (proxyFront, string, error) {
+	if partitions > records {
+		return nil, "", fmt.Errorf("%d records cannot stripe over %d partitions", records, partitions)
+	}
 	oramOpts := pathoram.Options{Rand: rng.New(seed)}
 	ramOpts := dpram.Options{Rand: rng.New(seed)}
-	switch mode {
-	case "dpram":
-		slots, physBS = records, dpram.ServerBlockSize(recordSize, ramOpts)
-	case "pathoram":
-		slots, physBS = pathoram.TreeShape(records, recordSize, oramOpts)
-	default:
-		return nil, "", fmt.Errorf("unknown -proxy scheme %q (want dpram or pathoram)", mode)
-	}
 
-	if replicate != "" {
-		// Proxy over a replica cluster: the scheme's physical store IS the
-		// Replicated front end, so every obfuscated block lands on W
-		// daemons and reads fail over invisibly underneath the scheme.
-		// Scheme client state is ephemeral here (run the replicas with
-		// -data for block durability; -proxy -data -replicate is not a
-		// supported combination).
-		backing, desc, err := openCluster(replicate, quorum, readPolicy, seed, slots, physBS, sd)
-		if err != nil {
-			return nil, "", err
-		}
-		pipe := proxy.NewPipeline(backing)
-		scheme, err := setupScheme(mode, records, recordSize, pipe, ramOpts, oramOpts)
-		if err != nil {
-			return nil, "", err
-		}
-		p := proxy.New(scheme, proxy.Options{Pipeline: pipe})
-		if err := p.Flush(); err != nil {
-			return nil, "", fmt.Errorf("%s setup flush: %w", mode, err)
-		}
-		return p, fmt.Sprintf("%s over %d records × %d B (backing: %s)", mode, records, recordSize, desc), nil
-	}
-
-	if dataDir == "" {
-		// Ephemeral proxy, as before the engine existed.
-		backing, desc, err := openBacking(file, slots, physBS, shards)
-		if err != nil {
-			return nil, "", err
-		}
-		pipe := proxy.NewPipeline(store.AsBatch(backing))
-		scheme, err := setupScheme(mode, records, recordSize, pipe, ramOpts, oramOpts)
-		if err != nil {
-			return nil, "", err
-		}
-		p := proxy.New(scheme, proxy.Options{Pipeline: pipe})
-		if err := p.Flush(); err != nil {
-			return nil, "", fmt.Errorf("%s setup flush: %w", mode, err)
-		}
-		return p, fmt.Sprintf("%s over %d records × %d B (backing: %s)", mode, records, recordSize, desc), nil
-	}
-
-	backing, desc, err := openDurableBacking(filepath.Join(dataDir, "blocks"), slots, physBS, shards, sd)
-	if err != nil {
-		return nil, "", err
-	}
-	journal, ck, err := proxy.OpenJournal(filepath.Join(dataDir, "proxy.journal"), 0)
-	if err != nil {
-		return nil, "", err
-	}
-	// Mix the recovery epoch into the scheme seed: a restarted daemon must
-	// NOT replay the previous incarnation's coin stream against the same
-	// persisted array — identical decoy/leaf draws across epochs would let
-	// an adversary comparing the two traces separate coin-driven from
-	// query-driven addresses. (SplitMix64's increment constant decorrelates
-	// the per-epoch streams; runs stay reproducible per (seed, epoch).)
-	epochSeed := int64(uint64(seed) ^ journal.Epoch()*0x9e3779b97f4a7c15)
-	ramOpts.Rand = rng.New(epochSeed)
-	oramOpts.Rand = rng.New(epochSeed)
-	batch := store.AsBatch(backing)
-	pipe := proxy.NewPipeline(batch)
-	var scheme proxy.DurableScheme
-	if ck != nil {
-		// Recovery: the engine already replayed its own WAL; land the
-		// checkpoint's acked-but-unflushed writes, then transplant the
-		// scheme state over the pipeline.
-		if err := proxy.ReplayPending(batch, ck); err != nil {
-			return nil, "", err
-		}
+	// Derive each partition's logical record count and physical window.
+	// The physical block size is a function of the record size and scheme
+	// options only, so it agrees across partitions and one backing store
+	// (of the summed slot count) serves them all; assert rather than
+	// assume.
+	partRecords := make([]int, partitions)
+	partSlots := make([]int, partitions)
+	physBS, totalSlots := 0, 0
+	for i := range partRecords {
+		n := store.ShardSlots(records, partitions, i)
+		partRecords[i] = n
+		var s, bs int
 		switch mode {
 		case "dpram":
-			scheme, err = dpram.Resume(pipe, ck.State, ramOpts)
+			s, bs = n, dpram.ServerBlockSize(recordSize, ramOpts)
 		case "pathoram":
-			scheme, err = pathoram.Resume(pipe, ck.State, oramOpts)
+			s, bs = pathoram.TreeShape(n, recordSize, oramOpts)
+		default:
+			return nil, "", fmt.Errorf("unknown -proxy scheme %q (want dpram or pathoram)", mode)
 		}
-		if err != nil {
-			return nil, "", fmt.Errorf("%s resume: %w", mode, err)
+		if i == 0 {
+			physBS = bs
+		} else if bs != physBS {
+			return nil, "", fmt.Errorf("partition %d derives %d B physical blocks, partition 0 derives %d B", i, bs, physBS)
 		}
-		desc += fmt.Sprintf(", recovered at epoch %d (%d pending writes replayed)", journal.Epoch(), len(ck.Pending))
-	} else {
-		// Fresh directory: set up through the (not yet journaled)
-		// pipeline, land everything, and seed the journal.
-		scheme, err = setupScheme(mode, records, recordSize, pipe, ramOpts, oramOpts)
-		if err != nil {
+		partSlots[i] = s
+		totalSlots += s
+	}
+
+	if dataDir != "" {
+		if replicate != "" {
+			return nil, "", fmt.Errorf("-proxy -data -replicate is not a supported combination (run the replicas with -data for block durability)")
+		}
+		// Validate (or record) the deployment shape BEFORE touching the
+		// engines: resuming a directory striped as P partitions with a
+		// different P would permute every logical address.
+		if err := persistProxyConfig(filepath.Join(dataDir, "namespaces.json"), mode, records, recordSize, partitions); err != nil {
 			return nil, "", err
 		}
-		if err := pipe.Flush(); err != nil {
-			return nil, "", fmt.Errorf("%s setup flush: %w", mode, err)
-		}
-		state, err := scheme.MarshalState()
-		if err != nil {
-			return nil, "", fmt.Errorf("%s initial state: %w", mode, err)
-		}
-		if err := journal.Append(proxy.Checkpoint{State: state}); err != nil {
-			return nil, "", fmt.Errorf("%s initial checkpoint: %w", mode, err)
-		}
-		desc += fmt.Sprintf(", journaled at epoch %d", journal.Epoch())
 	}
-	p, err := proxy.NewDurable(scheme, proxy.Options{Pipeline: pipe}, journal)
+
+	// One shared physical backing for all partitions.
+	var backing store.Server
+	var desc string
+	var err error
+	switch {
+	case replicate != "":
+		// Proxy over a replica cluster: the physical store IS the
+		// Replicated front end, so every obfuscated block lands on W
+		// daemons and reads fail over invisibly underneath the scheme(s).
+		// Scheme client state is ephemeral here.
+		backing, desc, err = openCluster(replicate, quorum, readPolicy, seed, totalSlots, physBS, sd)
+	case dataDir == "":
+		backing, desc, err = openBacking(file, totalSlots, physBS, shards)
+	default:
+		backing, desc, err = openDurableBacking(filepath.Join(dataDir, "blocks"), totalSlots, physBS, shards, sd)
+	}
 	if err != nil {
 		return nil, "", err
 	}
-	return p, fmt.Sprintf("%s over %d records × %d B (backing: %s)", mode, records, recordSize, desc), nil
+	batch := store.AsBatch(backing)
+
+	// optsFor derives partition i's coin-stream options. Mixing the
+	// recovery epoch keeps a restarted daemon from replaying the previous
+	// incarnation's decoy/leaf draws against the same persisted array —
+	// identical draws across epochs would let an adversary comparing the
+	// two traces separate coin-driven from query-driven addresses — and
+	// mixing the partition index keeps sibling partitions' draws
+	// decorrelated for the same reason, across partitions instead of
+	// across time. (SplitMix64's two increment constants decorrelate the
+	// streams; runs stay reproducible per (seed, epoch, partition), and
+	// partition 0 at epoch 0 reduces to the plain seed, so pre-partition
+	// deployments derive the exact streams they always did.)
+	optsFor := func(i int, epoch uint64) (dpram.Options, pathoram.Options) {
+		s := int64(uint64(seed) ^ epoch*0x9e3779b97f4a7c15 ^ uint64(i)*0xbf58476d1ce4e5b9)
+		ro, oo := ramOpts, oramOpts
+		ro.Rand, oo.Rand = rng.New(s), rng.New(s)
+		return ro, oo
+	}
+
+	parts := make([]*proxy.Proxy, partitions)
+	base := 0
+	recovered, pending := 0, 0
+	var journalEpoch uint64
+	for i := range parts {
+		// Partition i sees only its own window of the shared store; at
+		// P=1 the window is the whole store and the wrapper is skipped.
+		window := batch
+		if partitions > 1 {
+			window, err = store.NewOffset(batch, base, partSlots[i])
+			if err != nil {
+				return nil, "", err
+			}
+		}
+		base += partSlots[i]
+
+		if dataDir == "" {
+			ro, oo := optsFor(i, 0)
+			pipe := proxy.NewPipeline(window)
+			scheme, err := setupScheme(mode, partRecords[i], recordSize, pipe, ro, oo)
+			if err != nil {
+				return nil, "", err
+			}
+			p := proxy.New(scheme, proxy.Options{Pipeline: pipe})
+			if err := p.Flush(); err != nil {
+				return nil, "", fmt.Errorf("%s setup flush: %w", mode, err)
+			}
+			parts[i] = p
+			continue
+		}
+
+		jname := "proxy.journal"
+		if partitions > 1 {
+			jname = fmt.Sprintf("proxy.p%d.journal", i)
+		}
+		journal, ck, err := proxy.OpenJournal(filepath.Join(dataDir, jname), 0)
+		if err != nil {
+			return nil, "", err
+		}
+		if journal.Epoch() > journalEpoch {
+			journalEpoch = journal.Epoch()
+		}
+		ro, oo := optsFor(i, journal.Epoch())
+		pipe := proxy.NewPipeline(window)
+		var scheme proxy.DurableScheme
+		if ck != nil {
+			// Recovery: the engine already replayed its own WAL; land this
+			// partition's acked-but-unflushed writes in its window, then
+			// transplant the scheme state over the pipeline.
+			if err := proxy.ReplayPending(window, ck); err != nil {
+				return nil, "", err
+			}
+			switch mode {
+			case "dpram":
+				scheme, err = dpram.Resume(pipe, ck.State, ro)
+			case "pathoram":
+				scheme, err = pathoram.Resume(pipe, ck.State, oo)
+			}
+			if err != nil {
+				return nil, "", fmt.Errorf("%s resume (partition %d): %w", mode, i, err)
+			}
+			recovered++
+			pending += len(ck.Pending)
+		} else {
+			// Fresh journal: set up through the (not yet journaled)
+			// pipeline, land everything, and seed the journal.
+			scheme, err = setupScheme(mode, partRecords[i], recordSize, pipe, ro, oo)
+			if err != nil {
+				return nil, "", err
+			}
+			if err := pipe.Flush(); err != nil {
+				return nil, "", fmt.Errorf("%s setup flush: %w", mode, err)
+			}
+			state, err := scheme.MarshalState()
+			if err != nil {
+				return nil, "", fmt.Errorf("%s initial state: %w", mode, err)
+			}
+			if err := journal.Append(proxy.Checkpoint{State: state}); err != nil {
+				return nil, "", fmt.Errorf("%s initial checkpoint: %w", mode, err)
+			}
+		}
+		p, err := proxy.NewDurable(scheme, proxy.Options{Pipeline: pipe}, journal)
+		if err != nil {
+			return nil, "", err
+		}
+		parts[i] = p
+	}
+
+	if dataDir != "" {
+		switch {
+		case recovered == 0:
+			desc += fmt.Sprintf(", journaled at epoch %d", journalEpoch)
+		case partitions == 1:
+			desc += fmt.Sprintf(", recovered at epoch %d (%d pending writes replayed)", journalEpoch, pending)
+		default:
+			desc += fmt.Sprintf(", recovered at epoch %d (%d/%d partitions, %d pending writes replayed)", journalEpoch, recovered, partitions, pending)
+		}
+	}
+	shape := fmt.Sprintf("%s over %d records × %d B", mode, records, recordSize)
+	if partitions == 1 {
+		return parts[0], fmt.Sprintf("%s (backing: %s)", shape, desc), nil
+	}
+	pt, err := proxy.NewPartitioned(parts)
+	if err != nil {
+		return nil, "", err
+	}
+	return pt, fmt.Sprintf("%s striped over %d partitions (backing: %s)", shape, partitions, desc), nil
+}
+
+// persistProxyConfig records the -proxy deployment shape in the data
+// dir's namespace registry, or validates the flags against the persisted
+// record on a restart. The striping width is load-bearing on-disk state —
+// logical record u lives in partition u mod P, so opening the same
+// directory under a different P (or scheme, or logical shape) would
+// silently scramble the database; refuse instead.
+func persistProxyConfig(path, mode string, records, recordSize, partitions int) error {
+	recs, err := store.LoadRegistry(path)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if rec.Proxy == "" {
+			continue
+		}
+		recP := rec.Partitions
+		if recP == 0 {
+			recP = 1 // registries written before striping existed are single-partition
+		}
+		if rec.Proxy != mode || rec.Slots != records || rec.BlockSize != recordSize || recP != partitions {
+			return fmt.Errorf("data dir was created with -proxy %s -slots %d -blocksize %d -partitions %d; refusing to open it with -proxy %s -slots %d -blocksize %d -partitions %d (the on-disk striping cannot be reinterpreted)",
+				rec.Proxy, rec.Slots, rec.BlockSize, recP, mode, records, recordSize, partitions)
+		}
+		return nil
+	}
+	rec := store.NamespaceRecord{
+		Name: store.DefaultNamespace, Slots: records, BlockSize: recordSize,
+		Proxy: mode,
+	}
+	if partitions > 1 {
+		// P=1 stays implicit so single-partition registries remain
+		// byte-identical to the pre-striping format.
+		rec.Partitions = partitions
+	}
+	recs = append(recs, rec)
+	return store.SaveRegistry(path, recs)
 }
 
 // setupScheme runs the scheme's Setup over a zeroed logical database.

@@ -42,6 +42,7 @@ type loadRow struct {
 	OfferedPerSec  float64 `json:"offered_per_sec"`
 	AchievedPerSec float64 `json:"achieved_per_sec"`
 	Shed           int     `json:"shed"`
+	Retries        int64   `json:"retries,omitempty"`
 	Errors         int     `json:"errors"`
 	P50Ns          int64   `json:"p50_ns"`
 	P99Ns          int64   `json:"p99_ns"`
@@ -75,6 +76,8 @@ func runLoad(argv []string) {
 		writes    = fs.Int("writes", 10, "percent of operations that are uploads")
 		inflight  = fs.Int("maxinflight", 0, "in-process daemon only: per-namespace admission limit (0 = none)")
 		queue     = fs.Int("maxqueue", 0, "in-process daemon only: admission queue beyond -maxinflight")
+		retries   = fs.Int("retry", 0, "retry busy-shed operations up to this many total attempts, honoring the server's RetryAfter hint with full jitter (0 = surface sheds)")
+		retryBudg = fs.Duration("retrybudget", 2*time.Second, "with -retry: cap the summed backoff per operation")
 		name      = fs.String("name", "", "benchmark row name (default Load<Schedule>)")
 		outPath   = fs.String("o", "", "write/merge the trajectory row into this BENCH_load.json file")
 	)
@@ -140,6 +143,13 @@ func runLoad(argv []string) {
 			fmt.Fprintf(os.Stderr, "dpbench load: dialing tenant %d: %v\n", i, err)
 			os.Exit(1)
 		}
+		if *retries > 1 {
+			// Retried operations stay charged from their INTENDED arrival
+			// (the retry loop runs inside Do), so backoff shows up in the
+			// quantiles instead of being silently dropped — no coordinated
+			// omission through the retry path either.
+			p.SetRetryPolicy(store.RetryPolicy{MaxAttempts: *retries, Budget: *retryBudg})
+		}
 		defer p.Close()
 		pools[i] = p
 	}
@@ -178,6 +188,13 @@ func runLoad(argv []string) {
 	fmt.Printf("dpbench load: schedule=%s tenants=%d sessions=%d workers=%d conns=%d\n",
 		*schedule, *tenants, *sessions, *workers, *conns)
 	fmt.Printf("dpbench load: %s\n", rep)
+	var retried int64
+	for _, p := range pools {
+		retried += p.Retries()
+	}
+	if *retries > 1 {
+		fmt.Printf("dpbench load: retried %d busy-shed attempts (max %d attempts, %v budget)\n", retried, *retries, *retryBudg)
+	}
 	if rep.FirstErr != nil {
 		fmt.Fprintf(os.Stderr, "dpbench load: first error: %v\n", rep.FirstErr)
 	}
@@ -191,6 +208,7 @@ func runLoad(argv []string) {
 			OfferedPerSec:  rep.Offered,
 			AchievedPerSec: rep.Achieved,
 			Shed:           rep.Shed,
+			Retries:        retried,
 			Errors:         rep.Errors,
 			P50Ns:          rep.Latency.Quantile(0.50).Nanoseconds(),
 			P99Ns:          rep.Latency.Quantile(0.99).Nanoseconds(),

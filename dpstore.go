@@ -97,6 +97,32 @@ type ShardedServer = store.Sharded
 // many goroutine clients share it without head-of-line blocking.
 type ServerPool = store.Pool
 
+// OffsetServer is a BatchServer view of a contiguous sub-range of another
+// store: addresses [0, n) map to [base, base+n) of the inner store. It is
+// how P partitioned scheme instances share one physical backend without
+// seeing each other's slots.
+type OffsetServer = store.Offset
+
+// NewOffsetServer returns the [base, base+n) window of inner; the window
+// must lie entirely inside the inner store.
+func NewOffsetServer(inner BatchServer, base, n int) (*OffsetServer, error) {
+	return store.NewOffset(inner, base, n)
+}
+
+// ShardSlots returns how many of n round-robin-striped slots land on
+// stripe i of k — the shape rule shared by ShardedServer shards and
+// partitioned-proxy stripes.
+func ShardSlots(n, k, i int) int { return store.ShardSlots(n, k, i) }
+
+// RetryPolicy makes busy-shed operations on a RemoteServer or ServerPool
+// retry instead of surfacing BusyError: the server's RetryAfter hint
+// floors a full-jitter exponential backoff, capped by MaxAttempts and an
+// optional total-sleep Budget. Arm it with SetRetryPolicy on the client.
+type RetryPolicy = store.RetryPolicy
+
+// DefaultRetryPolicy retries up to 8 attempts over at most 2 s.
+func DefaultRetryPolicy() RetryPolicy { return store.DefaultRetryPolicy() }
+
 // ReplicatedServer fans writes to N replica stores with a write quorum,
 // serves reads from one replica chosen data-independently (so replica
 // choice never leaks the access pattern), ejects dead replicas with
@@ -333,6 +359,22 @@ type ProxyClient = proxy.Client
 // NewProxy starts a proxy serving scheme; the scheme must not be used
 // directly afterwards.
 func NewProxy(scheme ProxyScheme, opts ProxyOptions) *Proxy { return proxy.New(scheme, opts) }
+
+// PartitionedProxy stripes one tenant across P independent scheme
+// instances: logical record u routes to partition u mod P, each partition
+// runs its own Proxy (own stash, position map, key, coin stream), and the
+// composed server-side trace leaks only the data-independent routing
+// index beyond what P solo schemes leak. Each partition schedules
+// independently, so accesses to different partitions overlap — the
+// near-linear-in-P throughput lever for one hot tenant.
+type PartitionedProxy = proxy.Partitioned
+
+// NewPartitionedProxy composes per-partition proxies into one logical
+// Accessor. Partition i must hold ShardSlots(total, P, i) records and all
+// partitions must share one record size.
+func NewPartitionedProxy(parts []*Proxy) (*PartitionedProxy, error) {
+	return proxy.NewPartitioned(parts)
+}
 
 // NewProxyPipeline wraps a backing store with the write-behind stage; set
 // up the scheme over the returned pipeline and pass it to NewProxy via

@@ -23,6 +23,7 @@ type Client struct {
 	records    int
 	recordSize int
 	epoch      uint64
+	partitions int
 	roundTrips int64
 }
 
@@ -76,6 +77,7 @@ func dial(addr, name string) (*Client, error) {
 		return nil, fmt.Errorf("proxy: server reported invalid shape (%d records × %d B)", info.Size, info.BlockSize)
 	}
 	c.records, c.recordSize, c.epoch = int(info.Size), int(info.BlockSize), info.Epoch
+	c.partitions = int(info.Partitions)
 	return c, nil
 }
 
@@ -83,6 +85,12 @@ func dial(addr, name string) (*Client, error) {
 // (0 for a non-durable daemon). A client comparing epochs across
 // connections detects daemon restarts — and therefore recoveries.
 func (c *Client) Epoch() uint64 { return c.epoch }
+
+// Partitions returns the scheme-partition count the daemon reported in
+// the handshake (1 for an unpartitioned proxy, 0 for a pre-partition
+// daemon making no claim). Purely informational for clients — routing is
+// entirely server-side.
+func (c *Client) Partitions() int { return c.partitions }
 
 func (c *Client) roundTrip(req wire.Frame, want byte) (wire.Frame, error) {
 	c.mu.Lock()

@@ -1,0 +1,365 @@
+package proxy
+
+// Partitioned obliviousness regressions. The claim partitioning makes
+// (partitioned.go's doc) is exactly decomposable: the composed physical
+// trace is the interleaving of P per-partition traces, each oblivious on
+// its own, plus the partition index of every request — a data-independent
+// function (u mod P) of the logical address. Four invariants pin it:
+//
+//  1. Client-identity independence survives partitioning: permuting WHICH
+//     session issues each request leaves every per-partition transcript
+//     bit-identical (the partitioned analogue of invariant 1 in
+//     oblivious_test.go).
+//  2. Workload-shape independence per partition: two workloads with the
+//     SAME routing sequence — maximally colliding vs all-distinct within
+//     a partition — produce identical per-request trace shapes there and
+//     empty traces everywhere else. Cross-partition state sharing or
+//     same-address dedup would break it.
+//  3. Decomposition: each partition's transcript equals, byte for byte,
+//     the transcript of an independent single-scheme proxy run over that
+//     partition's local query subsequence. The adversary learns nothing
+//     from the composition beyond the routing indices.
+//  4. Resume independence: each partition checkpoints and resumes from
+//     ITS OWN serialized state; data striped across partitions survives a
+//     full marshal/resume cycle.
+
+import (
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/core/dpram"
+	"dpstore/internal/crypto"
+	"dpstore/internal/rng"
+	"dpstore/internal/store"
+	"dpstore/internal/trace"
+	"dpstore/internal/workload"
+)
+
+// partSeed mirrors the daemon's per-partition seed mixing (partition 0
+// reduces to the plain seed).
+func partSeed(seed int64, i int) int64 {
+	return int64(uint64(seed) ^ uint64(i)*0xbf58476d1ce4e5b9)
+}
+
+// tracedPartitioned builds a P-way partitioned deployment of the named
+// scheme, every partition over its own trace-recorded in-memory store
+// with its own key and coin stream, each proxy strictly serialized (exact
+// trace comparison needs a deterministic operation order).
+func tracedPartitioned(t *testing.T, kind string, parts, n, rs int, seed int64) (*Partitioned, []*trace.Recorder) {
+	t.Helper()
+	proxies := make([]*Proxy, parts)
+	recs := make([]*trace.Recorder, parts)
+	for i := range proxies {
+		ni := store.ShardSlots(n, parts, i)
+		proxies[i], recs[i] = tracedProxy(t, kind, ni, rs, partSeed(seed, i))
+	}
+	pt, err := NewPartitioned(proxies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt, recs
+}
+
+// TestPartitionedValidation: the constructor refuses shapes the routing
+// rule cannot address.
+func TestPartitionedValidation(t *testing.T) {
+	if _, err := NewPartitioned(nil); err == nil {
+		t.Fatal("empty partition list accepted")
+	}
+	mk := func(n, rs int) *Proxy {
+		p, _ := tracedProxy(t, "dpram", n, rs, 1)
+		return p
+	}
+	// 3 partitions of 5 records each: striping 15 over 3 needs exactly
+	// (5,5,5), so equal sizes pass…
+	if _, err := NewPartitioned([]*Proxy{mk(5, 16), mk(5, 16), mk(5, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	// …but (6,5,4) is not the stripe layout of 15 over 3.
+	if _, err := NewPartitioned([]*Proxy{mk(6, 16), mk(5, 16), mk(4, 16)}); err == nil {
+		t.Fatal("non-stripe slot split accepted")
+	}
+	if _, err := NewPartitioned([]*Proxy{mk(5, 16), mk(5, 32)}); err == nil {
+		t.Fatal("mismatched record sizes accepted")
+	}
+}
+
+// TestPartitionedRoutingAndData: logical addresses round-trip through the
+// striping, and every access lands on (only) the owning partition's
+// scheduler.
+func TestPartitionedRoutingAndData(t *testing.T) {
+	const parts, n, rs = 4, 64, 16
+	pt, _ := tracedPartitioned(t, "dpram", parts, n, rs, 7)
+	if pt.Records() != n || pt.RecordSize() != rs || pt.Partitions() != parts {
+		t.Fatalf("shape %d × %d over %d partitions", pt.Records(), pt.RecordSize(), pt.Partitions())
+	}
+	for u := 0; u < n; u++ {
+		if _, err := pt.Write(u, block.Pattern(uint64(1000+u), rs)); err != nil {
+			t.Fatalf("write %d: %v", u, err)
+		}
+	}
+	for u := 0; u < n; u++ {
+		got, err := pt.Read(u)
+		if err != nil {
+			t.Fatalf("read %d: %v", u, err)
+		}
+		if !got.Equal(block.Pattern(uint64(1000+u), rs)) {
+			t.Fatalf("record %d corrupted across the striping", u)
+		}
+	}
+	// 2n accesses striped evenly: each partition executed exactly 2n/P.
+	for i := 0; i < parts; i++ {
+		if got := pt.Part(i).Accesses(); got != 2*n/parts {
+			t.Fatalf("partition %d executed %d accesses, want %d", i, got, 2*n/parts)
+		}
+	}
+	if _, err := pt.Read(n); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if _, err := pt.Read(-1); err == nil {
+		t.Fatal("negative read accepted")
+	}
+}
+
+// TestPartitionedTraceInvariantUnderClientPermutation: same requests,
+// same global arrival order, different session attribution — every
+// partition's adversary view must be byte-identical (invariant 1 at
+// P=4, both schemes, two seeds).
+func TestPartitionedTraceInvariantUnderClientPermutation(t *testing.T) {
+	const parts, n, rs, count, clients = 4, 64, 16, 48, 4
+	assignments := map[string]func(int) int{
+		"round-robin": func(t int) int { return t % clients },
+		"blocked":     func(t int) int { return t / (count / clients) },
+		"reversed":    func(t int) int { return clients - 1 - t%clients },
+	}
+	for _, kind := range []string{"dpram", "pathoram"} {
+		for _, seed := range []int64{1, 2} {
+			reqs := fixedRequests(seed, n, rs, count)
+			var baseline []string
+			var baselineName string
+			for name, assign := range assignments {
+				pt, recs := tracedPartitioned(t, kind, parts, n, rs, seed)
+				// Serialized issue order; the "session" is attribution
+				// only, exactly as in the unpartitioned test — the
+				// partitioned accessor has no per-session state to leak,
+				// and this pins that it never grows any.
+				for i, q := range reqs {
+					_ = assign(i)
+					if _, err := pt.Access(q); err != nil {
+						t.Fatalf("%s seed %d %s: request %d: %v", kind, seed, name, i, err)
+					}
+				}
+				keys := make([]string, parts)
+				for i, rec := range recs {
+					keys[i] = rec.Transcript().Key()
+				}
+				if baseline == nil {
+					baseline, baselineName = keys, name
+					continue
+				}
+				for i := range keys {
+					if keys[i] != baseline[i] {
+						t.Fatalf("%s seed %d: partition %d trace under %q differs from %q",
+							kind, seed, i, name, baselineName)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedHotspotVsUniformSameRouting: two workloads with the SAME
+// routing sequence (every request hits partition 0) but opposite
+// collision structure — all colliding on record 0 vs all distinct local
+// records — must produce identical per-request trace shapes on partition
+// 0 and leave the other partitions' traces empty. This is the dedup
+// catcher composed with routing: the trace may depend on u mod P, never
+// on anything else about u.
+func TestPartitionedHotspotVsUniformSameRouting(t *testing.T) {
+	const parts, n, rs, count = 4, 64, 16, 32
+	for _, kind := range []string{"dpram", "pathoram"} {
+		for _, seed := range []int64{3, 4} {
+			run := func(index func(int) int) []trace.Transcript {
+				pt, recs := tracedPartitioned(t, kind, parts, n, rs, seed)
+				for i := 0; i < count; i++ {
+					q := workload.Query{Index: index(i), Op: workload.Read}
+					if i%2 == 1 {
+						q.Op = workload.Write
+						q.Data = block.Pattern(uint64(i), rs)
+					}
+					if _, err := pt.Access(q); err != nil {
+						t.Fatalf("%s seed %d: request %d: %v", kind, seed, i, err)
+					}
+				}
+				for p := 1; p < parts; p++ {
+					if qs := recs[p].Queries(); len(qs) != 0 {
+						t.Fatalf("%s seed %d: partition %d served %d requests of a partition-0-only workload",
+							kind, seed, p, len(qs))
+					}
+				}
+				return recs[0].Queries()
+			}
+			hot := run(func(int) int { return 0 })                  // all collide on record 0
+			uni := run(func(i int) int { return (i % 16) * parts }) // distinct locals, same partition
+			if len(hot) != count || len(uni) != count {
+				t.Fatalf("%s seed %d: recorded %d/%d request traces, want %d", kind, seed, len(hot), len(uni), count)
+			}
+			var hotOps, uniOps int
+			for i := range hot {
+				if hs, us := hot[i].Shape(), uni[i].Shape(); hs != us {
+					t.Fatalf("%s seed %d: request %d shape %q (hot-spot) vs %q (uniform) on partition 0",
+						kind, seed, i, hs, us)
+				}
+				hotOps += len(hot[i])
+				uniOps += len(uni[i])
+			}
+			if hotOps != uniOps {
+				t.Fatalf("%s seed %d: %d ops hot-spot vs %d uniform — dedup-style leak inside a partition",
+					kind, seed, hotOps, uniOps)
+			}
+		}
+	}
+}
+
+// TestPartitionedDecomposition: each partition's transcript is byte-equal
+// to an independent single-scheme run over the same local subsequence.
+// The composed deployment adds NOTHING to the adversary view beyond the
+// routing indices — the leakage argument of partitioned.go, tested
+// exactly.
+func TestPartitionedDecomposition(t *testing.T) {
+	const parts, n, rs, count = 4, 64, 16, 60
+	for _, kind := range []string{"dpram", "pathoram"} {
+		for _, seed := range []int64{5, 6} {
+			reqs := fixedRequests(seed, n, rs, count)
+
+			// Composed run.
+			pt, recs := tracedPartitioned(t, kind, parts, n, rs, seed)
+			for i, q := range reqs {
+				if _, err := pt.Access(q); err != nil {
+					t.Fatalf("%s seed %d: request %d: %v", kind, seed, i, err)
+				}
+			}
+
+			// Per-partition local subsequences, exactly as the router
+			// derived them.
+			local := make([][]workload.Query, parts)
+			for _, q := range reqs {
+				lq := q
+				lq.Index = q.Index / parts
+				local[q.Index%parts] = append(local[q.Index%parts], lq)
+			}
+
+			// Independent single-scheme replays with the same per-partition
+			// seeds over the same local shapes.
+			for i := 0; i < parts; i++ {
+				ni := store.ShardSlots(n, parts, i)
+				solo, soloRec := tracedProxy(t, kind, ni, rs, partSeed(seed, i))
+				for j, q := range local[i] {
+					if _, err := solo.Access(q); err != nil {
+						t.Fatalf("%s seed %d: solo partition %d request %d: %v", kind, seed, i, j, err)
+					}
+				}
+				if got, want := recs[i].Transcript().Key(), soloRec.Transcript().Key(); got != want {
+					t.Fatalf("%s seed %d: partition %d transcript diverges from an independent run — composition leaks more than the routing",
+						kind, seed, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedResume: every partition marshals and resumes from its
+// own serialized state; the striped database survives the cycle intact.
+func TestPartitionedResume(t *testing.T) {
+	const parts, n, rs = 4, 32, 16
+	servers := make([]*store.Mem, parts)
+	schemes := make([]DurableScheme, parts)
+	proxies := make([]*Proxy, parts)
+	for i := range proxies {
+		ni := store.ShardSlots(n, parts, i)
+		db, err := block.NewDatabase(ni, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := store.NewMem(ni, crypto.CiphertextSize(rs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = mem
+		c, err := dpram.Setup(db, mem, dpram.Options{
+			Rand: rng.New(partSeed(11, i)),
+			Key:  crypto.KeyFromSeed(uint64(partSeed(11, i))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes[i] = c
+		proxies[i] = New(c, Options{})
+	}
+	pt, err := NewPartitioned(proxies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		if _, err := pt.Write(u, block.Pattern(uint64(500+u), rs)); err != nil {
+			t.Fatalf("write %d: %v", u, err)
+		}
+	}
+	if err := pt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Marshal each partition's state and resume P fresh scheme instances
+	// over the same physical arrays — the daemon's restart path in
+	// miniature, one (state, window) pair per partition.
+	resumed := make([]*Proxy, parts)
+	for i := range resumed {
+		state, err := schemes[i].MarshalState()
+		if err != nil {
+			t.Fatalf("partition %d marshal: %v", i, err)
+		}
+		c, err := dpram.Resume(servers[i], state, dpram.Options{Rand: rng.New(partSeed(12, i))})
+		if err != nil {
+			t.Fatalf("partition %d resume: %v", i, err)
+		}
+		resumed[i] = New(c, Options{})
+	}
+	pt2, err := NewPartitioned(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pt2.Close() //nolint:errcheck
+	for u := 0; u < n; u++ {
+		got, err := pt2.Read(u)
+		if err != nil {
+			t.Fatalf("resumed read %d: %v", u, err)
+		}
+		if !got.Equal(block.Pattern(uint64(500+u), rs)) {
+			t.Fatalf("record %d lost across the per-partition resume", u)
+		}
+	}
+}
+
+// TestPartitionedAggregates: the composed gauges sum their partitions.
+func TestPartitionedAggregates(t *testing.T) {
+	const parts, n, rs = 2, 16, 16
+	pt, _ := tracedPartitioned(t, "dpram", parts, n, rs, 21)
+	for u := 0; u < n; u++ {
+		if _, err := pt.Read(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want int64
+	for i := 0; i < parts; i++ {
+		want += pt.Part(i).Accesses()
+	}
+	if got := pt.Accesses(); got != want || got != int64(n) {
+		t.Fatalf("aggregate accesses %d, partition sum %d, want %d", got, want, n)
+	}
+	if pt.Epoch() != 0 || pt.Checkpoints() != 0 {
+		t.Fatalf("ephemeral deployment reports epoch %d, %d checkpoints", pt.Epoch(), pt.Checkpoints())
+	}
+	if err := pt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -357,6 +357,11 @@ func (p *Proxy) AccessRecord(index int, write bool, data block.Block) (block.Blo
 	return p.Access(q)
 }
 
+// Partitions reports a single-scheme proxy as one partition, so the serve
+// loop's handshake advertises a partition count for every proxy-backed
+// namespace (Partitioned overrides this with P).
+func (p *Proxy) Partitions() int { return 1 }
+
 // Accesses returns the number of scheme accesses executed so far.
 func (p *Proxy) Accesses() int64 { return p.accesses.Load() }
 

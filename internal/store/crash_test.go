@@ -193,6 +193,60 @@ func pathoramWorkload(t *testing.T, cs *crashStore, seed int64) {
 	}
 }
 
+// partitionedWorkload stripes one 64-record tenant over four independent
+// DP-RAM instances, each running over its own store.Offset window of the
+// SAME crash-injected engine — the daemon's -partitions layout. All four
+// partitions append to one WAL, so a crash lands mid-batch of exactly one
+// partition while the acked state of its siblings, interleaved through the
+// same log, must recover bit-identical too.
+func partitionedWorkload(t *testing.T, cs *crashStore, seed int64) {
+	t.Helper()
+	const n, recSize, parts = 64, 24, 4
+	cls := make([]*dpram.Client, parts)
+	base := 0
+	for i := 0; i < parts; i++ {
+		ni := store.ShardSlots(n, parts, i)
+		db, err := block.NewDatabase(ni, recSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < ni; j++ {
+			copy(db.Get(j), fmt.Sprintf("p%d-%03d", i, j))
+		}
+		win, err := store.NewOffset(cs, base, ni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base += ni
+		// The daemon's per-partition seed mixing: decorrelated coin
+		// streams from one tenant seed.
+		opts := dpram.Options{Rand: rng.New(int64(uint64(seed) ^ uint64(i)*0xbf58476d1ce4e5b9)), StashParam: 8}
+		cl, err := dpram.Setup(db, win, opts)
+		if err != nil {
+			if errors.Is(err, errSimulatedCrash) {
+				return
+			}
+			t.Fatal(err)
+		}
+		cls[i] = cl
+	}
+	for q := 0; q < 64; q++ {
+		u := (q * 11) % n // visits every partition
+		cl, local := cls[u%parts], u/parts
+		var aerr error
+		if q%3 == 0 {
+			rec := block.New(recSize)
+			copy(rec, fmt.Sprintf("upd-%03d", q))
+			_, aerr = cl.Write(local, rec)
+		} else {
+			_, aerr = cl.Read(local)
+		}
+		if aerr != nil {
+			return // crashed: the harness verifies recovery next
+		}
+	}
+}
+
 // shapeFor returns the physical store shape a workload needs.
 func shapeFor(scheme string) (n, blockSize int) {
 	switch scheme {
@@ -200,6 +254,10 @@ func shapeFor(scheme string) (n, blockSize int) {
 		return 64, dpram.ServerBlockSize(24, dpram.Options{})
 	case "pathoram":
 		return pathoram.TreeShape(16, 16, pathoram.Options{})
+	case "partitioned":
+		// 4 × ShardSlots(64, 4, i) windows tile the same 64 slots the
+		// single-scheme dpram workload uses.
+		return 64, dpram.ServerBlockSize(24, dpram.Options{})
 	}
 	panic("unknown scheme")
 }
@@ -210,6 +268,8 @@ func runWorkload(t *testing.T, scheme string, cs *crashStore, seed int64) {
 		dpramWorkload(t, cs, seed)
 	case "pathoram":
 		pathoramWorkload(t, cs, seed)
+	case "partitioned":
+		partitionedWorkload(t, cs, seed)
 	}
 }
 
@@ -219,7 +279,7 @@ func runWorkload(t *testing.T, scheme string, cs *crashStore, seed int64) {
 // the acked shadow. This is the test the CI crash gate runs twice.
 func TestCrashRecoveryTornWAL(t *testing.T) {
 	const crashPoints = 24 // offsets per scheme per torn length
-	for _, scheme := range []string{"dpram", "pathoram"} {
+	for _, scheme := range []string{"dpram", "pathoram", "partitioned"} {
 		t.Run(scheme, func(t *testing.T) {
 			n, blockSize := shapeFor(scheme)
 			// Dry run with an unreachable crash offset to learn the total
@@ -260,7 +320,7 @@ func TestCrashRecoveryTornWAL(t *testing.T) {
 // workload lands, closes cleanly, and recovery is a no-op that still
 // matches the shadow (guards the harness itself against false positives).
 func TestCrashRecoveryCleanRun(t *testing.T) {
-	for _, scheme := range []string{"dpram", "pathoram"} {
+	for _, scheme := range []string{"dpram", "pathoram", "partitioned"} {
 		n, blockSize := shapeFor(scheme)
 		base := filepath.Join(t.TempDir(), "clean")
 		cs := newCrashStore(t, base, n, blockSize, nil)

@@ -1,0 +1,131 @@
+package store
+
+import (
+	"testing"
+
+	"dpstore/internal/block"
+)
+
+func newOffsetFixture(t *testing.T) (*Mem, *Offset) {
+	t.Helper()
+	mem, err := NewMem(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := NewOffset(AsBatch(mem), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, off
+}
+
+func fill(b byte, n int) block.Block {
+	blk := make(block.Block, n)
+	for i := range blk {
+		blk[i] = b
+	}
+	return blk
+}
+
+// TestOffsetTranslation: single ops land at base+addr in the inner store,
+// and the window reports its own shape.
+func TestOffsetTranslation(t *testing.T) {
+	mem, off := newOffsetFixture(t)
+	if off.Size() != 3 || off.BlockSize() != 8 || off.Base() != 4 {
+		t.Fatalf("window shape %d × %d at %d", off.Size(), off.BlockSize(), off.Base())
+	}
+	if err := off.Upload(2, fill(0xAB, 8)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.Download(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Fatalf("inner slot 6 = %x, want AB", got[0])
+	}
+	back, err := off.Download(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != 0xAB {
+		t.Fatalf("window slot 2 = %x, want AB", back[0])
+	}
+	// Slots outside the window are untouched and unreachable.
+	for _, addr := range []int{-1, 3} {
+		if _, err := off.Download(addr); err == nil {
+			t.Fatalf("download %d accepted outside [0,3)", addr)
+		}
+		if err := off.Upload(addr, fill(0, 8)); err == nil {
+			t.Fatalf("upload %d accepted outside [0,3)", addr)
+		}
+	}
+}
+
+// TestOffsetBatches: batch ops translate every address and never mutate
+// the caller's op slice (the write-behind pipeline retains its ops).
+func TestOffsetBatches(t *testing.T) {
+	mem, off := newOffsetFixture(t)
+	ops := []WriteOp{{Addr: 0, Block: fill(1, 8)}, {Addr: 2, Block: fill(3, 8)}}
+	if err := off.WriteBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	if ops[0].Addr != 0 || ops[1].Addr != 2 {
+		t.Fatalf("caller ops mutated: %d, %d", ops[0].Addr, ops[1].Addr)
+	}
+	for inner, want := range map[int]byte{4: 1, 6: 3} {
+		got, err := mem.Download(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("inner slot %d = %d, want %d", inner, got[0], want)
+		}
+	}
+	blocks, err := off.ReadBatch([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks[0][0] != 3 || blocks[1][0] != 1 {
+		t.Fatalf("batch read %d, %d", blocks[0][0], blocks[1][0])
+	}
+	if _, err := off.ReadBatch([]int{0, 3}); err == nil {
+		t.Fatal("batch read past the window accepted")
+	}
+	if err := off.WriteBatch([]WriteOp{{Addr: -1, Block: fill(0, 8)}}); err == nil {
+		t.Fatal("batch write below the window accepted")
+	}
+}
+
+// TestOffsetValidation: a window must fit entirely inside the inner store.
+func TestOffsetValidation(t *testing.T) {
+	mem, err := NewMem(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ base, n int }{{-1, 2}, {0, 0}, {8, 3}, {10, 1}} {
+		if _, err := NewOffset(AsBatch(mem), tc.base, tc.n); err == nil {
+			t.Fatalf("window [%d,+%d) over 10 slots accepted", tc.base, tc.n)
+		}
+	}
+	// Adjacent windows tile the store exactly.
+	a, err := NewOffset(AsBatch(mem), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewOffset(AsBatch(mem), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Upload(4, fill(7, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Upload(0, fill(9, 8)); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := mem.Download(4)
+	y, _ := mem.Download(5)
+	if x[0] != 7 || y[0] != 9 {
+		t.Fatalf("tiling broke: %d, %d", x[0], y[0])
+	}
+}

@@ -24,6 +24,26 @@ type Pool struct {
 	size      int
 	blockSize int
 	epoch     uint64
+
+	// retry, when set via SetRetryPolicy, re-runs busy-shed operations
+	// (see retry.go). Each attempt claims a fresh connection, so a client
+	// backing off releases its pool slot while it sleeps.
+	retry *retrier
+}
+
+// run executes op on a claimed connection under the pool's retry policy.
+// The connection is claimed per attempt, not per operation: between busy
+// retries the slot goes back to the idle set for other callers.
+func (p *Pool) run(op func(r *Remote) error) error {
+	attempt := func() error {
+		r := p.get()
+		defer p.put(r)
+		return op(r)
+	}
+	if p.retry == nil {
+		return attempt()
+	}
+	return p.retry.do(attempt)
 }
 
 // NewPool builds a pool of conns connections, each produced by dial. Use
@@ -93,31 +113,35 @@ func (p *Pool) put(r *Remote) { p.idle <- r }
 
 // Download implements Server.
 func (p *Pool) Download(addr int) (block.Block, error) {
-	r := p.get()
-	defer p.put(r)
-	return r.Download(addr)
+	var out block.Block
+	err := p.run(func(r *Remote) error {
+		var err error
+		out, err = r.Download(addr)
+		return err
+	})
+	return out, err
 }
 
 // Upload implements Server.
 func (p *Pool) Upload(addr int, b block.Block) error {
-	r := p.get()
-	defer p.put(r)
-	return r.Upload(addr, b)
+	return p.run(func(r *Remote) error { return r.Upload(addr, b) })
 }
 
 // ReadBatch implements BatchServer; the whole batch rides one connection
 // (one round trip up to the frame ceiling, like Remote).
 func (p *Pool) ReadBatch(addrs []int) ([]block.Block, error) {
-	r := p.get()
-	defer p.put(r)
-	return r.ReadBatch(addrs)
+	var out []block.Block
+	err := p.run(func(r *Remote) error {
+		var err error
+		out, err = r.ReadBatch(addrs)
+		return err
+	})
+	return out, err
 }
 
 // WriteBatch implements BatchServer.
 func (p *Pool) WriteBatch(ops []WriteOp) error {
-	r := p.get()
-	defer p.put(r)
-	return r.WriteBatch(ops)
+	return p.run(func(r *Remote) error { return r.WriteBatch(ops) })
 }
 
 // Size implements Server.

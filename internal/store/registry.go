@@ -87,12 +87,21 @@ func BumpEpoch(path string) (uint64, error) {
 
 // --- namespace registry ------------------------------------------------------
 
-// NamespaceRecord is one persisted factory-created namespace: enough to
-// recreate the tenant (and find its backing files) after a restart.
+// NamespaceRecord is one persisted namespace: enough to recreate the
+// tenant (and find its backing files) after a restart. For block
+// namespaces only the shape matters. A record with Proxy set instead
+// describes a proxy-backed namespace — Slots/BlockSize are then the
+// LOGICAL records × record bytes, Proxy names the scheme, and Partitions
+// records the stripe width P — so a restart can refuse flags that
+// disagree with the striping the on-disk journals and physical layout
+// were built under (resuming P partitions as P' would scramble every
+// logical address).
 type NamespaceRecord struct {
-	Name      string `json:"name"`
-	Slots     int    `json:"slots"`
-	BlockSize int    `json:"blockSize"`
+	Name       string `json:"name"`
+	Slots      int    `json:"slots"`
+	BlockSize  int    `json:"blockSize"`
+	Proxy      string `json:"proxy,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
 }
 
 // registryFile is the JSON envelope, versioned like every other on-disk

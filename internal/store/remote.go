@@ -43,6 +43,20 @@ type Remote struct {
 	readBuf      []byte
 	addrScratch  []int
 	blockScratch [][]byte
+
+	// retry, when set via SetRetryPolicy, re-runs busy-shed public
+	// operations instead of surfacing wire.BusyError (see retry.go). Set
+	// before sharing the connection; nil means busy errors surface.
+	retry *retrier
+}
+
+// run executes op under the connection's retry policy (or directly when
+// none is armed).
+func (rs *Remote) run(op func() error) error {
+	if rs.retry == nil {
+		return op()
+	}
+	return rs.retry.do(op)
 }
 
 // dialTimeout bounds connection establishment. An unbounded net.Dial
@@ -156,6 +170,15 @@ func (rs *Remote) Epoch() uint64 {
 	return rs.info.Epoch
 }
 
+// Partitions returns the scheme-partition count the server reported in
+// the handshake: ≥ 1 for a proxy-backed namespace, 0 for block namespaces
+// and pre-partition servers (no partitioning claim).
+func (rs *Remote) Partitions() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return int(rs.info.Partitions)
+}
+
 // shape returns the current namespace's store shape.
 func (rs *Remote) shape() wire.Info {
 	rs.mu.Lock()
@@ -217,17 +240,27 @@ func (rs *Remote) RoundTrips() int64 {
 
 // Download implements Server.
 func (rs *Remote) Download(addr int) (block.Block, error) {
-	resp, err := rs.roundTrip(wire.EncodeDownloadReq(uint64(addr)), wire.MsgDownloadResp)
+	var out block.Block
+	err := rs.run(func() error {
+		resp, err := rs.roundTrip(wire.EncodeDownloadReq(uint64(addr)), wire.MsgDownloadResp)
+		if err != nil {
+			return err
+		}
+		out = block.Block(resp.Payload).Copy()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return block.Block(resp.Payload).Copy(), nil
+	return out, nil
 }
 
 // Upload implements Server.
 func (rs *Remote) Upload(addr int, b block.Block) error {
-	_, err := rs.roundTrip(wire.EncodeUploadReq(uint64(addr), b), wire.MsgUploadResp)
-	return err
+	return rs.run(func() error {
+		_, err := rs.roundTrip(wire.EncodeUploadReq(uint64(addr), b), wire.MsgUploadResp)
+		return err
+	})
 }
 
 // readChunk returns the largest address count whose MsgReadBatchReq and
@@ -263,6 +296,21 @@ func (rs *Remote) ReadBatch(addrs []int) ([]block.Block, error) {
 	if len(addrs) == 0 {
 		return nil, nil
 	}
+	if rs.retry != nil {
+		// Retry the whole batch: a shed chunk never executed, and re-reading
+		// already-delivered chunks is a pure (idempotent) cost.
+		var out []block.Block
+		err := rs.retry.do(func() error {
+			var err error
+			out, err = rs.readBatchOnce(addrs)
+			return err
+		})
+		return out, err
+	}
+	return rs.readBatchOnce(addrs)
+}
+
+func (rs *Remote) readBatchOnce(addrs []int) ([]block.Block, error) {
 	blockSize := int(rs.shape().BlockSize)
 	chunk := rs.readChunk(blockSize)
 	out := newSlab(len(addrs), blockSize)
@@ -309,6 +357,15 @@ func (rs *Remote) WriteBatch(ops []WriteOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	if rs.retry != nil {
+		// Replaying a half-applied batch is safe: WriteBatch sets absolute
+		// values, so a second application converges to the same state.
+		return rs.retry.do(func() error { return rs.writeBatchOnce(ops) })
+	}
+	return rs.writeBatchOnce(ops)
+}
+
+func (rs *Remote) writeBatchOnce(ops []WriteOp) error {
 	// The batch frame layout relies on uniform block sizes; a ragged op
 	// would silently mis-frame on the wire, so fail it here exactly as the
 	// server would fail the per-block upload.
@@ -646,12 +703,15 @@ func handleOpen(req wire.Frame, ns *Namespaces, cur tenant, epoch uint64) (wire.
 		return wire.EncodeError(err.Error()), cur
 	}
 	slots, blockSize := t.shape()
-	resp := wire.EncodeOpenResp(wire.Info{
+	info := wire.Info{
 		Size:      uint64(slots),
 		BlockSize: uint32(blockSize),
 		Epoch:     epoch,
-	})
-	return resp, t
+	}
+	if t.acc != nil {
+		info.Partitions = accessorPartitions(t.acc)
+	}
+	return wire.EncodeOpenResp(info), t
 }
 
 // handleAccess serves one frame against a proxy-backed namespace: only the
@@ -662,9 +722,10 @@ func handleAccess(req wire.Frame, acc Accessor, epoch uint64) wire.Frame {
 	switch req.Type {
 	case wire.MsgInfoReq:
 		return wire.EncodeInfo(wire.Info{
-			Size:      uint64(acc.Records()),
-			BlockSize: uint32(acc.RecordSize()),
-			Epoch:     epoch,
+			Size:       uint64(acc.Records()),
+			BlockSize:  uint32(acc.RecordSize()),
+			Epoch:      epoch,
+			Partitions: accessorPartitions(acc),
 		})
 	case wire.MsgAccessReq:
 		areq, err := wire.DecodeAccessReq(req.Payload)
@@ -781,4 +842,19 @@ func handle(req wire.Frame, backing BatchServer, epoch uint64) wire.Frame {
 // cluster's health via MsgReplStatusReq.
 type replicaStatusReporter interface {
 	ReplicaStatus() []ReplicaStatus
+}
+
+// partitionReporter is the serve loop's view of an accessor that stripes
+// its logical address space over P independent scheme instances
+// (proxy.Partitioned implements it). Accessors without the method are one
+// scheme instance, so the handshake reports 1.
+type partitionReporter interface {
+	Partitions() int
+}
+
+func accessorPartitions(acc Accessor) uint32 {
+	if pr, ok := acc.(partitionReporter); ok {
+		return uint32(pr.Partitions())
+	}
+	return 1
 }

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dpstore/internal/wire"
+)
+
+// RetryPolicy makes busy-shed operations retry instead of surfacing
+// wire.BusyError to the caller. The daemon's admission control sheds a
+// frame before decoding it and attaches a RetryAfter hint sized to its
+// current queue depth; until now clients decoded that hint and dropped it
+// on the floor. A policy closes the loop: honor the hint as the backoff
+// floor, add full jitter so a synchronized client herd doesn't re-arrive
+// as one spike, cap the attempts, and bound the total time spent.
+//
+// Retrying whole operations is safe because every block-layer op is
+// idempotent: Download/ReadBatch are pure reads, Upload/WriteBatch set
+// absolute values (a replay after a half-observed first attempt converges
+// to the same state). The shed itself happens before the server decodes
+// the payload, so a shed attempt definitively did not execute.
+//
+// The zero policy retries nothing; use DefaultRetryPolicy for sane knobs.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first. 0 or
+	// 1 disables retrying.
+	MaxAttempts int
+	// Budget bounds the summed backoff sleep across one operation; once
+	// spent, the next busy error surfaces to the caller. 0 means no
+	// budget cap.
+	Budget time.Duration
+	// MinBackoff floors the per-attempt backoff base when the server's
+	// RetryAfter hint is zero or absent (default 1ms).
+	MinBackoff time.Duration
+	// MaxBackoff caps the per-attempt backoff base (default 250ms).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy retries up to 8 attempts over at most 2 s.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 8, Budget: 2 * time.Second}
+}
+
+func (rp RetryPolicy) enabled() bool { return rp.MaxAttempts > 1 }
+
+func (rp RetryPolicy) minBackoff() time.Duration {
+	if rp.MinBackoff > 0 {
+		return rp.MinBackoff
+	}
+	return time.Millisecond
+}
+
+func (rp RetryPolicy) maxBackoff() time.Duration {
+	if rp.MaxBackoff > 0 {
+		return rp.MaxBackoff
+	}
+	return 250 * time.Millisecond
+}
+
+// retrier runs operations under a RetryPolicy with its own jitter source
+// (the global rand would contend across pooled connections).
+type retrier struct {
+	policy RetryPolicy
+	mu     sync.Mutex
+	rng    *rand.Rand
+	sleep  func(time.Duration) // test seam; time.Sleep when nil
+	// retries counts busy-shed attempts that were retried (not the ones
+	// that surfaced); the load harness reports it.
+	retries int64
+}
+
+func newRetrier(rp RetryPolicy) *retrier {
+	return &retrier{policy: rp, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+func (rt *retrier) jitter(base time.Duration) time.Duration {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if base <= 0 {
+		return 0
+	}
+	return time.Duration(rt.rng.Int63n(int64(base)))
+}
+
+func (rt *retrier) addRetry() {
+	rt.mu.Lock()
+	rt.retries++
+	rt.mu.Unlock()
+}
+
+func (rt *retrier) Retries() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.retries
+}
+
+// do runs op, retrying busy errors per the policy. Each busy attempt
+// sleeps a full-jitter draw from [0, base), where base starts at
+// max(hint, MinBackoff), doubles per attempt, and is capped by
+// MaxBackoff. Non-busy errors surface immediately; so does a busy error
+// once attempts run out or the next backoff no longer fits the remaining
+// budget.
+func (rt *retrier) do(op func() error) error {
+	var spent time.Duration
+	backoff := rt.policy.minBackoff()
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		hint, busy := wire.IsBusy(err)
+		if !busy || attempt >= rt.policy.MaxAttempts {
+			return err
+		}
+		base := backoff
+		if hint > base {
+			base = hint
+		}
+		if max := rt.policy.maxBackoff(); base > max {
+			base = max
+		}
+		if budget := rt.policy.Budget; budget > 0 && base > budget-spent {
+			return fmt.Errorf("store: retry budget %v exhausted after %d attempts: %w", budget, attempt, err)
+		}
+		d := rt.jitter(base)
+		spent += d
+		rt.addRetry()
+		if rt.sleep != nil {
+			rt.sleep(d)
+		} else {
+			time.Sleep(d)
+		}
+		if backoff < rt.policy.maxBackoff() {
+			backoff *= 2
+		}
+	}
+}
+
+// SetRetryPolicy arms busy-retry on every public operation of the pool.
+// Call it before sharing the pool across goroutines; the retry loop
+// claims a fresh connection per attempt, so one shed client backing off
+// does not pin a pool slot.
+func (p *Pool) SetRetryPolicy(rp RetryPolicy) {
+	if rp.enabled() {
+		p.retry = newRetrier(rp)
+	} else {
+		p.retry = nil
+	}
+}
+
+// Retries reports how many busy-shed attempts the pool has retried (0
+// without a policy).
+func (p *Pool) Retries() int64 {
+	if p.retry == nil {
+		return 0
+	}
+	return p.retry.Retries()
+}
+
+// SetRetryPolicy arms busy-retry on every public operation of this
+// connection. Call it before sharing the Remote across goroutines.
+func (rs *Remote) SetRetryPolicy(rp RetryPolicy) {
+	if rp.enabled() {
+		rs.retry = newRetrier(rp)
+	} else {
+		rs.retry = nil
+	}
+}
+
+// Retries reports how many busy-shed attempts this connection has
+// retried (0 without a policy).
+func (rs *Remote) Retries() int64 {
+	if rs.retry == nil {
+		return 0
+	}
+	return rs.retry.Retries()
+}

@@ -1,0 +1,240 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpstore/internal/block"
+	"dpstore/internal/wire"
+	"dpstore/internal/workload"
+)
+
+// busyAfter returns an op that fails busy (with the given hint) for the
+// first n calls, then succeeds, counting calls.
+func busyAfter(n int, hint time.Duration, calls *int) func() error {
+	return func() error {
+		*calls++
+		if *calls <= n {
+			return fmt.Errorf("op: %w", &wire.BusyError{RetryAfter: hint, Queued: 3})
+		}
+		return nil
+	}
+}
+
+// TestRetrierHonorsHint: the backoff base is the server hint (when above
+// the floor) and every sleep is a full-jitter draw strictly below it.
+func TestRetrierHonorsHint(t *testing.T) {
+	rt := newRetrier(RetryPolicy{MaxAttempts: 5})
+	var sleeps []time.Duration
+	rt.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	calls := 0
+	if err := rt.do(busyAfter(3, 5*time.Millisecond, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("op ran %d times, want 4", calls)
+	}
+	if rt.Retries() != 3 {
+		t.Fatalf("counted %d retries, want 3", rt.Retries())
+	}
+	for i, d := range sleeps {
+		if d < 0 || d >= 5*time.Millisecond {
+			t.Fatalf("sleep %d = %v outside [0, 5ms)", i, d)
+		}
+	}
+}
+
+// TestRetrierNonBusyPassthrough: only busy errors retry.
+func TestRetrierNonBusyPassthrough(t *testing.T) {
+	rt := newRetrier(RetryPolicy{MaxAttempts: 5})
+	rt.sleep = func(time.Duration) {}
+	boom := errors.New("boom")
+	calls := 0
+	err := rt.do(func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("err %v after %d calls", err, calls)
+	}
+	if rt.Retries() != 0 {
+		t.Fatalf("counted %d retries", rt.Retries())
+	}
+}
+
+// TestRetrierAttemptCap: a persistently busy server surfaces the busy
+// error after exactly MaxAttempts tries.
+func TestRetrierAttemptCap(t *testing.T) {
+	rt := newRetrier(RetryPolicy{MaxAttempts: 3})
+	rt.sleep = func(time.Duration) {}
+	calls := 0
+	err := rt.do(busyAfter(1000, time.Millisecond, &calls))
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+	if _, busy := wire.IsBusy(err); !busy {
+		t.Fatalf("surfaced error is not busy: %v", err)
+	}
+}
+
+// TestRetrierBudget: the summed backoff never exceeds Budget, and
+// exhausting it surfaces a budget error that still chains to BusyError.
+func TestRetrierBudget(t *testing.T) {
+	rt := newRetrier(RetryPolicy{MaxAttempts: 1000, Budget: 10 * time.Millisecond, MinBackoff: 8 * time.Millisecond})
+	var total time.Duration
+	rt.sleep = func(d time.Duration) { total += d }
+	calls := 0
+	err := rt.do(busyAfter(1000000, 0, &calls))
+	if err == nil {
+		t.Fatal("budget never tripped")
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("error %v does not name the budget", err)
+	}
+	if _, busy := wire.IsBusy(err); !busy {
+		t.Fatalf("budget error does not chain to the busy cause: %v", err)
+	}
+	if total > 10*time.Millisecond {
+		t.Fatalf("slept %v past the 10ms budget", total)
+	}
+	if calls >= 1000 {
+		t.Fatalf("attempt cap reached before budget (%d calls)", calls)
+	}
+}
+
+// gateStore blocks Download(0) until the gate closes, so a MaxInflight=1
+// admission layer sheds every other request with busy frames for as long
+// as the gate holds — a deterministic overload window.
+type gateStore struct {
+	*Mem
+	gate    chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (g *gateStore) Download(addr int) (block.Block, error) {
+	if addr == 0 {
+		g.once.Do(func() { close(g.entered) })
+		<-g.gate
+	}
+	return g.Mem.Download(addr)
+}
+
+// startGateDaemon serves one namespace with MaxInflight=1/MaxQueue=0
+// admission over a gateStore and returns the address and the gate.
+func startGateDaemon(t *testing.T) (addr string, g *gateStore) {
+	t.Helper()
+	mem, err := NewMem(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = &gateStore{Mem: mem, gate: make(chan struct{}), entered: make(chan struct{})}
+	ns := NewNamespaces()
+	ns.Attach(DefaultNamespace, g)
+	ns.SetAdmission(AdmitOptions{MaxInflight: 1, MaxQueue: 0})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go ServeNamespaces(ln, ns) //nolint:errcheck // torn down with the listener
+	return ln.Addr().String(), g
+}
+
+// occupyGate claims the single admission slot with a Download(0) that
+// blocks on the gate, and returns once the server has it in flight.
+func occupyGate(t *testing.T, addr string, g *gateStore) {
+	t.Helper()
+	occ, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { occ.Close() })
+	go occ.Download(0) //nolint:errcheck // unblocked and discarded at gate close
+	select {
+	case <-g.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("occupier never reached the store")
+	}
+}
+
+// TestPoolRetryRidesOutOverload: with a retry policy, a pool completes
+// operations through a shedding window with zero client-visible busy
+// errors; without one, the same window surfaces sheds.
+func TestPoolRetryRidesOutOverload(t *testing.T) {
+	addr, g := startGateDaemon(t)
+	occupyGate(t, addr, g)
+
+	pool, err := DialPool(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pool.SetRetryPolicy(RetryPolicy{MaxAttempts: 200, Budget: 10 * time.Second, MinBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond})
+
+	// First, confirm the window sheds a policy-less client.
+	bare, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if _, err := bare.Download(1); err == nil {
+		t.Fatal("overloaded daemon served a second request")
+	} else if _, busy := wire.IsBusy(err); !busy {
+		t.Fatalf("unexpected shed error: %v", err)
+	}
+
+	time.AfterFunc(50*time.Millisecond, func() { close(g.gate) })
+	if _, err := pool.Download(1); err != nil {
+		t.Fatalf("retrying pool surfaced: %v", err)
+	}
+	if pool.Retries() == 0 {
+		t.Fatal("overload window produced no retries")
+	}
+}
+
+// TestRetryLatencyChargedFromIntendedArrival: retried operations are
+// charged from their INTENDED schedule arrival, so time spent backing off
+// through an overload window appears in the quantiles — the retry path
+// must not reintroduce coordinated omission. Every op is offered in the
+// first ~10ms while the daemon sheds everything; the gate opens at 60ms;
+// honest accounting therefore puts the median at tens of milliseconds.
+func TestRetryLatencyChargedFromIntendedArrival(t *testing.T) {
+	addr, g := startGateDaemon(t)
+	occupyGate(t, addr, g)
+
+	pool, err := DialPool(addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pool.SetRetryPolicy(RetryPolicy{MaxAttempts: 500, Budget: 20 * time.Second, MinBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond})
+
+	time.AfterFunc(60*time.Millisecond, func() { close(g.gate) })
+	// 16 ops at 2000/s: all intended arrivals land in the first 8ms, all
+	// completions after the 60ms gate.
+	rep, err := workload.RunOpenLoop(workload.DriverOptions{
+		Schedule: workload.ConstantRate(2000, 8*time.Millisecond),
+		Sessions: 4,
+		Workers:  4,
+		Do: func(session, seq int) error {
+			_, err := pool.Download(1 + (session+seq)%8)
+			return err
+		},
+		IsShed: func(err error) bool { _, ok := wire.IsBusy(err); return ok },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors > 0 || rep.Shed > 0 {
+		t.Fatalf("retry-armed run surfaced %d errors, %d sheds (first: %v)", rep.Errors, rep.Shed, rep.FirstErr)
+	}
+	if p50 := rep.Latency.Quantile(0.50); p50 < 25*time.Millisecond {
+		t.Fatalf("median latency %v, want ≥ 25ms: retried ops are not being charged from intended arrival", p50)
+	}
+	if pool.Retries() == 0 {
+		t.Fatal("overload window produced no retries")
+	}
+}

@@ -35,10 +35,40 @@ func TestInfoLegacyDecode(t *testing.T) {
 		t.Fatalf("legacy decode: %+v", got)
 	}
 	// Anything else is rejected.
-	for _, n := range []int{0, 11, 13, 19, 21} {
+	for _, n := range []int{0, 11, 13, 19, 21, 23, 25} {
 		if _, err := DecodeInfo(make([]byte, n)); err == nil {
 			t.Fatalf("%d-byte info payload accepted", n)
 		}
+	}
+}
+
+// TestInfoPartitionsRoundTrip: a partition count selects the 24-byte
+// layout and round-trips; its absence keeps the 20-byte epoch layout, so
+// block namespaces stay bit-compatible with pre-partition clients.
+func TestInfoPartitionsRoundTrip(t *testing.T) {
+	want := Info{Size: 4096, BlockSize: 64, Epoch: 7, Partitions: 4}
+	f := EncodeInfo(want)
+	if len(f.Payload) != 24 {
+		t.Fatalf("payload %d bytes, want 24", len(f.Payload))
+	}
+	got, err := DecodeInfo(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+	// 20-byte payloads decode as partitions 0 — old servers make no claim.
+	if got, err := DecodeInfo(EncodeInfo(Info{Size: 1, BlockSize: 1, Epoch: 2}).Payload); err != nil || got.Partitions != 0 {
+		t.Fatalf("epoch-layout decode: %+v, %v", got, err)
+	}
+	// The open handshake carries it identically.
+	of := EncodeOpenResp(want)
+	if of.Type != MsgOpenResp || len(of.Payload) != 24 {
+		t.Fatalf("open resp type %d, %d bytes", of.Type, len(of.Payload))
+	}
+	if got, err := DecodeOpenResp(of.Payload); err != nil || got.Partitions != 4 {
+		t.Fatalf("open resp decode: %+v, %v", got, err)
 	}
 }
 

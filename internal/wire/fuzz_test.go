@@ -252,3 +252,42 @@ func FuzzAccessReq(f *testing.F) {
 		}
 	})
 }
+
+// FuzzInfoResp fuzzes the handshake shape decoder across its three
+// accepted layouts (12-byte legacy, 20-byte epoch, 24-byte partition).
+// Decoding is canonicalizing — the legacy form re-encodes to the modern
+// layout — so the invariant is semantic idempotence (decode ∘ encode ∘
+// decode = decode), plus exact byte round trips on canonical inputs.
+func FuzzInfoResp(f *testing.F) {
+	f.Add(EncodeInfo(Info{Size: 1 << 16, BlockSize: 112}).Payload)
+	f.Add(EncodeInfo(Info{Size: 4096, BlockSize: 64, Epoch: 7}).Payload)
+	f.Add(EncodeInfo(Info{Size: 4096, BlockSize: 64, Epoch: 7, Partitions: 4}).Payload)
+	f.Add(make([]byte, 12)) // legacy layout
+	f.Add(make([]byte, 21)) // off-by-one of every boundary must reject
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := DecodeInfo(data)
+		if err != nil {
+			return
+		}
+		if len(data) < 20 && info.Epoch != 0 {
+			t.Fatalf("legacy payload produced epoch %d", info.Epoch)
+		}
+		if len(data) < 24 && info.Partitions != 0 {
+			t.Fatalf("%d-byte payload produced partitions %d", len(data), info.Partitions)
+		}
+		fr := EncodeInfo(info)
+		again, err := DecodeInfo(fr.Payload)
+		if err != nil {
+			t.Fatalf("re-encoded info failed to decode: %v", err)
+		}
+		if again != info {
+			t.Fatalf("info round trip drifted: %+v → %+v", info, again)
+		}
+		// Canonical layouts round-trip bit-exactly.
+		if (len(data) == 20 && info.Partitions == 0) || (len(data) == 24 && info.Partitions > 0) {
+			if !bytes.Equal(fr.Payload, data) {
+				t.Fatalf("canonical info round trip mismatch: %x → %x", data, fr.Payload)
+			}
+		}
+	})
+}

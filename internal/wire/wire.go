@@ -13,7 +13,7 @@
 // Payloads:
 //
 //	MsgInfoReq        (empty)
-//	MsgInfoResp       size uint64 ‖ blockSize uint32 ‖ epoch uint64
+//	MsgInfoResp       size uint64 ‖ blockSize uint32 ‖ epoch uint64 [‖ partitions uint32]
 //	MsgDownloadReq    addr uint64
 //	MsgDownloadResp   block bytes
 //	MsgUploadReq      addr uint64 ‖ block bytes
@@ -66,7 +66,12 @@
 // restarted (and therefore recovered) in between. Pre-epoch servers sent a
 // 12-byte payload; decoders accept both layouts, treating the short form
 // as epoch 0 ("server makes no durability claim"), so the handshake stays
-// backward and forward compatible.
+// backward and forward compatible. Proxy-backed namespaces additionally
+// append a partitions uint32 (the 24-byte layout): the number of
+// independent scheme instances the tenant's logical address space is
+// striped over (1 = unpartitioned). Decoders accept all three lengths,
+// treating absence as 0 ("no partitioning claim"); block namespaces keep
+// the 20-byte layout, so pre-partition clients interoperate unchanged.
 //
 // MsgAccessReq/MsgAccessResp are the proxy-mode frames: a logical
 // read/write of one record at the privacy-scheme level, not a block
@@ -179,33 +184,50 @@ func ReadFrame(r io.Reader) (Frame, error) {
 
 // Info is the decoded MsgInfoResp payload. Epoch is the server's recovery
 // epoch (0 when the server predates epochs or holds no durable state).
+// Partitions is the scheme-partition count of a proxy-backed namespace
+// (≥ 1 there; 0 for block namespaces and pre-partition servers, meaning
+// "no partitioning claim").
 type Info struct {
-	Size      uint64
-	BlockSize uint32
-	Epoch     uint64
+	Size       uint64
+	BlockSize  uint32
+	Epoch      uint64
+	Partitions uint32
 }
 
-// EncodeInfo builds a MsgInfoResp frame (the 20-byte epoch-bearing layout).
+// EncodeInfo builds a MsgInfoResp frame: the 24-byte partition-bearing
+// layout when Partitions is set, the 20-byte epoch layout otherwise — so
+// block namespaces keep emitting the frames pre-partition clients expect,
+// and only proxy namespaces (which set Partitions ≥ 1) use the extension.
 func EncodeInfo(info Info) Frame {
-	p := make([]byte, 20)
+	n := 20
+	if info.Partitions > 0 {
+		n = 24
+	}
+	p := make([]byte, n)
 	binary.BigEndian.PutUint64(p[:8], info.Size)
 	binary.BigEndian.PutUint32(p[8:12], info.BlockSize)
 	binary.BigEndian.PutUint64(p[12:20], info.Epoch)
+	if n == 24 {
+		binary.BigEndian.PutUint32(p[20:24], info.Partitions)
+	}
 	return Frame{Type: MsgInfoResp, Payload: p}
 }
 
-// DecodeInfo parses a MsgInfoResp payload: 20 bytes with an epoch, or the
-// legacy 12-byte layout (epoch 0).
+// DecodeInfo parses a MsgInfoResp payload: 24 bytes with a partition
+// count, 20 bytes with an epoch, or the legacy 12-byte layout (epoch 0).
 func DecodeInfo(p []byte) (Info, error) {
-	if len(p) != 12 && len(p) != 20 {
+	if len(p) != 12 && len(p) != 20 && len(p) != 24 {
 		return Info{}, fmt.Errorf("%w: info payload %d bytes", ErrShortPayload, len(p))
 	}
 	info := Info{
 		Size:      binary.BigEndian.Uint64(p[:8]),
 		BlockSize: binary.BigEndian.Uint32(p[8:12]),
 	}
-	if len(p) == 20 {
+	if len(p) >= 20 {
 		info.Epoch = binary.BigEndian.Uint64(p[12:20])
+	}
+	if len(p) == 24 {
+		info.Partitions = binary.BigEndian.Uint32(p[20:24])
 	}
 	return info, nil
 }

@@ -1,0 +1,66 @@
+#!/bin/sh
+# bench_partition.sh — run the partitioned-scheme striping sweep (P = 1, 2, 4 at 16 clients) and write the results
+# as machine-readable JSON, extending the perf-trajectory file series
+# (sibling of BENCH_hotpath.json).
+#
+# Usage:
+#   scripts/bench_partition.sh [out.json]        # default BENCH_partition.json
+#
+# Environment:
+#   BENCH=regexp     benchmarks to run   (default BenchmarkPartitionDiskLike)
+#   CPUS=list        -cpu sweep          (default 8)
+#   BENCHTIME=dur    -benchtime          (default 2s)
+#   COUNT=n          -count              (default 1)
+#
+# Output schema: {"env": {...}, "benchmarks": [{"name", "cpus", "iterations",
+# "ns_per_op", "bytes_per_op", "allocs_per_op", ...}]} — one entry per
+# benchmark result line, with whatever extra unit metrics the benchmark
+# reported (e.g. MB/s, roundtrips/op) carried through verbatim.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_partition.json}"
+bench="${BENCH:-BenchmarkPartitionDiskLike}"
+cpus="${CPUS:-8}"
+benchtime="${BENCHTIME:-2s}"
+count="${COUNT:-1}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$bench" -benchmem -benchtime "$benchtime" \
+	-count "$count" -cpu "$cpus" . | tee "$raw"
+
+go version | awk -v out="$out" -v raw="$raw" '
+function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
+NR == 1 {
+	split($0, gv, " ")
+	printf "{\n  \"env\": {\"go\": \"%s\", \"os_arch\": \"%s\"},\n", jesc(gv[3]), jesc(gv[4]) > out
+	printf "  \"benchmarks\": [" > out
+	n = 0
+	while ((getline line < raw) > 0) {
+		if (line !~ /^Benchmark/) continue
+		split(line, f, /[ \t]+/)
+		# Name-CPUS  iterations  value unit  value unit ...
+		name = f[1]; cpus = 1
+		if (match(name, /-[0-9]+$/)) {
+			cpus = substr(name, RSTART + 1) + 0
+			name = substr(name, 1, RSTART - 1)
+		}
+		if (n++) printf "," > out
+		printf "\n    {\"name\": \"%s\", \"cpus\": %d, \"iterations\": %d", jesc(name), cpus, f[2] > out
+		for (i = 3; i + 1 <= length(f); i += 2) {
+			unit = f[i+1]
+			if (unit == "ns/op") key = "ns_per_op"
+			else if (unit == "B/op") key = "bytes_per_op"
+			else if (unit == "allocs/op") key = "allocs_per_op"
+			else { key = unit; gsub(/[^A-Za-z0-9]/, "_", key) }
+			printf ", \"%s\": %s", jesc(key), f[i] > out
+		}
+		printf "}" > out
+	}
+	printf "\n  ]\n}\n" > out
+}'
+
+echo "wrote $out"

@@ -24,6 +24,7 @@ import (
 	"dpstore/internal/baseline/pathoram"
 	"dpstore/internal/block"
 	"dpstore/internal/core/dpram"
+	"dpstore/internal/proxy"
 	"dpstore/internal/rng"
 	"dpstore/internal/store"
 	"dpstore/internal/trace"
@@ -106,6 +107,68 @@ func TestTranscriptFreezePathORAM(t *testing.T) {
 	got := frozenWorkload(t, rec, rng.New(1007), o.Access)
 	if got != golden {
 		t.Fatalf("seeded Path ORAM transcript drifted:\n got %s\nwant %s\n(an rng draw moved or a returned record changed)", got, golden)
+	}
+}
+
+// TestTranscriptFreezePartitionedDPRAM pins the P=4 partitioned DP-RAM
+// server view: the frozen workload routed over four independent scheme
+// instances (logical record u → partition u mod 4), each over its own
+// recorded store with its own coin stream. The hash covers every returned
+// record byte plus all four per-partition transcripts in partition order,
+// so a drift in ANY partition's trace — or in the routing itself, which
+// would move requests between partitions — trips the golden.
+func TestTranscriptFreezePartitionedDPRAM(t *testing.T) {
+	const golden = "cf9f05344a9e2f515c9cda0cfd25a7210cf7039757c89911799e6329232cd530"
+	const parts = 4
+	proxies := make([]*proxy.Proxy, parts)
+	recs := make([]*trace.Recorder, parts)
+	for i := range proxies {
+		ni := store.ShardSlots(freezeN, parts, i)
+		db, err := block.PatternDatabase(ni, freezeBlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := store.NewMem(ni, dpram.ServerBlockSize(freezeBlockSize, dpram.Options{DisableEncryption: true}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = trace.NewRecorder(mem)
+		// The daemon's per-partition seed mixing: partition 0 reduces to
+		// the plain seed, siblings draw decorrelated streams.
+		c, err := dpram.Setup(db, recs[i], dpram.Options{
+			Rand:              rng.New(int64(uint64(42) ^ uint64(i)*0xbf58476d1ce4e5b9)),
+			DisableEncryption: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[i] = proxy.New(c, proxy.Options{})
+	}
+	pt, err := proxy.NewPartitioned(proxies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pt.Close() //nolint:errcheck
+
+	h := sha256.New()
+	src := rng.New(1007)
+	for k := 0; k < freezeQueries; k++ {
+		q := workload.Query{Index: src.Intn(freezeN), Op: workload.Read}
+		if src.Intn(4) == 0 {
+			q.Op = workload.Write
+			q.Data = block.Pattern(uint64(k), freezeBlockSize)
+		}
+		got, err := pt.Access(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write(got)
+	}
+	for _, rec := range recs {
+		h.Write([]byte(rec.Transcript().Key()))
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != golden {
+		t.Fatalf("partitioned DP-RAM transcript drifted:\n got %s\nwant %s\n(a partition's trace moved, or the routing changed)", got, golden)
 	}
 }
 
