@@ -152,8 +152,8 @@ func Setup(server store.Server, opts Options) (*Store, error) {
 // since it changes per call.
 func (s *Store) choices(u string) (c1, c2 int, real2 bool) {
 	b := uint64(s.bins)
-	c1 = int(s.prf1.EvalMod([]byte(u), b))
-	c2 = int(s.prf2.EvalMod([]byte(u), b))
+	c1 = int(s.prf1.EvalStringMod(u, b))
+	c2 = int(s.prf2.EvalStringMod(u, b))
 	if c1 != c2 {
 		return c1, c2, true
 	}

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 
 	"dpstore/internal/block"
 	"dpstore/internal/crypto"
@@ -97,17 +98,20 @@ type ORAM struct {
 	// Per-access scratch, reused across accesses (ORAM is single-threaded).
 	// BatchServer implementations never retain the caller's slices or blocks
 	// past the call, so reuse is safe — with one exception: when a path
-	// write fails, evict parks its op list (and, in plaintext mode, the slot
-	// slab backing it) in pendingWrite for replay, so those scratches are
-	// surrendered (nil'd) there and reallocated lazily on the next access.
+	// write fails, evict parks its op list (and the slab backing the parked
+	// blocks: slotSlab in plaintext mode, ctSlab in encrypted mode) in
+	// pendingWrite for replay, so those scratches are surrendered (nil'd)
+	// there and reallocated lazily on the next access.
 	pathBuf  []int           // pathNodes result
 	addrBuf  []int           // read-phase address list
 	opBuf    []store.WriteOp // eviction write ops
 	evictBuf []int           // ids placed by the current eviction
 	taken    map[int]bool    // ids already placed on the current path
 	placed   []int           // per-bucket placement list
-	sealPt   block.Block     // plaintext staging for sealed slots (encrypted mode)
-	slotSlab []byte          // backing for one eviction's slots (plaintext mode)
+	ctView   [][]byte        // read-phase OpenBatch input lens
+	ptSlab   []byte          // read-phase OpenBatch output (decrypted path)
+	slotSlab []byte          // eviction slot plaintext staging (both modes)
+	ctSlab   []byte          // eviction SealBatch output (encrypted mode)
 
 	maxStash   int
 	roundTrips int64
@@ -204,15 +208,11 @@ func Setup(db *block.Database, server store.Server, opts Options) (*ORAM, error)
 	for node, ids := range occupancy {
 		for zi := 0; zi < z; zi++ {
 			var sl block.Block
-			var err error
 			if zi < len(ids) {
 				id := ids[zi]
-				sl, err = o.sealSlot(uint64(id), pm[id], db.Get(id))
+				sl = o.sealSlot(uint64(id), pm[id], db.Get(id))
 			} else {
-				sl, err = o.sealSlot(dummyID, 0, nil)
-			}
-			if err != nil {
-				return nil, err
+				sl = o.sealSlot(dummyID, 0, nil)
 			}
 			if err := w.Add(node*z+zi, sl); err != nil {
 				return nil, fmt.Errorf("pathoram: setup upload: %w", err)
@@ -261,40 +261,57 @@ func (o *ORAM) pathNodes(leaf int) []int {
 	}
 }
 
-func (o *ORAM) sealSlot(id uint64, pos int, payload block.Block) (block.Block, error) {
-	pt := block.New(o.slotPlain)
+// stageSlot writes the (id ‖ posTag ‖ payload) slot plaintext into pt,
+// which must be exactly slotPlain bytes. A nil payload stages a dummy with
+// a cleared body so stale bytes never leak into a sealed slot.
+func stageSlot(pt block.Block, id uint64, pos int, payload block.Block) {
 	pt.SetUint64(id)
 	binary.BigEndian.PutUint32(pt[8:12], uint32(pos))
 	if payload != nil {
 		copy(pt[slotHeader:], payload)
+	} else {
+		clear(pt[slotHeader:])
 	}
-	if o.plaintext {
-		return pt, nil
-	}
-	ct, err := o.cipher.Encrypt(pt)
-	if err != nil {
-		return nil, fmt.Errorf("pathoram: encrypting slot: %w", err)
-	}
-	return block.Block(ct), nil
 }
 
-func (o *ORAM) openSlot(ct block.Block) (id uint64, pos int, payload block.Block, err error) {
-	pt := ct
-	if !o.plaintext {
-		d, derr := o.cipher.Decrypt(ct)
-		if derr != nil {
-			return 0, 0, nil, fmt.Errorf("pathoram: decrypting slot: %w", derr)
-		}
-		pt = block.Block(d)
+// sealSlot allocates and seals one slot — the setup path, where the batch
+// writer retains blocks until its flush.
+func (o *ORAM) sealSlot(id uint64, pos int, payload block.Block) block.Block {
+	pt := block.New(o.slotPlain)
+	stageSlot(pt, id, pos, payload)
+	if o.plaintext {
+		return pt
 	}
-	id = block.Block(pt).Uint64()
-	pos = int(binary.BigEndian.Uint32(pt[8:12]))
-	return id, pos, block.Block(pt[slotHeader:]).Copy(), nil
+	return block.Block(o.cipher.Encrypt(pt))
+}
+
+// ingestSlot parses a decrypted slot and moves a real, not-yet-stashed
+// block into the stash. pt is a view into per-access scratch (or the read
+// slab), so the payload is copied only when it is actually kept — dummies
+// and already-stashed duplicates cost nothing.
+func (o *ORAM) ingestSlot(pt block.Block) {
+	id := pt.Uint64()
+	if id == dummyID {
+		return
+	}
+	if _, ok := o.stash[int(id)]; !ok {
+		pos := int(binary.BigEndian.Uint32(pt[8:12]))
+		o.stash[int(id)] = stashEntry{pos: pos, data: block.Block(pt[slotHeader:]).Copy()}
+	}
 }
 
 func (o *ORAM) trackStash() {
 	if len(o.stash) > o.maxStash {
 		o.maxStash = len(o.stash)
+	}
+}
+
+// SetIVReader replaces the cipher's IV source so seeded tests can pin the
+// exact slot IVs; see crypto.Cipher.SetIVReader. No-op in plaintext mode.
+// Only tests should call it.
+func (o *ORAM) SetIVReader(r io.Reader) {
+	if o.cipher != nil {
+		o.cipher.SetIVReader(r)
 	}
 }
 
@@ -395,16 +412,25 @@ func (o *ORAM) access(i int, mutate func(cur block.Block) block.Block) error {
 		}
 		return fmt.Errorf("pathoram: path read: %w", err)
 	}
-	for _, ct := range cts {
-		id, pos, payload, err := o.openSlot(ct)
-		if err != nil {
-			return err
+	// Open the whole path in one batch kernel call (verify-then-decrypt for
+	// every slot before any stash mutation), then ingest slot by slot.
+	if o.plaintext {
+		for _, ct := range cts {
+			o.ingestSlot(ct)
 		}
-		if id == dummyID {
-			continue
+	} else {
+		view := o.ctView[:0]
+		for _, ct := range cts {
+			view = append(view, ct)
 		}
-		if _, ok := o.stash[int(id)]; !ok {
-			o.stash[int(id)] = stashEntry{pos: pos, data: payload}
+		o.ctView = view
+		pt, derr := o.cipher.OpenBatch(o.ptSlab[:0], view)
+		if derr != nil {
+			return fmt.Errorf("pathoram: decrypting slot: %w", derr)
+		}
+		o.ptSlab = pt
+		for k := range cts {
+			o.ingestSlot(block.Block(pt[k*o.slotPlain : (k+1)*o.slotPlain]))
 		}
 	}
 	o.roundTrips++
@@ -430,10 +456,11 @@ func (o *ORAM) access(i int, mutate func(cur block.Block) block.Block) error {
 }
 
 // evict writes the path back, placing each stash block into the deepest
-// bucket its current position tag allows. The Z·(height+1) slot writes go
-// out as a single WriteBatch: one round trip for the whole write phase.
-// The op list, placement bookkeeping, and (in plaintext mode) the slot
-// backing all come from per-ORAM scratch; see the ownership note on the
+// bucket its current position tag allows. All Z·(height+1) slot plaintexts
+// are staged contiguously in the slot slab, sealed with one SealBatch
+// kernel call (encrypted mode), and shipped as a single WriteBatch: one
+// round trip for the whole write phase. The op list, placement bookkeeping,
+// and slabs all come from per-ORAM scratch; see the ownership note on the
 // scratch fields for the failed-write handoff.
 func (o *ORAM) evict(leaf int, path []int) error {
 	total := len(path) * o.z
@@ -443,9 +470,10 @@ func (o *ORAM) evict(leaf int, path []int) error {
 		o.taken = make(map[int]bool, total)
 	}
 	clear(o.taken)
-	if o.plaintext && cap(o.slotSlab) < total*o.slotPlain {
+	if cap(o.slotSlab) < total*o.slotPlain {
 		o.slotSlab = make([]byte, total*o.slotPlain)
 	}
+	slab := o.slotSlab[:total*o.slotPlain]
 	for li, node := range path {
 		level := o.height - li // depth of this bucket
 		placed := o.placed[:0]
@@ -461,20 +489,25 @@ func (o *ORAM) evict(leaf int, path []int) error {
 		o.placed = placed
 		for zi := 0; zi < o.z; zi++ {
 			slot := len(ops)
-			var sl block.Block
-			var err error
+			pt := block.Block(slab[slot*o.slotPlain : (slot+1)*o.slotPlain : (slot+1)*o.slotPlain])
 			if zi < len(placed) {
 				id := placed[zi]
 				e := o.stash[id]
-				sl, err = o.sealSlotTo(slot, uint64(id), e.pos, e.data)
+				stageSlot(pt, uint64(id), e.pos, e.data)
 				evicted = append(evicted, id)
 			} else {
-				sl, err = o.sealSlotTo(slot, dummyID, 0, nil)
+				stageSlot(pt, dummyID, 0, nil)
 			}
-			if err != nil {
-				return err
-			}
-			ops = append(ops, store.WriteOp{Addr: node*o.z + zi, Block: sl})
+			// Plaintext mode uploads the staged slot directly; encrypted mode
+			// patches in the sealed view after the batch kernel below.
+			ops = append(ops, store.WriteOp{Addr: node*o.z + zi, Block: pt})
+		}
+	}
+	if !o.plaintext {
+		o.ctSlab = o.cipher.SealBatch(o.ctSlab[:0], slab, total, o.slotPlain)
+		ctSize := crypto.CiphertextSize(o.slotPlain)
+		for k := range ops {
+			ops[k].Block = block.Block(o.ctSlab[k*ctSize : (k+1)*ctSize])
 		}
 	}
 	o.opBuf, o.evictBuf = ops, evicted
@@ -482,11 +515,17 @@ func (o *ORAM) evict(leaf int, path []int) error {
 		// The stash still holds every placed block, and the rewrite is
 		// parked for replay: a failed path write must neither orphan data
 		// that never reached the server nor leave stale tree copies behind
-		// for a later read to resurrect. The parked ops (and their slab, in
-		// plaintext mode) now belong to pendingWrite — surrender the
-		// scratches so the next access cannot scribble over them.
+		// for a later read to resurrect. The parked ops — and the slab their
+		// blocks live in (slotSlab in plaintext mode, ctSlab in encrypted
+		// mode) — now belong to pendingWrite: surrender the scratches so the
+		// next access cannot scribble over them.
 		o.pendingWrite, o.pendingEvict = ops, evicted
-		o.opBuf, o.evictBuf, o.slotSlab = nil, nil, nil
+		o.opBuf, o.evictBuf = nil, nil
+		if o.plaintext {
+			o.slotSlab = nil
+		} else {
+			o.ctSlab = nil
+		}
 		return fmt.Errorf("pathoram: path write: %w", err)
 	}
 	for _, id := range evicted {
@@ -496,39 +535,6 @@ func (o *ORAM) evict(leaf int, path []int) error {
 		ops[k].Block = nil // don't pin sealed slots between accesses
 	}
 	return nil
-}
-
-// sealSlotTo is sealSlot for the eviction hot path: slot plaintexts are
-// staged in reusable scratch instead of a fresh allocation per slot. In
-// plaintext mode the sealed slot must be distinct memory per op (the write
-// batch holds all Z·(height+1) at once), so slot i is carved out of the
-// o.slotSlab backing; in encrypted mode the one o.sealPt buffer is reused
-// and Encrypt's fresh ciphertext is returned.
-func (o *ORAM) sealSlotTo(slot int, id uint64, pos int, payload block.Block) (block.Block, error) {
-	var pt block.Block
-	if o.plaintext {
-		pt = block.Block(o.slotSlab[slot*o.slotPlain : (slot+1)*o.slotPlain : (slot+1)*o.slotPlain])
-	} else {
-		if cap(o.sealPt) < o.slotPlain {
-			o.sealPt = block.New(o.slotPlain)
-		}
-		pt = o.sealPt[:o.slotPlain]
-	}
-	pt.SetUint64(id)
-	binary.BigEndian.PutUint32(pt[8:12], uint32(pos))
-	if payload != nil {
-		copy(pt[slotHeader:], payload)
-	} else {
-		clear(pt[slotHeader:]) // dummies must not leak a stale payload
-	}
-	if o.plaintext {
-		return pt, nil
-	}
-	ct, err := o.cipher.Encrypt(pt)
-	if err != nil {
-		return nil, fmt.Errorf("pathoram: encrypting slot: %w", err)
-	}
-	return block.Block(ct), nil
 }
 
 // flushPending replays an interrupted path write. Replaying the full batch

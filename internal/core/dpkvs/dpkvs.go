@@ -201,8 +201,8 @@ func Setup(server store.Server, opts Options) (*Store, error) {
 // storage) or only a decoy.
 func (s *Store) pi(u string) (b1, b2 int, real2 bool) {
 	b := uint64(s.geo.Buckets())
-	b1 = int(s.prf1.EvalMod([]byte(u), b))
-	b2 = int(s.prf2.EvalMod([]byte(u), b))
+	b1 = int(s.prf1.EvalStringMod(u, b))
+	b2 = int(s.prf2.EvalStringMod(u, b))
 	if b1 != b2 {
 		return b1, b2, true
 	}

@@ -3,6 +3,7 @@ package dpram
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"dpstore/internal/block"
 	"dpstore/internal/crypto"
@@ -46,11 +47,17 @@ type BucketRAM struct {
 	maxDirty  int
 
 	// Per-query scratch (BucketRAM is single-threaded): the 2s-address read
-	// set and the s-op write set of one bucket query. Safe to reuse across
-	// queries because BatchServer implementations never retain the caller's
-	// slices or blocks; op block references are cleared after each upload.
+	// set and the s-op write set of one bucket query, plus the batch-kernel
+	// staging slabs of the overwrite phase (plaintexts in ptSlab, sealed
+	// ciphertexts in ctSlab, with ctView the [][]byte lens over a downloaded
+	// bucket that OpenBatch takes). Safe to reuse across queries because
+	// BatchServer implementations never retain the caller's slices or
+	// blocks; op block references are cleared after each upload.
 	addrScratch []int
 	opScratch   []store.WriteOp
+	ptSlab      []byte
+	ctSlab      []byte
+	ctView      [][]byte
 }
 
 // BucketOptions configures a BucketRAM.
@@ -88,11 +95,7 @@ func NewBucketRAM(server store.Server, buckets [][]int, initial []block.Block, p
 			}
 			pt = initial[a]
 		}
-		ct, err := r.seal(pt)
-		if err != nil {
-			return nil, err
-		}
-		if err := w.Add(a, ct); err != nil {
+		if err := w.Add(a, r.seal(pt)); err != nil {
 			return nil, fmt.Errorf("dpram: setup upload: %w", err)
 		}
 	}
@@ -171,43 +174,74 @@ func buildBucketRAM(server store.Server, buckets [][]int, plainSize int, opts Bu
 	return r, nil
 }
 
-func (r *BucketRAM) seal(b block.Block) (block.Block, error) {
+// seal encrypts a node into a fresh owned buffer — the setup path, where
+// the batch writer retains blocks until its flush.
+func (r *BucketRAM) seal(b block.Block) block.Block {
 	if r.plaintext {
-		return b.Copy(), nil
+		return b.Copy()
 	}
-	ct, err := r.cipher.Encrypt(b)
-	if err != nil {
-		return nil, fmt.Errorf("dpram: encrypting node: %w", err)
-	}
-	return block.Block(ct), nil
+	return block.Block(r.cipher.Encrypt(b))
 }
 
-// refresh re-encrypts a downloaded node for upload with fresh randomness;
-// in plaintext mode it is the identity (see Client.refresh).
-func (r *BucketRAM) refresh(ct block.Block) (block.Block, error) {
-	if r.plaintext {
-		return ct, nil
-	}
-	pt, err := r.cipher.Decrypt(ct)
-	if err != nil {
-		return nil, fmt.Errorf("dpram: decrypting node: %w", err)
-	}
-	fresh, err := r.cipher.Encrypt(pt)
-	if err != nil {
-		return nil, fmt.Errorf("dpram: encrypting node: %w", err)
-	}
-	return block.Block(fresh), nil
-}
-
+// open decrypts a node into a fresh owned buffer (decodeBucket's contract:
+// the returned bucket contents are handed to the caller and the stash).
 func (r *BucketRAM) open(ct block.Block) (block.Block, error) {
 	if r.plaintext {
 		return ct.Copy(), nil
 	}
-	pt, err := r.cipher.Decrypt(ct)
+	pt, err := r.cipher.DecryptInto(make([]byte, 0, r.plainSize), ct)
 	if err != nil {
 		return nil, fmt.Errorf("dpram: decrypting node: %w", err)
 	}
 	return block.Block(pt), nil
+}
+
+// sealBucket stages s plaintext nodes contiguously in ptSlab and seals them
+// with one SealBatch call into ctSlab, appending one write op per node.
+// The sealed blocks are views into ctSlab, valid until the next query.
+func (r *BucketRAM) sealBucket(ops []store.WriteOp, addrs []int, contents []block.Block) []store.WriteOp {
+	pt := r.ptSlab[:0]
+	for _, b := range contents {
+		pt = append(pt, b...)
+	}
+	r.ptSlab = pt
+	r.ctSlab = r.cipher.SealBatch(r.ctSlab[:0], pt, len(addrs), r.plainSize)
+	ctSize := crypto.CiphertextSize(r.plainSize)
+	for k, a := range addrs {
+		ops = append(ops, store.WriteOp{Addr: a, Block: block.Block(r.ctSlab[k*ctSize : (k+1)*ctSize])})
+	}
+	return ops
+}
+
+// refreshBucket opens a downloaded bucket (raw ciphertexts, in bucket
+// order) with one OpenBatch call and reseals every node with fresh IVs via
+// one SealBatch call — the batched masking move of Algorithm 3's stash
+// branch at bucket granularity.
+func (r *BucketRAM) refreshBucket(ops []store.WriteOp, addrs []int, raw []block.Block) ([]store.WriteOp, error) {
+	view := r.ctView[:0]
+	for _, ct := range raw {
+		view = append(view, ct)
+	}
+	r.ctView = view
+	pt, err := r.cipher.OpenBatch(r.ptSlab[:0], view)
+	if err != nil {
+		return nil, fmt.Errorf("dpram: decrypting node: %w", err)
+	}
+	r.ptSlab = pt
+	r.ctSlab = r.cipher.SealBatch(r.ctSlab[:0], pt, len(addrs), r.plainSize)
+	ctSize := crypto.CiphertextSize(r.plainSize)
+	for k, a := range addrs {
+		ops = append(ops, store.WriteOp{Addr: a, Block: block.Block(r.ctSlab[k*ctSize : (k+1)*ctSize])})
+	}
+	return ops, nil
+}
+
+// SetIVReader replaces the cipher's IV source; see Client.SetIVReader.
+// No-op in plaintext mode. Only tests should call it.
+func (r *BucketRAM) SetIVReader(rd io.Reader) {
+	if r.cipher != nil {
+		r.cipher.SetIVReader(rd)
+	}
 }
 
 // Buckets returns the repertoire size b.
@@ -360,25 +394,30 @@ func (r *BucketRAM) Access(bi int, update func(nodes []block.Block)) ([]block.Bl
 			r.putInStash(bi, contents)
 		}
 		// Refresh bucket d2: re-encrypt the server's own blocks with fresh
-		// randomness, the masking move of Algorithm 3's stash branch. In the
-		// plaintext mode re-encryption is the identity and the slab blocks
-		// (owned by this query) are uploaded as-is.
-		for k, a := range r.buckets[d2] {
-			fresh, err := r.refresh(raw[s+k])
+		// randomness — one OpenBatch + one SealBatch over all s nodes, the
+		// masking move of Algorithm 3's stash branch. In the plaintext mode
+		// re-encryption is the identity and the slab blocks (owned by this
+		// query) are uploaded as-is.
+		if r.plaintext {
+			for k, a := range r.buckets[d2] {
+				ops = append(ops, store.WriteOp{Addr: a, Block: raw[s+k]})
+			}
+		} else {
+			var err error
+			ops, err = r.refreshBucket(ops, r.buckets[d2], raw[s:s+s])
 			if err != nil {
 				return nil, err
 			}
-			ops = append(ops, store.WriteOp{Addr: a, Block: fresh})
 		}
 	} else {
-		// Write the queried bucket home; the second read of it above was the
-		// transcript-shaping re-read and is discarded.
-		for k, a := range r.buckets[bi] {
-			ct, err := r.seal(contents[k])
-			if err != nil {
-				return nil, err
+		// Write the queried bucket home in one SealBatch; the second read of
+		// it above was the transcript-shaping re-read and is discarded.
+		if r.plaintext {
+			for k, a := range r.buckets[bi] {
+				ops = append(ops, store.WriteOp{Addr: a, Block: contents[k].Copy()})
 			}
-			ops = append(ops, store.WriteOp{Addr: a, Block: ct})
+		} else {
+			ops = r.sealBucket(ops, r.buckets[bi], contents)
 		}
 	}
 	r.opScratch = ops

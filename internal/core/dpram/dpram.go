@@ -25,6 +25,7 @@ package dpram
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"dpstore/internal/block"
@@ -94,14 +95,18 @@ type Client struct {
 	plaintext     bool
 
 	// Per-query scratch (the client is single-threaded by contract): the
-	// two-address read set and the single-op write set of Algorithm 3.
-	// BatchServer implementations never retain the caller's slices or blocks
-	// past the call (Durable copies ops up front before handing them to its
+	// two-address read set and the single-op write set of Algorithm 3, plus
+	// the decrypt/encrypt staging slabs of the crypto kernels. BatchServer
+	// implementations never retain the caller's slices or blocks past the
+	// call (Durable copies ops up front before handing them to its
 	// committer), so reusing these across queries is safe; the op's block
 	// reference is cleared after each upload so the scratch never pins a
-	// sealed block.
+	// sealed block. A block handed out past a query (stash insertion, the
+	// returned previous value) is always copied out of the scratch first.
 	addrBuf [2]int
 	opBuf   [1]store.WriteOp
+	ptBuf   []byte // plaintext staging: open/refresh decrypt target
+	sealBuf []byte // ciphertext staging: the overwrite upload
 
 	maxStash int
 }
@@ -170,11 +175,7 @@ func Setup(db *block.Database, server store.Server, opts Options) (*Client, erro
 	// store.ScanWindow records, O(window) client memory at any n.
 	w := store.NewBatchWriter(cl.server)
 	for i := 0; i < n; i++ {
-		ct, err := cl.seal(db.Get(i))
-		if err != nil {
-			return nil, err
-		}
-		if err := w.Add(i, ct); err != nil {
+		if err := w.Add(i, cl.seal(db.Get(i))); err != nil {
 			return nil, fmt.Errorf("dpram: setup upload: %w", err)
 		}
 		// Algorithm 2: pick r uniform from [N]; if r ≤ C, stash B_i.
@@ -189,51 +190,73 @@ func Setup(db *block.Database, server store.Server, opts Options) (*Client, erro
 	return cl, nil
 }
 
-func (c *Client) seal(b block.Block) (block.Block, error) {
+// seal encrypts b into a fresh buffer — the setup path, where the batch
+// writer retains blocks until its flush.
+func (c *Client) seal(b block.Block) block.Block {
 	if c.plaintext {
-		return b.Copy(), nil
+		return b.Copy()
 	}
-	ct, err := c.cipher.Encrypt(b)
-	if err != nil {
-		return nil, fmt.Errorf("dpram: encrypting: %w", err)
+	return block.Block(c.cipher.Encrypt(b))
+}
+
+// sealScratch encrypts b into the per-query upload scratch, valid until the
+// next seal on this client. The write batch it feeds is issued before the
+// next query touches the scratch.
+func (c *Client) sealScratch(b block.Block) block.Block {
+	if c.plaintext {
+		return b.Copy()
 	}
-	return block.Block(ct), nil
+	c.sealBuf = c.cipher.EncryptInto(c.sealBuf[:0], b)
+	return block.Block(c.sealBuf)
 }
 
 // refresh re-encrypts a downloaded block for upload with fresh randomness
-// (the masking move of Algorithm 3's stash branch). In the plaintext modes
-// re-encryption is the identity, and the downloaded slab block — owned by
-// this query — is uploaded as-is, skipping the decrypt/encrypt copies on
-// the measurement hot path.
+// (the masking move of Algorithm 3's stash branch), staging both halves in
+// the per-query scratch. In the plaintext modes re-encryption is the
+// identity, and the downloaded slab block — owned by this query — is
+// uploaded as-is, skipping the decrypt/encrypt copies on the measurement
+// hot path.
 func (c *Client) refresh(ct block.Block) (block.Block, error) {
 	if c.plaintext {
 		return ct, nil
 	}
-	pt, err := c.cipher.Decrypt(ct)
+	pt, err := c.cipher.DecryptInto(c.ptBuf[:0], ct)
 	if err != nil {
 		return nil, fmt.Errorf("dpram: decrypting: %w", err)
 	}
-	fresh, err := c.cipher.Encrypt(pt)
-	if err != nil {
-		return nil, fmt.Errorf("dpram: encrypting: %w", err)
-	}
-	return block.Block(fresh), nil
+	c.ptBuf = pt
+	c.sealBuf = c.cipher.EncryptInto(c.sealBuf[:0], pt)
+	return block.Block(c.sealBuf), nil
 }
 
+// open decrypts ct into the per-query scratch; the result is valid until
+// the next open/refresh on this client, and callers that keep it (stash
+// insertion) copy it out first. The plaintext modes return an owned copy —
+// retrieval-only stashes the opened block directly.
 func (c *Client) open(ct block.Block) (block.Block, error) {
 	if c.plaintext {
 		return ct.Copy(), nil
 	}
-	pt, err := c.cipher.Decrypt(ct)
+	pt, err := c.cipher.DecryptInto(c.ptBuf[:0], ct)
 	if err != nil {
 		return nil, fmt.Errorf("dpram: decrypting: %w", err)
 	}
+	c.ptBuf = pt
 	return block.Block(pt), nil
 }
 
 func (c *Client) trackStash() {
 	if len(c.stash) > c.maxStash {
 		c.maxStash = len(c.stash)
+	}
+}
+
+// SetIVReader replaces the cipher's IV source so seeded tests can pin the
+// exact upload bytes; see crypto.Cipher.SetIVReader. No-op in the plaintext
+// modes. Only tests should call it.
+func (c *Client) SetIVReader(r io.Reader) {
+	if c.cipher != nil {
+		c.cipher.SetIVReader(r)
 	}
 }
 
@@ -323,17 +346,20 @@ func (c *Client) Access(q workload.Query) (block.Block, error) {
 		// not destroy the only authoritative copy of a stashed record.
 		return nil, fmt.Errorf("dpram: download: %w", err)
 	}
-	cur := stashed
+	// owned tracks whether cur may outlive this query's scratch: stash
+	// entries and fresh copies are owned; an encrypted open returns a view
+	// of c.ptBuf, which refresh below will reuse.
+	cur, owned := stashed, true
 	if !hit {
 		pt, err := c.open(blocks[0])
 		if err != nil {
 			return nil, err
 		}
-		cur = pt
+		cur, owned = pt, c.plaintext
 	}
 	prev := cur.Copy()
 	if q.Op == workload.Write {
-		cur = q.Data.Copy()
+		cur, owned = q.Data.Copy(), true
 	}
 
 	if c.retrievalOnly {
@@ -353,7 +379,12 @@ func (c *Client) Access(q workload.Query) (block.Block, error) {
 	// --- Overwrite phase: one upload in one round trip ---
 	if toStash {
 		// Stash the record (overwriting the old entry on a stash hit);
-		// refresh the random address to mask the choice.
+		// refresh the random address to mask the choice. The stash keeps
+		// blocks past the query, so a scratch-backed cur is copied out
+		// before refresh reuses the decrypt scratch.
+		if !owned {
+			cur = cur.Copy()
+		}
 		c.stash[i] = cur
 		c.trackStash()
 		fresh, err := c.refresh(blocks[1])
@@ -364,11 +395,7 @@ func (c *Client) Access(q workload.Query) (block.Block, error) {
 	} else {
 		// Write the record home; the second downloaded block was the
 		// transcript-shaping re-read of A[i] and is discarded.
-		ct, err := c.seal(cur)
-		if err != nil {
-			return nil, err
-		}
-		c.opBuf[0] = store.WriteOp{Addr: i, Block: ct}
+		c.opBuf[0] = store.WriteOp{Addr: i, Block: c.sealScratch(cur)}
 	}
 	err = c.server.WriteBatch(c.opBuf[:])
 	c.opBuf[0] = store.WriteOp{}

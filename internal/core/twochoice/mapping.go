@@ -63,7 +63,16 @@ func NewMapping(geo *Geometry, key crypto.Key, superCap int) *Mapping {
 // with a random bucket in that case, as Section 7.1 prescribes.
 func (m *Mapping) Pi(u string) (int, int) {
 	b := uint64(m.geo.Buckets())
-	return int(m.prf1.EvalMod([]byte(u), b)), int(m.prf2.EvalMod([]byte(u), b))
+	return int(m.prf1.EvalStringMod(u, b)), int(m.prf2.EvalStringMod(u, b))
+}
+
+// PiUint64 is Pi for integer keys, allocation-free via PRF.EvalUint64. The
+// PRF input is the key's big-endian encoding, so PiUint64(u) and
+// Pi(fmt.Sprint(u)) name different buckets — a store must pick one key
+// representation and stay with it.
+func (m *Mapping) PiUint64(u uint64) (int, int) {
+	b := uint64(m.geo.Buckets())
+	return int(m.prf1.EvalUint64Mod(u, b)), int(m.prf2.EvalUint64Mod(u, b))
 }
 
 // Insert runs the storing algorithm S for key u: the key goes to the
@@ -72,7 +81,26 @@ func (m *Mapping) Pi(u string) (int, int) {
 // full. It returns the node address the key landed in, or -1 for the super
 // root.
 func (m *Mapping) Insert(u string) (int, error) {
-	l1, l2 := m.Pi(u)
+	a, ok := m.insert(m.Pi(u))
+	if !ok {
+		return 0, fmt.Errorf("%w: key %q after %d insertions", ErrFull, u, m.inserted)
+	}
+	return a, nil
+}
+
+// InsertUint64 is Insert for integer keys; see PiUint64 for the key-
+// representation caveat.
+func (m *Mapping) InsertUint64(u uint64) (int, error) {
+	a, ok := m.insert(m.PiUint64(u))
+	if !ok {
+		return 0, fmt.Errorf("%w: key %d after %d insertions", ErrFull, u, m.inserted)
+	}
+	return a, nil
+}
+
+// insert is the storing algorithm S on resolved bucket choices — the
+// shared core of the string and integer entry points.
+func (m *Mapping) insert(l1, l2 int) (int, bool) {
 	p1, p2 := m.geo.Path(l1), m.geo.Path(l2)
 	// Scan heights from leaves upward; at equal height prefer the first
 	// path (the tie-break does not affect the analysis).
@@ -82,16 +110,16 @@ func (m *Mapping) Insert(u string) (int, error) {
 			if m.nodeUsed[a] < m.geo.NodeCap() {
 				m.nodeUsed[a]++
 				m.inserted++
-				return a, nil
+				return a, true
 			}
 		}
 	}
 	if m.superN < m.superCap {
 		m.superN++
 		m.inserted++
-		return -1, nil
+		return -1, true
 	}
-	return 0, fmt.Errorf("%w: key %q after %d insertions", ErrFull, u, m.inserted)
+	return 0, false
 }
 
 // SuperRootLoad returns the number of keys the super root currently holds.

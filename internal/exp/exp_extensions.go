@@ -99,7 +99,7 @@ func runE15(cfg Config) ([]*Table, error) {
 			m := twochoice.NewMapping(geo, crypto.KeyFromSeed(uint64(nodeCap)), 0)
 			failures := 0
 			for i := 0; i < n; i++ {
-				if _, err := m.Insert(fmt.Sprintf("key-%d", i)); err != nil {
+				if _, err := m.InsertUint64(uint64(i)); err != nil {
 					failures++
 				}
 			}

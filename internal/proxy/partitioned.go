@@ -41,8 +41,13 @@ import (
 // partition's trace length; a shared coin stream would correlate the
 // partitions' decoy draws, letting an adversary who sees the composed
 // trace separate coin-driven from query-driven accesses across
-// partitions. NewPartitioned therefore takes fully constructed, fully
-// independent Proxy instances and only routes between them.
+// partitions. The same goes for cipher state: each partition owns its own
+// crypto.Cipher, so each draws an independent random IV prefix and counts
+// its nonce counter alone — sharing one cipher would serialize every
+// partition's sealing on a single atomic counter, and sharing a prefix
+// without sharing the counter would reuse CTR nonces across partitions.
+// NewPartitioned therefore takes fully constructed, fully independent
+// Proxy instances and only routes between them.
 type Partitioned struct {
 	parts      []*Proxy
 	records    int

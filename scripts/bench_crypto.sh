@@ -1,0 +1,74 @@
+#!/bin/sh
+# bench_crypto.sh — run the crypto kernel benchmark suite (scalar seal/open,
+# slab *Into paths, SealBatch/OpenBatch at scheme shapes, PRF variants) plus
+# the scheme-level benchmarks the kernels feed (DP-RAM, BucketRAM, Path
+# ORAM), and write the results as machine-readable JSON
+# (BENCH_crypto.json), sibling to BENCH_hotpath.json in the perf-trajectory
+# series.
+#
+# Usage:
+#   scripts/bench_crypto.sh [out.json]         # default BENCH_crypto.json
+#
+# Environment:
+#   CPUS=list        -cpu sweep          (default 1,4)
+#   BENCHTIME=dur    -benchtime          (default 1s)
+#   COUNT=n          -count              (default 1)
+#
+# Output schema matches bench_hotpath.sh: {"env": {...}, "benchmarks":
+# [{"name", "cpus", "iterations", "ns_per_op", "bytes_per_op",
+# "allocs_per_op", ...}]} — one entry per result line, extra unit metrics
+# (MB/s, ...) carried through verbatim.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_crypto.json}"
+cpus="${CPUS:-1,4}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-1}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+run() { # run <pkg> <bench regexp>
+	go test -run '^$' -bench "$2" -benchmem -benchtime "$benchtime" \
+		-count "$count" -cpu "$cpus" "$1" | tee -a "$raw"
+}
+
+run ./internal/crypto '.'
+run ./internal/core/dpram 'BenchmarkRead$|BenchmarkWrite$|BenchmarkBucketAccess$'
+run ./internal/baseline/pathoram 'BenchmarkReadFlat$|BenchmarkReadRecursive$'
+run . 'BenchmarkHotPathDPRAMRemote$'
+
+go version | awk -v out="$out" -v raw="$raw" '
+function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
+NR == 1 {
+	split($0, gv, " ")
+	printf "{\n  \"env\": {\"go\": \"%s\", \"os_arch\": \"%s\"},\n", jesc(gv[3]), jesc(gv[4]) > out
+	printf "  \"benchmarks\": [" > out
+	n = 0
+	while ((getline line < raw) > 0) {
+		if (line !~ /^Benchmark/) continue
+		split(line, f, /[ \t]+/)
+		# Name-CPUS  iterations  value unit  value unit ...
+		name = f[1]; cpus = 1
+		if (match(name, /-[0-9]+$/)) {
+			cpus = substr(name, RSTART + 1) + 0
+			name = substr(name, 1, RSTART - 1)
+		}
+		if (n++) printf "," > out
+		printf "\n    {\"name\": \"%s\", \"cpus\": %d, \"iterations\": %d", jesc(name), cpus, f[2] > out
+		for (i = 3; i + 1 <= length(f); i += 2) {
+			unit = f[i+1]
+			if (unit == "ns/op") key = "ns_per_op"
+			else if (unit == "B/op") key = "bytes_per_op"
+			else if (unit == "allocs/op") key = "allocs_per_op"
+			else { key = unit; gsub(/[^A-Za-z0-9]/, "_", key) }
+			printf ", \"%s\": %s", jesc(key), f[i] > out
+		}
+		printf "}" > out
+	}
+	printf "\n  ]\n}\n" > out
+}'
+
+echo "wrote $out"
