@@ -311,7 +311,7 @@ func TestMetricsDrainOnSignal(t *testing.T) {
 	ns.Attach(store.DefaultNamespace, mem)
 	sd := &shutdown{}
 	maddr := pickAddr(t)
-	applyOperability(ns, 0, 0, maddr, sd)
+	applyOperability(ns, 0, 0, maddr, false, sd)
 
 	// Each probe dials fresh: a kept-alive connection would keep answering
 	// after the listener closed and mask the port staying up or down.

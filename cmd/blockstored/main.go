@@ -85,6 +85,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -97,6 +98,7 @@ import (
 	"dpstore/internal/baseline/pathoram"
 	"dpstore/internal/block"
 	"dpstore/internal/core/dpram"
+	"dpstore/internal/obs"
 	"dpstore/internal/proxy"
 	"dpstore/internal/rng"
 	"dpstore/internal/store"
@@ -121,9 +123,23 @@ func main() {
 		readPolicy  = flag.String("readpolicy", "sticky", "read replica selection in -replicate mode: sticky or rotate")
 		maxInflight = flag.Int("maxinflight", 0, "per-namespace admission limit: concurrent executing requests (0 = no admission control)")
 		maxQueue    = flag.Int("maxqueue", 0, "per-namespace admission queue: requests waiting beyond -maxinflight before the server sheds with busy frames")
-		metricsAddr = flag.String("metrics", "", "optional HTTP listen address for /metrics (JSON namespace stats) and /healthz")
+		metricsAddr = flag.String("metrics", "", "optional HTTP listen address for /metrics (Prometheus text), /metrics.json and /varz (JSON namespace stats), /healthz, and /slowlog")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ on the -metrics listener (requires -metrics)")
+		slowLogAt   = flag.Duration("slowlog", 0, "log a structured line for every request slower than this threshold (0 disables; the most recent slow spans are also served at /slowlog on the -metrics listener)")
 	)
 	flag.Parse()
+	if *pprofOn && *metricsAddr == "" {
+		log.Fatalf("blockstored: -pprof mounts its handlers on the -metrics listener; set -metrics")
+	}
+	if *slowLogAt < 0 {
+		log.Fatalf("blockstored: -slowlog %v must be ≥ 0", *slowLogAt)
+	}
+	if *slowLogAt > 0 {
+		sl := obs.DefaultSlowLog()
+		sl.SetThreshold(*slowLogAt)
+		sl.SetLogf(log.Printf)
+		log.Printf("blockstored: slow-request log armed at %v", *slowLogAt)
+	}
 	if *maxInflight == 0 && *maxQueue != 0 {
 		log.Fatalf("blockstored: -maxqueue needs -maxinflight (a queue in front of unlimited concurrency bounds nothing)")
 	}
@@ -184,7 +200,7 @@ func main() {
 		log.Printf("blockstored: default namespace: %s", desc)
 		ns := store.NewNamespaces()
 		ns.Attach(store.DefaultNamespace, cluster)
-		applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr, &sd)
+		applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr, *pprofOn, &sd)
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
 			log.Fatalf("blockstored: listen: %v", err)
@@ -204,7 +220,7 @@ func main() {
 		ns := store.NewNamespaces()
 		ns.AttachAccessor(store.DefaultNamespace, p)
 		ns.SetEpoch(p.Epoch())
-		applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr, &sd)
+		applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr, *pprofOn, &sd)
 		if p.Epoch() > 0 {
 			log.Printf("blockstored: recovery epoch %d", p.Epoch())
 		}
@@ -237,7 +253,7 @@ func main() {
 
 	ns := store.NewNamespaces()
 	ns.Attach(store.DefaultNamespace, backing)
-	applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr, &sd)
+	applyOperability(ns, *maxInflight, *maxQueue, *metricsAddr, *pprofOn, &sd)
 
 	var epoch uint64
 	if *dataDir != "" {
@@ -279,8 +295,11 @@ func main() {
 // applyOperability wires the load-survival layer onto a namespace set:
 // per-namespace admission control (-maxinflight/-maxqueue, serving busy
 // frames past the queue) and the -metrics HTTP endpoint that keeps a
-// saturated daemon observable from outside the wire protocol.
-func applyOperability(ns *store.Namespaces, maxInflight, maxQueue int, metricsAddr string, sd *shutdown) {
+// saturated daemon observable from outside the wire protocol —
+// Prometheus text on /metrics, the JSON namespace view on /metrics.json
+// and /varz, liveness on /healthz, recent slow spans on /slowlog, and
+// (with -pprof) the stdlib profiling handlers under /debug/pprof/.
+func applyOperability(ns *store.Namespaces, maxInflight, maxQueue int, metricsAddr string, pprofOn bool, sd *shutdown) {
 	if maxInflight > 0 {
 		ns.SetAdmission(store.AdmitOptions{MaxInflight: maxInflight, MaxQueue: maxQueue})
 		log.Printf("blockstored: admission: %d in flight + %d queued per namespace, then shed", maxInflight, maxQueue)
@@ -294,22 +313,54 @@ func applyOperability(ns *store.Namespaces, maxInflight, maxQueue int, metricsAd
 	}
 	ms := &metricsServer{ln: mln}
 	start := time.Now()
+	// Process-level gauges ride the same registry the layer instruments
+	// feed: uptime (timing-class by nature) and the recovery epoch (read
+	// live — the epoch is bumped after applyOperability in some startup
+	// orders). GaugeFunc re-registration replaces the callback, so a
+	// daemon embedded in tests re-registers harmlessly.
+	obs.NewGaugeFunc("dpstore_uptime_seconds",
+		func() int64 { return int64(time.Since(start).Seconds()) },
+		obs.WithClass(obs.ClassTiming), obs.WithHelp("seconds since daemon start"))
+	obs.NewGaugeFunc("dpstore_epoch",
+		func() int64 { return int64(ns.Epoch()) },
+		obs.WithHelp("recovery epoch reported in the wire handshake"))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache")
 		if ms.draining.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintf(w, "draining uptime=%s\n", time.Since(start).Round(time.Second))
+			fmt.Fprintf(w, "draining uptime=%s epoch=%d\n", time.Since(start).Round(time.Second), ns.Epoch())
 			return
 		}
-		fmt.Fprintf(w, "ok uptime=%s\n", time.Since(start).Round(time.Second))
+		fmt.Fprintf(w, "ok uptime=%s epoch=%d\n", time.Since(start).Round(time.Second), ns.Epoch())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.Header().Set("Cache-Control", "no-cache")
+		obs.Default().WritePrometheus(w) //nolint:errcheck // best-effort response write
+	})
+	serveJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-cache")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(metricsView(ns)) //nolint:errcheck // best-effort response write
+		enc.Encode(v) //nolint:errcheck // best-effort response write
+	}
+	nsJSON := func(w http.ResponseWriter, r *http.Request) { serveJSON(w, metricsView(ns)) }
+	mux.HandleFunc("/metrics.json", nsJSON)
+	mux.HandleFunc("/varz", nsJSON)
+	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, obs.DefaultSlowLog().Recent())
 	})
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("blockstored: pprof on http://%s/debug/pprof/", mln.Addr())
+	}
 	go func() {
 		if err := http.Serve(mln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
 			log.Printf("blockstored: metrics server: %v", err)
@@ -970,6 +1021,13 @@ func openProxy(mode, file, dataDir, replicate string, quorum int, readPolicy str
 			return nil, "", err
 		}
 		parts[i] = p
+	}
+
+	// Export each partition's scheduler gauges (queue depth, stash depth)
+	// keyed by the public partition index — the same index the adversary
+	// reads off the physical trace, so the series adds no leakage.
+	for i, p := range parts {
+		p.RegisterObs(i)
 	}
 
 	if dataDir != "" {

@@ -1,0 +1,216 @@
+package main
+
+// Process-level smoke for the observability surface: a real daemon with
+// -metrics -pprof -slowlog serving a dpram proxy, scraped over HTTP while
+// a client drives load. Pinned here: the Prometheus exposition parses and
+// its counters are monotonic across scrapes, the JSON views keep their
+// content types and no-cache headers, /healthz reports the epoch,
+// /slowlog captures spans once armed, and /debug/pprof answers when (and
+// only when) -pprof is set. CI runs this as the metrics-smoke gate.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dpstore/internal/block"
+	"dpstore/internal/proxy"
+)
+
+// scrape GETs a metrics-listener path, returning status, headers, body.
+func scrape(t *testing.T, base, path string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header, string(body)
+}
+
+// promValue parses a Prometheus text body and sums every sample of the
+// named metric (across label sets), failing on any malformed line.
+func promValue(t *testing.T, body, metric string) float64 {
+	t.Helper()
+	var sum float64
+	found := false
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		series, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("non-numeric sample %q in line %q: %v", val, line, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+		}
+		if name == metric {
+			sum += v
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("metric %s absent from exposition:\n%.2000s", metric, body)
+	}
+	return sum
+}
+
+func TestMetricsEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildDaemon(t)
+	addr, maddr := pickAddr(t), pickAddr(t)
+	daemon := startDaemon(t, bin,
+		"-addr", addr, "-slots", "128", "-blocksize", "32", "-proxy", "dpram",
+		"-maxinflight", "8", "-maxqueue", "8",
+		"-metrics", maddr, "-pprof", "-slowlog", "1ns")
+	defer func() {
+		daemon.Process.Kill() //nolint:errcheck
+		daemon.Wait()         //nolint:errcheck
+	}()
+	waitListening(t, addr)
+	waitListening(t, maddr)
+
+	cl, err := proxy.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	load := func(n int) {
+		for i := 0; i < n; i++ {
+			if i%4 == 3 {
+				if _, err := cl.Write(i%128, block.New(32)); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := cl.Read(i % 128); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	load(20)
+
+	// Prometheus text: right content type, parses, core serve-loop series
+	// present, counters monotonic across scrapes under load.
+	code, hdr, body := scrape(t, maddr, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	frames1 := promValue(t, body, "dpstore_serve_frames_total")
+	accepted1 := promValue(t, body, "dpstore_admission_accepted_total")
+	if frames1 <= 0 || accepted1 <= 0 {
+		t.Fatalf("serve-loop counters flat after load: frames=%v accepted=%v", frames1, accepted1)
+	}
+	load(20)
+	_, _, body2 := scrape(t, maddr, "/metrics")
+	if f2 := promValue(t, body2, "dpstore_serve_frames_total"); f2 <= frames1 {
+		t.Fatalf("frame counter not monotonic across scrapes: %v then %v", frames1, f2)
+	}
+	if a2 := promValue(t, body2, "dpstore_admission_accepted_total"); a2 <= accepted1 {
+		t.Fatalf("accepted counter not monotonic across scrapes: %v then %v", accepted1, a2)
+	}
+	if promValue(t, body2, "dpstore_uptime_seconds") < 0 {
+		t.Fatal("uptime gauge negative")
+	}
+
+	// JSON views: /metrics.json and /varz serve the namespace table with
+	// proper content type and no-cache.
+	for _, path := range []string{"/metrics.json", "/varz"} {
+		code, hdr, body := scrape(t, maddr, path)
+		if code != http.StatusOK {
+			t.Fatalf("%s = %d", path, code)
+		}
+		if ct := hdr.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s Content-Type = %q", path, ct)
+		}
+		if cc := hdr.Get("Cache-Control"); cc != "no-cache" {
+			t.Fatalf("%s Cache-Control = %q, want no-cache", path, cc)
+		}
+		var doc struct {
+			Namespaces []struct {
+				Kind     string `json:"kind"`
+				Accepted uint64 `json:"accepted"`
+			} `json:"namespaces"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("%s is not JSON: %v\n%s", path, err, body)
+		}
+		if len(doc.Namespaces) == 0 || doc.Namespaces[0].Kind != "proxy" || doc.Namespaces[0].Accepted == 0 {
+			t.Fatalf("%s namespace table wrong: %+v", path, doc.Namespaces)
+		}
+	}
+
+	// /healthz: ok + uptime + epoch.
+	code, _, body = scrape(t, maddr, "/healthz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok ") ||
+		!strings.Contains(body, "uptime=") || !strings.Contains(body, "epoch=") {
+		t.Fatalf("/healthz = %d %q, want ok with uptime and epoch", code, body)
+	}
+
+	// /slowlog: armed at 1ns, every request is a slow span.
+	code, _, body = scrape(t, maddr, "/slowlog")
+	if code != http.StatusOK {
+		t.Fatalf("/slowlog = %d", code)
+	}
+	var spans []struct {
+		Frame   string `json:"frame"`
+		TotalNs int64  `json:"total_ns"`
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/slowlog is not JSON: %v\n%s", err, body)
+	}
+	if len(spans) == 0 || spans[0].Frame == "" || spans[0].TotalNs <= 0 {
+		t.Fatalf("-slowlog 1ns recorded no usable spans: %s", body)
+	}
+
+	// pprof answers when mounted.
+	if code, _, _ := scrape(t, maddr, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d with -pprof", code)
+	}
+}
+
+// TestPprofRequiresMetrics: -pprof without -metrics must refuse to start
+// (a silently unmounted profiler is worse than a loud exit), and a daemon
+// without -pprof must not expose /debug/pprof.
+func TestPprofRequiresMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := buildDaemon(t)
+	out, err := exec.Command(bin, "-pprof").CombinedOutput()
+	if err == nil {
+		t.Fatalf("-pprof without -metrics started:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-metrics") {
+		t.Fatalf("refusal does not point at -metrics:\n%s", out)
+	}
+
+	addr, maddr := pickAddr(t), pickAddr(t)
+	daemon := startDaemon(t, bin, "-addr", addr, "-slots", "16", "-blocksize", "16", "-metrics", maddr)
+	defer func() {
+		daemon.Process.Kill() //nolint:errcheck
+		daemon.Wait()         //nolint:errcheck
+	}()
+	waitListening(t, maddr)
+	if code, _, _ := scrape(t, maddr, "/debug/pprof/cmdline"); code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/cmdline = %d without -pprof, want 404", code)
+	}
+}

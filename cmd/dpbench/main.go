@@ -50,6 +50,10 @@ func main() {
 		runLoad(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		runTop(os.Args[2:])
+		return
+	}
 	var (
 		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		quick   = flag.Bool("quick", false, "shrink sizes and trial counts")

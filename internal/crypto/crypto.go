@@ -341,6 +341,7 @@ func (c *Cipher) SealBatch(dst, src []byte, count, recSize int) []byte {
 	if count == 0 {
 		return dst
 	}
+	obsSealBatch.Record(int64(count))
 	ctSize := CiphertextSize(recSize)
 	n := len(dst)
 	dst = slices.Grow(dst, count*ctSize)[:n+count*ctSize]
@@ -384,6 +385,7 @@ func (c *Cipher) OpenBatch(dst []byte, cts [][]byte) ([]byte, error) {
 	if count == 0 {
 		return dst, nil
 	}
+	obsOpenBatch.Record(int64(count))
 	ctSize := len(cts[0])
 	if ctSize < Overhead {
 		return dst, fmt.Errorf("crypto: batch record 0: ciphertext too short (%d bytes)", ctSize)

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", WithLabels("ns", "a"))
+	b := r.Counter("x_total", WithLabels("ns", "a"))
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := r.Counter("x_total", WithLabels("ns", "b"))
+	if a == c {
+		t.Fatal("different labels must be a distinct series")
+	}
+	a.Inc()
+	a.Add(2)
+	if a.Value() != 3 || c.Value() != 0 {
+		t.Fatalf("values: a=%d c=%d", a.Value(), c.Value())
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("y_total", WithLabels("type", "read", "ns", "a"))
+	b := r.Counter("y_total", WithLabels("ns", "a", "type", "read"))
+	if a != b {
+		t.Fatal("label order must not create distinct series")
+	}
+}
+
+func TestDefaultClasses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total")
+	r.Gauge("g")
+	r.Hist("h")
+	r.Timer("t_seconds")
+	r.Hist("h2", WithClass(ClassTiming))
+	classes := map[string]Class{}
+	for _, s := range r.Snapshot() {
+		classes[s.Name] = s.Class
+	}
+	want := map[string]Class{
+		"c_total": ClassExact, "g": ClassLoad, "h": ClassExact,
+		"t_seconds": ClassTiming, "h2": ClassTiming,
+	}
+	for name, cls := range want {
+		if classes[name] != cls {
+			t.Errorf("%s: class %v, want %v", name, classes[name], cls)
+		}
+	}
+}
+
+func TestGaugeFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("depth", func() int64 { return 1 })
+	r.GaugeFunc("depth", func() int64 { return 2 })
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Value != 2 {
+		t.Fatalf("re-registered gauge func must win: %+v", snap)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("req_total")
+	h := r.Timer("lat_seconds")
+	c.Add(5)
+	h.Observe(time.Millisecond)
+	before := r.Snapshot()
+	c.Add(3)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	after := r.Snapshot()
+	d := Delta(before, after)
+	if d["req_total"].Value != 3 {
+		t.Fatalf("counter delta = %d, want 3", d["req_total"].Value)
+	}
+	if d["lat_seconds"].Count != 2 {
+		t.Fatalf("timer delta count = %d, want 2", d["lat_seconds"].Count)
+	}
+	var total uint64
+	for _, n := range d["lat_seconds"].Buckets {
+		total += n
+	}
+	if total != 2 {
+		t.Fatalf("timer delta buckets sum to %d, want 2", total)
+	}
+}
+
+// The exposition output must be parseable line-by-line with the expected
+// shapes: TYPE comments once per metric, summaries with quantile series
+// plus _sum/_count, and timers scaled to seconds.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dp_req_total", WithLabels("ns", "alpha")).Add(7)
+	r.Counter("dp_req_total", WithLabels("ns", "beta")).Add(9)
+	r.Gauge("dp_inflight").Set(-2)
+	tm := r.Timer("dp_lat_seconds")
+	for i := 0; i < 100; i++ {
+		tm.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	r.Hist("dp_batch").Record(32)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE dp_req_total counter\n",
+		`dp_req_total{ns="alpha"} 7` + "\n",
+		`dp_req_total{ns="beta"} 9` + "\n",
+		"# TYPE dp_inflight gauge\n",
+		"dp_inflight -2\n",
+		"# TYPE dp_lat_seconds summary\n",
+		"dp_lat_seconds_count 100\n",
+		"# TYPE dp_batch summary\n",
+		"dp_batch_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE dp_req_total") != 1 {
+		t.Error("TYPE comment must appear exactly once per metric name")
+	}
+	// p50 of 1..100ms in seconds must be ~0.05, never < 0.05 (conservative
+	// upward bias) and within the 1.6% quantization error.
+	var p50 float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `dp_lat_seconds{quantile="0.5"}`) {
+			fmt.Sscanf(strings.Fields(line)[1], "%g", &p50)
+		}
+	}
+	if p50 < 0.05 || p50 > 0.052 {
+		t.Errorf("timer p50 = %g s, want ~0.05", p50)
+	}
+	// Every non-comment line must be "name{...} value".
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if f := strings.Fields(line); len(f) != 2 {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", WithLabels("ns", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `ns="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped: %s", b.String())
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var sl SlowLog
+	if sl.Enabled() {
+		t.Fatal("zero slowlog must be disabled")
+	}
+	sl.Observe(Span{Total: time.Hour}) // disabled: dropped
+	if sl.Count() != 0 {
+		t.Fatal("disabled slowlog must drop spans")
+	}
+	var lines []string
+	sl.SetLogf(func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	sl.SetThreshold(10 * time.Millisecond)
+	sl.Observe(Span{NS: "a", Frame: "read_batch", Total: 5 * time.Millisecond})
+	sl.Observe(Span{NS: "b", Frame: "read_batch", Total: 15 * time.Millisecond})
+	if sl.Count() != 1 {
+		t.Fatalf("slow count = %d, want 1", sl.Count())
+	}
+	rec := sl.Recent()
+	if len(rec) != 1 || rec[0].NS != "b" {
+		t.Fatalf("recent = %+v", rec)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "ns=b") {
+		t.Fatalf("logf lines = %v", lines)
+	}
+	// Overflow the ring; newest-first order must hold.
+	for i := 0; i < slowLogCap+10; i++ {
+		sl.Observe(Span{NS: fmt.Sprintf("n%d", i), Total: time.Second})
+	}
+	rec = sl.Recent()
+	if len(rec) != slowLogCap {
+		t.Fatalf("ring len = %d, want %d", len(rec), slowLogCap)
+	}
+	if rec[0].NS != fmt.Sprintf("n%d", slowLogCap+9) {
+		t.Fatalf("newest-first violated: %s", rec[0].NS)
+	}
+}
+
+func TestLabelWhitelistIsClosed(t *testing.T) {
+	for _, k := range []string{"ns", "type", "partition", "replica", "quantile"} {
+		if !LabelWhitelist[k] {
+			t.Errorf("whitelist missing %q", k)
+		}
+	}
+	if len(LabelWhitelist) != 5 {
+		t.Errorf("whitelist grew to %d keys — additions need an obliviousness argument", len(LabelWhitelist))
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTimerObserve(b *testing.B) {
+	tm := NewRegistry().Timer("bench_seconds")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Observe(time.Duration(i))
+	}
+}

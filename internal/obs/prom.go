@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the content type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+var summaryQuantiles = []struct {
+	q     float64
+	label string
+}{
+	{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"},
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges render one series each;
+// histograms and timers render as summaries (quantile series plus _sum
+// and _count), with timers converted from nanoseconds to seconds. Series
+// are grouped by metric name with the TYPE comment emitted once per
+// name, as the format requires.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	// Group by name, keeping the registration order of first appearance.
+	order := make([]string, 0, len(snap))
+	groups := make(map[string][]*Sample, len(snap))
+	for i := range snap {
+		s := &snap[i]
+		if _, ok := groups[s.Name]; !ok {
+			order = append(order, s.Name)
+		}
+		groups[s.Name] = append(groups[s.Name], s)
+	}
+	for _, name := range order {
+		group := groups[name]
+		sort.SliceStable(group, func(i, j int) bool { return group[i].Key < group[j].Key })
+		promType := "counter"
+		switch group[0].Kind {
+		case KindGauge:
+			promType = "gauge"
+		case KindHist, KindTimer:
+			promType = "summary"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, promType); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if err := writePromSample(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromSample(w io.Writer, s *Sample) error {
+	switch s.Kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, promLabels(s.Labels, "", ""), uint64(s.Value))
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Value)
+		return err
+	}
+	// Summary: timers are recorded in nanoseconds, exported in seconds;
+	// plain hists (batch sizes) export raw values.
+	scale := 1.0
+	if s.Kind == KindTimer {
+		scale = 1e-9
+	}
+	for _, sq := range summaryQuantiles {
+		v := float64(s.Quantile(sq.q)) * scale
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			s.Name, promLabels(s.Labels, "quantile", sq.label), formatFloat(v)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		s.Name, promLabels(s.Labels, "", ""), formatFloat(float64(s.Sum)*scale)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Count)
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	for _, l := range labels {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+		n++
+	}
+	if extraKey != "" {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

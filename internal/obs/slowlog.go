@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one completed request's trace: where its time went, split into
+// queue wait (admission) and service (execute + flush). It carries the
+// namespace and frame type only — per the address-independence rule, a
+// span never names a block address or payload.
+type Span struct {
+	Time    time.Time     `json:"time"`
+	NS      string        `json:"ns"`
+	Frame   string        `json:"frame"`
+	Queue   time.Duration `json:"queue_ns"`
+	Service time.Duration `json:"service_ns"`
+	Total   time.Duration `json:"total_ns"`
+}
+
+const slowLogCap = 128
+
+// SlowLog keeps a ring of the most recent spans whose total latency
+// crossed an atomic threshold, and optionally emits a structured log
+// line per slow request. A zero threshold disables it entirely; the hot
+// path's only cost when disabled is one atomic load (Enabled).
+type SlowLog struct {
+	threshold atomic.Int64
+	slow      atomic.Uint64 // total spans admitted past the threshold
+
+	mu   sync.Mutex
+	ring [slowLogCap]Span
+	n    int // total spans written into the ring
+	logf func(format string, args ...any)
+}
+
+var defaultSlowLog SlowLog
+
+// DefaultSlowLog returns the process-wide slow-request ring the serve
+// loop feeds.
+func DefaultSlowLog() *SlowLog { return &defaultSlowLog }
+
+// SetThreshold arms the slow log: spans with Total ≥ d are kept. d ≤ 0
+// disables.
+func (sl *SlowLog) SetThreshold(d time.Duration) { sl.threshold.Store(int64(d)) }
+
+// Threshold returns the current threshold (0 = disabled).
+func (sl *SlowLog) Threshold() time.Duration { return time.Duration(sl.threshold.Load()) }
+
+// Enabled reports whether any span could be admitted — the hot path's
+// cheap pre-check before computing durations.
+func (sl *SlowLog) Enabled() bool { return sl.threshold.Load() > 0 }
+
+// SetLogf installs a structured-log sink called once per admitted span
+// (nil silences it; the ring still fills).
+func (sl *SlowLog) SetLogf(f func(format string, args ...any)) {
+	sl.mu.Lock()
+	sl.logf = f
+	sl.mu.Unlock()
+}
+
+// Count returns the number of spans admitted past the threshold since
+// process start.
+func (sl *SlowLog) Count() uint64 { return sl.slow.Load() }
+
+// Observe offers a span; it is kept only if the slow log is armed and
+// sp.Total crosses the threshold. Callers on hot paths should pre-check
+// Enabled() to skip building the span at all.
+func (sl *SlowLog) Observe(sp Span) {
+	t := sl.threshold.Load()
+	if t <= 0 || int64(sp.Total) < t {
+		return
+	}
+	if sp.Time.IsZero() {
+		sp.Time = time.Now()
+	}
+	sl.slow.Add(1)
+	sl.mu.Lock()
+	sl.ring[sl.n%slowLogCap] = sp
+	sl.n++
+	logf := sl.logf
+	sl.mu.Unlock()
+	if logf != nil {
+		logf("slow request: ns=%s frame=%s total=%v queue=%v service=%v",
+			sp.NS, sp.Frame, sp.Total, sp.Queue, sp.Service)
+	}
+}
+
+// Recent returns the retained spans, newest first.
+func (sl *SlowLog) Recent() []Span {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	n := sl.n
+	if n > slowLogCap {
+		n = slowLogCap
+	}
+	out := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, sl.ring[(sl.n-1-i)%slowLogCap])
+	}
+	return out
+}

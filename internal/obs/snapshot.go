@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"dpstore/internal/stats"
+)
+
+// Sample is one exported series at a moment: identity (name + rendered
+// labels), its contract (kind/class), and its value. Histograms and
+// timers carry their full non-empty bucket contents so two samples can
+// be compared bucket-for-bucket — the obliviousness regression's
+// equality is over the distribution, not a lossy summary.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Key    string // name{k=v,...} — unique series identity
+	Kind   Kind
+	Class  Class
+
+	Value   int64             // counter (as int64) or gauge value
+	Count   uint64            // hist/timer observation count
+	Sum     int64             // hist/timer value sum
+	Max     int64             // hist/timer max
+	Buckets map[int]uint64    // hist/timer non-empty buckets, index → count
+	hist    stats.LatencyHist // private copy backing Quantile
+}
+
+// Quantile returns the q-quantile of a hist/timer sample (0 otherwise).
+func (s *Sample) Quantile(q float64) int64 {
+	if s.Kind != KindHist && s.Kind != KindTimer {
+		return 0
+	}
+	return s.hist.QuantileValue(q)
+}
+
+// Snapshot returns every registered series in registration order.
+// Function gauges are read at snapshot time.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	keys := append([]string(nil), r.keys...)
+	byKey := make(map[string]*instrument, len(keys))
+	for k, ins := range r.by {
+		byKey[k] = ins
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(keys))
+	scratch := stats.NewLatencyHist()
+	for _, k := range keys {
+		ins := byKey[k]
+		s := Sample{Name: ins.name, Labels: ins.labels, Key: k, Kind: ins.kind, Class: ins.class}
+		switch ins.kind {
+		case KindCounter:
+			s.Value = int64(ins.counter.Value())
+		case KindGauge:
+			s.Value = ins.gauge.Value()
+		case KindHist:
+			ins.hist.SnapshotInto(scratch)
+			fillHistSample(&s, scratch)
+		case KindTimer:
+			ins.timer.SnapshotInto(scratch)
+			fillHistSample(&s, scratch)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func fillHistSample(s *Sample, h *stats.LatencyHist) {
+	s.Count = h.Count()
+	s.Sum = int64(h.Mean() * float64(h.Count()))
+	s.Max = h.Max()
+	s.Buckets = h.NonzeroBuckets()
+	s.hist = *h.Clone()
+}
+
+// Delta returns after minus before as a map keyed by series identity.
+// Series present only in after appear as-is; counters/hist counts
+// subtract, gauges carry the after value (occupancy has no meaningful
+// delta). A series present in before but absent in after is impossible
+// (instruments are never unregistered) and is ignored.
+func Delta(before, after []Sample) map[string]Sample {
+	prev := make(map[string]*Sample, len(before))
+	for i := range before {
+		prev[before[i].Key] = &before[i]
+	}
+	out := make(map[string]Sample, len(after))
+	for _, s := range after {
+		if b, ok := prev[s.Key]; ok {
+			switch s.Kind {
+			case KindCounter:
+				s.Value -= b.Value
+			case KindHist, KindTimer:
+				s.Count -= b.Count
+				s.Sum -= b.Sum
+				buckets := make(map[int]uint64, len(s.Buckets))
+				for i, c := range s.Buckets {
+					if d := c - b.Buckets[i]; d != 0 {
+						buckets[i] = d
+					}
+				}
+				s.Buckets = buckets
+			}
+		}
+		out[s.Key] = s
+	}
+	return out
+}

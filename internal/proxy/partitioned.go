@@ -2,8 +2,10 @@ package proxy
 
 import (
 	"fmt"
+	"strconv"
 
 	"dpstore/internal/block"
+	"dpstore/internal/obs"
 	"dpstore/internal/store"
 	"dpstore/internal/workload"
 )
@@ -52,6 +54,12 @@ type Partitioned struct {
 	parts      []*Proxy
 	records    int
 	recordSize int
+
+	// partAccesses[i] counts accesses routed to partition i — ClassRouting:
+	// the partition index of every access is public by construction (the
+	// adversary sees which physical window each batch lands in), so
+	// exporting its distribution leaks nothing the trace does not.
+	partAccesses []*obs.Counter
 }
 
 // NewPartitioned assembles a partitioned accessor over parts. Every part
@@ -78,7 +86,12 @@ func NewPartitioned(parts []*Proxy) (*Partitioned, error) {
 				i, p.Records(), total, len(parts), want)
 		}
 	}
-	return &Partitioned{parts: parts, records: total, recordSize: rs}, nil
+	counters := make([]*obs.Counter, len(parts))
+	for i := range parts {
+		counters[i] = obs.NewCounter("dpstore_partition_accesses_total",
+			obs.WithLabels("partition", strconv.Itoa(i)), obs.WithClass(obs.ClassRouting))
+	}
+	return &Partitioned{parts: parts, records: total, recordSize: rs, partAccesses: counters}, nil
 }
 
 // Partitions returns P. The serve loop exports it in the handshake; it is
@@ -112,6 +125,7 @@ func (pt *Partitioned) Access(q workload.Query) (block.Block, error) {
 		return nil, fmt.Errorf("proxy: index %d out of range [0,%d)", q.Index, pt.records)
 	}
 	part, local := pt.route(q.Index)
+	pt.partAccesses[part].Inc()
 	q.Index = local
 	return pt.parts[part].Access(q)
 }

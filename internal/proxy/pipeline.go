@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dpstore/internal/block"
 	"dpstore/internal/store"
@@ -274,12 +275,15 @@ func (p *Pipeline) discard(ops []store.WriteOp, seqs []uint64) {
 // flush lands one coalesced batch, retrying transient failures, then
 // clears the pending entries it proved durable.
 func (p *Pipeline) flush(ops []store.WriteOp, seqs []uint64) {
+	obsPipeFlushOps.Record(int64(len(ops)))
+	t0 := time.Now()
 	var err error
 	for attempt := 0; attempt <= writeRetries; attempt++ {
 		if err = p.inner.WriteBatch(ops); err == nil {
 			break
 		}
 	}
+	obsPipeFlush.Since(t0)
 	p.mu.Lock()
 	if err != nil {
 		if p.sticky == nil {
@@ -318,7 +322,10 @@ func (p *Pipeline) ReadBatch(addrs []int) ([]block.Block, error) {
 	}
 	p.mu.Unlock()
 
+	obsPipeReadBlocks.Record(int64(len(addrs)))
+	t0 := time.Now()
 	blocks, err := p.inner.ReadBatch(addrs)
+	obsPipeRead.Since(t0)
 	if err != nil {
 		return nil, err
 	}
@@ -341,6 +348,7 @@ func (p *Pipeline) WriteBatch(ops []store.WriteOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	obsPipeWriteOps.Record(int64(len(ops)))
 	cp := make([]store.WriteOp, len(ops))
 	seqs := make([]uint64, len(ops))
 	backing := 0

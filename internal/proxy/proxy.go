@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dpstore/internal/block"
 	"dpstore/internal/workload"
@@ -202,6 +203,7 @@ func (p *Proxy) scheduler() {
 		if p.journal == nil {
 			b, err := p.scheme.Access(req.q)
 			p.accesses.Add(1)
+			obsAccesses.Inc()
 			p.updateStash()
 			req.resp <- result{b: b, err: err}
 			continue
@@ -230,6 +232,7 @@ func (p *Proxy) scheduler() {
 			}
 			continue
 		}
+		obsCheckpointBurst.Record(int64(len(burst)))
 		results := make([]result, len(burst))
 		for i, r := range burst {
 			b, err := r.run(p)
@@ -256,6 +259,7 @@ func (p *Proxy) scheduler() {
 func (r request) run(p *Proxy) (block.Block, error) {
 	b, err := p.scheme.Access(r.q)
 	p.accesses.Add(1)
+	obsAccesses.Inc()
 	p.updateStash()
 	return b, err
 }
@@ -273,6 +277,7 @@ func (p *Proxy) updateStash() {
 // then releases them to the store — steps 2 and 3 of the Journal commit
 // protocol.
 func (p *Proxy) checkpoint() error {
+	t0 := time.Now()
 	state, err := p.scheme.(DurableScheme).MarshalState()
 	if err != nil {
 		return fmt.Errorf("proxy: marshaling scheme state: %w", err)
@@ -283,6 +288,7 @@ func (p *Proxy) checkpoint() error {
 	}
 	p.pipe.Release(seq)
 	p.checkpoints.Add(1)
+	obsCheckpoint.Since(t0)
 	return nil
 }
 

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AtomicHist is the concurrent counterpart of LatencyHist: the same
+// log-linear bucket layout, but every Record is a handful of atomic adds
+// with no lock and no allocation, so many serve-loop goroutines can feed
+// one histogram on the hot path. Quantiles are not computed here —
+// SnapshotInto folds the live buckets into a plain LatencyHist, which
+// owns the quantile math.
+//
+// The zero value is ready to use. Snapshots taken while writers are
+// recording are internally consistent per bucket but may straddle
+// concurrent Records (a snapshot is a moment-free aggregate, not a
+// linearizable cut) — exactly the tolerance a metrics scrape has.
+type AtomicHist struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// RecordValue adds one observation. Negative values clamp to 0, matching
+// LatencyHist.
+func (h *AtomicHist) RecordValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(uint64(v))].Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Record adds one duration observation in nanoseconds.
+func (h *AtomicHist) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// Count returns the number of observations recorded so far. It walks the
+// bucket array (no separate total is kept, so Count always agrees with
+// the buckets a concurrent snapshot would see).
+func (h *AtomicHist) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the running sum of recorded values.
+func (h *AtomicHist) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest recorded value (0 if empty).
+func (h *AtomicHist) Max() int64 { return h.max.Load() }
+
+// SnapshotInto folds the current contents into dst (which is Reset
+// first). dst then answers quantile queries over everything recorded up
+// to roughly now. The min carried into dst is the conservative lower
+// bound of the lowest occupied bucket — AtomicHist does not track the
+// exact min, and a lower bound keeps Quantile(0) from overstating.
+func (h *AtomicHist) SnapshotInto(dst *LatencyHist) {
+	dst.Reset()
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		dst.counts[i] += c
+		dst.total += c
+		if lo := histLowValue(i); lo < dst.min {
+			dst.min = lo
+		}
+	}
+	if dst.total == 0 {
+		return
+	}
+	dst.sum = float64(h.sum.Load())
+	if m := h.max.Load(); m > dst.max {
+		dst.max = m
+	}
+}
+
+// histLowValue returns the lowest value mapping to bucket i (the
+// counterpart of histValue, which returns the highest).
+func histLowValue(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	block := i/histSubCount - 1
+	sub := uint64(i%histSubCount) + histSubCount
+	return int64(sub << uint(block))
+}

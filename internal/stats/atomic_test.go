@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Recording the same stream into an AtomicHist and a LatencyHist must
+// land in identical buckets — AtomicHist reuses the same index mapping,
+// and SnapshotInto must reproduce count/sum/max and hence quantiles.
+func TestAtomicHistMatchesLatencyHist(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ah AtomicHist
+	lh := NewLatencyHist()
+	for i := 0; i < 50000; i++ {
+		v := rng.Int63n(int64(1) << uint(10+rng.Intn(30)))
+		ah.RecordValue(v)
+		lh.RecordValue(v)
+	}
+	snap := NewLatencyHist()
+	ah.SnapshotInto(snap)
+
+	if snap.Count() != lh.Count() {
+		t.Fatalf("count: atomic %d vs direct %d", snap.Count(), lh.Count())
+	}
+	if snap.Max() != lh.Max() {
+		t.Fatalf("max: atomic %d vs direct %d", snap.Max(), lh.Max())
+	}
+	if snap.Mean() != lh.Mean() {
+		t.Fatalf("mean: atomic %g vs direct %g", snap.Mean(), lh.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		a, d := snap.QuantileValue(q), lh.QuantileValue(q)
+		// The only permitted divergence is at q→0: AtomicHist carries the
+		// bucket's lower bound instead of the exact min, so its Quantile(0)
+		// may sit at most one bucket-width below the exact answer.
+		if q == 0 {
+			if a > d {
+				t.Fatalf("q=0: atomic %d overstates exact min %d", a, d)
+			}
+			continue
+		}
+		if a != d {
+			t.Fatalf("q=%g: atomic %d vs direct %d", q, a, d)
+		}
+	}
+}
+
+func TestAtomicHistNegativeClampsToZero(t *testing.T) {
+	var ah AtomicHist
+	ah.RecordValue(-5)
+	snap := NewLatencyHist()
+	ah.SnapshotInto(snap)
+	if snap.Count() != 1 || snap.Min() != 0 || snap.Max() != 0 {
+		t.Fatalf("negative record: count=%d min=%d max=%d", snap.Count(), snap.Min(), snap.Max())
+	}
+}
+
+func TestAtomicHistEmptySnapshot(t *testing.T) {
+	var ah AtomicHist
+	snap := NewLatencyHist()
+	snap.RecordValue(42) // stale content must be cleared
+	ah.SnapshotInto(snap)
+	if snap.Count() != 0 || snap.QuantileValue(0.5) != 0 {
+		t.Fatalf("empty snapshot not empty: count=%d", snap.Count())
+	}
+}
+
+// Concurrent writers must lose no observations (the whole point of the
+// atomic variant).
+func TestAtomicHistConcurrent(t *testing.T) {
+	var ah AtomicHist
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				ah.RecordValue(rng.Int63n(1 << 20))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := ah.Count(); got != workers*per {
+		t.Fatalf("lost observations: %d of %d", got, workers*per)
+	}
+	snap := NewLatencyHist()
+	ah.SnapshotInto(snap)
+	if snap.Count() != workers*per {
+		t.Fatalf("snapshot lost observations: %d of %d", snap.Count(), workers*per)
+	}
+}
+
+func BenchmarkAtomicHistRecord(b *testing.B) {
+	var ah AtomicHist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ah.RecordValue(int64(i) & 0xFFFFF)
+	}
+}

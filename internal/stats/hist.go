@@ -174,6 +174,36 @@ func (h *LatencyHist) Merge(o *LatencyHist) {
 	}
 }
 
+// Clone returns an independent copy of h.
+func (h *LatencyHist) Clone() *LatencyHist {
+	c := &LatencyHist{
+		counts: append([]uint64(nil), h.counts...),
+		total:  h.total,
+		sum:    h.sum,
+		min:    h.min,
+		max:    h.max,
+	}
+	return c
+}
+
+// NonzeroBuckets returns the occupied buckets as index → count. The
+// index is the internal log-linear bucket number; BucketValue maps it
+// back to a representative value. Exposed so snapshot layers can compare
+// two histograms distribution-for-distribution.
+func (h *LatencyHist) NonzeroBuckets() map[int]uint64 {
+	out := make(map[int]uint64)
+	for i, c := range h.counts {
+		if c != 0 {
+			out[i] = c
+		}
+	}
+	return out
+}
+
+// BucketValue returns the highest value mapping to bucket index i (the
+// representative histValue reports for quantiles).
+func BucketValue(i int) int64 { return histValue(i) }
+
 // Reset returns the histogram to its empty state, retaining the bucket
 // array.
 func (h *LatencyHist) Reset() {

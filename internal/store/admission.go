@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dpstore/internal/obs"
+	"dpstore/internal/stats"
 	"dpstore/internal/wire"
 )
 
@@ -45,6 +47,12 @@ type AdmitOptions struct {
 // limiter is one namespace's admission state. Limiters exist for every
 // namespace that has served traffic — counting-only when admission is
 // disabled — so the stats snapshot is uniform either way.
+//
+// The limiter owns two sets of instruments on purpose. The private
+// atomics and histograms back the per-daemon wire stats snapshot (tests
+// and `dpbench top` want counts scoped to THIS server's lifetime); the
+// obs instruments feed the process-wide registry behind /metrics. Both
+// record the same events; neither can substitute for the other.
 type limiter struct {
 	tokens   chan struct{} // execution slots; nil = admission disabled
 	limit    int
@@ -57,10 +65,25 @@ type limiter struct {
 	shed     atomic.Uint64
 	inflight atomic.Int64
 	ewmaNs   atomic.Int64 // EWMA of admitted-request service time
+
+	service   stats.AtomicHist // admit → release (execute + flush), ns
+	queueWait stats.AtomicHist // time spent waiting for a slot, ns
+
+	obsAccepted  *obs.Counter
+	obsShed      *obs.Counter
+	obsService   *obs.Timer
+	obsQueueWait *obs.Timer
 }
 
-func newLimiter(opts AdmitOptions) *limiter {
-	l := &limiter{limit: opts.MaxInflight, queueCap: opts.MaxQueue}
+func newLimiter(name string, opts AdmitOptions) *limiter {
+	l := &limiter{
+		limit:        opts.MaxInflight,
+		queueCap:     opts.MaxQueue,
+		obsAccepted:  obs.NewCounter("dpstore_admission_accepted_total", obs.WithLabels("ns", name)),
+		obsShed:      obs.NewCounter("dpstore_admission_shed_total", obs.WithLabels("ns", name)),
+		obsService:   obs.NewTimer("dpstore_serve_request_seconds", obs.WithLabels("ns", name)),
+		obsQueueWait: obs.NewTimer("dpstore_admission_queue_wait_seconds", obs.WithLabels("ns", name)),
+	}
 	if opts.MaxInflight > 0 {
 		l.tokens = make(chan struct{}, opts.MaxInflight)
 		for i := 0; i < opts.MaxInflight; i++ {
@@ -71,17 +94,22 @@ func newLimiter(opts AdmitOptions) *limiter {
 }
 
 // admit claims an execution slot, waiting in the bounded queue when all
-// slots are busy. ok=false means the request was shed: the caller must
-// answer with a busy frame built from retryAfter and depth and MUST NOT
-// execute the request. ok=true obliges the caller to invoke release
-// exactly once after the response has been written.
-func (l *limiter) admit() (release func(), ok bool, retryAfter time.Duration, depth int) {
+// slots are busy. arrival is when the request's frame finished reading —
+// the serve loop's one clock read per request; admit only reads the
+// clock again on the queued path, where the wait is the thing being
+// measured. ok=false means the request was shed: the caller must answer
+// with a busy frame built from retryAfter and depth and MUST NOT execute
+// the request. ok=true obliges the caller to invoke release(start)
+// exactly once after the response has been written, where start is the
+// slot-grant time admit returned. No closure is minted — the serve
+// loop's steady state stays allocation-free.
+func (l *limiter) admit(arrival time.Time) (start time.Time, ok bool, retryAfter time.Duration, depth int) {
 	if l.tokens == nil {
 		// Counting-only: measure, never refuse.
 		l.inflight.Add(1)
-		start := time.Now()
-		return func() { l.finish(start) }, true, 0, 0
+		return arrival, true, 0, 0
 	}
+	start = arrival
 	select {
 	case <-l.tokens:
 	default:
@@ -91,7 +119,8 @@ func (l *limiter) admit() (release func(), ok bool, retryAfter time.Duration, de
 			depth = l.queued
 			l.mu.Unlock()
 			l.shed.Add(1)
-			return nil, false, l.retryHint(depth), depth
+			l.obsShed.Inc()
+			return time.Time{}, false, l.retryHint(depth), depth
 		}
 		l.queued++
 		l.mu.Unlock()
@@ -99,24 +128,41 @@ func (l *limiter) admit() (release func(), ok bool, retryAfter time.Duration, de
 		l.mu.Lock()
 		l.queued--
 		l.mu.Unlock()
+		start = time.Now()
+		wait := start.Sub(arrival)
+		l.queueWait.Record(wait)
+		l.obsQueueWait.Observe(wait)
 	}
 	l.inflight.Add(1)
-	start := time.Now()
-	return func() {
-		l.finish(start)
-		l.tokens <- struct{}{}
-	}, true, 0, 0
+	return start, true, 0, 0
 }
 
-// finish records one completed request: counters plus the service-time
-// EWMA (α = 1/8) the retry hint is derived from. The EWMA update is a
-// load/store race under concurrency — acceptable for a smoothing gauge.
-func (l *limiter) finish(start time.Time) {
+// release completes an admitted request: records it and, when admission
+// is enabled, returns the execution slot. It returns the service time
+// (slot grant to release) for the caller's slow-span accounting.
+func (l *limiter) release(start time.Time) time.Duration {
+	d := l.finish(start)
+	if l.tokens != nil {
+		l.tokens <- struct{}{}
+	}
+	return d
+}
+
+// finish records one completed request: counters, the service-time
+// histograms, and the EWMA (α = 1/8) the retry hint is derived from. The
+// EWMA update is a load/store race under concurrency — acceptable for a
+// smoothing gauge.
+func (l *limiter) finish(start time.Time) time.Duration {
 	l.accepted.Add(1)
+	l.obsAccepted.Inc()
 	l.inflight.Add(-1)
-	sample := int64(time.Since(start))
+	d := time.Since(start)
+	sample := int64(d)
+	l.service.RecordValue(sample)
+	l.obsService.Observe(d)
 	old := l.ewmaNs.Load()
 	l.ewmaNs.Store(old + (sample-old)/8)
+	return d
 }
 
 // retryHint estimates when capacity is likely again: the time for the
@@ -135,7 +181,8 @@ func (l *limiter) retryHint(depth int) time.Duration {
 	return hint
 }
 
-// snapshot fills the admission half of a stats entry.
+// snapshot fills the admission half of a stats entry, including the v2
+// quantile extension (folded out of the live histograms; cold path).
 func (l *limiter) snapshot(e *wire.StatsEntry) {
 	e.Accepted = l.accepted.Load()
 	e.Shed = l.shed.Load()
@@ -145,6 +192,27 @@ func (l *limiter) snapshot(e *wire.StatsEntry) {
 	l.mu.Unlock()
 	e.Limit = uint32(l.limit)
 	e.QueueCap = uint32(l.queueCap)
+
+	h := stats.NewLatencyHist()
+	l.service.SnapshotInto(h)
+	e.Requests = h.Count()
+	e.P50Micros = ceilMicros(h.QuantileValue(0.50))
+	e.P90Micros = ceilMicros(h.QuantileValue(0.90))
+	e.P99Micros = ceilMicros(h.QuantileValue(0.99))
+	e.P999Micros = ceilMicros(h.QuantileValue(0.999))
+	e.MaxMicros = ceilMicros(h.Max())
+	l.queueWait.SnapshotInto(h)
+	e.QueueP99Micros = ceilMicros(h.QuantileValue(0.99))
+}
+
+// ceilMicros converts nanoseconds to whole microseconds, rounding up so
+// a nonzero latency never reports as zero (consistent with the
+// histogram's own conservative upward bias).
+func ceilMicros(ns int64) uint64 {
+	if ns <= 0 {
+		return 0
+	}
+	return uint64(ns+999) / 1000
 }
 
 // SetAdmission installs admission control: every namespace (current and
@@ -157,7 +225,7 @@ func (ns *Namespaces) SetAdmission(opts AdmitOptions) {
 	defer ns.mu.Unlock()
 	ns.admit = opts
 	for name := range ns.limiters {
-		ns.limiters[name] = newLimiter(opts)
+		ns.limiters[name] = newLimiter(name, opts)
 	}
 }
 
@@ -168,7 +236,7 @@ func (ns *Namespaces) limiterFor(name string) *limiter {
 	defer ns.mu.Unlock()
 	l, ok := ns.limiters[name]
 	if !ok {
-		l = newLimiter(ns.admit)
+		l = newLimiter(name, ns.admit)
 		ns.limiters[name] = l
 	}
 	return l
@@ -200,7 +268,7 @@ func (ns *Namespaces) Stats() []wire.StatsEntry {
 	for name, t := range ns.m {
 		l, ok := ns.limiters[name]
 		if !ok {
-			l = newLimiter(ns.admit)
+			l = newLimiter(name, ns.admit)
 			ns.limiters[name] = l
 		}
 		rows = append(rows, row{name, t, l})

@@ -11,18 +11,18 @@ import (
 )
 
 func TestLimiterCountingOnlyNeverSheds(t *testing.T) {
-	l := newLimiter(AdmitOptions{}) // admission disabled
+	l := newLimiter("t", AdmitOptions{}) // admission disabled
 	var wg sync.WaitGroup
 	for i := 0; i < 50; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			release, ok, _, _ := l.admit()
+			start, ok, _, _ := l.admit(time.Now())
 			if !ok {
 				t.Error("counting-only limiter shed a request")
 				return
 			}
-			release()
+			l.release(start)
 		}()
 	}
 	wg.Wait()
@@ -38,10 +38,10 @@ func TestLimiterCountingOnlyNeverSheds(t *testing.T) {
 }
 
 func TestLimiterShedsPastQueue(t *testing.T) {
-	l := newLimiter(AdmitOptions{MaxInflight: 1, MaxQueue: 1})
+	l := newLimiter("t", AdmitOptions{MaxInflight: 1, MaxQueue: 1})
 
 	// Occupy the single slot.
-	holderRelease, ok, _, _ := l.admit()
+	holderStart, ok, _, _ := l.admit(time.Now())
 	if !ok {
 		t.Fatal("first admit shed")
 	}
@@ -54,12 +54,12 @@ func TestLimiterShedsPastQueue(t *testing.T) {
 		// Signal once we are definitely queued: admit blocks, so signal
 		// first and rely on the main goroutine polling the queue gauge.
 		close(waiterIn)
-		release, ok, _, _ := l.admit()
+		start, ok, _, _ := l.admit(time.Now())
 		if !ok {
 			t.Error("queued request was shed")
 			return
 		}
-		release()
+		l.release(start)
 	}()
 	<-waiterIn
 	deadline := time.Now().Add(5 * time.Second)
@@ -77,9 +77,9 @@ func TestLimiterShedsPastQueue(t *testing.T) {
 	}
 
 	// Slot busy, queue full: the next request must shed with a sane hint.
-	release, ok, retry, depth := l.admit()
+	start, ok, retry, depth := l.admit(time.Now())
 	if ok {
-		release()
+		l.release(start)
 		t.Fatal("admit succeeded past a full queue")
 	}
 	if depth != 1 {
@@ -93,7 +93,7 @@ func TestLimiterShedsPastQueue(t *testing.T) {
 	}
 
 	// Releasing the holder drains the waiter.
-	holderRelease()
+	l.release(holderStart)
 	select {
 	case <-waiterDone:
 	case <-time.After(5 * time.Second):
@@ -105,8 +105,8 @@ func TestLimiterShedsPastQueue(t *testing.T) {
 }
 
 func TestLimiterSnapshot(t *testing.T) {
-	l := newLimiter(AdmitOptions{MaxInflight: 3, MaxQueue: 7})
-	release, ok, _, _ := l.admit()
+	l := newLimiter("t", AdmitOptions{MaxInflight: 3, MaxQueue: 7})
+	start, ok, _, _ := l.admit(time.Now())
 	if !ok {
 		t.Fatal("admit shed")
 	}
@@ -115,7 +115,7 @@ func TestLimiterSnapshot(t *testing.T) {
 	if e.Inflight != 1 || e.Limit != 3 || e.QueueCap != 7 {
 		t.Errorf("snapshot %+v, want inflight=1 limit=3 queueCap=7", e)
 	}
-	release()
+	l.release(start)
 	l.snapshot(&e)
 	if e.Accepted != 1 || e.Inflight != 0 {
 		t.Errorf("snapshot after release %+v, want accepted=1 inflight=0", e)

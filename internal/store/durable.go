@@ -819,6 +819,7 @@ func (d *Durable) doSnapshot(s *walReq) {
 // group's waiters directly — their batches are not acknowledged, and the
 // on-disk tail, whatever made it out, will be discarded by replay.
 func (d *Durable) commit(group []*walReq) {
+	obsWALCommitGroup.Record(int64(len(group)))
 	if err := d.appendAndSync(group); err != nil {
 		err = d.poison(err)
 		for _, r := range group {
@@ -855,7 +856,9 @@ func (d *Durable) applier() {
 				ops = append(ops, r.ops...)
 			}
 		}
+		t0 := time.Now()
 		err := d.applyPages(ops)
+		obsWALApply.Since(t0)
 		if err != nil {
 			err = d.poison(err)
 		}
@@ -887,6 +890,7 @@ func (d *Durable) drainApplier() {
 // appendAndSync writes the group's records contiguously at the log tail
 // and makes them durable per the sync mode.
 func (d *Durable) appendAndSync(group []*walReq) error {
+	tAppend := time.Now()
 	d.mu.Lock()
 	off := d.walSize
 	d.mu.Unlock()
@@ -918,13 +922,18 @@ func (d *Durable) appendAndSync(group []*walReq) error {
 	}
 	if d.opts.Sync != SyncNone {
 		t0 := time.Now()
+		obsWALAppend.Observe(t0.Sub(tAppend))
 		if err := datasync(d.wal); err != nil {
 			return fmt.Errorf("store: syncing WAL: %w", err)
 		}
 		// EWMA (α = 1/4) of sync latency, read only by the committer;
 		// mirrored into the atomic gauge for SyncLatency.
-		d.syncEWMA += (time.Since(t0) - d.syncEWMA) / 4
+		fsync := time.Since(t0)
+		obsWALFsync.Observe(fsync)
+		d.syncEWMA += (fsync - d.syncEWMA) / 4
 		d.syncGauge.Store(int64(d.syncEWMA))
+	} else {
+		obsWALAppend.Since(tAppend)
 	}
 	d.mu.Lock()
 	d.walSize = off + int64(len(buf))
@@ -944,6 +953,7 @@ func (d *Durable) maybeCompact() {
 	if !over {
 		return
 	}
+	obsWALCompactions.Inc()
 	d.drainApplier()
 	if err := d.compact(); err != nil {
 		d.poison(fmt.Errorf("store: WAL compaction failed: %w", err)) //nolint:errcheck

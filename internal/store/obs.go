@@ -1,0 +1,79 @@
+package store
+
+import (
+	"dpstore/internal/obs"
+	"dpstore/internal/wire"
+)
+
+// Serve-loop and WAL instruments. Everything here is keyed by the frame
+// TYPE byte or aggregated across the whole engine — never by an address,
+// a record, or anything finer than the namespace name (which the limiter
+// instruments in admission.go carry). See DESIGN.md §Observability.
+
+// frameCounters maps every frame type byte to its counter, resolved once
+// at init so the serve loop's per-request cost is a single indexed
+// atomic increment. Tags outside the protocol share one "unknown"
+// series — a hostile peer cannot mint counter cardinality.
+var frameCounters = func() [256]*obs.Counter {
+	var a [256]*obs.Counter
+	unknown := obs.NewCounter("dpstore_serve_frames_total", obs.WithLabels("type", "unknown"))
+	for i := range a {
+		a[i] = unknown
+	}
+	for t := wire.MsgInfoReq; t <= wire.MsgStatsResp; t++ {
+		a[t] = obs.NewCounter("dpstore_serve_frames_total", obs.WithLabels("type", wire.TypeName(t)))
+	}
+	return a
+}()
+
+// frameNames caches the symbolic names for slow-span labeling (the map
+// lookup in wire.TypeName is fine off the hot path, but spans are built
+// while the serve loop still holds the request).
+var frameNames = func() [256]string {
+	var a [256]string
+	for i := range a {
+		a[i] = wire.TypeName(byte(i))
+	}
+	return a
+}()
+
+// WAL engine instruments (store.Durable). All ClassTiming or timing-
+// derived: fsync/apply counts depend on group-commit coalescing, which
+// depends on arrival timing — the obliviousness suite asserts their
+// existence, never their values.
+var (
+	obsWALAppend = obs.NewTimer("dpstore_wal_append_seconds",
+		obs.WithHelp("WAL record append (buffered write, before sync)"))
+	obsWALFsync = obs.NewTimer("dpstore_wal_fsync_seconds",
+		obs.WithHelp("WAL datasync making a commit group durable"))
+	obsWALApply = obs.NewTimer("dpstore_wal_apply_seconds",
+		obs.WithHelp("applying a committed group to the backing store"))
+	obsWALCommitGroup = obs.NewHist("dpstore_wal_commit_group_requests", obs.WithClass(obs.ClassTiming),
+		obs.WithHelp("requests coalesced per WAL commit group"))
+	obsWALCompactions = obs.NewCounter("dpstore_wal_compactions_total", obs.WithClass(obs.ClassTiming),
+		obs.WithHelp("WAL compactions triggered by the size threshold"))
+)
+
+// Replica gauge registration (store.Replicated): per-replica state and
+// resync backlog, labeled by the replica's public cluster-spec name.
+func registerReplicaObs(r *Replicated) {
+	for _, st := range r.ReplicaStatus() {
+		name := st.Name
+		obs.NewGaugeFunc("dpstore_replica_state", func() int64 {
+			for _, st := range r.ReplicaStatus() {
+				if st.Name == name {
+					return int64(st.State)
+				}
+			}
+			return -1
+		}, obs.WithLabels("replica", name), obs.WithClass(obs.ClassLoad))
+		obs.NewGaugeFunc("dpstore_replica_backlog_blocks", func() int64 {
+			for _, st := range r.ReplicaStatus() {
+				if st.Name == name {
+					return int64(st.Dirty)
+				}
+			}
+			return 0
+		}, obs.WithLabels("replica", name), obs.WithClass(obs.ClassLoad))
+	}
+}

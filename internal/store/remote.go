@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dpstore/internal/block"
+	"dpstore/internal/obs"
 	"dpstore/internal/wire"
 )
 
@@ -457,9 +458,12 @@ func (rs *Remote) ReplicaStatus() ([]ReplicaStatus, error) {
 // MsgStatsReq round trip): admission counters, queue state, and backing
 // gauges for every hosted namespace, regardless of which one this
 // connection has open. Counters are cumulative since daemon start, so a
-// monitor derives throughput from two snapshots.
+// monitor derives throughput from two snapshots. The request asks for
+// the quantile-extended v2 frame; a pre-v2 daemon ignores the request
+// payload and answers v1, in which case the extension fields come back
+// zero (Requests == 0 is the tell).
 func (rs *Remote) Stats() ([]wire.StatsEntry, error) {
-	resp, err := rs.roundTrip(wire.Frame{Type: wire.MsgStatsReq}, wire.MsgStatsResp)
+	resp, err := rs.roundTrip(wire.EncodeStatsReq(wire.StatsVersionExt), wire.MsgStatsResp)
 	if err != nil {
 		return nil, err
 	}
@@ -524,20 +528,28 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 	curName := DefaultNamespace
 	lim := ns.limiterFor(curName)
 	epoch := ns.Epoch()
+	sl := obs.DefaultSlowLog()
 	for {
 		req, buf, err := wire.ReadFrameInto(r, cs.readBuf)
 		cs.readBuf = buf
 		if err != nil {
 			return // EOF or broken peer: drop the connection
 		}
+		// One clock read and one indexed atomic increment per request —
+		// the serve loop's entire unconditional telemetry cost. arrival
+		// doubles as the admission queue-wait origin and the slow-span
+		// origin.
+		arrival := time.Now()
+		frameCounters[req.Type].Inc()
 		// Admission runs here, on the frame TYPE alone — the payload (and
 		// with it every address) is still opaque bytes, which is what makes
 		// the shed/accept pattern provably address-independent. A shed
 		// request is answered with a busy frame and never touches a
 		// backend.
-		var release func()
+		var admitted bool
+		var svcStart time.Time
 		if admittable(req.Type) && !cur.none() {
-			rel, ok, retry, depth := lim.admit()
+			start, ok, retry, depth := lim.admit(arrival)
 			if !ok {
 				raw := wire.AppendBusy(cs.resp[:0], retry, depth)
 				cs.resp = raw
@@ -549,7 +561,7 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 				}
 				continue
 			}
-			release = rel
+			admitted, svcStart = true, start
 		}
 		// The batch frames — the steady-state traffic — are served through
 		// the per-connection scratch with zero per-request allocation;
@@ -562,8 +574,11 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 			if err == nil {
 				err = w.Flush()
 			}
-			if release != nil {
-				release()
+			if admitted {
+				svc := lim.release(svcStart)
+				if sl.Enabled() {
+					observeSlow(sl, arrival, curName, req.Type, svc)
+				}
 			}
 			if err != nil {
 				return
@@ -579,7 +594,7 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 				lim = ns.limiterFor(curName)
 			}
 		case req.Type == wire.MsgStatsReq:
-			resp = handleStats(ns)
+			resp = handleStats(ns, req.Payload)
 		case cur.none():
 			resp = wire.EncodeError("no namespace selected (send an open request first)")
 		case cur.acc != nil:
@@ -591,8 +606,11 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 		if err == nil {
 			err = w.Flush()
 		}
-		if release != nil {
-			release()
+		if admitted {
+			svc := lim.release(svcStart)
+			if sl.Enabled() {
+				observeSlow(sl, arrival, curName, req.Type, svc)
+			}
 		}
 		if err != nil {
 			return
@@ -600,12 +618,38 @@ func serveConn(conn net.Conn, ns *Namespaces) {
 	}
 }
 
+// observeSlow builds and offers a slow-request span — called only when
+// the slow log is armed, so the steady-state serve loop never pays for
+// the second clock read or the span construction.
+func observeSlow(sl *obs.SlowLog, arrival time.Time, nsName string, frameType byte, svc time.Duration) {
+	total := time.Since(arrival)
+	if total < sl.Threshold() {
+		return
+	}
+	sl.Observe(obs.Span{
+		NS:      nsName,
+		Frame:   frameNames[frameType],
+		Queue:   total - svc,
+		Service: svc,
+		Total:   total,
+	})
+}
+
 // handleStats answers the daemon-wide metrics probe. Like the replica
 // status frame it describes the whole daemon, not the connection's
 // namespace, and is never subject to admission — a saturated daemon must
-// stay observable.
-func handleStats(ns *Namespaces) wire.Frame {
-	resp, err := wire.EncodeStatsResp(ns.Stats())
+// stay observable. The request payload carries the stats protocol
+// version the client wants (empty = v1, preserving old clients);
+// unknown versions degrade to v1 rather than erroring.
+func handleStats(ns *Namespaces, reqPayload []byte) wire.Frame {
+	entries := ns.Stats()
+	var resp wire.Frame
+	var err error
+	if wire.StatsReqVersion(reqPayload) >= wire.StatsVersionExt {
+		resp, err = wire.EncodeStatsRespExt(entries)
+	} else {
+		resp, err = wire.EncodeStatsResp(entries)
+	}
 	if err != nil {
 		return wire.EncodeError(err.Error())
 	}

@@ -423,6 +423,7 @@ func NewReplicated(specs []ReplicaSpec, opts ReplicatedOptions) (*Replicated, er
 		go r.runWriter(rep)
 	}
 	go r.runRepair()
+	registerReplicaObs(r)
 	return r, nil
 }
 

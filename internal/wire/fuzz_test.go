@@ -11,6 +11,8 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
+	"reflect"
 	"testing"
 )
 
@@ -202,7 +204,7 @@ func FuzzStatsResp(f *testing.F) {
 		}
 		f.Add(fr.Payload)
 	}
-	f.Add([]byte{0xff, 0xff})            // forged huge count, empty body
+	f.Add([]byte{0xff, 0xff})            // v2 marker with empty body
 	f.Add([]byte{0, 1, 0xff, 0xff, 'x'}) // forged name length
 	f.Add([]byte{0, 0, 0})               // trailing byte after zero entries
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -210,16 +212,12 @@ func FuzzStatsResp(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if len(entries) > MaxStatsEntries {
-			t.Fatalf("decoder accepted %d entries past the cap", len(entries))
-		}
-		for _, e := range entries {
-			if len(e.Name) > MaxNamespaceName {
-				t.Fatalf("decoder accepted a %d-byte name past the cap", len(e.Name))
-			}
-			if e.Kind > StatsKindReplicated {
-				t.Fatalf("decoder accepted unknown kind %d", e.Kind)
-			}
+		checkStatsInvariants(t, entries)
+		if len(data) >= 2 && data[0] == 0xff && data[1] == 0xff {
+			// v2 layout: the skip-forward extension tolerance makes the byte
+			// round trip non-canonical; assert the semantic one instead.
+			statsSemanticRoundTrip(t, entries)
+			return
 		}
 		fr, err := EncodeStatsResp(entries)
 		if err != nil {
@@ -227,6 +225,83 @@ func FuzzStatsResp(f *testing.F) {
 		}
 		if !bytes.Equal(fr.Payload, data) {
 			t.Fatalf("stats round trip mismatch: %x → %+v → %x", data, entries, fr.Payload)
+		}
+	})
+}
+
+func checkStatsInvariants(t *testing.T, entries []StatsEntry) {
+	t.Helper()
+	if len(entries) > MaxStatsEntries {
+		t.Fatalf("decoder accepted %d entries past the cap", len(entries))
+	}
+	for _, e := range entries {
+		if len(e.Name) > MaxNamespaceName {
+			t.Fatalf("decoder accepted a %d-byte name past the cap", len(e.Name))
+		}
+		if e.Kind > StatsKindReplicated {
+			t.Fatalf("decoder accepted unknown kind %d", e.Kind)
+		}
+	}
+}
+
+// statsSemanticRoundTrip asserts decode ∘ encodeExt ∘ decode = decode: a
+// decoded v2 entry set re-encodes canonically and decodes back to the
+// identical entries (field-exact, including every quantile).
+func statsSemanticRoundTrip(t *testing.T, entries []StatsEntry) {
+	t.Helper()
+	fr, err := EncodeStatsRespExt(entries)
+	if err != nil {
+		t.Fatalf("accepted extended stats failed to re-encode: %v", err)
+	}
+	again, err := DecodeStatsResp(fr.Payload)
+	if err != nil {
+		t.Fatalf("canonical re-encoding failed to decode: %v", err)
+	}
+	if !reflect.DeepEqual(entries, again) {
+		t.Fatalf("extended stats semantic round trip mismatch:\n%+v\n%+v", entries, again)
+	}
+}
+
+// FuzzStatsRespExt fuzzes the v2 quantile-extended stats decoder: the
+// marker/version/extLen machinery must reject inconsistent lengths, cap
+// all allocations, skip unknown extension tails, and semantically
+// round-trip every accepted payload.
+func FuzzStatsRespExt(f *testing.F) {
+	for _, entries := range [][]StatsEntry{
+		{},
+		{{Name: "ns", Kind: StatsKindBlock, Accepted: 100, Shed: 3, Inflight: 2, Queued: 1, Limit: 16, QueueCap: 64, SyncMicros: 850,
+			Requests: 97, P50Micros: 120, P90Micros: 400, P99Micros: 1500, P999Micros: 9000, MaxMicros: 22000, QueueP99Micros: 310}},
+		{{Name: "a", Kind: StatsKindProxy, Depth: 17, Requests: 1, MaxMicros: 5}, {Name: "b", Kind: StatsKindReplicated, Shed: 9}},
+	} {
+		fr, err := EncodeStatsRespExt(entries)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(fr.Payload)
+	}
+	// A future-version entry: extension longer than the known fields, the
+	// tail must be skipped.
+	long, err := EncodeStatsRespExt([]StatsEntry{{Name: "fwd", Kind: StatsKindBlock, Requests: 4}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	grown := append([]byte(nil), long.Payload...)
+	binary.BigEndian.PutUint16(grown[len(grown)-statsExtFixed-2:], statsExtFixed+8)
+	grown = append(grown, make([]byte, 8)...)
+	f.Add(grown)
+	f.Add([]byte{0xff, 0xff})                // marker, no version/count
+	f.Add([]byte{0xff, 0xff, 1, 0, 0})       // marker with v1 version byte
+	f.Add([]byte{0xff, 0xff, 2, 0, 1})       // declared entry, empty body
+	f.Add([]byte{0xff, 0xff, 2, 0xff, 0xff}) // forged huge count
+	f.Add([]byte{0xff, 0xff, 2, 0, 0, 0})    // trailing byte after zero entries
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeStatsResp(data)
+		if err != nil {
+			return
+		}
+		checkStatsInvariants(t, entries)
+		if len(data) >= 2 && data[0] == 0xff && data[1] == 0xff {
+			statsSemanticRoundTrip(t, entries)
 		}
 	})
 }

@@ -142,44 +142,97 @@ type StatsEntry struct {
 	// EWMA fsync latency in microseconds (0 for non-durable backings).
 	Depth      uint64
 	SyncMicros uint64
+
+	// Extended quantile summary, carried only by the v2 stats frame
+	// (EncodeStatsRespExt; see load_ext.go). All zero when the peer spoke
+	// v1. Latencies are whole microseconds of the namespace's service-time
+	// histogram (admission release to flush), recorded since daemon start.
+	Requests       uint64 // observations in the service-time histogram
+	P50Micros      uint64
+	P90Micros      uint64
+	P99Micros      uint64
+	P999Micros     uint64
+	MaxMicros      uint64
+	QueueP99Micros uint64 // p99 of admission queue wait
 }
 
 // statsEntryFixed is the byte size of one entry minus its variable name.
 const statsEntryFixed = 2 + 1 + 8 + 8 + 4 + 4 + 4 + 4 + 8 + 8
 
-// EncodeStatsResp builds a MsgStatsResp frame. Namespace names are capped
-// at MaxNamespaceName bytes, entry counts at MaxStatsEntries.
+// appendStatsEntry validates and appends one entry's v1 wire form
+// (nameLen ‖ name ‖ fixed fields) to p.
+func appendStatsEntry(p []byte, e *StatsEntry) ([]byte, error) {
+	if len(e.Name) > MaxNamespaceName {
+		return nil, fmt.Errorf("%w: namespace name %d bytes exceeds the %d-byte cap", ErrName, len(e.Name), MaxNamespaceName)
+	}
+	if e.Kind > StatsKindReplicated {
+		return nil, fmt.Errorf("%w: unknown namespace kind %d", ErrStats, e.Kind)
+	}
+	var u8 [8]byte
+	var u4 [4]byte
+	var n2 [2]byte
+	binary.BigEndian.PutUint16(n2[:], uint16(len(e.Name)))
+	p = append(p, n2[:]...)
+	p = append(p, e.Name...)
+	p = append(p, e.Kind)
+	for _, v := range []uint64{e.Accepted, e.Shed} {
+		binary.BigEndian.PutUint64(u8[:], v)
+		p = append(p, u8[:]...)
+	}
+	for _, v := range []uint32{e.Inflight, e.Queued, e.Limit, e.QueueCap} {
+		binary.BigEndian.PutUint32(u4[:], v)
+		p = append(p, u4[:]...)
+	}
+	for _, v := range []uint64{e.Depth, e.SyncMicros} {
+		binary.BigEndian.PutUint64(u8[:], v)
+		p = append(p, u8[:]...)
+	}
+	return p, nil
+}
+
+// decodeStatsEntry parses one entry's v1 wire form off the front of body,
+// returning the entry and the remaining bytes.
+func decodeStatsEntry(body []byte, i int) (StatsEntry, []byte, error) {
+	if len(body) < 2 {
+		return StatsEntry{}, nil, fmt.Errorf("%w: truncated entry %d", ErrStats, i)
+	}
+	nameLen := int(binary.BigEndian.Uint16(body[:2]))
+	if nameLen > MaxNamespaceName {
+		return StatsEntry{}, nil, fmt.Errorf("%w: namespace name %d bytes exceeds the %d-byte cap", ErrName, nameLen, MaxNamespaceName)
+	}
+	if len(body) < nameLen+statsEntryFixed {
+		return StatsEntry{}, nil, fmt.Errorf("%w: entry %d overruns the payload", ErrStats, i)
+	}
+	e := StatsEntry{Name: string(body[2 : 2+nameLen])}
+	rest := body[2+nameLen:]
+	e.Kind = rest[0]
+	if e.Kind > StatsKindReplicated {
+		return StatsEntry{}, nil, fmt.Errorf("%w: unknown namespace kind %d", ErrStats, e.Kind)
+	}
+	e.Accepted = binary.BigEndian.Uint64(rest[1:9])
+	e.Shed = binary.BigEndian.Uint64(rest[9:17])
+	e.Inflight = binary.BigEndian.Uint32(rest[17:21])
+	e.Queued = binary.BigEndian.Uint32(rest[21:25])
+	e.Limit = binary.BigEndian.Uint32(rest[25:29])
+	e.QueueCap = binary.BigEndian.Uint32(rest[29:33])
+	e.Depth = binary.BigEndian.Uint64(rest[33:41])
+	e.SyncMicros = binary.BigEndian.Uint64(rest[41:49])
+	return e, rest[49:], nil
+}
+
+// EncodeStatsResp builds a v1 MsgStatsResp frame (no quantile extension —
+// what a pre-v2 client gets). Namespace names are capped at
+// MaxNamespaceName bytes, entry counts at MaxStatsEntries.
 func EncodeStatsResp(entries []StatsEntry) (Frame, error) {
 	if len(entries) > MaxStatsEntries {
 		return Frame{}, fmt.Errorf("%w: %d entries exceeds the %d cap", ErrStats, len(entries), MaxStatsEntries)
 	}
 	p := make([]byte, 2, 2+len(entries)*(statsEntryFixed+16))
 	binary.BigEndian.PutUint16(p[:2], uint16(len(entries)))
-	var u8 [8]byte
-	var u4 [4]byte
-	for _, e := range entries {
-		if len(e.Name) > MaxNamespaceName {
-			return Frame{}, fmt.Errorf("%w: namespace name %d bytes exceeds the %d-byte cap", ErrName, len(e.Name), MaxNamespaceName)
-		}
-		if e.Kind > StatsKindReplicated {
-			return Frame{}, fmt.Errorf("%w: unknown namespace kind %d", ErrStats, e.Kind)
-		}
-		var n2 [2]byte
-		binary.BigEndian.PutUint16(n2[:], uint16(len(e.Name)))
-		p = append(p, n2[:]...)
-		p = append(p, e.Name...)
-		p = append(p, e.Kind)
-		for _, v := range []uint64{e.Accepted, e.Shed} {
-			binary.BigEndian.PutUint64(u8[:], v)
-			p = append(p, u8[:]...)
-		}
-		for _, v := range []uint32{e.Inflight, e.Queued, e.Limit, e.QueueCap} {
-			binary.BigEndian.PutUint32(u4[:], v)
-			p = append(p, u4[:]...)
-		}
-		for _, v := range []uint64{e.Depth, e.SyncMicros} {
-			binary.BigEndian.PutUint64(u8[:], v)
-			p = append(p, u8[:]...)
+	var err error
+	for i := range entries {
+		if p, err = appendStatsEntry(p, &entries[i]); err != nil {
+			return Frame{}, err
 		}
 	}
 	if len(p) > MaxFrame {
@@ -188,48 +241,33 @@ func EncodeStatsResp(entries []StatsEntry) (Frame, error) {
 	return Frame{Type: MsgStatsResp, Payload: p}, nil
 }
 
-// DecodeStatsResp parses a MsgStatsResp payload. Like the replica status
-// decoder, every declared length must be consistent with the remaining
-// payload and the payload must end exactly at the last entry, so forged
-// counts and name lengths can neither over-allocate nor alias numeric
-// fields into names.
+// DecodeStatsResp parses a MsgStatsResp payload, auto-detecting the v1
+// and v2 (quantile-extended) layouts — the extension marker 0xFFFF is an
+// impossible v1 entry count, so one decoder serves clients of both
+// server generations. Like the replica status decoder, every declared
+// length must be consistent with the remaining payload and the payload
+// must end exactly at the last entry, so forged counts and name lengths
+// can neither over-allocate nor alias numeric fields into names.
 func DecodeStatsResp(p []byte) ([]StatsEntry, error) {
 	if len(p) < 2 {
 		return nil, fmt.Errorf("%w: stats response %d bytes", ErrShortPayload, len(p))
 	}
 	count := int(binary.BigEndian.Uint16(p[:2]))
+	if count == statsExtMarker {
+		return decodeStatsRespExt(p[2:])
+	}
 	if count > MaxStatsEntries {
 		return nil, fmt.Errorf("%w: %d entries exceeds the %d cap", ErrStats, count, MaxStatsEntries)
 	}
 	body := p[2:]
 	entries := make([]StatsEntry, 0, count)
 	for i := 0; i < count; i++ {
-		if len(body) < 2 {
-			return nil, fmt.Errorf("%w: truncated entry %d", ErrStats, i)
+		e, rest, err := decodeStatsEntry(body, i)
+		if err != nil {
+			return nil, err
 		}
-		nameLen := int(binary.BigEndian.Uint16(body[:2]))
-		if nameLen > MaxNamespaceName {
-			return nil, fmt.Errorf("%w: namespace name %d bytes exceeds the %d-byte cap", ErrName, nameLen, MaxNamespaceName)
-		}
-		if len(body) < nameLen+statsEntryFixed {
-			return nil, fmt.Errorf("%w: entry %d overruns the payload", ErrStats, i)
-		}
-		e := StatsEntry{Name: string(body[2 : 2+nameLen])}
-		rest := body[2+nameLen:]
-		e.Kind = rest[0]
-		if e.Kind > StatsKindReplicated {
-			return nil, fmt.Errorf("%w: unknown namespace kind %d", ErrStats, e.Kind)
-		}
-		e.Accepted = binary.BigEndian.Uint64(rest[1:9])
-		e.Shed = binary.BigEndian.Uint64(rest[9:17])
-		e.Inflight = binary.BigEndian.Uint32(rest[17:21])
-		e.Queued = binary.BigEndian.Uint32(rest[21:25])
-		e.Limit = binary.BigEndian.Uint32(rest[25:29])
-		e.QueueCap = binary.BigEndian.Uint32(rest[29:33])
-		e.Depth = binary.BigEndian.Uint64(rest[33:41])
-		e.SyncMicros = binary.BigEndian.Uint64(rest[41:49])
 		entries = append(entries, e)
-		body = rest[49:]
+		body = rest
 	}
 	if len(body) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes after %d entries", ErrStats, len(body), count)

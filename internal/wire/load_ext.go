@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire stats v2 — the quantile-extended MsgStatsResp.
+//
+// The v1 frame carries counters and gauges only; the observability layer
+// adds per-namespace latency quantile summaries without breaking either
+// direction of the old protocol:
+//
+//   - The REQUEST gains an optional payload: a single version byte. A v1
+//     server ignores the MsgStatsReq payload entirely (its handler never
+//     looked at it) and answers v1 — so a new client against an old
+//     daemon degrades to the counters it always had. An empty payload
+//     means v1, preserving old clients byte-for-byte.
+//
+//   - The RESPONSE marks the extended layout with a leading 0xFFFF where
+//     v1 put its entry count. 0xFFFF is an impossible v1 count
+//     (MaxStatsEntries is 4096), so DecodeStatsResp can tell the layouts
+//     apart without any out-of-band signal. Old clients talking to a new
+//     server never see the marker: the server only answers v2 when asked.
+//
+// v2 layout:
+//
+//	marker 0xFFFF ‖ version uint8 ‖ count uint16 ‖ count × entry
+//	entry = v1 entry ‖ extLen uint16 ‖ ext
+//	ext   = requests uint64 ‖ p50 ‖ p90 ‖ p99 ‖ p999 ‖ max ‖ queueP99
+//	        (whole microseconds, uint64 each)
+//
+// extLen is the full extension size, ≥ statsExtFixed: a future version
+// may append fields and a v2 decoder skips what it does not know, so the
+// frame is forward-compatible within the marker.
+
+// StatsVersionExt is the first stats protocol version carrying the
+// quantile extension.
+const StatsVersionExt = 2
+
+const (
+	statsExtMarker = 0xFFFF // leading uint16 marking the v2 layout
+	statsExtFixed  = 7 * 8  // known extension fields
+	maxStatsExt    = 512    // sanity cap on a declared extension length
+)
+
+// EncodeStatsReq builds a MsgStatsReq frame asking for the given stats
+// protocol version. Version ≤ 1 is the classic empty request.
+func EncodeStatsReq(version uint8) Frame {
+	if version <= 1 {
+		return Frame{Type: MsgStatsReq}
+	}
+	return Frame{Type: MsgStatsReq, Payload: []byte{version}}
+}
+
+// StatsReqVersion returns the stats protocol version a MsgStatsReq
+// payload asks for (1 for the classic empty request or any payload this
+// decoder does not understand — unknown requests degrade to v1, never
+// error, so a daemon can always answer something an old client parses).
+func StatsReqVersion(p []byte) uint8 {
+	if len(p) != 1 || p[0] <= 1 {
+		return 1
+	}
+	return p[0]
+}
+
+// EncodeStatsRespExt builds a v2 MsgStatsResp frame carrying the
+// quantile extension of every entry.
+func EncodeStatsRespExt(entries []StatsEntry) (Frame, error) {
+	if len(entries) > MaxStatsEntries {
+		return Frame{}, fmt.Errorf("%w: %d entries exceeds the %d cap", ErrStats, len(entries), MaxStatsEntries)
+	}
+	p := make([]byte, 5, 5+len(entries)*(statsEntryFixed+16+2+statsExtFixed))
+	binary.BigEndian.PutUint16(p[:2], statsExtMarker)
+	p[2] = StatsVersionExt
+	binary.BigEndian.PutUint16(p[3:5], uint16(len(entries)))
+	var u8 [8]byte
+	var err error
+	for i := range entries {
+		e := &entries[i]
+		if p, err = appendStatsEntry(p, e); err != nil {
+			return Frame{}, err
+		}
+		var n2 [2]byte
+		binary.BigEndian.PutUint16(n2[:], statsExtFixed)
+		p = append(p, n2[:]...)
+		for _, v := range []uint64{e.Requests, e.P50Micros, e.P90Micros, e.P99Micros, e.P999Micros, e.MaxMicros, e.QueueP99Micros} {
+			binary.BigEndian.PutUint64(u8[:], v)
+			p = append(p, u8[:]...)
+		}
+	}
+	if len(p) > MaxFrame {
+		return Frame{}, ErrFrameTooLarge
+	}
+	return Frame{Type: MsgStatsResp, Payload: p}, nil
+}
+
+// decodeStatsRespExt parses the v2 body (after the 0xFFFF marker).
+func decodeStatsRespExt(p []byte) ([]StatsEntry, error) {
+	if len(p) < 3 {
+		return nil, fmt.Errorf("%w: extended stats response %d bytes", ErrShortPayload, len(p)+2)
+	}
+	if v := p[0]; v < StatsVersionExt {
+		return nil, fmt.Errorf("%w: extended marker with version %d", ErrStats, v)
+	}
+	count := int(binary.BigEndian.Uint16(p[1:3]))
+	if count > MaxStatsEntries {
+		return nil, fmt.Errorf("%w: %d entries exceeds the %d cap", ErrStats, count, MaxStatsEntries)
+	}
+	body := p[3:]
+	entries := make([]StatsEntry, 0, count)
+	for i := 0; i < count; i++ {
+		e, rest, err := decodeStatsEntry(body, i)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("%w: entry %d missing extension length", ErrStats, i)
+		}
+		extLen := int(binary.BigEndian.Uint16(rest[:2]))
+		if extLen < statsExtFixed || extLen > maxStatsExt {
+			return nil, fmt.Errorf("%w: entry %d extension %d bytes (want %d..%d)", ErrStats, i, extLen, statsExtFixed, maxStatsExt)
+		}
+		if len(rest) < 2+extLen {
+			return nil, fmt.Errorf("%w: entry %d extension overruns the payload", ErrStats, i)
+		}
+		ext := rest[2 : 2+statsExtFixed]
+		e.Requests = binary.BigEndian.Uint64(ext[0:8])
+		e.P50Micros = binary.BigEndian.Uint64(ext[8:16])
+		e.P90Micros = binary.BigEndian.Uint64(ext[16:24])
+		e.P99Micros = binary.BigEndian.Uint64(ext[24:32])
+		e.P999Micros = binary.BigEndian.Uint64(ext[32:40])
+		e.MaxMicros = binary.BigEndian.Uint64(ext[40:48])
+		e.QueueP99Micros = binary.BigEndian.Uint64(ext[48:56])
+		entries = append(entries, e)
+		body = rest[2+extLen:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d extended entries", ErrStats, len(body), count)
+	}
+	return entries, nil
+}

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func extSample() []StatsEntry {
+	return []StatsEntry{
+		{
+			Name: "alpha", Kind: StatsKindProxy,
+			Accepted: 1000, Shed: 12, Inflight: 3, Queued: 2, Limit: 16, QueueCap: 64,
+			Depth: 40, SyncMicros: 900,
+			Requests: 988, P50Micros: 110, P90Micros: 340, P99Micros: 2100,
+			P999Micros: 8800, MaxMicros: 15000, QueueP99Micros: 77,
+		},
+		{Name: "beta", Kind: StatsKindBlock, Accepted: 5},
+	}
+}
+
+func TestStatsExtRoundTrip(t *testing.T) {
+	want := extSample()
+	fr, err := EncodeStatsRespExt(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Type != MsgStatsResp {
+		t.Fatalf("frame type %d", fr.Type)
+	}
+	got, err := DecodeStatsResp(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// A v1 payload must still decode through the same entry point, with all
+// extension fields zero — and a v1 re-encoding of extended entries must
+// silently drop the quantiles (what an old client receives).
+func TestStatsExtV1Interop(t *testing.T) {
+	entries := extSample()
+	v1, err := EncodeStatsResp(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeStatsResp(v1.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Requests != 0 || got[i].P99Micros != 0 || got[i].QueueP99Micros != 0 {
+			t.Fatalf("v1 decode carried extension fields: %+v", got[i])
+		}
+		if got[i].Name != entries[i].Name || got[i].Accepted != entries[i].Accepted {
+			t.Fatalf("v1 decode lost base fields: %+v", got[i])
+		}
+	}
+}
+
+func TestStatsReqVersion(t *testing.T) {
+	if fr := EncodeStatsReq(1); len(fr.Payload) != 0 {
+		t.Fatalf("v1 request must stay empty, got %x", fr.Payload)
+	}
+	if fr := EncodeStatsReq(StatsVersionExt); !bytes.Equal(fr.Payload, []byte{2}) {
+		t.Fatalf("v2 request payload %x", fr.Payload)
+	}
+	for _, tc := range []struct {
+		p    []byte
+		want uint8
+	}{
+		{nil, 1}, {[]byte{}, 1}, {[]byte{0}, 1}, {[]byte{1}, 1},
+		{[]byte{2}, 2}, {[]byte{9}, 9}, {[]byte{2, 2}, 1}, // over-long degrades to v1
+	} {
+		if got := StatsReqVersion(tc.p); got != tc.want {
+			t.Errorf("StatsReqVersion(%x) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+// A longer-than-known extension decodes (skip-forward compatibility); a
+// shorter-than-known one is rejected.
+func TestStatsExtForwardCompat(t *testing.T) {
+	fr, err := EncodeStatsRespExt([]StatsEntry{{Name: "fwd", Kind: StatsKindBlock, Requests: 7, MaxMicros: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := append([]byte(nil), fr.Payload...)
+	pos := len(grown) - statsExtFixed - 2
+	binary.BigEndian.PutUint16(grown[pos:], statsExtFixed+16)
+	grown = append(grown, make([]byte, 16)...)
+	got, err := DecodeStatsResp(grown)
+	if err != nil {
+		t.Fatalf("future extension rejected: %v", err)
+	}
+	if len(got) != 1 || got[0].Requests != 7 || got[0].MaxMicros != 9 {
+		t.Fatalf("future extension mangled fields: %+v", got)
+	}
+
+	shrunk := append([]byte(nil), fr.Payload...)
+	binary.BigEndian.PutUint16(shrunk[pos:], statsExtFixed-8)
+	if _, err := DecodeStatsResp(shrunk); !errors.Is(err, ErrStats) {
+		t.Fatalf("short extension accepted: %v", err)
+	}
+}
+
+func TestStatsExtHostileInputs(t *testing.T) {
+	for name, p := range map[string][]byte{
+		"marker only":       {0xff, 0xff},
+		"v1 version":        {0xff, 0xff, 1, 0, 0},
+		"missing body":      {0xff, 0xff, 2, 0, 1},
+		"huge count":        {0xff, 0xff, 2, 0xff, 0xff},
+		"trailing byte":     {0xff, 0xff, 2, 0, 0, 0},
+		"huge ext len":      append(mustExt(t, StatsEntry{Name: "x"})[:len(mustExt(t, StatsEntry{Name: "x"}))-statsExtFixed-2], 0xff, 0xff),
+		"truncated entries": mustExt(t, StatsEntry{Name: "x"})[:10],
+	} {
+		if _, err := DecodeStatsResp(p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func mustExt(t *testing.T, entries ...StatsEntry) []byte {
+	t.Helper()
+	fr, err := EncodeStatsRespExt(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr.Payload
+}

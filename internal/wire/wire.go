@@ -118,6 +118,42 @@ const (
 	MsgStatsResp
 )
 
+// typeNames maps message type tags to their symbolic wire names, for
+// telemetry labels and log lines.
+var typeNames = map[byte]string{
+	MsgInfoReq:        "info_req",
+	MsgInfoResp:       "info_resp",
+	MsgDownloadReq:    "download_req",
+	MsgDownloadResp:   "download_resp",
+	MsgUploadReq:      "upload_req",
+	MsgUploadResp:     "upload_resp",
+	MsgError:          "error",
+	MsgReadBatchReq:   "read_batch_req",
+	MsgReadBatchResp:  "read_batch_resp",
+	MsgWriteBatchReq:  "write_batch_req",
+	MsgWriteBatchResp: "write_batch_resp",
+	MsgOpenReq:        "open_req",
+	MsgOpenResp:       "open_resp",
+	MsgAccessReq:      "access_req",
+	MsgAccessResp:     "access_resp",
+	MsgReplStatusReq:  "repl_status_req",
+	MsgReplStatusResp: "repl_status_resp",
+	MsgResyncReq:      "resync_req",
+	MsgResyncResp:     "resync_resp",
+	MsgBusyResp:       "busy_resp",
+	MsgStatsReq:       "stats_req",
+	MsgStatsResp:      "stats_resp",
+}
+
+// TypeName returns the symbolic name of a message type tag ("unknown"
+// for tags outside the protocol).
+func TypeName(t byte) string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return "unknown"
+}
+
 // MaxNamespaceName bounds the length of a namespace name on the wire. Names
 // are identifiers, not payloads; the cap keeps a hostile peer from smuggling
 // megabytes into what servers may log or key maps by.
